@@ -1,0 +1,1 @@
+bench/bench_figures.ml: Bench_util Cluster Format Hv Hw Hypertp Int64 List Pram Printf Sim Vmstate Workload

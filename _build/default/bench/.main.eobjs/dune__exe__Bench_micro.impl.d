@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Array Bechamel Benchmark Cve Format Hashtbl Hw Instance List Measure Migration Pram Sim Staged Test Time Toolkit Uisr Vmstate Xenhv

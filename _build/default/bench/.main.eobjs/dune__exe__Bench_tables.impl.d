@@ -1,0 +1,1 @@
+bench/bench_tables.ml: Bench_util Cve Float Format Hv Hw Hypertp Int64 List Sim Vmstate Workload Xenhv

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Format Hv Hw Hypertp List Sim Vmstate

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_figures Bench_micro Bench_tables Format List String Sys

@@ -1,0 +1,91 @@
+(* Bechamel micro-benchmarks: real CPU cost of the core data paths
+   (UISR encode/decode, native formats, PRAM build/parse, pre-copy
+   planning, CVSS scoring). *)
+
+open Bechamel
+open Toolkit
+
+let sample_uisr () =
+  let pmem = Hw.Pmem.create ~frames:(512 * 128) () in
+  let vm =
+    Vmstate.Vm.create ~pmem ~rng:(Sim.Rng.create 1L)
+      ~ioapic_pins:Vmstate.Ioapic.xen_pins
+      (Vmstate.Vm.config ~name:"b" ~vcpus:2 ~ram:(Hw.Units.mib 256) ())
+  in
+  Vmstate.Vm.pause vm;
+  (vm, Uisr.Vm_state.of_vm ~source_hypervisor:"xen-4.12.1" vm)
+
+let tests () =
+  let vm, uisr = sample_uisr () in
+  let blob = Uisr.Codec.encode uisr in
+  let platform =
+    {
+      Xenhv.Hvm_records.vcpus = Array.to_list vm.Vmstate.Vm.vcpus;
+      ioapic = vm.Vmstate.Vm.ioapic;
+      pit = vm.Vmstate.Vm.pit;
+    }
+  in
+  let native = Xenhv.Hvm_records.encode platform in
+  let memmap = Uisr.Vm_state.memmap_of_guest_mem vm.Vmstate.Vm.mem in
+  let venom_vector =
+    match Cve.Cvss.parse "AV:N/AC:L/Au:N/C:C/I:C/A:C" with
+    | Ok v -> v
+    | Error _ -> assert false
+  in
+  let precopy_params =
+    Migration.Precopy.default_params ~nic:(Hw.Nic.create ~bandwidth_gbps:1.0 ()) ()
+  in
+  [
+    Test.make ~name:"uisr_encode" (Staged.stage (fun () -> Uisr.Codec.encode uisr));
+    Test.make ~name:"uisr_decode" (Staged.stage (fun () -> Uisr.Codec.decode blob));
+    Test.make ~name:"xen_hvm_encode"
+      (Staged.stage (fun () -> Xenhv.Hvm_records.encode platform));
+    Test.make ~name:"xen_hvm_decode"
+      (Staged.stage (fun () -> Xenhv.Hvm_records.decode native));
+    Test.make ~name:"pram_build_parse"
+      (Staged.stage (fun () ->
+           let pmem = Hw.Pmem.create ~frames:(512 * 128) () in
+           let mem =
+             Vmstate.Guest_mem.create ~pmem ~rng:(Sim.Rng.create 2L)
+               ~bytes:(Hw.Units.mib 64) ~page_kind:Hw.Units.Page_2m ()
+           in
+           let image =
+             Pram.Build.build ~pmem ~granularity:Hw.Units.Page_2m
+               [ ("v", Hw.Units.mib 64, Uisr.Vm_state.memmap_of_guest_mem mem) ]
+           in
+           Pram.Parse.parse ~pmem ~image (Pram.Build.pointer_mfn image)));
+    Test.make ~name:"pram_entry_pack"
+      (Staged.stage (fun () ->
+           List.map
+             (fun e ->
+               List.map Pram.Entry.pack
+                 (Pram.Entry.of_memmap_entry ~granularity:Hw.Units.Page_2m e))
+             memmap));
+    Test.make ~name:"precopy_plan"
+      (Staged.stage (fun () ->
+           Migration.Precopy.plan precopy_params ~page_bytes:4096
+             ~total_pages:262144 ~dirty_pages_per_sec:2000.0));
+    Test.make ~name:"cvss_base_score"
+      (Staged.stage (fun () -> Cve.Cvss.base_score venom_vector));
+  ]
+
+let run () =
+  Format.printf "@.=== Bechamel micro-benchmarks (real CPU time) ===@.";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"hypertp" (tests ()))
+  in
+  let results =
+    List.map (fun inst -> Analyze.all (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]) inst raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun _measure table ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Format.printf "%-32s %12.1f ns/run@." name est
+          | Some _ | None -> Format.printf "%-32s (no estimate)@." name)
+        table)
+    results

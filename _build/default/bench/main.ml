@@ -1,0 +1,56 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (section 5) from the simulated system, plus the
+   section 4.2.5 ablations and Bechamel micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe            # everything, paper order
+     dune exec bench/main.exe -- table4 fig6 fig13
+     dune exec bench/main.exe -- --list *)
+
+let targets : (string * string * (unit -> unit)) list =
+  [
+    ("table1", "vulnerability study (Table 1 + section 2.2)", Bench_tables.table1);
+    ("table2", "state mapping + environment (Tables 2-3)", Bench_tables.table2_3);
+    ("table4", "migration downtime/time (Table 4)", Bench_tables.table4);
+    ("fig6", "InPlaceTP time breakdown (Fig 6)", Bench_figures.fig6);
+    ("fig7", "InPlaceTP scalability Xen->KVM (Fig 7)", Bench_figures.fig7);
+    ("fig8", "MigrationTP downtime sweeps (Fig 8, with Fig 9)", Bench_figures.fig8_9);
+    ("fig9", "total migration time sweeps (Fig 9, with Fig 8)", Bench_figures.fig8_9);
+    ("fig10", "InPlaceTP scalability KVM->Xen (Fig 10)", Bench_figures.fig10);
+    ("fig11", "Redis timelines (Fig 11)", Bench_figures.fig11);
+    ("fig12", "MySQL timelines (Fig 12)", Bench_figures.fig12);
+    ("table5", "SPECrate 2017 impact (Table 5)", Bench_tables.table5);
+    ("table6", "Darknet iterations (Table 6)", Bench_tables.table6);
+    ("fig13", "cluster upgrade (Fig 13)", Bench_figures.fig13);
+    ("fig14", "memory overhead (Fig 14)", Bench_figures.fig14);
+    ("tcb", "TCB accounting (section 4.4)", Bench_tables.tcb);
+    ("memsep", "memory separation (Fig 2)", Bench_figures.memsep);
+    ("ablation", "optimisation ablations (section 4.2.5)", Bench_figures.ablation);
+    ("repertoire", "all six transplant directions (incl. bhyve)", Bench_figures.repertoire);
+    ("fleet", "Fig 1 fleet exposure scenario", Bench_figures.fleet);
+    ("micro", "Bechamel micro-benchmarks", Bench_micro.run);
+  ]
+
+(* fig8/fig9 share one generator; the full run invokes it once. *)
+let default_order =
+  [ "table1"; "table2"; "table4"; "fig6"; "fig7"; "fig8"; "fig10"; "fig11"; "fig12";
+    "table5"; "table6"; "fig13"; "fig14"; "tcb"; "memsep"; "ablation";
+    "repertoire"; "fleet"; "micro" ]
+
+let run_target name =
+  match List.find_opt (fun (n, _, _) -> String.equal n name) targets with
+  | Some (_, _, f) -> f ()
+  | None ->
+    Format.eprintf "unknown target %s; try --list@." name;
+    exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] ->
+    List.iter (fun (n, d, _) -> Format.printf "%-8s %s@." n d) targets
+  | [] ->
+    Format.printf
+      "HyperTP evaluation harness: regenerating every table and figure@.";
+    List.iter run_target default_order
+  | names -> List.iter run_target names

@@ -1,0 +1,321 @@
+(* hypertp-cli: drive the HyperTP simulator from the command line.
+
+   Subcommands:
+     cve       - query the vulnerability study and the transplant policy
+     inplace   - run an InPlaceTP transplant on a simulated host
+     migrate   - run a MigrationTP (or homogeneous) live migration
+     memsep    - show the memory-separation classification of a host
+     cluster   - plan and time a rolling cluster upgrade
+     respond   - the one-click CVE response flow *)
+
+open Cmdliner
+
+(* --- shared argument converters --- *)
+
+let machine_conv =
+  let parse = function
+    | "m1" | "M1" -> Ok (Hw.Machine.m1 ())
+    | "m2" | "M2" -> Ok (Hw.Machine.m2 ())
+    | "g5k" | "G5K" -> Ok (Hw.Machine.g5k_node ())
+    | s -> Error (`Msg (Printf.sprintf "unknown machine %S (m1|m2|g5k)" s))
+  in
+  let print fmt (m : Hw.Machine.t) = Format.pp_print_string fmt m.name in
+  Arg.conv (parse, print)
+
+let hv_conv =
+  let parse s =
+    match Hv.Kind.of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown hypervisor %S (xen|kvm)" s))
+  in
+  Arg.conv (parse, Hv.Kind.pp)
+
+let machine_arg =
+  Arg.(value & opt machine_conv (Hw.Machine.m1 ())
+       & info [ "machine" ] ~docv:"MACHINE" ~doc:"Host machine model (m1|m2|g5k).")
+
+let source_arg =
+  Arg.(value & opt hv_conv Hv.Kind.Xen
+       & info [ "source" ] ~docv:"HV" ~doc:"Hypervisor the host starts on.")
+
+let target_arg =
+  Arg.(value & opt hv_conv Hv.Kind.Kvm
+       & info [ "target" ] ~docv:"HV" ~doc:"Hypervisor to transplant onto.")
+
+let vms_arg =
+  Arg.(value & opt int 1 & info [ "vms" ] ~docv:"N" ~doc:"Number of VMs.")
+
+let vcpus_arg =
+  Arg.(value & opt int 1 & info [ "vcpus" ] ~docv:"N" ~doc:"vCPUs per VM.")
+
+let gib_arg =
+  Arg.(value & opt int 1 & info [ "gib" ] ~docv:"N" ~doc:"GiB of RAM per VM.")
+
+let seed_arg =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let verbose_arg =
+  let setup verbose =
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+  in
+  Term.(const setup $ Arg.(value & flag & info [ "v"; "verbose" ]
+                           ~doc:"Log each workflow step."))
+
+let provision ~machine ~hv ~vms ~vcpus ~gib ~seed =
+  let configs =
+    List.init vms (fun i ->
+        Vmstate.Vm.config ~name:(Printf.sprintf "vm%d" i) ~vcpus
+          ~ram:(Hw.Units.gib gib) ())
+  in
+  Hypertp.Api.provision ~seed ~name:"cli-host" ~machine ~hv configs
+
+(* --- cve --- *)
+
+let cve_cmd =
+  let action =
+    Arg.(value & pos 0 (enum [ ("table", `Table); ("show", `Show); ("windows", `Windows) ]) `Table
+         & info [] ~docv:"ACTION" ~doc:"table | show | windows")
+  in
+  let id =
+    Arg.(value & pos 1 string "" & info [] ~docv:"CVE-ID" ~doc:"CVE identifier for 'show'.")
+  in
+  let run action id =
+    match action with
+    | `Table ->
+      let rows = Cve.Nvd.table1 () in
+      Format.printf "year   xen crit/med   kvm crit/med   common@.";
+      List.iter
+        (fun (r : Cve.Nvd.table1_row) ->
+          Format.printf "%4d   %3d / %3d      %3d / %3d      %d / %d@."
+            r.row_year r.xen_crit r.xen_med r.kvm_crit r.kvm_med
+            r.common_crit r.common_med)
+        rows
+    | `Windows ->
+      Format.printf "KVM: %a@." Cve.Window.pp_stats (Cve.Window.kvm_stats ());
+      Format.printf "Xen: %a@." Cve.Window.pp_stats (Cve.Window.xen_stats ())
+    | `Show -> (
+      match Cve.Nvd.find id with
+      | Some r ->
+        Format.printf "%a@." Cve.Nvd.pp_record r;
+        Format.printf "advice for a Xen fleet: %a@." Cve.Window.pp_advice
+          (Cve.Window.advise ~fleet:[ "xen"; "kvm" ] ~current:"xen" r);
+        Format.printf "advice for a KVM fleet: %a@." Cve.Window.pp_advice
+          (Cve.Window.advise ~fleet:[ "xen"; "kvm" ] ~current:"kvm" r)
+      | None ->
+        Format.eprintf "unknown CVE %s@." id;
+        exit 1)
+  in
+  Cmd.v (Cmd.info "cve" ~doc:"Query the vulnerability study (Table 1, section 2.2)")
+    Term.(const run $ action $ id)
+
+(* --- inplace --- *)
+
+let inplace_cmd =
+  let run () machine source target vms vcpus gib seed =
+    if Hv.Kind.equal source target then begin
+      Format.eprintf "source and target hypervisors must differ@.";
+      exit 1
+    end;
+    let host = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
+    let report =
+      Hypertp.Api.transplant_inplace ~rng:(Sim.Rng.create seed) ~host ~target ()
+    in
+    Format.printf "%a@." Hypertp.Inplace.pp_report report;
+    Format.printf "fixups:@.";
+    List.iter
+      (fun (vm, fixes) -> Format.printf "  %s: %a@." vm Uisr.Fixup.pp_list fixes)
+      report.fixups;
+    if not (Hypertp.Inplace.all_ok report.checks) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "inplace" ~doc:"Run an InPlaceTP micro-reboot transplant")
+    Term.(const run $ verbose_arg $ machine_arg $ source_arg $ target_arg
+          $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg)
+
+(* --- migrate --- *)
+
+let migrate_cmd =
+  let run machine source target vms vcpus gib seed =
+    let src = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
+    let dst =
+      Hypertp.Api.provision ~seed:(Int64.add seed 1L) ~name:"cli-dst" ~machine
+        ~hv:target []
+    in
+    let report =
+      Hypertp.Api.transplant_migration ~rng:(Sim.Rng.create seed) ~src ~dst ()
+    in
+    Format.printf "%a@." Hypertp.Migrate.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:"Run a MigrationTP (heterogeneous) or homogeneous live migration")
+    Term.(const run $ machine_arg $ source_arg $ target_arg $ vms_arg
+          $ vcpus_arg $ gib_arg $ seed_arg)
+
+(* --- memsep --- *)
+
+let memsep_cmd =
+  let run machine source vms vcpus gib seed =
+    let host = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
+    Format.printf "%a@.%a@." Hv.Host.pp host Hypertp.Memsep.pp
+      (Hypertp.Memsep.of_host host)
+  in
+  Cmd.v
+    (Cmd.info "memsep"
+       ~doc:"Show the Fig. 2 memory-separation classification of a host")
+    Term.(const run $ machine_arg $ source_arg $ vms_arg $ vcpus_arg $ gib_arg
+          $ seed_arg)
+
+(* --- cluster --- *)
+
+let cluster_cmd =
+  let nodes =
+    Arg.(value & opt int 10 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let per_node =
+    Arg.(value & opt int 10 & info [ "vms-per-node" ] ~docv:"N" ~doc:"VMs per node.")
+  in
+  let fraction =
+    Arg.(value & opt float 0.8
+         & info [ "inplace-fraction" ] ~docv:"F"
+             ~doc:"Share of VMs tolerating InPlaceTP downtime.")
+  in
+  let run nodes vms_per_node fraction =
+    let sweep =
+      Cluster.Upgrade.sweep ~nodes ~vms_per_node ~fractions:[ 0.0; fraction ] ()
+    in
+    match sweep with
+    | [ (_, base); (_, t) ] ->
+      Format.printf "migration-only baseline: %a@." Cluster.Upgrade.pp_timing base;
+      Format.printf "with %.0f%%%% in-place:      %a@." (100.0 *. fraction)
+        Cluster.Upgrade.pp_timing t;
+      Format.printf "time gain: %.0f%%%%@."
+        (100.0
+        *. (1.0
+           -. Sim.Time.to_sec_f t.Cluster.Upgrade.total
+              /. Sim.Time.to_sec_f base.Cluster.Upgrade.total))
+    | _ -> assert false
+  in
+  Cmd.v
+    (Cmd.info "cluster" ~doc:"Plan and time a rolling cluster upgrade (Fig. 13)")
+    Term.(const run $ nodes $ per_node $ fraction)
+
+(* --- respond --- *)
+
+let respond_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"CVE-ID" ~doc:"The disclosed vulnerability.")
+  in
+  let apply =
+    Arg.(value & flag & info [ "apply" ] ~doc:"Actually run the transplant.")
+  in
+  let run machine source vms vcpus gib seed id apply =
+    let host = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
+    let r = Hypertp.Api.respond_to_cve ~host ~cve_id:id ~apply () in
+    Format.printf "advice: %a@." Cve.Window.pp_advice r.advice;
+    match r.inplace with
+    | None -> Format.printf "(no transplant performed)@."
+    | Some report ->
+      Format.printf "%a@." Hypertp.Inplace.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "respond" ~doc:"One-click CVE response (Fig. 1b)")
+    Term.(const run $ machine_arg $ source_arg $ vms_arg $ vcpus_arg $ gib_arg
+          $ seed_arg $ id $ apply)
+
+(* --- snapshot --- *)
+
+let snapshot_cmd =
+  let file =
+    Arg.(required & opt (some string) None
+         & info [ "file"; "f" ] ~docv:"PATH" ~doc:"Snapshot file.")
+  in
+  let action =
+    Arg.(value & pos 0 (enum [ ("save", `Save); ("restore", `Restore) ]) `Save
+         & info [] ~docv:"ACTION" ~doc:"save | restore")
+  in
+  let run action file machine source target vms vcpus gib seed =
+    match action with
+    | `Save ->
+      let host = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
+      let snap = Hypertp.Snapshot.capture host "vm0" in
+      let blob = Hypertp.Snapshot.to_bytes snap in
+      let oc = open_out_bin file in
+      output_bytes oc blob;
+      close_out oc;
+      Format.printf "saved %s (%d bytes, %d bytes of guest memory) to %s@."
+        (Hypertp.Snapshot.vm_name snap) (Bytes.length blob)
+        (Hypertp.Snapshot.memory_bytes snap) file
+    | `Restore -> (
+      let ic = open_in_bin file in
+      let len = in_channel_length ic in
+      let blob = Bytes.create len in
+      really_input ic blob 0 len;
+      close_in ic;
+      match Hypertp.Snapshot.of_bytes blob with
+      | Error e ->
+        Format.eprintf "cannot restore: %s@." e;
+        exit 1
+      | Ok snap ->
+        let host =
+          Hypertp.Api.provision ~seed ~name:"restore-host" ~machine ~hv:target
+            []
+        in
+        let fixups = Hypertp.Snapshot.restore snap host in
+        Format.printf
+          "restored %s (suspended under %s) onto %s@.fixups: %a@."
+          (Hypertp.Snapshot.vm_name snap)
+          (Hypertp.Snapshot.source_hypervisor snap)
+          (Hv.Host.hypervisor_name host) Uisr.Fixup.pp_list fixups)
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Suspend a VM to a file and resume it under any hypervisor")
+    Term.(const run $ action $ file $ machine_arg $ source_arg $ target_arg
+          $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg)
+
+(* --- fleet --- *)
+
+let fleet_cmd =
+  let id =
+    Arg.(value & pos 0 string "CVE-2016-6258"
+         & info [] ~docv:"CVE-ID" ~doc:"The disclosed vulnerability.")
+  in
+  let hosts =
+    Arg.(value & opt int 8 & info [ "hosts" ] ~docv:"N" ~doc:"Fleet size.")
+  in
+  let run id hosts =
+    let o = Cluster.Fleet.simulate ~hosts ~cve_id:id () in
+    List.iter
+      (fun (at, ev) ->
+        match ev with
+        | Cluster.Fleet.Disclosed id ->
+          Format.printf "%8.0fs  disclosed %s@." (Sim.Time.to_sec_f at) id
+        | Cluster.Fleet.Host_transplanted { host; to_hv; downtime } ->
+          Format.printf "%8.0fs  %s -> %s (downtime %a)@."
+            (Sim.Time.to_sec_f at) host to_hv Sim.Time.pp downtime
+        | Cluster.Fleet.Patch_released ->
+          Format.printf "%8.0fs  patch released@." (Sim.Time.to_sec_f at)
+        | Cluster.Fleet.Host_patched { host; downtime } ->
+          Format.printf "%8.0fs  %s patched (downtime %a)@."
+            (Sim.Time.to_sec_f at) host Sim.Time.pp downtime)
+      o.Cluster.Fleet.events;
+    Format.printf "%a@." Cluster.Fleet.pp_outcome o
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Simulate the Fig. 1 vulnerability-window timeline on a fleet")
+    Term.(const run $ id $ hosts)
+
+let () =
+  let info =
+    Cmd.info "hypertp-cli" ~version:"1.0.0"
+      ~doc:"HyperTP: hypervisor transplant simulator (EuroSys'21 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ cve_cmd; inplace_cmd; migrate_cmd; memsep_cmd; cluster_cmd;
+            respond_cmd; fleet_cmd; snapshot_cmd ]))

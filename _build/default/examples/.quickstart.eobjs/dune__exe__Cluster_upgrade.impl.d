@@ -1,0 +1,1 @@
+examples/cluster_upgrade.ml: Cluster Format Hv Hw Hypertp Int64 List Printf Sim Vmstate

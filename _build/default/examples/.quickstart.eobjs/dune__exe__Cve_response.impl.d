@@ -1,0 +1,1 @@
+examples/cve_response.ml: Cve Format Hv Hw Hypertp List Sim Vmstate

@@ -1,0 +1,1 @@
+examples/fleet_timeline.ml: Cluster Cve Format List Printf Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cve Format Hv Hw Hypertp List Sim Uisr Vmstate

@@ -1,0 +1,1 @@
+examples/workload_impact.ml: Array Float Format Hv Hw Hypertp List Sim Stdlib String Vmstate Workload

@@ -1,0 +1,44 @@
+(* Quickstart: boot a Xen host with one VM, inspect the memory
+   separation, transplant it in place onto KVM and show what happened.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  Format.printf "=== HyperTP quickstart ===@.@.";
+  (* An M1-class machine (paper Table 3) running Xen with one VM:
+     1 vCPU, 1 GiB, 2 MiB guest pages — the paper's basic scenario. *)
+  let host =
+    Hypertp.Api.provision ~name:"host0" ~machine:(Hw.Machine.m1 ())
+      ~hv:Hv.Kind.Xen
+      [ Vmstate.Vm.config ~name:"vm0" ~workload:Vmstate.Vm.Wl_redis () ]
+  in
+  Format.printf "Provisioned: %a@.@." Hv.Host.pp host;
+
+  Format.printf "--- memory separation (Fig. 2) ---@.%a@.@."
+    Hypertp.Memsep.pp
+    (Hypertp.Memsep.of_host host);
+
+  (* A critical Xen CVE lands.  Ask HyperTP what to do and do it. *)
+  let cve_id = "CVE-2016-6258" in
+  Format.printf "--- responding to %s ---@." cve_id;
+  (match Cve.Nvd.find cve_id with
+  | Some r -> Format.printf "record: %a@." Cve.Nvd.pp_record r
+  | None -> assert false);
+  let response = Hypertp.Api.respond_to_cve ~host ~cve_id () in
+  Format.printf "advice: %a@.@." Cve.Window.pp_advice response.advice;
+
+  (match response.inplace with
+  | None -> Format.printf "no transplant performed@."
+  | Some report ->
+    Format.printf "%a@.@." Hypertp.Inplace.pp_report report;
+    Format.printf "fixups:@.";
+    List.iter
+      (fun (vm, fixes) ->
+        Format.printf "  %s: %a@." vm Uisr.Fixup.pp_list fixes)
+      report.fixups;
+    Format.printf "@.downtime: %a (paper: ~1.7 s on M1)@."
+      Sim.Time.pp
+      (Hypertp.Phases.downtime report.phases));
+
+  Format.printf "@.host now: %a@." Hv.Host.pp host;
+  Format.printf "VM still has its memory, on a different hypervisor.@."

@@ -1,0 +1,129 @@
+(* What a transplant feels like from inside the guest: Redis, MySQL and
+   Darknet timelines around an InPlaceTP and a MigrationTP event
+   (the Fig. 11/12 and Table 6 scenarios, at example scale).
+
+   Run with: dune exec examples/workload_impact.exe *)
+
+let transplant_at = 50.0
+
+(* Build the guest-visible schedule around an InPlaceTP run. *)
+let inplace_schedule () =
+  let host =
+    Hypertp.Api.provision ~name:"m1" ~machine:(Hw.Machine.m1 ())
+      ~hv:Hv.Kind.Xen
+      [
+        Vmstate.Vm.config ~name:"app" ~vcpus:2 ~ram:(Hw.Units.gib 8)
+          ~workload:Vmstate.Vm.Wl_redis ();
+      ]
+  in
+  let report = Hypertp.Api.transplant_inplace ~host ~target:Hv.Kind.Kvm () in
+  let gap =
+    Sim.Time.to_sec_f (Hypertp.Phases.downtime_with_network report.phases)
+  in
+  let cpu_gap = Sim.Time.to_sec_f (Hypertp.Phases.downtime report.phases) in
+  ( Workload.Sched.make ~initial:Workload.Profile.P_xen
+      [
+        (transplant_at, Workload.Sched.Stopped);
+        (transplant_at +. gap, Workload.Sched.Running Workload.Profile.P_kvm);
+      ],
+    gap,
+    cpu_gap )
+
+let migration_schedule () =
+  let src =
+    Hypertp.Api.provision ~name:"src" ~machine:(Hw.Machine.m1 ())
+      ~hv:Hv.Kind.Xen
+      [
+        Vmstate.Vm.config ~name:"app" ~vcpus:2 ~ram:(Hw.Units.gib 8)
+          ~workload:Vmstate.Vm.Wl_redis ();
+      ]
+  in
+  let dst =
+    Hypertp.Api.provision ~name:"dst" ~machine:(Hw.Machine.m1 ())
+      ~hv:Hv.Kind.Kvm []
+  in
+  let report = Hypertp.Api.transplant_migration ~src ~dst () in
+  let vm = List.hd report.per_vm in
+  let precopy = Sim.Time.to_sec_f vm.Hypertp.Migrate.precopy_time in
+  let down = Sim.Time.to_sec_f vm.Hypertp.Migrate.downtime in
+  ( Workload.Sched.make ~initial:Workload.Profile.P_xen
+      [
+        ( transplant_at,
+          Workload.Sched.Degraded (Workload.Profile.P_xen, 1.1) );
+        (transplant_at +. precopy, Workload.Sched.Stopped);
+        ( transplant_at +. precopy +. down,
+          Workload.Sched.Running Workload.Profile.P_kvm );
+      ],
+    precopy,
+    down )
+
+let sparkline trace =
+  (* A rough terminal rendering: one char per 4 s bucket. *)
+  let buckets = Sim.Trace.bucketize trace ~width:(Sim.Time.sec 4) in
+  let peak =
+    List.fold_left (fun acc (_, v) -> Float.max acc v) 1.0 buckets
+  in
+  String.concat ""
+    (List.map
+       (fun (_, v) ->
+         let levels = [| " "; "."; ":"; "-"; "="; "#" |] in
+         let i =
+           int_of_float (Float.round (v /. peak *. 5.0))
+         in
+         levels.(Stdlib.max 0 (Stdlib.min 5 i)))
+       buckets)
+
+let () =
+  let rng = Sim.Rng.create 77L in
+  Format.printf "=== workload impact (transplant at t=%.0fs) ===@.@." transplant_at;
+
+  let sched_ip, gap, cpu_gap = inplace_schedule () in
+  (* Network-independent workloads (Darknet) only see the CPU-side
+     pause, not the NIC re-initialisation (section 5.2). *)
+  let sched_ip_cpu =
+    Workload.Sched.make ~initial:Workload.Profile.P_xen
+      [
+        (transplant_at, Workload.Sched.Stopped);
+        ( transplant_at +. cpu_gap,
+          Workload.Sched.Running Workload.Profile.P_kvm );
+      ]
+  in
+  let redis_ip =
+    Workload.Redis.qps_timeline ~rng ~sched:sched_ip ~duration_s:200.0
+  in
+  Format.printf "--- Redis under InPlaceTP (service gap %.1f s incl. NIC) ---@."
+    gap;
+  Format.printf "qps |%s|@." (sparkline redis_ip);
+  Format.printf "pre  %.0f qps -> post %.0f qps (+%.0f%%, KVM is faster here)@.@."
+    (Workload.Redis.mean_qps redis_ip ~from_s:10.0 ~until_s:45.0)
+    (Workload.Redis.mean_qps redis_ip ~from_s:80.0 ~until_s:190.0)
+    (100.0
+    *. ((Workload.Redis.mean_qps redis_ip ~from_s:80.0 ~until_s:190.0
+        /. Workload.Redis.mean_qps redis_ip ~from_s:10.0 ~until_s:45.0)
+       -. 1.0));
+
+  let sched_mig, precopy, down = migration_schedule () in
+  let redis_mig =
+    Workload.Redis.qps_timeline ~rng ~sched:sched_mig ~duration_s:250.0
+  in
+  Format.printf
+    "--- Redis under MigrationTP (pre-copy %.0f s, downtime %.0f ms) ---@."
+    precopy (1000.0 *. down);
+  Format.printf "qps |%s|@.@." (sparkline redis_mig);
+
+  let lat, qps = Workload.Mysql.timelines ~rng ~sched:sched_mig ~duration_s:250.0 in
+  Format.printf "--- MySQL under MigrationTP ---@.";
+  Format.printf "lat |%s|@." (sparkline lat);
+  Format.printf "qps |%s|@.@." (sparkline qps);
+
+  let dk_ip = Workload.Darknet.train ~rng ~sched:sched_ip_cpu ~iterations:100 in
+  let dk_none =
+    Workload.Darknet.train ~rng
+      ~sched:(Workload.Sched.always Workload.Profile.P_xen)
+      ~iterations:100
+  in
+  Format.printf "--- Darknet training, 100 iterations (Table 6) ---@.";
+  Format.printf "  no transplant: mean %.3f s, longest %.3f s@."
+    dk_none.Workload.Darknet.mean_s dk_none.Workload.Darknet.longest_s;
+  Format.printf "  InPlaceTP:     mean %.3f s, longest %.3f s (one iteration eats the pause)@."
+    dk_ip.Workload.Darknet.mean_s dk_ip.Workload.Darknet.longest_s

@@ -1,0 +1,1 @@
+lib/bhyve/bhyve.ml: Array Bytes Format Hv Hw List Sim String Uisr Ule Vmm_snapshot Vmstate Workload

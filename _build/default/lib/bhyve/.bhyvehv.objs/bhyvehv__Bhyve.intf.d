@@ -1,0 +1,1 @@
+lib/bhyve/bhyve.mli: Hv Ule

@@ -1,0 +1,1 @@
+lib/bhyve/ule.ml: Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/bhyve/ule.mli: Format

@@ -1,0 +1,1 @@
+lib/bhyve/vmm_snapshot.ml: Format Int32 List Reader Uisr Vmstate Writer

@@ -1,0 +1,1 @@
+lib/bhyve/vmm_snapshot.mli: Format Vmstate

@@ -1,0 +1,17 @@
+(** The simulated bhyve hypervisor (FreeBSD vmm.ko + one bhyve process
+    per VM, type-II).
+
+    The third member of the HyperTP repertoire: it exists to demonstrate
+    the UISR scaling claim — adding it required exactly one new
+    signature implementation and zero changes to InPlaceTP, MigrationTP
+    or the orchestrator.  Its virtual platform differs from both others:
+    a 32-pin IOAPIC (Xen guests get truncated, KVM guests extended) and
+    a narrower MSR surface (machine-check bank MSRs are dropped with
+    recorded fixups). *)
+
+include Hv.Intf.S
+
+val vm_handle : domain -> int
+(** The /dev/vmm handle backing this VM. *)
+
+val run_queue : t -> Ule.t

@@ -1,0 +1,63 @@
+type thread_ref = { vm_name : string; vcpu_index : int }
+
+type t = {
+  mutable current : thread_ref list;
+  mutable next : thread_ref list;
+}
+
+let create () = { current = []; next = [] }
+
+let enqueue_vm t ~vm_name ~vcpus =
+  for vcpu_index = 0 to vcpus - 1 do
+    t.next <- t.next @ [ { vm_name; vcpu_index } ]
+  done
+
+let dequeue_vm t ~vm_name =
+  let keep th = not (String.equal th.vm_name vm_name) in
+  t.current <- List.filter keep t.current;
+  t.next <- List.filter keep t.next
+
+let runnable t = List.length t.current + List.length t.next
+
+let pick_next t =
+  (match t.current with
+  | [] ->
+    t.current <- t.next;
+    t.next <- []
+  | _ :: _ -> ());
+  match t.current with
+  | [] -> None
+  | th :: rest ->
+    t.current <- rest;
+    t.next <- t.next @ [ th ];
+    Some th
+
+let rebuild t vms =
+  t.current <- [];
+  t.next <- [];
+  List.iter (fun (vm_name, vcpus) -> enqueue_vm t ~vm_name ~vcpus) vms
+
+let consistent t vms =
+  let expected = Hashtbl.create 16 in
+  List.iter
+    (fun (vm_name, vcpus) ->
+      for i = 0 to vcpus - 1 do
+        Hashtbl.replace expected (vm_name, i) 0
+      done)
+    vms;
+  let ok = ref true in
+  List.iter
+    (fun th ->
+      let key = (th.vm_name, th.vcpu_index) in
+      match Hashtbl.find_opt expected key with
+      | None -> ok := false
+      | Some n -> Hashtbl.replace expected key (n + 1))
+    (t.current @ t.next);
+  Hashtbl.iter (fun _ n -> if n <> 1 then ok := false) expected;
+  !ok
+
+let state_bytes t = 128 + (runnable t * 64)
+
+let pp fmt t =
+  Format.fprintf fmt "ule[current %d, next %d]" (List.length t.current)
+    (List.length t.next)

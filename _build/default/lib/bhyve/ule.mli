@@ -1,0 +1,24 @@
+(** FreeBSD's ULE scheduler run-queues — bhyve's VM Management State.
+
+    ULE keeps two queues per CPU group (current and next); threads are
+    enqueued on next and the queues swap when current drains.  Like
+    Xen's credit queues and Linux's CFS tree, this is rebuilt from the
+    VM set after transplant, never translated. *)
+
+type thread_ref = { vm_name : string; vcpu_index : int }
+
+type t
+
+val create : unit -> t
+val enqueue_vm : t -> vm_name:string -> vcpus:int -> unit
+val dequeue_vm : t -> vm_name:string -> unit
+val runnable : t -> int
+
+val pick_next : t -> thread_ref option
+(** Pop from the current queue, swapping queues when it drains; the
+    picked thread is re-enqueued on next. *)
+
+val rebuild : t -> (string * int) list -> unit
+val consistent : t -> (string * int) list -> bool
+val state_bytes : t -> int
+val pp : Format.formatter -> t -> unit

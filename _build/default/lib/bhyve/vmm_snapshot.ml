@@ -1,0 +1,249 @@
+type error = Bad_magic | Truncated | Malformed of string
+
+let pp_error fmt = function
+  | Bad_magic -> Format.pp_print_string fmt "bad magic"
+  | Truncated -> Format.pp_print_string fmt "truncated snapshot"
+  | Malformed msg -> Format.fprintf fmt "malformed: %s" msg
+
+let ioapic_pins = 32
+let magic = 0x42485956l (* "BHYV" *)
+
+type platform = {
+  vcpus : Vmstate.Vcpu.t list;
+  ioapic : Vmstate.Ioapic.t;
+  pit : Vmstate.Pit.t;
+}
+
+open Uisr.Wire
+
+(* Per-vCPU block, fixed order: segment state first (the VMCS dump
+   order), then control registers, GPRs, FPU, MSR table, LAPIC page,
+   MTRR block, XSAVE area. *)
+let put_vcpu w (v : Vmstate.Vcpu.t) =
+  Writer.u32 w v.index;
+  let s = v.regs.sregs in
+  let seg (x : Vmstate.Regs.segment) =
+    Writer.u16 w x.selector;
+    Writer.u16 w x.attrs;
+    Writer.i32 w x.limit;
+    Writer.u64 w x.base
+  in
+  List.iter seg [ s.es; s.cs; s.ss; s.ds; s.fs; s.gs; s.ldt; s.tr ];
+  List.iter (Writer.u64 w) [ s.cr0; s.cr2; s.cr3; s.cr4; s.efer; s.apic_base ];
+  let g = v.regs.gprs in
+  List.iter (Writer.u64 w)
+    [ g.rdi; g.rsi; g.rdx; g.rcx; g.r8; g.r9; g.rax; g.rbx; g.rbp; g.r10;
+      g.r11; g.r12; g.r13; g.r14; g.r15; g.rsp; g.rip; g.rflags ];
+  let f = v.regs.fpu in
+  Writer.array w (Writer.u64 w) f.xmm;
+  Writer.array w (Writer.u64 w) f.st;
+  Writer.u16 w f.fcw;
+  Writer.u16 w f.fsw;
+  Writer.u16 w f.ftw;
+  Writer.i32 w f.mxcsr;
+  Writer.list w
+    (fun (m : Vmstate.Regs.msr) ->
+      Writer.u32 w m.index;
+      Writer.u64 w m.value)
+    v.regs.msrs;
+  let l = v.lapic in
+  Writer.u32 w l.apic_id;
+  Writer.u32 w l.version;
+  Writer.u8 w l.tpr;
+  Writer.i32 w l.ldr;
+  Writer.i32 w l.dfr;
+  Writer.i32 w l.svr;
+  Writer.array w (Writer.u64 w) l.tmr;
+  Writer.array w (Writer.u64 w) l.irr;
+  Writer.array w (Writer.u64 w) l.isr;
+  Writer.array w (Writer.i32 w) l.lvt;
+  Writer.i32 w l.timer_dcr;
+  Writer.i32 w l.timer_icr;
+  Writer.i32 w l.timer_ccr;
+  Writer.bool w l.enabled;
+  let m = v.mtrr in
+  Writer.u32 w m.def_type;
+  Writer.array w (Writer.u64 w) m.fixed;
+  Writer.array w
+    (fun (r : Vmstate.Mtrr.variable_range) ->
+      Writer.u64 w r.base;
+      Writer.u64 w r.mask)
+    m.variable;
+  let x = v.xsave in
+  Writer.u64 w x.xcr0;
+  Writer.u64 w x.xstate_bv;
+  Writer.list w
+    (fun (c : Vmstate.Xsave.component) ->
+      Writer.u32 w c.id;
+      Writer.array w (Writer.u64 w) c.data)
+    x.components
+
+let get_vcpu r : Vmstate.Vcpu.t =
+  let index = Reader.u32 r in
+  let seg () : Vmstate.Regs.segment =
+    let selector = Reader.u16 r in
+    let attrs = Reader.u16 r in
+    let limit = Reader.i32 r in
+    let base = Reader.u64 r in
+    { selector; base; limit; attrs }
+  in
+  let es = seg () in let cs = seg () in let ss = seg () in
+  let ds = seg () in let fs = seg () in let gs = seg () in
+  let ldt = seg () in let tr = seg () in
+  let cr0 = Reader.u64 r in let cr2 = Reader.u64 r in
+  let cr3 = Reader.u64 r in let cr4 = Reader.u64 r in
+  let efer = Reader.u64 r in let apic_base = Reader.u64 r in
+  let sregs : Vmstate.Regs.sregs =
+    { cs; ds; es; fs; gs; ss; tr; ldt; cr0; cr2; cr3; cr4; efer; apic_base }
+  in
+  let rdi = Reader.u64 r in let rsi = Reader.u64 r in
+  let rdx = Reader.u64 r in let rcx = Reader.u64 r in
+  let r8 = Reader.u64 r in let r9 = Reader.u64 r in
+  let rax = Reader.u64 r in let rbx = Reader.u64 r in
+  let rbp = Reader.u64 r in let r10 = Reader.u64 r in
+  let r11 = Reader.u64 r in let r12 = Reader.u64 r in
+  let r13 = Reader.u64 r in let r14 = Reader.u64 r in
+  let r15 = Reader.u64 r in let rsp = Reader.u64 r in
+  let rip = Reader.u64 r in let rflags = Reader.u64 r in
+  let gprs : Vmstate.Regs.gprs =
+    { rax; rbx; rcx; rdx; rsi; rdi; rsp; rbp; r8; r9; r10; r11; r12; r13;
+      r14; r15; rip; rflags }
+  in
+  let xmm = Reader.array r Reader.u64 in
+  let st = Reader.array r Reader.u64 in
+  let fcw = Reader.u16 r in
+  let fsw = Reader.u16 r in
+  let ftw = Reader.u16 r in
+  let mxcsr = Reader.i32 r in
+  let fpu : Vmstate.Regs.fpu = { fcw; fsw; ftw; mxcsr; st; xmm } in
+  let msrs =
+    Reader.list r (fun r ->
+        let index = Reader.u32 r in
+        let value = Reader.u64 r in
+        { Vmstate.Regs.index; value })
+  in
+  let apic_id = Reader.u32 r in
+  let version = Reader.u32 r in
+  let tpr = Reader.u8 r in
+  let ldr = Reader.i32 r in
+  let dfr = Reader.i32 r in
+  let svr = Reader.i32 r in
+  let tmr = Reader.array r Reader.u64 in
+  let irr = Reader.array r Reader.u64 in
+  let isr = Reader.array r Reader.u64 in
+  let lvt = Reader.array r Reader.i32 in
+  let timer_dcr = Reader.i32 r in
+  let timer_icr = Reader.i32 r in
+  let timer_ccr = Reader.i32 r in
+  let enabled = Reader.bool r in
+  let lapic : Vmstate.Lapic.t =
+    { apic_id; version; tpr; ldr; dfr; svr; isr; irr; tmr; lvt; timer_dcr;
+      timer_icr; timer_ccr; enabled }
+  in
+  let def_type = Reader.u32 r in
+  let fixed = Reader.array r Reader.u64 in
+  let variable =
+    Reader.array r (fun r ->
+        let base = Reader.u64 r in
+        let mask = Reader.u64 r in
+        { Vmstate.Mtrr.base; mask })
+  in
+  let mtrr : Vmstate.Mtrr.t = { def_type; fixed; variable } in
+  let xcr0 = Reader.u64 r in
+  let xstate_bv = Reader.u64 r in
+  let components =
+    Reader.list r (fun r ->
+        let id = Reader.u32 r in
+        let data = Reader.array r Reader.u64 in
+        { Vmstate.Xsave.id; data })
+  in
+  { index; regs = { gprs; sregs; msrs; fpu }; lapic; mtrr;
+    xsave = { xcr0; xstate_bv; components } }
+
+let put_ioapic w (io : Vmstate.Ioapic.t) =
+  if Vmstate.Ioapic.pin_count io > ioapic_pins then
+    invalid_arg "Vmm_snapshot: IOAPIC exceeds bhyve's 32 pins";
+  Writer.u32 w io.id;
+  Writer.array w
+    (fun (p : Vmstate.Ioapic.redirection) ->
+      Writer.u32 w
+        (p.vector lor (p.delivery_mode lsl 8) lor (p.dest_mode lsl 11)
+        lor (p.polarity lsl 13) lor (p.trigger_mode lsl 15)
+        lor (if p.masked then 1 lsl 16 else 0));
+      Writer.u32 w p.dest)
+    io.pins
+
+let get_ioapic r : Vmstate.Ioapic.t =
+  let id = Reader.u32 r in
+  let pins =
+    Reader.array r (fun r ->
+        let word = Reader.u32 r in
+        let dest = Reader.u32 r in
+        {
+          Vmstate.Ioapic.vector = word land 0xFF;
+          delivery_mode = (word lsr 8) land 0x7;
+          dest_mode = (word lsr 11) land 1;
+          polarity = (word lsr 13) land 1;
+          trigger_mode = (word lsr 15) land 1;
+          masked = (word lsr 16) land 1 = 1;
+          dest;
+        })
+  in
+  { id; pins }
+
+let put_pit w (p : Vmstate.Pit.t) =
+  Writer.array w
+    (fun (c : Vmstate.Pit.channel) ->
+      Writer.u16 w c.count;
+      Writer.u16 w c.latched_count;
+      Writer.u8 w c.mode;
+      Writer.u8 w c.status;
+      Writer.u8 w c.read_state;
+      Writer.u8 w c.write_state;
+      Writer.bool w c.bcd;
+      Writer.bool w c.gate)
+    p.channels;
+  Writer.bool w p.speaker_data_on
+
+let get_pit r : Vmstate.Pit.t =
+  let channels =
+    Reader.array r (fun r ->
+        let count = Reader.u16 r in
+        let latched_count = Reader.u16 r in
+        let mode = Reader.u8 r in
+        let status = Reader.u8 r in
+        let read_state = Reader.u8 r in
+        let write_state = Reader.u8 r in
+        let bcd = Reader.bool r in
+        let gate = Reader.bool r in
+        { Vmstate.Pit.count; latched_count; status; read_state; write_state;
+          mode; bcd; gate })
+  in
+  let speaker_data_on = Reader.bool r in
+  { channels; speaker_data_on }
+
+let encode (p : platform) =
+  let w = Writer.create () in
+  Writer.i32 w magic;
+  Writer.u32 w (List.length p.vcpus);
+  List.iter (put_vcpu w) p.vcpus;
+  put_ioapic w p.ioapic;
+  put_pit w p.pit;
+  Writer.contents w
+
+let decode data =
+  let r = Reader.create data in
+  try
+    let m = Reader.i32 r in
+    if not (Int32.equal m magic) then Error Bad_magic
+    else begin
+      let n = Reader.u32 r in
+      let vcpus = List.init n (fun _ -> get_vcpu r) in
+      let ioapic = get_ioapic r in
+      let pit = get_pit r in
+      if not (Reader.eof r) then Error (Malformed "trailing bytes")
+      else Ok { vcpus; ioapic; pit }
+    end
+  with
+  | Reader.Truncated -> Error Truncated
+  | Reader.Bad_format msg -> Error (Malformed msg)

@@ -1,0 +1,23 @@
+(** bhyve's native VM state container: a flat struct-dump snapshot.
+
+    Unlike Xen's typed record stream and KVM's per-ioctl payloads,
+    bhyve's vmm snapshot is one contiguous dump with a fixed field
+    order (header, per-vCPU blocks, IOAPIC, atpit) — a third, distinct
+    representation for UISR to bridge. *)
+
+type error = Bad_magic | Truncated | Malformed of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val ioapic_pins : int (* 32 *)
+
+type platform = {
+  vcpus : Vmstate.Vcpu.t list;
+  ioapic : Vmstate.Ioapic.t; (** at most 32 pins *)
+  pit : Vmstate.Pit.t;
+}
+
+val encode : platform -> bytes
+(** Raises [Invalid_argument] if the IOAPIC exceeds 32 pins. *)
+
+val decode : bytes -> (platform, error) result

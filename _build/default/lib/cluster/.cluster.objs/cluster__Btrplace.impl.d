@@ -1,0 +1,1 @@
+lib/cluster/btrplace.ml: Format List Model Stdlib

@@ -1,0 +1,1 @@
+lib/cluster/btrplace.mli: Format Model

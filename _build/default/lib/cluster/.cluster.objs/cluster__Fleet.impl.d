@@ -1,0 +1,1 @@
+lib/cluster/fleet.ml: Cve Format Hashtbl Hv Hw Hypertp Int64 List Option Printf Sim Vmstate

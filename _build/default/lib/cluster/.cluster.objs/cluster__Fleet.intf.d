@@ -1,0 +1,1 @@
+lib/cluster/fleet.mli: Format Sim

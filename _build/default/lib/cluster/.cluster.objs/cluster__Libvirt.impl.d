@@ -1,0 +1,1 @@
+lib/cluster/libvirt.ml: Format Hv Hw Hypertp List String Vmstate

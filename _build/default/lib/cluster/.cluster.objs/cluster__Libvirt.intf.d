@@ -1,0 +1,1 @@
+lib/cluster/libvirt.mli: Hv Hypertp

@@ -1,0 +1,1 @@
+lib/cluster/model.ml: Array Float Format Hw List Printf Sim String Vmstate

@@ -1,0 +1,1 @@
+lib/cluster/model.mli: Format Hw Vmstate

@@ -1,0 +1,1 @@
+lib/cluster/nova.ml: Bool Float Hashtbl Hv Hw Hypertp List String Vmstate

@@ -1,0 +1,1 @@
+lib/cluster/nova.mli: Hv Hypertp Vmstate

@@ -1,0 +1,1 @@
+lib/cluster/upgrade.ml: Btrplace Format Hw List Migration Model Sim Vmstate Workload Xenhv

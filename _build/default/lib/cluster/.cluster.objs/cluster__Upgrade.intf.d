@@ -1,0 +1,1 @@
+lib/cluster/upgrade.mli: Btrplace Format Hw Model Sim

@@ -1,0 +1,169 @@
+type action =
+  | Migrate of { vm : Model.vm; src : string; dst : string }
+  | Take_offline of string
+  | Upgrade_inplace of { node : string; vms_in_place : int }
+  | Bring_online of string
+
+type plan = {
+  actions : action list;
+  migration_count : int;
+  inplace_vm_count : int;
+}
+
+exception No_capacity of string
+
+(* Soft spread constraint: the planner avoids piling more than
+   vms_per_node + 2 VMs on one node while a neighbour drains. *)
+let soft_cap model =
+  let nodes = List.length model.Model.nodes in
+  let vms = Model.total_vms model in
+  (vms / Stdlib.max 1 nodes) + 2
+
+(* Pick a destination for an evicted VM.  Upgraded nodes are preferred:
+   a VM parked on a not-yet-upgraded node would have to move again when
+   that node's turn comes (the planner's "keep transplantable VMs
+   together" filter of section 4.5.2). *)
+let pick_destination model ~cap ~excluding vm =
+  let candidates =
+    List.filter
+      (fun n ->
+        n.Model.online
+        && (not (List.memq n excluding))
+        && Model.fits n vm
+        && List.length n.Model.placed < cap)
+      model.Model.nodes
+  in
+  let upgraded, pending =
+    List.partition (fun n -> n.Model.upgraded) candidates
+  in
+  let least_loaded pool =
+    List.fold_left
+      (fun best n ->
+        match best with
+        | None -> Some n
+        | Some b ->
+          if List.length n.Model.placed < List.length b.Model.placed then Some n
+          else best)
+      None pool
+  in
+  match least_loaded upgraded with
+  | Some n -> Some n
+  | None -> least_loaded pending
+
+let plan_upgrade ?(group_size = 1) model =
+  if group_size <= 0 then invalid_arg "Btrplace.plan_upgrade: bad group size";
+  let cap = soft_cap model in
+  let actions = ref [] in
+  let migrations = ref 0 in
+  let inplace_vms = ref 0 in
+  let emit a = actions := a :: !actions in
+  let rec groups = function
+    | [] -> []
+    | nodes ->
+      let rec take k = function
+        | [] -> ([], [])
+        | rest when k = 0 -> ([], rest)
+        | n :: rest ->
+          let g, others = take (k - 1) rest in
+          (n :: g, others)
+      in
+      let g, rest = take group_size nodes in
+      g :: groups rest
+  in
+  let migrate_off group node =
+    let victims =
+      List.filter (fun vm -> not vm.Model.inplace_compatible) node.Model.placed
+    in
+    List.iter
+      (fun vm ->
+        match pick_destination model ~cap ~excluding:group vm with
+        | None -> raise (No_capacity vm.Model.vm_name)
+        | Some dst ->
+          Model.evict node vm;
+          Model.place dst vm;
+          incr migrations;
+          emit
+            (Migrate
+               { vm; src = node.Model.node_name; dst = dst.Model.node_name }))
+      victims
+  in
+  List.iter
+    (fun group ->
+      (* Offline the group: evacuate incompatible VMs first. *)
+      List.iter
+        (fun node ->
+          emit (Take_offline node.Model.node_name);
+          node.Model.online <- false)
+        group;
+      List.iter (fun node -> migrate_off group node) group;
+      (* Upgrade in place: remaining VMs ride through the transplant. *)
+      List.iter
+        (fun node ->
+          let staying = List.length node.Model.placed in
+          inplace_vms := !inplace_vms + staying;
+          emit
+            (Upgrade_inplace
+               { node = node.Model.node_name; vms_in_place = staying });
+          node.Model.upgraded <- true;
+          node.Model.online <- true;
+          emit (Bring_online node.Model.node_name))
+        group)
+    (groups model.Model.nodes);
+  (* Final rebalance: drain any node above the average until the spread
+     is within one VM. *)
+  let avg =
+    (Model.total_vms model + List.length model.Model.nodes - 1)
+    / List.length model.Model.nodes
+  in
+  let continue_balancing = ref true in
+  while !continue_balancing do
+    let heaviest =
+      List.fold_left
+        (fun best n ->
+          match best with
+          | None -> Some n
+          | Some b ->
+            if List.length n.Model.placed > List.length b.Model.placed then
+              Some n
+            else best)
+        None model.Model.nodes
+    in
+    let lightest =
+      List.fold_left
+        (fun best n ->
+          match best with
+          | None -> Some n
+          | Some b ->
+            if List.length n.Model.placed < List.length b.Model.placed then
+              Some n
+            else best)
+        None model.Model.nodes
+    in
+    match (heaviest, lightest) with
+    | Some h, Some l
+      when List.length h.Model.placed > avg
+           && List.length h.Model.placed - List.length l.Model.placed > 1 -> (
+      match h.Model.placed with
+      | vm :: _ ->
+        Model.evict h vm;
+        Model.place l vm;
+        incr migrations;
+        emit
+          (Migrate { vm; src = h.Model.node_name; dst = l.Model.node_name })
+      | [] -> continue_balancing := false)
+    | _ -> continue_balancing := false
+  done;
+  {
+    actions = List.rev !actions;
+    migration_count = !migrations;
+    inplace_vm_count = !inplace_vms;
+  }
+
+let capacity_safe model =
+  List.for_all
+    (fun n -> Model.used_ram n <= n.Model.ram_capacity)
+    model.Model.nodes
+
+let pp_plan fmt p =
+  Format.fprintf fmt "plan: %d actions, %d migrations, %d VMs upgraded in place"
+    (List.length p.actions) p.migration_count p.inplace_vm_count

@@ -1,0 +1,32 @@
+(** BtrPlace-style reconfiguration planning (Hermenier et al. [20]).
+
+    The cluster upgrade of section 5.4: hosts are taken offline in
+    groups; VMs that cannot tolerate InPlaceTP downtime are migrated to
+    online hosts under capacity constraints, the host is upgraded
+    (InPlaceTP transplants the remaining VMs with it), and the next
+    group follows.  A final rebalance restores an even spread.  The plan
+    lists every action in execution order. *)
+
+type action =
+  | Migrate of { vm : Model.vm; src : string; dst : string }
+  | Take_offline of string
+  | Upgrade_inplace of { node : string; vms_in_place : int }
+  | Bring_online of string
+
+type plan = {
+  actions : action list;
+  migration_count : int;
+  inplace_vm_count : int; (** VMs upgraded without moving *)
+}
+
+exception No_capacity of string
+
+val plan_upgrade : ?group_size:int -> Model.t -> plan
+(** Generate and {e apply} the rolling-upgrade plan on the model (the
+    model ends fully upgraded and rebalanced).  Raises {!No_capacity}
+    if evicted VMs cannot be placed anywhere.  Default group size 1. *)
+
+val capacity_safe : Model.t -> bool
+(** No node over capacity, every VM placed exactly once. *)
+
+val pp_plan : Format.formatter -> plan -> unit

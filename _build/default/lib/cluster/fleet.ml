@@ -1,0 +1,126 @@
+type event =
+  | Disclosed of string
+  | Host_transplanted of { host : string; to_hv : string; downtime : Sim.Time.t }
+  | Patch_released
+  | Host_patched of { host : string; downtime : Sim.Time.t }
+
+type outcome = {
+  events : (Sim.Time.t * event) list;
+  exposed_host_hours : float;
+  baseline_exposed_host_hours : float;
+  total_vm_downtime : Sim.Time.t;
+  transplants : int;
+}
+
+let hours t = Sim.Time.to_sec_f t /. 3600.0
+
+let simulate ?(hosts = 8) ?(vms_per_host = 4) ?window_days
+    ?(stagger = Sim.Time.sec 600) ~cve_id () =
+  let record =
+    match Cve.Nvd.find cve_id with
+    | Some r -> r
+    | None -> invalid_arg ("Fleet.simulate: unknown CVE " ^ cve_id)
+  in
+  let target =
+    match
+      Cve.Window.advise
+        ~fleet:(List.map Hv.Kind.to_string Hv.Kind.all)
+        ~current:"xen" record
+    with
+    | Cve.Window.Transplant_to hv -> Option.get (Hv.Kind.of_string hv)
+    | Cve.Window.No_action ->
+      invalid_arg "Fleet.simulate: the policy would not act on this CVE"
+    | Cve.Window.No_safe_alternative ->
+      invalid_arg "Fleet.simulate: no safe alternative in the repertoire"
+  in
+  let window_days =
+    match window_days with
+    | Some d -> d
+    | None -> Option.value ~default:30 record.Cve.Nvd.window_days
+  in
+  let window = Sim.Time.sec (window_days * 24 * 3600) in
+  (* Real simulated hosts: transplants below actually run. *)
+  let fleet =
+    List.init hosts (fun i ->
+        Hypertp.Api.provision
+          ~seed:(Int64.of_int (1000 + i))
+          ~name:(Printf.sprintf "host%02d" i)
+          ~machine:(Hw.Machine.g5k_node ()) ~hv:Hv.Kind.Xen
+          (List.init vms_per_host (fun j ->
+               Vmstate.Vm.config
+                 ~name:(Printf.sprintf "h%02d-vm%d" i j)
+                 ~ram:(Hw.Units.gib 1) ())))
+  in
+  let engine = Sim.Engine.create () in
+  let events = ref [] in
+  let emit ev = events := (Sim.Engine.now engine, ev) :: !events in
+  let exposure_end = Hashtbl.create 16 in
+  let total_downtime = ref Sim.Time.zero in
+  let transplants = ref 0 in
+  (* t0: disclosure; hosts transplant to the safe target one after
+     another (operators stagger rollouts). *)
+  Sim.Engine.schedule_at engine Sim.Time.zero (fun () -> emit (Disclosed cve_id));
+  List.iteri
+    (fun i host ->
+      Sim.Engine.schedule_at engine
+        (Sim.Time.add (Sim.Time.sec 60) (Sim.Time.scale (float_of_int i) stagger))
+        (fun () ->
+          let report = Hypertp.Api.transplant_inplace ~host ~target () in
+          assert (Hypertp.Inplace.all_ok report.Hypertp.Inplace.checks);
+          let downtime = Hypertp.Phases.downtime report.Hypertp.Inplace.phases in
+          incr transplants;
+          total_downtime :=
+            Sim.Time.add !total_downtime
+              (Sim.Time.scale (float_of_int vms_per_host) downtime);
+          Hashtbl.replace exposure_end host.Hv.Host.host_name
+            (Sim.Engine.now engine);
+          emit
+            (Host_transplanted
+               { host = host.Hv.Host.host_name;
+                 to_hv = Hv.Kind.to_string target; downtime })))
+    fleet;
+  (* t_patch: the fixed hypervisor ships; hosts transplant back. *)
+  Sim.Engine.schedule_at engine window (fun () -> emit Patch_released);
+  List.iteri
+    (fun i host ->
+      Sim.Engine.schedule_at engine
+        (Sim.Time.add window
+           (Sim.Time.add (Sim.Time.sec 60)
+              (Sim.Time.scale (float_of_int i) stagger)))
+        (fun () ->
+          let report =
+            Hypertp.Api.transplant_inplace ~host ~target:Hv.Kind.Xen ()
+          in
+          assert (Hypertp.Inplace.all_ok report.Hypertp.Inplace.checks);
+          let downtime = Hypertp.Phases.downtime report.Hypertp.Inplace.phases in
+          incr transplants;
+          total_downtime :=
+            Sim.Time.add !total_downtime
+              (Sim.Time.scale (float_of_int vms_per_host) downtime);
+          emit
+            (Host_patched { host = host.Hv.Host.host_name; downtime })))
+    fleet;
+  Sim.Engine.run engine;
+  let exposed =
+    List.fold_left
+      (fun acc host ->
+        match Hashtbl.find_opt exposure_end host.Hv.Host.host_name with
+        | Some t -> acc +. hours t
+        | None -> acc +. hours window)
+      0.0 fleet
+  in
+  {
+    events = List.rev !events;
+    exposed_host_hours = exposed;
+    baseline_exposed_host_hours = float_of_int hosts *. hours window;
+    total_vm_downtime = !total_downtime;
+    transplants = !transplants;
+  }
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "@[<v>%d transplants; exposure %.1f host-hours vs %.1f without HyperTP \
+     (%.2f%%); total VM downtime %a@]"
+    o.transplants o.exposed_host_hours o.baseline_exposed_host_hours
+    (100.0 *. o.exposed_host_hours /. o.baseline_exposed_host_hours)
+    Sim.Time.pp o.total_vm_downtime

@@ -1,0 +1,97 @@
+type conn = { host : Hv.Host.t; kind : Hv.Kind.t }
+
+exception Uri_mismatch of { uri : string; running : string }
+
+let uri_of_kind = function
+  | Hv.Kind.Xen -> "xen:///system"
+  | Hv.Kind.Kvm -> "qemu:///system"
+  | Hv.Kind.Bhyve -> "bhyve:///system"
+
+let kind_of_uri uri =
+  match String.index_opt uri ':' with
+  | None -> None
+  | Some i -> (
+    match String.sub uri 0 i with
+    | "xen" -> Some Hv.Kind.Xen
+    | "qemu" | "kvm" -> Some Hv.Kind.Kvm
+    | "bhyve" -> Some Hv.Kind.Bhyve
+    | _ -> None)
+
+let connect host ~uri =
+  let wanted =
+    match kind_of_uri uri with
+    | Some k -> k
+    | None -> invalid_arg ("Libvirt.connect: bad URI " ^ uri)
+  in
+  match Hv.Host.hypervisor_kind host with
+  | None -> invalid_arg "Libvirt.connect: host runs no hypervisor"
+  | Some running ->
+    if not (Hv.Kind.equal running wanted) then
+      raise (Uri_mismatch { uri; running = Hv.Kind.to_string running });
+    { host; kind = running }
+
+let reconnect conn =
+  match Hv.Host.hypervisor_kind conn.host with
+  | None -> invalid_arg "Libvirt.reconnect: host runs no hypervisor"
+  | Some kind -> { conn with kind }
+
+type dom_state = Dom_running | Dom_paused | Dom_shutoff
+
+type dominfo = {
+  dom_name : string;
+  dom_vcpus : int;
+  dom_memory_kib : int;
+  dom_state : dom_state;
+}
+
+let info_of_vm (vm : Vmstate.Vm.t) =
+  {
+    dom_name = vm.config.name;
+    dom_vcpus = vm.config.vcpus;
+    dom_memory_kib = vm.config.ram / 1024;
+    dom_state =
+      (match vm.run_state with
+      | Vmstate.Vm.Running -> Dom_running
+      | Vmstate.Vm.Paused -> Dom_paused
+      | Vmstate.Vm.Suspended -> Dom_shutoff);
+  }
+
+let check_live conn =
+  match Hv.Host.hypervisor_kind conn.host with
+  | Some k when Hv.Kind.equal k conn.kind -> ()
+  | Some k ->
+    raise (Uri_mismatch { uri = uri_of_kind conn.kind; running = Hv.Kind.to_string k })
+  | None -> invalid_arg "Libvirt: connection to a dead hypervisor"
+
+let list_all_domains conn =
+  check_live conn;
+  List.map info_of_vm (Hv.Host.vms conn.host)
+
+let dominfo conn name =
+  check_live conn;
+  match Hv.Host.find_vm conn.host name with
+  | Some vm -> info_of_vm vm
+  | None -> invalid_arg ("Libvirt.dominfo: no domain " ^ name)
+
+let suspend conn name =
+  check_live conn;
+  Hv.Host.pause_vm conn.host name
+
+let resume conn name =
+  check_live conn;
+  Hv.Host.resume_vm conn.host name
+
+let node_info conn =
+  check_live conn;
+  Format.asprintf "%s on %a" (Hv.Host.hypervisor_name conn.host)
+    Hw.Machine.pp conn.host.Hv.Host.machine
+
+let migrate_live conn ~dest name =
+  check_live conn;
+  check_live dest;
+  Hypertp.Migrate.run ~src:conn.host ~dst:dest.host ~vm_names:[ name ] ()
+
+let hypervisor_agnostic f host =
+  match Hv.Host.hypervisor_kind host with
+  | None -> invalid_arg "Libvirt: host runs no hypervisor"
+  | Some kind -> f (connect host ~uri:(uri_of_kind kind))

@@ -1,0 +1,50 @@
+(** A libvirt-style generic VM management library (section 4.5.1).
+
+    The paper's operator survey found that sysadmins never touch
+    hypervisor-specific tools (class G1: xl, kvmtool, bhyvectl) — every
+    orchestrator drives hosts through a generic library (class G2).
+    This module is that library: one connection API whose URI scheme
+    selects the hypervisor driver, so the orchestration above never
+    changes when a transplant swaps the hypervisor underneath. *)
+
+type conn
+(** An open connection to a host's hypervisor. *)
+
+exception Uri_mismatch of { uri : string; running : string }
+
+val connect : Hv.Host.t -> uri:string -> conn
+(** [connect host ~uri] opens a connection; the scheme must match the
+    running hypervisor ("xen:///system", "qemu:///system" for KVM,
+    "bhyve:///system").  Raises {!Uri_mismatch} otherwise and
+    [Invalid_argument] on unparseable URIs or hypervisor-less hosts. *)
+
+val uri_of_kind : Hv.Kind.t -> string
+
+val reconnect : conn -> conn
+(** Re-open after a transplant changed the hypervisor underneath: the
+    same host, the new scheme. *)
+
+type dom_state = Dom_running | Dom_paused | Dom_shutoff
+
+type dominfo = {
+  dom_name : string;
+  dom_vcpus : int;
+  dom_memory_kib : int;
+  dom_state : dom_state;
+}
+
+val list_all_domains : conn -> dominfo list
+val dominfo : conn -> string -> dominfo
+val suspend : conn -> string -> unit
+val resume : conn -> string -> unit
+
+val node_info : conn -> string
+(** Hypervisor type/version + machine summary, as `virsh nodeinfo`. *)
+
+val migrate_live : conn -> dest:conn -> string -> Hypertp.Migrate.report
+(** virsh migrate --live: works across hypervisors thanks to the
+    MigrationTP proxies. *)
+
+val hypervisor_agnostic : (conn -> 'a) -> Hv.Host.t -> 'a
+(** Run a G2 operation against whatever the host currently runs —
+    the reason HyperTP does not burden sysadmins. *)

@@ -1,0 +1,94 @@
+type vm = {
+  vm_name : string;
+  ram : Hw.Units.bytes_;
+  inplace_compatible : bool;
+  workload : Vmstate.Vm.workload_kind;
+}
+
+type node = {
+  node_name : string;
+  ram_capacity : Hw.Units.bytes_;
+  mutable placed : vm list;
+  mutable upgraded : bool;
+  mutable online : bool;
+}
+
+type t = { nodes : node list }
+
+let make ?(seed = 0xC1D2L) ~nodes ~vms_per_node ~vm_ram ~node_ram
+    ~inplace_fraction ~workload_mix () =
+  if nodes <= 0 || vms_per_node <= 0 then
+    invalid_arg "Model.make: non-positive sizes";
+  if inplace_fraction < 0.0 || inplace_fraction > 1.0 then
+    invalid_arg "Model.make: fraction out of range";
+  let mix_total = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 workload_mix in
+  if Float.abs (mix_total -. 1.0) > 1e-6 then
+    invalid_arg "Model.make: workload mix must sum to 1";
+  let rng = Sim.Rng.create seed in
+  let total = nodes * vms_per_node in
+  let n_inplace =
+    int_of_float (Float.round (inplace_fraction *. float_of_int total))
+  in
+  (* Deterministic workload assignment by cumulative fractions. *)
+  let workload_of i =
+    let pos = float_of_int i /. float_of_int total in
+    let rec pick acc = function
+      | [] -> Vmstate.Vm.Wl_idle
+      | (w, f) :: rest -> if pos < acc +. f then w else pick (acc +. f) rest
+    in
+    pick 0.0 workload_mix
+  in
+  (* Spread the InPlaceTP-compatible VMs uniformly across nodes. *)
+  let flags = Array.init total (fun i -> i < n_inplace) in
+  Sim.Rng.shuffle rng flags;
+  let vm i =
+    {
+      vm_name = Printf.sprintf "vm%03d" i;
+      ram = vm_ram;
+      inplace_compatible = flags.(i);
+      workload = workload_of i;
+    }
+  in
+  let node j =
+    {
+      node_name = Printf.sprintf "node%02d" j;
+      ram_capacity = node_ram;
+      placed =
+        List.init vms_per_node (fun k -> vm ((j * vms_per_node) + k));
+      upgraded = false;
+      online = true;
+    }
+  in
+  { nodes = List.init nodes node }
+
+let used_ram node = List.fold_left (fun acc vm -> acc + vm.ram) 0 node.placed
+let free_ram node = node.ram_capacity - used_ram node
+
+let fits node vm =
+  (* Keep 2 GiB of headroom for the hypervisor and administration OS. *)
+  node.online && free_ram node - Hw.Units.gib 2 >= vm.ram
+
+let place node vm = node.placed <- vm :: node.placed
+
+let evict node vm =
+  if not (List.memq vm node.placed) then
+    invalid_arg "Model.evict: VM not placed here";
+  node.placed <- List.filter (fun v -> not (v == vm)) node.placed
+
+let find_node t name =
+  match List.find_opt (fun n -> String.equal n.node_name name) t.nodes with
+  | Some n -> n
+  | None -> invalid_arg ("Model.find_node: " ^ name)
+
+let total_vms t = List.fold_left (fun acc n -> acc + List.length n.placed) 0 t.nodes
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun n ->
+      Format.fprintf fmt "%s: %d VMs (%a used)%s%s@," n.node_name
+        (List.length n.placed) Hw.Units.pp_bytes (used_ram n)
+        (if n.upgraded then " [upgraded]" else "")
+        (if n.online then "" else " [offline]"))
+    t.nodes;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,201 @@
+type driver = {
+  driver_name : string;
+  suspend : Hv.Host.t -> string -> unit;
+  resume : Hv.Host.t -> string -> unit;
+  live_migration :
+    src:Hv.Host.t -> dst:Hv.Host.t -> vm:string -> Hypertp.Migrate.report;
+  host_live_upgrade :
+    Hv.Host.t -> target:Hv.Kind.t -> Hypertp.Inplace.report;
+}
+
+let libvirt_driver =
+  {
+    driver_name = "libvirt";
+    suspend = Hv.Host.pause_vm;
+    resume = Hv.Host.resume_vm;
+    live_migration =
+      (fun ~src ~dst ~vm -> Hypertp.Migrate.run ~src ~dst ~vm_names:[ vm ] ());
+    host_live_upgrade =
+      (fun host ~target -> Hypertp.Api.transplant_inplace ~host ~target ());
+  }
+
+type t = {
+  driver : driver;
+  mutable host_list : Hv.Host.t list;
+  (* Nova's database: instance -> host name. *)
+  db : (string, string) Hashtbl.t;
+}
+
+let create ?(driver = libvirt_driver) () =
+  { driver; host_list = []; db = Hashtbl.create 64 }
+
+let add_host t host =
+  if
+    List.exists
+      (fun h -> String.equal h.Hv.Host.host_name host.Hv.Host.host_name)
+      t.host_list
+  then invalid_arg "Nova.add_host: duplicate host";
+  t.host_list <- t.host_list @ [ host ];
+  List.iter
+    (fun vm -> Hashtbl.replace t.db vm host.Hv.Host.host_name)
+    (Hv.Host.vm_names host)
+
+let hosts t = t.host_list
+let host_of_vm t vm = Hashtbl.find_opt t.db vm
+
+let instances t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun vm host acc -> (vm, host) :: acc) t.db [])
+
+let db_consistent t =
+  let real = Hashtbl.create 64 in
+  List.iter
+    (fun host ->
+      List.iter
+        (fun vm -> Hashtbl.replace real vm host.Hv.Host.host_name)
+        (Hv.Host.vm_names host))
+    t.host_list;
+  Hashtbl.length real = Hashtbl.length t.db
+  && Hashtbl.fold
+       (fun vm host acc ->
+         acc && Hashtbl.find_opt real vm = Some host)
+       t.db true
+
+let find_host t name =
+  match
+    List.find_opt
+      (fun h -> String.equal h.Hv.Host.host_name name)
+      t.host_list
+  with
+  | Some h -> h
+  | None -> invalid_arg ("Nova: unknown host " ^ name)
+
+type upgrade_report = {
+  host : string;
+  migrated_away : (string * string) list;
+  inplace : Hypertp.Inplace.report option;
+}
+
+let pick_destination t ~excluding ~ram =
+  let candidates =
+    List.filter
+      (fun h ->
+        (not (String.equal h.Hv.Host.host_name excluding))
+        && Hv.Host.hypervisor_kind h <> None
+        &&
+        let used =
+          List.fold_left
+            (fun acc vm -> acc + vm.Vmstate.Vm.config.ram)
+            0 (Hv.Host.vms h)
+        in
+        h.Hv.Host.machine.Hw.Machine.ram - used - Hw.Units.gib 2 >= ram)
+      t.host_list
+  in
+  List.fold_left
+    (fun best h ->
+      match best with
+      | None -> Some h
+      | Some b ->
+        if Hv.Host.vm_count h < Hv.Host.vm_count b then Some h else best)
+    None candidates
+
+let free_ram host =
+  let used =
+    List.fold_left
+      (fun acc vm -> acc + vm.Vmstate.Vm.config.ram)
+      0 (Hv.Host.vms host)
+  in
+  host.Hv.Host.machine.Hw.Machine.ram - used - Hw.Units.gib 2
+
+let compat_fraction host ~compatible =
+  let vms = Hv.Host.vms host in
+  match vms with
+  | [] -> 1.0 (* an empty host matches any class *)
+  | _ ->
+    let same =
+      List.length
+        (List.filter
+           (fun vm ->
+             Bool.equal vm.Vmstate.Vm.config.inplace_compatible compatible)
+           vms)
+    in
+    float_of_int same /. float_of_int (List.length vms)
+
+let affinity_score t host_name =
+  let host = find_host t host_name in
+  Float.max
+    (compat_fraction host ~compatible:true)
+    (compat_fraction host ~compatible:false)
+
+let schedule_instance t (config : Vmstate.Vm.config) =
+  let candidates =
+    List.filter
+      (fun h ->
+        Hv.Host.hypervisor_kind h <> None && free_ram h >= config.ram)
+      t.host_list
+  in
+  if candidates = [] then
+    invalid_arg "Nova.schedule_instance: no host has capacity";
+  (* Rank by compatibility affinity first, then by load. *)
+  let best =
+    List.fold_left
+      (fun best h ->
+        let score =
+          compat_fraction h ~compatible:config.inplace_compatible
+        in
+        match best with
+        | None -> Some (h, score)
+        | Some (bh, bscore) ->
+          if
+            score > bscore +. 1e-9
+            || (Float.abs (score -. bscore) < 1e-9
+               && Hv.Host.vm_count h < Hv.Host.vm_count bh)
+          then Some (h, score)
+          else best)
+      None candidates
+  in
+  match best with
+  | Some (h, _) -> h.Hv.Host.host_name
+  | None -> assert false
+
+let boot_instance t ?host (config : Vmstate.Vm.config) =
+  let host_name =
+    match host with Some h -> h | None -> schedule_instance t config
+  in
+  let h = find_host t host_name in
+  ignore (Hv.Host.create_vm h config);
+  Hashtbl.replace t.db config.name host_name;
+  host_name
+
+let host_live_upgrade t ~host ~target =
+  let src = find_host t host in
+  let vms = Hv.Host.vms src in
+  let must_move =
+    List.filter
+      (fun vm -> not vm.Vmstate.Vm.config.inplace_compatible)
+      vms
+  in
+  let migrated_away =
+    List.map
+      (fun (vm : Vmstate.Vm.t) ->
+        let name = vm.Vmstate.Vm.config.name in
+        match pick_destination t ~excluding:host ~ram:vm.Vmstate.Vm.config.ram with
+        | None -> invalid_arg ("Nova.host_live_upgrade: nowhere to evacuate " ^ name)
+        | Some dst ->
+          ignore (t.driver.live_migration ~src ~dst ~vm:name);
+          Hashtbl.replace t.db name dst.Hv.Host.host_name;
+          (name, dst.Hv.Host.host_name))
+      must_move
+  in
+  let inplace =
+    if Hv.Host.vm_count src > 0 then
+      Some (t.driver.host_live_upgrade src ~target)
+    else begin
+      (* Empty host: plain reboot into the new hypervisor. *)
+      Hv.Host.shutdown_hypervisor src ~keep_guest_memory:false;
+      Hv.Host.boot_hypervisor src (Hypertp.Api.hypervisor_of target);
+      None
+    end
+  in
+  { host; migrated_away; inplace }

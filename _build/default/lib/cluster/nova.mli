@@ -1,0 +1,66 @@
+(** OpenStack-Nova-style integration (section 4.5.2).
+
+    Sysadmins never touch hypervisors directly (section 4.5.1) — they
+    call the cloud orchestrator, which drives hosts through a generic
+    ComputeDriver.  HyperTP adds one operation to that interface: "host
+    live upgrade", implemented with guest-state saving (akin to
+    suspend), kexec of the new hypervisor, and guest-state restoring
+    (akin to resume).  This module operates on {e real} simulated hosts
+    ({!Hv.Host.t}), unlike the abstract planner in {!Btrplace}. *)
+
+type driver = {
+  driver_name : string;
+  suspend : Hv.Host.t -> string -> unit;
+  resume : Hv.Host.t -> string -> unit;
+  live_migration :
+    src:Hv.Host.t -> dst:Hv.Host.t -> vm:string -> Hypertp.Migrate.report;
+  host_live_upgrade :
+    Hv.Host.t -> target:Hv.Kind.t -> Hypertp.Inplace.report;
+}
+
+val libvirt_driver : driver
+(** The generic-library path every surveyed orchestrator uses. *)
+
+type t
+
+val create : ?driver:driver -> unit -> t
+val add_host : t -> Hv.Host.t -> unit
+val hosts : t -> Hv.Host.t list
+val host_of_vm : t -> string -> string option
+(** Nova's database view of instance placement. *)
+
+val instances : t -> (string * string) list
+(** (vm, host) pairs, sorted by VM name. *)
+
+val db_consistent : t -> bool
+(** The database matches reality on every host. *)
+
+type upgrade_report = {
+  host : string;
+  migrated_away : (string * string) list; (** (vm, destination host) *)
+  inplace : Hypertp.Inplace.report option; (** None if host was left empty *)
+}
+
+val host_live_upgrade :
+  t -> host:string -> target:Hv.Kind.t -> upgrade_report
+(** The new one-click API: migrate away the VMs that do not support
+    InPlaceTP (Evacuate-style, choosing the least-loaded other host),
+    transplant the rest in place, update the database.  Raises
+    [Invalid_argument] on unknown hosts or if an evacuation cannot be
+    placed. *)
+
+val schedule_instance : t -> Vmstate.Vm.config -> string
+(** The HyperTP-aware scheduler filter (section 4.5.2, item 4): among
+    hosts with capacity, prefer those whose resident VMs share the new
+    instance's InPlaceTP-compatibility — keeping transplantable VMs
+    together so whole hosts upgrade with a single kexec and the rest
+    evacuate wholesale.  Ties break toward the least-loaded host.
+    Raises [Invalid_argument] when no host has capacity. *)
+
+val boot_instance : t -> ?host:string -> Vmstate.Vm.config -> string
+(** Create the instance on the given (or scheduled) host and record it
+    in Nova's database; returns the chosen host. *)
+
+val affinity_score : t -> string -> float
+(** Fraction of the majority compatibility class on a host (1.0 = all
+    VMs agree) — the metric the filter optimises. *)

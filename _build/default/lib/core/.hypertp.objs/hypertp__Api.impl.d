@@ -1,0 +1,1 @@
+lib/core/api.ml: Bhyvehv Cve Hv Inplace Kvmhv List Migrate Xenhv

@@ -1,0 +1,1 @@
+lib/core/api.mli: Cve Hv Hw Inplace Migrate Options Sim Vmstate

@@ -1,0 +1,1 @@
+lib/core/inplace.ml: Array Bytes Costs Format Hashtbl Hv Hw Int64 Kexec List Log Option Options Phases Pram Sim Stdlib String Uisr Vmstate

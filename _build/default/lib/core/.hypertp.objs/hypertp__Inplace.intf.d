@@ -1,0 +1,1 @@
+lib/core/inplace.mli: Format Hv Options Phases Pram Sim Uisr

@@ -1,0 +1,1 @@
+lib/core/memsep.ml: Format Hv Hw List Vmstate

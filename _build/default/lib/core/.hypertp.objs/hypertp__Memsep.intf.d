@@ -1,0 +1,1 @@
+lib/core/memsep.mli: Format Hv Hw

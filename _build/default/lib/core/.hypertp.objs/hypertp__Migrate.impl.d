@@ -1,0 +1,1 @@
+lib/core/migrate.ml: Bytes Format Hashtbl Hv Hw Int64 List Log Migration Option Sim String Uisr Vmstate Workload

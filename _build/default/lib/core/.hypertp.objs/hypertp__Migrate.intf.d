@@ -1,0 +1,1 @@
+lib/core/migrate.mli: Format Hv Hw Sim Uisr

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Array Bytes Char Format Hv Reader String Uisr Vmstate Writer

@@ -1,0 +1,1 @@
+lib/core/tcb.ml: Format List

@@ -1,0 +1,1 @@
+lib/core/tcb.mli: Format

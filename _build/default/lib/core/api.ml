@@ -1,0 +1,51 @@
+let hypervisor_of = function
+  | Hv.Kind.Xen -> (module Xenhv.Xen : Hv.Intf.S)
+  | Hv.Kind.Kvm -> (module Kvmhv.Kvm : Hv.Intf.S)
+  | Hv.Kind.Bhyve -> (module Bhyvehv.Bhyve : Hv.Intf.S)
+
+let provision ?seed ~name ~machine ~hv configs =
+  let host = Hv.Host.create ?seed ~name machine in
+  Hv.Host.boot_hypervisor host (hypervisor_of hv);
+  List.iter (fun config -> ignore (Hv.Host.create_vm host config)) configs;
+  host
+
+type response = {
+  advice : Cve.Window.advice;
+  inplace : Inplace.report option;
+}
+
+let transplant_inplace ?options ?rng ~host ~target () =
+  Inplace.run ?options ?rng ~host ~target:(hypervisor_of target) ()
+
+let transplant_migration ?rng ~src ~dst ?vm_names () =
+  Migrate.run ?rng ~src ~dst ?vm_names ()
+
+let respond_to_cve ?options ?rng ~host ~cve_id ?(apply = true) () =
+  let record =
+    match Cve.Nvd.find cve_id with
+    | Some r -> r
+    | None -> invalid_arg ("Api.respond_to_cve: unknown CVE " ^ cve_id)
+  in
+  let current =
+    match Hv.Host.hypervisor_kind host with
+    | Some k -> Hv.Kind.to_string k
+    | None -> invalid_arg "Api.respond_to_cve: host has no hypervisor"
+  in
+  let advice =
+    Cve.Window.advise ~fleet:(List.map Hv.Kind.to_string Hv.Kind.all) ~current
+      record
+  in
+  let inplace =
+    match advice with
+    | Cve.Window.Transplant_to target_name when apply ->
+      let target =
+        match Hv.Kind.of_string target_name with
+        | Some k -> k
+        | None -> invalid_arg "Api.respond_to_cve: unknown target"
+      in
+      Some (transplant_inplace ?options ?rng ~host ~target ())
+    | Cve.Window.Transplant_to _ | Cve.Window.No_action
+    | Cve.Window.No_safe_alternative ->
+      None
+  in
+  { advice; inplace }

@@ -1,0 +1,33 @@
+(** The unified HyperTP entry points: hypervisor registry, host
+    provisioning and the CVE-driven transplant decision of Fig. 1(b). *)
+
+val hypervisor_of : Hv.Kind.t -> (module Hv.Intf.S)
+(** The HyperTP-compliant hypervisor repertoire (Xen and KVM). *)
+
+val provision :
+  ?seed:int64 -> name:string -> machine:Hw.Machine.t -> hv:Hv.Kind.t ->
+  Vmstate.Vm.config list -> Hv.Host.t
+(** Boot a host with the given hypervisor and create its VMs. *)
+
+type response = {
+  advice : Cve.Window.advice;
+  inplace : Inplace.report option;
+      (** present when the advice was followed with InPlaceTP *)
+}
+
+val respond_to_cve :
+  ?options:Options.t -> ?rng:Sim.Rng.t -> host:Hv.Host.t -> cve_id:string ->
+  ?apply:bool -> unit -> response
+(** The operator's one-click flow: look the CVE up, ask the policy for a
+    safe alternate in the {Xen, KVM} fleet and — when [apply] (default
+    true) and the advice is a transplant — run InPlaceTP.  Raises
+    [Invalid_argument] on an unknown CVE id or host without a
+    hypervisor. *)
+
+val transplant_inplace :
+  ?options:Options.t -> ?rng:Sim.Rng.t -> host:Hv.Host.t ->
+  target:Hv.Kind.t -> unit -> Inplace.report
+
+val transplant_migration :
+  ?rng:Sim.Rng.t -> src:Hv.Host.t -> dst:Hv.Host.t ->
+  ?vm_names:string list -> unit -> Migrate.report

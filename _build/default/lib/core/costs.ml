@@ -1,0 +1,34 @@
+let makespan ~workers jobs =
+  if workers <= 0 then invalid_arg "Costs.makespan: non-positive workers";
+  match jobs with
+  | [] -> 0.0
+  | _ ->
+    let sorted = List.sort (fun a b -> Float.compare b a) jobs in
+    let loads = Array.make workers 0.0 in
+    let place job =
+      let best = ref 0 in
+      for i = 1 to workers - 1 do
+        if loads.(i) < loads.(!best) then best := i
+      done;
+      loads.(!best) <- loads.(!best) +. job
+    in
+    List.iter place sorted;
+    Array.fold_left Float.max 0.0 loads
+
+let mem_factor (m : Hw.Machine.t) = m.costs.Hw.Machine.mem_factor
+
+let pram_build_seconds m ~gib ~entries =
+  ((0.33 +. (0.11 *. gib)) +. (0.4e-6 *. float_of_int entries)) *. mem_factor m
+
+let pram_finalize_seconds m ~total_gib nvms =
+  (0.012 +. (0.018 *. total_gib) +. (0.004 *. float_of_int nvms))
+  *. mem_factor m
+
+let pram_parse_seconds m ~metadata_pages ~entries ~covered_frames =
+  ((15e-6 *. float_of_int metadata_pages)
+  +. (2e-6 *. float_of_int entries)
+  +. (0.3e-6 *. float_of_int covered_frames))
+  *. mem_factor m
+
+let uisr_encode_seconds ~bytes_len = 2e-9 *. float_of_int bytes_len
+let resume_seconds ~nvms = 0.003 *. float_of_int nvms

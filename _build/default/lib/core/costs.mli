@@ -1,0 +1,30 @@
+(** Shared cost-model helpers for the transplant phases.
+
+    Work quantities (GiB walked, PRAM entries written, metadata pages
+    parsed, frames reserved) come from the actual simulated structures;
+    these functions convert them to time using the per-machine
+    calibration factors.  EXPERIMENTS.md records the paper-vs-model
+    comparison for every constant. *)
+
+val makespan : workers:int -> float list -> float
+(** LPT greedy multiprocessor makespan: wall-clock of running the given
+    jobs on [workers] parallel workers. *)
+
+val pram_build_seconds :
+  Hw.Machine.t -> gib:float -> entries:int -> float
+(** Per-VM PRAM construction: p2m walk proportional to memory size plus
+    an 8-byte record write per entry (Fig. 6: ~0.45 s for 1 GiB on M1;
+    the entry term is what the huge-page optimisation shrinks). *)
+
+val pram_finalize_seconds : Hw.Machine.t -> total_gib:float -> int -> float
+(** Serial chain-sealing across [nvms] VMs once they are paused — the
+    part of Translation that grows with total memory (Fig. 7b/7c). *)
+
+val pram_parse_seconds :
+  Hw.Machine.t -> metadata_pages:int -> entries:int -> covered_frames:int ->
+  float
+(** Sequential early-boot parse: page walks, entry decodes and one
+    reservation per covered 4 KiB frame (the Reboot growth of Fig. 7). *)
+
+val uisr_encode_seconds : bytes_len:int -> float
+val resume_seconds : nvms:int -> float

@@ -1,0 +1,343 @@
+type checks = {
+  guest_memory_intact : bool;
+  pram_parse_ok : bool;
+  kexec_image_intact : bool;
+  uisr_roundtrip_ok : bool;
+  management_consistent : bool;
+  platform_preserved : bool;
+  devices_preserved : bool;
+}
+
+let all_ok c =
+  c.guest_memory_intact && c.pram_parse_ok && c.kexec_image_intact
+  && c.uisr_roundtrip_ok && c.management_consistent && c.platform_preserved
+  && c.devices_preserved
+
+type report = {
+  source : string;
+  target : string;
+  vm_count : int;
+  phases : Phases.t;
+  fixups : (string * Uisr.Fixup.t list) list;
+  uisr_platform_bytes : int;
+  pram_accounting : Pram.Layout.accounting;
+  frames_wiped : int;
+  checks : checks;
+}
+
+(* Platform state must survive modulo recorded fixups: vCPUs and PIT
+   exactly; the IOAPIC up to the pin count both sides share; MSRs minus
+   the recorded drops. *)
+let platform_preserved ~(before : Uisr.Vm_state.t) ~(after : Uisr.Vm_state.t)
+    ~fixups =
+  let dropped_msrs =
+    List.filter_map
+      (function Uisr.Fixup.Msr_dropped i -> Some i | _ -> None)
+      fixups
+  in
+  let strip_msrs (v : Vmstate.Vcpu.t) =
+    {
+      v with
+      regs =
+        {
+          v.regs with
+          msrs =
+            List.filter
+              (fun (m : Vmstate.Regs.msr) -> not (List.mem m.index dropped_msrs))
+              v.regs.msrs;
+        };
+    }
+  in
+  let vcpus_ok =
+    List.length before.vcpus = List.length after.vcpus
+    && List.for_all2
+         (fun b a -> Vmstate.Vcpu.equal (strip_msrs b) a)
+         before.vcpus after.vcpus
+  in
+  let shared_pins =
+    Stdlib.min
+      (Vmstate.Ioapic.pin_count before.ioapic)
+      (Vmstate.Ioapic.pin_count after.ioapic)
+  in
+  let ioapic_ok =
+    let truncate io =
+      fst (Vmstate.Ioapic.truncate io ~pins:shared_pins)
+    in
+    Vmstate.Ioapic.equal (truncate before.ioapic) (truncate after.ioapic)
+  in
+  let pit_ok = Vmstate.Pit.equal before.pit after.pit in
+  vcpus_ok && ioapic_ok && pit_ok
+
+let devices_preserved ~(before : Uisr.Vm_state.t) (vm : Vmstate.Vm.t) =
+  List.length before.devices = Array.length vm.devices
+  && List.for_all2
+       (fun (s : Uisr.Vm_state.device_snapshot) (d : Vmstate.Device.t) ->
+         s.dev_id = d.id && s.dev_kind = d.kind
+         && s.dev_tcp_connections = d.tcp_connections)
+       before.devices
+       (Array.to_list vm.devices)
+
+let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL)
+    ~(host : Hv.Host.t) ~target:(module T : Hv.Intf.S) () =
+  let (Hv.Host.Packed ((module S), _, _)) = Hv.Host.running_exn host in
+  if Hv.Kind.equal S.kind T.kind then
+    invalid_arg "Inplace.run: target equals the running hypervisor";
+  let vm_names = Hv.Host.vm_names host in
+  if vm_names = [] then invalid_arg "Inplace.run: no VMs to transplant";
+  let machine = host.Hv.Host.machine in
+  let pmem = host.Hv.Host.pmem in
+  let workers =
+    if options.Options.parallel_translation then Hw.Machine.worker_threads machine
+    else 1
+  in
+  let jit () = Sim.Rng.jitter rng 0.02 in
+  Log.info (fun m ->
+      m "InPlaceTP %s -> %s on %s: %d VMs, options %a" S.name T.name
+        machine.Hw.Machine.name (List.length vm_names) Options.pp options);
+
+  (* Per-VM pre-transplant ground truth for the correctness checks. *)
+  let vms = List.map (fun n -> (n, Option.get (Hv.Host.find_vm host n))) vm_names in
+  let checksums_before =
+    List.map (fun (n, vm) -> (n, Vmstate.Guest_mem.checksum vm.Vmstate.Vm.mem)) vms
+  in
+
+  (* Step 1: stage the target's kernel image (ahead of time). *)
+  let image =
+    Kexec.load ~pmem ~kernel:T.name ~size:T.kernel_image_bytes
+      ~cmdline:"console=ttyS0"
+  in
+
+  (* Step 2a: build PRAM while VMs run (or later, inside the downtime,
+     if the preparation optimisation is off). *)
+  let granularity =
+    if options.Options.huge_page_pram then Hw.Units.Page_2m else Hw.Units.Page_4k
+  in
+  let pram_inputs =
+    List.map
+      (fun (n, vm) ->
+        ( n,
+          vm.Vmstate.Vm.config.ram,
+          Uisr.Vm_state.memmap_of_guest_mem vm.Vmstate.Vm.mem ))
+      vms
+  in
+  let pram_image = Pram.Build.build ~pmem ~granularity pram_inputs in
+  let acct = Pram.Build.accounting pram_image in
+  let per_file_entries =
+    List.map
+      (fun f -> List.length f.Pram.Build.entries)
+      (Pram.Build.files pram_image)
+  in
+  let pram_jobs =
+    List.map2
+      (fun (_, vm) entries ->
+        Costs.pram_build_seconds machine
+          ~gib:(Hw.Units.to_gib_f vm.Vmstate.Vm.config.ram)
+          ~entries)
+      vms per_file_entries
+  in
+  let pram_seconds = Costs.makespan ~workers pram_jobs *. jit () in
+  Log.debug (fun m ->
+      m "PRAM built: %a (%.3f s)" Pram.Layout.pp_accounting acct pram_seconds);
+
+  (* Step 2b: pause all VMs — downtime begins. *)
+  Hv.Host.pause_all host;
+  Log.debug (fun m -> m "VMs paused; downtime window opens");
+
+  (* Step 3: translate VM_i State to UISR (to_uisr_xxx family). *)
+  let save_jobs =
+    let (Hv.Host.Packed ((module S), shv, table)) = Hv.Host.running_exn host in
+    List.map
+      (fun (n, _) ->
+        match Hashtbl.find_opt table n with
+        | None -> assert false
+        | Some dom -> Sim.Time.to_sec_f (S.save_cost shv dom))
+      vms
+  in
+  let uisrs = Hv.Host.to_uisr_all host in
+  let blobs = List.map (fun (n, u) -> (n, u, Uisr.Codec.encode u)) uisrs in
+  let uisr_platform_bytes =
+    List.fold_left
+      (fun acc (_, u, _) -> acc + Uisr.Codec.platform_size_bytes u)
+      0 blobs
+  in
+  let encode_seconds =
+    List.fold_left
+      (fun acc (_, _, b) -> acc +. Costs.uisr_encode_seconds ~bytes_len:(Bytes.length b))
+      0.0 blobs
+  in
+  let total_gib = List.fold_left (fun acc (_, vm) -> acc +. Hw.Units.to_gib_f vm.Vmstate.Vm.config.ram) 0.0 vms in
+  let translation_seconds =
+    (Costs.makespan ~workers save_jobs +. encode_seconds
+    +. Costs.pram_finalize_seconds machine ~total_gib (List.length vms))
+    *. jit ()
+  in
+  (* Without the preparation optimisation PRAM construction happens here,
+     inside the downtime window. *)
+  let pram_phase, translation_seconds =
+    if options.Options.prepare_before_pause then (pram_seconds, translation_seconds)
+    else (0.0, translation_seconds +. pram_seconds)
+  in
+
+  (* Drop the source hypervisor without orderly teardown: the
+     micro-reboot reclaims its heap, NPTs and management state; guest
+     memory stays allocated and in place. *)
+  let detached = Hv.Host.crash_hypervisor host in
+
+  (* Step 4: micro-reboot into the target with the PRAM pointer on its
+     command line. *)
+  let image = Kexec.with_pram_pointer image (Pram.Build.pointer_mfn pram_image) in
+  let preserve = Pram.Build.preserve_predicate pram_image in
+  let jump = Kexec.execute ~pmem image ~preserve in
+  Log.debug (fun m ->
+      m "kexec jump: %d frames reclaimed, image %s" jump.Kexec.frames_wiped
+        (if jump.Kexec.image_intact then "intact" else "CLOBBERED"));
+  let pointer =
+    match Kexec.pram_pointer_of_cmdline (Kexec.cmdline image) with
+    | Some mfn -> mfn
+    | None -> invalid_arg "Inplace.run: PRAM pointer lost from cmdline"
+  in
+  (* Early boot: the target parses PRAM sequentially and reserves guest
+     memory before its allocator comes up. *)
+  let parsed = Pram.Parse.parse ~pmem ~image:pram_image pointer in
+  let pram_parse_ok =
+    match parsed with
+    | Ok files ->
+      List.length files = List.length vms
+      && List.for_all2
+           (fun (n, vm) f ->
+             String.equal f.Pram.Parse.name n
+             && List.fold_left (fun a e -> a + Pram.Entry.frames e) 0 f.entries
+                = Hw.Units.frames_of_bytes vm.Vmstate.Vm.config.ram)
+           vms files
+    | Error _ -> false
+  in
+  let covered_frames =
+    List.fold_left
+      (fun acc (_, vm) -> acc + Hw.Units.frames_of_bytes vm.Vmstate.Vm.config.ram)
+      0 vms
+  in
+  let parse_seconds =
+    Costs.pram_parse_seconds machine ~metadata_pages:acct.Pram.Layout.total_pages
+      ~entries:acct.Pram.Layout.entry_count ~covered_frames
+  in
+  let boot_seconds = Sim.Time.to_sec_f (T.boot_time ~machine) in
+  let reboot_seconds = (boot_seconds +. parse_seconds) *. jit () in
+  Hv.Host.boot_hypervisor host (module T);
+  Kexec.unload ~pmem image;
+
+  (* Step 5+6: restore each VM from UISR onto its untouched memory. *)
+  let restore_results =
+    List.map
+      (fun (n, u, blob) ->
+        let roundtrip =
+          match Uisr.Codec.decode blob with
+          | Ok decoded -> Uisr.Vm_state.equal decoded u
+          | Error _ -> false
+        in
+        let mem = (List.assoc n detached).Vmstate.Vm.mem in
+        let fixups = Hv.Host.restore_from_uisr host ~mem u in
+        (n, u, fixups, roundtrip))
+      blobs
+  in
+  let restore_jobs =
+    let (Hv.Host.Packed ((module T'), thv, table)) = Hv.Host.running_exn host in
+    List.map
+      (fun (n, _, _, _) ->
+        match Hashtbl.find_opt table n with
+        | None -> assert false
+        | Some dom -> Sim.Time.to_sec_f (T'.restore_cost thv dom))
+      restore_results
+  in
+  let rebuild_cost = Sim.Time.to_sec_f (Hv.Host.rebuild_management_state host) in
+  let restoration_raw =
+    Costs.makespan ~workers restore_jobs
+    +. rebuild_cost
+    +. Costs.resume_seconds ~nvms:(List.length vms)
+  in
+  (* With early restoration, VM restores start as soon as the services
+     KVM VMs need are up (section 4.2.5); without it they wait for the
+     whole system to settle, paying a boot-tail penalty. *)
+  let restoration_seconds =
+    (if options.Options.early_restoration then restoration_raw
+     else restoration_raw +. (0.15 *. boot_seconds))
+    *. jit ()
+  in
+
+  (* Step 7: resume guests, free ephemeral PRAM metadata. *)
+  Hv.Host.resume_all host;
+  Pram.Build.release pram_image ~pmem;
+  Log.info (fun m ->
+      m "transplant complete: downtime %.3f s"
+        (translation_seconds +. reboot_seconds +. restoration_seconds));
+
+  (* Checks. *)
+  let after_uisrs =
+    List.map
+      (fun n ->
+        Hv.Host.pause_vm host n;
+        let u = Hv.Host.to_uisr host n in
+        Hv.Host.resume_vm host n;
+        (n, u))
+      vm_names
+  in
+  let guest_memory_intact =
+    List.for_all
+      (fun (n, vm0) ->
+        let vm = Option.get (Hv.Host.find_vm host n) in
+        Vmstate.Guest_mem.verify_backing vm.Vmstate.Vm.mem = []
+        && Int64.equal
+             (Vmstate.Guest_mem.checksum vm.Vmstate.Vm.mem)
+             (List.assoc n checksums_before)
+        && vm.Vmstate.Vm.mem == vm0.Vmstate.Vm.mem (* literally in place *))
+      vms
+  in
+  let platform_ok =
+    List.for_all
+      (fun (n, before, fixups, _) ->
+        platform_preserved ~before ~after:(List.assoc n after_uisrs) ~fixups)
+      restore_results
+  in
+  let devices_ok =
+    List.for_all
+      (fun (n, before, _, _) ->
+        devices_preserved ~before (Option.get (Hv.Host.find_vm host n)))
+      restore_results
+  in
+  let checks =
+    {
+      guest_memory_intact;
+      pram_parse_ok;
+      kexec_image_intact = jump.Kexec.image_intact;
+      uisr_roundtrip_ok =
+        List.for_all (fun (_, _, _, ok) -> ok) restore_results;
+      management_consistent = Hv.Host.management_consistent host;
+      platform_preserved = platform_ok;
+      devices_preserved = devices_ok;
+    }
+  in
+  {
+    source = S.name;
+    target = T.name;
+    vm_count = List.length vms;
+    phases =
+      {
+        Phases.pram = Sim.Time.of_sec_f pram_phase;
+        translation = Sim.Time.of_sec_f translation_seconds;
+        reboot = Sim.Time.of_sec_f reboot_seconds;
+        restoration = Sim.Time.of_sec_f restoration_seconds;
+        network = Hw.Nic.init_time machine.Hw.Machine.nic;
+      };
+    fixups = List.map (fun (n, _, f, _) -> (n, f)) restore_results;
+    uisr_platform_bytes;
+    pram_accounting = acct;
+    frames_wiped = jump.Kexec.frames_wiped;
+    checks;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>InPlaceTP %s -> %s (%d VMs)@,%a@,pram: %a@,uisr platform: %a@,\
+     frames wiped: %d@,checks: %s@]"
+    r.source r.target r.vm_count Phases.pp r.phases Pram.Layout.pp_accounting
+    r.pram_accounting Hw.Units.pp_bytes r.uisr_platform_bytes r.frames_wiped
+    (if all_ok r.checks then "all ok" else "FAILED")

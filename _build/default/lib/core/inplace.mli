@@ -1,0 +1,47 @@
+(** InPlaceTP: in-place micro-reboot-based hypervisor transplant
+    (sections 3.2 and 4.2).
+
+    The seven-step workflow on a single host: stage the target's kernel,
+    build PRAM while VMs run, pause, translate VM_i State to UISR,
+    kexec into the target, parse PRAM at early boot, restore from UISR
+    onto the untouched guest memory, rebuild management state, resume.
+
+    The run both {e performs} the transplant on the simulated host
+    (guest memory objects survive in place; the report's checks verify
+    it) and {e accounts} each phase's virtual-time cost. *)
+
+type checks = {
+  guest_memory_intact : bool;
+      (** per-page checksums identical before/after; backing unclobbered *)
+  pram_parse_ok : bool;
+  kexec_image_intact : bool;
+  uisr_roundtrip_ok : bool;   (** every UISR blob decoded to its source *)
+  management_consistent : bool;
+  platform_preserved : bool;  (** vCPU/PIT state identical modulo fixups *)
+  devices_preserved : bool;   (** guest-visible device state (incl. TCP
+                                  connections) survived unplug/rescan *)
+}
+
+val all_ok : checks -> bool
+
+type report = {
+  source : string;
+  target : string;
+  vm_count : int;
+  phases : Phases.t;
+  fixups : (string * Uisr.Fixup.t list) list;
+  uisr_platform_bytes : int; (** encoded platform UISR, all VMs *)
+  pram_accounting : Pram.Layout.accounting;
+  frames_wiped : int;
+  checks : checks;
+}
+
+val run :
+  ?options:Options.t -> ?rng:Sim.Rng.t -> host:Hv.Host.t ->
+  target:(module Hv.Intf.S) -> unit -> report
+(** Transplant every VM on [host] onto [target].  On return the host
+    runs the target hypervisor with all VMs resumed.  Raises
+    [Invalid_argument] if the host has no hypervisor or no VMs, or if
+    the target is already the running hypervisor. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,6 @@
+(* The framework's log source.  Operators running transplants through
+   the CLI or Nova can raise the level to watch each workflow step. *)
+
+let src = Logs.Src.create "hypertp" ~doc:"HyperTP transplant framework"
+
+include (val Logs.src_log src : Logs.LOG)

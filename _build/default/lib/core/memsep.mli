@@ -1,0 +1,23 @@
+(** Memory-separation accounting (Fig. 2): classify a host's RAM into
+    the four categories that decide what a transplant must translate,
+    keep, rebuild or discard. *)
+
+type report = {
+  guest_state_bytes : Hw.Units.bytes_;
+      (** guest address spaces — kept untouched, in place *)
+  vmi_state_bytes : Hw.Units.bytes_;
+      (** NPTs, vCPU contexts, device state — translated via UISR *)
+  management_state_bytes : Hw.Units.bytes_;
+      (** scheduler queues, xenstore/process tables — rebuilt *)
+  hv_state_bytes : Hw.Units.bytes_;
+      (** hypervisor heap — reinitialised by the micro-reboot *)
+}
+
+val of_host : Hv.Host.t -> report
+(** Raises [Invalid_argument] if no hypervisor is running. *)
+
+val translated_fraction : report -> float
+(** Share of classified memory HyperTP actually has to translate — the
+    design's headline: tiny, because Guest State dominates. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,240 @@
+type outcome = Completed | Aborted_link_failure of int
+
+type vm_report = {
+  vm_name : string;
+  rounds : int;
+  precopy_time : Sim.Time.t;
+  downtime : Sim.Time.t;
+  queue_wait : Sim.Time.t;
+  total_time : Sim.Time.t;
+  wire_bytes : Hw.Units.bytes_;
+  state_bytes : int;
+  fixups : Uisr.Fixup.t list;
+  outcome : outcome;
+}
+
+type checks = {
+  memory_equal : bool;
+  connections_preserved : bool;
+  management_consistent : bool;
+}
+
+type report = {
+  kind : [ `Migration_tp | `Homogeneous ];
+  src_hv : string;
+  dst_hv : string;
+  per_vm : vm_report list;
+  total_time : Sim.Time.t;
+  checks : checks;
+}
+
+let setup_time = Sim.Time.ms 400 (* connection + capability negotiation *)
+
+let run ?(rng = Sim.Rng.create 0x3C4DL) ?fail_link ~(src : Hv.Host.t)
+    ~(dst : Hv.Host.t) ?vm_names () =
+  let (Hv.Host.Packed ((module S), _, _)) = Hv.Host.running_exn src in
+  let (Hv.Host.Packed ((module D), _, _)) = Hv.Host.running_exn dst in
+  let kind =
+    if Hv.Kind.equal S.kind D.kind then `Homogeneous else `Migration_tp
+  in
+  let vm_names =
+    match vm_names with Some l -> l | None -> Hv.Host.vm_names src
+  in
+  if vm_names = [] then invalid_arg "Migrate.run: no VMs";
+  Log.info (fun m ->
+      m "%s %s -> %s: %d VMs"
+        (match kind with
+        | `Migration_tp -> "MigrationTP"
+        | `Homogeneous -> "homogeneous migration")
+        S.name D.name (List.length vm_names));
+  List.iter
+    (fun n ->
+      if Hv.Host.find_vm src n = None then
+        invalid_arg ("Migrate.run: unknown VM " ^ n))
+    vm_names;
+  let streams = List.length vm_names in
+  let nic = src.Hv.Host.machine.Hw.Machine.nic in
+  let params = Migration.Precopy.default_params ~nic ~streams () in
+
+  (* Pre-copy plans (VMs still running, degraded). *)
+  let plans =
+    List.map
+      (fun n ->
+        let vm = Option.get (Hv.Host.find_vm src n) in
+        let cfg = vm.Vmstate.Vm.config in
+        (* The wire moves 4 KiB dirty-log granules regardless of the
+           guest's backing page size. *)
+        let page_bytes = Hw.Units.page_size_4k in
+        let total_pages = Hw.Units.frames_of_bytes cfg.ram in
+        let dirty =
+          Workload.Profile.dirty_pages_per_sec cfg.workload ~ram:cfg.ram
+            ~page_kind:cfg.page_kind
+        in
+        (n, vm, Migration.Precopy.plan params ~page_bytes ~total_pages
+                  ~dirty_pages_per_sec:dirty))
+      vm_names
+  in
+
+  (* Stop-and-copy: pause, capture state, copy memory, restore on the
+     destination.  The receive queue serialises on Xen (Fig. 8). *)
+  let receiver_busy = ref Sim.Time.zero in
+  let checks_memory = ref true in
+  let checks_conns = ref true in
+  let aborted (n, plan) round =
+    (* Pre-copy is non-destructive: the source VM never paused and keeps
+       running; nothing landed on the destination. *)
+    let completed_rounds =
+      List.filteri (fun i _ -> i <= round) plan.Migration.Precopy.rounds
+    in
+    let wasted =
+      Sim.Time.sum
+        (List.map (fun (r : Migration.Precopy.round) -> r.duration) completed_rounds)
+    in
+    {
+      vm_name = n;
+      rounds = List.length completed_rounds;
+      precopy_time = wasted;
+      downtime = Sim.Time.zero;
+      queue_wait = Sim.Time.zero;
+      total_time = Sim.Time.add setup_time wasted;
+      wire_bytes =
+        List.fold_left
+          (fun acc (r : Migration.Precopy.round) ->
+            acc
+            + (r.pages_sent
+              * Hw.Units.page_size_4k))
+          0 completed_rounds;
+      state_bytes = 0;
+      fixups = [];
+      outcome = Aborted_link_failure round;
+    }
+  in
+  let per_vm =
+    List.map
+      (fun (n, (vm : Vmstate.Vm.t), plan) ->
+        match fail_link with
+        | Some (fail_name, fail_round)
+          when String.equal fail_name n
+               && fail_round < List.length plan.Migration.Precopy.rounds ->
+          ignore vm;
+          aborted (n, plan) fail_round
+        | Some _ | None ->
+        (* The live data path: multi-round pre-copy over the VM's actual
+           dirty bits while it still runs (timings are reported from the
+           calibrated analytic plan; the live rounds carry the data and
+           verify convergence on real state). *)
+        let dst_mem =
+          Vmstate.Guest_mem.create ~pmem:dst.Hv.Host.pmem ~rng:dst.Hv.Host.rng
+            ~bytes:vm.Vmstate.Vm.config.ram
+            ~page_kind:vm.Vmstate.Vm.config.page_kind ()
+        in
+        let live =
+          Migration.Precopy.run_live params ~src:vm.Vmstate.Vm.mem ~dst:dst_mem
+            ~dirty_pages_per_sec:
+              (Workload.Profile.dirty_pages_per_sec vm.Vmstate.Vm.config.workload
+                 ~ram:vm.Vmstate.Vm.config.ram
+                 ~page_kind:vm.Vmstate.Vm.config.page_kind)
+            ~rng
+        in
+        assert live.Migration.Precopy.memory_equal;
+        Hv.Host.pause_vm src n;
+        let src_checksum = Vmstate.Guest_mem.checksum vm.Vmstate.Vm.mem in
+        let src_conns = Vmstate.Vm.total_tcp_connections vm in
+        let uisr = Hv.Host.to_uisr src n in
+        let state_blob = Uisr.Codec.encode uisr in
+        let state_bytes = Bytes.length state_blob in
+        (* Proxy translation cost: a fraction of a full local save, paid
+           inside the stop phase. *)
+        let proxy_cost =
+          let (Hv.Host.Packed ((module S'), shv, table)) =
+            Hv.Host.running_exn src
+          in
+          match Hashtbl.find_opt table n with
+          | None -> assert false
+          | Some dom -> Sim.Time.scale 0.05 (S'.save_cost shv dom)
+        in
+        let fixups = Hv.Host.restore_from_uisr dst ~mem:dst_mem uisr in
+        Hv.Host.resume_vm dst n;
+        let dst_vm = Option.get (Hv.Host.find_vm dst n) in
+        if
+          not
+            (Int64.equal (Vmstate.Guest_mem.checksum dst_vm.Vmstate.Vm.mem)
+               src_checksum)
+        then checks_memory := false;
+        if Vmstate.Vm.total_tcp_connections dst_vm <> src_conns then
+          checks_conns := false;
+        Hv.Host.destroy_vm src n;
+        (* Timing. *)
+        let state_transfer =
+          Hw.Nic.transfer_time nic ~streams state_bytes
+        in
+        let resume_cost =
+          D.migration_resume_cost ~machine:dst.Hv.Host.machine
+            ~vcpus:vm.Vmstate.Vm.config.vcpus
+        in
+        let service_time =
+          Sim.Time.sum
+            [ plan.Migration.Precopy.stop_copy_time; state_transfer;
+              proxy_cost; resume_cost ]
+        in
+        let queue_wait =
+          if D.sequential_migration_receive then !receiver_busy else Sim.Time.zero
+        in
+        if D.sequential_migration_receive then
+          receiver_busy := Sim.Time.add !receiver_busy service_time;
+        let jitter = Sim.Rng.jitter rng 0.03 in
+        let downtime = Sim.Time.scale jitter (Sim.Time.add queue_wait service_time) in
+        let precopy_time =
+          Sim.Time.scale (Sim.Rng.jitter rng 0.02) plan.Migration.Precopy.precopy_time
+        in
+        {
+          vm_name = n;
+          rounds = List.length plan.Migration.Precopy.rounds;
+          precopy_time;
+          downtime;
+          queue_wait;
+          total_time = Sim.Time.sum [ setup_time; precopy_time; downtime ];
+          wire_bytes = plan.Migration.Precopy.total_bytes + state_bytes;
+          state_bytes;
+          fixups;
+          outcome = Completed;
+        })
+      plans
+  in
+  let total_time =
+    List.fold_left
+      (fun acc (r : vm_report) -> Sim.Time.max acc r.total_time)
+      Sim.Time.zero per_vm
+  in
+  {
+    kind;
+    src_hv = S.name;
+    dst_hv = D.name;
+    per_vm;
+    total_time;
+    checks =
+      {
+        memory_equal = !checks_memory;
+        connections_preserved = !checks_conns;
+        management_consistent = Hv.Host.management_consistent dst;
+      };
+  }
+
+let pp_report fmt r =
+  let kind =
+    match r.kind with
+    | `Migration_tp -> "MigrationTP"
+    | `Homogeneous -> "homogeneous migration"
+  in
+  Format.fprintf fmt "@[<v>%s %s -> %s: total %a@," kind r.src_hv r.dst_hv
+    Sim.Time.pp r.total_time;
+  List.iter
+    (fun v ->
+      Format.fprintf fmt
+        "  %s: %d rounds, precopy %a, downtime %a (wait %a), %a on wire@,"
+        v.vm_name v.rounds Sim.Time.pp v.precopy_time Sim.Time.pp v.downtime
+        Sim.Time.pp v.queue_wait Hw.Units.pp_bytes v.wire_bytes)
+    r.per_vm;
+  Format.fprintf fmt "  checks: memory=%b conns=%b mgmt=%b@]"
+    r.checks.memory_equal r.checks.connections_preserved
+    r.checks.management_consistent

@@ -1,0 +1,65 @@
+(** MigrationTP: live-migration-based hypervisor transplant
+    (sections 3.3 and 4.3), plus the homogeneous live-migration baseline
+    it is compared against (Table 4, Figs. 8-9).
+
+    The pre-copy data path is the standard one; the MigrationTP novelty
+    is the pair of proxies translating VM_i State through UISR so source
+    and destination may run different hypervisors.  Guest pages are
+    never translated — they are copied verbatim. *)
+
+type outcome =
+  | Completed
+  | Aborted_link_failure of int
+      (** the link died during this pre-copy round; pre-copy is
+          non-destructive, so the source VM keeps running and the
+          partially-populated destination is torn down *)
+
+type vm_report = {
+  vm_name : string;
+  rounds : int;
+  precopy_time : Sim.Time.t;
+  downtime : Sim.Time.t;
+      (** stop-and-copy + state transfer + receive-queue wait +
+          destination resume *)
+  queue_wait : Sim.Time.t;
+      (** time spent waiting for a sequential receiver (Xen) *)
+  total_time : Sim.Time.t;
+  wire_bytes : Hw.Units.bytes_;
+  state_bytes : int; (** UISR (or native-context) platform payload *)
+  fixups : Uisr.Fixup.t list;
+  outcome : outcome;
+}
+
+type checks = {
+  memory_equal : bool;  (** destination guest memory == source at pause *)
+  connections_preserved : bool;
+  management_consistent : bool;
+}
+
+type report = {
+  kind : [ `Migration_tp | `Homogeneous ];
+  src_hv : string;
+  dst_hv : string;
+  per_vm : vm_report list;
+  total_time : Sim.Time.t; (** completion of the last VM, setup included *)
+  checks : checks;
+}
+
+val run :
+  ?rng:Sim.Rng.t -> ?fail_link:string * int -> src:Hv.Host.t ->
+  dst:Hv.Host.t -> ?vm_names:string list -> unit -> report
+(** Migrate the named VMs (default: all) from [src] to [dst].  The
+    destination hypervisor must already be booted; the kind is inferred:
+    same hypervisor -> homogeneous baseline (native-format stream,
+    Xen's sequential receive), different -> MigrationTP (UISR proxies).
+    Source VMs are destroyed after a successful hand-off, as in real
+    live migration.
+
+    [fail_link] (vm, round) injects a network failure while that VM's
+    pre-copy round is on the wire: its migration aborts, the source VM
+    stays resident and running, nothing lands on the destination.
+
+    Raises [Invalid_argument] if the destination lacks memory or a
+    hypervisor, or a VM name is unknown. *)
+
+val pp_report : Format.formatter -> report -> unit

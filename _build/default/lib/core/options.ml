@@ -1,0 +1,30 @@
+type t = {
+  prepare_before_pause : bool;
+  parallel_translation : bool;
+  huge_page_pram : bool;
+  early_restoration : bool;
+}
+
+let default =
+  {
+    prepare_before_pause = true;
+    parallel_translation = true;
+    huge_page_pram = true;
+    early_restoration = true;
+  }
+
+let all_off =
+  {
+    prepare_before_pause = false;
+    parallel_translation = false;
+    huge_page_pram = false;
+    early_restoration = false;
+  }
+
+let pp fmt t =
+  let flag name v = if v then name else "no-" ^ name in
+  Format.fprintf fmt "{%s %s %s %s}"
+    (flag "prepare" t.prepare_before_pause)
+    (flag "parallel" t.parallel_translation)
+    (flag "hugepage" t.huge_page_pram)
+    (flag "early-restore" t.early_restoration)

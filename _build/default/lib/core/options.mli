@@ -1,0 +1,20 @@
+(** InPlaceTP optimisation toggles (section 4.2.5).
+
+    All four are on by default — the paper's configuration; turning them
+    off individually drives the ablation benches. *)
+
+type t = {
+  prepare_before_pause : bool;
+      (** build PRAM while VMs still run (pre-copy-style preparation) *)
+  parallel_translation : bool;
+      (** one worker thread per VM for translation/restoration *)
+  huge_page_pram : bool;
+      (** 2 MiB PRAM entries instead of per-4 KiB-page entries *)
+  early_restoration : bool;
+      (** start VM restoration as soon as the target's VM services are
+          up, overlapping the boot tail *)
+}
+
+val default : t
+val all_off : t
+val pp : Format.formatter -> t -> unit

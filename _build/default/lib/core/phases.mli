@@ -1,0 +1,31 @@
+(** InPlaceTP phase breakdown (the bars of Fig. 6/7/10).
+
+    PRAM construction happens before VMs are paused, so downtime is
+    Translation + Reboot + Restoration; the Network phase (NIC
+    re-initialisation) runs in parallel with restoration and only
+    matters to network-dependent applications, so it is reported
+    separately (section 5.2). *)
+
+type t = {
+  pram : Sim.Time.t;
+  translation : Sim.Time.t;
+  reboot : Sim.Time.t;        (** kernel boot + sequential PRAM parse *)
+  restoration : Sim.Time.t;
+  network : Sim.Time.t;
+}
+
+val downtime : t -> Sim.Time.t
+(** Translation + Reboot + Restoration. *)
+
+val total : t -> Sim.Time.t
+(** PRAM + downtime (kexec staging is ahead-of-time and excluded). *)
+
+val downtime_with_network : t -> Sim.Time.t
+(** Downtime as seen by a network-dependent application: the network
+    comes up in parallel with restoration, so the longer of the two
+    tails applies. *)
+
+val zero : t
+val pp : Format.formatter -> t -> unit
+val pp_row : Format.formatter -> t -> unit
+(** Tab-separated numeric row (seconds) for the bench harness. *)

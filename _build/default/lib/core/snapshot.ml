@@ -1,0 +1,78 @@
+type t = {
+  uisr : Uisr.Vm_state.t;
+  (* Guest memory image: one content tag per guest page, in page
+     order.  Page geometry is recoverable from the UISR. *)
+  memory : int64 array;
+}
+
+let capture host name =
+  let vm =
+    match Hv.Host.find_vm host name with
+    | Some vm -> vm
+    | None -> invalid_arg ("Snapshot.capture: no VM named " ^ name)
+  in
+  let was_running = Vmstate.Vm.is_running vm in
+  if was_running then Hv.Host.pause_vm host name;
+  let uisr = Hv.Host.to_uisr host name in
+  let n = Vmstate.Guest_mem.page_count vm.Vmstate.Vm.mem in
+  let memory = Array.init n (Vmstate.Guest_mem.read_page vm.Vmstate.Vm.mem) in
+  if was_running then Hv.Host.resume_vm host name;
+  { uisr; memory }
+
+let vm_name t = t.uisr.Uisr.Vm_state.vm_name
+let source_hypervisor t = t.uisr.Uisr.Vm_state.source_hypervisor
+let memory_bytes t = 8 * Array.length t.memory
+
+open Uisr.Wire
+
+let magic = "HTPS"
+
+let to_bytes t =
+  let w = Writer.create () in
+  String.iter (fun c -> Writer.u8 w (Char.code c)) magic;
+  let uisr_blob = Uisr.Codec.encode t.uisr in
+  Writer.u32 w (Bytes.length uisr_blob);
+  Bytes.iter (fun c -> Writer.u8 w (Char.code c)) uisr_blob;
+  Writer.array w (Writer.u64 w) t.memory;
+  Uisr.Wire.append_crc (Writer.contents w)
+
+let of_bytes blob =
+  match Uisr.Wire.check_crc blob with
+  | Error msg -> Error ("snapshot crc: " ^ msg)
+  | Ok body -> (
+    let r = Reader.create body in
+    try
+      let m = String.init 4 (fun _ -> Char.chr (Reader.u8 r)) in
+      if not (String.equal m magic) then Error "snapshot: bad magic"
+      else begin
+        let len = Reader.u32 r in
+        let uisr_blob = Bytes.create len in
+        for i = 0 to len - 1 do
+          Bytes.set_uint8 uisr_blob i (Reader.u8 r)
+        done;
+        match Uisr.Codec.decode uisr_blob with
+        | Error e -> Error (Format.asprintf "snapshot uisr: %a" Uisr.Codec.pp_error e)
+        | Ok uisr ->
+          let memory = Reader.array r Reader.u64 in
+          if not (Reader.eof r) then Error "snapshot: trailing bytes"
+          else Ok { uisr; memory }
+      end
+    with
+    | Reader.Truncated -> Error "snapshot: truncated"
+    | Reader.Bad_format msg -> Error ("snapshot: " ^ msg))
+
+let restore t host =
+  let mem =
+    Vmstate.Guest_mem.create ~pmem:host.Hv.Host.pmem ~rng:host.Hv.Host.rng
+      ~bytes:t.uisr.Uisr.Vm_state.ram_bytes
+      ~page_kind:t.uisr.Uisr.Vm_state.page_kind ()
+  in
+  if Vmstate.Guest_mem.page_count mem <> Array.length t.memory then begin
+    Vmstate.Guest_mem.free mem;
+    invalid_arg "Snapshot.restore: geometry mismatch"
+  end;
+  Array.iteri (fun i v -> Vmstate.Guest_mem.write_page mem i v) t.memory;
+  Vmstate.Guest_mem.clear_dirty mem;
+  let fixups = Hv.Host.restore_from_uisr host ~mem t.uisr in
+  Hv.Host.resume_vm host (vm_name t);
+  fixups

@@ -1,0 +1,29 @@
+(** Whole-VM snapshots: the "guest state saving" operation HyperTP adds
+    to Nova's ComputeDriver (section 4.5.2), akin to suspend-to-disk.
+
+    A snapshot bundles the UISR (platform + devices + metadata) with the
+    guest memory image, CRC-framed.  Because the state half is UISR, a
+    snapshot taken under one hypervisor restores under any other —
+    suspend on Xen, resume on KVM. *)
+
+type t
+
+val capture : Hv.Host.t -> string -> t
+(** Snapshot a VM by name (pauses it around the capture, leaves it in
+    its prior run state).  Raises [Invalid_argument] on unknown VMs. *)
+
+val vm_name : t -> string
+val source_hypervisor : t -> string
+
+val to_bytes : t -> bytes
+val of_bytes : bytes -> (t, string) result
+(** Decode a serialised snapshot; CRC and format violations reported. *)
+
+val restore : t -> Hv.Host.t -> Uisr.Fixup.t list
+(** Materialise the VM on a host (running any hypervisor): allocates
+    fresh guest memory, replays the memory image, restores platform
+    state through [from_uisr] and resumes.  Raises [Invalid_argument]
+    if the name is already taken or memory does not fit. *)
+
+val memory_bytes : t -> int
+(** Size of the memory image section. *)

@@ -1,0 +1,26 @@
+(** Trusted-computing-base accounting (section 4.4).
+
+    HyperTP adds ~15 KLOC total, of which 8.5 KLOC join the TCB and
+    nearly 90 % of that sits in userspace — negligible next to the
+    millions of lines of hypervisor + management VM it protects. *)
+
+type component = {
+  comp_name : string;
+  kloc : float;
+  in_tcb : bool;
+  userspace : bool;
+}
+
+val components : component list
+(** The paper's breakdown: hypervisor patches (2.2), userspace
+    management tools (5.2), orchestration (1.1), testing/utilities/
+    evaluation (6.1). *)
+
+val total_kloc : unit -> float
+val tcb_kloc : unit -> float
+val tcb_userspace_fraction : unit -> float
+val baseline_tcb_kloc : float
+(** Order of magnitude of the existing virtualization TCB (hypervisor +
+    management VM, per Zhang et al. [58]). *)
+
+val pp_table : Format.formatter -> unit -> unit

@@ -1,0 +1,1 @@
+lib/cve/cvss.ml: Float Format List Printf Result String

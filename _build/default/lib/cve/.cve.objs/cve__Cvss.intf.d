@@ -1,0 +1,1 @@
+lib/cve/cvss.mli: Format

@@ -1,0 +1,1 @@
+lib/cve/nvd.ml: Array Cvss Format Hashtbl Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/cve/nvd.mli: Cvss Format

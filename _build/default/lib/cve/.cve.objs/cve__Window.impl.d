@@ -1,0 +1,1 @@
+lib/cve/window.ml: Cvss Format Int List Nvd Stdlib String

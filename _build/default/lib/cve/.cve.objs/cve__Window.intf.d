@@ -1,0 +1,1 @@
+lib/cve/window.mli: Format Nvd

@@ -1,0 +1,103 @@
+type access_vector = Local | Adjacent_network | Network
+type access_complexity = High | Medium_c | Low_c
+type authentication = Multiple | Single | None_a
+type impact = None_i | Partial | Complete
+
+type vector = {
+  av : access_vector;
+  ac : access_complexity;
+  au : authentication;
+  conf : impact;
+  integ : impact;
+  avail : impact;
+}
+
+(* CVSS v2 base equation coefficients (first.org specification). *)
+let av_score = function Local -> 0.395 | Adjacent_network -> 0.646 | Network -> 1.0
+let ac_score = function High -> 0.35 | Medium_c -> 0.61 | Low_c -> 0.71
+let au_score = function Multiple -> 0.45 | Single -> 0.56 | None_a -> 0.704
+let impact_score = function None_i -> 0.0 | Partial -> 0.275 | Complete -> 0.660
+
+let round1 x = Float.round (x *. 10.0) /. 10.0
+
+let base_score v =
+  let impact =
+    10.41
+    *. (1.0
+        -. ((1.0 -. impact_score v.conf)
+            *. (1.0 -. impact_score v.integ)
+            *. (1.0 -. impact_score v.avail)))
+  in
+  let exploitability = 20.0 *. av_score v.av *. ac_score v.ac *. au_score v.au in
+  let f_impact = if impact = 0.0 then 0.0 else 1.176 in
+  round1 (((0.6 *. impact) +. (0.4 *. exploitability) -. 1.5) *. f_impact)
+
+let parse s =
+  let parts = String.split_on_char '/' s in
+  let lookup key =
+    List.find_map
+      (fun part ->
+        match String.index_opt part ':' with
+        | Some i when String.sub part 0 i = key ->
+          Some (String.sub part (i + 1) (String.length part - i - 1))
+        | Some _ | None -> None)
+      parts
+  in
+  let ( let* ) = Result.bind in
+  let field key of_string =
+    match lookup key with
+    | None -> Error (Printf.sprintf "missing %s" key)
+    | Some v -> (
+      match of_string v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "bad %s:%s" key v))
+  in
+  let* av =
+    field "AV" (function
+      | "L" -> Some Local
+      | "A" -> Some Adjacent_network
+      | "N" -> Some Network
+      | _ -> None)
+  in
+  let* ac =
+    field "AC" (function
+      | "H" -> Some High
+      | "M" -> Some Medium_c
+      | "L" -> Some Low_c
+      | _ -> None)
+  in
+  let* au =
+    field "Au" (function
+      | "M" -> Some Multiple
+      | "S" -> Some Single
+      | "N" -> Some None_a
+      | _ -> None)
+  in
+  let imp = function
+    | "N" -> Some None_i
+    | "P" -> Some Partial
+    | "C" -> Some Complete
+    | _ -> None
+  in
+  let* conf = field "C" imp in
+  let* integ = field "I" imp in
+  let* avail = field "A" imp in
+  Ok { av; ac; au; conf; integ; avail }
+
+let to_string v =
+  let av = match v.av with Local -> "L" | Adjacent_network -> "A" | Network -> "N" in
+  let ac = match v.ac with High -> "H" | Medium_c -> "M" | Low_c -> "L" in
+  let au = match v.au with Multiple -> "M" | Single -> "S" | None_a -> "N" in
+  let imp = function None_i -> "N" | Partial -> "P" | Complete -> "C" in
+  Printf.sprintf "AV:%s/AC:%s/Au:%s/C:%s/I:%s/A:%s" av ac au (imp v.conf)
+    (imp v.integ) (imp v.avail)
+
+type severity = Low | Medium | Critical
+
+let severity_of_score s =
+  if s >= 7.0 then Critical else if s >= 4.0 then Medium else Low
+
+let pp_severity fmt = function
+  | Low -> Format.pp_print_string fmt "low"
+  | Medium -> Format.pp_print_string fmt "medium"
+  | Critical -> Format.pp_print_string fmt "critical"

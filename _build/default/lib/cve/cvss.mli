@@ -1,0 +1,32 @@
+(** CVSS v2 base scoring (the paper rates flaws by CVSS v2: critical
+    means score >= 7, medium means 4 <= score < 7 — section 2). *)
+
+type access_vector = Local | Adjacent_network | Network
+type access_complexity = High | Medium_c | Low_c
+type authentication = Multiple | Single | None_a
+type impact = None_i | Partial | Complete
+
+type vector = {
+  av : access_vector;
+  ac : access_complexity;
+  au : authentication;
+  conf : impact;
+  integ : impact;
+  avail : impact;
+}
+
+val base_score : vector -> float
+(** The CVSS v2 base equation, rounded to one decimal as NVD reports. *)
+
+val parse : string -> (vector, string) result
+(** Parse "AV:N/AC:L/Au:N/C:C/I:C/A:C" notation. *)
+
+val to_string : vector -> string
+
+type severity = Low | Medium | Critical
+
+val severity_of_score : float -> severity
+(** [>= 7.0] critical, [>= 4.0] medium, below low (paper's thresholds;
+    NVD v2 calls 7+ "high" but the paper says critical). *)
+
+val pp_severity : Format.formatter -> severity -> unit

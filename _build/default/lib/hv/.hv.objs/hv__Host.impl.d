@@ -1,0 +1,1 @@
+lib/hv/host.ml: Format Hashtbl Hw Int64 Intf List Option Sim String Uisr Vmstate

@@ -1,0 +1,1 @@
+lib/hv/host.mli: Format Hashtbl Hw Intf Kind Sim Uisr Vmstate

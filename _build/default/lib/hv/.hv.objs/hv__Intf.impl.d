@@ -1,0 +1,1 @@
+lib/hv/intf.ml: Hw Kind Sim Uisr Vmstate Workload

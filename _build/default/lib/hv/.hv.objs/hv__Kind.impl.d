@@ -1,0 +1,1 @@
+lib/hv/kind.ml: Format Workload

@@ -1,0 +1,1 @@
+lib/hv/npt.ml: Float Hw List Stdlib

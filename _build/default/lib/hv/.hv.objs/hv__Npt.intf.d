@@ -1,0 +1,1 @@
+lib/hv/npt.mli: Hw

@@ -1,0 +1,1 @@
+lib/hv/restore.ml: Array List Uisr Vmstate

@@ -1,0 +1,1 @@
+lib/hv/restore.mli: Sim Uisr Vmstate

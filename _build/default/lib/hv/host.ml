@@ -1,0 +1,155 @@
+type packed =
+  | Packed :
+      (module Intf.S with type t = 'hv and type domain = 'dom)
+      * 'hv
+      * (string, 'dom) Hashtbl.t
+      -> packed
+
+type t = {
+  host_name : string;
+  machine : Hw.Machine.t;
+  pmem : Hw.Pmem.t;
+  rng : Sim.Rng.t;
+  mutable running : packed option;
+  mutable boots : int;
+}
+
+let create ?(seed = 0xB00DL) ~name machine =
+  {
+    host_name = name;
+    machine;
+    pmem = Hw.Machine.fresh_pmem ~seed machine;
+    rng = Sim.Rng.create (Int64.add seed (Int64.of_int (Hashtbl.hash name)));
+    running = None;
+    boots = 0;
+  }
+
+let boot_hypervisor t (module H : Intf.S) =
+  (match t.running with
+  | Some _ -> invalid_arg "Host.boot_hypervisor: a hypervisor is running"
+  | None -> ());
+  let hv = H.boot ~machine:t.machine ~pmem:t.pmem ~rng:t.rng in
+  t.boots <- t.boots + 1;
+  t.running <- Some (Packed ((module H), hv, Hashtbl.create 16))
+
+let running_exn t =
+  match t.running with
+  | Some p -> p
+  | None -> invalid_arg "Host: no hypervisor running"
+
+let hypervisor_kind t =
+  match t.running with
+  | None -> None
+  | Some (Packed ((module H), _, _)) -> Some H.kind
+
+let hypervisor_name t =
+  match t.running with
+  | None -> "(none)"
+  | Some (Packed ((module H), _, _)) -> H.name
+
+let create_vm t config =
+  let (Packed ((module H), hv, table)) = running_exn t in
+  if Hashtbl.mem table config.Vmstate.Vm.name then
+    invalid_arg ("Host.create_vm: duplicate VM name " ^ config.Vmstate.Vm.name);
+  let dom = H.create_vm hv ~rng:t.rng config in
+  Hashtbl.replace table config.Vmstate.Vm.name dom;
+  H.vm dom
+
+let vm_names t =
+  match t.running with
+  | None -> []
+  | Some (Packed (_, _, table)) ->
+    List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) table [])
+
+let find_vm t name =
+  match t.running with
+  | None -> None
+  | Some (Packed ((module H), _, table)) ->
+    Option.map H.vm (Hashtbl.find_opt table name)
+
+let vms t = List.filter_map (find_vm t) (vm_names t)
+let vm_count t = List.length (vm_names t)
+
+let domain_exn table name =
+  match Hashtbl.find_opt table name with
+  | None -> invalid_arg ("Host: no VM named " ^ name)
+  | Some dom -> dom
+
+let pause_vm t name =
+  let (Packed ((module H), hv, table)) = running_exn t in
+  H.pause hv (domain_exn table name)
+
+let resume_vm t name =
+  let (Packed ((module H), hv, table)) = running_exn t in
+  H.resume hv (domain_exn table name)
+
+let pause_all t = List.iter (pause_vm t) (vm_names t)
+let resume_all t = List.iter (resume_vm t) (vm_names t)
+
+let to_uisr t name =
+  let (Packed ((module H), _, table)) = running_exn t in
+  H.to_uisr (domain_exn table name)
+let to_uisr_all t = List.map (fun name -> (name, to_uisr t name)) (vm_names t)
+
+let detach_vm t name =
+  let (Packed ((module H), hv, table)) = running_exn t in
+  match Hashtbl.find_opt table name with
+  | None -> invalid_arg ("Host.detach_vm: no VM named " ^ name)
+  | Some dom ->
+    Hashtbl.remove table name;
+    H.detach_vm hv dom
+
+let destroy_vm t name =
+  let (Packed ((module H), hv, table)) = running_exn t in
+  match Hashtbl.find_opt table name with
+  | None -> invalid_arg ("Host.destroy_vm: no VM named " ^ name)
+  | Some dom ->
+    Hashtbl.remove table name;
+    H.destroy_vm hv dom
+
+let restore_from_uisr t ~mem uisr =
+  let (Packed ((module H), hv, table)) = running_exn t in
+  let name = uisr.Uisr.Vm_state.vm_name in
+  if Hashtbl.mem table name then
+    invalid_arg ("Host.restore_from_uisr: duplicate VM name " ^ name);
+  let dom, fixups = H.from_uisr hv ~rng:t.rng ~mem uisr in
+  Hashtbl.replace table name dom;
+  fixups
+
+let shutdown_hypervisor t ~keep_guest_memory =
+  let (Packed ((module H), hv, table)) = running_exn t in
+  let names = vm_names t in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt table name with
+      | None -> ()
+      | Some dom ->
+        Hashtbl.remove table name;
+        if keep_guest_memory then ignore (H.detach_vm hv dom)
+        else H.destroy_vm hv dom)
+    names;
+  H.shutdown hv;
+  t.running <- None
+
+let crash_hypervisor t =
+  let (Packed ((module H), _hv, table)) = running_exn t in
+  let vms =
+    List.map
+      (fun name -> (name, H.vm (Hashtbl.find table name)))
+      (vm_names t)
+  in
+  Hashtbl.reset table;
+  t.running <- None;
+  vms
+
+let management_consistent t =
+  let (Packed ((module H), hv, _)) = running_exn t in
+  H.management_state_consistent hv
+
+let rebuild_management_state t =
+  let (Packed ((module H), hv, _)) = running_exn t in
+  H.rebuild_management_state hv
+
+let pp fmt t =
+  Format.fprintf fmt "host %s [%s] running %s with %d VMs" t.host_name
+    t.machine.Hw.Machine.name (hypervisor_name t) (vm_count t)

@@ -1,0 +1,77 @@
+(** A physical host whose hypervisor can be swapped at runtime.
+
+    The host owns the machine model, its physical memory and a
+    deterministic RNG stream; the running hypervisor is a first-class
+    module packed together with its instance state and domain table, so
+    transplant code can operate on "whatever is running" generically. *)
+
+type packed =
+  | Packed :
+      (module Intf.S with type t = 'hv and type domain = 'dom)
+      * 'hv
+      * (string, 'dom) Hashtbl.t
+      -> packed
+
+type t = {
+  host_name : string;
+  machine : Hw.Machine.t;
+  pmem : Hw.Pmem.t;
+  rng : Sim.Rng.t;
+  mutable running : packed option;
+  mutable boots : int;
+}
+
+val create : ?seed:int64 -> name:string -> Hw.Machine.t -> t
+(** A powered-on host with no hypervisor yet. *)
+
+val boot_hypervisor : t -> (module Intf.S) -> unit
+(** Boot a hypervisor on an idle host.  Raises [Invalid_argument] if one
+    is already running. *)
+
+val running_exn : t -> packed
+val hypervisor_kind : t -> Kind.t option
+val hypervisor_name : t -> string
+
+val create_vm : t -> Vmstate.Vm.config -> Vmstate.Vm.t
+(** Create a VM under the running hypervisor, registered by name.
+    Raises [Invalid_argument] if no hypervisor runs or the name is
+    taken. *)
+
+val vm_names : t -> string list
+val find_vm : t -> string -> Vmstate.Vm.t option
+val vms : t -> Vmstate.Vm.t list
+val vm_count : t -> int
+
+val pause_vm : t -> string -> unit
+val resume_vm : t -> string -> unit
+val pause_all : t -> unit
+val resume_all : t -> unit
+
+val to_uisr : t -> string -> Uisr.Vm_state.t
+val to_uisr_all : t -> (string * Uisr.Vm_state.t) list
+
+val detach_vm : t -> string -> Vmstate.Vm.t
+(** Remove a VM from the hypervisor keeping its memory/state alive. *)
+
+val destroy_vm : t -> string -> unit
+
+val restore_from_uisr :
+  t -> mem:Vmstate.Guest_mem.t -> Uisr.Vm_state.t -> Uisr.Fixup.t list
+(** [from_uisr] on the running hypervisor, registering the domain under
+    its UISR name. *)
+
+val shutdown_hypervisor : t -> keep_guest_memory:bool -> unit
+(** Tear the hypervisor down in an orderly fashion.  With
+    [keep_guest_memory:true] domains are detached — guest state survives
+    in place; otherwise they are destroyed. *)
+
+val crash_hypervisor : t -> (string * Vmstate.Vm.t) list
+(** Drop the hypervisor {e without} tearing anything down — the
+    InPlaceTP path: the micro-reboot will reclaim its heap, NPTs and
+    management state wholesale ({!Hw.Pmem.reboot_reset}).  Returns the
+    VMs (name, state), whose guest memory stays allocated and in
+    place. *)
+
+val management_consistent : t -> bool
+val rebuild_management_state : t -> Sim.Time.t
+val pp : Format.formatter -> t -> unit

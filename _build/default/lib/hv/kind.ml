@@ -1,0 +1,28 @@
+type t = Xen | Kvm | Bhyve
+type hv_type = Type1 | Type2
+
+let equal a b =
+  match (a, b) with
+  | Xen, Xen | Kvm, Kvm | Bhyve, Bhyve -> true
+  | (Xen | Kvm | Bhyve), _ -> false
+
+let all = [ Xen; Kvm; Bhyve ]
+let other = function Xen -> Kvm | Kvm -> Xen | Bhyve -> Kvm
+let to_string = function Xen -> "xen" | Kvm -> "kvm" | Bhyve -> "bhyve"
+
+let of_string = function
+  | "xen" | "Xen" -> Some Xen
+  | "kvm" | "KVM" -> Some Kvm
+  | "bhyve" | "Bhyve" -> Some Bhyve
+  | _ -> None
+
+let platform = function
+  | Xen -> Workload.Profile.P_xen
+  | Kvm -> Workload.Profile.P_kvm
+  | Bhyve -> Workload.Profile.P_bhyve
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let pp_hv_type fmt = function
+  | Type1 -> Format.pp_print_string fmt "type-I"
+  | Type2 -> Format.pp_print_string fmt "type-II"

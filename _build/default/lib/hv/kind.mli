@@ -1,0 +1,26 @@
+(** Hypervisor identities.
+
+    The paper's prototype covers Xen and KVM, but the design argument
+    (section 3.1) is that operators keep {e several} hypervisors in
+    their repertoire so a safe target exists even when two share a flaw;
+    the bhyve port exists to demonstrate that adding the (N+1)-th
+    hypervisor costs one UISR bridge, not N translators. *)
+
+type t = Xen | Kvm | Bhyve
+
+type hv_type =
+  | Type1  (** bare-metal: hypervisor + dom0 kernel boot at reboot *)
+  | Type2  (** hosted: one kernel boot at reboot *)
+
+val equal : t -> t -> bool
+val all : t list
+
+val other : t -> t
+(** The default transplant target in the two-hypervisor Xen/KVM
+    repertoire (bhyve falls back to KVM). *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val platform : t -> Workload.Profile.platform
+val pp : Format.formatter -> t -> unit
+val pp_hv_type : Format.formatter -> hv_type -> unit

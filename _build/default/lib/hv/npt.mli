@@ -1,0 +1,27 @@
+(** Nested page tables (EPT / p2m), the bulkiest hypervisor-dependent
+    part of VM_i State.
+
+    Structure and content are dictated by the processor vendor, but each
+    hypervisor allocates and manages its own instance — so NPTs are
+    rebuilt from the UISR memory map at restore time, never copied
+    (section 3.1).  Table frames come from host memory and are {e not}
+    preserved across the micro-reboot. *)
+
+type t
+
+val table_frames_needed :
+  guest_frames:int -> page_kind:Hw.Units.page_kind -> int
+(** 4-level x86-64 paging: with 2 MiB guest pages the leaf level is
+    elided (512x fewer table pages). *)
+
+val build :
+  pmem:Hw.Pmem.t -> guest_frames:int -> page_kind:Hw.Units.page_kind ->
+  metadata_factor:float -> t
+(** [metadata_factor >= 1.0] models per-hypervisor bookkeeping around
+    the architectural tables (Xen's p2m auditing structures are heavier
+    than KVM's). *)
+
+val frames : t -> int
+val bytes : t -> Hw.Units.bytes_
+val free : t -> pmem:Hw.Pmem.t -> unit
+val is_freed : t -> bool

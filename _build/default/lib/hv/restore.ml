@@ -1,0 +1,40 @@
+let filter_msrs ~supports_msr fixups (vcpu : Vmstate.Vcpu.t) =
+  let keep, drop =
+    List.partition
+      (fun (m : Vmstate.Regs.msr) -> supports_msr m.index)
+      vcpu.regs.msrs
+  in
+  List.iter
+    (fun (m : Vmstate.Regs.msr) ->
+      fixups := Uisr.Fixup.Msr_dropped m.index :: !fixups)
+    drop;
+  { vcpu with regs = { vcpu.regs with msrs = keep } }
+
+let devices_of_snapshots ~rng fixups snapshots =
+  List.map
+    (fun (s : Uisr.Vm_state.device_snapshot) ->
+      if s.dev_unplugged then begin
+        fixups := Uisr.Fixup.Device_rescanned s.dev_id :: !fixups;
+        let fresh =
+          Vmstate.Device.generate rng ~id:s.dev_id ~kind:s.dev_kind ()
+        in
+        { fresh with tcp_connections = s.dev_tcp_connections;
+          run_state = Vmstate.Device.Dev_paused }
+      end
+      else
+        {
+          Vmstate.Device.id = s.dev_id;
+          kind = s.dev_kind;
+          run_state = Vmstate.Device.Dev_paused;
+          emulation_state = Array.copy s.dev_emulation_state;
+          queues = Array.map Vmstate.Virtqueue.of_words s.dev_queues;
+          tcp_connections = s.dev_tcp_connections;
+        })
+    snapshots
+
+let config_of_uisr ~devices (uisr : Uisr.Vm_state.t) =
+  Vmstate.Vm.config ~vcpus:(List.length uisr.vcpus) ~ram:uisr.ram_bytes
+    ~page_kind:uisr.page_kind
+    ~device_kinds:(List.map (fun (d : Vmstate.Device.t) -> d.kind) devices)
+    ~workload:uisr.workload ~inplace_compatible:uisr.inplace_compatible
+    ~name:uisr.vm_name ()

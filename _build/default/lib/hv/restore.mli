@@ -1,0 +1,28 @@
+(** Shared [from_uisr] building blocks.
+
+    Every HyperTP-compliant hypervisor performs the same
+    hypervisor-independent restoration steps — filtering MSRs it cannot
+    virtualise (with recorded fixups), reconstructing devices from their
+    snapshots, rescanning unplugged ones — before applying its own
+    platform specifics (IOAPIC pin count, native containers).  Keeping
+    them here is what makes adding the (N+1)-th hypervisor a small
+    job. *)
+
+val filter_msrs :
+  supports_msr:(int -> bool) -> Uisr.Fixup.t list ref -> Vmstate.Vcpu.t ->
+  Vmstate.Vcpu.t
+(** Drop unsupported MSRs, recording one {!Uisr.Fixup.Msr_dropped} per
+    drop. *)
+
+val devices_of_snapshots :
+  rng:Sim.Rng.t -> Uisr.Fixup.t list ref ->
+  Uisr.Vm_state.device_snapshot list -> Vmstate.Device.t list
+(** Rebuild the device set: carried-over emulated devices get their
+    registers and virtqueue rings back exactly; unplugged network
+    devices are rescanned with fresh state (recorded fixup) but keep
+    their guest-visible identity and TCP connections.  All devices come
+    back paused, awaiting the resume handshake. *)
+
+val config_of_uisr :
+  devices:Vmstate.Device.t list -> Uisr.Vm_state.t -> Vmstate.Vm.config
+(** Reconstruct the VM configuration that rides along the UISR. *)

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Cpu Format Nic Pmem Sim Stdlib Units

@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Cpu Format Nic Pmem Sim Units

@@ -1,0 +1,1 @@
+lib/hw/pmem.ml: Array Format Frame Hashtbl Int List Option Sim Stdlib

@@ -1,0 +1,1 @@
+lib/hw/pmem.mli: Format Frame

@@ -1,0 +1,1 @@
+lib/hw/units.ml: Format

@@ -1,0 +1,21 @@
+type t = {
+  sockets : int;
+  cores_per_socket : int;
+  threads_per_core : int;
+  freq_ghz : float;
+}
+
+let create ~sockets ~cores_per_socket ~threads_per_core ~freq_ghz =
+  if sockets <= 0 || cores_per_socket <= 0 || threads_per_core <= 0 then
+    invalid_arg "Cpu.create: non-positive topology";
+  if freq_ghz <= 0.0 then invalid_arg "Cpu.create: non-positive frequency";
+  { sockets; cores_per_socket; threads_per_core; freq_ghz }
+
+let total_cores t = t.sockets * t.cores_per_socket
+let total_threads t = total_cores t * t.threads_per_core
+let usable_threads t ~reserved = Stdlib.max 1 (total_threads t - reserved)
+
+let pp fmt t =
+  Format.fprintf fmt "%dx(%dc/%dt) %.1fGHz" t.sockets t.cores_per_socket
+    (t.cores_per_socket * t.threads_per_core)
+    t.freq_ghz

@@ -1,0 +1,21 @@
+(** Physical CPU topology. *)
+
+type t = {
+  sockets : int;
+  cores_per_socket : int;
+  threads_per_core : int;
+  freq_ghz : float;
+}
+
+val create :
+  sockets:int -> cores_per_socket:int -> threads_per_core:int -> freq_ghz:float -> t
+(** Raises [Invalid_argument] on non-positive counts or frequency. *)
+
+val total_cores : t -> int
+val total_threads : t -> int
+
+val usable_threads : t -> reserved:int -> int
+(** Threads left for guest/management work after reserving [reserved]
+    threads for the administration OS (dom0 / host Linux); at least 1. *)
+
+val pp : Format.formatter -> t -> unit

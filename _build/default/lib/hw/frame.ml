@@ -1,0 +1,43 @@
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val add : t -> int -> t
+  val offset : t -> t -> int
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (Tag : sig
+  val name : string
+end) : S = struct
+  type t = int
+
+  let of_int n =
+    if n < 0 then invalid_arg (Tag.name ^ ".of_int: negative");
+    n
+
+  let to_int t = t
+
+  let add t n =
+    let r = t + n in
+    if r < 0 then invalid_arg (Tag.name ^ ".add: negative result");
+    r
+
+  let offset a b = a - b
+  let compare = Int.compare
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+  let pp fmt t = Format.fprintf fmt "%s:0x%x" Tag.name t
+end
+
+module Mfn = Make (struct
+  let name = "mfn"
+end)
+
+module Gfn = Make (struct
+  let name = "gfn"
+end)

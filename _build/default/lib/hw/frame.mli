@@ -1,0 +1,27 @@
+(** Typed frame numbers.
+
+    A {e machine frame number} (MFN) indexes 4 KiB frames of host physical
+    memory; a {e guest frame number} (GFN) indexes 4 KiB frames of a guest
+    physical address space.  Keeping them as distinct abstract types makes
+    it impossible to feed a guest address to the host allocator — the
+    class of confusion the PRAM structure exists to manage. *)
+
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  (** Raises [Invalid_argument] on negative input. *)
+
+  val to_int : t -> int
+  val add : t -> int -> t
+  val offset : t -> t -> int
+  (** [offset a b] is [a - b] in frames. *)
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Mfn : S
+module Gfn : S

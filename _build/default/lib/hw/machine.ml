@@ -1,0 +1,83 @@
+type costs = {
+  cpu_factor : float;
+  mgmt_factor : float;
+  mem_factor : float;
+  dom0_device_init : Sim.Time.t;
+}
+
+type t = {
+  name : string;
+  cpu : Cpu.t;
+  ram : Units.bytes_;
+  nic : Nic.t;
+  reserved_threads : int;
+  costs : costs;
+}
+
+let create ~name ~cpu ~ram ~nic ?(reserved_threads = 2) ~costs () =
+  if ram <= 0 then invalid_arg "Machine.create: non-positive RAM";
+  if reserved_threads < 0 then invalid_arg "Machine.create: negative reserved";
+  { name; cpu; ram; nic; reserved_threads; costs }
+
+(* Calibration notes (see EXPERIMENTS.md for the full comparison):
+   - M1 is the baseline: cpu_factor 1.0.
+   - M2's cores run at 1.7 GHz vs 2.5 GHz -> cpu_factor 1.47; dual-socket
+     toolstack round-trips roughly double management latency
+     (mgmt_factor 2.0); its four-SSD storage makes dom0 device bring-up
+     slow, which is what stretches the KVM->Xen reboot to ~17.8 s
+     (Fig. 10 d-f). NIC init: 6.6 s measured on M1, 2.3 s on M2
+     (section 5.2.1). *)
+
+let m1 () =
+  create ~name:"M1"
+    ~cpu:(Cpu.create ~sockets:1 ~cores_per_socket:4 ~threads_per_core:2 ~freq_ghz:2.5)
+    ~ram:(Units.gib 16)
+    ~nic:(Nic.create ~bandwidth_gbps:1.0 ~init_time:(Sim.Time.ms 6_600) ())
+    ~costs:
+      {
+        cpu_factor = 1.0;
+        mgmt_factor = 1.0;
+        mem_factor = 1.0;
+        dom0_device_init = Sim.Time.ms 500;
+      }
+    ()
+
+let m2 () =
+  create ~name:"M2"
+    ~cpu:(Cpu.create ~sockets:2 ~cores_per_socket:14 ~threads_per_core:2 ~freq_ghz:1.7)
+    ~ram:(Units.gib 64)
+    ~nic:(Nic.create ~bandwidth_gbps:1.0 ~init_time:(Sim.Time.ms 2_300) ())
+    ~costs:
+      {
+        cpu_factor = 1.47;
+        mgmt_factor = 2.0;
+        mem_factor = 1.11;
+        dom0_device_init = Sim.Time.ms 4_500;
+      }
+    ()
+
+let g5k_node () =
+  create ~name:"G5K"
+    ~cpu:(Cpu.create ~sockets:2 ~cores_per_socket:8 ~threads_per_core:2 ~freq_ghz:2.4)
+    ~ram:(Units.gib 96)
+    ~nic:(Nic.create ~bandwidth_gbps:10.0 ~init_time:(Sim.Time.ms 2_000) ())
+    ~costs:
+      {
+        cpu_factor = 1.05;
+        mgmt_factor = 1.6;
+        mem_factor = 1.05;
+        dom0_device_init = Sim.Time.ms 2_000;
+      }
+    ()
+
+let worker_threads t = Cpu.usable_threads t.cpu ~reserved:t.reserved_threads
+let fresh_pmem ?seed t = Pmem.create ?seed ~frames:(Units.frames_of_bytes t.ram) ()
+
+let max_vms t ~vm_ram =
+  if vm_ram <= 0 then invalid_arg "Machine.max_vms: non-positive VM RAM";
+  let available = t.ram - Units.gib 2 in
+  Stdlib.max 0 (available / vm_ram)
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %a, %a RAM, %a" t.name Cpu.pp t.cpu Units.pp_bytes
+    t.ram Nic.pp t.nic

@@ -1,0 +1,62 @@
+(** Machine catalog and calibrated cost parameters.
+
+    The work performed by every transplant phase (pages walked, PRAM
+    entries written, bytes encoded, frames reserved) is computed from the
+    actual simulated data structures; the parameters below convert those
+    work quantities into virtual time.  They are calibrated against the
+    paper's measurements on its M1/M2 testbeds and on the Grid'5000
+    cluster nodes (Table 3 and section 5.1); EXPERIMENTS.md records
+    paper-vs-simulated values for every experiment. *)
+
+type costs = {
+  cpu_factor : float;
+  (** Per-thread compute slowdown relative to M1's 2.5 GHz i5 (>= 1 is
+      slower). Applied to CPU-bound management work. *)
+  mgmt_factor : float;
+  (** Toolstack/NUMA overhead multiplier for hypervisor management
+      operations (domain save/restore ioctls); dual-socket machines pay
+      cross-node round-trips. *)
+  mem_factor : float;
+  (** Memory-walk slowdown for page-table / PRAM traversal. *)
+  dom0_device_init : Sim.Time.t;
+  (** Device re-initialisation paid by a type-I hypervisor's dom0 during
+      boot (disks, buses).  Type-II boots pay it as part of the kernel
+      boot formula instead. *)
+}
+
+type t = {
+  name : string;
+  cpu : Cpu.t;
+  ram : Units.bytes_;
+  nic : Nic.t;
+  reserved_threads : int;  (** threads pinned to the administration OS *)
+  costs : costs;
+}
+
+val create :
+  name:string -> cpu:Cpu.t -> ram:Units.bytes_ -> nic:Nic.t ->
+  ?reserved_threads:int -> costs:costs -> unit -> t
+
+val m1 : unit -> t
+(** Intel i5-8400H, 4c/8t 2.5 GHz, 16 GiB, 1 Gbps (paper Table 3). *)
+
+val m2 : unit -> t
+(** 2x Xeon E5-2650L v4, 14c/28t 1.7 GHz, 64 GiB, 1 Gbps (paper Table 3). *)
+
+val g5k_node : unit -> t
+(** Grid'5000 cluster node: 2x Xeon E5-2630 v3, 96 GiB, 10 Gbps
+    (paper section 5.1). *)
+
+val worker_threads : t -> int
+(** Threads available to parallelise transplant work (all threads minus
+    the reserved administration threads). *)
+
+val fresh_pmem : ?seed:int64 -> t -> Pmem.t
+(** A physical-memory instance sized for this machine. *)
+
+val max_vms : t -> vm_ram:Units.bytes_ -> int
+(** How many VMs of [vm_ram] fit, keeping 2 GiB for the administration
+    OS and the hypervisor ("our smallest machine (M1) can host up to 12
+    VMs" of 1 GiB — section 5.2.1). *)
+
+val pp : Format.formatter -> t -> unit

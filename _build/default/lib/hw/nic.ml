@@ -1,0 +1,30 @@
+type t = {
+  bandwidth_gbps : float;
+  latency : Sim.Time.t;
+  efficiency : float;
+  init_time : Sim.Time.t;
+}
+
+let create ~bandwidth_gbps ?(latency = Sim.Time.us 100) ?(efficiency = 0.95)
+    ?(init_time = Sim.Time.zero) () =
+  if bandwidth_gbps <= 0.0 then invalid_arg "Nic.create: non-positive bandwidth";
+  if efficiency <= 0.0 || efficiency > 1.0 then
+    invalid_arg "Nic.create: efficiency out of (0,1]";
+  { bandwidth_gbps; latency; efficiency; init_time }
+
+let bandwidth_gbps t = t.bandwidth_gbps
+let init_time t = t.init_time
+let latency t = t.latency
+
+let throughput_bytes_per_sec t ~streams =
+  if streams <= 0 then invalid_arg "Nic.throughput: non-positive streams";
+  t.bandwidth_gbps *. 1e9 /. 8.0 *. t.efficiency /. float_of_int streams
+
+let transfer_time t ~streams bytes =
+  if bytes < 0 then invalid_arg "Nic.transfer_time: negative size";
+  let secs = float_of_int bytes /. throughput_bytes_per_sec t ~streams in
+  Sim.Time.add t.latency (Sim.Time.of_sec_f secs)
+
+let pp fmt t =
+  Format.fprintf fmt "%.0fGbps (eff %.0f%%, init %a)" t.bandwidth_gbps
+    (100.0 *. t.efficiency) Sim.Time.pp t.init_time

@@ -1,0 +1,27 @@
+(** Network interface and link model.
+
+    Transfers over a link share its bandwidth; the paper's migration
+    experiments run over a dedicated 1 Gbps Ethernet pair (machine M1)
+    and the cluster over 10 Gbps (section 5.1). *)
+
+type t
+
+val create :
+  bandwidth_gbps:float -> ?latency:Sim.Time.t -> ?efficiency:float ->
+  ?init_time:Sim.Time.t -> unit -> t
+(** [efficiency] (default 0.95) models protocol overhead: the usable
+    fraction of raw bandwidth.  [init_time] is the time for the card to
+    come back up after a host reboot (the "Network" phase of Fig. 6). *)
+
+val bandwidth_gbps : t -> float
+val init_time : t -> Sim.Time.t
+val latency : t -> Sim.Time.t
+
+val throughput_bytes_per_sec : t -> streams:int -> float
+(** Per-stream goodput when [streams] transfers share the link. *)
+
+val transfer_time : t -> streams:int -> Units.bytes_ -> Sim.Time.t
+(** Time to push [bytes] down one of [streams] concurrent streams,
+    including one propagation latency. *)
+
+val pp : Format.formatter -> t -> unit

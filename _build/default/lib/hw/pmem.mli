@@ -1,0 +1,69 @@
+(** Host physical memory.
+
+    Memory is managed in 4 KiB machine frames grouped into 2 MiB chunks
+    (512 frames).  The allocator hands out chunks from a deterministically
+    shuffled pool so that a VM's memory is scattered across host RAM, as
+    it is on a real machine — the situation the PRAM structure exists to
+    describe (paper, section 4.2.2).
+
+    Frames carry optional 64-bit {e content tags}.  Guest memory writes a
+    tag per guest page; transplant correctness tests compare tags before
+    and after the micro-reboot to verify that "Guest State is kept
+    untouched" really holds. *)
+
+type t
+
+val create : ?seed:int64 -> frames:int -> unit -> t
+(** [create ~frames] models a host with [frames] 4 KiB frames.  [frames]
+    must be a positive multiple of 512. *)
+
+val total_frames : t -> int
+val free_frames : t -> int
+val used_frames : t -> int
+
+exception Out_of_memory
+
+val alloc_frames : t -> ?align:int -> int -> Frame.Mfn.t list
+(** [alloc_frames t n] allocates [n] frames, returned as the start MFNs of
+    maximal contiguous runs would be ambiguous — instead every allocated
+    frame is listed, in address order within each chunk but with chunks
+    scattered.  [align] (default 1, in frames) must divide 512 and forces
+    each contiguous run to start on that alignment; pass 512 to obtain
+    2 MiB-aligned backing for huge pages.  Raises {!Out_of_memory}. *)
+
+val alloc_extents : t -> ?align:int -> int -> (Frame.Mfn.t * int) list
+(** Like {!alloc_frames} but returns (start, length) extents — the shape
+    PRAM page entries are built from. *)
+
+val free_extent : t -> Frame.Mfn.t -> int -> unit
+(** Return an extent to the pool.  Raises [Invalid_argument] if any frame
+    in it is not currently allocated or is reserved. *)
+
+val reserve_extent : t -> Frame.Mfn.t -> int -> unit
+(** Mark an allocated extent as reserved (kexec image, PRAM metadata):
+    reserved frames survive {!wipe} and cannot be freed until
+    {!unreserve_extent}. *)
+
+val unreserve_extent : t -> Frame.Mfn.t -> int -> unit
+val is_reserved : t -> Frame.Mfn.t -> bool
+val is_allocated : t -> Frame.Mfn.t -> bool
+
+val write : t -> Frame.Mfn.t -> int64 -> unit
+(** Set the content tag of an allocated frame.  Raises on unallocated. *)
+
+val read : t -> Frame.Mfn.t -> int64 option
+(** Content tag, if one was ever written. *)
+
+val wipe_unpreserved : t -> preserve:(Frame.Mfn.t -> bool) -> int
+(** Simulate a reboot scrubbing memory: clear the content tag of every
+    allocated frame for which [preserve] is false and which is not
+    reserved.  Returns the number of frames wiped. *)
+
+val reboot_reset : t -> preserve:(Frame.Mfn.t -> bool) -> int
+(** What a kexec actually does to memory: every allocated frame that is
+    neither reserved nor preserved is scrubbed {e and} returned to the
+    allocator (the old hypervisor's heap, NPTs and management structures
+    are reclaimed wholesale — nobody frees them politely).  Returns the
+    number of frames reclaimed. *)
+
+val pp_usage : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type bytes_ = int
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+let gib n = n * 1024 * 1024 * 1024
+let page_size_4k = kib 4
+let page_size_2m = mib 2
+
+type page_kind = Page_4k | Page_2m
+
+let page_size = function Page_4k -> page_size_4k | Page_2m -> page_size_2m
+let frames_per_page = function Page_4k -> 1 | Page_2m -> 512
+
+let pages_of_bytes kind b =
+  if b < 0 then invalid_arg "Units.pages_of_bytes: negative";
+  let psize = page_size kind in
+  (b + psize - 1) / psize
+
+let frames_of_bytes b = pages_of_bytes Page_4k b
+let to_gib_f b = float_of_int b /. float_of_int (gib 1)
+let to_mib_f b = float_of_int b /. float_of_int (mib 1)
+let to_kib_f b = float_of_int b /. float_of_int (kib 1)
+
+let pp_bytes fmt b =
+  if b >= gib 1 then Format.fprintf fmt "%.1fGiB" (to_gib_f b)
+  else if b >= mib 1 then Format.fprintf fmt "%.1fMiB" (to_mib_f b)
+  else if b >= kib 1 then Format.fprintf fmt "%.0fKiB" (to_kib_f b)
+  else Format.fprintf fmt "%dB" b
+
+let pp_page_kind fmt = function
+  | Page_4k -> Format.pp_print_string fmt "4KiB"
+  | Page_2m -> Format.pp_print_string fmt "2MiB"

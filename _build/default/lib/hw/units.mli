@@ -1,0 +1,32 @@
+(** Byte and page units shared by the whole system. *)
+
+type bytes_ = int
+(** A byte count. 63-bit ints cover any machine we model. *)
+
+val kib : int -> bytes_
+val mib : int -> bytes_
+val gib : int -> bytes_
+
+val page_size_4k : bytes_
+val page_size_2m : bytes_
+
+type page_kind = Page_4k | Page_2m
+
+val page_size : page_kind -> bytes_
+val frames_per_page : page_kind -> int
+(** Number of 4 KiB machine frames covered by one page of this kind. *)
+
+val pages_of_bytes : page_kind -> bytes_ -> int
+(** Rounding up. Raises on negative sizes. *)
+
+val frames_of_bytes : bytes_ -> int
+(** 4 KiB frames needed to back [b] bytes, rounding up. *)
+
+val to_gib_f : bytes_ -> float
+val to_mib_f : bytes_ -> float
+val to_kib_f : bytes_ -> float
+
+val pp_bytes : Format.formatter -> bytes_ -> unit
+(** Human-readable: "1.0GiB", "148KiB", "512B". *)
+
+val pp_page_kind : Format.formatter -> page_kind -> unit

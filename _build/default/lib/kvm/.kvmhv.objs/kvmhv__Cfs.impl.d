@@ -1,0 +1,1 @@
+lib/kvm/cfs.ml: Float Format Hashtbl Int List Map String

@@ -1,0 +1,1 @@
+lib/kvm/cfs.mli: Format

@@ -1,0 +1,1 @@
+lib/kvm/ioctl_stream.ml: Bytes Char Format Int List Reader Uisr Vmstate Writer

@@ -1,0 +1,1 @@
+lib/kvm/ioctl_stream.mli: Format Vmstate

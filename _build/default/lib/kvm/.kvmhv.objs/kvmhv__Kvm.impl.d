@@ -1,0 +1,1 @@
+lib/kvm/kvm.ml: Array Bytes Cfs Format Hv Hw Ioctl_stream Kvmtool List Sim String Uisr Vmstate Workload

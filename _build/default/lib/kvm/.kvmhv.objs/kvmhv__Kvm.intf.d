@@ -1,0 +1,1 @@
+lib/kvm/kvm.mli: Cfs Hv Kvmtool

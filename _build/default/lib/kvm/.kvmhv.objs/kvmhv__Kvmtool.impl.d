@@ -1,0 +1,1 @@
+lib/kvm/kvmtool.ml: Hw List String

@@ -1,0 +1,1 @@
+lib/kvm/kvmtool.mli: Hw

@@ -1,0 +1,77 @@
+type thread_ref = { vm_name : string; vcpu_index : int }
+
+module Key = struct
+  type t = float * string * int (* vruntime, name, vcpu: total order *)
+
+  let compare (a1, a2, a3) (b1, b2, b3) =
+    match Float.compare a1 b1 with
+    | 0 -> (
+      match String.compare a2 b2 with 0 -> Int.compare a3 b3 | c -> c)
+    | c -> c
+end
+
+module Tree = Map.Make (Key)
+
+type t = { mutable tree : thread_ref Tree.t; mutable clock : float }
+
+let create () = { tree = Tree.empty; clock = 0.0 }
+
+let enqueue_vm t ~vm_name ~vcpus =
+  for vcpu_index = 0 to vcpus - 1 do
+    (* New tasks start at min_vruntime so they do not starve others. *)
+    t.tree <-
+      Tree.add (t.clock, vm_name, vcpu_index) { vm_name; vcpu_index } t.tree
+  done
+
+let dequeue_vm t ~vm_name =
+  t.tree <-
+    Tree.filter (fun _ thread -> not (String.equal thread.vm_name vm_name)) t.tree
+
+let runnable t = Tree.cardinal t.tree
+
+let min_vruntime t =
+  match Tree.min_binding_opt t.tree with
+  | None -> t.clock
+  | Some ((v, _, _), _) -> v
+
+let timeslice = 0.006 (* 6 ms default CFS slice *)
+
+let pick_next t =
+  match Tree.min_binding_opt t.tree with
+  | None -> None
+  | Some (((v, name, idx) as key), thread) ->
+    t.tree <- Tree.remove key t.tree;
+    let v' = v +. timeslice in
+    t.clock <- Float.max t.clock v';
+    t.tree <- Tree.add (v', name, idx) thread t.tree;
+    Some thread
+
+let rebuild t vms =
+  t.tree <- Tree.empty;
+  t.clock <- 0.0;
+  List.iter (fun (vm_name, vcpus) -> enqueue_vm t ~vm_name ~vcpus) vms
+
+let consistent t vms =
+  let expected = Hashtbl.create 16 in
+  List.iter
+    (fun (vm_name, vcpus) ->
+      for i = 0 to vcpus - 1 do
+        Hashtbl.replace expected (vm_name, i) 0
+      done)
+    vms;
+  let ok = ref true in
+  Tree.iter
+    (fun _ thread ->
+      let key = (thread.vm_name, thread.vcpu_index) in
+      match Hashtbl.find_opt expected key with
+      | None -> ok := false
+      | Some n -> Hashtbl.replace expected key (n + 1))
+    t.tree;
+  Hashtbl.iter (fun _ n -> if n <> 1 then ok := false) expected;
+  !ok
+
+let state_bytes t = 64 + (runnable t * 72) (* rq header + sched entities *)
+
+let pp fmt t =
+  Format.fprintf fmt "cfs[%d runnable, min_vruntime %.3f]" (runnable t)
+    (min_vruntime t)

@@ -1,0 +1,23 @@
+(** The host Linux CFS run-queue as seen by KVM vCPU threads.
+
+    KVM's VM Management State: vCPUs are ordinary host threads ordered
+    by virtual runtime.  Like Xen's credit queues, this is rebuilt from
+    the VM set after transplant, never translated. *)
+
+type thread_ref = { vm_name : string; vcpu_index : int }
+
+type t
+
+val create : unit -> t
+val enqueue_vm : t -> vm_name:string -> vcpus:int -> unit
+val dequeue_vm : t -> vm_name:string -> unit
+val runnable : t -> int
+
+val min_vruntime : t -> float
+val pick_next : t -> thread_ref option
+(** Leftmost (smallest vruntime) thread; accounts runtime and requeues. *)
+
+val rebuild : t -> (string * int) list -> unit
+val consistent : t -> (string * int) list -> bool
+val state_bytes : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,370 @@
+type error = Truncated | Unknown_ioctl of int | Malformed of string
+
+let pp_error fmt = function
+  | Truncated -> Format.pp_print_string fmt "truncated stream"
+  | Unknown_ioctl c -> Format.fprintf fmt "unknown ioctl 0x%x" c
+  | Malformed msg -> Format.fprintf fmt "malformed: %s" msg
+
+let kvm_get_regs = 0x8090
+let kvm_get_sregs = 0x8091
+let kvm_get_msrs = 0x8092
+let kvm_get_fpu = 0x8093
+let kvm_get_lapic = 0x8094
+let kvm_get_xsave = 0x8095
+let kvm_get_xcrs = 0x8096
+let kvm_get_irqchip = 0x8097
+let kvm_get_pit2 = 0x8098
+let vcpu_marker = 0x80FF
+
+type platform = {
+  vcpus : Vmstate.Vcpu.t list;
+  ioapic : Vmstate.Ioapic.t;
+  pit : Vmstate.Pit.t;
+}
+
+open Uisr.Wire
+
+let ioctl w code body =
+  let payload = Writer.create () in
+  body payload;
+  Writer.u32 w code;
+  Writer.u32 w (Writer.size payload);
+  Bytes.iter (fun c -> Writer.u8 w (Char.code c)) (Writer.contents payload)
+
+(* KVM orders GPRs rax..r15, then rip, rflags (struct kvm_regs). *)
+let put_regs w (g : Vmstate.Regs.gprs) =
+  List.iter (Writer.u64 w)
+    [ g.rax; g.rbx; g.rcx; g.rdx; g.rsi; g.rdi; g.rsp; g.rbp;
+      g.r8; g.r9; g.r10; g.r11; g.r12; g.r13; g.r14; g.r15;
+      g.rip; g.rflags ]
+
+let get_regs r : Vmstate.Regs.gprs =
+  let rax = Reader.u64 r in let rbx = Reader.u64 r in
+  let rcx = Reader.u64 r in let rdx = Reader.u64 r in
+  let rsi = Reader.u64 r in let rdi = Reader.u64 r in
+  let rsp = Reader.u64 r in let rbp = Reader.u64 r in
+  let r8 = Reader.u64 r in let r9 = Reader.u64 r in
+  let r10 = Reader.u64 r in let r11 = Reader.u64 r in
+  let r12 = Reader.u64 r in let r13 = Reader.u64 r in
+  let r14 = Reader.u64 r in let r15 = Reader.u64 r in
+  let rip = Reader.u64 r in let rflags = Reader.u64 r in
+  { rax; rbx; rcx; rdx; rsi; rdi; rsp; rbp; r8; r9; r10; r11; r12; r13;
+    r14; r15; rip; rflags }
+
+(* struct kvm_segment: base, limit, selector, attrs unpacked. *)
+let put_sregs w (s : Vmstate.Regs.sregs) =
+  let seg (x : Vmstate.Regs.segment) =
+    Writer.u64 w x.base;
+    Writer.i32 w x.limit;
+    Writer.u16 w x.selector;
+    Writer.u16 w x.attrs
+  in
+  (* kvm_sregs order: cs ds es fs gs ss tr ldt. *)
+  List.iter seg [ s.cs; s.ds; s.es; s.fs; s.gs; s.ss; s.tr; s.ldt ];
+  List.iter (Writer.u64 w) [ s.cr0; s.cr2; s.cr3; s.cr4; s.efer; s.apic_base ]
+
+let get_sregs r : Vmstate.Regs.sregs =
+  let seg () : Vmstate.Regs.segment =
+    let base = Reader.u64 r in
+    let limit = Reader.i32 r in
+    let selector = Reader.u16 r in
+    let attrs = Reader.u16 r in
+    { selector; base; limit; attrs }
+  in
+  let cs = seg () in let ds = seg () in let es = seg () in
+  let fs = seg () in let gs = seg () in let ss = seg () in
+  let tr = seg () in let ldt = seg () in
+  let cr0 = Reader.u64 r in let cr2 = Reader.u64 r in
+  let cr3 = Reader.u64 r in let cr4 = Reader.u64 r in
+  let efer = Reader.u64 r in let apic_base = Reader.u64 r in
+  { cs; ds; es; fs; gs; ss; tr; ldt; cr0; cr2; cr3; cr4; efer; apic_base }
+
+let put_msrs w (msrs : Vmstate.Regs.msr list) =
+  Writer.list w
+    (fun (m : Vmstate.Regs.msr) ->
+      Writer.u32 w m.index;
+      Writer.u32 w 0 (* reserved, as in struct kvm_msr_entry *);
+      Writer.u64 w m.value)
+    msrs
+
+let get_msrs r =
+  Reader.list r (fun r ->
+      let index = Reader.u32 r in
+      let _reserved = Reader.u32 r in
+      let value = Reader.u64 r in
+      { Vmstate.Regs.index; value })
+
+let put_fpu w (f : Vmstate.Regs.fpu) =
+  (* struct kvm_fpu: fcw/fsw/ftw lead, mxcsr trails the register file. *)
+  Writer.u16 w f.fcw;
+  Writer.u16 w f.fsw;
+  Writer.u16 w f.ftw;
+  Writer.array w (Writer.u64 w) f.st;
+  Writer.array w (Writer.u64 w) f.xmm;
+  Writer.i32 w f.mxcsr
+
+let get_fpu r : Vmstate.Regs.fpu =
+  let fcw = Reader.u16 r in
+  let fsw = Reader.u16 r in
+  let ftw = Reader.u16 r in
+  let st = Reader.array r Reader.u64 in
+  let xmm = Reader.array r Reader.u64 in
+  let mxcsr = Reader.i32 r in
+  { fcw; fsw; ftw; mxcsr; st; xmm }
+
+(* KVM_GET_LAPIC returns the 4 KiB register page; we serialise the
+   architectural registers in page-offset order (ID 0x20, VER 0x30,
+   TPR 0x80, ... IRR before ISR as in the page layout). *)
+let put_lapic w (l : Vmstate.Lapic.t) =
+  Writer.u32 w l.apic_id;
+  Writer.u32 w l.version;
+  Writer.u8 w l.tpr;
+  Writer.array w (Writer.u64 w) l.irr;
+  Writer.array w (Writer.u64 w) l.isr;
+  Writer.array w (Writer.u64 w) l.tmr;
+  Writer.i32 w l.ldr;
+  Writer.i32 w l.dfr;
+  Writer.i32 w l.svr;
+  Writer.array w (Writer.i32 w) l.lvt;
+  Writer.i32 w l.timer_icr;
+  Writer.i32 w l.timer_ccr;
+  Writer.i32 w l.timer_dcr;
+  Writer.bool w l.enabled
+
+let get_lapic r : Vmstate.Lapic.t =
+  let apic_id = Reader.u32 r in
+  let version = Reader.u32 r in
+  let tpr = Reader.u8 r in
+  let irr = Reader.array r Reader.u64 in
+  let isr = Reader.array r Reader.u64 in
+  let tmr = Reader.array r Reader.u64 in
+  let ldr = Reader.i32 r in
+  let dfr = Reader.i32 r in
+  let svr = Reader.i32 r in
+  let lvt = Reader.array r Reader.i32 in
+  let timer_icr = Reader.i32 r in
+  let timer_ccr = Reader.i32 r in
+  let timer_dcr = Reader.i32 r in
+  let enabled = Reader.bool r in
+  { apic_id; version; tpr; ldr; dfr; svr; isr; irr; tmr; lvt; timer_dcr;
+    timer_icr; timer_ccr; enabled }
+
+let put_xsave w (x : Vmstate.Xsave.t) =
+  Writer.u64 w x.xstate_bv;
+  Writer.list w
+    (fun (c : Vmstate.Xsave.component) ->
+      Writer.u32 w c.id;
+      Writer.array w (Writer.u64 w) c.data)
+    x.components
+
+let put_xcrs w (x : Vmstate.Xsave.t) =
+  (* struct kvm_xcrs: one entry, XCR0. *)
+  Writer.u32 w 1;
+  Writer.u32 w 0 (* xcr index 0 *);
+  Writer.u64 w x.xcr0
+
+let put_irqchip w (io : Vmstate.Ioapic.t) =
+  if Vmstate.Ioapic.pin_count io > Vmstate.Ioapic.kvm_pins then
+    invalid_arg "Ioctl_stream: IOAPIC exceeds KVM's 24 pins";
+  Writer.u32 w io.id;
+  Writer.array w
+    (fun (p : Vmstate.Ioapic.redirection) ->
+      Writer.u8 w p.vector;
+      Writer.u8 w
+        ((p.delivery_mode lor (p.dest_mode lsl 3) lor (p.polarity lsl 4)
+          lor (p.trigger_mode lsl 5) lor (if p.masked then 0x40 else 0)));
+      Writer.u8 w p.dest)
+    io.pins
+
+let get_irqchip r : Vmstate.Ioapic.t =
+  let id = Reader.u32 r in
+  let pins =
+    Reader.array r (fun r ->
+        let vector = Reader.u8 r in
+        let flags = Reader.u8 r in
+        let dest = Reader.u8 r in
+        {
+          Vmstate.Ioapic.vector;
+          delivery_mode = flags land 0x7;
+          dest_mode = (flags lsr 3) land 1;
+          polarity = (flags lsr 4) land 1;
+          trigger_mode = (flags lsr 5) land 1;
+          masked = flags land 0x40 <> 0;
+          dest;
+        })
+  in
+  { id; pins }
+
+let put_pit2 w (p : Vmstate.Pit.t) =
+  Writer.array w
+    (fun (c : Vmstate.Pit.channel) ->
+      (* struct kvm_pit_channel_state field order. *)
+      Writer.u32 w c.count;
+      Writer.u16 w c.latched_count;
+      Writer.u8 w c.read_state;
+      Writer.u8 w c.write_state;
+      Writer.u8 w c.status;
+      Writer.u8 w c.mode;
+      Writer.u8 w (if c.bcd then 1 else 0);
+      Writer.u8 w (if c.gate then 1 else 0))
+    p.channels;
+  Writer.bool w p.speaker_data_on
+
+let get_pit2 r : Vmstate.Pit.t =
+  let channels =
+    Reader.array r (fun r ->
+        let count = Reader.u32 r in
+        let latched_count = Reader.u16 r in
+        let read_state = Reader.u8 r in
+        let write_state = Reader.u8 r in
+        let status = Reader.u8 r in
+        let mode = Reader.u8 r in
+        let bcd = Reader.u8 r = 1 in
+        let gate = Reader.u8 r = 1 in
+        { Vmstate.Pit.count; latched_count; status; read_state; write_state;
+          mode; bcd; gate })
+  in
+  let speaker_data_on = Reader.bool r in
+  { channels; speaker_data_on }
+
+let encode (p : platform) =
+  let w = Writer.create () in
+  List.iter
+    (fun (v : Vmstate.Vcpu.t) ->
+      ioctl w vcpu_marker (fun w -> Writer.u32 w v.index);
+      ioctl w kvm_get_regs (fun w -> put_regs w v.regs.gprs);
+      ioctl w kvm_get_sregs (fun w -> put_sregs w v.regs.sregs);
+      (* MTRR state travels inside the MSR list. *)
+      ioctl w kvm_get_msrs (fun w ->
+          put_msrs w (v.regs.msrs @ Vmstate.Mtrr.to_msrs v.mtrr));
+      ioctl w kvm_get_fpu (fun w -> put_fpu w v.regs.fpu);
+      ioctl w kvm_get_lapic (fun w -> put_lapic w v.lapic);
+      ioctl w kvm_get_xcrs (fun w -> put_xcrs w v.xsave);
+      ioctl w kvm_get_xsave (fun w -> put_xsave w v.xsave))
+    p.vcpus;
+  ioctl w kvm_get_irqchip (fun w -> put_irqchip w p.ioapic);
+  ioctl w kvm_get_pit2 (fun w -> put_pit2 w p.pit);
+  Writer.contents w
+
+(* MSR indices that belong to the MTRR block. *)
+let is_mtrr_msr index =
+  index = 0x2FF
+  || (index >= 0x200 && index < 0x210)
+  || List.mem index
+       [ 0x250; 0x258; 0x259; 0x268; 0x269; 0x26A; 0x26B; 0x26C; 0x26D; 0x26E; 0x26F ]
+
+exception Unknown_code of int
+
+type partial_vcpu = {
+  mutable k_index : int;
+  mutable k_regs : Vmstate.Regs.gprs option;
+  mutable k_sregs : Vmstate.Regs.sregs option;
+  mutable k_msrs : Vmstate.Regs.msr list option;
+  mutable k_fpu : Vmstate.Regs.fpu option;
+  mutable k_lapic : Vmstate.Lapic.t option;
+  mutable k_xcr0 : int64 option;
+  mutable k_xsave : (int64 * Vmstate.Xsave.component list) option;
+}
+
+let decode data =
+  let r = Reader.create data in
+  let vcpus = ref [] in
+  let current = ref None in
+  let ioapic = ref None in
+  let pit = ref None in
+  let finish_current () =
+    match !current with
+    | None -> ()
+    | Some p -> (
+      match (p.k_regs, p.k_sregs, p.k_msrs, p.k_fpu, p.k_lapic, p.k_xcr0, p.k_xsave) with
+      | Some gprs, Some sregs, Some all_msrs, Some fpu, Some lapic,
+        Some xcr0, Some (xstate_bv, components) ->
+        let mtrr_msrs, msrs =
+          List.partition (fun (m : Vmstate.Regs.msr) -> is_mtrr_msr m.index) all_msrs
+        in
+        let mtrr =
+          match Vmstate.Mtrr.of_msrs mtrr_msrs with
+          | Some m -> m
+          | None -> raise (Reader.Bad_format "incomplete MTRR MSR block")
+        in
+        let vcpu : Vmstate.Vcpu.t =
+          { index = p.k_index; regs = { gprs; sregs; msrs; fpu }; lapic;
+            mtrr; xsave = { xcr0; xstate_bv; components } }
+        in
+        vcpus := vcpu :: !vcpus;
+        current := None
+      | _ -> raise (Reader.Bad_format "incomplete vCPU ioctl group"))
+  in
+  try
+    while not (Reader.eof r) do
+      let code = Reader.u32 r in
+      let len = Reader.u32 r in
+      if Reader.remaining r < len then raise Reader.Truncated;
+      let body = Bytes.create len in
+      for i = 0 to len - 1 do
+        Bytes.set_uint8 body i (Reader.u8 r)
+      done;
+      let br = Reader.create body in
+      if code = vcpu_marker then begin
+        finish_current ();
+        current :=
+          Some
+            { k_index = Reader.u32 br; k_regs = None; k_sregs = None;
+              k_msrs = None; k_fpu = None; k_lapic = None; k_xcr0 = None;
+              k_xsave = None }
+      end
+      else begin
+        let need_vcpu () =
+          match !current with
+          | Some p -> p
+          | None -> raise (Reader.Bad_format "vCPU ioctl outside vCPU group")
+        in
+        if code = kvm_get_regs then (need_vcpu ()).k_regs <- Some (get_regs br)
+        else if code = kvm_get_sregs then
+          (need_vcpu ()).k_sregs <- Some (get_sregs br)
+        else if code = kvm_get_msrs then
+          (need_vcpu ()).k_msrs <- Some (get_msrs br)
+        else if code = kvm_get_fpu then (need_vcpu ()).k_fpu <- Some (get_fpu br)
+        else if code = kvm_get_lapic then
+          (need_vcpu ()).k_lapic <- Some (get_lapic br)
+        else if code = kvm_get_xcrs then begin
+          let n = Reader.u32 br in
+          if n <> 1 then raise (Reader.Bad_format "unexpected xcr count");
+          let _idx = Reader.u32 br in
+          (need_vcpu ()).k_xcr0 <- Some (Reader.u64 br)
+        end
+        else if code = kvm_get_xsave then begin
+          let xstate_bv = Reader.u64 br in
+          let components =
+            Reader.list br (fun r ->
+                let id = Reader.u32 r in
+                let data = Reader.array r Reader.u64 in
+                { Vmstate.Xsave.id; data })
+          in
+          (need_vcpu ()).k_xsave <- Some (xstate_bv, components)
+        end
+        else if code = kvm_get_irqchip then begin
+          finish_current ();
+          ioapic := Some (get_irqchip br)
+        end
+        else if code = kvm_get_pit2 then begin
+          finish_current ();
+          pit := Some (get_pit2 br)
+        end
+        else raise (Unknown_code code)
+      end
+    done;
+    finish_current ();
+    match (!ioapic, !pit) with
+    | Some ioapic, Some pit ->
+      let vcpus =
+        List.sort
+          (fun (a : Vmstate.Vcpu.t) b -> Int.compare a.index b.index)
+          !vcpus
+      in
+      Ok { vcpus; ioapic; pit }
+    | _ -> Error (Malformed "missing IRQCHIP or PIT2")
+  with
+  | Reader.Truncated -> Error Truncated
+  | Reader.Bad_format msg -> Error (Malformed msg)
+  | Unknown_code c -> Error (Unknown_ioctl c)

@@ -1,0 +1,34 @@
+(** KVM's native VM state container: a stream of ioctl payloads.
+
+    kvmtool saves/restores a VM by issuing KVM_GET_*/KVM_SET_* ioctls;
+    the serialised stream therefore differs structurally from Xen's HVM
+    records: MTRR state travels inside the MSR list (Table 2:
+    MTRR <-> MSRS), the LAPIC is one register-page payload, XSAVE splits
+    into XCRS + XSAVE, and the IRQCHIP carries 24 IOAPIC pins. *)
+
+type error = Truncated | Unknown_ioctl of int | Malformed of string
+
+val pp_error : Format.formatter -> error -> unit
+
+(* ioctl codes (KVM API subset). *)
+val kvm_get_regs : int
+val kvm_get_sregs : int
+val kvm_get_msrs : int
+val kvm_get_fpu : int
+val kvm_get_lapic : int
+val kvm_get_xsave : int
+val kvm_get_xcrs : int
+val kvm_get_irqchip : int
+val kvm_get_pit2 : int
+
+type platform = {
+  vcpus : Vmstate.Vcpu.t list;
+  ioapic : Vmstate.Ioapic.t; (** 24 pins *)
+  pit : Vmstate.Pit.t;
+}
+
+val encode : platform -> bytes
+(** Raises [Invalid_argument] if the IOAPIC has more pins than KVM's
+    irqchip can hold. *)
+
+val decode : bytes -> (platform, error) result

@@ -1,0 +1,16 @@
+(** The simulated KVM hypervisor (Linux 5.3 + kvmtool, type-II),
+    re-engineered for HyperTP.
+
+    Implements {!Hv.Intf.S}: VMs are kvmtool processes over vm/vcpu file
+    descriptors, EPT is the hypervisor-dependent VM_i State, the host
+    CFS run-queue is the VM Management State, platform state moves
+    through an ioctl-payload stream (with MTRR folded into MSRS and a
+    24-pin irqchip), and the cost model reproduces KVM's fast type-II
+    reboot and lightweight resume. *)
+
+include Hv.Intf.S
+
+val vm_fd : domain -> int
+val ept_frames : domain -> int
+val vmm_process : t -> vm_name:string -> Kvmtool.process option
+val run_queue : t -> Cfs.t

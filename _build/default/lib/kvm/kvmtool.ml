@@ -1,0 +1,32 @@
+type process = {
+  pid : int;
+  proc_vm_name : string;
+  guest_mmap_bytes : Hw.Units.bytes_;
+}
+
+type t = { mutable procs : process list; mutable next_pid : int }
+
+let create () = { procs = []; next_pid = 1000 }
+
+let spawn t ~vm_name ~guest_bytes =
+  if List.exists (fun p -> String.equal p.proc_vm_name vm_name) t.procs then
+    invalid_arg ("Kvmtool.spawn: duplicate VM " ^ vm_name);
+  let p = { pid = t.next_pid; proc_vm_name = vm_name; guest_mmap_bytes = guest_bytes } in
+  t.next_pid <- t.next_pid + 1;
+  t.procs <- t.procs @ [ p ];
+  p
+
+let kill t ~vm_name =
+  if not (List.exists (fun p -> String.equal p.proc_vm_name vm_name) t.procs)
+  then invalid_arg ("Kvmtool.kill: no process for " ^ vm_name);
+  t.procs <- List.filter (fun p -> not (String.equal p.proc_vm_name vm_name)) t.procs
+
+let find t ~vm_name =
+  List.find_opt (fun p -> String.equal p.proc_vm_name vm_name) t.procs
+
+let processes t = t.procs
+let count t = List.length t.procs
+
+let state_bytes t =
+  (* task_struct + fd table + vma list per process. *)
+  count t * 24_576

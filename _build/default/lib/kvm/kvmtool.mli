@@ -1,0 +1,25 @@
+(** The kvmtool userspace VMM: one lightweight host process per VM.
+
+    kvmtool's small footprint is why MigrationTP's destination-side
+    resume is ~27x faster than Xen's toolstack path (Table 4), and its
+    one-process-per-VM model is why KVM receives parallel migrations
+    without the serialisation Xen suffers (Fig. 8). *)
+
+type process = {
+  pid : int;
+  proc_vm_name : string;
+  guest_mmap_bytes : Hw.Units.bytes_; (** guest memory mapped into the VMM *)
+}
+
+type t
+
+val create : unit -> t
+
+val spawn : t -> vm_name:string -> guest_bytes:Hw.Units.bytes_ -> process
+(** Raises [Invalid_argument] on duplicate VM names. *)
+
+val kill : t -> vm_name:string -> unit
+val find : t -> vm_name:string -> process option
+val processes : t -> process list
+val count : t -> int
+val state_bytes : t -> int

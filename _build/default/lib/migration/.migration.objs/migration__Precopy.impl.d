@@ -1,0 +1,1 @@
+lib/migration/precopy.ml: Float Format Hw Int64 List Sim Stdlib Vmstate

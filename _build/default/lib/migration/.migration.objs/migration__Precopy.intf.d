@@ -1,0 +1,1 @@
+lib/migration/precopy.mli: Format Hw Sim Vmstate

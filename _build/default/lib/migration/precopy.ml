@@ -1,0 +1,173 @@
+type params = {
+  nic : Hw.Nic.t;
+  streams : int;
+  max_rounds : int;
+  stop_threshold_pages : int;
+  page_overhead_bytes : int;
+}
+
+let default_params ~nic ?(streams = 1) () =
+  { nic; streams; max_rounds = 5; stop_threshold_pages = 50;
+    page_overhead_bytes = 16 }
+
+type round = { index : int; pages_sent : int; duration : Sim.Time.t }
+
+type plan = {
+  rounds : round list;
+  precopy_time : Sim.Time.t;
+  final_pages : int;
+  stop_copy_time : Sim.Time.t;
+  total_bytes : Hw.Units.bytes_;
+}
+
+let page_time params ~page_bytes =
+  let wire = page_bytes + params.page_overhead_bytes in
+  float_of_int wire
+  /. Hw.Nic.throughput_bytes_per_sec params.nic ~streams:params.streams
+
+let plan params ~page_bytes ~total_pages ~dirty_pages_per_sec =
+  if total_pages <= 0 then invalid_arg "Precopy.plan: non-positive pages";
+  if page_bytes <= 0 then invalid_arg "Precopy.plan: non-positive page size";
+  let per_page = page_time params ~page_bytes in
+  let rec iterate index to_send acc_rounds acc_time acc_pages =
+    let duration_s = float_of_int to_send *. per_page in
+    let round =
+      { index; pages_sent = to_send; duration = Sim.Time.of_sec_f duration_s }
+    in
+    let acc_rounds = round :: acc_rounds in
+    let acc_time = acc_time +. duration_s in
+    let acc_pages = acc_pages + to_send in
+    (* Pages dirtied while this round was on the wire (cannot exceed the
+       guest's page count). *)
+    let dirtied =
+      Stdlib.min total_pages
+        (int_of_float (Float.round (dirty_pages_per_sec *. duration_s)))
+    in
+    if dirtied <= params.stop_threshold_pages || index + 1 >= params.max_rounds
+    then (List.rev acc_rounds, acc_time, acc_pages, dirtied)
+    else iterate (index + 1) dirtied acc_rounds acc_time acc_pages
+  in
+  let rounds, precopy_s, pages_sent, final_pages =
+    iterate 0 total_pages [] 0.0 0
+  in
+  let stop_copy_s = float_of_int final_pages *. per_page in
+  {
+    rounds;
+    precopy_time = Sim.Time.of_sec_f precopy_s;
+    final_pages;
+    stop_copy_time =
+      Sim.Time.add (Hw.Nic.latency params.nic) (Sim.Time.of_sec_f stop_copy_s);
+    total_bytes = (pages_sent + final_pages) * page_bytes;
+  }
+
+let converges params ~page_bytes ~dirty_pages_per_sec =
+  let per_page = page_time params ~page_bytes in
+  dirty_pages_per_sec *. per_page < 1.0
+
+let copy_memory ~src ~dst =
+  if Vmstate.Guest_mem.page_count src <> Vmstate.Guest_mem.page_count dst then
+    invalid_arg "Precopy.copy_memory: page count mismatch";
+  if Vmstate.Guest_mem.page_kind src <> Vmstate.Guest_mem.page_kind dst then
+    invalid_arg "Precopy.copy_memory: page kind mismatch";
+  let n = Vmstate.Guest_mem.page_count src in
+  for i = 0 to n - 1 do
+    Vmstate.Guest_mem.write_page dst i (Vmstate.Guest_mem.read_page src i)
+  done;
+  Vmstate.Guest_mem.clear_dirty dst;
+  n
+
+type live_round = {
+  live_index : int;
+  guest_pages_sent : int;
+  wall : Sim.Time.t;
+}
+
+type live_result = {
+  live_rounds : live_round list;
+  final_guest_pages : int;
+  pages_copied_total : int;
+  live_precopy_time : Sim.Time.t;
+  live_stop_time : Sim.Time.t;
+  memory_equal : bool;
+}
+
+let run_live params ~src ~dst ~dirty_pages_per_sec ~rng =
+  if Vmstate.Guest_mem.page_count src <> Vmstate.Guest_mem.page_count dst then
+    invalid_arg "Precopy.run_live: page count mismatch";
+  if Vmstate.Guest_mem.page_kind src <> Vmstate.Guest_mem.page_kind dst then
+    invalid_arg "Precopy.run_live: page kind mismatch";
+  let fpp = Hw.Units.frames_per_page (Vmstate.Guest_mem.page_kind src) in
+  let guest_page_bytes = Hw.Units.page_size (Vmstate.Guest_mem.page_kind src) in
+  let per_guest_page = page_time params ~page_bytes:guest_page_bytes in
+  (* Dirty logging is 4 KiB-granular; over huge-page backing, scattered
+     stores concentrate on working-set pages, so we conservatively map
+     the rate onto guest pages. *)
+  let guest_dirty_rate =
+    Float.max 0.05 (dirty_pages_per_sec /. float_of_int fpp)
+  in
+  let threshold_guest =
+    Stdlib.max 1 (params.stop_threshold_pages / fpp)
+  in
+  let copy_pages pages =
+    List.iter
+      (fun i -> Vmstate.Guest_mem.write_page dst i (Vmstate.Guest_mem.read_page src i))
+      pages
+  in
+  let touch duration_s =
+    let n = int_of_float (Float.round (guest_dirty_rate *. duration_s)) in
+    if n > 0 then Vmstate.Guest_mem.touch_random src rng n
+  in
+  Vmstate.Guest_mem.clear_dirty src;
+  (* Round 0: everything. *)
+  let npages = Vmstate.Guest_mem.page_count src in
+  let all = List.init npages (fun i -> i) in
+  copy_pages all;
+  let d0 = float_of_int npages *. per_guest_page in
+  touch d0;
+  let rounds =
+    ref [ { live_index = 0; guest_pages_sent = npages; wall = Sim.Time.of_sec_f d0 } ]
+  in
+  let total = ref npages in
+  let precopy = ref d0 in
+  let continue = ref true in
+  while !continue do
+    let dirty = Vmstate.Guest_mem.dirty_pages src in
+    let n = List.length dirty in
+    let index = List.length !rounds in
+    if n <= threshold_guest || index >= params.max_rounds then continue := false
+    else begin
+      (* Snapshot this round's dirty set, clear the log, send, and let
+         the guest dirty more while the data is on the wire. *)
+      List.iter (Vmstate.Guest_mem.clear_dirty_page src) dirty;
+      copy_pages dirty;
+      let d = float_of_int n *. per_guest_page in
+      touch d;
+      rounds :=
+        { live_index = index; guest_pages_sent = n; wall = Sim.Time.of_sec_f d }
+        :: !rounds;
+      total := !total + n;
+      precopy := !precopy +. d
+    end
+  done;
+  (* Stop-and-copy: the guest is paused, nothing dirties anymore. *)
+  let final = Vmstate.Guest_mem.dirty_pages src in
+  List.iter (Vmstate.Guest_mem.clear_dirty_page src) final;
+  copy_pages final;
+  Vmstate.Guest_mem.clear_dirty dst;
+  let stop = float_of_int (List.length final) *. per_guest_page in
+  {
+    live_rounds = List.rev !rounds;
+    final_guest_pages = List.length final;
+    pages_copied_total = !total + List.length final;
+    live_precopy_time = Sim.Time.of_sec_f !precopy;
+    live_stop_time =
+      Sim.Time.add (Hw.Nic.latency params.nic) (Sim.Time.of_sec_f stop);
+    memory_equal =
+      Int64.equal (Vmstate.Guest_mem.checksum src) (Vmstate.Guest_mem.checksum dst);
+  }
+
+let pp_plan fmt p =
+  Format.fprintf fmt
+    "precopy: %d rounds, %a running + %a stopped (%d final pages, %a on wire)"
+    (List.length p.rounds) Sim.Time.pp p.precopy_time Sim.Time.pp
+    p.stop_copy_time p.final_pages Hw.Units.pp_bytes p.total_bytes

@@ -1,0 +1,73 @@
+(** The pre-copy live-migration engine (Clark et al., NSDI'05 — the
+    paper's reference [12]).
+
+    Round 0 sends every guest page while the VM keeps running; each
+    following round sends the pages dirtied during the previous one; the
+    loop stops when the remaining dirty set is small enough (or a round
+    cap is hit), and the final stop-and-copy sends the remainder while
+    the VM is paused. *)
+
+type params = {
+  nic : Hw.Nic.t;
+  streams : int;       (** concurrent migrations sharing the link *)
+  max_rounds : int;    (** cap on pre-copy iterations (default 5) *)
+  stop_threshold_pages : int;  (** switch to stop-and-copy below this *)
+  page_overhead_bytes : int;   (** per-page protocol framing *)
+}
+
+val default_params : nic:Hw.Nic.t -> ?streams:int -> unit -> params
+
+type round = { index : int; pages_sent : int; duration : Sim.Time.t }
+
+type plan = {
+  rounds : round list;
+  precopy_time : Sim.Time.t;  (** VM running, degraded *)
+  final_pages : int;          (** sent during stop-and-copy *)
+  stop_copy_time : Sim.Time.t;
+  total_bytes : Hw.Units.bytes_;
+}
+
+val plan :
+  params -> page_bytes:int -> total_pages:int -> dirty_pages_per_sec:float ->
+  plan
+(** Closed-form iteration of the pre-copy recurrence. Raises
+    [Invalid_argument] on non-positive page counts. *)
+
+val converges : params -> page_bytes:int -> dirty_pages_per_sec:float -> bool
+(** Whether the dirty rate stays below the link rate (otherwise rounds
+    stop shrinking and the round cap decides downtime). *)
+
+val copy_memory :
+  src:Vmstate.Guest_mem.t -> dst:Vmstate.Guest_mem.t -> int
+(** Actually copy guest page contents source -> destination (the data
+    path under the plan's timings); returns pages copied.  Raises
+    [Invalid_argument] on size/page-kind mismatch.  Clears the
+    destination's dirty bits. *)
+
+type live_round = {
+  live_index : int;
+  guest_pages_sent : int;
+  wall : Sim.Time.t;
+}
+
+type live_result = {
+  live_rounds : live_round list;
+  final_guest_pages : int;  (** copied during the stop-and-copy *)
+  pages_copied_total : int;
+  live_precopy_time : Sim.Time.t;
+  live_stop_time : Sim.Time.t;
+  memory_equal : bool;      (** destination == source afterwards *)
+}
+
+val run_live :
+  params -> src:Vmstate.Guest_mem.t -> dst:Vmstate.Guest_mem.t ->
+  dirty_pages_per_sec:float -> rng:Sim.Rng.t -> live_result
+(** The full pre-copy loop over {e actual} dirty bits: round 0 copies
+    every guest page; while each round's data is "on the wire" the
+    source keeps dirtying pages (driven deterministically by [rng] at
+    the given 4 KiB-page rate); following rounds copy exactly the dirty
+    set and clear it; the stop-and-copy moves the remainder and the
+    result records whether the destination ended bit-identical.  Raises
+    like {!copy_memory} on geometry mismatches. *)
+
+val pp_plan : Format.formatter -> plan -> unit

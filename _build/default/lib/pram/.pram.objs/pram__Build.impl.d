@@ -1,0 +1,1 @@
+lib/pram/build.ml: Array Bytes Entry Hashtbl Hw Int Int64 Layout List String

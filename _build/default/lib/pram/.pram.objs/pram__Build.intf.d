@@ -1,0 +1,1 @@
+lib/pram/build.mli: Entry Hw Layout Uisr

@@ -1,0 +1,1 @@
+lib/pram/entry.ml: Format Hw Int Int64 List Uisr

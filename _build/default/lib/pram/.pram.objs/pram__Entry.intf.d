@@ -1,0 +1,1 @@
+lib/pram/entry.mli: Format Hw Uisr

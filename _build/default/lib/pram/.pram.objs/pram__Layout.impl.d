@@ -1,0 +1,1 @@
+lib/pram/layout.ml: Format Hw List

@@ -1,0 +1,1 @@
+lib/pram/layout.mli: Format

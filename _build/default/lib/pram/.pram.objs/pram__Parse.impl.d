@@ -1,0 +1,1 @@
+lib/pram/parse.ml: Build Bytes Entry Format Hw Int64 Layout List

@@ -1,0 +1,1 @@
+lib/pram/parse.mli: Build Entry Format Hw

@@ -1,0 +1,79 @@
+type t = { gfn : Hw.Frame.Gfn.t; mfn : Hw.Frame.Mfn.t; order : int }
+
+let max_order = 9
+let gfn_bits = 26
+let mfn_bits = 32
+let order_bits = 6
+
+let create ~gfn ~mfn ~order =
+  if order < 0 || order > max_order then invalid_arg "Pram.Entry: bad order";
+  if Hw.Frame.Gfn.to_int gfn >= 1 lsl gfn_bits then
+    invalid_arg "Pram.Entry: gfn exceeds field width";
+  if Hw.Frame.Mfn.to_int mfn >= 1 lsl mfn_bits then
+    invalid_arg "Pram.Entry: mfn exceeds field width";
+  { gfn; mfn; order }
+
+let frames t = 1 lsl t.order
+
+let pack t =
+  let g = Int64.of_int (Hw.Frame.Gfn.to_int t.gfn) in
+  let m = Int64.of_int (Hw.Frame.Mfn.to_int t.mfn) in
+  let o = Int64.of_int t.order in
+  Int64.logor
+    (Int64.shift_left g (mfn_bits + order_bits))
+    (Int64.logor (Int64.shift_left m order_bits) o)
+
+let unpack packed =
+  let mask bits = Int64.sub (Int64.shift_left 1L bits) 1L in
+  let o = Int64.to_int (Int64.logand packed (mask order_bits)) in
+  let m =
+    Int64.to_int
+      (Int64.logand (Int64.shift_right_logical packed order_bits) (mask mfn_bits))
+  in
+  let g =
+    Int64.to_int
+      (Int64.logand
+         (Int64.shift_right_logical packed (mfn_bits + order_bits))
+         (mask gfn_bits))
+  in
+  create ~gfn:(Hw.Frame.Gfn.of_int g) ~mfn:(Hw.Frame.Mfn.of_int m) ~order:o
+
+let of_memmap_entry ~granularity (e : Uisr.Vm_state.memmap_entry) =
+  match granularity with
+  | Hw.Units.Page_4k ->
+    List.init e.frames (fun i ->
+        create
+          ~gfn:(Hw.Frame.Gfn.add e.gfn i)
+          ~mfn:(Hw.Frame.Mfn.add e.mfn i)
+          ~order:0)
+  | Hw.Units.Page_2m ->
+    (* Split into maximal power-of-two, naturally-aligned runs. *)
+    let rec go gfn mfn frames acc =
+      if frames = 0 then List.rev acc
+      else begin
+        let rec largest o =
+          if o < max_order && 1 lsl (o + 1) <= frames
+             && Hw.Frame.Mfn.to_int mfn mod (1 lsl (o + 1)) = 0
+          then largest (o + 1)
+          else o
+        in
+        let order = largest 0 in
+        let n = 1 lsl order in
+        go (Hw.Frame.Gfn.add gfn n) (Hw.Frame.Mfn.add mfn n) (frames - n)
+          (create ~gfn ~mfn ~order :: acc)
+      end
+    in
+    go e.gfn e.mfn e.frames []
+
+let equal a b =
+  Hw.Frame.Gfn.equal a.gfn b.gfn && Hw.Frame.Mfn.equal a.mfn b.mfn
+  && a.order = b.order
+
+let compare a b =
+  match Hw.Frame.Gfn.compare a.gfn b.gfn with
+  | 0 -> Int.compare a.order b.order
+  | c -> c
+
+let pp fmt t =
+  Format.fprintf fmt "%a -> %a x%d" Hw.Frame.Gfn.pp t.gfn Hw.Frame.Mfn.pp
+    t.mfn (frames t)

@@ -1,0 +1,38 @@
+(** PRAM page entries.
+
+    Each entry records one run of guest memory: the guest frame number,
+    the machine frame number backing it, and a power-of-two run length
+    (so hypervisor-side large pages are one entry — section 4.2.5).
+    Entries pack into 8 bytes, which is where the paper's "8-byte records
+    for every VM's memory page" worst-case overhead comes from. *)
+
+type t = {
+  gfn : Hw.Frame.Gfn.t;
+  mfn : Hw.Frame.Mfn.t;
+  order : int; (** run covers [2^order] 4 KiB frames; 0..9 *)
+}
+
+val max_order : int (* 9 = one 2 MiB page *)
+
+val create : gfn:Hw.Frame.Gfn.t -> mfn:Hw.Frame.Mfn.t -> order:int -> t
+(** Raises [Invalid_argument] if [order] is out of range or either frame
+    number exceeds the packed field width. *)
+
+val frames : t -> int
+
+val pack : t -> int64
+(** 8-byte encoding: gfn in bits 63..38, mfn in bits 37..6, order in
+    bits 5..0. *)
+
+val unpack : int64 -> t
+
+val of_memmap_entry :
+  granularity:Hw.Units.page_kind -> Uisr.Vm_state.memmap_entry -> t list
+(** Convert a UISR memory-map run into PRAM entries.  With [Page_4k]
+    granularity every 4 KiB frame gets its own entry (the original PRAM
+    patchset); with [Page_2m] runs are split into maximal power-of-two
+    entries up to 2 MiB (the paper's huge-page adaptation). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

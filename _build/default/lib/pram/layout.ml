@@ -1,0 +1,54 @@
+let page_bytes = 4096
+let node_header_bytes = 16 (* next-node pointer + entry count *)
+let entries_per_node = (page_bytes - node_header_bytes) / 8 (* 510 *)
+
+(* A file pointer is an MFN (8 B); root pages keep a 16 B header. *)
+let file_pointers_per_root = (page_bytes - 16) / 8
+let root_pointers_per_pointer_page = (page_bytes - 16) / 8
+
+let div_ceil a b = (a + b - 1) / b
+
+let node_pages_for ~entries =
+  if entries < 0 then invalid_arg "Layout.node_pages_for: negative";
+  if entries = 0 then 1 else div_ceil entries entries_per_node
+
+let root_pages_for ~files =
+  if files <= 0 then invalid_arg "Layout.root_pages_for: non-positive";
+  div_ceil files file_pointers_per_root
+
+type accounting = {
+  pointer_pages : int;
+  root_pages : int;
+  file_info_pages : int;
+  node_pages : int;
+  total_pages : int;
+  total_bytes : int;
+  entry_count : int;
+}
+
+let account ~entries_per_file =
+  let files = List.length entries_per_file in
+  if files = 0 then invalid_arg "Layout.account: no files";
+  let node_pages =
+    List.fold_left (fun acc n -> acc + node_pages_for ~entries:n) 0
+      entries_per_file
+  in
+  let root_pages = root_pages_for ~files in
+  let pointer_pages = 1 in
+  let file_info_pages = files in
+  let total_pages = pointer_pages + root_pages + file_info_pages + node_pages in
+  {
+    pointer_pages;
+    root_pages;
+    file_info_pages;
+    node_pages;
+    total_pages;
+    total_bytes = total_pages * page_bytes;
+    entry_count = List.fold_left ( + ) 0 entries_per_file;
+  }
+
+let pp_accounting fmt a =
+  Format.fprintf fmt
+    "pram: %d entries in %d node pages (+%d file info, %d root, %d pointer) = %a"
+    a.entry_count a.node_pages a.file_info_pages a.root_pages a.pointer_pages
+    Hw.Units.pp_bytes a.total_bytes

@@ -1,0 +1,34 @@
+(** Page layout and size accounting for the PRAM structure (Fig. 4).
+
+    The structure lives in 4 KiB metadata pages: the PRAM pointer page
+    links root directory pages; root directory pages hold file pointers;
+    each file-info page describes one VM's memory and heads a chain of
+    node pages full of 8-byte page entries.  Fig. 14's "PRAM structures"
+    series is the total byte count computed here. *)
+
+val page_bytes : int (* 4096 *)
+
+val node_header_bytes : int
+val entries_per_node : int
+
+val file_pointers_per_root : int
+val root_pointers_per_pointer_page : int
+
+val node_pages_for : entries:int -> int
+val root_pages_for : files:int -> int
+
+type accounting = {
+  pointer_pages : int;
+  root_pages : int;
+  file_info_pages : int;
+  node_pages : int;
+  total_pages : int;
+  total_bytes : int;
+  entry_count : int;
+}
+
+val account : entries_per_file:int list -> accounting
+(** Size the structure for one file per VM with the given entry
+    counts. *)
+
+val pp_accounting : Format.formatter -> accounting -> unit

@@ -1,0 +1,107 @@
+type parsed_file = {
+  name : string;
+  size : Hw.Units.bytes_;
+  mode : int;
+  entries : Entry.t list;
+}
+
+type error =
+  | Missing_page of Hw.Frame.Mfn.t
+  | Clobbered_page of Hw.Frame.Mfn.t
+  | Bad_page_kind of { mfn : Hw.Frame.Mfn.t; expected : int; got : int }
+  | Cycle_detected
+
+let pp_error fmt = function
+  | Missing_page mfn -> Format.fprintf fmt "missing page at %a" Hw.Frame.Mfn.pp mfn
+  | Clobbered_page mfn ->
+    Format.fprintf fmt "clobbered page at %a (sentinel gone)" Hw.Frame.Mfn.pp mfn
+  | Bad_page_kind { mfn; expected; got } ->
+    Format.fprintf fmt "page %a: expected kind 0x%x, got 0x%x" Hw.Frame.Mfn.pp
+      mfn expected got
+  | Cycle_detected -> Format.pp_print_string fmt "cycle in page chain"
+
+exception Fail of error
+
+let get_u64 page off = Bytes.get_int64_le page off
+
+let load_page ~pmem ~image ~expected mfn =
+  (match Hw.Pmem.read pmem mfn with
+  | Some tag when Int64.equal tag Build.sentinel -> ()
+  | Some _ | None -> raise (Fail (Clobbered_page mfn)));
+  match Build.page_content image mfn with
+  | None -> raise (Fail (Missing_page mfn))
+  | Some page ->
+    let kind = Bytes.get_uint8 page 0 in
+    if kind <> expected then
+      raise (Fail (Bad_page_kind { mfn; expected; got = kind }));
+    page
+
+let is_null mfn = Hw.Frame.Mfn.to_int mfn = 0
+
+let max_chain = 1 lsl 20
+
+let walk_chain ~pmem ~image ~expected first f =
+  let rec go mfn steps acc =
+    if is_null mfn then List.rev acc
+    else if steps > max_chain then raise (Fail Cycle_detected)
+    else begin
+      let page = load_page ~pmem ~image ~expected mfn in
+      let next = Hw.Frame.Mfn.of_int (Int64.to_int (get_u64 page 8)) in
+      go next (steps + 1) (f page :: acc)
+    end
+  in
+  go first 0 []
+
+let parse_node_chain ~pmem ~image first =
+  let per_page page =
+    let count = Bytes.get_uint16_le page 2 in
+    List.init count (fun i ->
+        Entry.unpack (get_u64 page (Layout.node_header_bytes + (8 * i))))
+  in
+  List.concat (walk_chain ~pmem ~image ~expected:0xA4 first per_page)
+
+let parse_file ~pmem ~image mfn =
+  let page = load_page ~pmem ~image ~expected:0xA3 mfn in
+  let size = Int64.to_int (get_u64 page 8) in
+  let mode = Bytes.get_uint16_le page 16 in
+  let first_node = Hw.Frame.Mfn.of_int (Int64.to_int (get_u64 page 24)) in
+  let name_len = Bytes.get_uint8 page 32 in
+  let name = Bytes.sub_string page 33 name_len in
+  let entries = parse_node_chain ~pmem ~image first_node in
+  { name; size; mode; entries }
+
+let parse ~pmem ~image pointer =
+  try
+    let pointer_page = load_page ~pmem ~image ~expected:0xA1 pointer in
+    let first_root =
+      Hw.Frame.Mfn.of_int (Int64.to_int (get_u64 pointer_page 8))
+    in
+    let file_mfns_per_root page =
+      let count = Bytes.get_uint16_le page 2 in
+      List.init count (fun i ->
+          Hw.Frame.Mfn.of_int (Int64.to_int (get_u64 page (16 + (8 * i)))))
+    in
+    let file_mfns =
+      List.concat
+        (walk_chain ~pmem ~image ~expected:0xA2 first_root file_mfns_per_root)
+    in
+    let parsed = List.map (parse_file ~pmem ~image) file_mfns in
+    (* Re-reserve every frame referenced by an entry so the rest of boot
+       cannot allocate over guest memory. *)
+    List.iter
+      (fun file ->
+        List.iter
+          (fun e ->
+            if Hw.Pmem.is_allocated pmem e.Entry.mfn then ()
+            else raise (Fail (Missing_page e.Entry.mfn)))
+          file.entries)
+      parsed;
+    Ok parsed
+  with Fail err -> Error err
+
+let pages_walked files =
+  let nfiles = List.length files in
+  1 (* pointer *) + Layout.root_pages_for ~files:nfiles + nfiles
+  + List.fold_left
+      (fun acc f -> acc + Layout.node_pages_for ~entries:(List.length f.entries))
+      0 files

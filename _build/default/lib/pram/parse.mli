@@ -1,0 +1,32 @@
+(** Early-boot PRAM parsing.
+
+    After the micro-reboot the target hypervisor receives the PRAM
+    pointer on its command line, walks the structure {e sequentially}
+    (which is why the Reboot phase grows with guest memory — Fig. 7b/7c),
+    verifies every metadata page's sentinel, rebuilds the per-VM file
+    table and re-reserves all referenced frames. *)
+
+type parsed_file = {
+  name : string;
+  size : Hw.Units.bytes_;
+  mode : int;
+  entries : Entry.t list;
+}
+
+type error =
+  | Missing_page of Hw.Frame.Mfn.t
+  | Clobbered_page of Hw.Frame.Mfn.t
+  | Bad_page_kind of { mfn : Hw.Frame.Mfn.t; expected : int; got : int }
+  | Cycle_detected
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse :
+  pmem:Hw.Pmem.t -> image:Build.image -> Hw.Frame.Mfn.t ->
+  (parsed_file list, error) result
+(** [parse ~pmem ~image pointer] walks the structure starting at the
+    PRAM pointer, checking each metadata frame's sentinel tag in host
+    memory ([Clobbered_page] if the reboot scrubbed it). *)
+
+val pages_walked : parsed_file list -> int
+(** Metadata pages touched by a sequential walk (cost-model input). *)

@@ -1,0 +1,92 @@
+(* A binary min-heap over (time, sequence) keys. The sequence number makes
+   the execution order of simultaneous events equal to their scheduling
+   order, which pins down determinism. *)
+
+type event = { at : Time.t; seq : int; run : unit -> unit }
+
+type t = {
+  mutable clock : Time.t;
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy = { at = Time.zero; seq = -1; run = ignore }
+let create () = { clock = Time.zero; heap = Array.make 64 dummy; size = 0; next_seq = 0 }
+let now t = t.clock
+let pending t = t.size
+
+let before a b =
+  match Time.compare a.at b.at with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  assert (t.size > 0);
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  if t.size > 0 then sift_down t 0;
+  top
+
+let schedule_at t at run =
+  if Time.(at < t.clock) then invalid_arg "Engine.schedule_at: time in the past";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  push t { at; seq; run }
+
+let schedule_after t delay run = schedule_at t (Time.add t.clock delay) run
+
+let run t =
+  while t.size > 0 do
+    let ev = pop t in
+    t.clock <- ev.at;
+    ev.run ()
+  done
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue && t.size > 0 do
+    if Time.(t.heap.(0).at <= limit) then begin
+      let ev = pop t in
+      t.clock <- ev.at;
+      ev.run ()
+    end
+    else continue := false
+  done;
+  if Time.(t.clock < limit) then t.clock <- limit

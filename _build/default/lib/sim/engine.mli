@@ -1,0 +1,30 @@
+(** Discrete-event simulation engine.
+
+    Events are closures scheduled at absolute virtual times and executed
+    in time order; ties break in scheduling order, which keeps every run
+    deterministic.  Handlers may schedule further events. *)
+
+type t
+
+val create : unit -> t
+(** A fresh engine with the clock at {!Time.zero}. *)
+
+val now : t -> Time.t
+(** Current virtual time.  Inside a handler, this is the event's time. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> unit
+(** [schedule_at e t f] runs [f] when the clock reaches [t].  Raises
+    [Invalid_argument] if [t] is in the past. *)
+
+val schedule_after : t -> Time.t -> (unit -> unit) -> unit
+(** [schedule_after e d f] runs [f] at [now e + d]. *)
+
+val run : t -> unit
+(** Execute events until the queue is empty. *)
+
+val run_until : t -> Time.t -> unit
+(** Execute events with time [<= limit], then advance the clock to
+    [limit] (even if the queue still holds later events). *)
+
+val pending : t -> int
+(** Number of events not yet executed. *)

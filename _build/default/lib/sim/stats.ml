@@ -1,0 +1,65 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  q1 : float;
+  q3 : float;
+}
+
+let mean samples =
+  match samples with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ ->
+    let total = List.fold_left ( +. ) 0.0 samples in
+    total /. float_of_int (List.length samples)
+
+let stddev samples =
+  match samples with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean samples in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 samples in
+    sqrt (sq /. float_of_int (List.length samples - 1))
+
+let percentile samples p =
+  if samples = [] then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = Array.of_list samples in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let summarize samples =
+  match samples with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+    {
+      n = List.length samples;
+      mean = mean samples;
+      stddev = stddev samples;
+      min = List.fold_left Float.min Float.infinity samples;
+      max = List.fold_left Float.max Float.neg_infinity samples;
+      median = percentile samples 50.0;
+      q1 = percentile samples 25.0;
+      q3 = percentile samples 75.0;
+    }
+
+let low_variance s = s.mean = 0.0 || s.stddev /. Float.abs s.mean < 0.05
+
+let pp_summary fmt s =
+  Format.fprintf fmt "%.4g +/- %.2g [%.4g..%.4g] (n=%d)" s.mean s.stddev s.min
+    s.max s.n
+
+let pp_boxplot fmt s =
+  Format.fprintf fmt "min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g (n=%d)" s.min
+    s.q1 s.median s.q3 s.max s.n

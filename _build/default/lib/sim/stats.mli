@@ -1,0 +1,34 @@
+(** Summary statistics over samples of simulated measurements.
+
+    The paper reports averages when the standard deviation is low and
+    box plots otherwise (section 5.2.1); this module provides both. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  q1 : float;
+  q3 : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on an empty list. *)
+
+val percentile : float list -> float -> float
+(** [percentile samples p] with [p] in [\[0, 100\]], linear interpolation. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val low_variance : summary -> bool
+(** True when the coefficient of variation is below 5 %: the paper's
+    criterion for reporting a plain average rather than a box plot. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** One-line rendering: mean +/- stddev [min..max]. *)
+
+val pp_boxplot : Format.formatter -> summary -> unit
+(** Five-number rendering: min q1 median q3 max. *)

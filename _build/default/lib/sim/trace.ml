@@ -1,0 +1,60 @@
+type t = {
+  name : string;
+  mutable rev_samples : (Time.t * float) list;
+  mutable rev_markers : (Time.t * string) list;
+  mutable last : Time.t;
+}
+
+let create ~name () =
+  { name; rev_samples = []; rev_markers = []; last = Time.zero }
+
+let name t = t.name
+
+let add t at v =
+  if Time.(at < t.last) then invalid_arg "Trace.add: time going backwards";
+  t.last <- at;
+  t.rev_samples <- (at, v) :: t.rev_samples
+
+let mark t at label = t.rev_markers <- (at, label) :: t.rev_markers
+let samples t = List.rev t.rev_samples
+let markers t = List.rev t.rev_markers
+
+let bucketize t ~width =
+  let width_ns = Time.to_ns width in
+  if width_ns <= 0 then invalid_arg "Trace.bucketize: zero width";
+  match samples t with
+  | [] -> []
+  | all ->
+    let last_t, _ = List.hd t.rev_samples in
+    let nbuckets = (Time.to_ns last_t / width_ns) + 1 in
+    let sums = Array.make nbuckets 0.0 and counts = Array.make nbuckets 0 in
+    let place (at, v) =
+      let i = Time.to_ns at / width_ns in
+      sums.(i) <- sums.(i) +. v;
+      counts.(i) <- counts.(i) + 1
+    in
+    List.iter place all;
+    List.init nbuckets (fun i ->
+        let at = Time.ns (i * width_ns) in
+        let v = if counts.(i) = 0 then 0.0 else sums.(i) /. float_of_int counts.(i) in
+        (at, v))
+
+let between t start stop =
+  let keep (at, _) = Time.(start <= at) && Time.(at < stop) in
+  List.filter keep (samples t)
+
+let mean_between t start stop =
+  match between t start stop with
+  | [] -> 0.0
+  | window -> Stats.mean (List.map snd window)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>trace %s:@," t.name;
+  let marks = markers t in
+  List.iter
+    (fun (at, label) -> Format.fprintf fmt "  mark %a: %s@," Time.pp at label)
+    marks;
+  List.iter
+    (fun (at, v) -> Format.fprintf fmt "  %8.2f %10.2f@," (Time.to_sec_f at) v)
+    (samples t);
+  Format.fprintf fmt "@]"

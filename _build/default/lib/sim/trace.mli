@@ -1,0 +1,33 @@
+(** Time-series traces for application timelines (Figures 11 and 12).
+
+    A trace records (time, value) samples — e.g. Redis QPS sampled once a
+    second — plus labelled markers for events such as "transplant starts". *)
+
+type t
+
+val create : name:string -> unit -> t
+val name : t -> string
+
+val add : t -> Time.t -> float -> unit
+(** Samples must be added in non-decreasing time order. *)
+
+val mark : t -> Time.t -> string -> unit
+(** Attach a labelled marker (rendered alongside the series). *)
+
+val samples : t -> (Time.t * float) list
+(** In insertion (time) order. *)
+
+val markers : t -> (Time.t * string) list
+
+val bucketize : t -> width:Time.t -> (Time.t * float) list
+(** Average samples into fixed-width buckets; buckets with no samples are
+    reported as 0 (a paused application produces no work). *)
+
+val between : t -> Time.t -> Time.t -> (Time.t * float) list
+(** Samples with [start <= time < stop]. *)
+
+val mean_between : t -> Time.t -> Time.t -> float
+(** Mean value over a window; 0 if the window holds no samples. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as aligned "t value" rows with markers interleaved. *)

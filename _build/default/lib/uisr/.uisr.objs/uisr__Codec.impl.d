@@ -1,0 +1,1 @@
+lib/uisr/codec.ml: Bytes Char Format Hw Int64 List Printf Reader String Vm_state Vmstate Wire Writer

@@ -1,0 +1,1 @@
+lib/uisr/codec.mli: Format Vm_state

@@ -1,0 +1,1 @@
+lib/uisr/fixup.ml: Format

@@ -1,0 +1,1 @@
+lib/uisr/vm_state.ml: Array Bool Format Hw Int64 List String Vmstate

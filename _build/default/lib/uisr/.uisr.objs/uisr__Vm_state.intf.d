@@ -1,0 +1,1 @@
+lib/uisr/vm_state.mli: Format Hw Vmstate

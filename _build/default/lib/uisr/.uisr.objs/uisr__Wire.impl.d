@@ -1,0 +1,1 @@
+lib/uisr/wire.ml: Array Buffer Bytes Char Int32 Lazy List Printf String

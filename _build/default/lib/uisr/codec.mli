@@ -1,0 +1,33 @@
+(** Versioned binary codec for UISR blobs.
+
+    Layout: magic "UISR" + format version, followed by TLV sections
+    (VM info, one section per vCPU, IOAPIC, PIT, devices, memory map),
+    terminated by a CRC32 over everything before it.  Unknown section
+    tags are rejected; truncated or corrupted blobs fail decoding — the
+    failure-injection tests depend on both properties.
+
+    The format is deliberately close in spirit to Xen's HVM save-record
+    stream (typed records with explicit lengths): the paper chose a
+    slightly modified Xen representation as its UISR because Xen's is
+    mature and open (section 4.2). *)
+
+type error =
+  | Truncated
+  | Bad_magic
+  | Unsupported_version of int
+  | Crc_mismatch of string
+  | Malformed of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val format_version : int
+
+val encode : Vm_state.t -> bytes
+val decode : bytes -> (Vm_state.t, error) result
+
+val size_bytes : Vm_state.t -> int
+(** Encoded size — the "UISR formats" series of Fig. 14. *)
+
+val platform_size_bytes : Vm_state.t -> int
+(** Encoded size of the platform sections only (vCPUs + IOAPIC + PIT +
+    devices), excluding the memory map (accounted to PRAM in Fig. 14). *)

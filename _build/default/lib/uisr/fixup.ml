@@ -1,0 +1,44 @@
+type t =
+  | Ioapic_pins_dropped of { kept : int; dropped_connected : int }
+  | Ioapic_pins_extended of { from_pins : int; to_pins : int }
+  | Msr_dropped of int
+  | Device_rescanned of int
+  | Lapic_container_changed
+
+let equal a b =
+  match (a, b) with
+  | Ioapic_pins_dropped x, Ioapic_pins_dropped y ->
+    x.kept = y.kept && x.dropped_connected = y.dropped_connected
+  | Ioapic_pins_extended x, Ioapic_pins_extended y ->
+    x.from_pins = y.from_pins && x.to_pins = y.to_pins
+  | Msr_dropped x, Msr_dropped y -> x = y
+  | Device_rescanned x, Device_rescanned y -> x = y
+  | Lapic_container_changed, Lapic_container_changed -> true
+  | ( ( Ioapic_pins_dropped _ | Ioapic_pins_extended _ | Msr_dropped _
+      | Device_rescanned _ | Lapic_container_changed ),
+      _ ) ->
+    false
+
+let is_lossy = function
+  | Ioapic_pins_dropped { dropped_connected; _ } -> dropped_connected > 0
+  | Msr_dropped _ -> true
+  | Ioapic_pins_extended _ | Device_rescanned _ | Lapic_container_changed ->
+    false
+
+let pp fmt = function
+  | Ioapic_pins_dropped { kept; dropped_connected } ->
+    Format.fprintf fmt "ioapic truncated to %d pins (%d connected dropped)"
+      kept dropped_connected
+  | Ioapic_pins_extended { from_pins; to_pins } ->
+    Format.fprintf fmt "ioapic extended %d -> %d pins" from_pins to_pins
+  | Msr_dropped index -> Format.fprintf fmt "msr 0x%x dropped" index
+  | Device_rescanned id -> Format.fprintf fmt "device %d rescanned" id
+  | Lapic_container_changed ->
+    Format.pp_print_string fmt "lapic container format changed"
+
+let pp_list fmt fixes =
+  if fixes = [] then Format.pp_print_string fmt "(none)"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+      pp fmt fixes

@@ -1,0 +1,28 @@
+(** Compatibility fixups applied while restoring a UISR into a target
+    hypervisor whose virtual platform differs from the source's.
+
+    The paper's example: Xen's 48-pin virtual IOAPIC vs. KVM's 24 pins —
+    the prototype disconnects the upper pins during Xen->KVM transplant
+    (section 4.2.1).  Fixups are recorded rather than silent so operators
+    and tests can audit exactly what changed. *)
+
+type t =
+  | Ioapic_pins_dropped of { kept : int; dropped_connected : int }
+      (** upper pins disconnected; [dropped_connected] of them were live *)
+  | Ioapic_pins_extended of { from_pins : int; to_pins : int }
+      (** padded with masked pins (KVM->Xen direction) *)
+  | Msr_dropped of int
+      (** an MSR the target does not virtualise *)
+  | Device_rescanned of int
+      (** network device unplugged before transplant, rediscovered after *)
+  | Lapic_container_changed
+      (** same architectural LAPIC content, different container format
+          (Xen record vs. KVM MSRS+regs page) *)
+
+val equal : t -> t -> bool
+val is_lossy : t -> bool
+(** True when guest-visible state was actually lost (dropped live pins
+    or MSRs), false for pure representation changes. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit

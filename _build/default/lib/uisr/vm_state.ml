@@ -1,0 +1,120 @@
+type memmap_entry = {
+  gfn : Hw.Frame.Gfn.t;
+  mfn : Hw.Frame.Mfn.t;
+  frames : int;
+}
+
+type device_snapshot = {
+  dev_id : int;
+  dev_kind : Vmstate.Device.kind;
+  dev_unplugged : bool;
+  dev_emulation_state : int64 array;
+  dev_queues : int64 array array;
+  dev_tcp_connections : int;
+}
+
+type t = {
+  vm_name : string;
+  vcpus : Vmstate.Vcpu.t list;
+  ioapic : Vmstate.Ioapic.t;
+  pit : Vmstate.Pit.t;
+  devices : device_snapshot list;
+  page_kind : Hw.Units.page_kind;
+  ram_bytes : Hw.Units.bytes_;
+  memmap : memmap_entry list;
+  source_hypervisor : string;
+  workload : Vmstate.Vm.workload_kind;
+  inplace_compatible : bool;
+}
+
+(* Split a run of [frames] into power-of-two entries, largest first.
+   PRAM page entries carry a power-of-two size so they can represent
+   hypervisor-side large pages (section 4.2.2, Fig. 4). *)
+let rec pow2_split gfn mfn frames acc =
+  if frames = 0 then List.rev acc
+  else begin
+    let rec largest p = if 2 * p <= frames then largest (2 * p) else p in
+    let chunk = largest 1 in
+    let entry = { gfn; mfn; frames = chunk } in
+    pow2_split
+      (Hw.Frame.Gfn.add gfn chunk)
+      (Hw.Frame.Mfn.add mfn chunk)
+      (frames - chunk) (entry :: acc)
+  end
+
+let memmap_of_guest_mem mem =
+  List.concat_map
+    (fun (gfn, mfn, frames) -> pow2_split gfn mfn frames [])
+    (Vmstate.Guest_mem.extents mem)
+
+let snapshot_device (d : Vmstate.Device.t) =
+  (* Emulated network devices are unplugged before transplant and
+     rescanned after; their emulation state is not carried over. *)
+  let unplug = Vmstate.Device.is_network d && not (Vmstate.Device.is_passthrough d) in
+  {
+    dev_id = d.id;
+    dev_kind = d.kind;
+    dev_unplugged = unplug;
+    dev_emulation_state = (if unplug then [||] else Array.copy d.emulation_state);
+    dev_queues =
+      (if unplug then [||]
+       else Array.map Vmstate.Virtqueue.to_words d.queues);
+    dev_tcp_connections = d.tcp_connections;
+  }
+
+let of_vm ~source_hypervisor (vm : Vmstate.Vm.t) =
+  if Vmstate.Vm.is_running vm then
+    invalid_arg "Vm_state.of_vm: VM must be paused or suspended first";
+  {
+    vm_name = vm.config.name;
+    vcpus = Array.to_list vm.vcpus;
+    ioapic = vm.ioapic;
+    pit = vm.pit;
+    devices = Array.to_list (Array.map snapshot_device vm.devices);
+    page_kind = vm.config.page_kind;
+    ram_bytes = vm.config.ram;
+    memmap = memmap_of_guest_mem vm.mem;
+    source_hypervisor;
+    workload = vm.config.workload;
+    inplace_compatible = vm.config.inplace_compatible;
+  }
+
+let total_mapped_frames t =
+  List.fold_left (fun acc e -> acc + e.frames) 0 t.memmap
+
+let vcpu_count t = List.length t.vcpus
+
+let equal_device a b =
+  a.dev_id = b.dev_id && a.dev_kind = b.dev_kind
+  && Bool.equal a.dev_unplugged b.dev_unplugged
+  && Array.for_all2 Int64.equal a.dev_emulation_state b.dev_emulation_state
+  && Array.length a.dev_queues = Array.length b.dev_queues
+  && Array.for_all2
+       (fun qa qb -> Array.for_all2 Int64.equal qa qb)
+       a.dev_queues b.dev_queues
+  && a.dev_tcp_connections = b.dev_tcp_connections
+
+let equal_memmap_entry a b =
+  Hw.Frame.Gfn.equal a.gfn b.gfn && Hw.Frame.Mfn.equal a.mfn b.mfn
+  && a.frames = b.frames
+
+let equal a b =
+  String.equal a.vm_name b.vm_name
+  && List.length a.vcpus = List.length b.vcpus
+  && List.for_all2 Vmstate.Vcpu.equal a.vcpus b.vcpus
+  && Vmstate.Ioapic.equal a.ioapic b.ioapic
+  && Vmstate.Pit.equal a.pit b.pit
+  && List.length a.devices = List.length b.devices
+  && List.for_all2 equal_device a.devices b.devices
+  && a.page_kind = b.page_kind && a.ram_bytes = b.ram_bytes
+  && List.length a.memmap = List.length b.memmap
+  && List.for_all2 equal_memmap_entry a.memmap b.memmap
+  && String.equal a.source_hypervisor b.source_hypervisor
+  && a.workload = b.workload
+  && Bool.equal a.inplace_compatible b.inplace_compatible
+
+let pp fmt t =
+  Format.fprintf fmt
+    "uisr[%s from %s: %d vcpus, %a, %d devices, %d memmap entries]" t.vm_name
+    t.source_hypervisor (vcpu_count t) Hw.Units.pp_bytes t.ram_bytes
+    (List.length t.devices) (List.length t.memmap)

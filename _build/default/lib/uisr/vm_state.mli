@@ -1,0 +1,55 @@
+(** The Unified Intermediate State Representation of one VM.
+
+    This is the hypervisor-neutral description of everything needed to
+    restore a VM under any HyperTP-compliant hypervisor (section 3.1):
+    platform state per vCPU and per VM, device snapshots, and the memory
+    map pointing at the in-place Guest State.  The typed view lives here;
+    the byte-level format is {!Codec}. *)
+
+type memmap_entry = {
+  gfn : Hw.Frame.Gfn.t;
+  mfn : Hw.Frame.Mfn.t;
+  frames : int; (** power-of-two run length in 4 KiB frames *)
+}
+
+type device_snapshot = {
+  dev_id : int;
+  dev_kind : Vmstate.Device.kind;
+  dev_unplugged : bool;
+      (** network devices are unplugged pre-transplant (section 4.2.3) *)
+  dev_emulation_state : int64 array;
+  dev_queues : int64 array array;
+      (** serialised virtqueues ({!Vmstate.Virtqueue.to_words}); the ring
+          indices must land unchanged on the target *)
+  dev_tcp_connections : int;
+}
+
+type t = {
+  vm_name : string;
+  vcpus : Vmstate.Vcpu.t list;
+  ioapic : Vmstate.Ioapic.t;
+  pit : Vmstate.Pit.t;
+  devices : device_snapshot list;
+  page_kind : Hw.Units.page_kind;
+  ram_bytes : Hw.Units.bytes_;
+  memmap : memmap_entry list;
+  source_hypervisor : string;
+  workload : Vmstate.Vm.workload_kind;
+      (** orchestrator metadata riding along with the state, as libxl's
+          domain-config JSON rides along a migration stream *)
+  inplace_compatible : bool;
+}
+
+val of_vm : source_hypervisor:string -> Vmstate.Vm.t -> t
+(** Capture a paused VM: snapshot platform + devices, derive the memory
+    map from the guest address space's host extents (splitting runs into
+    power-of-two lengths as PRAM entries require).  Emulated network
+    devices are captured as unplugged.  Raises [Invalid_argument] if the
+    VM is still running. *)
+
+val memmap_of_guest_mem : Vmstate.Guest_mem.t -> memmap_entry list
+
+val total_mapped_frames : t -> int
+val vcpu_count : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,154 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let u8 t v = Buffer.add_uint8 t (v land 0xFF)
+  let u16 t v = Buffer.add_uint16_le t (v land 0xFFFF)
+
+  let u32 t v =
+    Buffer.add_int32_le t (Int32.of_int (v land 0xFFFFFFFF))
+
+  let i32 t v = Buffer.add_int32_le t v
+  let u64 t v = Buffer.add_int64_le t v
+  let bool t v = u8 t (if v then 1 else 0)
+
+  let string t s =
+    if String.length s > 0xFFFF then invalid_arg "Wire.string: too long";
+    u16 t (String.length s);
+    Buffer.add_string t s
+
+  let list t f xs =
+    u32 t (List.length xs);
+    List.iter f xs
+
+  let array t f xs =
+    u32 t (Array.length xs);
+    Array.iter f xs
+
+  let size t = Buffer.length t
+  let contents t = Buffer.to_bytes t
+
+  let section t ~tag body =
+    let payload = create () in
+    body payload;
+    u16 t tag;
+    u32 t (Buffer.length payload);
+    Buffer.add_buffer t payload
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int; limit : int }
+
+  exception Truncated
+  exception Bad_format of string
+
+  let create data = { data; pos = 0; limit = Bytes.length data }
+
+  let need t n = if t.pos + n > t.limit then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Bytes.get_uint8 t.data t.pos in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    need t 2;
+    let v = Bytes.get_uint16_le t.data t.pos in
+    t.pos <- t.pos + 2;
+    v
+
+  let i32 t =
+    need t 4;
+    let v = Bytes.get_int32_le t.data t.pos in
+    t.pos <- t.pos + 4;
+    v
+
+  let u32 t = Int32.to_int (i32 t) land 0xFFFFFFFF
+
+  let u64 t =
+    need t 8;
+    let v = Bytes.get_int64_le t.data t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Bad_format (Printf.sprintf "bool byte %d" n))
+
+  let string t =
+    let len = u16 t in
+    need t len;
+    let s = Bytes.sub_string t.data t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let list t f =
+    let n = u32 t in
+    if n > t.limit - t.pos then raise Truncated;
+    List.init n (fun _ -> f t)
+
+  let array t f =
+    let n = u32 t in
+    if n > t.limit - t.pos then raise Truncated;
+    Array.init n (fun _ -> f t)
+
+  let remaining t = t.limit - t.pos
+  let eof t = t.pos >= t.limit
+
+  let section t k =
+    let tag = u16 t in
+    let len = u32 t in
+    need t len;
+    let sub = { data = t.data; pos = t.pos; limit = t.pos + len } in
+    let result = k ~tag sub in
+    if sub.pos <> sub.limit then
+      raise (Bad_format (Printf.sprintf "section 0x%x: %d bytes unconsumed" tag (sub.limit - sub.pos)));
+    t.pos <- t.pos + len;
+    result
+end
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 data =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFFl in
+  Bytes.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    data;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let append_crc data =
+  let out = Bytes.create (Bytes.length data + 4) in
+  Bytes.blit data 0 out 0 (Bytes.length data);
+  Bytes.set_int32_le out (Bytes.length data) (crc32 data);
+  out
+
+let check_crc data =
+  let len = Bytes.length data in
+  if len < 4 then Error "blob shorter than a CRC"
+  else begin
+    let body = Bytes.sub data 0 (len - 4) in
+    let stored = Bytes.get_int32_le data (len - 4) in
+    let computed = crc32 body in
+    if Int32.equal stored computed then Ok body
+    else
+      Error
+        (Printf.sprintf "CRC mismatch: stored %08lx, computed %08lx" stored
+           computed)
+  end

@@ -1,0 +1,58 @@
+(** Little-endian binary writer/reader with CRC32, shared by the UISR
+    codec and the hypervisors' native state formats. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val i32 : t -> int32 -> unit
+  val u64 : t -> int64 -> unit
+  val bool : t -> bool -> unit
+  val string : t -> string -> unit
+  (** Length-prefixed (u16). *)
+
+  val list : t -> ('a -> unit) -> 'a list -> unit
+  (** Count-prefixed (u32). *)
+
+  val array : t -> ('a -> unit) -> 'a array -> unit
+  val size : t -> int
+  val contents : t -> bytes
+
+  val section : t -> tag:int -> (t -> unit) -> unit
+  (** Write a TLV section: u16 tag, u32 length, payload. *)
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+  exception Bad_format of string
+
+  val create : bytes -> t
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val i32 : t -> int32
+  val u64 : t -> int64
+  val bool : t -> bool
+  val string : t -> string
+  val list : t -> (t -> 'a) -> 'a list
+  val array : t -> (t -> 'a) -> 'a array
+  val remaining : t -> int
+  val eof : t -> bool
+
+  val section : t -> (tag:int -> t -> 'a) -> 'a
+  (** Read one TLV section; the callback receives a reader scoped to the
+      payload.  Raises {!Bad_format} if the payload is not fully
+      consumed. *)
+end
+
+val crc32 : bytes -> int32
+(** Standard CRC-32 (IEEE 802.3). *)
+
+val append_crc : bytes -> bytes
+val check_crc : bytes -> (bytes, string) result
+(** Split and verify the trailing CRC; [Error] explains the mismatch. *)

@@ -1,0 +1,1 @@
+lib/vmstate/device.ml: Array Format Int64 Sim Virtqueue

@@ -1,0 +1,1 @@
+lib/vmstate/device.mli: Format Sim Virtqueue

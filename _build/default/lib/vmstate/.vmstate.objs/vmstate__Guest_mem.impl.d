@@ -1,0 +1,1 @@
+lib/vmstate/guest_mem.ml: Array Bytes Char Hw Int64 List Sim Stdlib

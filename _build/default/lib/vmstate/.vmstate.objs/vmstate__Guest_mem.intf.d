@@ -1,0 +1,1 @@
+lib/vmstate/guest_mem.mli: Hw Sim

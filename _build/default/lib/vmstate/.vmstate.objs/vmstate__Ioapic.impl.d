@@ -1,0 +1,1 @@
+lib/vmstate/ioapic.ml: Array Format Sim

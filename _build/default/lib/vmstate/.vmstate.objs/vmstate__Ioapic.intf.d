@@ -1,0 +1,1 @@
+lib/vmstate/ioapic.mli: Format Sim

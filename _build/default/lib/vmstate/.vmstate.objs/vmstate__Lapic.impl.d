@@ -1,0 +1,1 @@
+lib/vmstate/lapic.ml: Array Bool Format Int32 Int64 Sim

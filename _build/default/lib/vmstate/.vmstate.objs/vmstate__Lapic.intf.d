@@ -1,0 +1,1 @@
+lib/vmstate/lapic.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/vmstate/mtrr.ml: Array Format Int64 List Option Regs Sim

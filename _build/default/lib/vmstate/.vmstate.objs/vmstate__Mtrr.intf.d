@@ -1,0 +1,1 @@
+lib/vmstate/mtrr.mli: Format Regs Sim

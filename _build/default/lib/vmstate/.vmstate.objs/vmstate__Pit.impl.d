@@ -1,0 +1,1 @@
+lib/vmstate/pit.ml: Array Bool Format Sim

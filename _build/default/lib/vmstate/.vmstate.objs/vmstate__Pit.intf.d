@@ -1,0 +1,1 @@
+lib/vmstate/pit.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/vmstate/regs.ml: Array Format Int64 List Sim

@@ -1,0 +1,1 @@
+lib/vmstate/regs.mli: Format Sim

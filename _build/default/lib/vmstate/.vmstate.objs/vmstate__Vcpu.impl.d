@@ -1,0 +1,1 @@
+lib/vmstate/vcpu.ml: Format Lapic Mtrr Regs Xsave

@@ -1,0 +1,1 @@
+lib/vmstate/vcpu.mli: Format Lapic Mtrr Regs Sim Xsave

@@ -1,0 +1,1 @@
+lib/vmstate/virtqueue.ml: Array Bool Format Hw Int64 Sim Stdlib

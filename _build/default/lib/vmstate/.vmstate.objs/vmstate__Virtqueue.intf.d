@@ -1,0 +1,1 @@
+lib/vmstate/virtqueue.mli: Format Hw Sim

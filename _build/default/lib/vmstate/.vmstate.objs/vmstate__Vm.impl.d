@@ -1,0 +1,1 @@
+lib/vmstate/vm.ml: Array Device Format Guest_mem Hw Ioapic List Pit Stdlib Vcpu

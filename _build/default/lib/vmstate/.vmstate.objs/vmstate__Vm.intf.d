@@ -1,0 +1,1 @@
+lib/vmstate/vm.mli: Device Format Guest_mem Hw Ioapic Pit Sim Vcpu

@@ -1,0 +1,1 @@
+lib/vmstate/xsave.ml: Array Format Int64 List Sim

@@ -1,0 +1,1 @@
+lib/vmstate/xsave.mli: Format Sim

@@ -1,0 +1,172 @@
+type t = {
+  pmem : Hw.Pmem.t;
+  page_kind : Hw.Units.page_kind;
+  bytes : Hw.Units.bytes_;
+  backing : Hw.Frame.Mfn.t array; (* per guest page: start of host extent *)
+  contents : int64 array;         (* per guest page: content tag *)
+  dirty : Bytes.t;                (* bitset, one bit per guest page *)
+  mutable dirty_count : int;
+  mutable freed : bool;
+}
+
+let frames_per_page t = Hw.Units.frames_per_page t.page_kind
+
+let create ~pmem ~rng ~bytes ~page_kind () =
+  if bytes <= 0 then invalid_arg "Guest_mem.create: non-positive size";
+  let npages = Hw.Units.pages_of_bytes page_kind bytes in
+  let fpp = Hw.Units.frames_per_page page_kind in
+  let backing = Array.make npages (Hw.Frame.Mfn.of_int 0) in
+  (* Allocate page by page so 2 MiB pages are one aligned extent each.
+     The allocator scatters chunks, so consecutive guest pages usually
+     land on non-consecutive host frames — the situation PRAM handles. *)
+  let filled = ref 0 in
+  while !filled < npages do
+    let want_pages = Stdlib.min (npages - !filled) (512 / fpp) in
+    let extents = Hw.Pmem.alloc_extents pmem ~align:fpp (want_pages * fpp) in
+    List.iter
+      (fun (start, len) ->
+        assert (len mod fpp = 0);
+        for i = 0 to (len / fpp) - 1 do
+          backing.(!filled) <- Hw.Frame.Mfn.add start (i * fpp);
+          incr filled
+        done)
+      extents
+  done;
+  let contents = Array.init npages (fun _ -> Sim.Rng.int64 rng) in
+  let t =
+    {
+      pmem;
+      page_kind;
+      bytes;
+      backing;
+      contents;
+      dirty = Bytes.make ((npages + 7) / 8) '\000';
+      dirty_count = 0;
+      freed = false;
+    }
+  in
+  Array.iteri (fun i tag -> Hw.Pmem.write pmem backing.(i) tag) contents;
+  ignore (frames_per_page t);
+  t
+
+let page_kind t = t.page_kind
+let page_count t = Array.length t.backing
+let bytes t = t.bytes
+let pmem t = t.pmem
+
+let check_page t i =
+  if t.freed then invalid_arg "Guest_mem: use after free";
+  if i < 0 || i >= page_count t then invalid_arg "Guest_mem: page out of range"
+
+let gfn_of_page t i =
+  check_page t i;
+  Hw.Frame.Gfn.of_int (i * frames_per_page t)
+
+let mfn_of_page t i =
+  check_page t i;
+  t.backing.(i)
+
+let is_dirty t i =
+  Char.code (Bytes.get t.dirty (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let set_dirty_bit t i =
+  if not (is_dirty t i) then begin
+    let b = Char.code (Bytes.get t.dirty (i / 8)) in
+    Bytes.set t.dirty (i / 8) (Char.chr (b lor (1 lsl (i mod 8))));
+    t.dirty_count <- t.dirty_count + 1
+  end
+
+let clear_dirty_bit t i =
+  if is_dirty t i then begin
+    let b = Char.code (Bytes.get t.dirty (i / 8)) in
+    Bytes.set t.dirty (i / 8) (Char.chr (b land lnot (1 lsl (i mod 8))));
+    t.dirty_count <- t.dirty_count - 1
+  end
+
+let write_page t i v =
+  check_page t i;
+  t.contents.(i) <- v;
+  Hw.Pmem.write t.pmem t.backing.(i) v;
+  set_dirty_bit t i
+
+let read_page t i =
+  check_page t i;
+  t.contents.(i)
+
+let touch_random t rng n =
+  let npages = page_count t in
+  for _ = 1 to n do
+    let i = Sim.Rng.int rng npages in
+    write_page t i (Sim.Rng.int64 rng)
+  done
+
+let dirty_count t = t.dirty_count
+
+let dirty_pages t =
+  let acc = ref [] in
+  for i = page_count t - 1 downto 0 do
+    if is_dirty t i then acc := i :: !acc
+  done;
+  !acc
+
+let clear_dirty t =
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  t.dirty_count <- 0
+
+let clear_dirty_page t i =
+  check_page t i;
+  clear_dirty_bit t i
+
+let set_all_dirty t =
+  for i = 0 to page_count t - 1 do
+    set_dirty_bit t i
+  done
+
+let extents t =
+  let fpp = frames_per_page t in
+  let npages = page_count t in
+  let rec scan i acc =
+    if i >= npages then List.rev acc
+    else begin
+      (* Extend a run while host frames stay consecutive. *)
+      let start = i in
+      let rec run j =
+        if
+          j + 1 < npages
+          && Hw.Frame.Mfn.offset t.backing.(j + 1) t.backing.(j) = fpp
+        then run (j + 1)
+        else j
+      in
+      let stop = run start in
+      let ext =
+        ( gfn_of_page t start,
+          t.backing.(start),
+          (stop - start + 1) * fpp )
+      in
+      scan (stop + 1) (ext :: acc)
+    end
+  in
+  scan 0 []
+
+let checksum t =
+  let mix acc v =
+    let acc = Int64.logxor acc v in
+    Int64.mul (Int64.add acc 0x9E3779B97F4A7C15L) 0xBF58476D1CE4E5B9L
+  in
+  Array.fold_left mix 0L t.contents
+
+let verify_backing t =
+  let bad = ref [] in
+  for i = page_count t - 1 downto 0 do
+    match Hw.Pmem.read t.pmem t.backing.(i) with
+    | Some tag when Int64.equal tag t.contents.(i) -> ()
+    | Some _ | None -> bad := (i, t.backing.(i)) :: !bad
+  done;
+  !bad
+
+let free t =
+  if not t.freed then begin
+    t.freed <- true;
+    let fpp = Hw.Units.frames_per_page t.page_kind in
+    Array.iter (fun start -> Hw.Pmem.free_extent t.pmem start fpp) t.backing
+  end

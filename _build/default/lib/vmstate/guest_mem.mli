@@ -1,0 +1,61 @@
+(** A guest physical address space backed by host memory.
+
+    This is the {e Guest State} of the paper's memory-separation
+    principle: hypervisor-independent, kept untouched and in place during
+    InPlaceTP, copied page-by-page during MigrationTP.  Pages are 4 KiB
+    or 2 MiB (the paper configures guests with 2 MiB huge pages); each
+    guest page is backed by a contiguous, suitably aligned host extent,
+    carries a content tag (written through to {!Hw.Pmem}) and a dirty
+    bit driving pre-copy migration. *)
+
+type t
+
+val create :
+  pmem:Hw.Pmem.t -> rng:Sim.Rng.t -> bytes:Hw.Units.bytes_ ->
+  page_kind:Hw.Units.page_kind -> unit -> t
+(** Allocate and populate the address space with deterministic initial
+    content.  Raises {!Hw.Pmem.Out_of_memory} if the host is full. *)
+
+val page_kind : t -> Hw.Units.page_kind
+val page_count : t -> int
+val bytes : t -> Hw.Units.bytes_
+val pmem : t -> Hw.Pmem.t
+
+val gfn_of_page : t -> int -> Hw.Frame.Gfn.t
+(** Guest frame number (4 KiB granularity) of guest page [i]. *)
+
+val mfn_of_page : t -> int -> Hw.Frame.Mfn.t
+(** Host backing frame of guest page [i]. *)
+
+val write_page : t -> int -> int64 -> unit
+(** Guest stores to page [i]: updates the content tag (write-through to
+    host memory) and sets the dirty bit. *)
+
+val read_page : t -> int -> int64
+
+val touch_random : t -> Sim.Rng.t -> int -> unit
+(** Dirty [n] pseudo-random pages (workload activity). *)
+
+val dirty_count : t -> int
+val dirty_pages : t -> int list
+(** Indices of dirty pages, ascending. *)
+
+val clear_dirty : t -> unit
+val clear_dirty_page : t -> int -> unit
+val set_all_dirty : t -> unit
+
+val extents : t -> (Hw.Frame.Gfn.t * Hw.Frame.Mfn.t * int) list
+(** Maximal runs of guest-contiguous, host-contiguous frames:
+    (guest start, host start, frames).  This is what PRAM page entries
+    record. *)
+
+val checksum : t -> int64
+(** Order-sensitive digest of all page content tags. *)
+
+val verify_backing : t -> (int * Hw.Frame.Mfn.t) list
+(** Pages whose host frame content no longer matches the guest's view —
+    non-empty means Guest State was clobbered.  Checks the tag stored at
+    each page's first backing frame. *)
+
+val free : t -> unit
+(** Return the backing extents to the host allocator. *)

@@ -1,0 +1,75 @@
+type redirection = {
+  vector : int;
+  delivery_mode : int;
+  dest_mode : int;
+  polarity : int;
+  trigger_mode : int;
+  masked : bool;
+  dest : int;
+}
+
+type t = { id : int; pins : redirection array }
+
+let xen_pins = 48
+let kvm_pins = 24
+
+let masked_redirection =
+  {
+    vector = 0;
+    delivery_mode = 0;
+    dest_mode = 0;
+    polarity = 0;
+    trigger_mode = 0;
+    masked = true;
+    dest = 0;
+  }
+
+let generate rng ~pins =
+  if pins <= 0 then invalid_arg "Ioapic.generate: non-positive pins";
+  let redirection i =
+    (* Low pins (legacy ISA range) are typically wired; higher ones are
+       mostly masked. *)
+    let active = i < 16 || Sim.Rng.int rng 4 = 0 in
+    if active then
+      {
+        vector = 0x20 + Sim.Rng.int rng 0xC0;
+        delivery_mode = Sim.Rng.int rng 2;
+        dest_mode = Sim.Rng.int rng 2;
+        polarity = Sim.Rng.int rng 2;
+        trigger_mode = Sim.Rng.int rng 2;
+        masked = false;
+        dest = Sim.Rng.int rng 8;
+      }
+    else masked_redirection
+  in
+  { id = 0; pins = Array.init pins redirection }
+
+let equal a b =
+  a.id = b.id
+  && Array.length a.pins = Array.length b.pins
+  && Array.for_all2 (fun (x : redirection) y -> x = y) a.pins b.pins
+
+let pin_count t = Array.length t.pins
+
+let truncate t ~pins =
+  if pins > Array.length t.pins then
+    invalid_arg "Ioapic.truncate: extending, not truncating";
+  let dropped = ref 0 in
+  for i = pins to Array.length t.pins - 1 do
+    if not t.pins.(i).masked then incr dropped
+  done;
+  ({ t with pins = Array.sub t.pins 0 pins }, !dropped)
+
+let extend t ~pins =
+  if pins < Array.length t.pins then
+    invalid_arg "Ioapic.extend: truncating, not extending";
+  let old = Array.length t.pins in
+  let pin i = if i < old then t.pins.(i) else masked_redirection in
+  { t with pins = Array.init pins pin }
+
+let connected_pins t =
+  Array.fold_left (fun acc p -> if p.masked then acc else acc + 1) 0 t.pins
+
+let pp fmt t =
+  Format.fprintf fmt "ioapic[%d pins, %d connected]" (pin_count t)
+    (connected_pins t)

@@ -1,0 +1,40 @@
+(** IOAPIC (per-VM interrupt routing).
+
+    Xen implements a 48-pin virtual IOAPIC, KVM a 24-pin one; during
+    Xen->KVM transplant the upper 24 pins are disconnected (paper,
+    section 4.2.1).  The pin count is therefore part of the state. *)
+
+type redirection = {
+  vector : int;
+  delivery_mode : int;
+  dest_mode : int;
+  polarity : int;
+  trigger_mode : int;
+  masked : bool;
+  dest : int;
+}
+
+type t = {
+  id : int;
+  pins : redirection array;
+}
+
+val xen_pins : int (* 48 *)
+val kvm_pins : int (* 24 *)
+
+val generate : Sim.Rng.t -> pins:int -> t
+val equal : t -> t -> bool
+
+val pin_count : t -> int
+
+val truncate : t -> pins:int -> t * int
+(** [truncate io ~pins] keeps the first [pins] redirections; the second
+    component is the number of {e connected} (unmasked) pins that were
+    dropped — the compatibility loss logged as a fixup.  Raises
+    [Invalid_argument] if [pins] exceeds the current pin count. *)
+
+val extend : t -> pins:int -> t
+(** Pad with masked, disconnected redirections up to [pins]. *)
+
+val connected_pins : t -> int
+val pp : Format.formatter -> t -> unit

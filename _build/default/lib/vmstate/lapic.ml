@@ -1,0 +1,73 @@
+type t = {
+  apic_id : int;
+  version : int;
+  tpr : int;
+  ldr : int32;
+  dfr : int32;
+  svr : int32;
+  isr : int64 array;
+  irr : int64 array;
+  tmr : int64 array;
+  lvt : int32 array;
+  timer_dcr : int32;
+  timer_icr : int32;
+  timer_ccr : int32;
+  enabled : bool;
+}
+
+let generate rng ~apic_id =
+  let r32 () = Int64.to_int32 (Sim.Rng.int64 rng) in
+  let bitmap () =
+    (* Sparse pending-interrupt bitmaps: a handful of vectors set. *)
+    let words = Array.make 4 0L in
+    let nbits = Sim.Rng.int rng 4 in
+    for _ = 1 to nbits do
+      let bit = 32 + Sim.Rng.int rng 200 in
+      let word = bit / 64 and off = bit mod 64 in
+      words.(word) <- Int64.logor words.(word) (Int64.shift_left 1L off)
+    done;
+    words
+  in
+  {
+    apic_id;
+    version = 0x50014;
+    tpr = 0;
+    ldr = Int32.shift_left (Int32.of_int apic_id) 24;
+    dfr = 0xFFFFFFFFl;
+    svr = 0x1FFl;
+    isr = bitmap ();
+    irr = bitmap ();
+    tmr = bitmap ();
+    lvt = Array.init 7 (fun _ -> Int32.logand (r32 ()) 0x100FFl);
+    timer_dcr = 0xBl;
+    timer_icr = Int32.abs (r32 ());
+    timer_ccr = Int32.abs (r32 ());
+    enabled = true;
+  }
+
+let equal a b =
+  a.apic_id = b.apic_id && a.version = b.version && a.tpr = b.tpr
+  && Int32.equal a.ldr b.ldr && Int32.equal a.dfr b.dfr
+  && Int32.equal a.svr b.svr
+  && Array.for_all2 Int64.equal a.isr b.isr
+  && Array.for_all2 Int64.equal a.irr b.irr
+  && Array.for_all2 Int64.equal a.tmr b.tmr
+  && Array.for_all2 Int32.equal a.lvt b.lvt
+  && Int32.equal a.timer_dcr b.timer_dcr
+  && Int32.equal a.timer_icr b.timer_icr
+  && Int32.equal a.timer_ccr b.timer_ccr
+  && Bool.equal a.enabled b.enabled
+
+let popcount64 x =
+  let rec go x acc =
+    if Int64.equal x 0L then acc
+    else go (Int64.logand x (Int64.sub x 1L)) (acc + 1)
+  in
+  go x 0
+
+let pending_interrupts t =
+  Array.fold_left (fun acc w -> acc + popcount64 w) 0 t.irr
+
+let pp fmt t =
+  Format.fprintf fmt "lapic[%d] svr=%lx pending=%d timer_icr=%ld" t.apic_id
+    t.svr (pending_interrupts t) t.timer_icr

@@ -1,0 +1,30 @@
+(** Local APIC state (one per vCPU).
+
+    Table 2 of the paper maps Xen's LAPIC and LAPIC_REGS records to KVM's
+    MSRS and LAPIC_REGS: the architectural content is identical, only the
+    container differs — which is exactly what UISR exploits. *)
+
+type t = {
+  apic_id : int;
+  version : int;
+  tpr : int;          (** task priority *)
+  ldr : int32;        (** logical destination *)
+  dfr : int32;        (** destination format *)
+  svr : int32;        (** spurious interrupt vector *)
+  isr : int64 array;  (** in-service bitmap, 4 x 64 bits *)
+  irr : int64 array;  (** interrupt-request bitmap *)
+  tmr : int64 array;  (** trigger-mode bitmap *)
+  lvt : int32 array;  (** 7 local vector table entries *)
+  timer_dcr : int32;  (** divide configuration *)
+  timer_icr : int32;  (** initial count *)
+  timer_ccr : int32;  (** current count *)
+  enabled : bool;     (** software-enable bit mirrored from SVR *)
+}
+
+val generate : Sim.Rng.t -> apic_id:int -> t
+val equal : t -> t -> bool
+
+val pending_interrupts : t -> int
+(** Number of bits set in IRR — must survive transplant unchanged. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+type variable_range = { base : int64; mask : int64 }
+
+type t = {
+  def_type : int;
+  fixed : int64 array;
+  variable : variable_range array;
+}
+
+let fixed_count = 11
+let variable_count = 8
+
+(* MSR indices, Intel SDM vol. 3. *)
+let msr_def_type = 0x2FF
+let msr_fixed_indices =
+  [| 0x250; 0x258; 0x259; 0x268; 0x269; 0x26A; 0x26B; 0x26C; 0x26D; 0x26E; 0x26F |]
+let msr_variable_base i = 0x200 + (2 * i)
+
+let generate rng =
+  let memory_types = [| 0L; 1L; 4L; 5L; 6L |] in
+  let fixed _ =
+    (* Each fixed register packs 8 one-byte memory types. *)
+    let b () = memory_types.(Sim.Rng.int rng (Array.length memory_types)) in
+    let rec pack acc = function
+      | 0 -> acc
+      | n -> pack (Int64.logor (Int64.shift_left acc 8) (b ())) (n - 1)
+    in
+    pack 0L 8
+  in
+  let variable i =
+    if i < 2 then
+      {
+        base = Int64.of_int (Sim.Rng.int rng 0x100000 * 0x1000);
+        mask = Int64.logor 0x800L (Int64.of_int (Sim.Rng.int rng 0xF000000));
+      }
+    else { base = 0L; mask = 0L }
+  in
+  {
+    def_type = 0xC06;
+    fixed = Array.init fixed_count fixed;
+    variable = Array.init variable_count variable;
+  }
+
+let equal a b =
+  a.def_type = b.def_type
+  && Array.for_all2 Int64.equal a.fixed b.fixed
+  && Array.for_all2 (fun (x : variable_range) y -> x = y) a.variable b.variable
+
+let to_msrs t =
+  let def = [ { Regs.index = msr_def_type; value = Int64.of_int t.def_type } ] in
+  let fixed =
+    Array.to_list
+      (Array.mapi
+         (fun i v -> { Regs.index = msr_fixed_indices.(i); value = v })
+         t.fixed)
+  in
+  let variable =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i { base; mask } ->
+              [
+                { Regs.index = msr_variable_base i; value = base };
+                { Regs.index = msr_variable_base i + 1; value = mask };
+              ])
+            t.variable))
+  in
+  def @ fixed @ variable
+
+let of_msrs msrs =
+  let find index =
+    List.find_map
+      (fun (m : Regs.msr) -> if m.index = index then Some m.value else None)
+      msrs
+  in
+  let ( let* ) = Option.bind in
+  let* def = find msr_def_type in
+  let rec collect_fixed i acc =
+    if i = fixed_count then Some (List.rev acc)
+    else
+      let* v = find msr_fixed_indices.(i) in
+      collect_fixed (i + 1) (v :: acc)
+  in
+  let* fixed = collect_fixed 0 [] in
+  let rec collect_variable i acc =
+    if i = variable_count then Some (List.rev acc)
+    else
+      let* base = find (msr_variable_base i) in
+      let* mask = find (msr_variable_base i + 1) in
+      collect_variable (i + 1) ({ base; mask } :: acc)
+  in
+  let* variable = collect_variable 0 [] in
+  Some
+    {
+      def_type = Int64.to_int def;
+      fixed = Array.of_list fixed;
+      variable = Array.of_list variable;
+    }
+
+let pp fmt t =
+  let active =
+    Array.fold_left
+      (fun acc r -> if Int64.equal r.mask 0L then acc else acc + 1)
+      0 t.variable
+  in
+  Format.fprintf fmt "mtrr[def=%x, %d variable active]" t.def_type active

@@ -1,0 +1,25 @@
+(** Memory-type range registers (per vCPU).
+
+    Xen keeps MTRR state in a dedicated HVM record; KVM exposes it
+    through the MSR interface (Table 2) — another representation gap the
+    UISR bridges. *)
+
+type variable_range = { base : int64; mask : int64 }
+
+type t = {
+  def_type : int;            (** default memory type + enable bits *)
+  fixed : int64 array;       (** 11 fixed-range registers *)
+  variable : variable_range array; (** 8 base/mask pairs *)
+}
+
+val generate : Sim.Rng.t -> t
+val equal : t -> t -> bool
+
+val to_msrs : t -> Regs.msr list
+(** Flatten into the MSR encoding KVM uses (0x2FF def-type, 0x250..
+    fixed, 0x200.. variable pairs). *)
+
+val of_msrs : Regs.msr list -> t option
+(** Rebuild from MSRs; [None] if any expected MSR index is missing. *)
+
+val pp : Format.formatter -> t -> unit

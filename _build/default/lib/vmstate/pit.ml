@@ -1,0 +1,35 @@
+type channel = {
+  count : int;
+  latched_count : int;
+  status : int;
+  read_state : int;
+  write_state : int;
+  mode : int;
+  bcd : bool;
+  gate : bool;
+}
+
+type t = { channels : channel array; speaker_data_on : bool }
+
+let generate rng =
+  let channel i =
+    {
+      count = Sim.Rng.int rng 0x10000;
+      latched_count = Sim.Rng.int rng 0x10000;
+      status = Sim.Rng.int rng 0x100;
+      read_state = Sim.Rng.int rng 4;
+      write_state = Sim.Rng.int rng 4;
+      mode = (if i = 0 then 2 (* rate generator for the tick *) else Sim.Rng.int rng 6);
+      bcd = false;
+      gate = i <> 2 || Sim.Rng.int rng 2 = 0;
+    }
+  in
+  { channels = Array.init 3 channel; speaker_data_on = false }
+
+let equal a b =
+  Array.for_all2 (fun (x : channel) y -> x = y) a.channels b.channels
+  && Bool.equal a.speaker_data_on b.speaker_data_on
+
+let pp fmt t =
+  Format.fprintf fmt "pit[ch0 mode=%d count=%d]" t.channels.(0).mode
+    t.channels.(0).count

@@ -1,0 +1,22 @@
+(** Programmable interval timer (i8254), one per VM (Table 2: Xen PIT
+    record <-> KVM PIT2 ioctl payload). *)
+
+type channel = {
+  count : int;         (** reload value, 16 bit *)
+  latched_count : int;
+  status : int;
+  read_state : int;
+  write_state : int;
+  mode : int;          (** operating mode 0-5 *)
+  bcd : bool;
+  gate : bool;
+}
+
+type t = {
+  channels : channel array; (** 3 channels *)
+  speaker_data_on : bool;
+}
+
+val generate : Sim.Rng.t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

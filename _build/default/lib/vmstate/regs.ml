@@ -1,0 +1,134 @@
+type gprs = {
+  rax : int64; rbx : int64; rcx : int64; rdx : int64;
+  rsi : int64; rdi : int64; rsp : int64; rbp : int64;
+  r8 : int64; r9 : int64; r10 : int64; r11 : int64;
+  r12 : int64; r13 : int64; r14 : int64; r15 : int64;
+  rip : int64; rflags : int64;
+}
+
+type segment = { selector : int; base : int64; limit : int32; attrs : int }
+
+type sregs = {
+  cs : segment; ds : segment; es : segment;
+  fs : segment; gs : segment; ss : segment;
+  tr : segment; ldt : segment;
+  cr0 : int64; cr2 : int64; cr3 : int64; cr4 : int64;
+  efer : int64;
+  apic_base : int64;
+}
+
+type msr = { index : int; value : int64 }
+
+type fpu = {
+  fcw : int;
+  fsw : int;
+  ftw : int;
+  mxcsr : int32;
+  st : int64 array;
+  xmm : int64 array;
+}
+
+type t = { gprs : gprs; sregs : sregs; msrs : msr list; fpu : fpu }
+
+(* MSR indices a typical long-mode guest carries and a hypervisor saves
+   across migration: sysenter/star families, TSC and its deadline timer,
+   PAT, SPEC_CTRL, debug controls, machine-check banks, performance
+   counters.  Real save lists run to a few dozen entries, which is what
+   puts the per-vCPU UISR near the paper's ~4-5 KiB (Fig. 14). *)
+let common_msr_indices =
+  [ 0x10 (* TSC *); 0x1B (* APIC_BASE shadow *); 0x3A (* FEATURE_CONTROL *);
+    0x48 (* SPEC_CTRL *); 0x8B (* ucode rev *); 0xE7; 0xE8 (* [AM]PERF *);
+    0x174; 0x175; 0x176 (* SYSENTER *); 0x1A0 (* MISC_ENABLE *);
+    0x1D9 (* DEBUGCTL *); 0x277 (* PAT *); 0x345 (* PERF_CAPABILITIES *);
+    0x6E0 (* TSC_DEADLINE *);
+    0xC0000080 (* EFER shadow *); 0xC0000081; 0xC0000082; 0xC0000083;
+    0xC0000084 (* STAR family *); 0xC0000100; 0xC0000101;
+    0xC0000102 (* FS/GS/KERNEL_GS base *); 0xC0000103 (* TSC_AUX *);
+    (* Machine-check bank control/status pairs. *)
+    0x400; 0x401; 0x404; 0x405; 0x408; 0x409; 0x40C; 0x40D;
+    (* Architectural performance counters. *)
+    0xC1; 0xC2; 0x186; 0x187; 0x38D; 0x38F; 0x390 ]
+
+let generate rng =
+  let r () = Sim.Rng.int64 rng in
+  let gprs =
+    {
+      rax = r (); rbx = r (); rcx = r (); rdx = r ();
+      rsi = r (); rdi = r (); rsp = r (); rbp = r ();
+      r8 = r (); r9 = r (); r10 = r (); r11 = r ();
+      r12 = r (); r13 = r (); r14 = r (); r15 = r ();
+      rip = Int64.logor 0xFFFF800000000000L (r ());
+      rflags = 0x202L;
+    }
+  in
+  let seg selector attrs =
+    { selector; base = 0L; limit = 0xFFFFFFFFl; attrs }
+  in
+  let sregs =
+    {
+      cs = seg 0x10 0xA09B; ds = seg 0x18 0xC093; es = seg 0x18 0xC093;
+      fs = { selector = 0; base = r (); limit = 0xFFFFFFFFl; attrs = 0xC093 };
+      gs = { selector = 0; base = r (); limit = 0xFFFFFFFFl; attrs = 0xC093 };
+      ss = seg 0x18 0xC093;
+      tr = seg 0x40 0x8B; ldt = seg 0 0x82;
+      cr0 = 0x80050033L; cr2 = r (); cr3 = Int64.logand (r ()) 0xFFFFF000L;
+      cr4 = 0x3606E0L; efer = 0xD01L;
+      apic_base = 0xFEE00900L;
+    }
+  in
+  let msrs =
+    List.map (fun index -> { index; value = r () }) common_msr_indices
+  in
+  let fpu =
+    {
+      fcw = 0x37F; fsw = 0; ftw = 0; mxcsr = 0x1F80l;
+      st = Array.init 8 (fun _ -> r ());
+      xmm = Array.init 32 (fun _ -> r ());
+    }
+  in
+  { gprs; sregs; msrs; fpu }
+
+let equal_gprs (a : gprs) (b : gprs) = a = b
+
+let equal_segment (a : segment) (b : segment) = a = b
+
+let equal_sregs a b =
+  equal_segment a.cs b.cs && equal_segment a.ds b.ds && equal_segment a.es b.es
+  && equal_segment a.fs b.fs && equal_segment a.gs b.gs
+  && equal_segment a.ss b.ss && equal_segment a.tr b.tr
+  && equal_segment a.ldt b.ldt && Int64.equal a.cr0 b.cr0
+  && Int64.equal a.cr2 b.cr2 && Int64.equal a.cr3 b.cr3
+  && Int64.equal a.cr4 b.cr4 && Int64.equal a.efer b.efer
+  && Int64.equal a.apic_base b.apic_base
+
+let equal_fpu a b =
+  a.fcw = b.fcw && a.fsw = b.fsw && a.ftw = b.ftw && a.mxcsr = b.mxcsr
+  && Array.for_all2 Int64.equal a.st b.st
+  && Array.for_all2 Int64.equal a.xmm b.xmm
+
+let equal_msr (a : msr) (b : msr) = a.index = b.index && Int64.equal a.value b.value
+
+let equal a b =
+  equal_gprs a.gprs b.gprs && equal_sregs a.sregs b.sregs
+  && List.length a.msrs = List.length b.msrs
+  && List.for_all2 equal_msr a.msrs b.msrs
+  && equal_fpu a.fpu b.fpu
+
+let msr_value t index =
+  List.find_map
+    (fun (m : msr) -> if m.index = index then Some m.value else None)
+    t.msrs
+
+let with_msr t index value =
+  let rec insert = function
+    | [] -> [ { index; value } ]
+    | m :: rest when m.index = index -> { index; value } :: rest
+    | m :: rest when m.index > index -> { index; value } :: m :: rest
+    | m :: rest -> m :: insert rest
+  in
+  { t with msrs = insert t.msrs }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>rip=%Lx rsp=%Lx rflags=%Lx cr3=%Lx efer=%Lx msrs=%d@]" t.gprs.rip
+    t.gprs.rsp t.gprs.rflags t.sregs.cr3 t.sregs.efer (List.length t.msrs)

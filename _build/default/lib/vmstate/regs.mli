@@ -1,0 +1,54 @@
+(** vCPU register state: general-purpose registers, segment/control
+    registers, model-specific registers and the FPU/SSE area.
+
+    These are the "CPU regs" rows of the paper's Table 2: Xen's HVM
+    CPU record maps to KVM's REGS/SREGS/MSRS/FPU ioctl payloads. *)
+
+type gprs = {
+  rax : int64; rbx : int64; rcx : int64; rdx : int64;
+  rsi : int64; rdi : int64; rsp : int64; rbp : int64;
+  r8 : int64; r9 : int64; r10 : int64; r11 : int64;
+  r12 : int64; r13 : int64; r14 : int64; r15 : int64;
+  rip : int64; rflags : int64;
+}
+
+type segment = { selector : int; base : int64; limit : int32; attrs : int }
+
+type sregs = {
+  cs : segment; ds : segment; es : segment;
+  fs : segment; gs : segment; ss : segment;
+  tr : segment; ldt : segment;
+  cr0 : int64; cr2 : int64; cr3 : int64; cr4 : int64;
+  efer : int64;
+  apic_base : int64;
+}
+
+type msr = { index : int; value : int64 }
+
+type fpu = {
+  fcw : int;      (** x87 control word *)
+  fsw : int;      (** x87 status word *)
+  ftw : int;      (** tag word *)
+  mxcsr : int32;
+  st : int64 array;   (** 8 x87 registers (low 64 bits) *)
+  xmm : int64 array;  (** 16 XMM registers x 2 halves = 32 entries *)
+}
+
+type t = { gprs : gprs; sregs : sregs; msrs : msr list; fpu : fpu }
+
+val generate : Sim.Rng.t -> t
+(** A plausible long-mode guest register file, deterministic in the RNG
+    stream. *)
+
+val equal : t -> t -> bool
+val equal_gprs : gprs -> gprs -> bool
+val equal_sregs : sregs -> sregs -> bool
+val equal_fpu : fpu -> fpu -> bool
+
+val msr_value : t -> int -> int64 option
+(** Lookup an MSR by index. *)
+
+val with_msr : t -> int -> int64 -> t
+(** Functional MSR update (replace or insert, keeping index order). *)
+
+val pp : Format.formatter -> t -> unit

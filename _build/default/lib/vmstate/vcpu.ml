@@ -1,0 +1,25 @@
+type t = {
+  index : int;
+  regs : Regs.t;
+  lapic : Lapic.t;
+  mtrr : Mtrr.t;
+  xsave : Xsave.t;
+}
+
+let generate rng ~index =
+  if index < 0 then invalid_arg "Vcpu.generate: negative index";
+  {
+    index;
+    regs = Regs.generate rng;
+    lapic = Lapic.generate rng ~apic_id:index;
+    mtrr = Mtrr.generate rng;
+    xsave = Xsave.generate rng;
+  }
+
+let equal a b =
+  a.index = b.index && Regs.equal a.regs b.regs && Lapic.equal a.lapic b.lapic
+  && Mtrr.equal a.mtrr b.mtrr && Xsave.equal a.xsave b.xsave
+
+let pp fmt t =
+  Format.fprintf fmt "@[vcpu%d: %a, %a, %a, %a@]" t.index Regs.pp t.regs
+    Lapic.pp t.lapic Mtrr.pp t.mtrr Xsave.pp t.xsave

@@ -1,0 +1,13 @@
+(** Complete architectural state of one virtual CPU. *)
+
+type t = {
+  index : int;
+  regs : Regs.t;
+  lapic : Lapic.t;
+  mtrr : Mtrr.t;
+  xsave : Xsave.t;
+}
+
+val generate : Sim.Rng.t -> index:int -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+type desc = {
+  addr : Hw.Frame.Gfn.t;
+  len : int;
+  write : bool;
+  next : int;
+}
+
+type t = {
+  ring_size : int;
+  descs : desc array;
+  mutable avail : int;
+  mutable used : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create rng ~size ~guest_frames =
+  if not (is_pow2 size) then invalid_arg "Virtqueue.create: size not a power of two";
+  if guest_frames <= 0 then invalid_arg "Virtqueue.create: no guest frames";
+  let descs =
+    Array.init size (fun i ->
+        {
+          addr = Hw.Frame.Gfn.of_int (Sim.Rng.int rng guest_frames);
+          len = 64 + Sim.Rng.int rng 4032;
+          write = Sim.Rng.int rng 2 = 1;
+          next = (if i land 1 = 0 && i + 1 < size then i + 1 else -1);
+        })
+  in
+  (* A live queue: the guest has posted some buffers, the device has
+     completed a prefix of them. *)
+  let avail = Sim.Rng.int rng (size * 4) in
+  let used = Stdlib.max 0 (avail - Sim.Rng.int rng (Stdlib.min size (avail + 1))) in
+  { ring_size = size; descs; avail; used }
+
+let size t = t.ring_size
+let avail_idx t = t.avail
+let used_idx t = t.used
+let in_flight t = t.avail - t.used
+
+let guest_post t n =
+  if n < 0 then invalid_arg "Virtqueue.guest_post: negative";
+  if in_flight t + n > t.ring_size then
+    invalid_arg "Virtqueue.guest_post: ring full";
+  t.avail <- t.avail + n
+
+let device_complete t n =
+  if n < 0 then invalid_arg "Virtqueue.device_complete: negative";
+  if t.used + n > t.avail then
+    invalid_arg "Virtqueue.device_complete: overtaking avail";
+  t.used <- t.used + n
+
+let quiesce t = t.used <- t.avail
+
+let descriptor t i =
+  if i < 0 || i >= t.ring_size then invalid_arg "Virtqueue.descriptor: index";
+  t.descs.(i)
+
+(* Serialisation: header word (size, avail, used packed), then two words
+   per descriptor. *)
+let to_words t =
+  let words = Array.make (1 + (2 * t.ring_size)) 0L in
+  words.(0) <-
+    Int64.logor
+      (Int64.of_int (t.ring_size land 0xFFFF))
+      (Int64.logor
+         (Int64.shift_left (Int64.of_int (t.avail land 0xFFFFFF)) 16)
+         (Int64.shift_left (Int64.of_int (t.used land 0xFFFFFF)) 40));
+  Array.iteri
+    (fun i d ->
+      words.(1 + (2 * i)) <- Int64.of_int (Hw.Frame.Gfn.to_int d.addr);
+      words.(2 + (2 * i)) <-
+        Int64.logor
+          (Int64.of_int (d.len land 0xFFFFFF))
+          (Int64.logor
+             (Int64.shift_left (if d.write then 1L else 0L) 24)
+             (Int64.shift_left
+                (Int64.of_int ((d.next + 1) land 0xFFFF))
+                32)))
+    t.descs;
+  words
+
+let of_words words =
+  if Array.length words < 1 then invalid_arg "Virtqueue.of_words: empty";
+  let header = words.(0) in
+  let field off width =
+    Int64.to_int
+      (Int64.logand
+         (Int64.shift_right_logical header off)
+         (Int64.sub (Int64.shift_left 1L width) 1L))
+  in
+  let ring_size = field 0 16 in
+  if not (is_pow2 ring_size) then invalid_arg "Virtqueue.of_words: bad size";
+  if Array.length words <> 1 + (2 * ring_size) then
+    invalid_arg "Virtqueue.of_words: truncated";
+  let avail = field 16 24 in
+  let used = field 40 24 in
+  if used > avail then invalid_arg "Virtqueue.of_words: used ahead of avail";
+  let descs =
+    Array.init ring_size (fun i ->
+        let w2 = words.(2 + (2 * i)) in
+        let f off width =
+          Int64.to_int
+            (Int64.logand
+               (Int64.shift_right_logical w2 off)
+               (Int64.sub (Int64.shift_left 1L width) 1L))
+        in
+        {
+          addr = Hw.Frame.Gfn.of_int (Int64.to_int words.(1 + (2 * i)));
+          len = f 0 24;
+          write = f 24 1 = 1;
+          next = f 32 16 - 1;
+        })
+  in
+  { ring_size; descs; avail; used }
+
+let equal a b =
+  a.ring_size = b.ring_size && a.avail = b.avail && a.used = b.used
+  && Array.for_all2
+       (fun (x : desc) y ->
+         Hw.Frame.Gfn.equal x.addr y.addr && x.len = y.len
+         && Bool.equal x.write y.write && x.next = y.next)
+       a.descs b.descs
+
+let pp fmt t =
+  Format.fprintf fmt "vq[%d descs, avail %d, used %d, %d in flight]"
+    t.ring_size t.avail t.used (in_flight t)

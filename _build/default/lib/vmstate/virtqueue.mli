@@ -1,0 +1,49 @@
+(** Virtio-style split rings: the shared-memory queues between a guest
+    driver and the VMM's device emulation.
+
+    The ring indices are the emulated-device state the paper's
+    section 4.2.3 worries about: before transplant the device must be
+    {e quiesced} (all in-flight buffers completed, used index caught up
+    with avail) so the pair (guest driver, emulation) is consistent; the
+    indices then travel in the UISR and the target hypervisor's
+    emulation resumes exactly where the source's stopped. *)
+
+type desc = {
+  addr : Hw.Frame.Gfn.t; (** guest page holding the buffer *)
+  len : int;
+  write : bool;          (** device-writable buffer *)
+  next : int;            (** chaining; [-1] terminates *)
+}
+
+type t
+
+val create : Sim.Rng.t -> size:int -> guest_frames:int -> t
+(** A ring of [size] descriptors (must be a power of two) over buffers
+    scattered in the first [guest_frames] 4 KiB frames. *)
+
+val size : t -> int
+val avail_idx : t -> int
+val used_idx : t -> int
+val in_flight : t -> int
+(** Buffers the guest posted that the device has not completed. *)
+
+val guest_post : t -> int -> unit
+(** The driver makes [n] more buffers available. *)
+
+val device_complete : t -> int -> unit
+(** The emulation consumes [n] buffers.  Raises [Invalid_argument] if
+    that would overtake the avail index. *)
+
+val quiesce : t -> unit
+(** Complete everything in flight (the pre-transplant pause handshake). *)
+
+val descriptor : t -> int -> desc
+
+val to_words : t -> int64 array
+(** Serialise for the UISR device section. *)
+
+val of_words : int64 array -> t
+(** Raises [Invalid_argument] on malformed input. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

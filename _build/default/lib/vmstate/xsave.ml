@@ -1,0 +1,44 @@
+type component = { id : int; data : int64 array }
+
+type t = { xcr0 : int64; xstate_bv : int64; components : component list }
+
+(* Component payload sizes (in 64-bit words), matching the
+   architectural XSAVE area: 512-byte legacy region, 256 bytes of XMM
+   registers, 256 bytes of YMM high halves. *)
+let component_words = function
+  | 0 -> 64 (* legacy x87/FXSAVE region *)
+  | 1 -> 32 (* XMM *)
+  | 2 -> 32 (* YMM high halves *)
+  | _ -> 8
+
+let generate rng =
+  let ids = [ 0; 1; 2 ] in
+  let components =
+    List.map
+      (fun id ->
+        { id; data = Array.init (component_words id) (fun _ -> Sim.Rng.int64 rng) })
+      ids
+  in
+  let bv =
+    List.fold_left (fun acc id -> Int64.logor acc (Int64.shift_left 1L id)) 0L ids
+  in
+  { xcr0 = bv; xstate_bv = bv; components }
+
+let equal a b =
+  Int64.equal a.xcr0 b.xcr0
+  && Int64.equal a.xstate_bv b.xstate_bv
+  && List.length a.components = List.length b.components
+  && List.for_all2
+       (fun (x : component) y ->
+         x.id = y.id && Array.for_all2 Int64.equal x.data y.data)
+       a.components b.components
+
+let size_bytes t =
+  let header = 64 in
+  List.fold_left
+    (fun acc c -> acc + (8 * Array.length c.data))
+    header t.components
+
+let pp fmt t =
+  Format.fprintf fmt "xsave[xcr0=%Lx, %d components, %dB]" t.xcr0
+    (List.length t.components) (size_bytes t)

@@ -1,0 +1,21 @@
+(** Extended processor state (XSAVE area).
+
+    Table 2: Xen's XSAVE record becomes KVM's XCRS + XSAVE ioctl
+    payloads. Components are identified by their architectural bit in
+    XCR0 (0 = x87, 1 = SSE, 2 = AVX, ...). *)
+
+type component = { id : int; data : int64 array }
+
+type t = {
+  xcr0 : int64;       (** enabled feature bits *)
+  xstate_bv : int64;  (** components present in the area *)
+  components : component list; (** sorted by id *)
+}
+
+val generate : Sim.Rng.t -> t
+val equal : t -> t -> bool
+
+val size_bytes : t -> int
+(** Encoded size of the area (header + component payloads). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/darknet.ml: Float List Profile Sched Sim

@@ -1,0 +1,1 @@
+lib/workload/darknet.mli: Sched Sim

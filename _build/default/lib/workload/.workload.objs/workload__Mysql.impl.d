@@ -1,0 +1,1 @@
+lib/workload/mysql.ml: Profile Sched Sim Vmstate

@@ -1,0 +1,1 @@
+lib/workload/mysql.mli: Sched Sim

@@ -1,0 +1,1 @@
+lib/workload/profile.mli: Format Hw Vmstate

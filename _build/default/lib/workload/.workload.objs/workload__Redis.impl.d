@@ -1,0 +1,1 @@
+lib/workload/redis.ml: Float List Profile Sched Sim Vmstate

@@ -1,0 +1,1 @@
+lib/workload/redis.mli: Sched Sim

@@ -1,0 +1,1 @@
+lib/workload/sched.ml: Float Format List Profile

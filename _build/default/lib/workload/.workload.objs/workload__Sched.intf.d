@@ -1,0 +1,1 @@
+lib/workload/sched.mli: Format Profile

@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Float List Sched Sim Spec_data

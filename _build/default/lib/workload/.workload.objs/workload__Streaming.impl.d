@@ -1,0 +1,1 @@
+lib/workload/streaming.ml: Float Profile Sched Sim

@@ -1,0 +1,1 @@
+lib/workload/streaming.mli: Sched Sim

@@ -1,0 +1,29 @@
+type result = {
+  durations_s : float list;
+  mean_s : float;
+  longest_s : float;
+  total_s : float;
+}
+
+let train ~rng ~sched ~iterations =
+  if iterations <= 0 then invalid_arg "Darknet.train: non-positive iterations";
+  (* One iteration is a fixed amount of work; its wall-clock duration is
+     whatever the schedule allows — pauses stretch the iteration they
+     land in by the full downtime, Degraded phases stretch by their
+     factor (the schedule's builder picks the per-workload slowdown). *)
+  let base p = 1.0 /. Profile.darknet_iteration_s p in
+  let rec run i at acc =
+    if i = iterations then List.rev acc
+    else begin
+      let work = Sim.Rng.jitter rng 0.01 in
+      let finish = Sched.completion_time sched ~start:at ~work ~base in
+      run (i + 1) finish ((finish -. at) :: acc)
+    end
+  in
+  let durations_s = run 0 0.0 [] in
+  {
+    durations_s;
+    mean_s = Sim.Stats.mean durations_s;
+    longest_s = List.fold_left Float.max 0.0 durations_s;
+    total_s = List.fold_left ( +. ) 0.0 durations_s;
+  }

@@ -1,0 +1,16 @@
+(** Darknet MNIST training model (Table 6).
+
+    Training runs a fixed number of sequential iterations; an iteration
+    caught by an InPlaceTP pause stretches by the full downtime, one
+    under pre-copy stretches by the migration slowdown factor. *)
+
+type result = {
+  durations_s : float list; (** per-iteration wall-clock durations *)
+  mean_s : float;
+  longest_s : float;
+  total_s : float;
+}
+
+val train :
+  rng:Sim.Rng.t -> sched:Sched.t -> iterations:int -> result
+(** Raises [Invalid_argument] on a non-positive iteration count. *)

@@ -1,0 +1,25 @@
+let timelines ~rng ~sched ~duration_s =
+  let latency = Sim.Trace.create ~name:"mysql-latency-ms" () in
+  let qps = Sim.Trace.create ~name:"mysql-qps" () in
+  let n = int_of_float duration_s in
+  for i = 0 to n - 1 do
+    let at = float_of_int i in
+    let t = Sim.Time.of_sec_f at in
+    match Sched.condition_at sched at with
+    | Sched.Stopped -> Sim.Trace.add qps t 0.0
+    | Sched.Running p ->
+      Sim.Trace.add latency t
+        (Profile.mysql_latency_ms p *. Sim.Rng.jitter rng 0.06);
+      Sim.Trace.add qps t (Profile.mysql_qps p *. Sim.Rng.jitter rng 0.05)
+    | Sched.Degraded (p, _) ->
+      let lat =
+        Profile.mysql_latency_ms p
+        *. Profile.precopy_latency_factor Vmstate.Vm.Wl_mysql
+      in
+      let rate =
+        Profile.mysql_qps p *. Profile.precopy_qps_factor Vmstate.Vm.Wl_mysql
+      in
+      Sim.Trace.add latency t (lat *. Sim.Rng.jitter rng 0.15);
+      Sim.Trace.add qps t (rate *. Sim.Rng.jitter rng 0.10)
+  done;
+  (latency, qps)

@@ -1,0 +1,13 @@
+(** MySQL + sysbench model (Fig. 12).
+
+    Produces paired latency and QPS timelines under a schedule.  During
+    pre-copy migration the paper measures a 252 % latency increase and a
+    68 % throughput drop; during InPlaceTP the service is simply gone for
+    ~9 s (including network re-initialisation). *)
+
+val timelines :
+  rng:Sim.Rng.t -> sched:Sched.t -> duration_s:float ->
+  Sim.Trace.t * Sim.Trace.t
+(** (latency_ms, qps), one sample per second.  While the VM is stopped
+    the QPS sample is 0 and no latency sample is recorded (no request
+    completes). *)

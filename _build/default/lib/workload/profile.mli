@@ -1,0 +1,43 @@
+(** Per-hypervisor application performance profiles.
+
+    The paper observes that the same application performs differently on
+    Xen and KVM (Table 5 columns, the +37 % Redis jump of Fig. 11); a
+    transplant therefore changes steady-state performance in addition to
+    inserting a downtime gap.  These profiles are the calibrated ground
+    truth the workload models draw from. *)
+
+type platform = P_xen | P_kvm | P_bhyve
+
+val equal_platform : platform -> platform -> bool
+val pp_platform : Format.formatter -> platform -> unit
+
+val redis_qps : platform -> float
+(** Steady-state redis-benchmark QPS (Fig. 11: ~29 kQPS on Xen, ~37 %
+    higher on KVM for this workload). *)
+
+val mysql_qps : platform -> float
+val mysql_latency_ms : platform -> float
+
+val darknet_iteration_s : platform -> float
+(** MNIST training iteration duration (Table 6 default: 2.044 s). *)
+
+val streaming_mbps : platform -> float
+
+(** Degradation while the VM is under pre-copy migration (dirty-page
+    tracking + network contention). Factors multiply the steady rate. *)
+
+val precopy_qps_factor : Vmstate.Vm.workload_kind -> float
+val precopy_latency_factor : Vmstate.Vm.workload_kind -> float
+val precopy_slowdown : Vmstate.Vm.workload_kind -> float
+(** Completion-time stretch for batch workloads during pre-copy. *)
+
+val dirty_pages_per_sec :
+  Vmstate.Vm.workload_kind -> ram:Hw.Units.bytes_ ->
+  page_kind:Hw.Units.page_kind -> float
+(** Guest page dirtying rate driving the pre-copy loop.  Idle guests
+    dirty a handful of pages a second (kernel timekeeping); databases
+    dirty a substantial share of their working set. *)
+
+val transplant_residual_overhead : Vmstate.Vm.workload_kind -> float
+(** Lingering post-transplant slowdown factor (cold caches, rebuilt
+    NPTs), applied for a short window after resume. *)

@@ -1,0 +1,54 @@
+let warmup_window_s = 3.0
+
+let resume_points sched =
+  (* Times at which service resumes after a Stopped interval. *)
+  let rec go prev_stopped acc = function
+    | [] -> List.rev acc
+    | (at, c) :: rest ->
+      let acc =
+        match c with
+        | Sched.Running _ | Sched.Degraded _ when prev_stopped -> at :: acc
+        | Sched.Running _ | Sched.Degraded _ | Sched.Stopped -> acc
+      in
+      go (c = Sched.Stopped) acc rest
+  in
+  (* Re-derive segments through breakpoints + condition_at. *)
+  let bps = Sched.breakpoints sched in
+  let conds = List.map (fun at -> (at, Sched.condition_at sched at)) bps in
+  go false [] conds
+
+let qps_timeline ~rng ~sched ~duration_s =
+  let trace = Sim.Trace.create ~name:"redis-qps" () in
+  let resumes = resume_points sched in
+  let n = int_of_float duration_s in
+  for i = 0 to n - 1 do
+    let at = float_of_int i in
+    let rate = Sched.rate_factor sched at ~base:Profile.redis_qps in
+    let rate =
+      (* Pre-copy halves throughput beyond the batch stretch factor. *)
+      match Sched.condition_at sched at with
+      | Sched.Degraded (p, _) ->
+        Profile.redis_qps p *. Profile.precopy_qps_factor Vmstate.Vm.Wl_redis
+      | Sched.Running _ | Sched.Stopped -> rate
+    in
+    let rate =
+      (* Warm-up dip right after a resume (cold caches, NPT rebuild). *)
+      let dip =
+        List.fold_left
+          (fun acc r ->
+            let dt = at -. r in
+            if dt >= 0.0 && dt < warmup_window_s then
+              Float.min acc (0.75 +. (0.25 *. dt /. warmup_window_s))
+            else acc)
+          1.0 resumes
+      in
+      rate *. dip
+    in
+    let noisy = rate *. Sim.Rng.jitter rng 0.04 in
+    Sim.Trace.add trace (Sim.Time.of_sec_f at) noisy
+  done;
+  trace
+
+let mean_qps trace ~from_s ~until_s =
+  Sim.Trace.mean_between trace (Sim.Time.of_sec_f from_s)
+    (Sim.Time.of_sec_f until_s)

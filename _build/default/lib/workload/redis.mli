@@ -1,0 +1,11 @@
+(** Redis + redis-benchmark model (Fig. 11).
+
+    Produces a QPS-per-second timeline under a given execution schedule:
+    steady rate per platform, halved-ish during pre-copy, zero while
+    paused, with a small residual-warmup dip after a resume. *)
+
+val qps_timeline :
+  rng:Sim.Rng.t -> sched:Sched.t -> duration_s:float -> Sim.Trace.t
+(** One sample per second in [\[0, duration_s)]. *)
+
+val mean_qps : Sim.Trace.t -> from_s:float -> until_s:float -> float

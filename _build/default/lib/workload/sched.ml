@@ -1,0 +1,104 @@
+type condition =
+  | Running of Profile.platform
+  | Degraded of Profile.platform * float
+  | Stopped
+
+(* Segments: (start_s, condition); the last segment extends forever. *)
+type t = (float * condition) list
+
+let always p = [ (0.0, Running p) ]
+
+let make ~initial changes =
+  let rec check last = function
+    | [] -> ()
+    | (at, _) :: rest ->
+      if at <= last then invalid_arg "Sched.make: breakpoints not increasing";
+      check at rest
+  in
+  check 0.0 changes;
+  List.iter
+    (fun (_, c) ->
+      match c with
+      | Degraded (_, stretch) when stretch < 1.0 ->
+        invalid_arg "Sched.make: stretch factor below 1"
+      | Degraded _ | Running _ | Stopped -> ())
+    changes;
+  (0.0, Running initial) :: changes
+
+let condition_at t at =
+  let rec go current = function
+    | [] -> current
+    | (start, c) :: rest -> if start <= at then go c rest else current
+  in
+  match t with
+  | [] -> invalid_arg "Sched.condition_at: empty schedule"
+  | (_, first) :: rest -> go first rest
+
+let rate_of ~base = function
+  | Running p -> base p
+  | Degraded (p, stretch) -> base p /. stretch
+  | Stopped -> 0.0
+
+let rate_factor t at ~base = rate_of ~base (condition_at t at)
+
+let segments_between t t0 t1 =
+  (* Pieces of [t0, t1] with their condition. *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (start, c) :: rest ->
+      let stop = match rest with [] -> t1 | (next, _) :: _ -> Float.min next t1 in
+      let lo = Float.max start t0 and hi = Float.min stop t1 in
+      let acc = if hi > lo then (lo, hi, c) :: acc else acc in
+      if stop >= t1 then List.rev acc else go acc rest
+  in
+  go [] t
+
+let work_between t t0 t1 ~base =
+  if t1 < t0 then invalid_arg "Sched.work_between: reversed interval";
+  List.fold_left
+    (fun acc (lo, hi, c) -> acc +. ((hi -. lo) *. rate_of ~base c))
+    0.0
+    (segments_between t t0 t1)
+
+let completion_time t ~start ~work ~base =
+  if work < 0.0 then invalid_arg "Sched.completion_time: negative work";
+  (* Walk segments from [start], consuming work at each segment's rate. *)
+  let rec go at remaining =
+    if remaining <= 1e-12 then at
+    else begin
+      let c = condition_at t at in
+      let rate = rate_of ~base c in
+      (* Find the next breakpoint after [at]. *)
+      let next =
+        List.fold_left
+          (fun best (s, _) ->
+            if s > at then Float.min best s else best)
+          Float.infinity t
+      in
+      if rate <= 0.0 then
+        if next = Float.infinity then
+          invalid_arg "Sched.completion_time: stopped forever"
+        else go next remaining
+      else begin
+        let span = next -. at in
+        let doable = rate *. span in
+        if doable >= remaining then at +. (remaining /. rate)
+        else go next (remaining -. doable)
+      end
+    end
+  in
+  go start work
+
+let breakpoints t = List.filter_map (fun (s, _) -> if s > 0.0 then Some s else None) t
+
+let pp fmt t =
+  let pp_cond fmt = function
+    | Running p -> Profile.pp_platform fmt p
+    | Degraded (p, k) -> Format.fprintf fmt "%a/%.2f" Profile.pp_platform p k
+    | Stopped -> Format.pp_print_string fmt "stopped"
+  in
+  Format.fprintf fmt "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " -> ")
+       (fun fmt (s, c) -> Format.fprintf fmt "%.1fs:%a" s pp_cond c))
+    t

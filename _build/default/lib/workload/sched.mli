@@ -1,0 +1,40 @@
+(** Execution schedules: what condition a VM is in over time.
+
+    Transplant machinery produces a schedule (running on Xen, degraded
+    during pre-copy, paused during downtime, running on KVM); workload
+    models integrate application progress over it. *)
+
+type condition =
+  | Running of Profile.platform
+  | Degraded of Profile.platform * float
+      (** running with a completion-time stretch factor > 1 *)
+  | Stopped
+
+type t
+(** A piecewise-constant schedule covering [0, +inf). *)
+
+val always : Profile.platform -> t
+
+val make : initial:Profile.platform -> (float * condition) list -> t
+(** [make ~initial changes] starts [Running initial] at t=0; [changes]
+    are (time_s, condition) breakpoints, strictly increasing in time. *)
+
+val condition_at : t -> float -> condition
+
+val rate_factor : t -> float -> base:(Profile.platform -> float) -> float
+(** Instantaneous rate at time [t]: [base p] under [Running p],
+    [base p /. stretch] under [Degraded], 0 when stopped. *)
+
+val work_between : t -> float -> float -> base:(Profile.platform -> float) -> float
+(** Integral of {!rate_factor} over [\[t0, t1\]]. *)
+
+val completion_time : t -> start:float -> work:float ->
+  base:(Profile.platform -> float) -> float
+(** Time at which [work] units accumulated since [start] complete.
+    Raises [Invalid_argument] if the schedule ends stopped forever with
+    work remaining (cannot happen with these constructors). *)
+
+val breakpoints : t -> float list
+(** Change times, ascending (excluding t = 0). *)
+
+val pp : Format.formatter -> t -> unit

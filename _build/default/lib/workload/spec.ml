@@ -1,0 +1,29 @@
+type run = {
+  app : Spec_data.app;
+  time_s : float;
+  degradation_vs_xen_pct : float;
+  degradation_vs_kvm_pct : float;
+  degradation_pct : float;
+}
+
+let run_app ~rng ~sched ~residual_overhead_s app =
+  (* Work is normalised to 1.0; rate on platform p is 1/base_time(p). *)
+  let base p = 1.0 /. Spec_data.base_time app p in
+  let jitter = Sim.Rng.jitter rng 0.004 in
+  let finish = Sched.completion_time sched ~start:0.0 ~work:1.0 ~base in
+  let time_s = (finish +. residual_overhead_s) *. jitter in
+  let deg ref_time = (time_s -. ref_time) /. ref_time *. 100.0 in
+  {
+    app;
+    time_s;
+    degradation_vs_xen_pct = deg app.Spec_data.xen_time_s;
+    degradation_vs_kvm_pct = deg app.Spec_data.kvm_time_s;
+    degradation_pct =
+      Float.max (deg app.Spec_data.xen_time_s) (deg app.Spec_data.kvm_time_s);
+  }
+
+let run_suite ~rng ~sched ~residual_overhead_s =
+  List.map (run_app ~rng ~sched ~residual_overhead_s) Spec_data.all
+
+let max_degradation runs =
+  List.fold_left (fun acc r -> Float.max acc r.degradation_pct) 0.0 runs

@@ -1,0 +1,26 @@
+(** SPECrate 2017 execution model (Table 5).
+
+    An application is a fixed quantity of work; its completion time under
+    a schedule (with a transplant in the middle) follows from integrating
+    the platform-dependent rate.  Degradation is computed exactly as in
+    the paper: the max of the relative slowdowns vs. pure-Xen and
+    pure-KVM runs. *)
+
+type run = {
+  app : Spec_data.app;
+  time_s : float;
+  degradation_vs_xen_pct : float;
+  degradation_vs_kvm_pct : float;
+  degradation_pct : float; (** max of the two, the paper's metric *)
+}
+
+val run_app :
+  rng:Sim.Rng.t -> sched:Sched.t -> residual_overhead_s:float ->
+  Spec_data.app -> run
+(** [residual_overhead_s] is a small fixed penalty added by the
+    transplant machinery itself (cold caches, NPT rebuild). *)
+
+val run_suite :
+  rng:Sim.Rng.t -> sched:Sched.t -> residual_overhead_s:float -> run list
+
+val max_degradation : run list -> float

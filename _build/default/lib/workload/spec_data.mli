@@ -1,0 +1,22 @@
+(** SPECrate 2017 application dataset.
+
+    The per-application baseline execution times on KVM and Xen are the
+    paper's own measurements (Table 5, first two columns); they are the
+    ground truth from which the transplant experiments derive the
+    InPlaceTP/MigrationTP columns. *)
+
+type app = {
+  name : string;
+  suite : [ `Int | `Fp ];
+  kvm_time_s : float;
+  xen_time_s : float;
+}
+
+val all : app list
+(** The 23 SPECrate applications of Table 5, in paper order. *)
+
+val find : string -> app
+(** Raises [Not_found]. *)
+
+val base_time : app -> Profile.platform -> float
+val names : string list

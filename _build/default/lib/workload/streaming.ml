@@ -1,0 +1,34 @@
+type result = {
+  delivered_mb : float;
+  stall_s : float;
+  buffer_low_s : float;
+}
+
+let stream ~rng ~sched ~duration_s ?(client_buffer_s = 10.0) () =
+  (* Step the client buffer at 100 ms granularity: the server refills it
+     at the scheduled rate, playback drains it at 1 s/s. *)
+  let dt = 0.1 in
+  let steps = int_of_float (duration_s /. dt) in
+  let buffer = ref client_buffer_s in
+  let stall = ref 0.0 in
+  let low = ref 0.0 in
+  let delivered = ref 0.0 in
+  let bitrate_mbps = Profile.streaming_mbps Profile.P_xen in
+  for i = 0 to steps - 1 do
+    let at = float_of_int i *. dt in
+    let rate = Sched.rate_factor sched at ~base:Profile.streaming_mbps in
+    let refill_ratio = if bitrate_mbps > 0.0 then rate /. bitrate_mbps else 0.0 in
+    (* The server streams slightly faster than real time when healthy so
+       the buffer refills after gaps. *)
+    let refill = refill_ratio *. 1.25 *. dt *. Sim.Rng.jitter rng 0.02 in
+    delivered := !delivered +. (rate *. dt /. 8.0);
+    buffer := Float.min client_buffer_s (!buffer +. refill);
+    (* Playback drains the buffer. *)
+    if !buffer >= dt then buffer := !buffer -. dt
+    else begin
+      stall := !stall +. (dt -. !buffer);
+      buffer := 0.0
+    end;
+    if !buffer < client_buffer_s /. 2.0 then low := !low +. dt
+  done;
+  { delivered_mb = !delivered; stall_s = !stall; buffer_low_s = !low }

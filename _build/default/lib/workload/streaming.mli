@@ -1,0 +1,17 @@
+(** Video-streaming server model (the cluster experiment of section 5.4
+    runs 30 % of VMs as streaming servers with external clients).
+
+    Streaming tolerates short gaps thanks to client-side buffering; the
+    model reports how much of the client buffer a transplant consumes and
+    whether playback stalled. *)
+
+type result = {
+  delivered_mb : float;
+  stall_s : float;      (** total playback stall experienced by clients *)
+  buffer_low_s : float; (** time spent below the refill threshold *)
+}
+
+val stream :
+  rng:Sim.Rng.t -> sched:Sched.t -> duration_s:float ->
+  ?client_buffer_s:float -> unit -> result
+(** [client_buffer_s] (default 10 s) of content buffered ahead. *)

@@ -1,0 +1,1 @@
+lib/xen/credit.ml: Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/xen/credit.mli: Format

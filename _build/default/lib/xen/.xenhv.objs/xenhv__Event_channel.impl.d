@@ -1,0 +1,1 @@
+lib/xen/event_channel.ml: Hashtbl Int List Option Printf

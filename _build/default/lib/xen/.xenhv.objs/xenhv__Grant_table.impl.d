@@ -1,0 +1,1 @@
+lib/xen/grant_table.ml: Hashtbl Hw List Printf

@@ -1,0 +1,1 @@
+lib/xen/hvm_records.ml: Bytes Char Format Hashtbl Int Int32 Int64 List Reader Uisr Vmstate Writer

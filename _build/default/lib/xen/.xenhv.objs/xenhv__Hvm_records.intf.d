@@ -1,0 +1,1 @@
+lib/xen/hvm_records.mli: Format Vmstate

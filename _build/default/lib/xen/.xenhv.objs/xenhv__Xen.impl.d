@@ -1,0 +1,1 @@
+lib/xen/xen.ml: Array Bytes Credit Event_channel Format Grant_table Hv Hvm_records Hw List Sim String Uisr Vmstate Workload Xenstore

@@ -1,0 +1,1 @@
+lib/xen/xen.mli: Credit Event_channel Grant_table Hv Xenstore

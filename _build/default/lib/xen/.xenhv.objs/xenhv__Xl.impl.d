@@ -1,0 +1,1 @@
+lib/xen/xl.ml: Format Hv Hw Int List String Vmstate Xen

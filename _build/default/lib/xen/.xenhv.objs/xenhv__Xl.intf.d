@@ -1,0 +1,1 @@
+lib/xen/xl.mli: Hv

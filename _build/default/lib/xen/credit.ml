@@ -1,0 +1,97 @@
+type vcpu_ref = { domid : int; vcpu_index : int }
+
+type entry = { vref : vcpu_ref; mutable credits : int }
+
+type t = {
+  npcpus : int;
+  queues : entry list ref array;
+  mutable next_queue : int;
+}
+
+let initial_credits = 30_000 (* 30 ms in microseconds, one accounting period *)
+
+let create ~pcpus =
+  if pcpus <= 0 then invalid_arg "Credit.create: non-positive pcpus";
+  { npcpus = pcpus; queues = Array.init pcpus (fun _ -> ref []); next_queue = 0 }
+
+let pcpus t = t.npcpus
+
+let insert_domain t ~domid ~vcpus =
+  for vcpu_index = 0 to vcpus - 1 do
+    let q = t.queues.(t.next_queue) in
+    q := !q @ [ { vref = { domid; vcpu_index }; credits = initial_credits } ];
+    t.next_queue <- (t.next_queue + 1) mod t.npcpus
+  done
+
+let remove_domain t ~domid =
+  Array.iter
+    (fun q -> q := List.filter (fun e -> e.vref.domid <> domid) !q)
+    t.queues
+
+let queue_lengths t =
+  Array.to_list (Array.map (fun q -> List.length !q) t.queues)
+
+let total_queued t = List.fold_left ( + ) 0 (queue_lengths t)
+
+let credits_of t vref =
+  let found = ref None in
+  Array.iter
+    (fun q ->
+      List.iter
+        (fun e ->
+          if e.vref.domid = vref.domid && e.vref.vcpu_index = vref.vcpu_index
+          then found := Some e.credits)
+        !q)
+    t.queues;
+  !found
+
+let tick t =
+  Array.iter
+    (fun q ->
+      match !q with
+      | [] -> ()
+      | head :: rest ->
+        head.credits <- head.credits - 10_000;
+        if head.credits <= 0 then begin
+          head.credits <- initial_credits;
+          q := rest @ [ head ]
+        end)
+    t.queues
+
+let rebuild t doms =
+  Array.iter (fun q -> q := []) t.queues;
+  t.next_queue <- 0;
+  List.iter (fun (domid, vcpus) -> insert_domain t ~domid ~vcpus) doms
+
+let consistent t doms =
+  let expected = Hashtbl.create 16 in
+  List.iter
+    (fun (domid, vcpus) ->
+      for vcpu_index = 0 to vcpus - 1 do
+        Hashtbl.replace expected (domid, vcpu_index) 0
+      done)
+    doms;
+  let ok = ref true in
+  Array.iter
+    (fun q ->
+      List.iter
+        (fun e ->
+          let key = (e.vref.domid, e.vref.vcpu_index) in
+          match Hashtbl.find_opt expected key with
+          | None -> ok := false (* stale vCPU queued *)
+          | Some n -> Hashtbl.replace expected key (n + 1))
+        !q)
+    t.queues;
+  Hashtbl.iter (fun _ n -> if n <> 1 then ok := false) expected;
+  !ok
+
+let state_bytes t =
+  (* Queue heads + one entry per queued vCPU (pointers + credits + prio). *)
+  (t.npcpus * 64) + (total_queued t * 48)
+
+let pp fmt t =
+  Format.fprintf fmt "credit[%d pcpus: %a]" t.npcpus
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       Format.pp_print_int)
+    (queue_lengths t)

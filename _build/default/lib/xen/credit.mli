@@ -1,0 +1,38 @@
+(** Xen's credit scheduler run-queues — the canonical example of VM
+    Management State: per-pCPU queues referencing every runnable vCPU,
+    reconstructed from the domain set after transplant rather than
+    translated (section 3.1). *)
+
+type vcpu_ref = { domid : int; vcpu_index : int }
+
+type t
+
+val create : pcpus:int -> t
+(** Raises [Invalid_argument] on a non-positive count. *)
+
+val pcpus : t -> int
+
+val insert_domain : t -> domid:int -> vcpus:int -> unit
+(** Assign the domain's vCPUs round-robin across run-queues with fresh
+    credits. *)
+
+val remove_domain : t -> domid:int -> unit
+val queue_lengths : t -> int list
+val total_queued : t -> int
+
+val credits_of : t -> vcpu_ref -> int option
+
+val tick : t -> unit
+(** Burn credits from the head of each queue and rotate (coarse model of
+    the 30 ms credit accounting tick). *)
+
+val rebuild : t -> (int * int) list -> unit
+(** [rebuild t doms] resets all queues and re-inserts [(domid, vcpus)] —
+    the post-transplant reconstruction. *)
+
+val consistent : t -> (int * int) list -> bool
+(** Every vCPU of every listed domain queued exactly once, nothing
+    stale. *)
+
+val state_bytes : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type port = int
+
+type binding =
+  | Unbound
+  | Interdomain of { remote_domid : int; remote_port : port }
+  | Virq of int
+  | Pirq of int
+
+type entry = { mutable bind : binding; mutable is_pending : bool }
+
+type t = { table : (port, entry) Hashtbl.t; mutable next_port : port }
+
+let create () = { table = Hashtbl.create 16; next_port = 1 }
+
+let fresh t =
+  let port = t.next_port in
+  t.next_port <- port + 1;
+  port
+
+let alloc_unbound t ~remote_domid =
+  ignore remote_domid;
+  let port = fresh t in
+  Hashtbl.replace t.table port { bind = Unbound; is_pending = false };
+  port
+
+let entry_exn t port =
+  match Hashtbl.find_opt t.table port with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Event_channel: port %d not allocated" port)
+
+let bind_interdomain t port ~remote_domid ~remote_port =
+  let e = entry_exn t port in
+  (match e.bind with
+  | Unbound -> ()
+  | Interdomain _ | Virq _ | Pirq _ ->
+    invalid_arg "Event_channel.bind_interdomain: port already bound");
+  e.bind <- Interdomain { remote_domid; remote_port }
+
+let bind_virq t ~virq =
+  let port = fresh t in
+  Hashtbl.replace t.table port { bind = Virq virq; is_pending = false };
+  port
+
+let close t port =
+  ignore (entry_exn t port);
+  Hashtbl.remove t.table port
+
+let binding t port =
+  Option.map (fun e -> e.bind) (Hashtbl.find_opt t.table port)
+
+let send t port = (entry_exn t port).is_pending <- true
+let pending t port = (entry_exn t port).is_pending
+let consume t port = (entry_exn t port).is_pending <- false
+
+let ports t =
+  List.sort Int.compare (Hashtbl.fold (fun p _ acc -> p :: acc) t.table [])
+
+let bound_count t =
+  Hashtbl.fold
+    (fun _ e acc -> match e.bind with Unbound -> acc | _ -> acc + 1)
+    t.table 0
+
+let state_bytes t = Hashtbl.length t.table * 32
+
+let close_all t =
+  let n = Hashtbl.length t.table in
+  Hashtbl.reset t.table;
+  n

@@ -1,0 +1,44 @@
+(** Xen event channels: the PV notification mechanism.
+
+    Every paravirtual device pair (netfront/netback, blkfront/blkback),
+    plus the console and xenstore rings, communicates through bound
+    event-channel ports.  They are pure VM_i State: torn down with the
+    source hypervisor and rebuilt by the target's device rescan — and,
+    per section 2.1, the single largest source of critical Xen CVEs,
+    which is why a transplant {e away} from Xen removes them from the
+    attack surface entirely. *)
+
+type port = int
+
+type binding =
+  | Unbound
+  | Interdomain of { remote_domid : int; remote_port : port }
+  | Virq of int            (** virtual IRQ (timer, debug, ...) *)
+  | Pirq of int            (** physical IRQ pass-through *)
+
+type t (** a domain's event-channel table *)
+
+val create : unit -> t
+
+val alloc_unbound : t -> remote_domid:int -> port
+(** EVTCHNOP_alloc_unbound: reserve a port for [remote_domid] to bind. *)
+
+val bind_interdomain : t -> port -> remote_domid:int -> remote_port:port -> unit
+(** Raises [Invalid_argument] if the port is not unbound. *)
+
+val bind_virq : t -> virq:int -> port
+val close : t -> port -> unit
+val binding : t -> port -> binding option
+
+val send : t -> port -> unit
+(** EVTCHNOP_send: set the port's pending bit. *)
+
+val pending : t -> port -> bool
+val consume : t -> port -> unit
+val ports : t -> port list
+val bound_count : t -> int
+val state_bytes : t -> int
+
+val close_all : t -> int
+(** Tear every channel down (device unplug / transplant); returns how
+    many were closed. *)

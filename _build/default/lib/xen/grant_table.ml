@@ -1,0 +1,66 @@
+type grant_ref = int
+
+type entry = {
+  frame : Hw.Frame.Gfn.t;
+  granted_to : int;
+  readonly : bool;
+  mapped : bool;
+}
+
+type t = { table : (grant_ref, entry) Hashtbl.t; mutable next_ref : grant_ref }
+
+let create () = { table = Hashtbl.create 32; next_ref = 8 }
+
+let grant t ~frame ~granted_to ~readonly =
+  let gref = t.next_ref in
+  t.next_ref <- gref + 1;
+  Hashtbl.replace t.table gref { frame; granted_to; readonly; mapped = false };
+  gref
+
+let entry t gref = Hashtbl.find_opt t.table gref
+
+let entry_exn t gref =
+  match Hashtbl.find_opt t.table gref with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Grant_table: unknown ref %d" gref)
+
+let map t gref =
+  let e = entry_exn t gref in
+  if e.mapped then invalid_arg "Grant_table.map: already mapped";
+  Hashtbl.replace t.table gref { e with mapped = true }
+
+let unmap t gref =
+  let e = entry_exn t gref in
+  if not e.mapped then invalid_arg "Grant_table.unmap: not mapped";
+  Hashtbl.replace t.table gref { e with mapped = false }
+
+let revoke t gref =
+  let e = entry_exn t gref in
+  if e.mapped then
+    invalid_arg "Grant_table.revoke: grant still mapped by the backend";
+  Hashtbl.remove t.table gref
+
+let active t = Hashtbl.length t.table
+
+let mapped_count t =
+  Hashtbl.fold (fun _ e acc -> if e.mapped then acc + 1 else acc) t.table 0
+
+let granted_frames t =
+  List.sort Hw.Frame.Gfn.compare
+    (Hashtbl.fold (fun _ e acc -> e.frame :: acc) t.table [])
+
+let state_bytes t = active t * 24
+
+let revoke_all_unmapped t =
+  let victims =
+    Hashtbl.fold
+      (fun gref e acc -> if e.mapped then acc else gref :: acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) victims;
+  List.length victims
+
+let force_teardown t =
+  let n = active t in
+  Hashtbl.reset t.table;
+  n

@@ -1,0 +1,44 @@
+(** Xen grant tables: controlled sharing of guest frames with other
+    domains (the data path under every PV device ring).
+
+    A grant entry names a guest frame and the domain allowed to map it;
+    backends map granted frames to move network/disk payloads without
+    copies.  Grant state is VM_i State — it references Guest State (the
+    granted frames survive transplant in place) but the table itself is
+    Xen-specific and is rebuilt by the device rescan on the target. *)
+
+type grant_ref = int
+
+type entry = {
+  frame : Hw.Frame.Gfn.t;
+  granted_to : int;      (** domid of the backend *)
+  readonly : bool;
+  mapped : bool;         (** currently mapped by the grantee *)
+}
+
+type t
+
+val create : unit -> t
+
+val grant : t -> frame:Hw.Frame.Gfn.t -> granted_to:int -> readonly:bool -> grant_ref
+val entry : t -> grant_ref -> entry option
+
+val map : t -> grant_ref -> unit
+(** The backend maps the granted frame.  Raises on unknown refs or
+    double maps. *)
+
+val unmap : t -> grant_ref -> unit
+
+val revoke : t -> grant_ref -> unit
+(** Raises [Invalid_argument] if the grant is still mapped — the
+    classic source of use-after-grant bugs this module forbids. *)
+
+val active : t -> int
+val mapped_count : t -> int
+val granted_frames : t -> Hw.Frame.Gfn.t list
+val state_bytes : t -> int
+
+val revoke_all_unmapped : t -> int
+val force_teardown : t -> int
+(** Unmap and revoke everything (device unplug path); returns the number
+    of entries removed. *)

@@ -1,0 +1,407 @@
+type error =
+  | Bad_header
+  | Truncated
+  | Unknown_typecode of int
+  | Malformed of string
+
+let pp_error fmt = function
+  | Bad_header -> Format.pp_print_string fmt "bad header record"
+  | Truncated -> Format.pp_print_string fmt "truncated stream"
+  | Unknown_typecode c -> Format.fprintf fmt "unknown typecode %d" c
+  | Malformed msg -> Format.fprintf fmt "malformed: %s" msg
+
+let typecode_header = 1
+let typecode_cpu = 2
+let typecode_ioapic = 4
+let typecode_lapic = 5
+let typecode_lapic_regs = 6
+let typecode_pit = 10
+let typecode_mtrr = 14
+let typecode_xsave = 16
+let typecode_end = 0
+
+let header_magic = 0x48564D31l (* "HVM1" *)
+
+type platform = {
+  vcpus : Vmstate.Vcpu.t list;
+  ioapic : Vmstate.Ioapic.t;
+  pit : Vmstate.Pit.t;
+}
+
+open Uisr.Wire
+
+(* Record framing: u16 typecode, u16 instance, u32 length, body.
+   Instance is the vCPU index for per-vCPU records, 0 otherwise. *)
+let record w ~typecode ~instance body =
+  let payload = Writer.create () in
+  body payload;
+  Writer.u16 w typecode;
+  Writer.u16 w instance;
+  Writer.u32 w (Writer.size payload);
+  let b = Writer.contents payload in
+  Bytes.iter (fun c -> Writer.u8 w (Char.code c)) b
+
+(* Xen's hvm_hw_cpu packs GPRs, then segment descriptors, then control
+   registers, then a fixed MSR block, then the FPU area — a different
+   field order from the UISR codec. *)
+let put_cpu w (v : Vmstate.Vcpu.t) =
+  let g = v.regs.gprs in
+  (* Xen orders flags/rip first. *)
+  Writer.u64 w g.rflags;
+  Writer.u64 w g.rip;
+  List.iter (Writer.u64 w)
+    [ g.rax; g.rcx; g.rdx; g.rbx; g.rsp; g.rbp; g.rsi; g.rdi;
+      g.r8; g.r9; g.r10; g.r11; g.r12; g.r13; g.r14; g.r15 ];
+  let s = v.regs.sregs in
+  let seg (x : Vmstate.Regs.segment) =
+    Writer.u64 w x.base;
+    Writer.i32 w x.limit;
+    Writer.u16 w x.selector;
+    Writer.u16 w x.attrs
+  in
+  List.iter seg [ s.cs; s.ss; s.ds; s.es; s.fs; s.gs; s.ldt; s.tr ];
+  List.iter (Writer.u64 w) [ s.cr0; s.cr2; s.cr3; s.cr4; s.efer; s.apic_base ];
+  Writer.list w
+    (fun (m : Vmstate.Regs.msr) ->
+      Writer.u64 w m.value;
+      Writer.u32 w m.index)
+    v.regs.msrs;
+  let f = v.regs.fpu in
+  Writer.i32 w f.mxcsr;
+  Writer.u16 w f.fcw;
+  Writer.u16 w f.fsw;
+  Writer.u16 w f.ftw;
+  Writer.array w (Writer.u64 w) f.st;
+  Writer.array w (Writer.u64 w) f.xmm
+
+let get_cpu r : Vmstate.Regs.t =
+  let rflags = Reader.u64 r in
+  let rip = Reader.u64 r in
+  let rax = Reader.u64 r in
+  let rcx = Reader.u64 r in
+  let rdx = Reader.u64 r in
+  let rbx = Reader.u64 r in
+  let rsp = Reader.u64 r in
+  let rbp = Reader.u64 r in
+  let rsi = Reader.u64 r in
+  let rdi = Reader.u64 r in
+  let r8 = Reader.u64 r in
+  let r9 = Reader.u64 r in
+  let r10 = Reader.u64 r in
+  let r11 = Reader.u64 r in
+  let r12 = Reader.u64 r in
+  let r13 = Reader.u64 r in
+  let r14 = Reader.u64 r in
+  let r15 = Reader.u64 r in
+  let gprs : Vmstate.Regs.gprs =
+    { rax; rbx; rcx; rdx; rsi; rdi; rsp; rbp; r8; r9; r10; r11; r12; r13;
+      r14; r15; rip; rflags }
+  in
+  let seg () : Vmstate.Regs.segment =
+    let base = Reader.u64 r in
+    let limit = Reader.i32 r in
+    let selector = Reader.u16 r in
+    let attrs = Reader.u16 r in
+    { selector; base; limit; attrs }
+  in
+  let cs = seg () in
+  let ss = seg () in
+  let ds = seg () in
+  let es = seg () in
+  let fs = seg () in
+  let gs = seg () in
+  let ldt = seg () in
+  let tr = seg () in
+  let cr0 = Reader.u64 r in
+  let cr2 = Reader.u64 r in
+  let cr3 = Reader.u64 r in
+  let cr4 = Reader.u64 r in
+  let efer = Reader.u64 r in
+  let apic_base = Reader.u64 r in
+  let sregs : Vmstate.Regs.sregs =
+    { cs; ds; es; fs; gs; ss; tr; ldt; cr0; cr2; cr3; cr4; efer; apic_base }
+  in
+  let msrs =
+    Reader.list r (fun r ->
+        let value = Reader.u64 r in
+        let index = Reader.u32 r in
+        { Vmstate.Regs.index; value })
+  in
+  let mxcsr = Reader.i32 r in
+  let fcw = Reader.u16 r in
+  let fsw = Reader.u16 r in
+  let ftw = Reader.u16 r in
+  let st = Reader.array r Reader.u64 in
+  let xmm = Reader.array r Reader.u64 in
+  let fpu : Vmstate.Regs.fpu = { fcw; fsw; ftw; mxcsr; st; xmm } in
+  { gprs; sregs; msrs; fpu }
+
+(* LAPIC is split across two Xen records: LAPIC (control fields) and
+   LAPIC_REGS (the register page). *)
+let put_lapic_control w (l : Vmstate.Lapic.t) =
+  Writer.u32 w l.apic_id;
+  Writer.u32 w l.version;
+  Writer.bool w l.enabled;
+  Writer.u8 w l.tpr
+
+let put_lapic_regs w (l : Vmstate.Lapic.t) =
+  Writer.i32 w l.ldr;
+  Writer.i32 w l.dfr;
+  Writer.i32 w l.svr;
+  Writer.array w (Writer.u64 w) l.isr;
+  Writer.array w (Writer.u64 w) l.irr;
+  Writer.array w (Writer.u64 w) l.tmr;
+  Writer.array w (Writer.i32 w) l.lvt;
+  Writer.i32 w l.timer_dcr;
+  Writer.i32 w l.timer_icr;
+  Writer.i32 w l.timer_ccr
+
+type lapic_control = { c_apic_id : int; c_version : int; c_enabled : bool; c_tpr : int }
+
+let get_lapic_control r =
+  let c_apic_id = Reader.u32 r in
+  let c_version = Reader.u32 r in
+  let c_enabled = Reader.bool r in
+  let c_tpr = Reader.u8 r in
+  { c_apic_id; c_version; c_enabled; c_tpr }
+
+let get_lapic_regs r (c : lapic_control) : Vmstate.Lapic.t =
+  let ldr = Reader.i32 r in
+  let dfr = Reader.i32 r in
+  let svr = Reader.i32 r in
+  let isr = Reader.array r Reader.u64 in
+  let irr = Reader.array r Reader.u64 in
+  let tmr = Reader.array r Reader.u64 in
+  let lvt = Reader.array r Reader.i32 in
+  let timer_dcr = Reader.i32 r in
+  let timer_icr = Reader.i32 r in
+  let timer_ccr = Reader.i32 r in
+  { apic_id = c.c_apic_id; version = c.c_version; tpr = c.c_tpr; ldr; dfr;
+    svr; isr; irr; tmr; lvt; timer_dcr; timer_icr; timer_ccr;
+    enabled = c.c_enabled }
+
+let put_mtrr w (m : Vmstate.Mtrr.t) =
+  Writer.u64 w (Int64.of_int m.def_type);
+  Writer.array w
+    (fun (v : Vmstate.Mtrr.variable_range) ->
+      Writer.u64 w v.base;
+      Writer.u64 w v.mask)
+    m.variable;
+  Writer.array w (Writer.u64 w) m.fixed
+
+let get_mtrr r : Vmstate.Mtrr.t =
+  let def_type = Int64.to_int (Reader.u64 r) in
+  let variable =
+    Reader.array r (fun r ->
+        let base = Reader.u64 r in
+        let mask = Reader.u64 r in
+        { Vmstate.Mtrr.base; mask })
+  in
+  let fixed = Reader.array r Reader.u64 in
+  { def_type; fixed; variable }
+
+let put_xsave w (x : Vmstate.Xsave.t) =
+  Writer.u64 w x.xcr0;
+  Writer.u64 w x.xstate_bv;
+  Writer.list w
+    (fun (c : Vmstate.Xsave.component) ->
+      Writer.u32 w c.id;
+      Writer.array w (Writer.u64 w) c.data)
+    x.components
+
+let get_xsave r : Vmstate.Xsave.t =
+  let xcr0 = Reader.u64 r in
+  let xstate_bv = Reader.u64 r in
+  let components =
+    Reader.list r (fun r ->
+        let id = Reader.u32 r in
+        let data = Reader.array r Reader.u64 in
+        { Vmstate.Xsave.id; data })
+  in
+  { xcr0; xstate_bv; components }
+
+let put_ioapic w (io : Vmstate.Ioapic.t) =
+  Writer.u32 w io.id;
+  Writer.array w
+    (fun (p : Vmstate.Ioapic.redirection) ->
+      (* Xen stores redirection entries as packed 64-bit words. *)
+      let word =
+        Int64.logor
+          (Int64.of_int (p.vector land 0xFF))
+          (Int64.logor
+             (Int64.shift_left (Int64.of_int p.delivery_mode) 8)
+             (Int64.logor
+                (Int64.shift_left (Int64.of_int p.dest_mode) 11)
+                (Int64.logor
+                   (Int64.shift_left (Int64.of_int p.polarity) 13)
+                   (Int64.logor
+                      (Int64.shift_left (Int64.of_int p.trigger_mode) 15)
+                      (Int64.logor
+                         (Int64.shift_left (if p.masked then 1L else 0L) 16)
+                         (Int64.shift_left (Int64.of_int p.dest) 56))))))
+      in
+      Writer.u64 w word)
+    io.pins
+
+let get_ioapic r : Vmstate.Ioapic.t =
+  let id = Reader.u32 r in
+  let pins =
+    Reader.array r (fun r ->
+        let word = Reader.u64 r in
+        let bit off width =
+          Int64.to_int
+            (Int64.logand
+               (Int64.shift_right_logical word off)
+               (Int64.sub (Int64.shift_left 1L width) 1L))
+        in
+        {
+          Vmstate.Ioapic.vector = bit 0 8;
+          delivery_mode = bit 8 3;
+          dest_mode = bit 11 1;
+          polarity = bit 13 1;
+          trigger_mode = bit 15 1;
+          masked = bit 16 1 = 1;
+          dest = bit 56 8;
+        })
+  in
+  { id; pins }
+
+let put_pit w (p : Vmstate.Pit.t) =
+  Writer.array w
+    (fun (c : Vmstate.Pit.channel) ->
+      Writer.u32 w c.count;
+      Writer.u16 w c.latched_count;
+      Writer.u8 w c.status;
+      Writer.u8 w ((c.read_state lsl 4) lor c.write_state);
+      Writer.u8 w c.mode;
+      Writer.bool w c.bcd;
+      Writer.bool w c.gate)
+    p.channels;
+  Writer.bool w p.speaker_data_on
+
+let get_pit r : Vmstate.Pit.t =
+  let channels =
+    Reader.array r (fun r ->
+        let count = Reader.u32 r in
+        let latched_count = Reader.u16 r in
+        let status = Reader.u8 r in
+        let rw = Reader.u8 r in
+        let mode = Reader.u8 r in
+        let bcd = Reader.bool r in
+        let gate = Reader.bool r in
+        { Vmstate.Pit.count; latched_count; status; read_state = rw lsr 4;
+          write_state = rw land 0xF; mode; bcd; gate })
+  in
+  let speaker_data_on = Reader.bool r in
+  { channels; speaker_data_on }
+
+let encode (p : platform) =
+  let w = Writer.create () in
+  record w ~typecode:typecode_header ~instance:0 (fun w ->
+      Writer.i32 w header_magic;
+      Writer.u32 w (List.length p.vcpus));
+  List.iter
+    (fun (v : Vmstate.Vcpu.t) ->
+      record w ~typecode:typecode_cpu ~instance:v.index (fun w -> put_cpu w v);
+      record w ~typecode:typecode_lapic ~instance:v.index (fun w ->
+          put_lapic_control w v.lapic);
+      record w ~typecode:typecode_lapic_regs ~instance:v.index (fun w ->
+          put_lapic_regs w v.lapic);
+      record w ~typecode:typecode_mtrr ~instance:v.index (fun w ->
+          put_mtrr w v.mtrr);
+      record w ~typecode:typecode_xsave ~instance:v.index (fun w ->
+          put_xsave w v.xsave))
+    p.vcpus;
+  record w ~typecode:typecode_ioapic ~instance:0 (fun w -> put_ioapic w p.ioapic);
+  record w ~typecode:typecode_pit ~instance:0 (fun w -> put_pit w p.pit);
+  record w ~typecode:typecode_end ~instance:0 (fun _ -> ());
+  Writer.contents w
+
+type partial_vcpu = {
+  mutable pv_cpu : Vmstate.Regs.t option;
+  mutable pv_lapic_control : lapic_control option;
+  mutable pv_lapic : Vmstate.Lapic.t option;
+  mutable pv_mtrr : Vmstate.Mtrr.t option;
+  mutable pv_xsave : Vmstate.Xsave.t option;
+}
+
+exception Fail_typecode of int
+
+let decode data =
+  let r = Reader.create data in
+  let vcpu_parts : (int, partial_vcpu) Hashtbl.t = Hashtbl.create 8 in
+  let part index =
+    match Hashtbl.find_opt vcpu_parts index with
+    | Some p -> p
+    | None ->
+      let p =
+        { pv_cpu = None; pv_lapic_control = None; pv_lapic = None;
+          pv_mtrr = None; pv_xsave = None }
+      in
+      Hashtbl.replace vcpu_parts index p;
+      p
+  in
+  let ioapic = ref None in
+  let pit = ref None in
+  let saw_header = ref false in
+  let finished = ref false in
+  try
+    while not !finished do
+      if Reader.eof r then raise (Reader.Bad_format "missing END record");
+      let typecode = Reader.u16 r in
+      let instance = Reader.u16 r in
+      let len = Reader.u32 r in
+      if Reader.remaining r < len then raise Reader.Truncated;
+      let body = Bytes.create len in
+      for i = 0 to len - 1 do
+        Bytes.set_uint8 body i (Reader.u8 r)
+      done;
+      let br = Reader.create body in
+      if typecode = typecode_header then begin
+        let magic = Reader.i32 br in
+        if not (Int32.equal magic header_magic) then raise Exit;
+        ignore (Reader.u32 br);
+        saw_header := true
+      end
+      else if typecode = typecode_end then finished := true
+      else if not !saw_header then raise Exit
+      else if typecode = typecode_cpu then
+        (part instance).pv_cpu <- Some (get_cpu br)
+      else if typecode = typecode_lapic then
+        (part instance).pv_lapic_control <- Some (get_lapic_control br)
+      else if typecode = typecode_lapic_regs then begin
+        let p = part instance in
+        match p.pv_lapic_control with
+        | None -> raise (Reader.Bad_format "LAPIC_REGS before LAPIC")
+        | Some c -> p.pv_lapic <- Some (get_lapic_regs br c)
+      end
+      else if typecode = typecode_mtrr then
+        (part instance).pv_mtrr <- Some (get_mtrr br)
+      else if typecode = typecode_xsave then
+        (part instance).pv_xsave <- Some (get_xsave br)
+      else if typecode = typecode_ioapic then ioapic := Some (get_ioapic br)
+      else if typecode = typecode_pit then pit := Some (get_pit br)
+      else raise (Fail_typecode typecode)
+    done;
+    let indices =
+      List.sort Int.compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) vcpu_parts [])
+    in
+    let build index =
+      let p = Hashtbl.find vcpu_parts index in
+      match (p.pv_cpu, p.pv_lapic, p.pv_mtrr, p.pv_xsave) with
+      | Some regs, Some lapic, Some mtrr, Some xsave ->
+        { Vmstate.Vcpu.index; regs; lapic; mtrr; xsave }
+      | _ -> raise (Reader.Bad_format "incomplete vCPU records")
+    in
+    let vcpus = List.map build indices in
+    match (!ioapic, !pit) with
+    | Some ioapic, Some pit -> Ok { vcpus; ioapic; pit }
+    | _ -> Error (Malformed "missing IOAPIC or PIT record")
+  with
+  | Reader.Truncated -> Error Truncated
+  | Reader.Bad_format msg -> Error (Malformed msg)
+  | Exit -> Error Bad_header
+  | Fail_typecode c -> Error (Unknown_typecode c)
+
+let record_count (p : platform) = 1 + (5 * List.length p.vcpus) + 2 + 1

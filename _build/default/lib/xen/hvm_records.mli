@@ -1,0 +1,40 @@
+(** Xen's native HVM save-record stream.
+
+    This is the format xc_domain_hvm_getcontext produces: a header
+    record followed by typed, length-prefixed records (CPU per vCPU,
+    LAPIC, LAPIC_REGS, MTRR, XSAVE per vCPU; IOAPIC and PIT per domain)
+    and an END marker.  It differs from both the UISR codec and KVM's
+    ioctl stream in tags, record granularity and field layout — the
+    heterogeneity HyperTP translates across. *)
+
+type error =
+  | Bad_header
+  | Truncated
+  | Unknown_typecode of int
+  | Malformed of string
+
+val pp_error : Format.formatter -> error -> unit
+
+(* Xen public/arch-x86/hvm/save.h typecodes. *)
+val typecode_header : int (* 1 *)
+val typecode_cpu : int (* 2 *)
+val typecode_ioapic : int (* 4 *)
+val typecode_lapic : int (* 5 *)
+val typecode_lapic_regs : int (* 6 *)
+val typecode_pit : int (* 10 *)
+val typecode_mtrr : int (* 14 *)
+val typecode_xsave : int (* 16 *)
+val typecode_end : int (* 0 *)
+
+type platform = {
+  vcpus : Vmstate.Vcpu.t list;
+  ioapic : Vmstate.Ioapic.t;
+  pit : Vmstate.Pit.t;
+}
+
+val encode : platform -> bytes
+val decode : bytes -> (platform, error) result
+
+val record_count : platform -> int
+(** Number of records in the stream (header + per-vCPU + per-domain +
+    END). *)

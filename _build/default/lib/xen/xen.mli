@@ -1,0 +1,19 @@
+(** The simulated Xen hypervisor (type-I, 4.12 HVM), re-engineered for
+    HyperTP.
+
+    Implements {!Hv.Intf.S}: domains carry Xen-specific VM_i State
+    (p2m/NPT, shared-info frame, event channels), the credit scheduler
+    and xenstore form the VM Management State, platform state is
+    saved/loaded through the native HVM save-record stream, and a
+    calibrated cost model reproduces the paper's Xen-side timings
+    (slow type-I reboot, heavy libxl resume, sequential migration
+    receive). *)
+
+include Hv.Intf.S
+
+val domid : domain -> int
+val event_channels : domain -> Event_channel.t
+val grant_table : domain -> Grant_table.t
+val npt_frames : domain -> int
+val xenstore : t -> Xenstore.t
+val scheduler : t -> Credit.t

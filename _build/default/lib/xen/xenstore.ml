@@ -1,0 +1,59 @@
+type t = (string, string) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let normalize path =
+  if path = "" || path.[0] <> '/' then invalid_arg "Xenstore: path must be absolute";
+  if String.length path > 1 && path.[String.length path - 1] = '/' then
+    String.sub path 0 (String.length path - 1)
+  else path
+
+let write t path value = Hashtbl.replace t (normalize path) value
+let read t path = Hashtbl.find_opt t (normalize path)
+
+let rm t path =
+  let path = normalize path in
+  let prefix = path ^ "/" in
+  let victims =
+    Hashtbl.fold
+      (fun k _ acc ->
+        if String.equal k path || String.starts_with ~prefix k then k :: acc
+        else acc)
+      t []
+  in
+  List.iter (Hashtbl.remove t) victims
+
+let list t path =
+  let path = normalize path in
+  let prefix = if path = "/" then "/" else path ^ "/" in
+  let children = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun k _ ->
+      if String.starts_with ~prefix k then begin
+        let rest = String.sub k (String.length prefix) (String.length k - String.length prefix) in
+        let child =
+          match String.index_opt rest '/' with
+          | Some i -> String.sub rest 0 i
+          | None -> rest
+        in
+        if child <> "" then Hashtbl.replace children child ()
+      end)
+    t;
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) children [])
+
+let entries t = Hashtbl.length t
+
+let domain_path domid = Printf.sprintf "/local/domain/%d" domid
+
+let register_domain t ~domid ~name ~memory_kib ~vcpus =
+  let base = domain_path domid in
+  write t (base ^ "/name") name;
+  write t (base ^ "/memory/target") (string_of_int memory_kib);
+  write t (base ^ "/cpu/count") (string_of_int vcpus);
+  write t (base ^ "/device/vif/0/state") "connected"
+
+let unregister_domain t ~domid = rm t (domain_path domid)
+
+let domain_ids t =
+  List.filter_map int_of_string_opt (list t "/local/domain")
+  |> List.sort Int.compare

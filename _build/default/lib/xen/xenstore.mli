@@ -1,0 +1,22 @@
+(** Minimal xenstore: the hierarchical key-value store Xen's toolstack
+    keeps VM metadata in.  Part of VM Management State — rebuilt from
+    domain records after transplant, never translated. *)
+
+type t
+
+val create : unit -> t
+val write : t -> string -> string -> unit
+val read : t -> string -> string option
+val rm : t -> string -> unit
+(** Remove a path and everything below it. *)
+
+val list : t -> string -> string list
+(** Immediate children names of a directory path, sorted. *)
+
+val entries : t -> int
+
+val register_domain :
+  t -> domid:int -> name:string -> memory_kib:int -> vcpus:int -> unit
+
+val unregister_domain : t -> domid:int -> unit
+val domain_ids : t -> int list

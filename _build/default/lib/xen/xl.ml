@@ -1,0 +1,48 @@
+type t = { host : Hv.Host.t }
+
+exception Not_xen of string
+
+let attach host = { host }
+
+let xen_exn t =
+  match Hv.Host.hypervisor_kind t.host with
+  | Some Hv.Kind.Xen -> (
+    match Hv.Host.running_exn t.host with
+    | Hv.Host.Packed ((module H), _, _) as packed ->
+      ignore (module H : Hv.Intf.S);
+      packed)
+  | Some other -> raise (Not_xen (Hv.Kind.to_string other))
+  | None -> raise (Not_xen "(nothing)")
+
+let list t =
+  match xen_exn t with
+  | Hv.Host.Packed (_, _, _) ->
+    (* Go through the host's generic view but decorate with domids from
+       xenstore, which only exists under Xen. *)
+    List.sort
+      (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b)
+      (List.mapi
+         (fun i vm ->
+           ( i + 1,
+             vm.Vmstate.Vm.config.name,
+             vm.Vmstate.Vm.config.vcpus,
+             vm.Vmstate.Vm.config.ram / (1024 * 1024) ))
+         (Hv.Host.vms t.host))
+
+let pause t name =
+  ignore (xen_exn t);
+  Hv.Host.pause_vm t.host name
+
+let unpause t name =
+  ignore (xen_exn t);
+  Hv.Host.resume_vm t.host name
+
+let info t =
+  ignore (xen_exn t);
+  Format.asprintf "xen_version: %s@.host: %a" Xen.version Hw.Machine.pp
+    t.host.Hv.Host.machine
+
+let domid t name =
+  match list t |> List.find_opt (fun (_, n, _, _) -> String.equal n name) with
+  | Some (id, _, _, _) -> id
+  | None -> invalid_arg ("xl: unknown domain " ^ name)

@@ -1,0 +1,28 @@
+(** The xl toolstack: Xen's hypervisor-specific administration tool —
+    the class-G1 interface of section 4.5.1.
+
+    It exists for completeness and for the contrast the paper's operator
+    survey draws: xl only works while Xen runs, so any workflow built on
+    it breaks at the first transplant, which is precisely why surveyed
+    clouds drive hosts exclusively through generic (G2) libraries and
+    why HyperTP does not burden sysadmins. *)
+
+type t
+
+exception Not_xen of string
+(** Raised by every operation when the host no longer runs Xen — the
+    failure mode that makes G1 tooling transplant-hostile. *)
+
+val attach : Hv.Host.t -> t
+
+val list : t -> (int * string * int * int) list
+(** `xl list`: (domid, name, vcpus, memory MiB), sorted by domid. *)
+
+val pause : t -> string -> unit
+val unpause : t -> string -> unit
+
+val info : t -> string
+(** `xl info`: hypervisor version + host summary. *)
+
+val domid : t -> string -> int
+(** Raises [Invalid_argument] for unknown domains. *)

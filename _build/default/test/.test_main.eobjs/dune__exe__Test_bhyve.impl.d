@@ -1,0 +1,1 @@
+test/test_bhyve.ml: Alcotest Bhyvehv Bytes Cve Format Hashtbl Hv Hw Hypertp Kvmhv List Option Result Sim Uisr Vmstate Xenhv

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Cluster Float Hv Hw Hypertp Int64 List Printf Sim Vmstate

@@ -1,0 +1,1 @@
+test/test_cve.ml: Alcotest Cve Float List Option Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Cluster Hashtbl Hv Hw Hypertp Int64 Kexec List Option Sim String Vmstate Xenhv

@@ -1,0 +1,1 @@
+test/test_hv.ml: Alcotest Hashtbl Hv Hw Int64 Kvmhv List Option Vmstate Workload Xenhv

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Float Gen Hashtbl Hw List QCheck QCheck_alcotest Sim

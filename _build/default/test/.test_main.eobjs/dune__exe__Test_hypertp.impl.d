@@ -1,0 +1,1 @@
+test/test_hypertp.ml: Alcotest Array Bytes Char Cve Float Hashtbl Hv Hw Hypertp Int64 Kvmhv List Option Pram Printf QCheck QCheck_alcotest Result Sim Uisr Vmstate

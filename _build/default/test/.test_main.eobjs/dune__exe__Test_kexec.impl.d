@@ -1,0 +1,1 @@
+test/test_kexec.ml: Alcotest Hw Kexec List Option String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bhyve Test_cluster Test_cve Test_extras Test_hv Test_hw Test_hypertp Test_kexec Test_migration Test_pram Test_sim Test_uisr Test_vmstate Test_workload Test_xen_kvm

@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Hw Int Int64 List Migration QCheck QCheck_alcotest Sim Vmstate

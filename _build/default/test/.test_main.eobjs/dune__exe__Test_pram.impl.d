@@ -1,0 +1,1 @@
+test/test_pram.ml: Alcotest Format Gen Hashtbl Hw List Pram Printf QCheck QCheck_alcotest Result Sim Uisr Vmstate

@@ -1,0 +1,1 @@
+test/test_uisr.ml: Alcotest Array Bytes Char Codec Fixup Format Gen Hw List QCheck QCheck_alcotest Result Sim Uisr Vm_state Vmstate Wire

@@ -1,0 +1,1 @@
+test/test_vmstate.ml: Alcotest Array Hw Int64 List QCheck QCheck_alcotest Sim Vmstate

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Darknet Float Hw List Mysql Profile QCheck QCheck_alcotest Redis Sched Sim Spec Spec_data Streaming Vmstate Workload

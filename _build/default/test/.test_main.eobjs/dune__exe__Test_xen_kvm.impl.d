@@ -1,0 +1,1 @@
+test/test_xen_kvm.ml: Alcotest Array Bytes Format Hv Hw Kvmhv List Option Result Sim Uisr Vmstate Xenhv

@@ -1,0 +1,241 @@
+(* Tests for the third hypervisor (bhyve): native snapshot format, ULE
+   scheduler, IOAPIC bridging in both directions, MSR surface gaps, and
+   the full three-hypervisor transplant chain — the UISR scaling
+   claim. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let rng () = Sim.Rng.create 0xB47EL
+
+(* --- ULE scheduler --- *)
+
+let test_ule_queues () =
+  let rq = Bhyvehv.Ule.create () in
+  Bhyvehv.Ule.enqueue_vm rq ~vm_name:"a" ~vcpus:2;
+  Bhyvehv.Ule.enqueue_vm rq ~vm_name:"b" ~vcpus:1;
+  checki "runnable" 3 (Bhyvehv.Ule.runnable rq);
+  checkb "consistent" true (Bhyvehv.Ule.consistent rq [ ("a", 2); ("b", 1) ]);
+  Bhyvehv.Ule.dequeue_vm rq ~vm_name:"a";
+  checki "after dequeue" 1 (Bhyvehv.Ule.runnable rq);
+  Bhyvehv.Ule.rebuild rq [ ("c", 4) ];
+  checkb "rebuilt" true (Bhyvehv.Ule.consistent rq [ ("c", 4) ])
+
+let test_ule_round_robin () =
+  let rq = Bhyvehv.Ule.create () in
+  Bhyvehv.Ule.enqueue_vm rq ~vm_name:"a" ~vcpus:1;
+  Bhyvehv.Ule.enqueue_vm rq ~vm_name:"b" ~vcpus:1;
+  let counts = Hashtbl.create 2 in
+  for _ = 1 to 50 do
+    match Bhyvehv.Ule.pick_next rq with
+    | Some th ->
+      Hashtbl.replace counts th.Bhyvehv.Ule.vm_name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts th.Bhyvehv.Ule.vm_name))
+    | None -> Alcotest.fail "empty"
+  done;
+  checki "fair split" 25 (Hashtbl.find counts "a")
+
+(* --- native snapshot format --- *)
+
+let sample_platform ?(pins = 32) ?(vcpus = 2) () =
+  let g = rng () in
+  {
+    Bhyvehv.Vmm_snapshot.vcpus =
+      List.init vcpus (fun index -> Vmstate.Vcpu.generate g ~index);
+    ioapic = Vmstate.Ioapic.generate g ~pins;
+    pit = Vmstate.Pit.generate g;
+  }
+
+let test_snapshot_roundtrip () =
+  let p = sample_platform () in
+  match Bhyvehv.Vmm_snapshot.decode (Bhyvehv.Vmm_snapshot.encode p) with
+  | Ok p' ->
+    checkb "vcpus" true
+      (List.for_all2 Vmstate.Vcpu.equal p.Bhyvehv.Vmm_snapshot.vcpus
+         p'.Bhyvehv.Vmm_snapshot.vcpus);
+    checkb "ioapic" true
+      (Vmstate.Ioapic.equal p.Bhyvehv.Vmm_snapshot.ioapic
+         p'.Bhyvehv.Vmm_snapshot.ioapic);
+    checkb "pit" true
+      (Vmstate.Pit.equal p.Bhyvehv.Vmm_snapshot.pit p'.Bhyvehv.Vmm_snapshot.pit)
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Bhyvehv.Vmm_snapshot.pp_error e)
+
+let test_snapshot_rejects () =
+  checkb "garbage" true
+    (Result.is_error (Bhyvehv.Vmm_snapshot.decode (Bytes.of_string "nope")));
+  let blob = Bhyvehv.Vmm_snapshot.encode (sample_platform ~vcpus:1 ()) in
+  checkb "truncated" true
+    (Result.is_error
+       (Bhyvehv.Vmm_snapshot.decode (Bytes.sub blob 0 (Bytes.length blob / 2))));
+  Alcotest.check_raises "48 pins refused"
+    (Invalid_argument "Vmm_snapshot: IOAPIC exceeds bhyve's 32 pins")
+    (fun () ->
+      ignore (Bhyvehv.Vmm_snapshot.encode (sample_platform ~pins:48 ())))
+
+let test_three_native_formats_differ () =
+  let g = rng () in
+  let vcpus = [ Vmstate.Vcpu.generate g ~index:0 ] in
+  let ioapic = Vmstate.Ioapic.generate g ~pins:24 in
+  let pit = Vmstate.Pit.generate g in
+  let xen = Xenhv.Hvm_records.encode { Xenhv.Hvm_records.vcpus; ioapic; pit } in
+  let kvm = Kvmhv.Ioctl_stream.encode { Kvmhv.Ioctl_stream.vcpus; ioapic; pit } in
+  let bhy = Bhyvehv.Vmm_snapshot.encode { Bhyvehv.Vmm_snapshot.vcpus; ioapic; pit } in
+  checkb "xen != kvm" false (Bytes.equal xen kvm);
+  checkb "xen != bhyve" false (Bytes.equal xen bhy);
+  checkb "kvm != bhyve" false (Bytes.equal kvm bhy)
+
+(* --- hypervisor over a host --- *)
+
+let bhyve_host ?(vms = []) () =
+  Hypertp.Api.provision ~name:"b-host" ~machine:(Hw.Machine.m1 ())
+    ~hv:Hv.Kind.Bhyve vms
+
+let test_bhyve_guests_32_pins () =
+  let host =
+    bhyve_host ~vms:[ Vmstate.Vm.config ~name:"g" ~ram:(Hw.Units.mib 64) () ] ()
+  in
+  let vm = Option.get (Hv.Host.find_vm host "g") in
+  checki "32 pins" 32 (Vmstate.Ioapic.pin_count vm.Vmstate.Vm.ioapic);
+  checkb "mgmt consistent" true (Hv.Host.management_consistent host)
+
+let test_inplace_xen_to_bhyve () =
+  let host =
+    Hypertp.Api.provision ~name:"x" ~machine:(Hw.Machine.m1 ())
+      ~hv:Hv.Kind.Xen
+      [ Vmstate.Vm.config ~name:"v" ~ram:(Hw.Units.mib 256) () ]
+  in
+  let r = Hypertp.Api.transplant_inplace ~host ~target:Hv.Kind.Bhyve () in
+  checkb "all checks" true (Hypertp.Inplace.all_ok r.checks);
+  let fixes = List.assoc "v" r.fixups in
+  checkb "48 -> 32 truncation" true
+    (List.exists
+       (function
+         | Uisr.Fixup.Ioapic_pins_dropped { kept = 32; _ } -> true
+         | _ -> false)
+       fixes);
+  checkb "MC-bank MSRs dropped" true
+    (List.exists
+       (function
+         | Uisr.Fixup.Msr_dropped i -> i >= 0x400 && i < 0x480
+         | _ -> false)
+       fixes)
+
+let test_inplace_kvm_to_bhyve_extends () =
+  let host =
+    Hypertp.Api.provision ~name:"k" ~machine:(Hw.Machine.m1 ())
+      ~hv:Hv.Kind.Kvm
+      [ Vmstate.Vm.config ~name:"v" ~ram:(Hw.Units.mib 256) () ]
+  in
+  let r = Hypertp.Api.transplant_inplace ~host ~target:Hv.Kind.Bhyve () in
+  checkb "all checks" true (Hypertp.Inplace.all_ok r.checks);
+  checkb "24 -> 32 extension" true
+    (List.exists
+       (function
+         | Uisr.Fixup.Ioapic_pins_extended { from_pins = 24; to_pins = 32 } ->
+           true
+         | _ -> false)
+       (List.assoc "v" r.fixups))
+
+(* The scaling claim: a chain across all three hypervisors preserves
+   vCPU state end to end (modulo the recorded MSR drops). *)
+let test_three_hypervisor_chain () =
+  let host =
+    Hypertp.Api.provision ~name:"chain" ~machine:(Hw.Machine.m1 ())
+      ~hv:Hv.Kind.Xen
+      [ Vmstate.Vm.config ~name:"v" ~vcpus:2 ~ram:(Hw.Units.mib 128) () ]
+  in
+  Hv.Host.pause_vm host "v";
+  let u0 = Hv.Host.to_uisr host "v" in
+  Hv.Host.resume_vm host "v";
+  let r1 = Hypertp.Api.transplant_inplace ~host ~target:Hv.Kind.Bhyve () in
+  let r2 = Hypertp.Api.transplant_inplace ~host ~target:Hv.Kind.Kvm () in
+  let r3 = Hypertp.Api.transplant_inplace ~host ~target:Hv.Kind.Xen () in
+  List.iter
+    (fun (r : Hypertp.Inplace.report) ->
+      checkb "leg ok" true (Hypertp.Inplace.all_ok r.checks))
+    [ r1; r2; r3 ];
+  Hv.Host.pause_vm host "v";
+  let u3 = Hv.Host.to_uisr host "v" in
+  (* MC-bank MSRs were dropped at the bhyve hop; everything else must
+     survive all three legs. *)
+  let strip (v : Vmstate.Vcpu.t) =
+    { v with
+      regs =
+        { v.regs with
+          msrs =
+            List.filter
+              (fun (m : Vmstate.Regs.msr) -> Bhyvehv.Bhyve.supports_msr m.index)
+              v.regs.msrs } }
+  in
+  checkb "vcpus preserved across 3 hypervisors" true
+    (List.for_all2
+       (fun a b -> Vmstate.Vcpu.equal (strip a) (strip b))
+       u0.Uisr.Vm_state.vcpus u3.Uisr.Vm_state.vcpus);
+  checkb "pit preserved" true
+    (Vmstate.Pit.equal u0.Uisr.Vm_state.pit u3.Uisr.Vm_state.pit);
+  (* Pins 0..23 survive every hop (each hypervisor has >= 24). *)
+  let low io = fst (Vmstate.Ioapic.truncate io ~pins:24) in
+  checkb "low pins preserved" true
+    (Vmstate.Ioapic.equal (low u0.Uisr.Vm_state.ioapic) (low u3.Uisr.Vm_state.ioapic))
+
+let test_fleet_policy_escape () =
+  (* With three hypervisors, even the one common Xen/KVM critical flaw
+     has a safe target. *)
+  let fleet = List.map Hv.Kind.to_string Hv.Kind.all in
+  let venom = Option.get (Cve.Nvd.find "CVE-2015-3456") in
+  checkb "bhyve escape" true
+    (Cve.Window.advise ~fleet ~current:"xen" venom
+    = Cve.Window.Transplant_to "bhyve");
+  (* And the two-member fleet still has none. *)
+  checkb "xen/kvm fleet stuck" true
+    (Cve.Window.advise ~fleet:[ "xen"; "kvm" ] ~current:"xen" venom
+    = Cve.Window.No_safe_alternative)
+
+let test_migration_tp_to_bhyve () =
+  let src =
+    Hypertp.Api.provision ~name:"msrc" ~machine:(Hw.Machine.m1 ())
+      ~hv:Hv.Kind.Xen
+      [ Vmstate.Vm.config ~name:"v" ~ram:(Hw.Units.mib 256) () ]
+  in
+  let dst = bhyve_host () in
+  let r = Hypertp.Api.transplant_migration ~src ~dst () in
+  checkb "heterogeneous" true (r.kind = `Migration_tp);
+  checkb "memory equal" true r.checks.Hypertp.Migrate.memory_equal;
+  checkb "landed" true (Hv.Host.find_vm dst "v" <> None)
+
+let test_bhyve_boot_time_band () =
+  let m1 = Hw.Machine.m1 () in
+  let b = Sim.Time.to_sec_f (Bhyvehv.Bhyve.boot_time ~machine:m1) in
+  let k = Sim.Time.to_sec_f (Kvmhv.Kvm.boot_time ~machine:m1) in
+  let x = Sim.Time.to_sec_f (Xenhv.Xen.boot_time ~machine:m1) in
+  checkb "type-II: slower than linux, far below xen+dom0" true
+    (b > k && b < x /. 2.0)
+
+let suites =
+  [
+    ( "bhyve.ule",
+      [
+        Alcotest.test_case "queues" `Quick test_ule_queues;
+        Alcotest.test_case "round robin" `Quick test_ule_round_robin;
+      ] );
+    ( "bhyve.native_format",
+      [
+        Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+        Alcotest.test_case "rejects bad input" `Quick test_snapshot_rejects;
+        Alcotest.test_case "three formats differ" `Quick
+          test_three_native_formats_differ;
+      ] );
+    ( "bhyve.transplant",
+      [
+        Alcotest.test_case "guests get 32 pins" `Quick test_bhyve_guests_32_pins;
+        Alcotest.test_case "xen -> bhyve (truncate + msr drop)" `Quick
+          test_inplace_xen_to_bhyve;
+        Alcotest.test_case "kvm -> bhyve (extend)" `Quick
+          test_inplace_kvm_to_bhyve_extends;
+        Alcotest.test_case "three-hypervisor chain" `Quick
+          test_three_hypervisor_chain;
+        Alcotest.test_case "fleet policy escape (VENOM)" `Quick
+          test_fleet_policy_escape;
+        Alcotest.test_case "migrationtp to bhyve" `Quick test_migration_tp_to_bhyve;
+        Alcotest.test_case "boot time band" `Quick test_bhyve_boot_time_band;
+      ] );
+  ]

@@ -1,0 +1,277 @@
+(* Tests for the hypervisor abstraction layer and the management-state
+   substrates (credit scheduler, CFS, xenstore, kvmtool, NPT). *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- Kind --- *)
+
+let test_kind () =
+  checkb "other xen" true (Hv.Kind.other Hv.Kind.Xen = Hv.Kind.Kvm);
+  checkb "other kvm" true (Hv.Kind.other Hv.Kind.Kvm = Hv.Kind.Xen);
+  checkb "of_string" true (Hv.Kind.of_string "xen" = Some Hv.Kind.Xen);
+  checkb "of_string bad" true (Hv.Kind.of_string "esxi" = None);
+  checkb "platform map" true
+    (Hv.Kind.platform Hv.Kind.Kvm = Workload.Profile.P_kvm)
+
+(* --- Npt --- *)
+
+let test_npt_sizing () =
+  let frames_1gib_4k =
+    Hv.Npt.table_frames_needed
+      ~guest_frames:(Hw.Units.frames_of_bytes (Hw.Units.gib 1))
+      ~page_kind:Hw.Units.Page_4k
+  in
+  let frames_1gib_2m =
+    Hv.Npt.table_frames_needed
+      ~guest_frames:(Hw.Units.frames_of_bytes (Hw.Units.gib 1))
+      ~page_kind:Hw.Units.Page_2m
+  in
+  (* 1 GiB at 4K: 512 L1 pages + 1 L2 + 1 L3 + 1 L4. *)
+  checki "4k table frames" 515 frames_1gib_4k;
+  checki "2m elides the leaf level" 3 frames_1gib_2m
+
+let test_npt_lifecycle () =
+  let pmem = Hw.Pmem.create ~frames:(512 * 64) () in
+  let before = Hw.Pmem.free_frames pmem in
+  let npt =
+    Hv.Npt.build ~pmem ~guest_frames:(512 * 16) ~page_kind:Hw.Units.Page_2m
+      ~metadata_factor:1.25
+  in
+  checkb "frames taken" true (Hw.Pmem.free_frames pmem < before);
+  checkb "not freed" false (Hv.Npt.is_freed npt);
+  Hv.Npt.free npt ~pmem;
+  checkb "freed" true (Hv.Npt.is_freed npt);
+  checki "returned" before (Hw.Pmem.free_frames pmem);
+  (* Double free is a no-op. *)
+  Hv.Npt.free npt ~pmem;
+  checki "idempotent" before (Hw.Pmem.free_frames pmem)
+
+(* --- Credit scheduler --- *)
+
+let test_credit_insert_remove () =
+  let s = Xenhv.Credit.create ~pcpus:4 in
+  Xenhv.Credit.insert_domain s ~domid:1 ~vcpus:6;
+  checki "queued" 6 (Xenhv.Credit.total_queued s);
+  checkb "round robin" true
+    (List.for_all (fun l -> l >= 1) (Xenhv.Credit.queue_lengths s));
+  Xenhv.Credit.remove_domain s ~domid:1;
+  checki "empty" 0 (Xenhv.Credit.total_queued s)
+
+let test_credit_consistency () =
+  let s = Xenhv.Credit.create ~pcpus:2 in
+  Xenhv.Credit.insert_domain s ~domid:1 ~vcpus:2;
+  Xenhv.Credit.insert_domain s ~domid:2 ~vcpus:3;
+  checkb "consistent" true (Xenhv.Credit.consistent s [ (1, 2); (2, 3) ]);
+  checkb "missing domain detected" false (Xenhv.Credit.consistent s [ (1, 2) ]);
+  checkb "phantom domain detected" false
+    (Xenhv.Credit.consistent s [ (1, 2); (2, 3); (5, 1) ]);
+  Xenhv.Credit.rebuild s [ (7, 4) ];
+  checkb "rebuild consistent" true (Xenhv.Credit.consistent s [ (7, 4) ]);
+  checki "rebuild queued" 4 (Xenhv.Credit.total_queued s)
+
+let test_credit_tick_rotation () =
+  let s = Xenhv.Credit.create ~pcpus:1 in
+  Xenhv.Credit.insert_domain s ~domid:1 ~vcpus:2;
+  let head_credits () =
+    Xenhv.Credit.credits_of s { Xenhv.Credit.domid = 1; vcpu_index = 0 }
+  in
+  let c0 = Option.get (head_credits ()) in
+  Xenhv.Credit.tick s;
+  checkb "credits burned" true (Option.get (head_credits ()) < c0)
+
+(* --- CFS --- *)
+
+let test_cfs_basics () =
+  let rq = Kvmhv.Cfs.create () in
+  Kvmhv.Cfs.enqueue_vm rq ~vm_name:"a" ~vcpus:2;
+  Kvmhv.Cfs.enqueue_vm rq ~vm_name:"b" ~vcpus:1;
+  checki "runnable" 3 (Kvmhv.Cfs.runnable rq);
+  checkb "consistent" true (Kvmhv.Cfs.consistent rq [ ("a", 2); ("b", 1) ]);
+  Kvmhv.Cfs.dequeue_vm rq ~vm_name:"a";
+  checki "after dequeue" 1 (Kvmhv.Cfs.runnable rq);
+  checkb "stale detected" false (Kvmhv.Cfs.consistent rq [ ("a", 2); ("b", 1) ])
+
+let test_cfs_fair_pick () =
+  let rq = Kvmhv.Cfs.create () in
+  Kvmhv.Cfs.enqueue_vm rq ~vm_name:"a" ~vcpus:1;
+  Kvmhv.Cfs.enqueue_vm rq ~vm_name:"b" ~vcpus:1;
+  (* Over many picks both threads run equally often. *)
+  let counts = Hashtbl.create 2 in
+  for _ = 1 to 100 do
+    match Kvmhv.Cfs.pick_next rq with
+    | Some th ->
+      Hashtbl.replace counts th.Kvmhv.Cfs.vm_name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts th.Kvmhv.Cfs.vm_name))
+    | None -> Alcotest.fail "empty rq"
+  done;
+  checki "a picked half" 50 (Hashtbl.find counts "a");
+  checki "b picked half" 50 (Hashtbl.find counts "b")
+
+(* --- Xenstore --- *)
+
+let test_xenstore_rw () =
+  let xs = Xenhv.Xenstore.create () in
+  Xenhv.Xenstore.write xs "/local/domain/1/name" "vm1";
+  Alcotest.check (Alcotest.option Alcotest.string) "read back" (Some "vm1")
+    (Xenhv.Xenstore.read xs "/local/domain/1/name");
+  Alcotest.check (Alcotest.option Alcotest.string) "missing" None
+    (Xenhv.Xenstore.read xs "/nope")
+
+let test_xenstore_list_rm () =
+  let xs = Xenhv.Xenstore.create () in
+  Xenhv.Xenstore.register_domain xs ~domid:1 ~name:"a" ~memory_kib:1024 ~vcpus:1;
+  Xenhv.Xenstore.register_domain xs ~domid:2 ~name:"b" ~memory_kib:1024 ~vcpus:1;
+  Alcotest.check (Alcotest.list Alcotest.int) "domain ids" [ 1; 2 ]
+    (Xenhv.Xenstore.domain_ids xs);
+  Xenhv.Xenstore.unregister_domain xs ~domid:1;
+  Alcotest.check (Alcotest.list Alcotest.int) "after rm" [ 2 ]
+    (Xenhv.Xenstore.domain_ids xs);
+  Alcotest.check (Alcotest.option Alcotest.string) "subtree gone" None
+    (Xenhv.Xenstore.read xs "/local/domain/1/name")
+
+let test_xenstore_path_validation () =
+  let xs = Xenhv.Xenstore.create () in
+  Alcotest.check_raises "relative path"
+    (Invalid_argument "Xenstore: path must be absolute") (fun () ->
+      Xenhv.Xenstore.write xs "foo" "bar")
+
+(* --- Kvmtool --- *)
+
+let test_kvmtool_processes () =
+  let k = Kvmhv.Kvmtool.create () in
+  let p1 = Kvmhv.Kvmtool.spawn k ~vm_name:"a" ~guest_bytes:(Hw.Units.gib 1) in
+  let p2 = Kvmhv.Kvmtool.spawn k ~vm_name:"b" ~guest_bytes:(Hw.Units.gib 2) in
+  checkb "distinct pids" true (p1.Kvmhv.Kvmtool.pid <> p2.Kvmhv.Kvmtool.pid);
+  checki "count" 2 (Kvmhv.Kvmtool.count k);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Kvmtool.spawn: duplicate VM a") (fun () ->
+      ignore (Kvmhv.Kvmtool.spawn k ~vm_name:"a" ~guest_bytes:1024));
+  Kvmhv.Kvmtool.kill k ~vm_name:"a";
+  checkb "killed" true (Kvmhv.Kvmtool.find k ~vm_name:"a" = None)
+
+(* --- Host --- *)
+
+let mk_host ?(machine = Hw.Machine.m1 ()) () =
+  Hv.Host.create ~name:"t-host" machine
+
+let test_host_boot_and_vms () =
+  let host = mk_host () in
+  checkb "nothing running" true (Hv.Host.hypervisor_kind host = None);
+  Hv.Host.boot_hypervisor host (module Xenhv.Xen);
+  checkb "xen up" true (Hv.Host.hypervisor_kind host = Some Hv.Kind.Xen);
+  ignore
+    (Hv.Host.create_vm host
+       (Vmstate.Vm.config ~name:"a" ~ram:(Hw.Units.mib 64) ()));
+  ignore
+    (Hv.Host.create_vm host
+       (Vmstate.Vm.config ~name:"b" ~ram:(Hw.Units.mib 64) ()));
+  checki "two vms" 2 (Hv.Host.vm_count host);
+  Alcotest.check (Alcotest.list Alcotest.string) "names" [ "a"; "b" ]
+    (Hv.Host.vm_names host);
+  checkb "mgmt consistent" true (Hv.Host.management_consistent host)
+
+let test_host_double_boot_rejected () =
+  let host = mk_host () in
+  Hv.Host.boot_hypervisor host (module Kvmhv.Kvm);
+  Alcotest.check_raises "double boot"
+    (Invalid_argument "Host.boot_hypervisor: a hypervisor is running")
+    (fun () -> Hv.Host.boot_hypervisor host (module Xenhv.Xen))
+
+let test_host_duplicate_vm_rejected () =
+  let host = mk_host () in
+  Hv.Host.boot_hypervisor host (module Kvmhv.Kvm);
+  let cfg = Vmstate.Vm.config ~name:"dup" ~ram:(Hw.Units.mib 32) () in
+  ignore (Hv.Host.create_vm host cfg);
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Host.create_vm: duplicate VM name dup") (fun () ->
+      ignore (Hv.Host.create_vm host cfg))
+
+let test_host_pause_resume () =
+  let host = mk_host () in
+  Hv.Host.boot_hypervisor host (module Xenhv.Xen);
+  let vm =
+    Hv.Host.create_vm host (Vmstate.Vm.config ~name:"p" ~ram:(Hw.Units.mib 32) ())
+  in
+  Hv.Host.pause_all host;
+  checkb "paused" false (Vmstate.Vm.is_running vm);
+  Hv.Host.resume_all host;
+  checkb "resumed" true (Vmstate.Vm.is_running vm)
+
+let test_host_detach_keeps_memory () =
+  let host = mk_host () in
+  Hv.Host.boot_hypervisor host (module Xenhv.Xen);
+  let vm =
+    Hv.Host.create_vm host (Vmstate.Vm.config ~name:"d" ~ram:(Hw.Units.mib 32) ())
+  in
+  let checksum = Vmstate.Guest_mem.checksum vm.Vmstate.Vm.mem in
+  let detached = Hv.Host.detach_vm host "d" in
+  checki "no vms left" 0 (Hv.Host.vm_count host);
+  checkb "same object" true (detached == vm);
+  checkb "memory intact" true
+    (Int64.equal checksum (Vmstate.Guest_mem.checksum detached.Vmstate.Vm.mem));
+  checkb "backing intact" true
+    (Vmstate.Guest_mem.verify_backing detached.Vmstate.Vm.mem = [])
+
+let test_host_shutdown_destroy () =
+  let host = mk_host () in
+  Hv.Host.boot_hypervisor host (module Kvmhv.Kvm);
+  ignore
+    (Hv.Host.create_vm host (Vmstate.Vm.config ~name:"x" ~ram:(Hw.Units.mib 32) ()));
+  let used = Hw.Pmem.used_frames host.Hv.Host.pmem in
+  checkb "frames in use" true (used > 0);
+  Hv.Host.shutdown_hypervisor host ~keep_guest_memory:false;
+  checkb "nothing running" true (Hv.Host.hypervisor_kind host = None);
+  checki "everything freed" 0 (Hw.Pmem.used_frames host.Hv.Host.pmem)
+
+let test_host_crash_leaves_allocations () =
+  let host = mk_host () in
+  Hv.Host.boot_hypervisor host (module Xenhv.Xen);
+  ignore
+    (Hv.Host.create_vm host (Vmstate.Vm.config ~name:"c" ~ram:(Hw.Units.mib 32) ()));
+  let used = Hw.Pmem.used_frames host.Hv.Host.pmem in
+  let vms = Hv.Host.crash_hypervisor host in
+  checki "one vm recovered" 1 (List.length vms);
+  checkb "nothing running" true (Hv.Host.hypervisor_kind host = None);
+  checki "allocations untouched (reboot will reclaim)" used
+    (Hw.Pmem.used_frames host.Hv.Host.pmem)
+
+let suites =
+  [
+    ("hv.kind", [ Alcotest.test_case "kinds" `Quick test_kind ]);
+    ( "hv.npt",
+      [
+        Alcotest.test_case "table sizing" `Quick test_npt_sizing;
+        Alcotest.test_case "lifecycle" `Quick test_npt_lifecycle;
+      ] );
+    ( "xen.credit",
+      [
+        Alcotest.test_case "insert/remove" `Quick test_credit_insert_remove;
+        Alcotest.test_case "consistency check" `Quick test_credit_consistency;
+        Alcotest.test_case "tick rotation" `Quick test_credit_tick_rotation;
+      ] );
+    ( "kvm.cfs",
+      [
+        Alcotest.test_case "basics" `Quick test_cfs_basics;
+        Alcotest.test_case "fair picking" `Quick test_cfs_fair_pick;
+      ] );
+    ( "xen.xenstore",
+      [
+        Alcotest.test_case "read/write" `Quick test_xenstore_rw;
+        Alcotest.test_case "list/rm" `Quick test_xenstore_list_rm;
+        Alcotest.test_case "path validation" `Quick test_xenstore_path_validation;
+      ] );
+    ( "kvm.kvmtool",
+      [ Alcotest.test_case "process table" `Quick test_kvmtool_processes ] );
+    ( "hv.host",
+      [
+        Alcotest.test_case "boot and vms" `Quick test_host_boot_and_vms;
+        Alcotest.test_case "double boot rejected" `Quick test_host_double_boot_rejected;
+        Alcotest.test_case "duplicate vm rejected" `Quick test_host_duplicate_vm_rejected;
+        Alcotest.test_case "pause/resume" `Quick test_host_pause_resume;
+        Alcotest.test_case "detach keeps memory" `Quick test_host_detach_keeps_memory;
+        Alcotest.test_case "shutdown destroys" `Quick test_host_shutdown_destroy;
+        Alcotest.test_case "crash leaves allocations" `Quick
+          test_host_crash_leaves_allocations;
+      ] );
+  ]

@@ -1,0 +1,303 @@
+(* Tests for the hardware substrate: units, frames, physical memory,
+   CPU, NIC, machine catalog. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Units --- *)
+
+let test_units_sizes () =
+  checki "kib" 1024 (Hw.Units.kib 1);
+  checki "mib" (1024 * 1024) (Hw.Units.mib 1);
+  checki "gib" (1024 * 1024 * 1024) (Hw.Units.gib 1);
+  checki "frames per 2m page" 512 (Hw.Units.frames_per_page Hw.Units.Page_2m);
+  checki "4k pages in 1gib" 262144
+    (Hw.Units.pages_of_bytes Hw.Units.Page_4k (Hw.Units.gib 1));
+  checki "2m pages in 1gib" 512
+    (Hw.Units.pages_of_bytes Hw.Units.Page_2m (Hw.Units.gib 1))
+
+let test_units_rounding () =
+  checki "round up" 2 (Hw.Units.pages_of_bytes Hw.Units.Page_4k 4097);
+  checki "exact" 1 (Hw.Units.pages_of_bytes Hw.Units.Page_4k 4096);
+  checki "zero" 0 (Hw.Units.pages_of_bytes Hw.Units.Page_4k 0)
+
+let test_units_to_float () =
+  checkf "gib" 2.0 (Hw.Units.to_gib_f (Hw.Units.gib 2));
+  checkf "kib" 148.0 (Hw.Units.to_kib_f (Hw.Units.kib 148))
+
+(* --- Frame --- *)
+
+let test_frame_typed () =
+  let g = Hw.Frame.Gfn.of_int 100 in
+  let m = Hw.Frame.Mfn.of_int 200 in
+  checki "gfn add" 105 (Hw.Frame.Gfn.to_int (Hw.Frame.Gfn.add g 5));
+  checki "mfn offset" 50
+    (Hw.Frame.Mfn.offset (Hw.Frame.Mfn.of_int 250) m);
+  Alcotest.check_raises "negative gfn"
+    (Invalid_argument "gfn.of_int: negative") (fun () ->
+      ignore (Hw.Frame.Gfn.of_int (-1)))
+
+(* --- Pmem --- *)
+
+let mk_pmem ?(frames = 512 * 64) () = Hw.Pmem.create ~frames ()
+
+let test_pmem_alloc_free_counts () =
+  let p = mk_pmem () in
+  let total = Hw.Pmem.total_frames p in
+  let extents = Hw.Pmem.alloc_extents p 1000 in
+  checki "allocated count" 1000
+    (List.fold_left (fun acc (_, len) -> acc + len) 0 extents);
+  checki "used" 1000 (Hw.Pmem.used_frames p);
+  List.iter (fun (s, l) -> Hw.Pmem.free_extent p s l) extents;
+  checki "all free again" total (Hw.Pmem.free_frames p)
+
+let test_pmem_alignment () =
+  let p = mk_pmem () in
+  let extents = Hw.Pmem.alloc_extents p ~align:512 1024 in
+  List.iter
+    (fun (start, len) ->
+      checki "aligned start" 0 (Hw.Frame.Mfn.to_int start mod 512);
+      checkb "aligned len" true (len mod 512 = 0))
+    extents
+
+let test_pmem_no_overlap () =
+  let p = mk_pmem () in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 20 do
+    let frames = Hw.Pmem.alloc_frames p 100 in
+    List.iter
+      (fun mfn ->
+        let f = Hw.Frame.Mfn.to_int mfn in
+        checkb "never handed out twice" false (Hashtbl.mem seen f);
+        Hashtbl.replace seen f ())
+      frames
+  done
+
+let test_pmem_oom () =
+  let p = mk_pmem ~frames:512 () in
+  Alcotest.check_raises "oom" Hw.Pmem.Out_of_memory (fun () ->
+      ignore (Hw.Pmem.alloc_extents p 513))
+
+let test_pmem_contents () =
+  let p = mk_pmem () in
+  let frames = Hw.Pmem.alloc_frames p 10 in
+  let mfn = List.nth frames 3 in
+  Alcotest.check (Alcotest.option Alcotest.int64) "unwritten" None
+    (Hw.Pmem.read p mfn);
+  Hw.Pmem.write p mfn 0xDEADL;
+  Alcotest.check (Alcotest.option Alcotest.int64) "written" (Some 0xDEADL)
+    (Hw.Pmem.read p mfn)
+
+let test_pmem_write_unallocated () =
+  let p = mk_pmem () in
+  Alcotest.check_raises "unallocated write"
+    (Invalid_argument "Pmem.write: frame not allocated") (fun () ->
+      Hw.Pmem.write p (Hw.Frame.Mfn.of_int 7) 1L)
+
+let test_pmem_reserve_protects () =
+  let p = mk_pmem () in
+  let extents = Hw.Pmem.alloc_extents p 4 in
+  let start, len = List.hd extents in
+  Hw.Pmem.reserve_extent p start len;
+  checkb "is reserved" true (Hw.Pmem.is_reserved p start);
+  Alcotest.check_raises "reserved free rejected"
+    (Invalid_argument "Pmem.free_extent: frame is reserved") (fun () ->
+      Hw.Pmem.free_extent p start len);
+  Hw.Pmem.unreserve_extent p start len;
+  Hw.Pmem.free_extent p start len;
+  checkb "freed after unreserve" false (Hw.Pmem.is_allocated p start)
+
+let test_pmem_wipe_semantics () =
+  let p = mk_pmem () in
+  let keep = Hw.Pmem.alloc_frames p 5 in
+  let lose = Hw.Pmem.alloc_frames p 5 in
+  List.iter (fun m -> Hw.Pmem.write p m 1L) keep;
+  List.iter (fun m -> Hw.Pmem.write p m 2L) lose;
+  let keep_set = List.map Hw.Frame.Mfn.to_int keep in
+  let wiped =
+    Hw.Pmem.wipe_unpreserved p ~preserve:(fun m ->
+        List.mem (Hw.Frame.Mfn.to_int m) keep_set)
+  in
+  checki "wiped count" 5 wiped;
+  List.iter
+    (fun m ->
+      Alcotest.check (Alcotest.option Alcotest.int64) "kept" (Some 1L)
+        (Hw.Pmem.read p m))
+    keep;
+  List.iter
+    (fun m ->
+      Alcotest.check (Alcotest.option Alcotest.int64) "gone" None
+        (Hw.Pmem.read p m))
+    lose
+
+let test_pmem_reboot_reset () =
+  let p = mk_pmem () in
+  let preserved = Hw.Pmem.alloc_frames p 8 in
+  let reserved = Hw.Pmem.alloc_frames p 4 in
+  let doomed = Hw.Pmem.alloc_frames p 16 in
+  List.iter (fun m -> Hw.Pmem.write p m 7L) (preserved @ reserved @ doomed);
+  List.iter (fun m -> Hw.Pmem.reserve_extent p m 1) reserved;
+  let pset = List.map Hw.Frame.Mfn.to_int preserved in
+  let reclaimed =
+    Hw.Pmem.reboot_reset p ~preserve:(fun m ->
+        List.mem (Hw.Frame.Mfn.to_int m) pset)
+  in
+  checki "reclaimed only the doomed" 16 reclaimed;
+  List.iter
+    (fun m -> checkb "doomed frames freed" false (Hw.Pmem.is_allocated p m))
+    doomed;
+  List.iter
+    (fun m -> checkb "preserved still allocated" true (Hw.Pmem.is_allocated p m))
+    preserved;
+  List.iter
+    (fun m -> checkb "reserved still allocated" true (Hw.Pmem.is_allocated p m))
+    reserved
+
+(* Stateful property: under random interleavings of alloc/free/reserve
+   operations, the allocator's counters stay consistent and no frame is
+   ever handed out twice. *)
+let prop_pmem_random_ops =
+  QCheck.Test.make ~name:"pmem invariants under random op sequences" ~count:30
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_range 0 999))
+    (fun ops ->
+      let p = Hw.Pmem.create ~frames:(512 * 32) () in
+      let total = Hw.Pmem.total_frames p in
+      let live = ref [] in (* (start, len, reserved) *)
+      let ok = ref true in
+      let live_frames () =
+        List.fold_left (fun acc (_, len, _) -> acc + len) 0 !live
+      in
+      List.iter
+        (fun op ->
+          match op mod 4 with
+          | 0 | 1 -> (
+            (* Allocate a small extent list. *)
+            let n = 1 + (op mod 700) in
+            match Hw.Pmem.alloc_extents p n with
+            | extents ->
+              List.iter (fun (s, l) -> live := (s, l, false) :: !live) extents
+            | exception Hw.Pmem.Out_of_memory -> ())
+          | 2 -> (
+            (* Free the most recent unreserved extent. *)
+            match List.partition (fun (_, _, r) -> not r) !live with
+            | (s, l, _) :: rest_un, reserved ->
+              Hw.Pmem.free_extent p s l;
+              live := rest_un @ reserved
+            | [], _ -> ())
+          | _ -> (
+            (* Reserve the most recent unreserved extent. *)
+            match List.partition (fun (_, _, r) -> not r) !live with
+            | (s, l, _) :: rest_un, reserved ->
+              Hw.Pmem.reserve_extent p s l;
+              live := rest_un @ ((s, l, true) :: reserved)
+            | [], _ -> ()))
+        ops;
+      (* Counter consistency. *)
+      if Hw.Pmem.used_frames p <> live_frames () then ok := false;
+      if Hw.Pmem.free_frames p + Hw.Pmem.used_frames p <> total then ok := false;
+      (* Every live extent is still allocated; reserved ones reserved. *)
+      List.iter
+        (fun (s, l, r) ->
+          for i = 0 to l - 1 do
+            let m = Hw.Frame.Mfn.add s i in
+            if not (Hw.Pmem.is_allocated p m) then ok := false;
+            if r && not (Hw.Pmem.is_reserved p m) then ok := false
+          done)
+        !live;
+      (* No overlaps among live extents. *)
+      let seen = Hashtbl.create 512 in
+      List.iter
+        (fun (s, l, _) ->
+          for i = 0 to l - 1 do
+            let f = Hw.Frame.Mfn.to_int s + i in
+            if Hashtbl.mem seen f then ok := false;
+            Hashtbl.replace seen f ()
+          done)
+        !live;
+      !ok)
+
+let prop_pmem_alloc_free_idempotent =
+  QCheck.Test.make ~name:"pmem alloc/free restores free count"
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 1 600))
+    (fun sizes ->
+      let p = mk_pmem () in
+      let before = Hw.Pmem.free_frames p in
+      let all = List.map (fun n -> Hw.Pmem.alloc_extents p n) sizes in
+      List.iter
+        (fun extents ->
+          List.iter (fun (s, l) -> Hw.Pmem.free_extent p s l) extents)
+        all;
+      Hw.Pmem.free_frames p = before)
+
+(* --- Cpu / Nic / Machine --- *)
+
+let test_cpu () =
+  let c = Hw.Cpu.create ~sockets:2 ~cores_per_socket:14 ~threads_per_core:2 ~freq_ghz:1.7 in
+  checki "cores" 28 (Hw.Cpu.total_cores c);
+  checki "threads" 56 (Hw.Cpu.total_threads c);
+  checki "usable" 54 (Hw.Cpu.usable_threads c ~reserved:2);
+  checki "usable floor" 1 (Hw.Cpu.usable_threads c ~reserved:100)
+
+let test_nic_transfer () =
+  let nic = Hw.Nic.create ~bandwidth_gbps:1.0 ~efficiency:1.0 ~latency:Sim.Time.zero () in
+  (* 1 Gbps = 125 MB/s; 125 MB should take 1 s. *)
+  let t = Hw.Nic.transfer_time nic ~streams:1 125_000_000 in
+  checkb "1s +- 1ms" true
+    (Float.abs (Sim.Time.to_sec_f t -. 1.0) < 0.001)
+
+let test_nic_stream_sharing () =
+  let nic = Hw.Nic.create ~bandwidth_gbps:10.0 () in
+  let t1 = Hw.Nic.throughput_bytes_per_sec nic ~streams:1 in
+  let t4 = Hw.Nic.throughput_bytes_per_sec nic ~streams:4 in
+  checkb "4 streams quarter" true (Float.abs ((t1 /. 4.0) -. t4) < 1.0)
+
+let test_machine_catalog () =
+  let m1 = Hw.Machine.m1 () and m2 = Hw.Machine.m2 () in
+  checki "m1 threads" 8 (Hw.Cpu.total_threads m1.Hw.Machine.cpu);
+  checki "m2 threads" 56 (Hw.Cpu.total_threads m2.Hw.Machine.cpu);
+  checki "m1 workers" 6 (Hw.Machine.worker_threads m1);
+  checki "m1 hosts 12 x 1GiB + 2GiB admin" 14
+    (Hw.Machine.max_vms m1 ~vm_ram:(Hw.Units.gib 1));
+  checkb "m2 slower per core" true
+    (m2.Hw.Machine.costs.Hw.Machine.cpu_factor > 1.0)
+
+let test_machine_pmem () =
+  let m1 = Hw.Machine.m1 () in
+  let p = Hw.Machine.fresh_pmem m1 in
+  checki "16GiB of frames" (16 * 262144) (Hw.Pmem.total_frames p)
+
+let suites =
+  [
+    ( "hw.units",
+      [
+        Alcotest.test_case "sizes" `Quick test_units_sizes;
+        Alcotest.test_case "rounding" `Quick test_units_rounding;
+        Alcotest.test_case "float conversions" `Quick test_units_to_float;
+      ] );
+    ("hw.frame", [ Alcotest.test_case "typed frames" `Quick test_frame_typed ]);
+    ( "hw.pmem",
+      [
+        Alcotest.test_case "alloc/free counts" `Quick test_pmem_alloc_free_counts;
+        Alcotest.test_case "alignment" `Quick test_pmem_alignment;
+        Alcotest.test_case "no double allocation" `Quick test_pmem_no_overlap;
+        Alcotest.test_case "out of memory" `Quick test_pmem_oom;
+        Alcotest.test_case "content tags" `Quick test_pmem_contents;
+        Alcotest.test_case "unallocated write rejected" `Quick
+          test_pmem_write_unallocated;
+        Alcotest.test_case "reservation protects" `Quick test_pmem_reserve_protects;
+        Alcotest.test_case "wipe honours preserve" `Quick test_pmem_wipe_semantics;
+        Alcotest.test_case "reboot reset reclaims" `Quick test_pmem_reboot_reset;
+        qtest prop_pmem_alloc_free_idempotent;
+        qtest prop_pmem_random_ops;
+      ] );
+    ( "hw.machine",
+      [
+        Alcotest.test_case "cpu topology" `Quick test_cpu;
+        Alcotest.test_case "nic transfer time" `Quick test_nic_transfer;
+        Alcotest.test_case "nic stream sharing" `Quick test_nic_stream_sharing;
+        Alcotest.test_case "catalog" `Quick test_machine_catalog;
+        Alcotest.test_case "pmem sizing" `Quick test_machine_pmem;
+      ] );
+  ]

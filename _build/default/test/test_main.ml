@@ -1,0 +1,9 @@
+(* Aggregated test runner: one Alcotest suite per library. *)
+
+let () =
+  Alcotest.run "hypertp"
+    (Test_sim.suites @ Test_hw.suites @ Test_vmstate.suites
+   @ Test_workload.suites @ Test_uisr.suites @ Test_pram.suites
+   @ Test_kexec.suites @ Test_hv.suites @ Test_xen_kvm.suites
+   @ Test_bhyve.suites @ Test_migration.suites @ Test_cve.suites
+   @ Test_hypertp.suites @ Test_cluster.suites @ Test_extras.suites)

@@ -1,0 +1,211 @@
+(* Tests for the pre-copy live-migration engine. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+let params ?(streams = 1) () =
+  Migration.Precopy.default_params
+    ~nic:(Hw.Nic.create ~bandwidth_gbps:1.0 ())
+    ~streams ()
+
+let gib_pages = Hw.Units.frames_of_bytes (Hw.Units.gib 1)
+
+let test_idle_vm_converges_fast () =
+  let plan =
+    Migration.Precopy.plan (params ()) ~page_bytes:4096 ~total_pages:gib_pages
+      ~dirty_pages_per_sec:15.0
+  in
+  checkb "few rounds" true (List.length plan.Migration.Precopy.rounds <= 2);
+  checkb "tiny final set" true (plan.Migration.Precopy.final_pages < 200);
+  (* 1 GiB over ~118 MB/s: around 9 seconds of pre-copy (Table 4). *)
+  let t = Sim.Time.to_sec_f plan.Migration.Precopy.precopy_time in
+  checkb "~9s precopy" true (t > 8.0 && t < 11.0)
+
+let test_busy_vm_more_rounds () =
+  let busy =
+    Migration.Precopy.plan (params ()) ~page_bytes:4096 ~total_pages:gib_pages
+      ~dirty_pages_per_sec:4_000.0
+  in
+  let idle =
+    Migration.Precopy.plan (params ()) ~page_bytes:4096 ~total_pages:gib_pages
+      ~dirty_pages_per_sec:15.0
+  in
+  checkb "more rounds when busy" true
+    (List.length busy.Migration.Precopy.rounds
+    > List.length idle.Migration.Precopy.rounds);
+  checkb "longer stop" true
+    Sim.Time.(idle.Migration.Precopy.stop_copy_time
+              < busy.Migration.Precopy.stop_copy_time)
+
+let test_round_cap_respected () =
+  (* A dirty rate the link cannot outrun: the cap must stop the loop. *)
+  let plan =
+    Migration.Precopy.plan (params ()) ~page_bytes:4096 ~total_pages:gib_pages
+      ~dirty_pages_per_sec:1e9
+  in
+  checki "capped at max rounds" 5 (List.length plan.Migration.Precopy.rounds)
+
+let test_converges_predicate () =
+  checkb "idle converges" true
+    (Migration.Precopy.converges (params ()) ~page_bytes:4096
+       ~dirty_pages_per_sec:100.0);
+  checkb "hot loop does not" false
+    (Migration.Precopy.converges (params ()) ~page_bytes:4096
+       ~dirty_pages_per_sec:1e8)
+
+let test_stream_sharing_slows () =
+  let one =
+    Migration.Precopy.plan (params ~streams:1 ()) ~page_bytes:4096
+      ~total_pages:gib_pages ~dirty_pages_per_sec:15.0
+  in
+  let four =
+    Migration.Precopy.plan (params ~streams:4 ()) ~page_bytes:4096
+      ~total_pages:gib_pages ~dirty_pages_per_sec:15.0
+  in
+  let r = Sim.Time.to_sec_f four.Migration.Precopy.precopy_time
+          /. Sim.Time.to_sec_f one.Migration.Precopy.precopy_time in
+  checkb "4 streams ~4x slower" true (r > 3.5 && r < 4.5)
+
+let prop_rounds_shrink =
+  QCheck.Test.make ~name:"convergent plans have strictly shrinking rounds"
+    QCheck.(int_range 10 2_000)
+    (fun dirty ->
+      let plan =
+        Migration.Precopy.plan (params ()) ~page_bytes:4096
+          ~total_pages:gib_pages ~dirty_pages_per_sec:(float_of_int dirty)
+      in
+      let rec shrinking = function
+        | (a : Migration.Precopy.round) :: (b :: _ as rest) ->
+          b.pages_sent < a.pages_sent && shrinking rest
+        | [ _ ] | [] -> true
+      in
+      shrinking plan.Migration.Precopy.rounds)
+
+let prop_total_bytes_accounted =
+  QCheck.Test.make ~name:"wire bytes = pages sent x page size"
+    QCheck.(pair (int_range 100 100_000) (int_range 1 50_000))
+    (fun (pages, dirty) ->
+      let plan =
+        Migration.Precopy.plan (params ()) ~page_bytes:4096 ~total_pages:pages
+          ~dirty_pages_per_sec:(float_of_int dirty)
+      in
+      let sent =
+        List.fold_left
+          (fun acc (r : Migration.Precopy.round) -> acc + r.pages_sent)
+          0 plan.Migration.Precopy.rounds
+        + plan.Migration.Precopy.final_pages
+      in
+      plan.Migration.Precopy.total_bytes = sent * 4096)
+
+let test_copy_memory () =
+  let pmem = Hw.Pmem.create ~frames:(512 * 64) () in
+  let rng = Sim.Rng.create 1L in
+  let mk () =
+    Vmstate.Guest_mem.create ~pmem ~rng ~bytes:(Hw.Units.mib 32)
+      ~page_kind:Hw.Units.Page_2m ()
+  in
+  let src = mk () and dst = mk () in
+  Vmstate.Guest_mem.touch_random src rng 10;
+  let copied = Migration.Precopy.copy_memory ~src ~dst in
+  checki "all pages" (Vmstate.Guest_mem.page_count src) copied;
+  checkb "checksums equal" true
+    (Int64.equal (Vmstate.Guest_mem.checksum src) (Vmstate.Guest_mem.checksum dst));
+  checki "destination clean" 0 (Vmstate.Guest_mem.dirty_count dst)
+
+let test_copy_memory_mismatch () =
+  let pmem = Hw.Pmem.create ~frames:(512 * 64) () in
+  let rng = Sim.Rng.create 1L in
+  let a =
+    Vmstate.Guest_mem.create ~pmem ~rng ~bytes:(Hw.Units.mib 32)
+      ~page_kind:Hw.Units.Page_2m ()
+  in
+  let b =
+    Vmstate.Guest_mem.create ~pmem ~rng ~bytes:(Hw.Units.mib 16)
+      ~page_kind:Hw.Units.Page_2m ()
+  in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Precopy.copy_memory: page count mismatch") (fun () ->
+      ignore (Migration.Precopy.copy_memory ~src:a ~dst:b))
+
+let test_run_live_converges_and_verifies () =
+  let pmem = Hw.Pmem.create ~frames:(512 * 128) () in
+  let rng = Sim.Rng.create 5L in
+  let mk () =
+    Vmstate.Guest_mem.create ~pmem ~rng ~bytes:(Hw.Units.mib 64)
+      ~page_kind:Hw.Units.Page_2m ()
+  in
+  let src = mk () and dst = mk () in
+  let r =
+    Migration.Precopy.run_live (params ()) ~src ~dst
+      ~dirty_pages_per_sec:2_000.0 ~rng
+  in
+  checkb "memory equal at the end" true r.Migration.Precopy.memory_equal;
+  checkb "multiple rounds under load" true
+    (List.length r.Migration.Precopy.live_rounds >= 2);
+  checkb "rounds shrink" true
+    (let sent =
+       List.map
+         (fun (x : Migration.Precopy.live_round) -> x.guest_pages_sent)
+         r.Migration.Precopy.live_rounds
+     in
+     List.sort (fun a b -> Int.compare b a) sent = sent);
+  checkb "copied at least one full pass" true
+    (r.Migration.Precopy.pages_copied_total
+    >= Vmstate.Guest_mem.page_count src);
+  checki "source dirty log drained" 0 (Vmstate.Guest_mem.dirty_count src)
+
+let test_run_live_idle_single_round () =
+  let pmem = Hw.Pmem.create ~frames:(512 * 128) () in
+  let rng = Sim.Rng.create 6L in
+  let mk () =
+    Vmstate.Guest_mem.create ~pmem ~rng ~bytes:(Hw.Units.mib 64)
+      ~page_kind:Hw.Units.Page_2m ()
+  in
+  let src = mk () and dst = mk () in
+  let r =
+    Migration.Precopy.run_live (params ()) ~src ~dst ~dirty_pages_per_sec:1.0
+      ~rng
+  in
+  checkb "memory equal" true r.Migration.Precopy.memory_equal;
+  checkb "at most a tail round" true
+    (List.length r.Migration.Precopy.live_rounds <= 2);
+  checkb "tiny final set" true (r.Migration.Precopy.final_guest_pages <= 2)
+
+let test_run_live_round_cap () =
+  let pmem = Hw.Pmem.create ~frames:(512 * 128) () in
+  let rng = Sim.Rng.create 7L in
+  let mk () =
+    Vmstate.Guest_mem.create ~pmem ~rng ~bytes:(Hw.Units.mib 32)
+      ~page_kind:Hw.Units.Page_2m ()
+  in
+  let src = mk () and dst = mk () in
+  let r =
+    Migration.Precopy.run_live (params ()) ~src ~dst ~dirty_pages_per_sec:1e7
+      ~rng
+  in
+  checkb "capped" true
+    (List.length r.Migration.Precopy.live_rounds
+    <= (params ()).Migration.Precopy.max_rounds);
+  checkb "still ends bit-identical (stop-and-copy)" true
+    r.Migration.Precopy.memory_equal
+
+let suites =
+  [
+    ( "migration.precopy",
+      [
+        Alcotest.test_case "idle converges fast" `Quick test_idle_vm_converges_fast;
+        Alcotest.test_case "busy needs more rounds" `Quick test_busy_vm_more_rounds;
+        Alcotest.test_case "round cap" `Quick test_round_cap_respected;
+        Alcotest.test_case "convergence predicate" `Quick test_converges_predicate;
+        Alcotest.test_case "stream sharing" `Quick test_stream_sharing_slows;
+        Alcotest.test_case "copy memory" `Quick test_copy_memory;
+        Alcotest.test_case "copy mismatch rejected" `Quick test_copy_memory_mismatch;
+        Alcotest.test_case "live precopy converges + verifies" `Quick
+          test_run_live_converges_and_verifies;
+        Alcotest.test_case "live precopy idle" `Quick test_run_live_idle_single_round;
+        Alcotest.test_case "live precopy round cap" `Quick test_run_live_round_cap;
+        qtest prop_rounds_shrink;
+        qtest prop_total_bytes_accounted;
+      ] );
+  ]

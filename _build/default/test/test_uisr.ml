@@ -1,0 +1,258 @@
+(* Tests for the UISR: wire primitives, CRC, codec round-trips,
+   corruption rejection, fixups. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+let rng () = Sim.Rng.create 0xF00DL
+
+open Uisr
+
+(* --- Wire --- *)
+
+let test_wire_scalars () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u8 w 0xAB;
+  Wire.Writer.u16 w 0xCDEF;
+  Wire.Writer.u32 w 0x12345678;
+  Wire.Writer.u64 w 0x1122334455667788L;
+  Wire.Writer.bool w true;
+  Wire.Writer.string w "hello";
+  let r = Wire.Reader.create (Wire.Writer.contents w) in
+  checki "u8" 0xAB (Wire.Reader.u8 r);
+  checki "u16" 0xCDEF (Wire.Reader.u16 r);
+  checki "u32" 0x12345678 (Wire.Reader.u32 r);
+  Alcotest.check Alcotest.int64 "u64" 0x1122334455667788L (Wire.Reader.u64 r);
+  checkb "bool" true (Wire.Reader.bool r);
+  Alcotest.check Alcotest.string "string" "hello" (Wire.Reader.string r);
+  checkb "eof" true (Wire.Reader.eof r)
+
+let test_wire_list_array () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.list w (Wire.Writer.u32 w) [ 1; 2; 3 ];
+  Wire.Writer.array w (Wire.Writer.u16 w) [| 9; 8 |];
+  let r = Wire.Reader.create (Wire.Writer.contents w) in
+  Alcotest.check (Alcotest.list Alcotest.int) "list" [ 1; 2; 3 ]
+    (Wire.Reader.list r Wire.Reader.u32);
+  Alcotest.check (Alcotest.array Alcotest.int) "array" [| 9; 8 |]
+    (Wire.Reader.array r Wire.Reader.u16)
+
+let test_wire_truncation () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u64 w 1L;
+  let short = Bytes.sub (Wire.Writer.contents w) 0 3 in
+  let r = Wire.Reader.create short in
+  Alcotest.check_raises "truncated" Wire.Reader.Truncated (fun () ->
+      ignore (Wire.Reader.u64 r))
+
+let test_wire_section () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.section w ~tag:0x42 (fun inner -> Wire.Writer.u32 inner 7);
+  let r = Wire.Reader.create (Wire.Writer.contents w) in
+  let tag, v =
+    Wire.Reader.section r (fun ~tag inner -> (tag, Wire.Reader.u32 inner))
+  in
+  checki "tag" 0x42 tag;
+  checki "payload" 7 v
+
+let test_wire_section_underconsumed () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.section w ~tag:1 (fun inner -> Wire.Writer.u32 inner 7);
+  let r = Wire.Reader.create (Wire.Writer.contents w) in
+  checkb "underconsumption rejected" true
+    (try
+       ignore (Wire.Reader.section r (fun ~tag:_ _ -> ()));
+       false
+     with Wire.Reader.Bad_format _ -> true)
+
+let test_crc_known () =
+  (* CRC32("123456789") = 0xCBF43926 — the canonical check value. *)
+  Alcotest.check Alcotest.int32 "check value" 0xCBF43926l
+    (Wire.crc32 (Bytes.of_string "123456789"))
+
+let test_crc_append_check () =
+  let data = Bytes.of_string "some payload" in
+  let framed = Wire.append_crc data in
+  (match Wire.check_crc framed with
+  | Ok body -> Alcotest.check Alcotest.string "body" "some payload" (Bytes.to_string body)
+  | Error e -> Alcotest.fail e);
+  Bytes.set framed 2 'X';
+  checkb "corruption detected" true (Result.is_error (Wire.check_crc framed))
+
+let prop_crc_flip_detected =
+  QCheck.Test.make ~name:"single byte flip always breaks the CRC"
+    QCheck.(pair (string_of_size (Gen.int_range 1 200)) (int_range 0 10_000))
+    (fun (s, pos) ->
+      let framed = Wire.append_crc (Bytes.of_string s) in
+      let i = pos mod Bytes.length framed in
+      let b = Bytes.copy framed in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5A));
+      Result.is_error (Wire.check_crc b))
+
+(* --- Vm_state / Codec --- *)
+
+let sample_vm ?(pins = Vmstate.Ioapic.xen_pins) ?(vcpus = 2) () =
+  let pmem = Hw.Pmem.create ~frames:(512 * 64) () in
+  let vm =
+    Vmstate.Vm.create ~pmem ~rng:(rng ()) ~ioapic_pins:pins
+      (Vmstate.Vm.config ~name:"uisr-test" ~vcpus ~ram:(Hw.Units.mib 64)
+         ~workload:Vmstate.Vm.Wl_redis ())
+  in
+  Vmstate.Vm.pause vm;
+  vm
+
+let test_of_vm_requires_pause () =
+  let vm = sample_vm () in
+  Vmstate.Vm.resume vm;
+  Alcotest.check_raises "running rejected"
+    (Invalid_argument "Vm_state.of_vm: VM must be paused or suspended first")
+    (fun () -> ignore (Vm_state.of_vm ~source_hypervisor:"xen" vm))
+
+let test_of_vm_shape () =
+  let vm = sample_vm () in
+  let u = Vm_state.of_vm ~source_hypervisor:"xen-4.12.1" vm in
+  checki "vcpus" 2 (Vm_state.vcpu_count u);
+  checki "frames covered" (Hw.Units.frames_of_bytes (Hw.Units.mib 64))
+    (Vm_state.total_mapped_frames u);
+  checkb "net device captured unplugged" true
+    (List.exists
+       (fun (d : Vm_state.device_snapshot) -> d.dev_unplugged)
+       u.devices);
+  checkb "disk captured with state" true
+    (List.exists
+       (fun (d : Vm_state.device_snapshot) ->
+         (not d.dev_unplugged) && Array.length d.dev_emulation_state > 0)
+       u.devices)
+
+let test_memmap_pow2 () =
+  let vm = sample_vm () in
+  let entries = Vm_state.memmap_of_guest_mem vm.Vmstate.Vm.mem in
+  List.iter
+    (fun (e : Vm_state.memmap_entry) ->
+      checkb "power of two" true (e.frames land (e.frames - 1) = 0))
+    entries
+
+let test_codec_roundtrip () =
+  let vm = sample_vm () in
+  let u = Vm_state.of_vm ~source_hypervisor:"xen-4.12.1" vm in
+  match Codec.decode (Codec.encode u) with
+  | Ok u' -> checkb "roundtrip equal" true (Vm_state.equal u u')
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Codec.pp_error e)
+
+let test_codec_roundtrip_many_shapes () =
+  List.iter
+    (fun (pins, vcpus) ->
+      let u =
+        Vm_state.of_vm ~source_hypervisor:"kvm-5.3.1" (sample_vm ~pins ~vcpus ())
+      in
+      match Codec.decode (Codec.encode u) with
+      | Ok u' -> checkb "roundtrip" true (Vm_state.equal u u')
+      | Error e -> Alcotest.fail (Format.asprintf "%a" Codec.pp_error e))
+    [ (24, 1); (24, 10); (48, 1); (48, 6) ]
+
+let test_codec_rejects_corruption () =
+  let u = Vm_state.of_vm ~source_hypervisor:"xen" (sample_vm ()) in
+  let blob = Codec.encode u in
+  Bytes.set blob 40 (Char.chr (Char.code (Bytes.get blob 40) lxor 0xFF));
+  checkb "corrupted rejected" true (Result.is_error (Codec.decode blob))
+
+let test_codec_rejects_truncation () =
+  let u = Vm_state.of_vm ~source_hypervisor:"xen" (sample_vm ()) in
+  let blob = Codec.encode u in
+  let short = Bytes.sub blob 0 (Bytes.length blob / 2) in
+  checkb "truncated rejected" true (Result.is_error (Codec.decode short))
+
+let test_codec_rejects_bad_magic () =
+  let u = Vm_state.of_vm ~source_hypervisor:"xen" (sample_vm ()) in
+  let blob = Codec.encode u in
+  Bytes.set blob 0 'Z';
+  (* Re-frame with a fresh CRC so only the magic is wrong. *)
+  let body = Bytes.sub blob 0 (Bytes.length blob - 4) in
+  let reframed = Wire.append_crc body in
+  checkb "bad magic" true
+    (match Codec.decode reframed with Error Codec.Bad_magic -> true | _ -> false)
+
+let test_codec_rejects_bad_version () =
+  let u = Vm_state.of_vm ~source_hypervisor:"xen" (sample_vm ()) in
+  let blob = Codec.encode u in
+  let body = Bytes.sub blob 0 (Bytes.length blob - 4) in
+  Bytes.set_uint16_le body 4 99;
+  let reframed = Wire.append_crc body in
+  checkb "bad version" true
+    (match Codec.decode reframed with
+    | Error (Codec.Unsupported_version 99) -> true
+    | _ -> false)
+
+let test_codec_sizes () =
+  let small = Vm_state.of_vm ~source_hypervisor:"xen" (sample_vm ~vcpus:1 ()) in
+  let big = Vm_state.of_vm ~source_hypervisor:"xen" (sample_vm ~vcpus:10 ()) in
+  checkb "more vcpus -> bigger platform UISR" true
+    (Codec.platform_size_bytes big > Codec.platform_size_bytes small);
+  checkb "platform excludes memmap" true
+    (Codec.platform_size_bytes small < Codec.size_bytes small);
+  (* Fig 14: ~5 KiB at 1 vCPU, ~38 KiB at 10 vCPUs. *)
+  let kb1 = float_of_int (Codec.platform_size_bytes small) /. 1024.0 in
+  let kb10 = float_of_int (Codec.platform_size_bytes big) /. 1024.0 in
+  checkb "1 vCPU platform in 2..9 KiB" true (kb1 > 2.0 && kb1 < 9.0);
+  checkb "10 vCPU platform in 20..50 KiB" true (kb10 > 20.0 && kb10 < 50.0)
+
+let prop_codec_roundtrip_random_vcpus =
+  QCheck.Test.make ~name:"codec roundtrip across random vCPU counts" ~count:20
+    QCheck.(int_range 1 8)
+    (fun vcpus ->
+      let u = Vm_state.of_vm ~source_hypervisor:"x" (sample_vm ~vcpus ()) in
+      match Codec.decode (Codec.encode u) with
+      | Ok u' -> Vm_state.equal u u'
+      | Error _ -> false)
+
+(* --- Fixup --- *)
+
+let test_fixup_lossiness () =
+  checkb "dropped live pins lossy" true
+    (Fixup.is_lossy (Fixup.Ioapic_pins_dropped { kept = 24; dropped_connected = 3 }));
+  checkb "dropped masked pins not lossy" false
+    (Fixup.is_lossy (Fixup.Ioapic_pins_dropped { kept = 24; dropped_connected = 0 }));
+  checkb "msr drop lossy" true (Fixup.is_lossy (Fixup.Msr_dropped 0x10));
+  checkb "container change not lossy" false (Fixup.is_lossy Fixup.Lapic_container_changed);
+  checkb "rescan not lossy" false (Fixup.is_lossy (Fixup.Device_rescanned 1))
+
+let test_fixup_equal () =
+  checkb "equal" true
+    (Fixup.equal (Fixup.Msr_dropped 1) (Fixup.Msr_dropped 1));
+  checkb "not equal" false
+    (Fixup.equal (Fixup.Msr_dropped 1) (Fixup.Device_rescanned 1))
+
+let suites =
+  [
+    ( "uisr.wire",
+      [
+        Alcotest.test_case "scalars" `Quick test_wire_scalars;
+        Alcotest.test_case "lists and arrays" `Quick test_wire_list_array;
+        Alcotest.test_case "truncation" `Quick test_wire_truncation;
+        Alcotest.test_case "sections" `Quick test_wire_section;
+        Alcotest.test_case "underconsumed section" `Quick test_wire_section_underconsumed;
+        Alcotest.test_case "crc known value" `Quick test_crc_known;
+        Alcotest.test_case "crc append/check" `Quick test_crc_append_check;
+        qtest prop_crc_flip_detected;
+      ] );
+    ( "uisr.codec",
+      [
+        Alcotest.test_case "of_vm requires pause" `Quick test_of_vm_requires_pause;
+        Alcotest.test_case "of_vm shape" `Quick test_of_vm_shape;
+        Alcotest.test_case "memmap entries are pow2" `Quick test_memmap_pow2;
+        Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+        Alcotest.test_case "roundtrip across shapes" `Quick
+          test_codec_roundtrip_many_shapes;
+        Alcotest.test_case "corruption rejected" `Quick test_codec_rejects_corruption;
+        Alcotest.test_case "truncation rejected" `Quick test_codec_rejects_truncation;
+        Alcotest.test_case "bad magic rejected" `Quick test_codec_rejects_bad_magic;
+        Alcotest.test_case "bad version rejected" `Quick test_codec_rejects_bad_version;
+        Alcotest.test_case "sizes (Fig 14)" `Quick test_codec_sizes;
+        qtest prop_codec_roundtrip_random_vcpus;
+      ] );
+    ( "uisr.fixup",
+      [
+        Alcotest.test_case "lossiness" `Quick test_fixup_lossiness;
+        Alcotest.test_case "equality" `Quick test_fixup_equal;
+      ] );
+  ]

@@ -1,0 +1,245 @@
+(* Tests for the workload models: schedules, profiles, application
+   timelines and the SPEC dataset. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
+let qtest = QCheck_alcotest.to_alcotest
+let rng () = Sim.Rng.create 0x30DL
+
+open Workload
+
+let xen = Profile.P_xen
+let kvm = Profile.P_kvm
+
+(* --- Sched --- *)
+
+let transplant_sched ?(at = 50.0) ?(gap = 2.0) () =
+  Sched.make ~initial:xen
+    [ (at, Sched.Stopped); (at +. gap, Sched.Running kvm) ]
+
+let test_sched_condition_at () =
+  let s = transplant_sched () in
+  checkb "before" true (Sched.condition_at s 10.0 = Sched.Running xen);
+  checkb "during" true (Sched.condition_at s 51.0 = Sched.Stopped);
+  checkb "after" true (Sched.condition_at s 60.0 = Sched.Running kvm);
+  checkb "boundary inclusive" true (Sched.condition_at s 50.0 = Sched.Stopped)
+
+let test_sched_work_between () =
+  let s = transplant_sched () in
+  let base = function Profile.P_xen -> 10.0 | Profile.P_kvm -> 20.0 | Profile.P_bhyve -> 15.0 in
+  checkf "pure xen" 100.0 (Sched.work_between s 0.0 10.0 ~base);
+  checkf "stopped" 0.0 (Sched.work_between s 50.0 52.0 ~base);
+  checkf "pure kvm" 200.0 (Sched.work_between s 52.0 62.0 ~base);
+  checkf "straddling" (10.0 +. 40.0)
+    (Sched.work_between s 49.0 54.0 ~base)
+
+let test_sched_completion_time () =
+  let s = transplant_sched () in
+  let base = function Profile.P_xen | Profile.P_kvm | Profile.P_bhyve -> 1.0 in
+  (* 10 units from t=45: 5 before the pause, 2 paused, 5 after. *)
+  checkf ~eps:1e-6 "pause inserted" 57.0
+    (Sched.completion_time s ~start:45.0 ~work:10.0 ~base);
+  checkf ~eps:1e-6 "untouched when clear" 10.0
+    (Sched.completion_time s ~start:0.0 ~work:10.0 ~base)
+
+let test_sched_degraded () =
+  let s =
+    Sched.make ~initial:xen [ (10.0, Sched.Degraded (xen, 2.0)) ]
+  in
+  let base = function Profile.P_xen | Profile.P_kvm | Profile.P_bhyve -> 4.0 in
+  checkf "halved rate" 2.0 (Sched.rate_factor s 11.0 ~base);
+  checkf ~eps:1e-6 "stretched completion" 20.0
+    (Sched.completion_time s ~start:10.0 ~work:40.0 ~base -. 10.0)
+
+let test_sched_validation () =
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Sched.make: breakpoints not increasing") (fun () ->
+      ignore (Sched.make ~initial:xen [ (5.0, Sched.Stopped); (5.0, Sched.Running xen) ]));
+  Alcotest.check_raises "stretch below 1"
+    (Invalid_argument "Sched.make: stretch factor below 1") (fun () ->
+      ignore (Sched.make ~initial:xen [ (5.0, Sched.Degraded (xen, 0.5)) ]))
+
+let prop_sched_work_additive =
+  QCheck.Test.make ~name:"work_between is additive over adjacent windows"
+    QCheck.(pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0))
+    (fun (a, b) ->
+      let t0 = Float.min a b and tmid = (a +. b) /. 2.0 and t1 = Float.max a b in
+      let s = transplant_sched () in
+      let base = function Profile.P_xen -> 3.0 | Profile.P_kvm -> 7.0 | Profile.P_bhyve -> 5.0 in
+      let whole = Sched.work_between s t0 t1 ~base in
+      let split =
+        Sched.work_between s t0 tmid ~base +. Sched.work_between s tmid t1 ~base
+      in
+      Float.abs (whole -. split) < 1e-6)
+
+(* --- Profile --- *)
+
+let test_profile_redis_gap () =
+  let gain = Profile.redis_qps kvm /. Profile.redis_qps xen in
+  checkb "KVM ~37% faster for redis (Fig 11)" true
+    (gain > 1.30 && gain < 1.45)
+
+let test_profile_mysql_factors () =
+  checkf "latency x3.52 (Fig 12)" 3.52
+    (Profile.precopy_latency_factor Vmstate.Vm.Wl_mysql);
+  checkf "qps x0.32 (Fig 12)" 0.32
+    (Profile.precopy_qps_factor Vmstate.Vm.Wl_mysql)
+
+let test_profile_dirty_rates () =
+  let rate w =
+    Profile.dirty_pages_per_sec w ~ram:(Hw.Units.gib 8)
+      ~page_kind:Hw.Units.Page_2m
+  in
+  checkb "idle tiny" true (rate Vmstate.Vm.Wl_idle < 200.0);
+  checkb "redis heavy" true (rate Vmstate.Vm.Wl_redis > 1000.0);
+  checkb "mysql heaviest" true
+    (rate Vmstate.Vm.Wl_mysql > rate Vmstate.Vm.Wl_redis)
+
+(* --- Spec --- *)
+
+let test_spec_dataset () =
+  checki "23 applications" 23 (List.length Spec_data.all);
+  let deepsjeng = Spec_data.find "deepsjeng" in
+  checkf "xen column" 457.75 deepsjeng.Spec_data.xen_time_s;
+  checkf "kvm column" 456.65 deepsjeng.Spec_data.kvm_time_s
+
+let test_spec_plain_run_no_degradation () =
+  let app = Spec_data.find "gcc" in
+  let run =
+    Spec.run_app ~rng:(rng ()) ~sched:(Sched.always xen)
+      ~residual_overhead_s:0.0 app
+  in
+  checkb "sub-1% vs xen baseline" true
+    (Float.abs run.Spec.degradation_vs_xen_pct < 1.0)
+
+let test_spec_transplant_degradation_band () =
+  (* Downtime ~2.6 s in the middle of each run; paper Table 5 keeps the
+     max degradation under ~5 %. *)
+  let sched at =
+    Sched.make ~initial:xen
+      [ (at, Sched.Stopped); (at +. 2.6, Sched.Running kvm) ]
+  in
+  let runs =
+    List.map
+      (fun app ->
+        Spec.run_app ~rng:(rng ())
+          ~sched:(sched (Spec_data.base_time app xen /. 2.0))
+          ~residual_overhead_s:2.0 app)
+      Spec_data.all
+  in
+  let worst = Spec.max_degradation runs in
+  checkb "max degradation in (0, 6%)" true (worst > 0.0 && worst < 6.0)
+
+(* --- Redis --- *)
+
+let test_redis_timeline_gap () =
+  let sched = transplant_sched ~at:50.0 ~gap:9.0 () in
+  let t = Redis.qps_timeline ~rng:(rng ()) ~sched ~duration_s:120.0 in
+  checkf "zero during gap" 0.0 (Redis.mean_qps t ~from_s:51.0 ~until_s:58.0);
+  let before = Redis.mean_qps t ~from_s:10.0 ~until_s:45.0 in
+  let after = Redis.mean_qps t ~from_s:70.0 ~until_s:115.0 in
+  checkb "before near xen rate" true
+    (Float.abs (before -. Profile.redis_qps xen) /. Profile.redis_qps xen < 0.1);
+  checkb "post-transplant improvement (Fig 11)" true
+    (after /. before > 1.25)
+
+(* --- Mysql --- *)
+
+let test_mysql_timelines () =
+  let sched =
+    Sched.make ~initial:xen
+      [ (40.0, Sched.Degraded (xen, 1.1)); (116.0, Sched.Stopped);
+        (116.2, Sched.Running kvm) ]
+  in
+  let lat, qps = Mysql.timelines ~rng:(rng ()) ~sched ~duration_s:150.0 in
+  let lat_before =
+    Sim.Trace.mean_between lat (Sim.Time.sec 0) (Sim.Time.sec 39)
+  in
+  let lat_during =
+    Sim.Trace.mean_between lat (Sim.Time.sec 45) (Sim.Time.sec 110)
+  in
+  checkb "+252% latency during pre-copy (Fig 12)" true
+    (lat_during /. lat_before > 2.8 && lat_during /. lat_before < 4.2);
+  let qps_before =
+    Sim.Trace.mean_between qps (Sim.Time.sec 0) (Sim.Time.sec 39)
+  in
+  let qps_during =
+    Sim.Trace.mean_between qps (Sim.Time.sec 45) (Sim.Time.sec 110)
+  in
+  checkb "-68% throughput during pre-copy" true
+    (qps_during /. qps_before > 0.25 && qps_during /. qps_before < 0.45)
+
+(* --- Darknet --- *)
+
+let test_darknet_baseline () =
+  let r =
+    Darknet.train ~rng:(rng ()) ~sched:(Sched.always xen) ~iterations:100
+  in
+  checki "100 iterations" 100 (List.length r.Darknet.durations_s);
+  checkb "mean near 2.044 (Table 6)" true
+    (Float.abs (r.Darknet.mean_s -. 2.044) < 0.05)
+
+let test_darknet_inplace_pause () =
+  let sched = transplant_sched ~at:50.0 ~gap:2.9 () in
+  let r = Darknet.train ~rng:(rng ()) ~sched ~iterations:100 in
+  checkb "longest iteration eats the pause (Table 6: 4.97)" true
+    (r.Darknet.longest_s > 4.3 && r.Darknet.longest_s < 5.6)
+
+let test_darknet_migration_slowdown () =
+  let sched =
+    Sched.make ~initial:xen [ (10.0, Sched.Degraded (xen, 1.25)) ]
+  in
+  let r = Darknet.train ~rng:(rng ()) ~sched ~iterations:50 in
+  checkb "longest ~2.67 under migration (Table 6)" true
+    (r.Darknet.longest_s > 2.4 && r.Darknet.longest_s < 2.9)
+
+(* --- Streaming --- *)
+
+let test_streaming_survives_short_gap () =
+  let sched = transplant_sched ~at:30.0 ~gap:6.0 () in
+  let r = Streaming.stream ~rng:(rng ()) ~sched ~duration_s:120.0 () in
+  checkf "no stall behind a 10s buffer" 0.0 r.Streaming.stall_s;
+  checkb "buffer dipped below half" true (r.Streaming.buffer_low_s > 0.0)
+
+let test_streaming_stalls_on_long_gap () =
+  let sched = transplant_sched ~at:30.0 ~gap:15.0 () in
+  let r = Streaming.stream ~rng:(rng ()) ~sched ~duration_s:120.0 () in
+  checkb "stalls past the buffer" true (r.Streaming.stall_s > 2.0)
+
+let suites =
+  [
+    ( "workload.sched",
+      [
+        Alcotest.test_case "condition_at" `Quick test_sched_condition_at;
+        Alcotest.test_case "work integration" `Quick test_sched_work_between;
+        Alcotest.test_case "completion time" `Quick test_sched_completion_time;
+        Alcotest.test_case "degraded stretch" `Quick test_sched_degraded;
+        Alcotest.test_case "validation" `Quick test_sched_validation;
+        qtest prop_sched_work_additive;
+      ] );
+    ( "workload.profile",
+      [
+        Alcotest.test_case "redis platform gap" `Quick test_profile_redis_gap;
+        Alcotest.test_case "mysql precopy factors" `Quick test_profile_mysql_factors;
+        Alcotest.test_case "dirty rates ordered" `Quick test_profile_dirty_rates;
+      ] );
+    ( "workload.spec",
+      [
+        Alcotest.test_case "dataset" `Quick test_spec_dataset;
+        Alcotest.test_case "clean run" `Quick test_spec_plain_run_no_degradation;
+        Alcotest.test_case "degradation band (Table 5)" `Quick
+          test_spec_transplant_degradation_band;
+      ] );
+    ( "workload.apps",
+      [
+        Alcotest.test_case "redis timeline (Fig 11)" `Quick test_redis_timeline_gap;
+        Alcotest.test_case "mysql timelines (Fig 12)" `Quick test_mysql_timelines;
+        Alcotest.test_case "darknet baseline" `Quick test_darknet_baseline;
+        Alcotest.test_case "darknet pause (Table 6)" `Quick test_darknet_inplace_pause;
+        Alcotest.test_case "darknet migration slowdown" `Quick
+          test_darknet_migration_slowdown;
+        Alcotest.test_case "streaming short gap" `Quick test_streaming_survives_short_gap;
+        Alcotest.test_case "streaming long gap" `Quick test_streaming_stalls_on_long_gap;
+      ] );
+  ]

@@ -1,0 +1,356 @@
+(* Tests for the two hypervisor implementations: native state codecs,
+   UISR bridges, the cross-hypervisor round-trip that is HyperTP's core
+   correctness claim. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let rng () = Sim.Rng.create 0x7E57L
+
+let sample_platform ?(pins = Vmstate.Ioapic.xen_pins) ?(vcpus = 2) () =
+  let g = rng () in
+  ( List.init vcpus (fun index -> Vmstate.Vcpu.generate g ~index),
+    Vmstate.Ioapic.generate g ~pins,
+    Vmstate.Pit.generate g )
+
+(* --- Xen HVM records --- *)
+
+let test_hvm_records_roundtrip () =
+  let vcpus, ioapic, pit = sample_platform () in
+  let p = { Xenhv.Hvm_records.vcpus; ioapic; pit } in
+  match Xenhv.Hvm_records.decode (Xenhv.Hvm_records.encode p) with
+  | Ok p' ->
+    checkb "vcpus" true
+      (List.for_all2 Vmstate.Vcpu.equal p.Xenhv.Hvm_records.vcpus
+         p'.Xenhv.Hvm_records.vcpus);
+    checkb "ioapic" true
+      (Vmstate.Ioapic.equal p.Xenhv.Hvm_records.ioapic p'.Xenhv.Hvm_records.ioapic);
+    checkb "pit" true
+      (Vmstate.Pit.equal p.Xenhv.Hvm_records.pit p'.Xenhv.Hvm_records.pit)
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Xenhv.Hvm_records.pp_error e)
+
+let test_hvm_records_rejects_garbage () =
+  checkb "garbage" true
+    (Result.is_error (Xenhv.Hvm_records.decode (Bytes.of_string "garbage!")));
+  let vcpus, ioapic, pit = sample_platform ~vcpus:1 () in
+  let blob = Xenhv.Hvm_records.encode { Xenhv.Hvm_records.vcpus; ioapic; pit } in
+  let truncated = Bytes.sub blob 0 (Bytes.length blob - 20) in
+  checkb "truncated" true (Result.is_error (Xenhv.Hvm_records.decode truncated))
+
+let test_hvm_record_count () =
+  let vcpus, ioapic, pit = sample_platform ~vcpus:3 () in
+  (* header + 5 records per vCPU + IOAPIC + PIT + END. *)
+  checki "record count" (1 + 15 + 2 + 1)
+    (Xenhv.Hvm_records.record_count { Xenhv.Hvm_records.vcpus; ioapic; pit })
+
+(* --- KVM ioctl stream --- *)
+
+let test_ioctl_stream_roundtrip () =
+  let vcpus, ioapic, pit = sample_platform ~pins:Vmstate.Ioapic.kvm_pins () in
+  let p = { Kvmhv.Ioctl_stream.vcpus; ioapic; pit } in
+  match Kvmhv.Ioctl_stream.decode (Kvmhv.Ioctl_stream.encode p) with
+  | Ok p' ->
+    checkb "vcpus (incl. MTRR via MSRs)" true
+      (List.for_all2 Vmstate.Vcpu.equal p.Kvmhv.Ioctl_stream.vcpus
+         p'.Kvmhv.Ioctl_stream.vcpus);
+    checkb "irqchip" true
+      (Vmstate.Ioapic.equal p.Kvmhv.Ioctl_stream.ioapic
+         p'.Kvmhv.Ioctl_stream.ioapic);
+    checkb "pit2" true
+      (Vmstate.Pit.equal p.Kvmhv.Ioctl_stream.pit p'.Kvmhv.Ioctl_stream.pit)
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Kvmhv.Ioctl_stream.pp_error e)
+
+let test_ioctl_stream_rejects_48_pins () =
+  let vcpus, ioapic, pit = sample_platform ~pins:48 () in
+  Alcotest.check_raises "48 pins refused"
+    (Invalid_argument "Ioctl_stream: IOAPIC exceeds KVM's 24 pins") (fun () ->
+      ignore (Kvmhv.Ioctl_stream.encode { Kvmhv.Ioctl_stream.vcpus; ioapic; pit }))
+
+let test_native_formats_differ () =
+  (* The same platform state encodes to different bytes under each
+     hypervisor's native format — the heterogeneity UISR bridges. *)
+  let vcpus, ioapic, pit = sample_platform ~pins:24 ~vcpus:1 () in
+  let xen_blob = Xenhv.Hvm_records.encode { Xenhv.Hvm_records.vcpus; ioapic; pit } in
+  let kvm_blob = Kvmhv.Ioctl_stream.encode { Kvmhv.Ioctl_stream.vcpus; ioapic; pit } in
+  checkb "different encodings" false (Bytes.equal xen_blob kvm_blob)
+
+(* --- Hypervisor modules over a host --- *)
+
+let boot_host (module H : Hv.Intf.S) =
+  let machine = Hw.Machine.m1 () in
+  let host = Hv.Host.create ~name:"hv-test" machine in
+  Hv.Host.boot_hypervisor host (module H);
+  host
+
+(* --- PV plumbing: event channels + grant tables --- *)
+
+let test_event_channel_lifecycle () =
+  let t = Xenhv.Event_channel.create () in
+  let p = Xenhv.Event_channel.alloc_unbound t ~remote_domid:0 in
+  checkb "unbound at alloc" true
+    (Xenhv.Event_channel.binding t p = Some Xenhv.Event_channel.Unbound);
+  Xenhv.Event_channel.bind_interdomain t p ~remote_domid:0 ~remote_port:7;
+  checkb "bound" true
+    (Xenhv.Event_channel.binding t p
+    = Some (Xenhv.Event_channel.Interdomain { remote_domid = 0; remote_port = 7 }));
+  Alcotest.check_raises "double bind"
+    (Invalid_argument "Event_channel.bind_interdomain: port already bound")
+    (fun () ->
+      Xenhv.Event_channel.bind_interdomain t p ~remote_domid:0 ~remote_port:8);
+  checkb "not pending" false (Xenhv.Event_channel.pending t p);
+  Xenhv.Event_channel.send t p;
+  checkb "pending after send" true (Xenhv.Event_channel.pending t p);
+  Xenhv.Event_channel.consume t p;
+  checkb "consumed" false (Xenhv.Event_channel.pending t p);
+  let v = Xenhv.Event_channel.bind_virq t ~virq:0 in
+  checki "two ports" 2 (List.length (Xenhv.Event_channel.ports t));
+  checki "both bound" 2 (Xenhv.Event_channel.bound_count t);
+  Xenhv.Event_channel.close t v;
+  checki "one left" 1 (List.length (Xenhv.Event_channel.ports t));
+  checki "close_all" 1 (Xenhv.Event_channel.close_all t)
+
+let test_grant_table_lifecycle () =
+  let t = Xenhv.Grant_table.create () in
+  let frame = Hw.Frame.Gfn.of_int 42 in
+  let g = Xenhv.Grant_table.grant t ~frame ~granted_to:0 ~readonly:false in
+  checki "active" 1 (Xenhv.Grant_table.active t);
+  Xenhv.Grant_table.map t g;
+  checki "mapped" 1 (Xenhv.Grant_table.mapped_count t);
+  Alcotest.check_raises "double map"
+    (Invalid_argument "Grant_table.map: already mapped") (fun () ->
+      Xenhv.Grant_table.map t g);
+  Alcotest.check_raises "revoke while mapped"
+    (Invalid_argument "Grant_table.revoke: grant still mapped by the backend")
+    (fun () -> Xenhv.Grant_table.revoke t g);
+  Xenhv.Grant_table.unmap t g;
+  Xenhv.Grant_table.revoke t g;
+  checki "gone" 0 (Xenhv.Grant_table.active t)
+
+let test_pv_plumbing_built_per_domain () =
+  let machine = Hw.Machine.m1 () in
+  let pmem = Hw.Machine.fresh_pmem machine in
+  let hv = Xenhv.Xen.boot ~machine ~pmem ~rng:(rng ()) in
+  let dom =
+    Xenhv.Xen.create_vm hv ~rng:(rng ())
+      (Vmstate.Vm.config ~name:"pv" ~ram:(Hw.Units.mib 64) ())
+  in
+  (* Default config: net + blk emulated + console -> 3 devices, each
+     with 2 channels, plus console + store + timer VIRQ. *)
+  checki "event channels" 9
+    (List.length (Xenhv.Event_channel.ports (Xenhv.Xen.event_channels dom)));
+  checki "ring grants mapped" (3 * 32)
+    (Xenhv.Grant_table.mapped_count (Xenhv.Xen.grant_table dom));
+  (* Every granted frame is a real guest frame. *)
+  let vm = Xenhv.Xen.vm dom in
+  let npages = Vmstate.Guest_mem.page_count vm.Vmstate.Vm.mem in
+  List.iter
+    (fun gfn ->
+      checkb "grant inside guest" true
+        (Hw.Frame.Gfn.to_int gfn < npages * 512))
+    (Xenhv.Grant_table.granted_frames (Xenhv.Xen.grant_table dom))
+
+let test_xen_domain_lifecycle () =
+  let host = boot_host (module Xenhv.Xen) in
+  let _vm =
+    Hv.Host.create_vm host
+      (Vmstate.Vm.config ~name:"d1" ~vcpus:2 ~ram:(Hw.Units.mib 128) ())
+  in
+  let (Hv.Host.Packed ((module H), hv, _)) = Hv.Host.running_exn host in
+  checki "one domain" 1 (List.length (H.domains hv));
+  checkb "mgmt consistent" true (H.management_state_consistent hv);
+  checkb "vmi state nonzero" true
+    (List.for_all (fun d -> H.vmi_state_bytes hv d > 0) (H.domains hv));
+  Hv.Host.destroy_vm host "d1";
+  checki "gone" 0 (List.length (H.domains hv))
+
+let test_xen_ioapic_is_48_pin () =
+  let host = boot_host (module Xenhv.Xen) in
+  let vm =
+    Hv.Host.create_vm host (Vmstate.Vm.config ~name:"x" ~ram:(Hw.Units.mib 32) ())
+  in
+  checki "48 pins" 48 (Vmstate.Ioapic.pin_count vm.Vmstate.Vm.ioapic)
+
+let test_kvm_ioapic_is_24_pin () =
+  let host = boot_host (module Kvmhv.Kvm) in
+  let vm =
+    Hv.Host.create_vm host (Vmstate.Vm.config ~name:"k" ~ram:(Hw.Units.mib 32) ())
+  in
+  checki "24 pins" 24 (Vmstate.Ioapic.pin_count vm.Vmstate.Vm.ioapic)
+
+let test_to_uisr_requires_pause () =
+  let host = boot_host (module Xenhv.Xen) in
+  ignore
+    (Hv.Host.create_vm host (Vmstate.Vm.config ~name:"r" ~ram:(Hw.Units.mib 32) ()));
+  Alcotest.check_raises "running rejected"
+    (Invalid_argument "Xen.to_uisr: VM must be paused") (fun () ->
+      ignore (Hv.Host.to_uisr host "r"))
+
+let test_xen_to_uisr_content () =
+  let host = boot_host (module Xenhv.Xen) in
+  let vm =
+    Hv.Host.create_vm host
+      (Vmstate.Vm.config ~name:"u" ~vcpus:3 ~ram:(Hw.Units.mib 64) ())
+  in
+  Hv.Host.pause_vm host "u";
+  let u = Hv.Host.to_uisr host "u" in
+  checkb "platform routed through native codec intact" true
+    (List.for_all2 Vmstate.Vcpu.equal (Array.to_list vm.Vmstate.Vm.vcpus)
+       u.Uisr.Vm_state.vcpus);
+  Alcotest.check Alcotest.string "source tag" "xen-4.12.1"
+    u.Uisr.Vm_state.source_hypervisor
+
+(* The HyperTP core claim: Xen -> UISR -> KVM -> UISR -> Xen preserves
+   platform state modulo the recorded fixups. *)
+let test_cross_hypervisor_roundtrip () =
+  let src = boot_host (module Xenhv.Xen) in
+  ignore
+    (Hv.Host.create_vm src
+       (Vmstate.Vm.config ~name:"rt" ~vcpus:2 ~ram:(Hw.Units.mib 64) ()));
+  Hv.Host.pause_vm src "rt";
+  let u_xen = Hv.Host.to_uisr src "rt" in
+
+  (* Restore under KVM on a second host. *)
+  let dst = boot_host (module Kvmhv.Kvm) in
+  let mem_copy =
+    Vmstate.Guest_mem.create ~pmem:dst.Hv.Host.pmem ~rng:dst.Hv.Host.rng
+      ~bytes:(Hw.Units.mib 64) ~page_kind:Hw.Units.Page_2m ()
+  in
+  let fixups = Hv.Host.restore_from_uisr dst ~mem:mem_copy u_xen in
+  checkb "pins dropped recorded" true
+    (List.exists
+       (function Uisr.Fixup.Ioapic_pins_dropped _ -> true | _ -> false)
+       fixups);
+  checkb "container change recorded" true
+    (List.exists
+       (function Uisr.Fixup.Lapic_container_changed -> true | _ -> false)
+       fixups);
+  checkb "net device rescanned" true
+    (List.exists
+       (function Uisr.Fixup.Device_rescanned _ -> true | _ -> false)
+       fixups);
+
+  (* Capture under KVM and bring it back to Xen. *)
+  let u_kvm = Hv.Host.to_uisr dst "rt" in
+  checki "kvm side has 24 pins" 24
+    (Vmstate.Ioapic.pin_count u_kvm.Uisr.Vm_state.ioapic);
+  checkb "vcpu state identical across the hop" true
+    (List.for_all2 Vmstate.Vcpu.equal u_xen.Uisr.Vm_state.vcpus
+       u_kvm.Uisr.Vm_state.vcpus);
+  checkb "pit identical" true
+    (Vmstate.Pit.equal u_xen.Uisr.Vm_state.pit u_kvm.Uisr.Vm_state.pit);
+
+  let back = boot_host (module Xenhv.Xen) in
+  let mem_back =
+    Vmstate.Guest_mem.create ~pmem:back.Hv.Host.pmem ~rng:back.Hv.Host.rng
+      ~bytes:(Hw.Units.mib 64) ~page_kind:Hw.Units.Page_2m ()
+  in
+  let fixups_back = Hv.Host.restore_from_uisr back ~mem:mem_back u_kvm in
+  checkb "extension recorded on the way back" true
+    (List.exists
+       (function Uisr.Fixup.Ioapic_pins_extended _ -> true | _ -> false)
+       fixups_back);
+  let u_back = Hv.Host.to_uisr back "rt" in
+  checkb "vcpus preserved end-to-end" true
+    (List.for_all2 Vmstate.Vcpu.equal u_xen.Uisr.Vm_state.vcpus
+       u_back.Uisr.Vm_state.vcpus);
+  (* The first 24 pins survive; the dropped upper pins come back masked. *)
+  let first24 io = fst (Vmstate.Ioapic.truncate io ~pins:24) in
+  checkb "lower pins preserved" true
+    (Vmstate.Ioapic.equal
+       (first24 u_xen.Uisr.Vm_state.ioapic)
+       (first24 u_back.Uisr.Vm_state.ioapic))
+
+let test_msr_drop_fixup () =
+  (* Give a vCPU an MSR Xen refuses (AMD range) and restore under Xen. *)
+  let src = boot_host (module Kvmhv.Kvm) in
+  let vm =
+    Hv.Host.create_vm src (Vmstate.Vm.config ~name:"msr" ~ram:(Hw.Units.mib 32) ())
+  in
+  vm.Vmstate.Vm.vcpus.(0) <-
+    (let v = vm.Vmstate.Vm.vcpus.(0) in
+     { v with regs = Vmstate.Regs.with_msr v.regs 0xC0010015 5L });
+  Hv.Host.pause_vm src "msr";
+  let u = Hv.Host.to_uisr src "msr" in
+  let dst = boot_host (module Xenhv.Xen) in
+  let mem =
+    Vmstate.Guest_mem.create ~pmem:dst.Hv.Host.pmem ~rng:dst.Hv.Host.rng
+      ~bytes:(Hw.Units.mib 32) ~page_kind:Hw.Units.Page_2m ()
+  in
+  let fixups = Hv.Host.restore_from_uisr dst ~mem u in
+  checkb "msr drop recorded" true
+    (List.exists
+       (function Uisr.Fixup.Msr_dropped 0xC0010015 -> true | _ -> false)
+       fixups);
+  let restored = Option.get (Hv.Host.find_vm dst "msr") in
+  checkb "msr actually gone" true
+    (Vmstate.Regs.msr_value restored.Vmstate.Vm.vcpus.(0).regs 0xC0010015 = None)
+
+let test_boot_time_ordering () =
+  (* Type-I (Xen+dom0) boots much slower than type-II; M2 slower than M1
+     (the Fig. 6 vs Fig. 10 asymmetry). *)
+  let m1 = Hw.Machine.m1 () and m2 = Hw.Machine.m2 () in
+  let xb1 = Sim.Time.to_sec_f (Xenhv.Xen.boot_time ~machine:m1) in
+  let xb2 = Sim.Time.to_sec_f (Xenhv.Xen.boot_time ~machine:m2) in
+  let kb1 = Sim.Time.to_sec_f (Kvmhv.Kvm.boot_time ~machine:m1) in
+  let kb2 = Sim.Time.to_sec_f (Kvmhv.Kvm.boot_time ~machine:m2) in
+  checkb "xen m1 ~7.5s" true (xb1 > 6.5 && xb1 < 8.5);
+  checkb "xen m2 ~17.5s" true (xb2 > 15.5 && xb2 < 19.0);
+  checkb "kvm m1 ~1.5s" true (kb1 > 1.2 && kb1 < 1.8);
+  checkb "kvm m2 ~2.3s" true (kb2 > 1.9 && kb2 < 2.7);
+  checkb "type-I slower" true (xb1 > 3.0 *. kb1)
+
+let test_resume_cost_asymmetry () =
+  (* Table 4: Xen's toolstack resume is ~27x kvmtool's. *)
+  let machine = Hw.Machine.m1 () in
+  let x = Sim.Time.to_ms_f (Xenhv.Xen.migration_resume_cost ~machine ~vcpus:1) in
+  let k = Sim.Time.to_ms_f (Kvmhv.Kvm.migration_resume_cost ~machine ~vcpus:1) in
+  checkb "xen ~128ms" true (x > 100.0 && x < 160.0);
+  checkb "kvmtool ~3.5ms" true (k > 2.0 && k < 6.0);
+  checkb "order of magnitude gap" true (x /. k > 20.0)
+
+let test_shutdown_requires_empty () =
+  let host = boot_host (module Xenhv.Xen) in
+  ignore
+    (Hv.Host.create_vm host (Vmstate.Vm.config ~name:"z" ~ram:(Hw.Units.mib 32) ()));
+  let (Hv.Host.Packed ((module H), hv, _)) = Hv.Host.running_exn host in
+  Alcotest.check_raises "domains remain"
+    (Invalid_argument "Xen.shutdown: domains remain") (fun () -> H.shutdown hv)
+
+let suites =
+  [
+    ( "xen.native_format",
+      [
+        Alcotest.test_case "hvm records roundtrip" `Quick test_hvm_records_roundtrip;
+        Alcotest.test_case "garbage rejected" `Quick test_hvm_records_rejects_garbage;
+        Alcotest.test_case "record count" `Quick test_hvm_record_count;
+      ] );
+    ( "kvm.native_format",
+      [
+        Alcotest.test_case "ioctl stream roundtrip" `Quick test_ioctl_stream_roundtrip;
+        Alcotest.test_case "48-pin ioapic refused" `Quick test_ioctl_stream_rejects_48_pins;
+        Alcotest.test_case "formats differ" `Quick test_native_formats_differ;
+      ] );
+    ( "xen.pv_plumbing",
+      [
+        Alcotest.test_case "event channel lifecycle" `Quick
+          test_event_channel_lifecycle;
+        Alcotest.test_case "grant table lifecycle" `Quick
+          test_grant_table_lifecycle;
+        Alcotest.test_case "built per domain" `Quick
+          test_pv_plumbing_built_per_domain;
+      ] );
+    ( "hv.implementations",
+      [
+        Alcotest.test_case "xen domain lifecycle" `Quick test_xen_domain_lifecycle;
+        Alcotest.test_case "xen builds 48-pin guests" `Quick test_xen_ioapic_is_48_pin;
+        Alcotest.test_case "kvm builds 24-pin guests" `Quick test_kvm_ioapic_is_24_pin;
+        Alcotest.test_case "to_uisr requires pause" `Quick test_to_uisr_requires_pause;
+        Alcotest.test_case "xen to_uisr content" `Quick test_xen_to_uisr_content;
+        Alcotest.test_case "cross-hypervisor roundtrip" `Quick
+          test_cross_hypervisor_roundtrip;
+        Alcotest.test_case "msr drop fixup" `Quick test_msr_drop_fixup;
+        Alcotest.test_case "boot time calibration" `Quick test_boot_time_ordering;
+        Alcotest.test_case "resume cost asymmetry (Table 4)" `Quick
+          test_resume_cost_asymmetry;
+        Alcotest.test_case "shutdown requires empty" `Quick test_shutdown_requires_empty;
+      ] );
+  ]
