@@ -54,6 +54,29 @@ let gib_arg =
 let seed_arg =
   Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
 
+let fault_conv =
+  let parse s =
+    match Fault.parse_spec s with Ok sp -> Ok sp | Error e -> Error (`Msg e)
+  in
+  let print fmt (sp : Fault.spec) =
+    Format.fprintf fmt "%a:..." Fault.pp_site sp.Fault.spec_injection.Fault.site
+  in
+  Arg.conv (parse, print)
+
+let fault_arg =
+  Arg.(value & opt_all fault_conv []
+       & info [ "fault" ] ~docv:"SITE:TRIGGER[,seed=N]"
+           ~doc:"Arm a fault injection, e.g. $(b,kexec_jump:1) (fire on the \
+                 first hit), $(b,vm_restore:vm=vm0) (fire for that VM), or \
+                 $(b,migration_link_drop:p=0.1,seed=7) (fire with probability \
+                 0.1, RNG seeded with 7).  Repeatable.")
+
+let fault_of_specs = function [] -> None | specs -> Some (Fault.of_specs specs)
+
+let print_fault_trace = function
+  | None -> ()
+  | Some f -> Format.printf "fault trace:@.%a@." Fault.pp_trace f
+
 let verbose_arg =
   let setup verbose =
     Logs.set_reporter (Logs_fmt.reporter ());
@@ -112,46 +135,52 @@ let cve_cmd =
 (* --- inplace --- *)
 
 let inplace_cmd =
-  let run () machine source target vms vcpus gib seed =
+  let run () machine source target vms vcpus gib seed fault_specs =
     if Hv.Kind.equal source target then begin
       Format.eprintf "source and target hypervisors must differ@.";
       exit 1
     end;
     let host = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
+    let fault = fault_of_specs fault_specs in
     let report =
-      Hypertp.Api.transplant_inplace ~rng:(Sim.Rng.create seed) ~host ~target ()
+      Hypertp.Api.transplant_inplace ~rng:(Sim.Rng.create seed) ?fault ~host
+        ~target ()
     in
     Format.printf "%a@." Hypertp.Inplace.pp_report report;
     Format.printf "fixups:@.";
     List.iter
       (fun (vm, fixes) -> Format.printf "  %s: %a@." vm Uisr.Fixup.pp_list fixes)
       report.fixups;
+    print_fault_trace fault;
     if not (Hypertp.Inplace.all_ok report.checks) then exit 2
   in
   Cmd.v
     (Cmd.info "inplace" ~doc:"Run an InPlaceTP micro-reboot transplant")
     Term.(const run $ verbose_arg $ machine_arg $ source_arg $ target_arg
-          $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg)
+          $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg $ fault_arg)
 
 (* --- migrate --- *)
 
 let migrate_cmd =
-  let run machine source target vms vcpus gib seed =
+  let run machine source target vms vcpus gib seed fault_specs =
     let src = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
     let dst =
       Hypertp.Api.provision ~seed:(Int64.add seed 1L) ~name:"cli-dst" ~machine
         ~hv:target []
     in
+    let fault = fault_of_specs fault_specs in
     let report =
-      Hypertp.Api.transplant_migration ~rng:(Sim.Rng.create seed) ~src ~dst ()
+      Hypertp.Api.transplant_migration ~rng:(Sim.Rng.create seed) ?fault ~src
+        ~dst ()
     in
-    Format.printf "%a@." Hypertp.Migrate.pp_report report
+    Format.printf "%a@." Hypertp.Migrate.pp_report report;
+    print_fault_trace fault
   in
   Cmd.v
     (Cmd.info "migrate"
        ~doc:"Run a MigrationTP (heterogeneous) or homogeneous live migration")
     Term.(const run $ machine_arg $ source_arg $ target_arg $ vms_arg
-          $ vcpus_arg $ gib_arg $ seed_arg)
+          $ vcpus_arg $ gib_arg $ seed_arg $ fault_arg)
 
 (* --- memsep --- *)
 
@@ -276,6 +305,85 @@ let snapshot_cmd =
     Term.(const run $ action $ file $ machine_arg $ source_arg $ target_arg
           $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg)
 
+(* --- fault-campaign --- *)
+
+let fault_campaign_cmd =
+  let sweep =
+    Arg.(value & flag
+         & info [ "sweep" ]
+             ~doc:"Also sweep the per-host failure probability over a 10x10 \
+                   cluster upgrade.")
+  in
+  let run machine source target vms vcpus gib seed sweep =
+    (* One run per injection site, fault fired on its first hit: the
+       exhaustive deterministic campaign. *)
+    Format.printf "%-24s %-12s %-10s %s@." "site" "engine" "survival"
+      "outcome";
+    List.iter
+      (fun site ->
+        let fault =
+          Fault.make ~seed
+            [ { Fault.site; trigger = Fault.Nth_hit 1 } ]
+        in
+        match site with
+        | Fault.Migration_link_drop | Fault.Migration_link_degrade ->
+          let src = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
+          let dst =
+            Hypertp.Api.provision ~seed:(Int64.add seed 1L) ~name:"c-dst"
+              ~machine ~hv:target []
+          in
+          let r =
+            Hypertp.Api.transplant_migration ~rng:(Sim.Rng.create seed) ~fault
+              ~src ~dst ()
+          in
+          let alive = Hv.Host.vm_count src + Hv.Host.vm_count dst in
+          let outcome =
+            Format.asprintf "%a"
+              Format.(
+                pp_print_list
+                  ~pp_sep:(fun f () -> pp_print_string f "; ")
+                  (fun f (v : Hypertp.Migrate.vm_report) ->
+                    fprintf f "%s %a" v.vm_name Hypertp.Migrate.pp_outcome
+                      v.outcome))
+              r.Hypertp.Migrate.per_vm
+          in
+          Format.printf "%-24s %-12s %d/%-8d %s@."
+            (Fault.site_to_string site) "migration" alive vms outcome
+        | _ ->
+          let host = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
+          let r =
+            Hypertp.Api.transplant_inplace ~rng:(Sim.Rng.create seed) ~fault
+              ~host ~target ()
+          in
+          let alive = Hv.Host.vm_count host in
+          Format.printf "%-24s %-12s %d/%-8d %a@."
+            (Fault.site_to_string site) "inplace" alive vms
+            Hypertp.Inplace.pp_outcome r.Hypertp.Inplace.outcome)
+      Fault.all_sites;
+    if sweep then begin
+      Format.printf "@.cluster sweep (10x10, host-crash probability):@.";
+      Format.printf "%-6s %-9s %-10s %-10s %-10s %s@." "p" "failures"
+        "in-place" "drained" "recovered" "total";
+      List.iter
+        (fun (p, (t : Cluster.Upgrade.faulty_timing)) ->
+          Format.printf "%-6.2f %-9d %-10d %-10d %-10d %a@." p
+            (List.length t.Cluster.Upgrade.failures)
+            t.Cluster.Upgrade.vms_inplace_ok
+            t.Cluster.Upgrade.vms_migrated_fallback
+            t.Cluster.Upgrade.vms_recovered Sim.Time.pp
+            t.Cluster.Upgrade.total_with_faults)
+        (Cluster.Upgrade.sweep_faulty ~seed
+           ~probabilities:[ 0.0; 0.1; 0.25; 0.5; 0.75; 1.0 ]
+           ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "fault-campaign"
+       ~doc:"Exhaustive fault-injection campaign: one transplant per \
+             injection site, printing the outcome and VM survival")
+    Term.(const run $ machine_arg $ source_arg $ target_arg $ vms_arg
+          $ vcpus_arg $ gib_arg $ seed_arg $ sweep)
+
 (* --- fleet --- *)
 
 let fleet_cmd =
@@ -318,4 +426,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ cve_cmd; inplace_cmd; migrate_cmd; memsep_cmd; cluster_cmd;
-            respond_cmd; fleet_cmd; snapshot_cmd ]))
+            respond_cmd; fleet_cmd; snapshot_cmd; fault_campaign_cmd ]))

@@ -14,13 +14,13 @@ type response = {
   inplace : Inplace.report option;
 }
 
-let transplant_inplace ?options ?rng ~host ~target () =
-  Inplace.run ?options ?rng ~host ~target:(hypervisor_of target) ()
+let transplant_inplace ?options ?rng ?fault ~host ~target () =
+  Inplace.run ?options ?rng ?fault ~host ~target:(hypervisor_of target) ()
 
-let transplant_migration ?rng ~src ~dst ?vm_names () =
-  Migrate.run ?rng ~src ~dst ?vm_names ()
+let transplant_migration ?rng ?fault ?retry ~src ~dst ?vm_names () =
+  Migrate.run ?rng ?fault ?retry ~src ~dst ?vm_names ()
 
-let respond_to_cve ?options ?rng ~host ~cve_id ?(apply = true) () =
+let respond_to_cve ?options ?rng ?fault ~host ~cve_id ?(apply = true) () =
   let record =
     match Cve.Nvd.find cve_id with
     | Some r -> r
@@ -43,7 +43,7 @@ let respond_to_cve ?options ?rng ~host ~cve_id ?(apply = true) () =
         | Some k -> k
         | None -> invalid_arg "Api.respond_to_cve: unknown target"
       in
-      Some (transplant_inplace ?options ?rng ~host ~target ())
+      Some (transplant_inplace ?options ?rng ?fault ~host ~target ())
     | Cve.Window.Transplant_to _ | Cve.Window.No_action
     | Cve.Window.No_safe_alternative ->
       None

@@ -16,8 +16,8 @@ type response = {
 }
 
 val respond_to_cve :
-  ?options:Options.t -> ?rng:Sim.Rng.t -> host:Hv.Host.t -> cve_id:string ->
-  ?apply:bool -> unit -> response
+  ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t -> host:Hv.Host.t ->
+  cve_id:string -> ?apply:bool -> unit -> response
 (** The operator's one-click flow: look the CVE up, ask the policy for a
     safe alternate in the {Xen, KVM} fleet and — when [apply] (default
     true) and the advice is a transplant — run InPlaceTP.  Raises
@@ -25,9 +25,10 @@ val respond_to_cve :
     hypervisor. *)
 
 val transplant_inplace :
-  ?options:Options.t -> ?rng:Sim.Rng.t -> host:Hv.Host.t ->
+  ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t -> host:Hv.Host.t ->
   target:Hv.Kind.t -> unit -> Inplace.report
 
 val transplant_migration :
-  ?rng:Sim.Rng.t -> src:Hv.Host.t -> dst:Hv.Host.t ->
-  ?vm_names:string list -> unit -> Migrate.report
+  ?rng:Sim.Rng.t -> ?fault:Fault.t -> ?retry:Migrate.retry_params ->
+  src:Hv.Host.t -> dst:Hv.Host.t -> ?vm_names:string list -> unit ->
+  Migrate.report

@@ -13,6 +13,20 @@ let all_ok c =
   && c.uisr_roundtrip_ok && c.management_consistent && c.platform_preserved
   && c.devices_preserved
 
+type recovery_detail = {
+  recovery_faults : Fault.site list;
+  restore_retries : int;
+  quarantined : string list;
+  mgmt_rebuilds : int;
+  full_reboot : bool;
+  recovery_time : Sim.Time.t;
+}
+
+type outcome =
+  | Committed
+  | Rolled_back of Fault.site
+  | Recovered of recovery_detail
+
 type report = {
   source : string;
   target : string;
@@ -23,6 +37,7 @@ type report = {
   pram_accounting : Pram.Layout.accounting;
   frames_wiped : int;
   checks : checks;
+  outcome : outcome;
 }
 
 (* Platform state must survive modulo recorded fixups: vCPUs and PIT
@@ -77,7 +92,29 @@ let devices_preserved ~(before : Uisr.Vm_state.t) (vm : Vmstate.Vm.t) =
        before.devices
        (Array.to_list vm.devices)
 
-let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL)
+(* Transplant aborted before the point-of-no-return: unwind staging and
+   resume on the source hypervisor. *)
+exception Rollback of Fault.site
+
+let empty_accounting =
+  {
+    Pram.Layout.pointer_pages = 0;
+    root_pages = 0;
+    file_info_pages = 0;
+    node_pages = 0;
+    total_pages = 0;
+    total_bytes = 0;
+    entry_count = 0;
+  }
+
+(* Recovery-ladder cost constants (ReHype-style, Le & Tamir 2014): a
+   failed per-VM restore attempt, triaging a quarantined VM, and the
+   last-resort full firmware reboot. *)
+let restore_retry_seconds = 0.5
+let quarantine_triage_seconds = 0.1
+let full_reboot_seconds = 60.0
+
+let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
     ~(host : Hv.Host.t) ~target:(module T : Hv.Intf.S) () =
   let (Hv.Host.Packed ((module S), _, _)) = Hv.Host.running_exn host in
   if Hv.Kind.equal S.kind T.kind then
@@ -91,6 +128,17 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL)
     else 1
   in
   let jit () = Sim.Rng.jitter rng 0.02 in
+  let fire ?vm site =
+    match fault with
+    | Some f ->
+      let fired = Fault.fire f ?vm site in
+      if fired then
+        Log.warn (fun m ->
+            m "fault injected at %a%s" Fault.pp_site site
+              (match vm with Some v -> " (" ^ v ^ ")" | None -> ""));
+      fired
+    | None -> false
+  in
   Log.info (fun m ->
       m "InPlaceTP %s -> %s on %s: %d VMs, options %a" S.name T.name
         machine.Hw.Machine.name (List.length vm_names) Options.pp options);
@@ -101,243 +149,459 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL)
     List.map (fun (n, vm) -> (n, Vmstate.Guest_mem.checksum vm.Vmstate.Vm.mem)) vms
   in
 
-  (* Step 1: stage the target's kernel image (ahead of time). *)
-  let image =
-    Kexec.load ~pmem ~kernel:T.name ~size:T.kernel_image_bytes
-      ~cmdline:"console=ttyS0"
-  in
+  (* Staging state, unwound transactionally if a pre-PNR fault fires. *)
+  let staged_image = ref None in
+  let staged_pram = ref None in
+  let paused = ref false in
+  let pram_spent = ref 0.0 in
+  let translation_spent = ref 0.0 in
+  let built_acct = ref empty_accounting in
+  try
+    (* Step 1: stage the target's kernel image (ahead of time). *)
+    let image =
+      Kexec.load ~pmem ~kernel:T.name ~size:T.kernel_image_bytes
+        ~cmdline:"console=ttyS0"
+    in
+    staged_image := Some image;
+    if fire Fault.Kexec_load then raise (Rollback Fault.Kexec_load);
 
-  (* Step 2a: build PRAM while VMs run (or later, inside the downtime,
-     if the preparation optimisation is off). *)
-  let granularity =
-    if options.Options.huge_page_pram then Hw.Units.Page_2m else Hw.Units.Page_4k
-  in
-  let pram_inputs =
-    List.map
-      (fun (n, vm) ->
-        ( n,
-          vm.Vmstate.Vm.config.ram,
-          Uisr.Vm_state.memmap_of_guest_mem vm.Vmstate.Vm.mem ))
-      vms
-  in
-  let pram_image = Pram.Build.build ~pmem ~granularity pram_inputs in
-  let acct = Pram.Build.accounting pram_image in
-  let per_file_entries =
-    List.map
-      (fun f -> List.length f.Pram.Build.entries)
-      (Pram.Build.files pram_image)
-  in
-  let pram_jobs =
-    List.map2
-      (fun (_, vm) entries ->
-        Costs.pram_build_seconds machine
-          ~gib:(Hw.Units.to_gib_f vm.Vmstate.Vm.config.ram)
-          ~entries)
-      vms per_file_entries
-  in
-  let pram_seconds = Costs.makespan ~workers pram_jobs *. jit () in
-  Log.debug (fun m ->
-      m "PRAM built: %a (%.3f s)" Pram.Layout.pp_accounting acct pram_seconds);
-
-  (* Step 2b: pause all VMs — downtime begins. *)
-  Hv.Host.pause_all host;
-  Log.debug (fun m -> m "VMs paused; downtime window opens");
-
-  (* Step 3: translate VM_i State to UISR (to_uisr_xxx family). *)
-  let save_jobs =
-    let (Hv.Host.Packed ((module S), shv, table)) = Hv.Host.running_exn host in
-    List.map
+    (* Step 2a: build PRAM while VMs run (or later, inside the downtime,
+       if the preparation optimisation is off). *)
+    let granularity =
+      if options.Options.huge_page_pram then Hw.Units.Page_2m else Hw.Units.Page_4k
+    in
+    let pram_inputs =
+      List.map
+        (fun (n, vm) ->
+          ( n,
+            vm.Vmstate.Vm.config.ram,
+            Uisr.Vm_state.memmap_of_guest_mem vm.Vmstate.Vm.mem ))
+        vms
+    in
+    List.iter
       (fun (n, _) ->
-        match Hashtbl.find_opt table n with
-        | None -> assert false
-        | Some dom -> Sim.Time.to_sec_f (S.save_cost shv dom))
-      vms
-  in
-  let uisrs = Hv.Host.to_uisr_all host in
-  let blobs = List.map (fun (n, u) -> (n, u, Uisr.Codec.encode u)) uisrs in
-  let uisr_platform_bytes =
-    List.fold_left
-      (fun acc (_, u, _) -> acc + Uisr.Codec.platform_size_bytes u)
-      0 blobs
-  in
-  let encode_seconds =
-    List.fold_left
-      (fun acc (_, _, b) -> acc +. Costs.uisr_encode_seconds ~bytes_len:(Bytes.length b))
-      0.0 blobs
-  in
-  let total_gib = List.fold_left (fun acc (_, vm) -> acc +. Hw.Units.to_gib_f vm.Vmstate.Vm.config.ram) 0.0 vms in
-  let translation_seconds =
-    (Costs.makespan ~workers save_jobs +. encode_seconds
-    +. Costs.pram_finalize_seconds machine ~total_gib (List.length vms))
-    *. jit ()
-  in
-  (* Without the preparation optimisation PRAM construction happens here,
-     inside the downtime window. *)
-  let pram_phase, translation_seconds =
-    if options.Options.prepare_before_pause then (pram_seconds, translation_seconds)
-    else (0.0, translation_seconds +. pram_seconds)
-  in
+        if fire ~vm:n Fault.Pram_build then raise (Rollback Fault.Pram_build))
+      vms;
+    let pram_image = Pram.Build.build ~pmem ~granularity pram_inputs in
+    staged_pram := Some pram_image;
+    let acct = Pram.Build.accounting pram_image in
+    built_acct := acct;
+    let per_file_entries =
+      List.map
+        (fun f -> List.length f.Pram.Build.entries)
+        (Pram.Build.files pram_image)
+    in
+    let pram_jobs =
+      List.map2
+        (fun (_, vm) entries ->
+          Costs.pram_build_seconds machine
+            ~gib:(Hw.Units.to_gib_f vm.Vmstate.Vm.config.ram)
+            ~entries)
+        vms per_file_entries
+    in
+    let pram_seconds = Costs.makespan ~workers pram_jobs *. jit () in
+    pram_spent := pram_seconds;
+    Log.debug (fun m ->
+        m "PRAM built: %a (%.3f s)" Pram.Layout.pp_accounting acct pram_seconds);
 
-  (* Drop the source hypervisor without orderly teardown: the
-     micro-reboot reclaims its heap, NPTs and management state; guest
-     memory stays allocated and in place. *)
-  let detached = Hv.Host.crash_hypervisor host in
+    (* Step 2b: pause all VMs — downtime begins. *)
+    Hv.Host.pause_all host;
+    paused := true;
+    Log.debug (fun m -> m "VMs paused; downtime window opens");
 
-  (* Step 4: micro-reboot into the target with the PRAM pointer on its
-     command line. *)
-  let image = Kexec.with_pram_pointer image (Pram.Build.pointer_mfn pram_image) in
-  let preserve = Pram.Build.preserve_predicate pram_image in
-  let jump = Kexec.execute ~pmem image ~preserve in
-  Log.debug (fun m ->
-      m "kexec jump: %d frames reclaimed, image %s" jump.Kexec.frames_wiped
-        (if jump.Kexec.image_intact then "intact" else "CLOBBERED"));
-  let pointer =
-    match Kexec.pram_pointer_of_cmdline (Kexec.cmdline image) with
-    | Some mfn -> mfn
-    | None -> invalid_arg "Inplace.run: PRAM pointer lost from cmdline"
-  in
-  (* Early boot: the target parses PRAM sequentially and reserves guest
-     memory before its allocator comes up. *)
-  let parsed = Pram.Parse.parse ~pmem ~image:pram_image pointer in
-  let pram_parse_ok =
-    match parsed with
-    | Ok files ->
-      List.length files = List.length vms
-      && List.for_all2
-           (fun (n, vm) f ->
-             String.equal f.Pram.Parse.name n
-             && List.fold_left (fun a e -> a + Pram.Entry.frames e) 0 f.entries
-                = Hw.Units.frames_of_bytes vm.Vmstate.Vm.config.ram)
-           vms files
-    | Error _ -> false
-  in
-  let covered_frames =
-    List.fold_left
-      (fun acc (_, vm) -> acc + Hw.Units.frames_of_bytes vm.Vmstate.Vm.config.ram)
-      0 vms
-  in
-  let parse_seconds =
-    Costs.pram_parse_seconds machine ~metadata_pages:acct.Pram.Layout.total_pages
-      ~entries:acct.Pram.Layout.entry_count ~covered_frames
-  in
-  let boot_seconds = Sim.Time.to_sec_f (T.boot_time ~machine) in
-  let reboot_seconds = (boot_seconds +. parse_seconds) *. jit () in
-  Hv.Host.boot_hypervisor host (module T);
-  Kexec.unload ~pmem image;
+    (* Step 3: translate VM_i State to UISR (to_uisr_xxx family). *)
+    let save_jobs =
+      let (Hv.Host.Packed ((module S), shv, table)) = Hv.Host.running_exn host in
+      List.map
+        (fun (n, _) ->
+          match Hashtbl.find_opt table n with
+          | None -> assert false
+          | Some dom -> Sim.Time.to_sec_f (S.save_cost shv dom))
+        vms
+    in
+    translation_spent := Costs.makespan ~workers save_jobs;
+    let uisrs = Hv.Host.to_uisr_all host in
+    let blobs =
+      List.map
+        (fun (n, u) ->
+          if fire ~vm:n Fault.Uisr_encode then raise (Rollback Fault.Uisr_encode);
+          let b = Uisr.Codec.encode u in
+          translation_spent :=
+            !translation_spent +. Costs.uisr_encode_seconds ~bytes_len:(Bytes.length b);
+          (n, u, b))
+        uisrs
+    in
+    let uisr_platform_bytes =
+      List.fold_left
+        (fun acc (_, u, _) -> acc + Uisr.Codec.platform_size_bytes u)
+        0 blobs
+    in
+    let encode_seconds =
+      List.fold_left
+        (fun acc (_, _, b) -> acc +. Costs.uisr_encode_seconds ~bytes_len:(Bytes.length b))
+        0.0 blobs
+    in
+    let total_gib = List.fold_left (fun acc (_, vm) -> acc +. Hw.Units.to_gib_f vm.Vmstate.Vm.config.ram) 0.0 vms in
+    let translation_seconds =
+      (Costs.makespan ~workers save_jobs +. encode_seconds
+      +. Costs.pram_finalize_seconds machine ~total_gib (List.length vms))
+      *. jit ()
+    in
+    (* Without the preparation optimisation PRAM construction happens here,
+       inside the downtime window. *)
+    let pram_phase, translation_seconds =
+      if options.Options.prepare_before_pause then (pram_seconds, translation_seconds)
+      else (0.0, translation_seconds +. pram_seconds)
+    in
 
-  (* Step 5+6: restore each VM from UISR onto its untouched memory. *)
-  let restore_results =
-    List.map
-      (fun (n, u, blob) ->
-        let roundtrip =
+    (* Point of no return: drop the source hypervisor without orderly
+       teardown — the micro-reboot reclaims its heap, NPTs and
+       management state; guest memory stays allocated and in place.
+       From here on a fault cannot abort; it must be recovered from on
+       the target side (ReHype-style). *)
+    let detached = Hv.Host.crash_hypervisor host in
+    let recovery_faults = ref [] in
+    let note site =
+      if not (List.mem site !recovery_faults) then
+        recovery_faults := site :: !recovery_faults
+    in
+    let recovery_seconds = ref 0.0 in
+    let full_reboot = ref false in
+
+    (* Step 4: micro-reboot into the target with the PRAM pointer on its
+       command line. *)
+    let image = Kexec.with_pram_pointer image (Pram.Build.pointer_mfn pram_image) in
+    staged_image := Some image;
+    let preserve = Pram.Build.preserve_predicate pram_image in
+    if fire Fault.Kexec_jump then Kexec.clobber ~pmem image;
+    let jump = Kexec.execute ~pmem image ~preserve in
+    Log.debug (fun m ->
+        m "kexec jump: %d frames reclaimed, image %s" jump.Kexec.frames_wiped
+          (if jump.Kexec.image_intact then "intact" else "CLOBBERED"));
+    if not jump.Kexec.image_intact then begin
+      (* The integrity check caught a clobbered image after the source
+         hypervisor was already gone: fall back to a full firmware
+         reboot of the target — PRAM-preserved guest memory still
+         rides along (ReHype's microreboot premise). *)
+      note Fault.Kexec_jump;
+      full_reboot := true;
+      recovery_seconds := !recovery_seconds +. full_reboot_seconds;
+      Log.warn (fun m -> m "kexec image clobbered: full-reboot fallback")
+    end;
+    if fire Fault.Host_crash then begin
+      (* The host crashes during the vulnerable window between jump and
+         restoration: account a full reboot, then proceed to restore
+         from the preserved PRAM + UISR staging. *)
+      note Fault.Host_crash;
+      full_reboot := true;
+      recovery_seconds := !recovery_seconds +. full_reboot_seconds
+    end;
+    let pointer =
+      match Kexec.pram_pointer_of_cmdline (Kexec.cmdline image) with
+      | Some mfn -> mfn
+      | None -> invalid_arg "Inplace.run: PRAM pointer lost from cmdline"
+    in
+    (* Early boot: the target parses PRAM sequentially and reserves guest
+       memory before its allocator comes up. *)
+    let parsed = Pram.Parse.parse ~pmem ~image:pram_image pointer in
+    let pram_parse_ok =
+      match parsed with
+      | Ok files ->
+        List.length files = List.length vms
+        && List.for_all2
+             (fun (n, vm) f ->
+               String.equal f.Pram.Parse.name n
+               && List.fold_left (fun a e -> a + Pram.Entry.frames e) 0 f.entries
+                  = Hw.Units.frames_of_bytes vm.Vmstate.Vm.config.ram)
+             vms files
+      | Error _ -> false
+    in
+    let covered_frames =
+      List.fold_left
+        (fun acc (_, vm) -> acc + Hw.Units.frames_of_bytes vm.Vmstate.Vm.config.ram)
+        0 vms
+    in
+    let parse_seconds =
+      Costs.pram_parse_seconds machine ~metadata_pages:acct.Pram.Layout.total_pages
+        ~entries:acct.Pram.Layout.entry_count ~covered_frames
+    in
+    let boot_seconds = Sim.Time.to_sec_f (T.boot_time ~machine) in
+    let reboot_seconds = (boot_seconds +. parse_seconds) *. jit () in
+    Hv.Host.boot_hypervisor host (module T);
+    Kexec.unload ~pmem image;
+    staged_image := None;
+
+    (* Step 5+6: restore each VM from UISR onto its untouched memory.
+       Recovery ladder on post-PNR faults: retry a failed restore up to
+       the configured limit, quarantine VMs whose UISR blob no longer
+       decodes, and escalate management-rebuild failures. *)
+    let quarantined = ref [] in
+    let restore_retries = ref 0 in
+    let restore_results =
+      List.filter_map
+        (fun (n, u, blob) ->
+          let blob =
+            if fire ~vm:n Fault.Uisr_decode then begin
+              note Fault.Uisr_decode;
+              Uisr.Codec.corrupt blob
+            end
+            else blob
+          in
+          let quarantine why =
+            Log.warn (fun m -> m "quarantining %s: %s" n why);
+            quarantined := n :: !quarantined;
+            recovery_seconds := !recovery_seconds +. quarantine_triage_seconds;
+            None
+          in
           match Uisr.Codec.decode blob with
-          | Ok decoded -> Uisr.Vm_state.equal decoded u
-          | Error _ -> false
-        in
-        let mem = (List.assoc n detached).Vmstate.Vm.mem in
-        let fixups = Hv.Host.restore_from_uisr host ~mem u in
-        (n, u, fixups, roundtrip))
-      blobs
-  in
-  let restore_jobs =
-    let (Hv.Host.Packed ((module T'), thv, table)) = Hv.Host.running_exn host in
-    List.map
-      (fun (n, _, _, _) ->
-        match Hashtbl.find_opt table n with
-        | None -> assert false
-        | Some dom -> Sim.Time.to_sec_f (T'.restore_cost thv dom))
-      restore_results
-  in
-  let rebuild_cost = Sim.Time.to_sec_f (Hv.Host.rebuild_management_state host) in
-  let restoration_raw =
-    Costs.makespan ~workers restore_jobs
-    +. rebuild_cost
-    +. Costs.resume_seconds ~nvms:(List.length vms)
-  in
-  (* With early restoration, VM restores start as soon as the services
-     KVM VMs need are up (section 4.2.5); without it they wait for the
-     whole system to settle, paying a boot-tail penalty. *)
-  let restoration_seconds =
-    (if options.Options.early_restoration then restoration_raw
-     else restoration_raw +. (0.15 *. boot_seconds))
-    *. jit ()
-  in
+          | Error e ->
+            quarantine (Format.asprintf "UISR decode failed (%a)" Uisr.Codec.pp_error e)
+          | Ok decoded ->
+            let roundtrip = Uisr.Vm_state.equal decoded u in
+            let mem = (List.assoc n detached).Vmstate.Vm.mem in
+            let rec attempt k =
+              if fire ~vm:n Fault.Vm_restore then begin
+                note Fault.Vm_restore;
+                recovery_seconds := !recovery_seconds +. restore_retry_seconds;
+                if k > options.Options.restore_retry_limit then None
+                else begin
+                  incr restore_retries;
+                  attempt (k + 1)
+                end
+              end
+              else Some (Hv.Host.restore_from_uisr host ~mem u)
+            in
+            (match attempt 1 with
+            | None -> quarantine "restore retries exhausted"
+            | Some fixups -> Some (n, u, fixups, roundtrip)))
+        blobs
+    in
+    let survivors = List.length restore_results in
+    let restore_jobs =
+      let (Hv.Host.Packed ((module T'), thv, table)) = Hv.Host.running_exn host in
+      List.map
+        (fun (n, _, _, _) ->
+          match Hashtbl.find_opt table n with
+          | None -> assert false
+          | Some dom -> Sim.Time.to_sec_f (T'.restore_cost thv dom))
+        restore_results
+    in
+    let rebuild_cost = Sim.Time.to_sec_f (Hv.Host.rebuild_management_state host) in
+    let mgmt_rebuilds = ref 0 in
+    let rec mgmt_attempt k =
+      if fire Fault.Mgmt_rebuild then begin
+        note Fault.Mgmt_rebuild;
+        if k >= 3 then begin
+          full_reboot := true;
+          recovery_seconds := !recovery_seconds +. full_reboot_seconds
+        end
+        else begin
+          incr mgmt_rebuilds;
+          recovery_seconds :=
+            !recovery_seconds +. Sim.Time.to_sec_f (Hv.Host.rebuild_management_state host);
+          mgmt_attempt (k + 1)
+        end
+      end
+    in
+    mgmt_attempt 1;
+    let restoration_raw =
+      Costs.makespan ~workers restore_jobs
+      +. rebuild_cost
+      +. Costs.resume_seconds ~nvms:survivors
+    in
+    (* With early restoration, VM restores start as soon as the services
+       KVM VMs need are up (section 4.2.5); without it they wait for the
+       whole system to settle, paying a boot-tail penalty. *)
+    let restoration_seconds =
+      (if options.Options.early_restoration then restoration_raw
+       else restoration_raw +. (0.15 *. boot_seconds))
+      *. jit ()
+    in
 
-  (* Step 7: resume guests, free ephemeral PRAM metadata. *)
-  Hv.Host.resume_all host;
-  Pram.Build.release pram_image ~pmem;
-  Log.info (fun m ->
-      m "transplant complete: downtime %.3f s"
-        (translation_seconds +. reboot_seconds +. restoration_seconds));
+    (* Step 7: resume guests, free ephemeral PRAM metadata. *)
+    Hv.Host.resume_all host;
+    Pram.Build.release pram_image ~pmem;
+    staged_pram := None;
+    Log.info (fun m ->
+        m "transplant complete: downtime %.3f s"
+          (translation_seconds +. reboot_seconds +. restoration_seconds
+          +. !recovery_seconds));
 
-  (* Checks. *)
-  let after_uisrs =
-    List.map
-      (fun n ->
-        Hv.Host.pause_vm host n;
-        let u = Hv.Host.to_uisr host n in
-        Hv.Host.resume_vm host n;
-        (n, u))
-      vm_names
-  in
-  let guest_memory_intact =
-    List.for_all
-      (fun (n, vm0) ->
-        let vm = Option.get (Hv.Host.find_vm host n) in
-        Vmstate.Guest_mem.verify_backing vm.Vmstate.Vm.mem = []
-        && Int64.equal
-             (Vmstate.Guest_mem.checksum vm.Vmstate.Vm.mem)
-             (List.assoc n checksums_before)
-        && vm.Vmstate.Vm.mem == vm0.Vmstate.Vm.mem (* literally in place *))
-      vms
-  in
-  let platform_ok =
-    List.for_all
-      (fun (n, before, fixups, _) ->
-        platform_preserved ~before ~after:(List.assoc n after_uisrs) ~fixups)
-      restore_results
-  in
-  let devices_ok =
-    List.for_all
-      (fun (n, before, _, _) ->
-        devices_preserved ~before (Option.get (Hv.Host.find_vm host n)))
-      restore_results
-  in
-  let checks =
-    {
-      guest_memory_intact;
-      pram_parse_ok;
-      kexec_image_intact = jump.Kexec.image_intact;
-      uisr_roundtrip_ok =
-        List.for_all (fun (_, _, _, ok) -> ok) restore_results;
-      management_consistent = Hv.Host.management_consistent host;
-      platform_preserved = platform_ok;
-      devices_preserved = devices_ok;
-    }
-  in
-  {
-    source = S.name;
-    target = T.name;
-    vm_count = List.length vms;
-    phases =
+    (* Checks, over the VMs that survived (quarantined ones are the
+       recovery report's business, not the invariants'). *)
+    let surviving_vms =
+      List.filter (fun (n, _) -> not (List.mem n !quarantined)) vms
+    in
+    let after_uisrs =
+      List.map
+        (fun n ->
+          Hv.Host.pause_vm host n;
+          let u = Hv.Host.to_uisr host n in
+          Hv.Host.resume_vm host n;
+          (n, u))
+        (Hv.Host.vm_names host)
+    in
+    let guest_memory_intact =
+      List.for_all
+        (fun (n, vm0) ->
+          let vm = Option.get (Hv.Host.find_vm host n) in
+          Vmstate.Guest_mem.verify_backing vm.Vmstate.Vm.mem = []
+          && Int64.equal
+               (Vmstate.Guest_mem.checksum vm.Vmstate.Vm.mem)
+               (List.assoc n checksums_before)
+          && vm.Vmstate.Vm.mem == vm0.Vmstate.Vm.mem (* literally in place *))
+        surviving_vms
+    in
+    let platform_ok =
+      List.for_all
+        (fun (n, before, fixups, _) ->
+          platform_preserved ~before ~after:(List.assoc n after_uisrs) ~fixups)
+        restore_results
+    in
+    let devices_ok =
+      List.for_all
+        (fun (n, before, _, _) ->
+          devices_preserved ~before (Option.get (Hv.Host.find_vm host n)))
+        restore_results
+    in
+    let checks =
       {
-        Phases.pram = Sim.Time.of_sec_f pram_phase;
-        translation = Sim.Time.of_sec_f translation_seconds;
-        reboot = Sim.Time.of_sec_f reboot_seconds;
-        restoration = Sim.Time.of_sec_f restoration_seconds;
-        network = Hw.Nic.init_time machine.Hw.Machine.nic;
-      };
-    fixups = List.map (fun (n, _, f, _) -> (n, f)) restore_results;
-    uisr_platform_bytes;
-    pram_accounting = acct;
-    frames_wiped = jump.Kexec.frames_wiped;
-    checks;
-  }
+        guest_memory_intact;
+        pram_parse_ok;
+        (* A full-reboot fallback reloads the target from scratch and
+           does not depend on the (possibly clobbered) staged image. *)
+        kexec_image_intact = jump.Kexec.image_intact || !full_reboot;
+        uisr_roundtrip_ok =
+          List.for_all (fun (_, _, _, ok) -> ok) restore_results;
+        management_consistent = Hv.Host.management_consistent host;
+        platform_preserved = platform_ok;
+        devices_preserved = devices_ok;
+      }
+    in
+    let outcome =
+      if
+        !recovery_faults = [] && !restore_retries = 0 && !quarantined = []
+        && !mgmt_rebuilds = 0
+        && not !full_reboot
+      then Committed
+      else
+        Recovered
+          {
+            recovery_faults = List.rev !recovery_faults;
+            restore_retries = !restore_retries;
+            quarantined = List.rev !quarantined;
+            mgmt_rebuilds = !mgmt_rebuilds;
+            full_reboot = !full_reboot;
+            recovery_time = Sim.Time.of_sec_f !recovery_seconds;
+          }
+    in
+    {
+      source = S.name;
+      target = T.name;
+      vm_count = List.length vms;
+      phases =
+        {
+          Phases.pram = Sim.Time.of_sec_f pram_phase;
+          translation = Sim.Time.of_sec_f translation_seconds;
+          reboot = Sim.Time.of_sec_f reboot_seconds;
+          restoration = Sim.Time.of_sec_f restoration_seconds;
+          recovery = Sim.Time.of_sec_f !recovery_seconds;
+          network = Hw.Nic.init_time machine.Hw.Machine.nic;
+        };
+      fixups = List.map (fun (n, _, f, _) -> (n, f)) restore_results;
+      uisr_platform_bytes;
+      pram_accounting = acct;
+      frames_wiped = jump.Kexec.frames_wiped;
+      checks;
+      outcome;
+    }
+  with Rollback site ->
+    (* Abort cleanly: discard staging, resume every VM on the source
+       hypervisor, and prove with the regular checks that nothing
+       leaked.  The paper's pipeline makes this cheap — before the
+       kexec jump the source hypervisor still owns the machine. *)
+    (match !staged_pram with
+    | Some p -> Pram.Build.release p ~pmem
+    | None -> ());
+    (match !staged_image with
+    | Some i -> Kexec.unload ~pmem i
+    | None -> ());
+    let resume_cost =
+      if !paused then begin
+        Hv.Host.resume_all host;
+        Costs.resume_seconds ~nvms:(List.length vms)
+      end
+      else 0.0
+    in
+    Log.warn (fun m ->
+        m "transplant rolled back at %a: VMs resumed on %s" Fault.pp_site site
+          S.name);
+    let guest_memory_intact =
+      List.for_all
+        (fun (n, vm0) ->
+          let vm = Option.get (Hv.Host.find_vm host n) in
+          Vmstate.Guest_mem.verify_backing vm.Vmstate.Vm.mem = []
+          && Int64.equal
+               (Vmstate.Guest_mem.checksum vm.Vmstate.Vm.mem)
+               (List.assoc n checksums_before)
+          && vm.Vmstate.Vm.mem == vm0.Vmstate.Vm.mem)
+        vms
+    in
+    let checks =
+      {
+        guest_memory_intact;
+        (* The aborted steps never ran; their checks hold vacuously. *)
+        pram_parse_ok = true;
+        kexec_image_intact = true;
+        uisr_roundtrip_ok = true;
+        management_consistent = Hv.Host.management_consistent host;
+        platform_preserved = true;
+        devices_preserved = true;
+      }
+    in
+    {
+      source = S.name;
+      target = T.name;
+      vm_count = List.length vms;
+      phases =
+        {
+          Phases.pram = Sim.Time.of_sec_f !pram_spent;
+          translation = Sim.Time.of_sec_f !translation_spent;
+          reboot = Sim.Time.zero;
+          restoration = Sim.Time.of_sec_f resume_cost;
+          recovery = Sim.Time.zero;
+          network = Sim.Time.zero;
+        };
+      fixups = [];
+      uisr_platform_bytes = 0;
+      pram_accounting = !built_acct;
+      frames_wiped = 0;
+      checks;
+      outcome = Rolled_back site;
+    }
+
+let pp_outcome fmt = function
+  | Committed -> Format.pp_print_string fmt "committed"
+  | Rolled_back site ->
+    Format.fprintf fmt "rolled back (fault at %a)" Fault.pp_site site
+  | Recovered d ->
+    Format.fprintf fmt
+      "recovered in %a (faults: %a; %d restore retries, %d extra mgmt rebuilds%s%s)"
+      Sim.Time.pp d.recovery_time
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+         Fault.pp_site)
+      d.recovery_faults d.restore_retries d.mgmt_rebuilds
+      (match d.quarantined with
+      | [] -> ""
+      | q -> ", quarantined: " ^ String.concat " " q)
+      (if d.full_reboot then ", full reboot" else "")
 
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>InPlaceTP %s -> %s (%d VMs)@,%a@,pram: %a@,uisr platform: %a@,\
-     frames wiped: %d@,checks: %s@]"
+     frames wiped: %d@,outcome: %a@,checks: %s@]"
     r.source r.target r.vm_count Phases.pp r.phases Pram.Layout.pp_accounting
     r.pram_accounting Hw.Units.pp_bytes r.uisr_platform_bytes r.frames_wiped
+    pp_outcome r.outcome
     (if all_ok r.checks then "all ok" else "FAILED")

@@ -8,7 +8,16 @@
 
     The run both {e performs} the transplant on the simulated host
     (guest memory objects survive in place; the report's checks verify
-    it) and {e accounts} each phase's virtual-time cost. *)
+    it) and {e accounts} each phase's virtual-time cost.
+
+    The workflow is transactional around a single point of no return —
+    the kexec jump.  A fault injected before it aborts the transplant:
+    staging is discarded, every VM resumes on the source hypervisor,
+    and the checks prove guest memory byte-identical.  A fault after it
+    cannot abort (the source hypervisor is gone) and is instead handled
+    by a ReHype-style recovery ladder: per-VM restore retries, UISR
+    quarantine, management-state rebuild, and a last-resort full
+    reboot. *)
 
 type checks = {
   guest_memory_intact : bool;
@@ -24,6 +33,24 @@ type checks = {
 
 val all_ok : checks -> bool
 
+type recovery_detail = {
+  recovery_faults : Fault.site list;
+      (** distinct post-PNR sites that fired, in firing order *)
+  restore_retries : int;  (** extra per-VM restore attempts across all VMs *)
+  quarantined : string list;
+      (** VMs not restored: UISR undecodable or retries exhausted *)
+  mgmt_rebuilds : int;    (** extra management-rebuild passes *)
+  full_reboot : bool;     (** last-resort full firmware reboot taken *)
+  recovery_time : Sim.Time.t;
+}
+
+type outcome =
+  | Committed            (** fault-free end-to-end *)
+  | Rolled_back of Fault.site
+      (** pre-PNR fault: transplant aborted, VMs back on the source *)
+  | Recovered of recovery_detail
+      (** post-PNR fault(s) absorbed by the recovery ladder *)
+
 type report = {
   source : string;
   target : string;
@@ -34,14 +61,19 @@ type report = {
   pram_accounting : Pram.Layout.accounting;
   frames_wiped : int;
   checks : checks;
+  outcome : outcome;
 }
 
 val run :
-  ?options:Options.t -> ?rng:Sim.Rng.t -> host:Hv.Host.t ->
+  ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t -> host:Hv.Host.t ->
   target:(module Hv.Intf.S) -> unit -> report
-(** Transplant every VM on [host] onto [target].  On return the host
-    runs the target hypervisor with all VMs resumed.  Raises
-    [Invalid_argument] if the host has no hypervisor or no VMs, or if
-    the target is already the running hypervisor. *)
+(** Transplant every VM on [host] onto [target].  On a committed or
+    recovered run the host ends up running the target hypervisor with
+    all surviving VMs resumed; on a rolled-back run it still runs the
+    source with all VMs resumed.  [fault] arms an injection plan (see
+    {!Fault}); omitted means fault-free.  Raises [Invalid_argument] if
+    the host has no hypervisor or no VMs, or if the target is already
+    the running hypervisor. *)
 
+val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -1,4 +1,16 @@
-type outcome = Completed | Aborted_link_failure of int
+type outcome =
+  | Completed
+  | Completed_after_retries of int
+  | Aborted_link_failure of int
+
+type retry_params = {
+  max_attempts : int;
+  backoff_base : Sim.Time.t;
+  backoff_factor : float;
+}
+
+let default_retry =
+  { max_attempts = 3; backoff_base = Sim.Time.ms 500; backoff_factor = 2.0 }
 
 type vm_report = {
   vm_name : string;
@@ -6,6 +18,9 @@ type vm_report = {
   precopy_time : Sim.Time.t;
   downtime : Sim.Time.t;
   queue_wait : Sim.Time.t;
+  retries : int;
+  retry_wait : Sim.Time.t;
+  wasted_time : Sim.Time.t;
   total_time : Sim.Time.t;
   wire_bytes : Hw.Units.bytes_;
   state_bytes : int;
@@ -30,8 +45,43 @@ type report = {
 
 let setup_time = Sim.Time.ms 400 (* connection + capability negotiation *)
 
-let run ?(rng = Sim.Rng.create 0x3C4DL) ?fail_link ~(src : Hv.Host.t)
-    ~(dst : Hv.Host.t) ?vm_names () =
+(* One pre-copy attempt over the analytic plan, walking its rounds and
+   consulting the fault plan for link faults.  A degraded link halves
+   the round's bandwidth (the round takes twice as long); a dropped
+   link aborts the attempt at that round. *)
+type attempt_result =
+  | Link_ok of Sim.Time.t (* extra time from degraded rounds *)
+  | Link_dropped of int * Sim.Time.t * Hw.Units.bytes_
+      (* round index, time on the wire, bytes on the wire *)
+
+let attempt_precopy ~fire ~vm:n ~page_wire_bytes
+    (plan : Migration.Precopy.plan) =
+  let rec walk i degrade_extra spent bytes = function
+    | [] -> Link_ok degrade_extra
+    | (r : Migration.Precopy.round) :: rest ->
+      if fire ~vm:n Fault.Migration_link_drop then
+        (* Everything up to and including this round was on the wire
+           when the link died. *)
+        Link_dropped
+          ( i,
+            Sim.Time.sum [ spent; degrade_extra; r.duration ],
+            bytes + (r.pages_sent * page_wire_bytes) )
+      else
+        let degrade_extra =
+          if fire ~vm:n Fault.Migration_link_degrade then
+            Sim.Time.add degrade_extra r.duration
+          else degrade_extra
+        in
+        walk (i + 1) degrade_extra
+          (Sim.Time.add spent r.duration)
+          (bytes + (r.pages_sent * page_wire_bytes))
+          rest
+  in
+  walk 0 Sim.Time.zero Sim.Time.zero 0 plan.Migration.Precopy.rounds
+
+let run ?(rng = Sim.Rng.create 0x3C4DL) ?fault ?(retry = default_retry)
+    ~(src : Hv.Host.t) ~(dst : Hv.Host.t) ?vm_names () =
+  if retry.max_attempts < 1 then invalid_arg "Migrate.run: max_attempts < 1";
   let (Hv.Host.Packed ((module S), _, _)) = Hv.Host.running_exn src in
   let (Hv.Host.Packed ((module D), _, _)) = Hv.Host.running_exn dst in
   let kind =
@@ -55,6 +105,18 @@ let run ?(rng = Sim.Rng.create 0x3C4DL) ?fail_link ~(src : Hv.Host.t)
   let streams = List.length vm_names in
   let nic = src.Hv.Host.machine.Hw.Machine.nic in
   let params = Migration.Precopy.default_params ~nic ~streams () in
+  let page_wire_bytes =
+    Hw.Units.page_size_4k + params.Migration.Precopy.page_overhead_bytes
+  in
+  let fire ~vm site =
+    match fault with
+    | Some f ->
+      let fired = Fault.fire f ~vm site in
+      if fired then
+        Log.warn (fun m -> m "fault injected at %a (%s)" Fault.pp_site site vm);
+      fired
+    | None -> false
+  in
 
   (* Pre-copy plans (VMs still running, degraded). *)
   let plans =
@@ -80,125 +142,155 @@ let run ?(rng = Sim.Rng.create 0x3C4DL) ?fail_link ~(src : Hv.Host.t)
   let receiver_busy = ref Sim.Time.zero in
   let checks_memory = ref true in
   let checks_conns = ref true in
-  let aborted (n, plan) round =
-    (* Pre-copy is non-destructive: the source VM never paused and keeps
-       running; nothing landed on the destination. *)
-    let completed_rounds =
-      List.filteri (fun i _ -> i <= round) plan.Migration.Precopy.rounds
-    in
-    let wasted =
-      Sim.Time.sum
-        (List.map (fun (r : Migration.Precopy.round) -> r.duration) completed_rounds)
-    in
-    {
-      vm_name = n;
-      rounds = List.length completed_rounds;
-      precopy_time = wasted;
-      downtime = Sim.Time.zero;
-      queue_wait = Sim.Time.zero;
-      total_time = Sim.Time.add setup_time wasted;
-      wire_bytes =
-        List.fold_left
-          (fun acc (r : Migration.Precopy.round) ->
-            acc
-            + (r.pages_sent
-              * Hw.Units.page_size_4k))
-          0 completed_rounds;
-      state_bytes = 0;
-      fixups = [];
-      outcome = Aborted_link_failure round;
-    }
-  in
   let per_vm =
     List.map
-      (fun (n, (vm : Vmstate.Vm.t), plan) ->
-        match fail_link with
-        | Some (fail_name, fail_round)
-          when String.equal fail_name n
-               && fail_round < List.length plan.Migration.Precopy.rounds ->
-          ignore vm;
-          aborted (n, plan) fail_round
-        | Some _ | None ->
-        (* The live data path: multi-round pre-copy over the VM's actual
-           dirty bits while it still runs (timings are reported from the
-           calibrated analytic plan; the live rounds carry the data and
-           verify convergence on real state). *)
-        let dst_mem =
-          Vmstate.Guest_mem.create ~pmem:dst.Hv.Host.pmem ~rng:dst.Hv.Host.rng
-            ~bytes:vm.Vmstate.Vm.config.ram
-            ~page_kind:vm.Vmstate.Vm.config.page_kind ()
+      (fun (n, (vm : Vmstate.Vm.t), (plan : Migration.Precopy.plan)) ->
+        (* Link-fault retry loop: a dropped attempt is non-destructive
+           (the source VM never paused; nothing landed on the
+           destination), so retry after an exponential backoff until
+           the attempt budget runs out. *)
+        let rec go attempt ~retry_wait ~wasted_time ~wasted_bytes =
+          match attempt_precopy ~fire ~vm:n ~page_wire_bytes plan with
+          | Link_dropped (round, w_time, w_bytes) ->
+            let wasted_time = Sim.Time.add wasted_time w_time in
+            let wasted_bytes = wasted_bytes + w_bytes in
+            if attempt >= retry.max_attempts then begin
+              Log.warn (fun m ->
+                  m "%s: link dropped in round %d; attempt budget exhausted"
+                    n round);
+              {
+                vm_name = n;
+                rounds = round + 1;
+                precopy_time = wasted_time;
+                downtime = Sim.Time.zero;
+                queue_wait = Sim.Time.zero;
+                retries = attempt - 1;
+                retry_wait;
+                wasted_time;
+                total_time = Sim.Time.sum [ setup_time; retry_wait; wasted_time ];
+                wire_bytes = wasted_bytes;
+                state_bytes = 0;
+                fixups = [];
+                outcome = Aborted_link_failure round;
+              }
+            end
+            else begin
+              let backoff =
+                Sim.Time.scale
+                  (retry.backoff_factor ** float_of_int (attempt - 1))
+                  retry.backoff_base
+              in
+              Log.warn (fun m ->
+                  m "%s: link dropped in round %d; retrying in %a (attempt %d/%d)"
+                    n round Sim.Time.pp backoff (attempt + 1) retry.max_attempts);
+              go (attempt + 1)
+                ~retry_wait:(Sim.Time.add retry_wait backoff)
+                ~wasted_time ~wasted_bytes
+            end
+          | Link_ok degrade_extra ->
+            (* The live data path: multi-round pre-copy over the VM's
+               actual dirty bits while it still runs (timings are
+               reported from the calibrated analytic plan; the live
+               rounds carry the data and verify convergence on real
+               state). *)
+            let dst_mem =
+              Vmstate.Guest_mem.create ~pmem:dst.Hv.Host.pmem
+                ~rng:dst.Hv.Host.rng ~bytes:vm.Vmstate.Vm.config.ram
+                ~page_kind:vm.Vmstate.Vm.config.page_kind ()
+            in
+            let live =
+              Migration.Precopy.run_live params ~src:vm.Vmstate.Vm.mem
+                ~dst:dst_mem
+                ~dirty_pages_per_sec:
+                  (Workload.Profile.dirty_pages_per_sec
+                     vm.Vmstate.Vm.config.workload
+                     ~ram:vm.Vmstate.Vm.config.ram
+                     ~page_kind:vm.Vmstate.Vm.config.page_kind)
+                ~rng
+            in
+            assert live.Migration.Precopy.memory_equal;
+            Hv.Host.pause_vm src n;
+            let src_checksum = Vmstate.Guest_mem.checksum vm.Vmstate.Vm.mem in
+            let src_conns = Vmstate.Vm.total_tcp_connections vm in
+            let uisr = Hv.Host.to_uisr src n in
+            let state_blob = Uisr.Codec.encode uisr in
+            let state_bytes = Bytes.length state_blob in
+            (* Proxy translation cost: a fraction of a full local save,
+               paid inside the stop phase. *)
+            let proxy_cost =
+              let (Hv.Host.Packed ((module S'), shv, table)) =
+                Hv.Host.running_exn src
+              in
+              match Hashtbl.find_opt table n with
+              | None -> assert false
+              | Some dom -> Sim.Time.scale 0.05 (S'.save_cost shv dom)
+            in
+            let fixups = Hv.Host.restore_from_uisr dst ~mem:dst_mem uisr in
+            Hv.Host.resume_vm dst n;
+            let dst_vm = Option.get (Hv.Host.find_vm dst n) in
+            if
+              not
+                (Int64.equal
+                   (Vmstate.Guest_mem.checksum dst_vm.Vmstate.Vm.mem)
+                   src_checksum)
+            then checks_memory := false;
+            if Vmstate.Vm.total_tcp_connections dst_vm <> src_conns then
+              checks_conns := false;
+            Hv.Host.destroy_vm src n;
+            (* Timing. *)
+            let state_transfer =
+              Hw.Nic.transfer_time nic ~streams state_bytes
+            in
+            let resume_cost =
+              D.migration_resume_cost ~machine:dst.Hv.Host.machine
+                ~vcpus:vm.Vmstate.Vm.config.vcpus
+            in
+            let service_time =
+              Sim.Time.sum
+                [ plan.Migration.Precopy.stop_copy_time; state_transfer;
+                  proxy_cost; resume_cost ]
+            in
+            let queue_wait =
+              if D.sequential_migration_receive then !receiver_busy
+              else Sim.Time.zero
+            in
+            if D.sequential_migration_receive then
+              receiver_busy := Sim.Time.add !receiver_busy service_time;
+            let jitter = Sim.Rng.jitter rng 0.03 in
+            let downtime =
+              Sim.Time.scale jitter (Sim.Time.add queue_wait service_time)
+            in
+            let precopy_time =
+              Sim.Time.add
+                (Sim.Time.scale (Sim.Rng.jitter rng 0.02)
+                   plan.Migration.Precopy.precopy_time)
+                degrade_extra
+            in
+            let retries = attempt - 1 in
+            {
+              vm_name = n;
+              rounds = List.length plan.Migration.Precopy.rounds;
+              precopy_time;
+              downtime;
+              queue_wait;
+              retries;
+              retry_wait;
+              wasted_time;
+              total_time =
+                Sim.Time.sum
+                  [ setup_time; retry_wait; wasted_time; precopy_time;
+                    downtime ];
+              wire_bytes =
+                plan.Migration.Precopy.total_bytes + state_bytes + wasted_bytes;
+              state_bytes;
+              fixups;
+              outcome =
+                (if retries = 0 then Completed
+                 else Completed_after_retries retries);
+            }
         in
-        let live =
-          Migration.Precopy.run_live params ~src:vm.Vmstate.Vm.mem ~dst:dst_mem
-            ~dirty_pages_per_sec:
-              (Workload.Profile.dirty_pages_per_sec vm.Vmstate.Vm.config.workload
-                 ~ram:vm.Vmstate.Vm.config.ram
-                 ~page_kind:vm.Vmstate.Vm.config.page_kind)
-            ~rng
-        in
-        assert live.Migration.Precopy.memory_equal;
-        Hv.Host.pause_vm src n;
-        let src_checksum = Vmstate.Guest_mem.checksum vm.Vmstate.Vm.mem in
-        let src_conns = Vmstate.Vm.total_tcp_connections vm in
-        let uisr = Hv.Host.to_uisr src n in
-        let state_blob = Uisr.Codec.encode uisr in
-        let state_bytes = Bytes.length state_blob in
-        (* Proxy translation cost: a fraction of a full local save, paid
-           inside the stop phase. *)
-        let proxy_cost =
-          let (Hv.Host.Packed ((module S'), shv, table)) =
-            Hv.Host.running_exn src
-          in
-          match Hashtbl.find_opt table n with
-          | None -> assert false
-          | Some dom -> Sim.Time.scale 0.05 (S'.save_cost shv dom)
-        in
-        let fixups = Hv.Host.restore_from_uisr dst ~mem:dst_mem uisr in
-        Hv.Host.resume_vm dst n;
-        let dst_vm = Option.get (Hv.Host.find_vm dst n) in
-        if
-          not
-            (Int64.equal (Vmstate.Guest_mem.checksum dst_vm.Vmstate.Vm.mem)
-               src_checksum)
-        then checks_memory := false;
-        if Vmstate.Vm.total_tcp_connections dst_vm <> src_conns then
-          checks_conns := false;
-        Hv.Host.destroy_vm src n;
-        (* Timing. *)
-        let state_transfer =
-          Hw.Nic.transfer_time nic ~streams state_bytes
-        in
-        let resume_cost =
-          D.migration_resume_cost ~machine:dst.Hv.Host.machine
-            ~vcpus:vm.Vmstate.Vm.config.vcpus
-        in
-        let service_time =
-          Sim.Time.sum
-            [ plan.Migration.Precopy.stop_copy_time; state_transfer;
-              proxy_cost; resume_cost ]
-        in
-        let queue_wait =
-          if D.sequential_migration_receive then !receiver_busy else Sim.Time.zero
-        in
-        if D.sequential_migration_receive then
-          receiver_busy := Sim.Time.add !receiver_busy service_time;
-        let jitter = Sim.Rng.jitter rng 0.03 in
-        let downtime = Sim.Time.scale jitter (Sim.Time.add queue_wait service_time) in
-        let precopy_time =
-          Sim.Time.scale (Sim.Rng.jitter rng 0.02) plan.Migration.Precopy.precopy_time
-        in
-        {
-          vm_name = n;
-          rounds = List.length plan.Migration.Precopy.rounds;
-          precopy_time;
-          downtime;
-          queue_wait;
-          total_time = Sim.Time.sum [ setup_time; precopy_time; downtime ];
-          wire_bytes = plan.Migration.Precopy.total_bytes + state_bytes;
-          state_bytes;
-          fixups;
-          outcome = Completed;
-        })
+        go 1 ~retry_wait:Sim.Time.zero ~wasted_time:Sim.Time.zero
+          ~wasted_bytes:0)
       plans
   in
   let total_time =
@@ -220,6 +312,12 @@ let run ?(rng = Sim.Rng.create 0x3C4DL) ?fail_link ~(src : Hv.Host.t)
       };
   }
 
+let pp_outcome fmt = function
+  | Completed -> Format.pp_print_string fmt "completed"
+  | Completed_after_retries n -> Format.fprintf fmt "completed after %d retries" n
+  | Aborted_link_failure round ->
+    Format.fprintf fmt "aborted (link failure, round %d)" round
+
 let pp_report fmt r =
   let kind =
     match r.kind with
@@ -231,9 +329,13 @@ let pp_report fmt r =
   List.iter
     (fun v ->
       Format.fprintf fmt
-        "  %s: %d rounds, precopy %a, downtime %a (wait %a), %a on wire@,"
+        "  %s: %d rounds, precopy %a, downtime %a (wait %a), %a on wire, %a@,"
         v.vm_name v.rounds Sim.Time.pp v.precopy_time Sim.Time.pp v.downtime
-        Sim.Time.pp v.queue_wait Hw.Units.pp_bytes v.wire_bytes)
+        Sim.Time.pp v.queue_wait Hw.Units.pp_bytes v.wire_bytes pp_outcome
+        v.outcome;
+      if v.retries > 0 || v.wasted_time <> Sim.Time.zero then
+        Format.fprintf fmt "    %d retries, backoff %a, wasted %a@," v.retries
+          Sim.Time.pp v.retry_wait Sim.Time.pp v.wasted_time)
     r.per_vm;
   Format.fprintf fmt "  checks: memory=%b conns=%b mgmt=%b@]"
     r.checks.memory_equal r.checks.connections_preserved

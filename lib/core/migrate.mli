@@ -5,26 +5,49 @@
     The pre-copy data path is the standard one; the MigrationTP novelty
     is the pair of proxies translating VM_i State through UISR so source
     and destination may run different hypervisors.  Guest pages are
-    never translated — they are copied verbatim. *)
+    never translated — they are copied verbatim.
+
+    Link faults (armed through a {!Fault} plan) hit individual pre-copy
+    rounds: a degraded link doubles the round's duration, a dropped
+    link aborts the attempt.  Pre-copy is non-destructive — the source
+    VM never paused — so a dropped attempt is retried after an
+    exponential backoff until the per-VM attempt budget runs out. *)
 
 type outcome =
   | Completed
+  | Completed_after_retries of int
+      (** succeeded, but only after this many dropped attempts *)
   | Aborted_link_failure of int
-      (** the link died during this pre-copy round; pre-copy is
-          non-destructive, so the source VM keeps running and the
+      (** the link died during this pre-copy round on the final
+          attempt; the source VM keeps running and the
           partially-populated destination is torn down *)
+
+type retry_params = {
+  max_attempts : int;      (** total attempts per VM, including the first *)
+  backoff_base : Sim.Time.t;  (** wait before the first retry *)
+  backoff_factor : float;  (** multiplier per subsequent retry *)
+}
+
+val default_retry : retry_params
+(** 3 attempts, 500 ms base, doubling: waits 0.5 s then 1 s. *)
 
 type vm_report = {
   vm_name : string;
   rounds : int;
   precopy_time : Sim.Time.t;
+      (** successful attempt only (degraded rounds included) *)
   downtime : Sim.Time.t;
       (** stop-and-copy + state transfer + receive-queue wait +
           destination resume *)
   queue_wait : Sim.Time.t;
       (** time spent waiting for a sequential receiver (Xen) *)
+  retries : int;          (** dropped attempts that were retried *)
+  retry_wait : Sim.Time.t;   (** total backoff time *)
+  wasted_time : Sim.Time.t;  (** wire time of all dropped attempts *)
   total_time : Sim.Time.t;
   wire_bytes : Hw.Units.bytes_;
+      (** includes per-page protocol overhead and the bytes burnt by
+          dropped attempts *)
   state_bytes : int; (** UISR (or native-context) platform payload *)
   fixups : Uisr.Fixup.t list;
   outcome : outcome;
@@ -46,7 +69,7 @@ type report = {
 }
 
 val run :
-  ?rng:Sim.Rng.t -> ?fail_link:string * int -> src:Hv.Host.t ->
+  ?rng:Sim.Rng.t -> ?fault:Fault.t -> ?retry:retry_params -> src:Hv.Host.t ->
   dst:Hv.Host.t -> ?vm_names:string list -> unit -> report
 (** Migrate the named VMs (default: all) from [src] to [dst].  The
     destination hypervisor must already be booted; the kind is inferred:
@@ -55,11 +78,14 @@ val run :
     Source VMs are destroyed after a successful hand-off, as in real
     live migration.
 
-    [fail_link] (vm, round) injects a network failure while that VM's
-    pre-copy round is on the wire: its migration aborts, the source VM
-    stays resident and running, nothing lands on the destination.
+    [fault] arms {!Fault.Migration_link_drop} /
+    {!Fault.Migration_link_degrade} injections against pre-copy rounds;
+    [retry] bounds the per-VM retry loop (default {!default_retry}).
+    A VM whose attempts are exhausted stays resident and running on the
+    source, with the wasted wire time and bytes accounted.
 
     Raises [Invalid_argument] if the destination lacks memory or a
-    hypervisor, or a VM name is unknown. *)
+    hypervisor, a VM name is unknown, or [retry.max_attempts < 1]. *)
 
+val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -3,6 +3,7 @@ type t = {
   parallel_translation : bool;
   huge_page_pram : bool;
   early_restoration : bool;
+  restore_retry_limit : int;
 }
 
 let default =
@@ -11,6 +12,7 @@ let default =
     parallel_translation = true;
     huge_page_pram = true;
     early_restoration = true;
+    restore_retry_limit = 2;
   }
 
 let all_off =
@@ -19,12 +21,14 @@ let all_off =
     parallel_translation = false;
     huge_page_pram = false;
     early_restoration = false;
+    restore_retry_limit = 2;
   }
 
 let pp fmt t =
   let flag name v = if v then name else "no-" ^ name in
-  Format.fprintf fmt "{%s %s %s %s}"
+  Format.fprintf fmt "{%s %s %s %s retries=%d}"
     (flag "prepare" t.prepare_before_pause)
     (flag "parallel" t.parallel_translation)
     (flag "hugepage" t.huge_page_pram)
     (flag "early-restore" t.early_restoration)
+    t.restore_retry_limit

@@ -1,7 +1,9 @@
-(** InPlaceTP optimisation toggles (section 4.2.5).
+(** InPlaceTP optimisation toggles (section 4.2.5) and recovery
+    policy knobs.
 
-    All four are on by default — the paper's configuration; turning them
-    off individually drives the ablation benches. *)
+    All four optimisations are on by default — the paper's
+    configuration; turning them off individually drives the ablation
+    benches. *)
 
 type t = {
   prepare_before_pause : bool;
@@ -13,6 +15,9 @@ type t = {
   early_restoration : bool;
       (** start VM restoration as soon as the target's VM services are
           up, overlapping the boot tail *)
+  restore_retry_limit : int;
+      (** post-PNR recovery: how many extra per-VM restore attempts
+          before the VM is quarantined (default 2) *)
 }
 
 val default : t

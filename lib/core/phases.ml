@@ -3,36 +3,40 @@ type t = {
   translation : Sim.Time.t;
   reboot : Sim.Time.t;
   restoration : Sim.Time.t;
+  recovery : Sim.Time.t;
   network : Sim.Time.t;
 }
 
-let downtime t = Sim.Time.sum [ t.translation; t.reboot; t.restoration ]
+let downtime t = Sim.Time.sum [ t.translation; t.reboot; t.restoration; t.recovery ]
 let total t = Sim.Time.add t.pram (downtime t)
 
 let downtime_with_network t =
   (* The NIC starts initialising when the new kernel boots; restoration
      proceeds in parallel.  A networked service is back when both are
      done. *)
-  let tail = Sim.Time.max t.restoration t.network in
+  let tail = Sim.Time.max (Sim.Time.add t.restoration t.recovery) t.network in
   Sim.Time.sum [ t.translation; t.reboot; tail ]
 
 let zero =
   { pram = Sim.Time.zero; translation = Sim.Time.zero; reboot = Sim.Time.zero;
-    restoration = Sim.Time.zero; network = Sim.Time.zero }
+    restoration = Sim.Time.zero; recovery = Sim.Time.zero;
+    network = Sim.Time.zero }
 
 let pp fmt t =
   Format.fprintf fmt
     "pram %a | translation %a | reboot %a | restoration %a | network %a => downtime %a, total %a"
     Sim.Time.pp t.pram Sim.Time.pp t.translation Sim.Time.pp t.reboot
     Sim.Time.pp t.restoration Sim.Time.pp t.network Sim.Time.pp (downtime t)
-    Sim.Time.pp (total t)
+    Sim.Time.pp (total t);
+  if not (Sim.Time.equal t.recovery Sim.Time.zero) then
+    Format.fprintf fmt " (incl. recovery %a)" Sim.Time.pp t.recovery
 
 let pp_row fmt t =
   Format.fprintf fmt "%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f"
     (Sim.Time.to_sec_f t.pram)
     (Sim.Time.to_sec_f t.translation)
     (Sim.Time.to_sec_f t.reboot)
-    (Sim.Time.to_sec_f t.restoration)
+    (Sim.Time.to_sec_f (Sim.Time.add t.restoration t.recovery))
     (Sim.Time.to_sec_f t.network)
     (Sim.Time.to_sec_f (downtime t))
     (Sim.Time.to_sec_f (total t))

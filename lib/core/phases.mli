@@ -1,21 +1,25 @@
 (** InPlaceTP phase breakdown (the bars of Fig. 6/7/10).
 
     PRAM construction happens before VMs are paused, so downtime is
-    Translation + Reboot + Restoration; the Network phase (NIC
-    re-initialisation) runs in parallel with restoration and only
-    matters to network-dependent applications, so it is reported
-    separately (section 5.2). *)
+    Translation + Reboot + Restoration (+ Recovery when faults were
+    injected); the Network phase (NIC re-initialisation) runs in
+    parallel with restoration and only matters to network-dependent
+    applications, so it is reported separately (section 5.2). *)
 
 type t = {
   pram : Sim.Time.t;
   translation : Sim.Time.t;
   reboot : Sim.Time.t;        (** kernel boot + sequential PRAM parse *)
   restoration : Sim.Time.t;
+  recovery : Sim.Time.t;
+      (** post-point-of-no-return fault handling: restore retries,
+          extra management rebuilds, quarantine triage, full-reboot
+          fallback.  Zero on a fault-free run. *)
   network : Sim.Time.t;
 }
 
 val downtime : t -> Sim.Time.t
-(** Translation + Reboot + Restoration. *)
+(** Translation + Reboot + Restoration + Recovery. *)
 
 val total : t -> Sim.Time.t
 (** PRAM + downtime (kexec staging is ahead-of-time and excluded). *)

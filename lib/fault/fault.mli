@@ -1,0 +1,102 @@
+(** Deterministic fault injection for transplant campaigns.
+
+    A fault {e plan} names injection sites inside the transplant
+    engines (PRAM construction, UISR encode/decode, kexec load/jump,
+    per-VM restore, management rebuild, migration link) and a trigger
+    for each: fire on the nth hit of the site, fire whenever a given VM
+    reaches the site, or fire with a fixed probability drawn from the
+    plan's own splitmix64 stream.  Every decision — fired or not — is
+    appended to a trace, so a seeded stochastic campaign is reproducible
+    bit-for-bit and two runs of the same plan can be compared with [=].
+
+    The probability stream has a useful monotonicity property: because
+    each hit consumes exactly one draw regardless of the outcome, two
+    plans with the same seed and hit sequence but probabilities
+    [p <= p'] fire on a {e subset} of the hits — failure campaigns are
+    ordered, which is what makes `Cluster.Upgrade.sweep_faulty`'s
+    wall-clock monotone in the failure probability. *)
+
+type site =
+  | Pram_build
+  | Uisr_encode
+  | Uisr_decode
+  | Kexec_load
+  | Kexec_jump
+  | Vm_restore
+  | Mgmt_rebuild
+  | Migration_link_drop
+  | Migration_link_degrade
+  | Host_crash
+
+val all_sites : site list
+val site_to_string : site -> string
+val site_of_string : string -> site option
+val pp_site : Format.formatter -> site -> unit
+
+(** Sites hit strictly before the InPlaceTP point-of-no-return (the
+    kexec jump).  A fault at one of these aborts the transplant cleanly;
+    anything else demands recovery on the target side. *)
+val pre_pnr : site -> bool
+
+type trigger =
+  | Nth_hit of int  (** fire on the nth hit of the site, 1-based *)
+  | On_vm of string  (** fire on every hit attributed to this VM *)
+  | Probability of float  (** fire per-hit with probability in [0,1] *)
+
+type injection = { site : site; trigger : trigger }
+
+val pp_injection : Format.formatter -> injection -> unit
+
+type event = {
+  ev_site : site;
+  ev_vm : string option;
+  ev_hit : int;  (** per-site hit counter at this event, 1-based *)
+  ev_fired : bool;
+}
+
+type t
+
+val make : ?seed:int64 -> injection list -> t
+(** [make injections] builds a plan.  [seed] (default [0xFA17L]) feeds
+    the probability stream.  Raises [Invalid_argument] on a
+    non-positive [Nth_hit] or a probability outside [0, 1]. *)
+
+val none : unit -> t
+(** A plan with no injections: every [fire] returns false (but is still
+    traced). *)
+
+val restart : t -> t
+(** A fresh plan with the same injections and seed: counters, trace and
+    probability stream rewound to the beginning. *)
+
+val injections : t -> injection list
+val seed : t -> int64
+
+val fire : t -> ?vm:string -> site -> bool
+(** [fire plan ~vm site] records a hit of [site] (attributed to [vm] if
+    given) and returns whether an injection fires there.  One
+    probability draw is consumed per hit of a probability-triggered
+    site, fired or not. *)
+
+val hits : t -> site -> int
+(** Hits recorded so far at [site]. *)
+
+val fired_count : t -> int
+val trace : t -> event list
+(** Chronological record of every decision. *)
+
+val pp_trace : Format.formatter -> t -> unit
+
+val parse_injection : string -> (injection, string) result
+(** Parse a [site:trigger] spec: ["kexec_jump:1"] (nth hit),
+    ["vm_restore:vm=vm3"], ["migration_link_drop:p=0.1"]. *)
+
+type spec = { spec_injection : injection; spec_seed : int64 option }
+
+val parse_spec : string -> (spec, string) result
+(** Parse a CLI [--fault] argument: [site:trigger[,seed=N]], e.g.
+    ["migration_link_drop:p=0.1,seed=42"]. *)
+
+val of_specs : spec list -> t
+(** Combine parsed CLI specs into one plan; the last explicit seed
+    wins. *)

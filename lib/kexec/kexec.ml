@@ -46,6 +46,13 @@ let pram_pointer_of_cmdline cmdline =
       | Some _ | None -> None)
     words
 
+let clobber ~pmem t =
+  (* Overwrite the image's first frame with a wrong tag — the stray-DMA
+     / buggy-driver scenario the integrity check exists to catch. *)
+  match t.extents with
+  | [] -> ()
+  | (start, _) :: _ -> Hw.Pmem.write pmem start (Int64.lognot t.stamp)
+
 type jump_report = { frames_wiped : int; image_intact : bool }
 
 let execute ~pmem t ~preserve =

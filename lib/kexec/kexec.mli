@@ -26,6 +26,10 @@ val pram_pointer_of_cmdline : string -> Hw.Frame.Mfn.t option
 (** Parse the [pram=] argument back out (what the target's early boot
     does). *)
 
+val clobber : pmem:Hw.Pmem.t -> image -> unit
+(** Deliberately corrupt the staged image's first frame (fault
+    injection): the next {!execute} must report it non-intact. *)
+
 type jump_report = {
   frames_wiped : int;
   image_intact : bool;  (** staged image survived its own jump *)

@@ -57,7 +57,8 @@ let plan params ~page_bytes ~total_pages ~dirty_pages_per_sec =
     final_pages;
     stop_copy_time =
       Sim.Time.add (Hw.Nic.latency params.nic) (Sim.Time.of_sec_f stop_copy_s);
-    total_bytes = (pages_sent + final_pages) * page_bytes;
+    total_bytes =
+      (pages_sent + final_pages) * (page_bytes + params.page_overhead_bytes);
   }
 
 let converges params ~page_bytes ~dirty_pages_per_sec =

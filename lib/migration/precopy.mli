@@ -25,6 +25,7 @@ type plan = {
   final_pages : int;          (** sent during stop-and-copy *)
   stop_copy_time : Sim.Time.t;
   total_bytes : Hw.Units.bytes_;
+      (** everything on the wire, per-page protocol framing included *)
 }
 
 val plan :

@@ -433,6 +433,13 @@ let decode blob =
     | Reader.Truncated | Exit -> Error Truncated
     | Reader.Bad_format msg -> Error (Malformed msg))
 
+let corrupt blob =
+  if Bytes.length blob = 0 then invalid_arg "Codec.corrupt: empty blob";
+  let b = Bytes.copy blob in
+  let i = Bytes.length b / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+  b
+
 let size_bytes t = Bytes.length (encode t)
 
 let platform_size_bytes t =

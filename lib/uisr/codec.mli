@@ -25,6 +25,12 @@ val format_version : int
 val encode : Vm_state.t -> bytes
 val decode : bytes -> (Vm_state.t, error) result
 
+val corrupt : bytes -> bytes
+(** A copy of the blob with one payload byte flipped, leaving the
+    length intact — the deterministic bit-rot the fault-injection
+    campaigns feed to {!decode}, which must reject it
+    ([Crc_mismatch]). *)
+
 val size_bytes : Vm_state.t -> int
 (** Encoded size — the "UISR formats" series of Fig. 14. *)
 

@@ -333,12 +333,17 @@ let test_migration_link_failure_safe () =
   let dst_used_before = Hw.Pmem.used_frames dst.Hv.Host.pmem in
   let src_vm = Option.get (Hv.Host.find_vm src "vm0") in
   let checksum = Vmstate.Guest_mem.checksum src_vm.Vmstate.Vm.mem in
-  let r = Hypertp.Migrate.run ~fail_link:("vm0", 0) ~src ~dst () in
+  let fault =
+    Fault.make
+      [ { Fault.site = Fault.Migration_link_drop; trigger = Fault.On_vm "vm0" } ]
+  in
+  let r = Hypertp.Migrate.run ~fault ~src ~dst () in
   let v = List.hd r.per_vm in
   checkb "aborted outcome" true
     (match v.Hypertp.Migrate.outcome with
     | Hypertp.Migrate.Aborted_link_failure 0 -> true
     | _ -> false);
+  checki "all attempts burnt" 2 v.Hypertp.Migrate.retries;
   checkb "zero downtime" true
     (Sim.Time.equal v.Hypertp.Migrate.downtime Sim.Time.zero);
   checkb "source still resident" true (Hv.Host.find_vm src "vm0" <> None);
@@ -358,7 +363,12 @@ let test_migration_partial_failure () =
       ()
   in
   let dst = kvm_host ~name:"dpart" () in
-  let r = Hypertp.Migrate.run ~fail_link:("doomed", 0) ~src ~dst () in
+  let fault =
+    Fault.make
+      [ { Fault.site = Fault.Migration_link_drop;
+          trigger = Fault.On_vm "doomed" } ]
+  in
+  let r = Hypertp.Migrate.run ~fault ~src ~dst () in
   checkb "ok completed" true
     (List.exists
        (fun (v : Hypertp.Migrate.vm_report) ->

@@ -83,11 +83,12 @@ let prop_rounds_shrink =
       shrinking plan.Migration.Precopy.rounds)
 
 let prop_total_bytes_accounted =
-  QCheck.Test.make ~name:"wire bytes = pages sent x page size"
+  QCheck.Test.make ~name:"wire bytes = pages sent x (page size + overhead)"
     QCheck.(pair (int_range 100 100_000) (int_range 1 50_000))
     (fun (pages, dirty) ->
+      let p = params () in
       let plan =
-        Migration.Precopy.plan (params ()) ~page_bytes:4096 ~total_pages:pages
+        Migration.Precopy.plan p ~page_bytes:4096 ~total_pages:pages
           ~dirty_pages_per_sec:(float_of_int dirty)
       in
       let sent =
@@ -96,7 +97,8 @@ let prop_total_bytes_accounted =
           0 plan.Migration.Precopy.rounds
         + plan.Migration.Precopy.final_pages
       in
-      plan.Migration.Precopy.total_bytes = sent * 4096)
+      plan.Migration.Precopy.total_bytes
+      = sent * (4096 + p.Migration.Precopy.page_overhead_bytes))
 
 let test_copy_memory () =
   let pmem = Hw.Pmem.create ~frames:(512 * 64) () in
