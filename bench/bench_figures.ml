@@ -410,6 +410,60 @@ let fleet () =
     [ "CVE-2016-6258" (* 7-day window *); "CVE-2015-3456" (* VENOM: escape to bhyve *) ];
   note "without a third hypervisor, VENOM would leave no safe alternative@."
 
+(* --- supervised campaign controller --- *)
+
+let campaign_probabilities = [ 0.0; 0.3; 0.7 ]
+
+let campaign () =
+  header "Supervised rolling-transplant campaign (admission + breaker + ladder)";
+  let results =
+    Cluster.Campaign.sweep ~probabilities:campaign_probabilities ()
+  in
+  Format.printf "%-6s %-10s %-11s %-9s %-7s %s@." "p" "wall" "exposed-hh"
+    "deferred" "trips" "statuses (inplace/drained/retried/exposed)";
+  List.iter
+    (fun (p, (r : Cluster.Campaign.report)) ->
+      let count s =
+        List.length
+          (List.filter
+             (fun h -> h.Cluster.Campaign.hr_status = s)
+             r.Cluster.Campaign.hosts)
+      in
+      Format.printf "%-6.2f %-10s %-11.3f %-9d %-7d %d/%d/%d/%d@." p
+        (Sim.Time.to_string r.Cluster.Campaign.wall_clock)
+        r.Cluster.Campaign.exposed_host_hours
+        (List.length r.Cluster.Campaign.deferred)
+        r.Cluster.Campaign.breaker_trips
+        (count Cluster.Campaign.Upgraded_inplace)
+        (count Cluster.Campaign.Drained)
+        (count Cluster.Campaign.Deferred_resolved)
+        (count Cluster.Campaign.Deferred_exposed))
+    results;
+  (* Machine-readable trajectory point for CI. *)
+  let oc = open_out "BENCH_campaign.json" in
+  let cfg = Cluster.Campaign.default_config in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"campaign\",\n  \"nodes\": %d,\n  \
+     \"vms_per_node\": %d,\n  \"concurrency\": %d,\n  \"points\": [\n"
+    cfg.Cluster.Campaign.nodes cfg.Cluster.Campaign.vms_per_node
+    cfg.Cluster.Campaign.concurrency;
+  List.iteri
+    (fun i (p, (r : Cluster.Campaign.report)) ->
+      Printf.fprintf oc
+        "    {\"probability\": %g, \"wall_clock_s\": %.3f, \
+         \"exposed_host_hours\": %.4f, \"breaker_trips\": %d, \
+         \"deferred_hosts\": %d}%s\n"
+        p
+        (Sim.Time.to_sec_f r.Cluster.Campaign.wall_clock)
+        r.Cluster.Campaign.exposed_host_hours
+        r.Cluster.Campaign.breaker_trips
+        (List.length r.Cluster.Campaign.deferred)
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  note "wrote BENCH_campaign.json@."
+
 (* --- ablations (section 4.2.5) --- *)
 
 let ablation () =

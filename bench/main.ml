@@ -28,6 +28,8 @@ let targets : (string * string * (unit -> unit)) list =
     ("ablation", "optimisation ablations (section 4.2.5)", Bench_figures.ablation);
     ("repertoire", "all six transplant directions (incl. bhyve)", Bench_figures.repertoire);
     ("fleet", "Fig 1 fleet exposure scenario", Bench_figures.fleet);
+    ("campaign", "supervised campaign controller (emits BENCH_campaign.json)",
+     Bench_figures.campaign);
     ("micro", "Bechamel micro-benchmarks", Bench_micro.run);
   ]
 
@@ -35,7 +37,7 @@ let targets : (string * string * (unit -> unit)) list =
 let default_order =
   [ "table1"; "table2"; "table4"; "fig6"; "fig7"; "fig8"; "fig10"; "fig11"; "fig12";
     "table5"; "table6"; "fig13"; "fig14"; "tcb"; "memsep"; "ablation";
-    "repertoire"; "fleet"; "micro" ]
+    "repertoire"; "fleet"; "campaign"; "micro" ]
 
 let run_target name =
   match List.find_opt (fun (n, _, _) -> String.equal n name) targets with

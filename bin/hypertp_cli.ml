@@ -210,25 +210,50 @@ let cluster_cmd =
          & info [ "inplace-fraction" ] ~docv:"F"
              ~doc:"Share of VMs tolerating InPlaceTP downtime.")
   in
-  let run nodes vms_per_node fraction =
+  let fault_sweep =
+    Arg.(value & opt (some (list float)) None
+         & info [ "fault-sweep" ] ~docv:"P1,P2,..."
+             ~doc:"Also run $(b,Upgrade.sweep_faulty) at these per-host \
+                   failure probabilities and print the per-probability \
+                   table.")
+  in
+  let run nodes vms_per_node fraction fault_sweep seed =
     let sweep =
       Cluster.Upgrade.sweep ~nodes ~vms_per_node ~fractions:[ 0.0; fraction ] ()
     in
-    match sweep with
+    (match sweep with
     | [ (_, base); (_, t) ] ->
       Format.printf "migration-only baseline: %a@." Cluster.Upgrade.pp_timing base;
-      Format.printf "with %.0f%%%% in-place:      %a@." (100.0 *. fraction)
+      Format.printf "with %.0f%% in-place:      %a@." (100.0 *. fraction)
         Cluster.Upgrade.pp_timing t;
-      Format.printf "time gain: %.0f%%%%@."
+      Format.printf "time gain: %.0f%%@."
         (100.0
         *. (1.0
            -. Sim.Time.to_sec_f t.Cluster.Upgrade.total
               /. Sim.Time.to_sec_f base.Cluster.Upgrade.total))
-    | _ -> assert false
+    | _ -> assert false);
+    match fault_sweep with
+    | None -> ()
+    | Some probabilities ->
+      Format.printf "@.per-host failure sweep (%dx%d, shared seed %Ld):@."
+        nodes vms_per_node seed;
+      Format.printf "%-6s %-9s %-10s %-10s %-10s %-10s %s@." "p" "failures"
+        "in-place" "drained" "recovered" "added" "total";
+      List.iter
+        (fun (p, (t : Cluster.Upgrade.faulty_timing)) ->
+          Format.printf "%-6.2f %-9d %-10d %-10d %-10d %-10s %a@." p
+            (List.length t.Cluster.Upgrade.failures)
+            t.Cluster.Upgrade.vms_inplace_ok
+            t.Cluster.Upgrade.vms_migrated_fallback
+            t.Cluster.Upgrade.vms_recovered
+            (Sim.Time.to_string t.Cluster.Upgrade.added_time)
+            Sim.Time.pp t.Cluster.Upgrade.total_with_faults)
+        (Cluster.Upgrade.sweep_faulty ~nodes ~vms_per_node ~seed
+           ~probabilities ())
   in
   Cmd.v
     (Cmd.info "cluster" ~doc:"Plan and time a rolling cluster upgrade (Fig. 13)")
-    Term.(const run $ nodes $ per_node $ fraction)
+    Term.(const run $ nodes $ per_node $ fraction $ fault_sweep $ seed_arg)
 
 (* --- respond --- *)
 
@@ -315,8 +340,10 @@ let fault_campaign_cmd =
                    cluster upgrade.")
   in
   let run machine source target vms vcpus gib seed sweep =
-    (* One run per injection site, fault fired on its first hit: the
-       exhaustive deterministic campaign. *)
+    (* One run per engine-level injection site, fault fired on its first
+       hit: the exhaustive deterministic campaign.  Cluster-level sites
+       are listed separately — they are consulted by the campaign
+       controller, not by a single transplant. *)
     Format.printf "%-24s %-12s %-10s %s@." "site" "engine" "survival"
       "outcome";
     List.iter
@@ -359,7 +386,11 @@ let fault_campaign_cmd =
           Format.printf "%-24s %-12s %d/%-8d %a@."
             (Fault.site_to_string site) "inplace" alive vms
             Hypertp.Inplace.pp_outcome r.Hypertp.Inplace.outcome)
-      Fault.all_sites;
+      Fault.engine_sites;
+    Format.printf
+      "@.cluster-level sites (exercised by 'campaign --fault' and 'cluster \
+       --fault-sweep', not per-transplant): %s@."
+      (String.concat ", " (List.map Fault.site_to_string Fault.cluster_sites));
     if sweep then begin
       Format.printf "@.cluster sweep (10x10, host-crash probability):@.";
       Format.printf "%-6s %-9s %-10s %-10s %-10s %s@." "p" "failures"
@@ -383,6 +414,155 @@ let fault_campaign_cmd =
              injection site, printing the outcome and VM survival")
     Term.(const run $ machine_arg $ source_arg $ target_arg $ vms_arg
           $ vcpus_arg $ gib_arg $ seed_arg $ sweep)
+
+(* --- campaign --- *)
+
+let campaign_cmd =
+  let nodes =
+    Arg.(value & opt int 10 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let per_node =
+    Arg.(value & opt int 10
+         & info [ "vms-per-node" ] ~docv:"N" ~doc:"VMs per node.")
+  in
+  let fraction =
+    Arg.(value & opt float 1.0
+         & info [ "inplace-fraction" ] ~docv:"F"
+             ~doc:"Share of VMs tolerating InPlaceTP downtime.")
+  in
+  let concurrency =
+    Arg.(value & opt int Cluster.Campaign.default_config.Cluster.Campaign.concurrency
+         & info [ "concurrency" ] ~docv:"N"
+             ~doc:"Hosts upgraded in parallel (clamped by spare capacity).")
+  in
+  let straggler =
+    Arg.(value & opt float
+           Cluster.Campaign.default_config.Cluster.Campaign.straggler_factor
+         & info [ "straggler-factor" ] ~docv:"F"
+             ~doc:"Escalate a host attempt after F x its expected duration.")
+  in
+  let breaker_window =
+    Arg.(value & opt int
+           Cluster.Campaign.default_config.Cluster.Campaign.breaker_window
+         & info [ "breaker-window" ] ~docv:"K"
+             ~doc:"Circuit-breaker rolling window (last K attempts).")
+  in
+  let breaker_threshold =
+    Arg.(value & opt float
+           Cluster.Campaign.default_config.Cluster.Campaign.breaker_threshold
+         & info [ "breaker-threshold" ] ~docv:"F"
+             ~doc:"Trip when failures/K reaches F.")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt float 120.0
+         & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+             ~doc:"Pause admission for this long after a trip.")
+  in
+  let journal_file =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+             ~doc:"Write the campaign journal here (crash or success).")
+  in
+  let resume_from =
+    Arg.(value & opt (some string) None
+         & info [ "resume-from" ] ~docv:"PATH"
+             ~doc:"Resume a crashed campaign from this journal (cluster \
+                   shape and knobs come from the journal; pass the same \
+                   $(b,--fault) specs as the original run).")
+  in
+  let sweep =
+    Arg.(value & opt (some (list float)) None
+         & info [ "sweep" ] ~docv:"P1,P2,..."
+             ~doc:"Run one campaign per host-crash probability instead of a \
+                   single campaign.")
+  in
+  let run nodes vms_per_node fraction concurrency straggler breaker_window
+      breaker_threshold breaker_cooldown seed specs journal_file resume_from
+      sweep =
+    let config =
+      {
+        Cluster.Campaign.default_config with
+        Cluster.Campaign.nodes;
+        vms_per_node;
+        inplace_fraction = fraction;
+        concurrency;
+        straggler_factor = straggler;
+        breaker_window;
+        breaker_threshold;
+        breaker_cooldown = Sim.Time.of_sec_f breaker_cooldown;
+        seed;
+      }
+    in
+    let fault = fault_of_specs specs in
+    let write_journal j =
+      match journal_file with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Cluster.Campaign.journal_to_string j);
+        close_out oc;
+        Format.printf "journal (%d entries) written to %s@."
+          (Cluster.Campaign.journal_length j) path
+    in
+    match sweep with
+    | Some probabilities ->
+      Format.printf "%-6s %-10s %-9s %-9s %-8s %s@." "p" "wall" "exposed-hh"
+        "deferred" "trips" "statuses";
+      List.iter
+        (fun (p, (r : Cluster.Campaign.report)) ->
+          let count s =
+            List.length
+              (List.filter
+                 (fun h -> h.Cluster.Campaign.hr_status = s)
+                 r.Cluster.Campaign.hosts)
+          in
+          Format.printf "%-6.2f %-10s %-9.3f %-9d %-8d %d/%d/%d/%d@." p
+            (Sim.Time.to_string r.Cluster.Campaign.wall_clock)
+            r.Cluster.Campaign.exposed_host_hours
+            (List.length r.Cluster.Campaign.deferred)
+            r.Cluster.Campaign.breaker_trips
+            (count Cluster.Campaign.Upgraded_inplace)
+            (count Cluster.Campaign.Drained)
+            (count Cluster.Campaign.Deferred_resolved)
+            (count Cluster.Campaign.Deferred_exposed))
+        (Cluster.Campaign.sweep ~config ~probabilities ())
+    | None -> (
+      let result =
+        match resume_from with
+        | Some path ->
+          let ic = open_in path in
+          let len = in_channel_length ic in
+          let raw = really_input_string ic len in
+          close_in ic;
+          (match Cluster.Campaign.journal_of_string raw with
+          | Ok j -> Cluster.Campaign.resume ?fault j
+          | Error e ->
+            Format.eprintf "cannot resume: %s@." e;
+            exit 1)
+        | None -> Cluster.Campaign.run ?fault config
+      in
+      match result with
+      | Cluster.Campaign.Finished (r, j) ->
+        Format.printf "%a@." Cluster.Campaign.pp_report r;
+        List.iter
+          (fun h -> Format.printf "  %a@." Cluster.Campaign.pp_host_record h)
+          r.Cluster.Campaign.hosts;
+        write_journal j
+      | Cluster.Campaign.Crashed j ->
+        Format.printf
+          "controller crashed after %d journaled events; resume with \
+           --resume-from@."
+          (Cluster.Campaign.journal_length j);
+        write_journal j)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run a supervised rolling-transplant campaign on the event \
+             engine: admission control, straggler deadlines, degradation \
+             ladder, circuit breaker, checkpoint/resume")
+    Term.(const run $ nodes $ per_node $ fraction $ concurrency $ straggler
+          $ breaker_window $ breaker_threshold $ breaker_cooldown $ seed_arg
+          $ fault_arg $ journal_file $ resume_from $ sweep)
 
 (* --- fleet --- *)
 
@@ -426,4 +606,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ cve_cmd; inplace_cmd; migrate_cmd; memsep_cmd; cluster_cmd;
-            respond_cmd; fleet_cmd; snapshot_cmd; fault_campaign_cmd ]))
+            campaign_cmd; respond_cmd; fleet_cmd; snapshot_cmd;
+            fault_campaign_cmd ]))

@@ -159,6 +159,34 @@ let plan_upgrade ?(group_size = 1) model =
     inplace_vm_count = !inplace_vms;
   }
 
+let max_concurrent_drains model =
+  (* How many hosts may be offline at once such that, in the worst case,
+     every offline host's full VM load can be parked on the remaining
+     online nodes.  Conservative on both sides: drains are charged their
+     whole placement (the fallback path drains even in-place VMs), and
+     the k candidate drain nodes are the heaviest-loaded while the spare
+     capacity lost to them is the largest free shares. *)
+  let used = List.map Model.used_ram model.Model.nodes in
+  let free = List.map Model.free_ram model.Model.nodes in
+  let desc l = List.sort (fun a b -> compare b a) l in
+  let used_desc = Array.of_list (desc used) in
+  let free_desc = Array.of_list (desc free) in
+  let total_free = List.fold_left ( + ) 0 free in
+  let n = Array.length used_desc in
+  let rec widen k =
+    if k >= n then Stdlib.max 1 (n - 1)
+    else begin
+      let demand = ref 0 and lost_spare = ref 0 in
+      for i = 0 to k - 1 do
+        demand := !demand + used_desc.(i);
+        lost_spare := !lost_spare + free_desc.(i)
+      done;
+      if !demand <= total_free - !lost_spare then widen (k + 1)
+      else Stdlib.max 1 (k - 1)
+    end
+  in
+  widen 1
+
 let capacity_safe model =
   List.for_all
     (fun n -> Model.used_ram n <= n.Model.ram_capacity)

@@ -29,4 +29,13 @@ val plan_upgrade : ?group_size:int -> Model.t -> plan
 val capacity_safe : Model.t -> bool
 (** No node over capacity, every VM placed exactly once. *)
 
+val max_concurrent_drains : Model.t -> int
+(** Capacity-aware admission bound for a supervised rolling upgrade:
+    the largest number of hosts that may drain simultaneously while the
+    remaining online nodes can still absorb their whole VM load (the
+    fallback path drains even InPlaceTP-compatible VMs, so each
+    draining host is charged its full placement).  Always at least 1 —
+    with no spare capacity at all the plan itself would have raised
+    {!No_capacity}. *)
+
 val pp_plan : Format.formatter -> plan -> unit

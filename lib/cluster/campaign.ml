@@ -1,0 +1,1070 @@
+type config = {
+  nodes : int;
+  vms_per_node : int;
+  vm_ram : Hw.Units.bytes_;
+  node_ram : Hw.Units.bytes_;
+  inplace_fraction : float;
+  concurrency : int;
+  straggler_factor : float;
+  breaker_window : int;
+  breaker_threshold : float;
+  breaker_cooldown : Sim.Time.t;
+  jitter_pct : float;
+  drain_flakiness : float;
+  retry_flakiness : float;
+  seed : int64;
+}
+
+let default_config =
+  {
+    nodes = 10;
+    vms_per_node = 10;
+    vm_ram = Hw.Units.gib 4;
+    node_ram = Hw.Units.gib 96;
+    inplace_fraction = 1.0;
+    concurrency = 4;
+    straggler_factor = 2.0;
+    breaker_window = 5;
+    breaker_threshold = 0.4;
+    breaker_cooldown = Sim.Time.sec 120;
+    jitter_pct = 0.05;
+    drain_flakiness = 0.25;
+    retry_flakiness = 0.25;
+    seed = 0x5EEDL;
+  }
+
+type ladder_step = Inplace | Drain | Retry
+
+type manifestation = Crash | Timeout | Flap
+
+type event =
+  | Admitted of ladder_step
+  | Flap_failure
+  | Straggler_cancelled
+  | Attempt_failed of { step : ladder_step; manifestation : manifestation }
+  | Attempt_completed of ladder_step
+  | Deferred
+  | Breaker_opened
+  | Breaker_half_opened
+  | Breaker_closed
+  | Campaign_finished
+
+type host_status =
+  | Upgraded_inplace
+  | Drained
+  | Deferred_resolved
+  | Deferred_exposed
+
+type host_record = {
+  hr_node : string;
+  hr_vms_in_place : int;
+  hr_drain_migrations : int;
+  hr_status : host_status;
+  hr_attempts : int;
+  hr_manifestations : manifestation list;
+  hr_timeline : (Sim.Time.t * event) list;
+  hr_expected : Sim.Time.t;
+  hr_done_at : Sim.Time.t;
+  hr_exposure_hours : float;
+}
+
+type report = {
+  cfg : config;
+  base : Upgrade.timing;
+  effective_concurrency : int;
+  hosts : host_record list;
+  wall_clock : Sim.Time.t;
+  rebalance_time : Sim.Time.t;
+  exposed_host_hours : float;
+  baseline_exposed_host_hours : float;
+  deferred : string list;
+  deferred_exposure_hours : float;
+  breaker_trips : int;
+  vms_total : int;
+  vms_inplace_ok : int;
+  vms_drained : int;
+  vms_on_deferred : int;
+  vms_migrated_planned : int;
+}
+
+let vms_accounted r =
+  r.vms_inplace_ok + r.vms_drained + r.vms_on_deferred + r.vms_migrated_planned
+
+(* Manifestation timing, as fractions of the attempt's expected duration.
+   The cost order timeout > flap > crash is what makes the governing
+   manifestation the costliest one: the straggler deadline is at least
+   [1.2 x expected] (validated), the second flap leg fails at 1.1x, a
+   plain crash at 0.5x, and a jittered success lands within 1.1x. *)
+let crash_frac = 0.5
+let flap_leg1_frac = 0.55
+let flap_final_frac = 1.10
+let drain_fail_frac = 0.6
+let retry_fail_frac = 0.5
+
+let min_straggler_factor = 1.2
+let max_jitter_pct = 0.1
+
+let validate_config cfg =
+  let bad msg = invalid_arg ("Campaign: " ^ msg) in
+  if cfg.nodes < 2 then bad "need at least 2 nodes";
+  if cfg.vms_per_node < 0 then bad "negative vms_per_node";
+  if cfg.inplace_fraction < 0.0 || cfg.inplace_fraction > 1.0 then
+    bad "inplace_fraction outside [0, 1]";
+  if cfg.concurrency < 1 then bad "concurrency must be at least 1";
+  if cfg.straggler_factor < min_straggler_factor then
+    bad "straggler_factor below 1.2 (deadline must dominate a flap)";
+  if cfg.breaker_window < 1 then bad "breaker_window must be at least 1";
+  if cfg.breaker_threshold < 0.0 || cfg.breaker_threshold > 1.0 then
+    bad "breaker_threshold outside [0, 1]";
+  if cfg.jitter_pct < 0.0 || cfg.jitter_pct > max_jitter_pct then
+    bad "jitter_pct outside [0, 0.1] (success must beat the deadline)";
+  if cfg.drain_flakiness < 0.0 || cfg.drain_flakiness > 1.0 then
+    bad "drain_flakiness outside [0, 1]";
+  if cfg.retry_flakiness < 0.0 || cfg.retry_flakiness > 1.0 then
+    bad "retry_flakiness outside [0, 1]"
+
+(* --- derived per-host randomness, independent of the fault plan --- *)
+
+let derived cfg salt node =
+  Sim.Rng.create
+    (Int64.logxor cfg.seed (Int64.of_int (Hashtbl.hash (salt, node))))
+
+let coin cfg salt node p = Sim.Rng.float (derived cfg salt node) 1.0 < p
+let host_jitter cfg node = Sim.Rng.jitter (derived cfg "jitter" node) cfg.jitter_pct
+
+(* --- host tasks, derived once from the BtrPlace plan --- *)
+
+type task = {
+  t_index : int;
+  t_node : string;
+  t_vms_in_place : int;
+  t_drain_migs : int;
+  t_up : Sim.Time.t;       (* the InPlaceTP upgrade part alone *)
+  t_expected : Sim.Time.t; (* pre-migrations + upgrade *)
+  t_deadline : Sim.Time.t; (* straggler_factor x expected *)
+  t_drain : Sim.Time.t;    (* fallback: drain whole placement + reboot *)
+}
+
+type setup = {
+  su_tasks : task array; (* in plan (= admission) order *)
+  su_index : (string, int) Hashtbl.t;
+  su_base : Upgrade.timing;
+  su_rebalance : Sim.Time.t;
+  su_effective : int;
+}
+
+let paper_mix =
+  [ (Vmstate.Vm.Wl_streaming, 0.3); (Vmstate.Vm.Wl_spec "mcf", 0.3);
+    (Vmstate.Vm.Wl_idle, 0.4) ]
+
+let build_setup cfg =
+  let nic = Hw.Nic.create ~bandwidth_gbps:10.0 () in
+  let model =
+    Model.make ~nodes:cfg.nodes ~vms_per_node:cfg.vms_per_node
+      ~vm_ram:cfg.vm_ram ~node_ram:cfg.node_ram
+      ~inplace_fraction:cfg.inplace_fraction ~workload_mix:paper_mix ()
+  in
+  (* Snapshot what rides through on each host before the planner mutates
+     the model, and size the admission bound on the initial placement. *)
+  let keepers =
+    List.map
+      (fun n ->
+        ( n.Model.node_name,
+          List.filter (fun v -> v.Model.inplace_compatible) n.Model.placed ))
+      model.Model.nodes
+  in
+  let max_drains = Btrplace.max_concurrent_drains model in
+  let plan = Btrplace.plan_upgrade model in
+  let base = Upgrade.execute ~nic plan in
+  let mig vm = Upgrade.migration_op_time ~nic ~vm in
+  let upgraded = Hashtbl.create 16 in
+  let drains = Hashtbl.create 16 in
+  let rebalance = ref Sim.Time.zero in
+  let tasks = ref [] in
+  let ntasks = ref 0 in
+  List.iter
+    (fun action ->
+      match action with
+      | Btrplace.Migrate { vm; src; _ } ->
+        if Hashtbl.mem upgraded src then
+          rebalance := Sim.Time.add !rebalance (mig vm)
+        else
+          Hashtbl.replace drains src
+            (vm :: Option.value ~default:[] (Hashtbl.find_opt drains src))
+      | Btrplace.Upgrade_inplace { node; vms_in_place } ->
+        Hashtbl.replace upgraded node ();
+        let riding = Option.value ~default:[] (List.assoc_opt node keepers) in
+        let evacuated =
+          List.rev (Option.value ~default:[] (Hashtbl.find_opt drains node))
+        in
+        let premig = Sim.Time.sum (List.map mig evacuated) in
+        let up =
+          if vms_in_place > 0 then Upgrade.inplace_host_time ~vms:vms_in_place
+          else Upgrade.reboot_host_time
+        in
+        let expected = Sim.Time.add premig up in
+        let deadline =
+          Sim.Time.of_sec_f
+            (Hypertp.Costs.straggler_deadline_seconds
+               ~factor:cfg.straggler_factor
+               ~expected:(Sim.Time.to_sec_f expected))
+        in
+        (* The fallback drain must clear whatever is still on the host
+           when the attempt died: evacuees plus the riding VMs. *)
+        let drain =
+          Sim.Time.add
+            (Sim.Time.sum (List.map mig (evacuated @ riding)))
+            Upgrade.reboot_host_time
+        in
+        tasks :=
+          {
+            t_index = !ntasks;
+            t_node = node;
+            t_vms_in_place = vms_in_place;
+            t_drain_migs = List.length evacuated;
+            t_up = up;
+            t_expected = expected;
+            t_deadline = deadline;
+            t_drain = drain;
+          }
+          :: !tasks;
+        incr ntasks
+      | Btrplace.Take_offline _ | Btrplace.Bring_online _ -> ())
+    plan.Btrplace.actions;
+  let su_tasks = Array.of_list (List.rev !tasks) in
+  let su_index = Hashtbl.create (Array.length su_tasks) in
+  Array.iter (fun t -> Hashtbl.replace su_index t.t_node t.t_index) su_tasks;
+  {
+    su_tasks;
+    su_index;
+    su_base = base;
+    su_rebalance = !rebalance;
+    su_effective = Stdlib.max 1 (Stdlib.min cfg.concurrency max_drains);
+  }
+
+(* --- journal --- *)
+
+type decision = { d_flap : bool; d_crash : bool; d_timeout : bool }
+
+type entry = {
+  je_at : Sim.Time.t;
+  je_host : string option;
+  je_event : event;
+  je_decision : decision option; (* Some iff Admitted Inplace *)
+  je_cursor : int; (* fault-plan trace length after this entry *)
+}
+
+type journal = { j_config : config; j_entries : entry list (* chronological *) }
+
+let journal_config j = j.j_config
+let journal_length j = List.length j.j_entries
+
+(* --- controller state (shared between live execution and replay) --- *)
+
+type running = {
+  r_step : ladder_step;
+  r_started : Sim.Time.t;
+  r_decision : decision option;
+  mutable r_flapped : bool;
+}
+
+type hstate =
+  | H_pending
+  | H_running of running
+  | H_failed_needs_drain
+  | H_failed_needs_defer
+  | H_awaiting_retry
+  | H_done of host_status * Sim.Time.t
+
+type breaker = B_closed | B_open_until of Sim.Time.t | B_half_open
+
+type st = {
+  cfg : config;
+  setup : setup;
+  hstates : hstate array;
+  timelines : (Sim.Time.t * event) list array; (* newest first *)
+  manifests : manifestation list array; (* newest first *)
+  attempts : int array;
+  mutable breaker : breaker;
+  mutable window : bool list; (* newest first, <= breaker_window long *)
+  mutable half_successes : int;
+  mutable half_failed : bool;
+  mutable trips : int;
+  mutable limit : int;
+  mutable running : int;
+  mutable finished_at : Sim.Time.t option;
+  mutable entries : entry list; (* newest first *)
+  fault : Fault.t option;
+}
+
+let make_st ?fault cfg setup =
+  let n = Array.length setup.su_tasks in
+  {
+    cfg;
+    setup;
+    hstates = Array.make n H_pending;
+    timelines = Array.make n [];
+    manifests = Array.make n [];
+    attempts = Array.make n 0;
+    breaker = B_closed;
+    window = [];
+    half_successes = 0;
+    half_failed = false;
+    trips = 0;
+    limit = setup.su_effective;
+    running = 0;
+    finished_at = None;
+    entries = [];
+    fault;
+  }
+
+let idx st host =
+  match Hashtbl.find_opt st.setup.su_index host with
+  | Some i -> i
+  | None -> invalid_arg ("Campaign: unknown host in journal: " ^ host)
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let push_window st ok =
+  (match st.breaker with
+  | B_half_open ->
+    if ok then st.half_successes <- st.half_successes + 1
+    else begin
+      st.half_successes <- 0;
+      st.half_failed <- true
+    end
+  | B_closed | B_open_until _ -> ());
+  st.window <- take st.cfg.breaker_window (ok :: st.window)
+
+let resolve_failure st i manifestation at =
+  st.running <- st.running - 1;
+  st.manifests.(i) <- manifestation :: st.manifests.(i);
+  match st.hstates.(i) with
+  | H_running r -> (
+    match r.r_step with
+    | Inplace ->
+      st.hstates.(i) <- H_failed_needs_drain;
+      push_window st false
+    | Drain ->
+      st.hstates.(i) <- H_failed_needs_defer;
+      push_window st false
+    | Retry -> st.hstates.(i) <- H_done (Deferred_exposed, at))
+  | _ -> invalid_arg "Campaign: failure recorded for a host not running"
+
+(* Apply one journal entry to the state.  Both the live controller and
+   [resume]'s replay funnel every mutation through here, which is what
+   makes a resumed campaign land in exactly the state the crashed one
+   had. *)
+let apply st e =
+  (match e.je_host with
+  | Some h ->
+    let i = idx st h in
+    st.timelines.(i) <- (e.je_at, e.je_event) :: st.timelines.(i)
+  | None -> ());
+  match (e.je_event, e.je_host) with
+  | Admitted step, Some h ->
+    let i = idx st h in
+    (match (step, st.hstates.(i)) with
+    | Inplace, H_pending | Drain, H_failed_needs_drain
+    | Retry, H_awaiting_retry ->
+      ()
+    | _ -> invalid_arg "Campaign: admission out of ladder order");
+    if step = Inplace && e.je_decision = None then
+      invalid_arg "Campaign: in-place admission without a fault decision";
+    st.hstates.(i) <-
+      H_running
+        {
+          r_step = step;
+          r_started = e.je_at;
+          r_decision = e.je_decision;
+          r_flapped = false;
+        };
+    st.running <- st.running + 1;
+    st.attempts.(i) <- st.attempts.(i) + 1
+  | Flap_failure, Some h -> (
+    match st.hstates.(idx st h) with
+    | H_running r -> r.r_flapped <- true
+    | _ -> invalid_arg "Campaign: flap leg for a host not running")
+  | Straggler_cancelled, Some h -> resolve_failure st (idx st h) Timeout e.je_at
+  | Attempt_failed { manifestation; _ }, Some h ->
+    resolve_failure st (idx st h) manifestation e.je_at
+  | Attempt_completed step, Some h ->
+    let i = idx st h in
+    st.running <- st.running - 1;
+    (match step with
+    | Inplace -> st.hstates.(i) <- H_done (Upgraded_inplace, e.je_at)
+    | Drain -> st.hstates.(i) <- H_done (Drained, e.je_at)
+    | Retry -> st.hstates.(i) <- H_done (Deferred_resolved, e.je_at));
+    if step <> Retry then push_window st true
+  | Deferred, Some h ->
+    let i = idx st h in
+    (match st.hstates.(i) with
+    | H_failed_needs_defer -> st.hstates.(i) <- H_awaiting_retry
+    | _ -> invalid_arg "Campaign: defer out of ladder order")
+  | Breaker_opened, None ->
+    st.trips <- st.trips + 1;
+    st.breaker <- B_open_until (Sim.Time.add e.je_at st.cfg.breaker_cooldown);
+    st.window <- [];
+    st.half_failed <- false
+  | Breaker_half_opened, None ->
+    st.breaker <- B_half_open;
+    st.half_successes <- 0;
+    st.half_failed <- false;
+    st.limit <- Stdlib.max 1 (st.setup.su_effective / 2)
+  | Breaker_closed, None ->
+    st.breaker <- B_closed;
+    st.limit <- st.setup.su_effective
+  | Campaign_finished, None -> st.finished_at <- Some e.je_at
+  | _ -> invalid_arg "Campaign: malformed journal entry"
+
+(* --- live execution --- *)
+
+exception Controller_died
+
+type ctx = {
+  st : st;
+  eng : Sim.Engine.t;
+  timers : Sim.Engine.timer list ref array;
+}
+
+let cursor st =
+  match st.fault with None -> 0 | Some f -> List.length (Fault.trace f)
+
+let fire_opt st ?vm site =
+  match st.fault with None -> false | Some f -> Fault.fire f ?vm site
+
+(* Journal-then-crash: the entry is applied and persisted first, and
+   only then may the controller die, so a resumed run never loses the
+   event that was being recorded. *)
+let append st ?host ?decision ~at event =
+  apply st { je_at = at; je_host = host; je_event = event;
+             je_decision = decision; je_cursor = 0 };
+  let crashed = fire_opt st Fault.Controller_crash in
+  st.entries <-
+    { je_at = at; je_host = host; je_event = event; je_decision = decision;
+      je_cursor = cursor st }
+    :: st.entries;
+  if crashed then raise Controller_died
+
+let clear_timers ctx i =
+  List.iter Sim.Engine.cancel !(ctx.timers.(i));
+  ctx.timers.(i) := []
+
+(* Arm a guarded timer: it is a no-op unless host [i] is still on the
+   same attempt it was armed for. *)
+let arm ctx i at f =
+  let epoch = ctx.st.attempts.(i) in
+  let tm =
+    Sim.Engine.schedule_timer_at ctx.eng at (fun () ->
+        match ctx.st.hstates.(i) with
+        | H_running _ when ctx.st.attempts.(i) = epoch -> f ()
+        | _ -> ())
+  in
+  ctx.timers.(i) := tm :: !(ctx.timers.(i))
+
+let rec settle ctx =
+  let st = ctx.st in
+  let at = Sim.Engine.now ctx.eng in
+  (* 1. Ladder escalations: a failed in-place attempt drains next.
+     Escalation keeps the host's admission slot and ignores the breaker
+     — remediation of an in-flight host must not be paused. *)
+  Array.iteri
+    (fun i h -> if h = H_failed_needs_drain then admit ctx i Drain)
+    st.hstates;
+  (* 2. Ladder exhausted: park the host, retried at campaign end. *)
+  Array.iteri
+    (fun i h ->
+      if h = H_failed_needs_defer then
+        append st ~host:st.setup.su_tasks.(i).t_node ~at Deferred)
+    st.hstates;
+  (* 3. Breaker transitions. *)
+  (match st.breaker with
+  | B_closed | B_half_open ->
+    let fails = List.length (List.filter not st.window) in
+    let rate = float_of_int fails /. float_of_int st.cfg.breaker_window in
+    if
+      (st.breaker = B_half_open && st.half_failed)
+      || (fails > 0 && rate >= st.cfg.breaker_threshold)
+    then begin
+      append st ~at Breaker_opened;
+      match st.breaker with
+      | B_open_until u ->
+        Sim.Engine.schedule_at ctx.eng u (fun () -> reopen ctx)
+      | B_closed | B_half_open -> ()
+    end
+    else if st.breaker = B_half_open
+            && st.half_successes >= st.cfg.breaker_window
+    then append st ~at Breaker_closed
+  | B_open_until _ -> ());
+  (* 4. Admission: fill free slots with pending hosts, lowest index
+     first, unless the breaker is open. *)
+  (match st.breaker with
+  | B_open_until _ -> ()
+  | B_closed | B_half_open ->
+    let exception Stop in
+    (try
+       Array.iteri
+         (fun i h ->
+           if h = H_pending then
+             if st.running < st.limit then admit ctx i Inplace else raise Stop)
+         st.hstates
+     with Stop -> ()));
+  (* 5. End of the main phase: retry deferred hosts one at a time, then
+     declare the campaign finished. *)
+  if st.running = 0 && not (Array.exists (fun h -> h = H_pending) st.hstates)
+  then begin
+    let awaiting = ref None in
+    Array.iteri
+      (fun i h ->
+        if h = H_awaiting_retry && !awaiting = None then awaiting := Some i)
+      st.hstates;
+    match !awaiting with
+    | Some i -> admit ctx i Retry
+    | None ->
+      if
+        st.finished_at = None
+        && Array.for_all
+             (fun h -> match h with H_done _ -> true | _ -> false)
+             st.hstates
+      then append st ~at Campaign_finished
+  end
+
+and reopen ctx =
+  let st = ctx.st in
+  (match st.breaker with
+  | B_open_until _ ->
+    append st ~at:(Sim.Engine.now ctx.eng) Breaker_half_opened
+  | B_closed | B_half_open -> ());
+  settle ctx
+
+and admit ctx i step =
+  let st = ctx.st in
+  let at = Sim.Engine.now ctx.eng in
+  let t = st.setup.su_tasks.(i) in
+  let decision =
+    match step with
+    | Inplace ->
+      (* Always consult all three sites, in a fixed order, so the
+         probability stream stays aligned across fault plans (the
+         sweep_faulty nesting property). *)
+      let d_flap = fire_opt st ~vm:t.t_node Fault.Host_flap in
+      let d_crash = fire_opt st ~vm:t.t_node Fault.Host_crash in
+      let d_timeout = fire_opt st ~vm:t.t_node Fault.Host_timeout in
+      Some { d_flap; d_crash; d_timeout }
+    | Drain | Retry -> None
+  in
+  append st ~host:t.t_node ?decision ~at (Admitted step);
+  schedule_attempt ctx i
+
+(* Schedule the engine events for a host currently in [H_running].  All
+   times are absolute (relative to the attempt's recorded start), so the
+   same function reconstructs in-flight attempts on resume. *)
+and schedule_attempt ctx i =
+  let st = ctx.st in
+  let t = st.setup.su_tasks.(i) in
+  match st.hstates.(i) with
+  | H_running r -> (
+    let from_start span = Sim.Time.add r.r_started span in
+    match r.r_step with
+    | Inplace ->
+      let d =
+        match r.r_decision with
+        | Some d -> d
+        | None -> invalid_arg "Campaign: in-place attempt without decision"
+      in
+      (* The supervisor's deadline races the attempt; whichever loses is
+         cancelled. *)
+      arm ctx i (from_start t.t_deadline) (fun () -> on_deadline ctx i);
+      if d.d_timeout then
+        (* Hung host: nothing else ever fires; the deadline wins. *)
+        ()
+      else if d.d_flap then begin
+        if not r.r_flapped then
+          arm ctx i
+            (from_start (Sim.Time.scale flap_leg1_frac t.t_expected))
+            (fun () -> on_flap_leg ctx i)
+        else
+          arm ctx i
+            (from_start (Sim.Time.scale flap_final_frac t.t_expected))
+            (fun () -> on_fail ctx i Flap)
+      end
+      else if d.d_crash then
+        arm ctx i
+          (from_start (Sim.Time.scale crash_frac t.t_expected))
+          (fun () -> on_fail ctx i Crash)
+      else
+        arm ctx i
+          (from_start
+             (Sim.Time.scale (host_jitter st.cfg t.t_node) t.t_expected))
+          (fun () -> on_complete ctx i Inplace)
+    | Drain ->
+      if coin st.cfg "drain" t.t_node st.cfg.drain_flakiness then
+        arm ctx i
+          (from_start (Sim.Time.scale drain_fail_frac t.t_drain))
+          (fun () -> on_fail ctx i Crash)
+      else arm ctx i (from_start t.t_drain) (fun () -> on_complete ctx i Drain)
+    | Retry ->
+      if coin st.cfg "retry" t.t_node st.cfg.retry_flakiness then
+        arm ctx i
+          (from_start (Sim.Time.scale retry_fail_frac t.t_up))
+          (fun () -> on_fail ctx i Crash)
+      else
+        arm ctx i
+          (from_start (Sim.Time.scale (host_jitter st.cfg t.t_node) t.t_up))
+          (fun () -> on_complete ctx i Retry))
+  | _ -> invalid_arg "Campaign: scheduling for a host not running"
+
+and on_deadline ctx i =
+  clear_timers ctx i;
+  append ctx.st
+    ~host:ctx.st.setup.su_tasks.(i).t_node
+    ~at:(Sim.Engine.now ctx.eng) Straggler_cancelled;
+  settle ctx
+
+and on_fail ctx i manifestation =
+  let st = ctx.st in
+  let step =
+    match st.hstates.(i) with H_running r -> r.r_step | _ -> assert false
+  in
+  clear_timers ctx i;
+  append st
+    ~host:st.setup.su_tasks.(i).t_node
+    ~at:(Sim.Engine.now ctx.eng)
+    (Attempt_failed { step; manifestation });
+  settle ctx
+
+and on_complete ctx i step =
+  clear_timers ctx i;
+  append ctx.st
+    ~host:ctx.st.setup.su_tasks.(i).t_node
+    ~at:(Sim.Engine.now ctx.eng) (Attempt_completed step);
+  settle ctx
+
+and on_flap_leg ctx i =
+  (* First leg: the host fails, then recovers.  Not an attempt outcome —
+     it must not count toward the breaker — so only the leg itself is
+     journaled and the final failure is re-armed. *)
+  append ctx.st
+    ~host:ctx.st.setup.su_tasks.(i).t_node
+    ~at:(Sim.Engine.now ctx.eng) Flap_failure;
+  schedule_attempt ctx i
+
+(* --- results --- *)
+
+let hours t = Sim.Time.to_sec_f t /. 3600.0
+
+let make_journal st = { j_config = st.cfg; j_entries = List.rev st.entries }
+
+let make_report st =
+  let finished =
+    match st.finished_at with
+    | Some t -> t
+    | None -> failwith "Campaign: report requested before the finish event"
+  in
+  let wall = Sim.Time.add finished st.setup.su_rebalance in
+  let hosts =
+    Array.to_list
+      (Array.mapi
+         (fun i t ->
+           let status, done_at =
+             match st.hstates.(i) with
+             | H_done (Deferred_exposed, _) -> (Deferred_exposed, wall)
+             | H_done (s, at) -> (s, at)
+             | _ -> failwith "Campaign: unfinished host in report"
+           in
+           {
+             hr_node = t.t_node;
+             hr_vms_in_place = t.t_vms_in_place;
+             hr_drain_migrations = t.t_drain_migs;
+             hr_status = status;
+             hr_attempts = st.attempts.(i);
+             hr_manifestations = List.rev st.manifests.(i);
+             hr_timeline = List.rev st.timelines.(i);
+             hr_expected = t.t_expected;
+             hr_done_at = done_at;
+             hr_exposure_hours = hours done_at;
+           })
+         st.setup.su_tasks)
+  in
+  let deferred_hosts =
+    List.filter
+      (fun h ->
+        match h.hr_status with
+        | Deferred_resolved | Deferred_exposed -> true
+        | Upgraded_inplace | Drained -> false)
+      hosts
+  in
+  let sum_vms pred =
+    List.fold_left
+      (fun acc h -> if pred h.hr_status then acc + h.hr_vms_in_place else acc)
+      0 hosts
+  in
+  let vms_total = st.cfg.nodes * st.cfg.vms_per_node in
+  let vms_in_place_total =
+    List.fold_left (fun acc h -> acc + h.hr_vms_in_place) 0 hosts
+  in
+  {
+    cfg = st.cfg;
+    base = st.setup.su_base;
+    effective_concurrency = st.setup.su_effective;
+    hosts;
+    wall_clock = wall;
+    rebalance_time = st.setup.su_rebalance;
+    exposed_host_hours =
+      List.fold_left (fun acc h -> acc +. h.hr_exposure_hours) 0.0 hosts;
+    baseline_exposed_host_hours = float_of_int st.cfg.nodes *. hours wall;
+    deferred = List.map (fun h -> h.hr_node) deferred_hosts;
+    deferred_exposure_hours =
+      List.fold_left (fun acc h -> acc +. h.hr_exposure_hours) 0.0
+        deferred_hosts;
+    breaker_trips = st.trips;
+    vms_total;
+    vms_inplace_ok =
+      sum_vms (function
+        | Upgraded_inplace | Deferred_resolved -> true
+        | Drained | Deferred_exposed -> false);
+    vms_drained = sum_vms (function Drained -> true | _ -> false);
+    vms_on_deferred =
+      sum_vms (function Deferred_exposed -> true | _ -> false);
+    vms_migrated_planned = vms_total - vms_in_place_total;
+  }
+
+type run_result = Finished of report * journal | Crashed of journal
+
+let make_ctx st =
+  {
+    st;
+    eng = Sim.Engine.create ();
+    timers = Array.init (Array.length st.setup.su_tasks) (fun _ -> ref []);
+  }
+
+let drive ctx =
+  try
+    Sim.Engine.run ctx.eng;
+    Finished (make_report ctx.st, make_journal ctx.st)
+  with Controller_died -> Crashed (make_journal ctx.st)
+
+let run ?fault cfg =
+  validate_config cfg;
+  let setup = build_setup cfg in
+  let ctx = make_ctx (make_st ?fault cfg setup) in
+  Sim.Engine.schedule_at ctx.eng Sim.Time.zero (fun () -> settle ctx);
+  drive ctx
+
+let resume ?fault journal =
+  let cfg = journal.j_config in
+  validate_config cfg;
+  let fault = Option.map Fault.restart fault in
+  let setup = build_setup cfg in
+  let st = make_st ?fault cfg setup in
+  (* Replay: every entry is re-applied and re-validated against the
+     restarted fault plan — the same sites fire in the same order, so
+     the plan's counters, probability stream and trace end up exactly
+     where the crashed run left them. *)
+  List.iter
+    (fun e ->
+      (match (e.je_event, e.je_host, e.je_decision) with
+      | Admitted Inplace, Some h, Some d ->
+        let f_flap = fire_opt st ~vm:h Fault.Host_flap in
+        let f_crash = fire_opt st ~vm:h Fault.Host_crash in
+        let f_timeout = fire_opt st ~vm:h Fault.Host_timeout in
+        if
+          st.fault <> None
+          && (f_flap <> d.d_flap || f_crash <> d.d_crash
+            || f_timeout <> d.d_timeout)
+        then
+          invalid_arg "Campaign.resume: journal disagrees with the fault plan"
+      | Admitted Inplace, _, None ->
+        invalid_arg "Campaign.resume: in-place admission without decision"
+      | _ -> ());
+      apply st e;
+      ignore (fire_opt st Fault.Controller_crash);
+      if st.fault <> None && cursor st <> e.je_cursor then
+        invalid_arg "Campaign.resume: fault-plan cursor mismatch";
+      st.entries <- e :: st.entries)
+    journal.j_entries;
+  let ctx = make_ctx st in
+  let t_last =
+    match st.entries with [] -> Sim.Time.zero | e :: _ -> e.je_at
+  in
+  (* The crashed run died mid-settle at [t_last]; continue it first,
+     then let the in-flight attempts race again from their recorded
+     start times. *)
+  Sim.Engine.schedule_at ctx.eng t_last (fun () -> settle ctx);
+  Array.iteri
+    (fun i h ->
+      match h with H_running _ -> schedule_attempt ctx i | _ -> ())
+    st.hstates;
+  (match st.breaker with
+  | B_open_until u -> Sim.Engine.schedule_at ctx.eng u (fun () -> reopen ctx)
+  | B_closed | B_half_open -> ());
+  drive ctx
+
+let run_to_completion ?fault cfg =
+  let rec go = function
+    | Finished (report, _) -> report
+    | Crashed j -> go (resume ?fault j)
+  in
+  go (run ?fault cfg)
+
+let sweep ?(config = default_config) ?(seed = 0xC1A5L) ~probabilities () =
+  List.map
+    (fun p ->
+      let fault =
+        Fault.make ~seed
+          [ { Fault.site = Fault.Host_crash; trigger = Fault.Probability p } ]
+      in
+      (p, run_to_completion ~fault config))
+    probabilities
+
+(* --- journal serialisation --- *)
+
+let step_to_string = function
+  | Inplace -> "inplace"
+  | Drain -> "drain"
+  | Retry -> "retry"
+
+let step_of_string = function
+  | "inplace" -> Some Inplace
+  | "drain" -> Some Drain
+  | "retry" -> Some Retry
+  | _ -> None
+
+let man_to_string = function
+  | Crash -> "crash"
+  | Timeout -> "timeout"
+  | Flap -> "flap"
+
+let man_of_string = function
+  | "crash" -> Some Crash
+  | "timeout" -> Some Timeout
+  | "flap" -> Some Flap
+  | _ -> None
+
+let journal_magic = "hypertp-campaign-journal v1"
+
+let journal_to_string j =
+  let buf = Buffer.create 4096 in
+  let c = j.j_config in
+  Buffer.add_string buf (journal_magic ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf
+       "config nodes=%d vms_per_node=%d vm_ram=%d node_ram=%d fraction=%.17g \
+        concurrency=%d straggler=%.17g window=%d threshold=%.17g \
+        cooldown_ns=%d jitter=%.17g drain=%.17g retry=%.17g seed=%Ld\n"
+       c.nodes c.vms_per_node c.vm_ram c.node_ram c.inplace_fraction
+       c.concurrency c.straggler_factor c.breaker_window c.breaker_threshold
+       (Sim.Time.to_ns c.breaker_cooldown)
+       c.jitter_pct c.drain_flakiness c.retry_flakiness c.seed);
+  List.iter
+    (fun e ->
+      let host = match e.je_host with Some h -> h | None -> "-" in
+      let kind =
+        match e.je_event with
+        | Admitted step -> Printf.sprintf "adm step=%s" (step_to_string step)
+        | Flap_failure -> "flapleg"
+        | Straggler_cancelled -> "strag"
+        | Attempt_failed { step; manifestation } ->
+          Printf.sprintf "fail step=%s man=%s" (step_to_string step)
+            (man_to_string manifestation)
+        | Attempt_completed step ->
+          Printf.sprintf "done step=%s" (step_to_string step)
+        | Deferred -> "defer"
+        | Breaker_opened -> "bopen"
+        | Breaker_half_opened -> "bhalf"
+        | Breaker_closed -> "bclosed"
+        | Campaign_finished -> "fin"
+      in
+      let decision =
+        match e.je_decision with
+        | Some d ->
+          Printf.sprintf " flap=%d crash=%d timeout=%d"
+            (Bool.to_int d.d_flap) (Bool.to_int d.d_crash)
+            (Bool.to_int d.d_timeout)
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "e at=%d host=%s %s%s cursor=%d\n"
+           (Sim.Time.to_ns e.je_at) host kind decision e.je_cursor))
+    j.j_entries;
+  Buffer.contents buf
+
+exception Parse of string
+
+let journal_of_string s =
+  let kv tok =
+    match String.index_opt tok '=' with
+    | Some i ->
+      Some
+        ( String.sub tok 0 i,
+          String.sub tok (i + 1) (String.length tok - i - 1) )
+    | None -> None
+  in
+  let fields line = List.filter_map kv (String.split_on_char ' ' line) in
+  let get fs k =
+    match List.assoc_opt k fs with
+    | Some v -> v
+    | None -> raise (Parse (Printf.sprintf "missing field %S" k))
+  in
+  let int_f fs k =
+    match int_of_string_opt (get fs k) with
+    | Some v -> v
+    | None -> raise (Parse (Printf.sprintf "bad integer for %S" k))
+  in
+  let float_f fs k =
+    match float_of_string_opt (get fs k) with
+    | Some v -> v
+    | None -> raise (Parse (Printf.sprintf "bad float for %S" k))
+  in
+  try
+    let lines =
+      List.filter
+        (fun l -> String.trim l <> "")
+        (String.split_on_char '\n' s)
+    in
+    match lines with
+    | magic :: config_line :: entry_lines ->
+      if String.trim magic <> journal_magic then
+        raise (Parse "not a campaign journal (bad magic line)");
+      let fs = fields config_line in
+      let config =
+        {
+          nodes = int_f fs "nodes";
+          vms_per_node = int_f fs "vms_per_node";
+          vm_ram = int_f fs "vm_ram";
+          node_ram = int_f fs "node_ram";
+          inplace_fraction = float_f fs "fraction";
+          concurrency = int_f fs "concurrency";
+          straggler_factor = float_f fs "straggler";
+          breaker_window = int_f fs "window";
+          breaker_threshold = float_f fs "threshold";
+          breaker_cooldown = Sim.Time.ns (int_f fs "cooldown_ns");
+          jitter_pct = float_f fs "jitter";
+          drain_flakiness = float_f fs "drain";
+          retry_flakiness = float_f fs "retry";
+          seed =
+            (match Int64.of_string_opt (get fs "seed") with
+            | Some v -> v
+            | None -> raise (Parse "bad seed"));
+        }
+      in
+      let parse_step fs =
+        match step_of_string (get fs "step") with
+        | Some s -> s
+        | None -> raise (Parse "bad ladder step")
+      in
+      let entries =
+        List.map
+          (fun line ->
+            let tokens = String.split_on_char ' ' line in
+            (match tokens with
+            | "e" :: _ -> ()
+            | _ -> raise (Parse ("bad entry line: " ^ line)));
+            let kind =
+              match
+                List.find_opt (fun t -> t <> "e" && kv t = None) tokens
+              with
+              | Some k -> k
+              | None -> raise (Parse ("entry without a kind: " ^ line))
+            in
+            let fs = fields line in
+            let event =
+              match kind with
+              | "adm" -> Admitted (parse_step fs)
+              | "flapleg" -> Flap_failure
+              | "strag" -> Straggler_cancelled
+              | "fail" ->
+                Attempt_failed
+                  {
+                    step = parse_step fs;
+                    manifestation =
+                      (match man_of_string (get fs "man") with
+                      | Some m -> m
+                      | None -> raise (Parse "bad manifestation"));
+                  }
+              | "done" -> Attempt_completed (parse_step fs)
+              | "defer" -> Deferred
+              | "bopen" -> Breaker_opened
+              | "bhalf" -> Breaker_half_opened
+              | "bclosed" -> Breaker_closed
+              | "fin" -> Campaign_finished
+              | k -> raise (Parse ("unknown entry kind " ^ k))
+            in
+            let decision =
+              match List.assoc_opt "flap" fs with
+              | None -> None
+              | Some _ ->
+                Some
+                  {
+                    d_flap = int_f fs "flap" <> 0;
+                    d_crash = int_f fs "crash" <> 0;
+                    d_timeout = int_f fs "timeout" <> 0;
+                  }
+            in
+            {
+              je_at = Sim.Time.ns (int_f fs "at");
+              je_host =
+                (match get fs "host" with "-" -> None | h -> Some h);
+              je_event = event;
+              je_decision = decision;
+              je_cursor = int_f fs "cursor";
+            })
+          entry_lines
+      in
+      Ok { j_config = config; j_entries = entries }
+    | _ -> raise (Parse "truncated journal (need magic + config lines)")
+  with
+  | Parse msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+(* --- pretty printing --- *)
+
+let pp_event fmt = function
+  | Admitted step -> Format.fprintf fmt "admitted(%s)" (step_to_string step)
+  | Flap_failure -> Format.pp_print_string fmt "flap-leg (failed, recovered)"
+  | Straggler_cancelled -> Format.pp_print_string fmt "straggler-cancelled"
+  | Attempt_failed { step; manifestation } ->
+    Format.fprintf fmt "failed(%s, %s)" (step_to_string step)
+      (man_to_string manifestation)
+  | Attempt_completed step ->
+    Format.fprintf fmt "completed(%s)" (step_to_string step)
+  | Deferred -> Format.pp_print_string fmt "deferred"
+  | Breaker_opened -> Format.pp_print_string fmt "breaker-opened"
+  | Breaker_half_opened -> Format.pp_print_string fmt "breaker-half-open"
+  | Breaker_closed -> Format.pp_print_string fmt "breaker-closed"
+  | Campaign_finished -> Format.pp_print_string fmt "campaign-finished"
+
+let status_to_string = function
+  | Upgraded_inplace -> "inplace"
+  | Drained -> "drained"
+  | Deferred_resolved -> "deferred+retried"
+  | Deferred_exposed -> "deferred+EXPOSED"
+
+let pp_host_record fmt h =
+  Format.fprintf fmt "%s: %s after %d attempt%s at %a (%.3f h exposed)"
+    h.hr_node (status_to_string h.hr_status) h.hr_attempts
+    (if h.hr_attempts = 1 then "" else "s")
+    Sim.Time.pp h.hr_done_at h.hr_exposure_hours
+
+let pp_report fmt r =
+  let count s =
+    List.length (List.filter (fun h -> h.hr_status = s) r.hosts)
+  in
+  Format.fprintf fmt
+    "@[<v>campaign: %d hosts, concurrency %d (requested %d), wall-clock %a \
+     (unsupervised %a, rebalance %a)@,\
+     statuses: %d inplace / %d drained / %d retried / %d exposed; breaker \
+     trips %d@,\
+     exposure %.3f host-hours (baseline %.3f, deferred share %.3f)@,\
+     VMs: %d total = %d inplace-ok + %d drained + %d on deferred + %d \
+     migrated by plan@]"
+    (List.length r.hosts) r.effective_concurrency r.cfg.concurrency
+    Sim.Time.pp r.wall_clock Sim.Time.pp r.base.Upgrade.total Sim.Time.pp
+    r.rebalance_time (count Upgraded_inplace) (count Drained)
+    (count Deferred_resolved) (count Deferred_exposed) r.breaker_trips
+    r.exposed_host_hours r.baseline_exposed_host_hours
+    r.deferred_exposure_hours r.vms_total r.vms_inplace_ok r.vms_drained
+    r.vms_on_deferred r.vms_migrated_planned

@@ -1,0 +1,174 @@
+(** Supervised rolling-transplant campaign controller.
+
+    [Cluster.Upgrade.execute*] prices a rolling upgrade by summing
+    precomputed action times — fine for Fig. 13, useless for operating
+    a real fleet remediation, which is a multi-hour supervised process
+    racing an active attacker.  This module runs the same BtrPlace plan
+    as a {e supervised campaign} on the discrete-event engine
+    ({!Sim.Engine}):
+
+    - {b Admission control.}  At most [concurrency] hosts are in flight
+      at once, further clamped by {!Btrplace.max_concurrent_drains} so
+      the campaign never drains more hosts than spare capacity admits.
+    - {b Straggler detection.}  Every host attempt carries a deadline
+      ([straggler_factor] x its expected duration, from the
+      {!Hypertp.Costs} estimates); a cancellable {!Sim.Engine.timer}
+      escalates attempts that overrun it.
+    - {b Degradation ladder.}  InPlaceTP -> MigrationTP drain ->
+      {e defer}: a deferred host stays on the vulnerable hypervisor,
+      accruing exposed host-hours (Fig. 1), and is retried once at
+      campaign end.
+    - {b Circuit breaker.}  When the failure rate over the last
+      [breaker_window] attempts reaches [breaker_threshold], admission
+      pauses for [breaker_cooldown], then resumes {e half-open} at
+      halved concurrency; [breaker_window] consecutive successes close
+      it again (hysteresis).
+    - {b Checkpoint / resume.}  Every host-level event is journaled
+      (with the fault-plan cursor); a {!Fault.Controller_crash} kills
+      the controller mid-campaign and {!resume} replays the journal and
+      continues to a final report identical to the uninterrupted run.
+
+    Fault sites consulted per host admission, in order:
+    {!Fault.Host_flap}, {!Fault.Host_crash}, {!Fault.Host_timeout} —
+    always all three, so equal seeds keep probability streams aligned
+    and failure sets are nested across probabilities (the
+    [sweep_faulty] monotonicity property, lifted to campaigns).  When
+    several fire, the costliest manifestation governs (timeout >
+    flap > crash).  Secondary decisions (drain failure, end-of-campaign
+    retry, duration jitter) come from per-host RNGs derived from
+    [seed], independent of the plan's stream. *)
+
+type config = {
+  nodes : int;
+  vms_per_node : int;
+  vm_ram : Hw.Units.bytes_;
+  node_ram : Hw.Units.bytes_;
+  inplace_fraction : float;
+  concurrency : int;  (** requested; clamped by spare capacity *)
+  straggler_factor : float;  (** deadline = factor x expected; >= 1.2 *)
+  breaker_window : int;  (** K: rolling window length *)
+  breaker_threshold : float;  (** trip when failures/K >= threshold *)
+  breaker_cooldown : Sim.Time.t;
+  jitter_pct : float;  (** per-host duration noise in [0, 0.1]; 0 = ideal *)
+  drain_flakiness : float;  (** P(drain fallback also fails) per host *)
+  retry_flakiness : float;  (** P(end-of-campaign retry fails) per host *)
+  seed : int64;  (** feeds the derived per-host RNGs only *)
+}
+
+val default_config : config
+(** 10x10 paper cluster, fully InPlaceTP-compatible, concurrency 4,
+    straggler factor 2.0, breaker 5/0.4/120 s, jitter 5 %. *)
+
+type ladder_step = Inplace | Drain | Retry
+
+type manifestation = Crash | Timeout | Flap
+
+type event =
+  | Admitted of ladder_step
+  | Flap_failure  (** first leg of a flap: failed, then recovered *)
+  | Straggler_cancelled  (** deadline exceeded; attempt cancelled *)
+  | Attempt_failed of { step : ladder_step; manifestation : manifestation }
+  | Attempt_completed of ladder_step
+  | Deferred  (** ladder exhausted; host parked on the vulnerable hv *)
+  | Breaker_opened
+  | Breaker_half_opened
+  | Breaker_closed
+  | Campaign_finished
+
+val pp_event : Format.formatter -> event -> unit
+
+type host_status =
+  | Upgraded_inplace  (** InPlaceTP succeeded (possibly not first try) *)
+  | Drained  (** fell back to a MigrationTP drain + empty reboot *)
+  | Deferred_resolved  (** deferred, but the end-of-campaign retry won *)
+  | Deferred_exposed  (** still on the vulnerable hypervisor at the end *)
+
+type host_record = {
+  hr_node : string;
+  hr_vms_in_place : int;  (** VMs riding InPlaceTP on this host *)
+  hr_drain_migrations : int;  (** planned pre-upgrade evacuations *)
+  hr_status : host_status;
+  hr_attempts : int;
+  hr_manifestations : manifestation list;  (** injected failures, in order *)
+  hr_timeline : (Sim.Time.t * event) list;  (** this host's events *)
+  hr_expected : Sim.Time.t;  (** a-priori attempt estimate (deadline basis) *)
+  hr_done_at : Sim.Time.t;
+      (** when the host left the vulnerable hypervisor; campaign end for
+          {!Deferred_exposed} *)
+  hr_exposure_hours : float;  (** host-hours exposed since campaign start *)
+}
+
+type report = {
+  cfg : config;
+  base : Upgrade.timing;  (** the unsupervised timing of the same plan *)
+  effective_concurrency : int;  (** after the capacity clamp *)
+  hosts : host_record list;  (** in admission order *)
+  wall_clock : Sim.Time.t;  (** includes the final rebalance tail *)
+  rebalance_time : Sim.Time.t;
+  exposed_host_hours : float;  (** sum over hosts *)
+  baseline_exposed_host_hours : float;
+      (** no-transplant reference: every host exposed for the whole
+          campaign *)
+  deferred : string list;  (** hosts whose ladder reached {e defer} *)
+  deferred_exposure_hours : float;
+      (** exposure accrued by the deferred set; > 0 iff it is non-empty *)
+  breaker_trips : int;
+  vms_total : int;
+  vms_inplace_ok : int;
+  vms_drained : int;
+  vms_on_deferred : int;  (** alive but still on the vulnerable hv *)
+  vms_migrated_planned : int;  (** distinct VMs moved by the plan *)
+}
+
+val vms_accounted : report -> int
+(** [vms_inplace_ok + vms_drained + vms_on_deferred +
+    vms_migrated_planned]; always equals [vms_total] — no VM is lost,
+    only delayed or left exposed. *)
+
+(** {1 Journal} *)
+
+type journal
+(** The campaign's checkpoint state: config plus every host-level event
+    (with the fault-plan cursor after each).  Appended to after every
+    event; sufficient to resume an interrupted campaign. *)
+
+val journal_config : journal -> config
+val journal_length : journal -> int
+
+val journal_to_string : journal -> string
+(** Line-oriented text serialisation (for [--resume-from] files). *)
+
+val journal_of_string : string -> (journal, string) result
+
+(** {1 Running} *)
+
+type run_result =
+  | Finished of report * journal
+  | Crashed of journal
+      (** a {!Fault.Controller_crash} fired; resume from the journal *)
+
+val run : ?fault:Fault.t -> config -> run_result
+(** Execute the campaign.  Raises [Invalid_argument] on a malformed
+    config (non-positive concurrency, straggler factor below 1.2,
+    jitter outside [0, 0.1], threshold outside [0, 1], ...). *)
+
+val resume : ?fault:Fault.t -> journal -> run_result
+(** Replay the journal — re-validating it against a {e restarted} copy
+    of [fault] (same injections and seed as the original run) — then
+    continue the campaign live.  The final report is identical to the
+    uninterrupted run's.  Raises [Invalid_argument] if the journal does
+    not match the plan. *)
+
+val run_to_completion : ?fault:Fault.t -> config -> report
+(** [run], resuming across any number of controller crashes. *)
+
+val sweep :
+  ?config:config -> ?seed:int64 -> probabilities:float list -> unit ->
+  (float * report) list
+(** Run one campaign per per-host failure probability ([Host_crash],
+    probability trigger, all plans sharing [seed] — default [0xC1A5L],
+    matching {!Upgrade.sweep_faulty}): failure sets are nested and
+    wall-clock is monotone in the probability. *)
+
+val pp_host_record : Format.formatter -> host_record -> unit
+val pp_report : Format.formatter -> report -> unit

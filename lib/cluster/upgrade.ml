@@ -26,10 +26,12 @@ let migration_op_time ~nic ~(vm : Model.vm) =
 
 let inplace_host_time ~vms =
   (* kexec into the target on a G5K node + per-VM translate/restore.
-     Host-level, not per-VM downtime: boot dominates. *)
+     Host-level, not per-VM downtime: boot dominates.  The same estimate
+     feeds Campaign's straggler deadlines. *)
   let machine = Hw.Machine.g5k_node () in
-  let boot = Xenhv.Xen.boot_time ~machine in
-  Sim.Time.add boot (Sim.Time.of_sec_f (0.4 *. float_of_int vms))
+  let boot = Sim.Time.to_sec_f (Xenhv.Xen.boot_time ~machine) in
+  Sim.Time.of_sec_f
+    (Hypertp.Costs.expected_host_upgrade_seconds ~boot_seconds:boot ~vms)
 
 let reboot_host_time = Sim.Time.sec 60 (* firmware + full kernel boot *)
 

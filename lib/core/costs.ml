@@ -32,3 +32,15 @@ let pram_parse_seconds m ~metadata_pages ~entries ~covered_frames =
 
 let uisr_encode_seconds ~bytes_len = 2e-9 *. float_of_int bytes_len
 let resume_seconds ~nvms = 0.003 *. float_of_int nvms
+
+let per_riding_vm_seconds = 0.4
+
+let expected_host_upgrade_seconds ~boot_seconds ~vms =
+  boot_seconds +. (per_riding_vm_seconds *. float_of_int vms)
+
+let straggler_deadline_seconds ~factor ~expected =
+  if factor < 1.0 then
+    invalid_arg "Costs.straggler_deadline_seconds: factor below 1.0";
+  if expected < 0.0 then
+    invalid_arg "Costs.straggler_deadline_seconds: negative expected duration";
+  factor *. expected

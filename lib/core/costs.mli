@@ -28,3 +28,20 @@ val pram_parse_seconds :
 
 val uisr_encode_seconds : bytes_len:int -> float
 val resume_seconds : nvms:int -> float
+
+(** {1 Expected-duration estimates}
+
+    Supervision needs an a-priori estimate of how long an operation
+    {e should} take so it can flag stragglers; these are the same
+    calibrated terms the simulator charges, packaged as scalar
+    estimates. *)
+
+val expected_host_upgrade_seconds : boot_seconds:float -> vms:int -> float
+(** One InPlaceTP host upgrade: target-hypervisor boot plus per-VM
+    translate/restore (0.4 s per riding VM — the host-level term, not
+    per-VM downtime). *)
+
+val straggler_deadline_seconds : factor:float -> expected:float -> float
+(** [factor *. expected], validated: a supervisor escalates a task that
+    exceeds this.  Raises [Invalid_argument] if [factor < 1.0] or
+    [expected < 0.0]. *)

@@ -9,10 +9,20 @@ type site =
   | Migration_link_drop
   | Migration_link_degrade
   | Host_crash
+  | Host_timeout
+  | Host_flap
+  | Controller_crash
 
 let all_sites =
   [ Pram_build; Uisr_encode; Uisr_decode; Kexec_load; Kexec_jump; Vm_restore;
+    Mgmt_rebuild; Migration_link_drop; Migration_link_degrade; Host_crash;
+    Host_timeout; Host_flap; Controller_crash ]
+
+let engine_sites =
+  [ Pram_build; Uisr_encode; Uisr_decode; Kexec_load; Kexec_jump; Vm_restore;
     Mgmt_rebuild; Migration_link_drop; Migration_link_degrade; Host_crash ]
+
+let cluster_sites = [ Host_crash; Host_timeout; Host_flap; Controller_crash ]
 
 let site_to_string = function
   | Pram_build -> "pram_build"
@@ -25,6 +35,9 @@ let site_to_string = function
   | Migration_link_drop -> "migration_link_drop"
   | Migration_link_degrade -> "migration_link_degrade"
   | Host_crash -> "host_crash"
+  | Host_timeout -> "host_timeout"
+  | Host_flap -> "host_flap"
+  | Controller_crash -> "controller_crash"
 
 let site_of_string s =
   List.find_opt (fun site -> String.equal (site_to_string site) s) all_sites
@@ -34,7 +47,8 @@ let pp_site fmt s = Format.pp_print_string fmt (site_to_string s)
 let pre_pnr = function
   | Pram_build | Uisr_encode | Kexec_load -> true
   | Uisr_decode | Kexec_jump | Vm_restore | Mgmt_rebuild
-  | Migration_link_drop | Migration_link_degrade | Host_crash ->
+  | Migration_link_drop | Migration_link_degrade | Host_crash | Host_timeout
+  | Host_flap | Controller_crash ->
     false
 
 type trigger =
@@ -156,18 +170,22 @@ let parse_trigger s =
     | "vm" -> if v = "" then Error "empty vm name" else Ok (On_vm v)
     | _ -> Error (Printf.sprintf "unknown trigger key %S (want p= or vm=)" key))
 
+let valid_site_names () = String.concat "|" (List.map site_to_string all_sites)
+
 let parse_injection s =
   match String.index_opt s ':' with
   | None ->
-    Error (Printf.sprintf "bad fault spec %S (want SITE:TRIGGER)" s)
+    Error
+      (Printf.sprintf "bad fault spec %S (want SITE:TRIGGER with SITE one of %s)"
+         s (valid_site_names ()))
   | Some i -> (
     let site_s = String.sub s 0 i in
     let trig_s = String.sub s (i + 1) (String.length s - i - 1) in
     match site_of_string site_s with
     | None ->
       Error
-        (Printf.sprintf "unknown site %S (want %s)" site_s
-           (String.concat "|" (List.map site_to_string all_sites)))
+        (Printf.sprintf "unknown site %S (want one of %s)" site_s
+           (valid_site_names ()))
     | Some site -> (
       match parse_trigger trig_s with
       | Ok trigger -> Ok { site; trigger }

@@ -27,8 +27,25 @@ type site =
   | Migration_link_drop
   | Migration_link_degrade
   | Host_crash
+  | Host_timeout  (** a host upgrade hangs past its straggler deadline *)
+  | Host_flap  (** a host fails, recovers, then fails again mid-upgrade *)
+  | Controller_crash  (** the campaign controller itself dies mid-run *)
 
 val all_sites : site list
+
+val engine_sites : site list
+(** Sites consulted inside the transplant engines (InPlaceTP /
+    MigrationTP); the one-fault-per-site exhaustive campaign iterates
+    these. *)
+
+val cluster_sites : site list
+(** Sites consulted by the cluster-level executors — the per-host
+    fallback of [Cluster.Upgrade.execute_faulty] ([Host_crash]) and the
+    supervised campaign controller ([Host_crash], [Host_timeout],
+    [Host_flap], [Controller_crash]).  [Host_crash] appears in both
+    lists: the InPlaceTP engine also consults it for the
+    crash-in-vulnerable-window reboot path. *)
+
 val site_to_string : site -> string
 val site_of_string : string -> site option
 val pp_site : Format.formatter -> site -> unit

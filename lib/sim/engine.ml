@@ -72,6 +72,30 @@ let schedule_at t at run =
 
 let schedule_after t delay run = schedule_at t (Time.add t.clock delay) run
 
+(* A timer is a scheduled event behind a revocable guard: the heap entry
+   stays put, but a cancelled guard makes it a no-op when popped. *)
+
+type timer_state = Timer_pending | Timer_fired | Timer_cancelled
+
+type timer = { mutable state : timer_state }
+
+let schedule_timer_at t at run =
+  let timer = { state = Timer_pending } in
+  schedule_at t at (fun () ->
+      if timer.state = Timer_pending then begin
+        timer.state <- Timer_fired;
+        run ()
+      end);
+  timer
+
+let schedule_timer_after t delay run =
+  schedule_timer_at t (Time.add t.clock delay) run
+
+let cancel timer =
+  if timer.state = Timer_pending then timer.state <- Timer_cancelled
+
+let timer_pending timer = timer.state = Timer_pending
+
 let run t =
   while t.size > 0 do
     let ev = pop t in

@@ -19,6 +19,29 @@ val schedule_at : t -> Time.t -> (unit -> unit) -> unit
 val schedule_after : t -> Time.t -> (unit -> unit) -> unit
 (** [schedule_after e d f] runs [f] at [now e + d]. *)
 
+(** {1 Cancellable timers}
+
+    A scheduled event cannot be removed from the heap, but a {!timer}
+    wraps its closure with a revocable guard: cancelling before the fire
+    time turns the event into a no-op.  This is what supervision code
+    needs — arm a completion event and a deadline event for the same
+    task and cancel whichever loses the race. *)
+
+type timer
+
+val schedule_timer_at : t -> Time.t -> (unit -> unit) -> timer
+(** Like {!schedule_at}, but returns a handle that can revoke the
+    event. *)
+
+val schedule_timer_after : t -> Time.t -> (unit -> unit) -> timer
+(** Like {!schedule_after}, but cancellable. *)
+
+val cancel : timer -> unit
+(** Revoke the timer.  A no-op if it already fired or was cancelled. *)
+
+val timer_pending : timer -> bool
+(** [true] until the timer fires or is cancelled. *)
+
 val run : t -> unit
 (** Execute events until the queue is empty. *)
 

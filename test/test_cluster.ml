@@ -364,6 +364,88 @@ let test_fleet_timeline () =
   in
   checkb "no host patched before the patch exists" false patched_before_release
 
+(* Golden pin of the Fig. 13 sweep: exact migration counts and totals
+   at the paper's fractions, plus the ~80 % time-gain shape.  Any
+   planner or cost-model drift shows up here first. *)
+let test_upgrade_sweep_golden () =
+  let sweep = Cluster.Upgrade.sweep ~fractions:[ 0.0; 0.5; 0.8; 1.0 ] () in
+  let golden =
+    [ (0.0, 120, 916.562); (0.5, 64, 475.009); (0.8, 24, 190.330);
+      (1.0, 0, 19.390) ]
+  in
+  List.iter2
+    (fun (f, migs, total) ((f', t) : float * Cluster.Upgrade.timing) ->
+      checkb "fractions align" true (Float.abs (f -. f') < 1e-9);
+      checki
+        (Printf.sprintf "migrations at %.1f" f)
+        migs t.Cluster.Upgrade.migration_count;
+      checkb
+        (Printf.sprintf "total at %.1f (golden %.3f s)" f total)
+        true
+        (Float.abs (total -. Sim.Time.to_sec_f t.Cluster.Upgrade.total) < 0.01))
+    golden sweep;
+  let total_at f =
+    Sim.Time.to_sec_f (List.assoc f (List.map (fun (f, t) -> (f, t.Cluster.Upgrade.total)) sweep))
+  in
+  let gain = 1.0 -. (total_at 0.8 /. total_at 0.0) in
+  checkb "80% in-place gains ~80% (Fig 13)" true (gain > 0.75 && gain < 0.85)
+
+(* --- Fleet exposure arithmetic --- *)
+
+(* The vulnerability window integral: a host stops accruing exposure at
+   its FIRST transplant (to the safe hypervisor); the transplant back
+   after the patch adds nothing. *)
+let first_transplants (o : Cluster.Fleet.outcome) =
+  let tbl = Hashtbl.create 16 in
+  let disclosed = ref Sim.Time.zero in
+  List.iter
+    (fun ((t, ev) : Sim.Time.t * Cluster.Fleet.event) ->
+      match ev with
+      | Cluster.Fleet.Disclosed _ -> disclosed := t
+      | Cluster.Fleet.Host_transplanted { host; _ } ->
+        if not (Hashtbl.mem tbl host) then Hashtbl.add tbl host t
+      | Cluster.Fleet.Patch_released | Cluster.Fleet.Host_patched _ -> ())
+    o.Cluster.Fleet.events;
+  (!disclosed, tbl)
+
+let test_fleet_exposure_integral () =
+  let o = Cluster.Fleet.simulate ~cve_id:"CVE-2016-6258" () in
+  let disclosed, firsts = first_transplants o in
+  checki "transplant out and back per host" (2 * Hashtbl.length firsts)
+    o.Cluster.Fleet.transplants;
+  let integral =
+    Hashtbl.fold
+      (fun _ t acc ->
+        acc +. (Sim.Time.to_sec_f (Sim.Time.sub t disclosed) /. 3600.0))
+      firsts 0.0
+  in
+  checkb "exposure = sum of first-transplant times" true
+    (Float.abs (integral -. o.Cluster.Fleet.exposed_host_hours) < 1e-6);
+  checkb "strictly below the no-transplant baseline" true
+    (o.Cluster.Fleet.exposed_host_hours > 0.0
+    && o.Cluster.Fleet.exposed_host_hours
+       < o.Cluster.Fleet.baseline_exposed_host_hours)
+
+let test_fleet_stagger_scales_exposure () =
+  let at stagger =
+    (Cluster.Fleet.simulate ~stagger ~cve_id:"CVE-2016-6258" ())
+      .Cluster.Fleet.exposed_host_hours
+  in
+  let fast = at (Sim.Time.sec 60)
+  and default_ =
+    (Cluster.Fleet.simulate ~cve_id:"CVE-2016-6258" ())
+      .Cluster.Fleet.exposed_host_hours
+  and slow = at (Sim.Time.sec 3600) in
+  checkb "tighter stagger strictly reduces exposure" true
+    (fast < default_ && default_ < slow);
+  (* Pinned values for the default 8-host scenario. *)
+  checkb "default exposure pinned (4.8 host-hours)" true
+    (Float.abs (default_ -. 4.8) < 0.05);
+  checkb "60 s stagger pinned (0.6 host-hours)" true
+    (Float.abs (fast -. 0.6) < 0.05);
+  checkb "1 h stagger pinned (28.13 host-hours)" true
+    (Float.abs (slow -. 28.1333) < 0.05)
+
 let test_fleet_rejects_medium () =
   checkb "medium flaw: policy refuses" true
     (try
@@ -393,6 +475,8 @@ let suites =
     ( "cluster.upgrade",
       [
         Alcotest.test_case "sweep shape (Fig 13)" `Quick test_upgrade_sweep_shape;
+        Alcotest.test_case "sweep golden pin (Fig 13)" `Quick
+          test_upgrade_sweep_golden;
         Alcotest.test_case "op timing" `Quick test_migration_op_time_sane;
       ] );
     ( "cluster.nova",
@@ -417,6 +501,10 @@ let suites =
       [
         Alcotest.test_case "vulnerability-window timeline (Fig 1)" `Quick
           test_fleet_timeline;
+        Alcotest.test_case "exposure integral ends at transplant" `Quick
+          test_fleet_exposure_integral;
+        Alcotest.test_case "stagger scales exposure" `Quick
+          test_fleet_stagger_scales_exposure;
         Alcotest.test_case "medium flaws rejected" `Quick test_fleet_rejects_medium;
       ] );
   ]
