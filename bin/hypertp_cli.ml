@@ -597,6 +597,73 @@ let fleet_cmd =
        ~doc:"Simulate the Fig. 1 vulnerability-window timeline on a fleet")
     Term.(const run $ id $ hosts)
 
+(* --- verify --- *)
+
+let verify_cmd =
+  let file =
+    Arg.(value & opt (some string) None
+         & info [ "file"; "f" ] ~docv:"PATH"
+             ~doc:"UISR blob to verify; omit to verify a freshly generated \
+                   one (seeded).")
+  in
+  let corrupt =
+    let sections =
+      [ ("vm_info", Uisr.Codec.tag_vm_info); ("vcpu", Uisr.Codec.tag_vcpu);
+        ("ioapic", Uisr.Codec.tag_ioapic); ("pit", Uisr.Codec.tag_pit);
+        ("devices", Uisr.Codec.tag_devices); ("memmap", Uisr.Codec.tag_memmap) ]
+    in
+    Arg.(value & opt (some (enum sections)) None
+         & info [ "corrupt" ] ~docv:"SECTION"
+             ~doc:"Flip a payload byte in that section before verifying \
+                   (demonstrates salvage vs quarantine).")
+  in
+  let run file corrupt seed =
+    let blob =
+      match file with
+      | Some path ->
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        let b = Bytes.create len in
+        really_input ic b 0 len;
+        close_in ic;
+        b
+      | None -> Integrity.Gen.blob ~seed ()
+    in
+    let blob =
+      match corrupt with
+      | None -> blob
+      | Some tag -> Uisr.Codec.corrupt_section ~tag blob
+    in
+    let report = Uisr.Codec.decode_verified blob in
+    Format.printf "%a@." Uisr.Integrity.pp_report report;
+    match report.Uisr.Integrity.verdict with
+    | Uisr.Integrity.Intact | Uisr.Integrity.Salvaged _ -> ()
+    | Uisr.Integrity.Rejected _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run the salvage decoder over a UISR blob and print its \
+             integrity report (exit 1 on a quarantine verdict)")
+    Term.(const run $ file $ corrupt $ seed_arg)
+
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let cases =
+    Arg.(value & opt int 500
+         & info [ "cases" ] ~docv:"N" ~doc:"Mutated payloads to run.")
+  in
+  let run cases vcpus seed =
+    let stats = Integrity.Fuzz.run ~vcpus ~seed ~cases () in
+    Format.printf "%a@." Integrity.Fuzz.pp stats;
+    if not (Integrity.Fuzz.ok stats) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Seeded corruption campaign against the salvage decoder (exit 1 \
+             if any mutant raises or is accepted as pristine)")
+    Term.(const run $ cases $ vcpus_arg $ seed_arg)
+
 let () =
   let info =
     Cmd.info "hypertp-cli" ~version:"1.0.0"
@@ -607,4 +674,4 @@ let () =
        (Cmd.group info
           [ cve_cmd; inplace_cmd; migrate_cmd; memsep_cmd; cluster_cmd;
             campaign_cmd; respond_cmd; fleet_cmd; snapshot_cmd;
-            fault_campaign_cmd ]))
+            fault_campaign_cmd; verify_cmd; fuzz_cmd ]))

@@ -246,4 +246,4 @@ let decode data =
     end
   with
   | Reader.Truncated -> Error Truncated
-  | Reader.Bad_format msg -> Error (Malformed msg)
+  | Reader.Bad_format e -> Error (Malformed (Reader.format_error_to_string e))

@@ -17,6 +17,7 @@ type recovery_detail = {
   recovery_faults : Fault.site list;
   restore_retries : int;
   quarantined : string list;
+  salvaged : (string * string list) list;
   mgmt_rebuilds : int;
   full_reboot : bool;
   recovery_time : Sim.Time.t;
@@ -112,6 +113,7 @@ let empty_accounting =
    last-resort full firmware reboot. *)
 let restore_retry_seconds = 0.5
 let quarantine_triage_seconds = 0.1
+let salvage_repair_seconds = 0.05
 let full_reboot_seconds = 60.0
 
 let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
@@ -301,20 +303,44 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
       | Some mfn -> mfn
       | None -> invalid_arg "Inplace.run: PRAM pointer lost from cmdline"
     in
+    (* In-page bit-rot during the vulnerable window: flip a byte inside
+       one VM's file-info page.  The pmem sentinel stays intact, so only
+       the per-page CRC added at build time can catch it. *)
+    List.iteri
+      (fun i (n, _) ->
+        if fire ~vm:n Fault.Pram_corrupt then begin
+          note Fault.Pram_corrupt;
+          ignore (Pram.Build.corrupt_file pram_image ~index:i)
+        end)
+      vms;
     (* Early boot: the target parses PRAM sequentially and reserves guest
-       memory before its allocator comes up. *)
-    let parsed = Pram.Parse.parse ~pmem ~image:pram_image pointer in
+       memory before its allocator comes up.  The verified parse
+       contains per-file damage: a VM whose pages fail their CRC is
+       lost, but its siblings still parse and get re-reserved. *)
+    let parsed = Pram.Parse.parse_verified ~pmem ~image:pram_image pointer in
+    let pram_damaged = ref [] in
     let pram_parse_ok =
       match parsed with
-      | Ok files ->
-        List.length files = List.length vms
+      | Ok outcomes ->
+        List.length outcomes = List.length vms
         && List.for_all2
-             (fun (n, vm) f ->
-               String.equal f.Pram.Parse.name n
-               && List.fold_left (fun a e -> a + Pram.Entry.frames e) 0 f.entries
-                  = Hw.Units.frames_of_bytes vm.Vmstate.Vm.config.ram)
-             vms files
-      | Error _ -> false
+             (fun (n, vm) outcome ->
+               match outcome with
+               | Pram.Parse.File_damaged err ->
+                 Log.warn (fun m ->
+                     m "PRAM file for %s damaged: %a" n Pram.Parse.pp_error err);
+                 pram_damaged := n :: !pram_damaged;
+                 (* Contained damage is the recovery ladder's business
+                    (the VM is quarantined below), not a parse failure. *)
+                 true
+               | Pram.Parse.File_ok f ->
+                 String.equal f.Pram.Parse.name n
+                 && List.fold_left (fun a e -> a + Pram.Entry.frames e) 0 f.entries
+                    = Hw.Units.frames_of_bytes vm.Vmstate.Vm.config.ram)
+             vms outcomes
+      | Error err ->
+        Log.warn (fun m -> m "PRAM table lost: %a" Pram.Parse.pp_error err);
+        false
     in
     let covered_frames =
       List.fold_left
@@ -336,6 +362,7 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
        the configured limit, quarantine VMs whose UISR blob no longer
        decodes, and escalate management-rebuild failures. *)
     let quarantined = ref [] in
+    let salvaged = ref [] in
     let restore_retries = ref 0 in
     let restore_results =
       List.filter_map
@@ -343,7 +370,18 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
           let blob =
             if fire ~vm:n Fault.Uisr_decode then begin
               note Fault.Uisr_decode;
-              Uisr.Codec.corrupt blob
+              (* Damage a mandatory section: the per-section CRC catches
+                 it, but there is no salvaging a vCPU table. *)
+              Uisr.Codec.corrupt_section ~tag:Uisr.Codec.tag_vcpu blob
+            end
+            else blob
+          in
+          let blob =
+            if fire ~vm:n Fault.Uisr_corrupt then begin
+              note Fault.Uisr_corrupt;
+              (* Damage a salvageable section: the decoder discards the
+                 PIT and substitutes architectural reset defaults. *)
+              Uisr.Codec.corrupt_section ~tag:Uisr.Codec.tag_pit blob
             end
             else blob
           in
@@ -353,11 +391,8 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
             recovery_seconds := !recovery_seconds +. quarantine_triage_seconds;
             None
           in
-          match Uisr.Codec.decode blob with
-          | Error e ->
-            quarantine (Format.asprintf "UISR decode failed (%a)" Uisr.Codec.pp_error e)
-          | Ok decoded ->
-            let roundtrip = Uisr.Vm_state.equal decoded u in
+          let restore ~before ~salvage =
+            let roundtrip = Uisr.Vm_state.equal before u in
             let mem = (List.assoc n detached).Vmstate.Vm.mem in
             let rec attempt k =
               if fire ~vm:n Fault.Vm_restore then begin
@@ -369,18 +404,47 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
                   attempt (k + 1)
                 end
               end
-              else Some (Hv.Host.restore_from_uisr host ~mem u)
+              else Some (Hv.Host.restore_from_uisr host ~mem before)
             in
-            (match attempt 1 with
+            match attempt 1 with
             | None -> quarantine "restore retries exhausted"
-            | Some fixups -> Some (n, u, fixups, roundtrip)))
+            | Some fixups -> Some (n, before, fixups, roundtrip, salvage)
+          in
+          if List.mem n !pram_damaged then
+            quarantine "PRAM file-info page failed its CRC; frames not re-reserved"
+          else
+            let report = Uisr.Codec.decode_verified ~frame_ok:preserve blob in
+            match report.Uisr.Integrity.verdict with
+            | Uisr.Integrity.Intact -> (
+              match report.Uisr.Integrity.state with
+              | None -> quarantine "decoder returned no state" (* unreachable *)
+              | Some decoded -> restore ~before:decoded ~salvage:None)
+            | Uisr.Integrity.Salvaged diags -> (
+              match report.Uisr.Integrity.state with
+              | None -> quarantine "salvage produced no state" (* unreachable *)
+              | Some s ->
+                let msgs =
+                  List.map
+                    (fun d ->
+                      Format.asprintf "%a" Uisr.Integrity.pp_diagnostic d)
+                    diags
+                in
+                Log.warn (fun m ->
+                    m "salvaging %s: %d diagnostic(s)" n (List.length diags));
+                salvaged := (n, msgs) :: !salvaged;
+                recovery_seconds := !recovery_seconds +. salvage_repair_seconds;
+                restore ~before:s ~salvage:(Some msgs))
+            | Uisr.Integrity.Rejected d ->
+              quarantine
+                (Format.asprintf "UISR rejected (%a)" Uisr.Integrity.pp_diagnostic
+                   d))
         blobs
     in
     let survivors = List.length restore_results in
     let restore_jobs =
       let (Hv.Host.Packed ((module T'), thv, table)) = Hv.Host.running_exn host in
       List.map
-        (fun (n, _, _, _) ->
+        (fun (n, _, _, _, _) ->
           match Hashtbl.find_opt table n with
           | None -> assert false
           | Some dom -> Sim.Time.to_sec_f (T'.restore_cost thv dom))
@@ -452,17 +516,22 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
           && vm.Vmstate.Vm.mem == vm0.Vmstate.Vm.mem (* literally in place *))
         surviving_vms
     in
+    (* Salvaged VMs run on substituted defaults: the preservation checks
+       only bind the VMs restored from intact state. *)
+    let intact_results =
+      List.filter (fun (_, _, _, _, salvage) -> salvage = None) restore_results
+    in
     let platform_ok =
       List.for_all
-        (fun (n, before, fixups, _) ->
+        (fun (n, before, fixups, _, _) ->
           platform_preserved ~before ~after:(List.assoc n after_uisrs) ~fixups)
-        restore_results
+        intact_results
     in
     let devices_ok =
       List.for_all
-        (fun (n, before, _, _) ->
+        (fun (n, before, _, _, _) ->
           devices_preserved ~before (Option.get (Hv.Host.find_vm host n)))
-        restore_results
+        intact_results
     in
     let checks =
       {
@@ -472,7 +541,7 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
            does not depend on the (possibly clobbered) staged image. *)
         kexec_image_intact = jump.Kexec.image_intact || !full_reboot;
         uisr_roundtrip_ok =
-          List.for_all (fun (_, _, _, ok) -> ok) restore_results;
+          List.for_all (fun (_, _, _, ok, _) -> ok) intact_results;
         management_consistent = Hv.Host.management_consistent host;
         platform_preserved = platform_ok;
         devices_preserved = devices_ok;
@@ -481,7 +550,7 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
     let outcome =
       if
         !recovery_faults = [] && !restore_retries = 0 && !quarantined = []
-        && !mgmt_rebuilds = 0
+        && !salvaged = [] && !mgmt_rebuilds = 0
         && not !full_reboot
       then Committed
       else
@@ -490,6 +559,7 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
             recovery_faults = List.rev !recovery_faults;
             restore_retries = !restore_retries;
             quarantined = List.rev !quarantined;
+            salvaged = List.rev !salvaged;
             mgmt_rebuilds = !mgmt_rebuilds;
             full_reboot = !full_reboot;
             recovery_time = Sim.Time.of_sec_f !recovery_seconds;
@@ -508,7 +578,7 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
           recovery = Sim.Time.of_sec_f !recovery_seconds;
           network = Hw.Nic.init_time machine.Hw.Machine.nic;
         };
-      fixups = List.map (fun (n, _, f, _) -> (n, f)) restore_results;
+      fixups = List.map (fun (n, _, f, _, _) -> (n, f)) restore_results;
       uisr_platform_bytes;
       pram_accounting = acct;
       frames_wiped = jump.Kexec.frames_wiped;
@@ -586,12 +656,21 @@ let pp_outcome fmt = function
     Format.fprintf fmt "rolled back (fault at %a)" Fault.pp_site site
   | Recovered d ->
     Format.fprintf fmt
-      "recovered in %a (faults: %a; %d restore retries, %d extra mgmt rebuilds%s%s)"
+      "recovered in %a (faults: %a; %d restore retries, %d extra mgmt rebuilds%s%s%s)"
       Sim.Time.pp d.recovery_time
       (Format.pp_print_list
          ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
          Fault.pp_site)
       d.recovery_faults d.restore_retries d.mgmt_rebuilds
+      (match d.salvaged with
+      | [] -> ""
+      | s ->
+        ", salvaged: "
+        ^ String.concat " "
+            (List.map
+               (fun (vm, diags) ->
+                 Printf.sprintf "%s(%d diag)" vm (List.length diags))
+               s))
       (match d.quarantined with
       | [] -> ""
       | q -> ", quarantined: " ^ String.concat " " q)

@@ -38,7 +38,13 @@ type recovery_detail = {
       (** distinct post-PNR sites that fired, in firing order *)
   restore_retries : int;  (** extra per-VM restore attempts across all VMs *)
   quarantined : string list;
-      (** VMs not restored: UISR undecodable or retries exhausted *)
+      (** VMs not restored: UISR rejected, PRAM file damaged, or retries
+          exhausted *)
+  salvaged : (string * string list) list;
+      (** VMs restored from a partially damaged UISR blob — every
+          CRC-valid section recovered, damaged salvageable sections
+          replaced with reset defaults — with the decoder's diagnostics;
+          a rung {e above} quarantine on the recovery ladder *)
   mgmt_rebuilds : int;    (** extra management-rebuild passes *)
   full_reboot : bool;     (** last-resort full firmware reboot taken *)
   recovery_time : Sim.Time.t;

@@ -2,6 +2,7 @@ type outcome =
   | Completed
   | Completed_after_retries of int
   | Aborted_link_failure of int
+  | Aborted_state_corruption of int
 
 type retry_params = {
   max_attempts : int;
@@ -21,6 +22,7 @@ type vm_report = {
   retries : int;
   retry_wait : Sim.Time.t;
   wasted_time : Sim.Time.t;
+  state_retransmits : int;
   total_time : Sim.Time.t;
   wire_bytes : Hw.Units.bytes_;
   state_bytes : int;
@@ -167,6 +169,7 @@ let run ?(rng = Sim.Rng.create 0x3C4DL) ?fault ?(retry = default_retry)
                 retries = attempt - 1;
                 retry_wait;
                 wasted_time;
+                state_retransmits = 0;
                 total_time = Sim.Time.sum [ setup_time; retry_wait; wasted_time ];
                 wire_bytes = wasted_bytes;
                 state_bytes = 0;
@@ -215,6 +218,81 @@ let run ?(rng = Sim.Rng.create 0x3C4DL) ?fault ?(retry = default_retry)
             let uisr = Hv.Host.to_uisr src n in
             let state_blob = Uisr.Codec.encode uisr in
             let state_bytes = Bytes.length state_blob in
+            let state_transfer =
+              Hw.Nic.transfer_time nic ~streams state_bytes
+            in
+            (* Receiver-side verification: the destination proxy checks
+               the blob's envelope and per-section CRCs before acking.
+               A corrupt chunk is retransmitted from the source's
+               still-intact copy — the pre-copied memory is not resent —
+               bounded by the same attempt budget as the link loop. *)
+            let rec transmit k =
+              let wire_blob =
+                if fire ~vm:n Fault.Uisr_corrupt then begin
+                  Log.warn (fun m ->
+                      m "%s: state chunk corrupted in flight" n);
+                  Uisr.Codec.corrupt_section ~tag:Uisr.Codec.tag_vcpu
+                    state_blob
+                end
+                else state_blob
+              in
+              match
+                (Uisr.Codec.decode_verified wire_blob).Uisr.Integrity.verdict
+              with
+              | Uisr.Integrity.Intact -> Ok (k - 1) (* retransmits *)
+              | Uisr.Integrity.Salvaged _ | Uisr.Integrity.Rejected _ ->
+                if k >= retry.max_attempts then Error k
+                else begin
+                  Log.warn (fun m ->
+                      m
+                        "%s: receiver rejected state chunk; retransmitting \
+                         (attempt %d/%d)"
+                        n (k + 1) retry.max_attempts);
+                  transmit (k + 1)
+                end
+            in
+            (match transmit 1 with
+            | Error attempts ->
+              (* Every transmission arrived corrupt: abort without
+                 touching the source.  The VM resumes where it paused;
+                 the destination discards its half-built copy. *)
+              Log.warn (fun m ->
+                  m "%s: state verification failed after %d transmissions; \
+                     aborting"
+                    n attempts);
+              Vmstate.Guest_mem.free dst_mem;
+              Hv.Host.resume_vm src n;
+              let retransmit_waste =
+                Sim.Time.scale (float_of_int attempts) state_transfer
+              in
+              let precopy_time =
+                Sim.Time.add
+                  (Sim.Time.scale (Sim.Rng.jitter rng 0.02)
+                     plan.Migration.Precopy.precopy_time)
+                  degrade_extra
+              in
+              {
+                vm_name = n;
+                rounds = List.length plan.Migration.Precopy.rounds;
+                precopy_time;
+                downtime = Sim.Time.zero;
+                queue_wait = Sim.Time.zero;
+                retries = attempt - 1;
+                retry_wait;
+                wasted_time = Sim.Time.add wasted_time retransmit_waste;
+                state_retransmits = attempts - 1;
+                total_time =
+                  Sim.Time.sum
+                    [ setup_time; retry_wait; wasted_time; precopy_time;
+                      retransmit_waste ];
+                wire_bytes =
+                  plan.Migration.Precopy.total_bytes
+                  + (attempts * state_bytes) + wasted_bytes;
+                state_bytes;
+                fixups = [];
+                outcome = Aborted_state_corruption attempts;
+              }
+            | Ok state_retransmits ->
             (* Proxy translation cost: a fraction of a full local save,
                paid inside the stop phase. *)
             let proxy_cost =
@@ -237,9 +315,10 @@ let run ?(rng = Sim.Rng.create 0x3C4DL) ?fault ?(retry = default_retry)
             if Vmstate.Vm.total_tcp_connections dst_vm <> src_conns then
               checks_conns := false;
             Hv.Host.destroy_vm src n;
-            (* Timing. *)
-            let state_transfer =
-              Hw.Nic.transfer_time nic ~streams state_bytes
+            (* Timing: retransmitted state chunks stretch the downtime —
+               the VM is paused while they cross the wire again. *)
+            let retransmit_extra =
+              Sim.Time.scale (float_of_int state_retransmits) state_transfer
             in
             let resume_cost =
               D.migration_resume_cost ~machine:dst.Hv.Host.machine
@@ -248,7 +327,7 @@ let run ?(rng = Sim.Rng.create 0x3C4DL) ?fault ?(retry = default_retry)
             let service_time =
               Sim.Time.sum
                 [ plan.Migration.Precopy.stop_copy_time; state_transfer;
-                  proxy_cost; resume_cost ]
+                  retransmit_extra; proxy_cost; resume_cost ]
             in
             let queue_wait =
               if D.sequential_migration_receive then !receiver_busy
@@ -276,18 +355,21 @@ let run ?(rng = Sim.Rng.create 0x3C4DL) ?fault ?(retry = default_retry)
               retries;
               retry_wait;
               wasted_time;
+              state_retransmits;
               total_time =
                 Sim.Time.sum
                   [ setup_time; retry_wait; wasted_time; precopy_time;
                     downtime ];
               wire_bytes =
-                plan.Migration.Precopy.total_bytes + state_bytes + wasted_bytes;
+                plan.Migration.Precopy.total_bytes
+                + ((state_retransmits + 1) * state_bytes)
+                + wasted_bytes;
               state_bytes;
               fixups;
               outcome =
                 (if retries = 0 then Completed
                  else Completed_after_retries retries);
-            }
+            })
         in
         go 1 ~retry_wait:Sim.Time.zero ~wasted_time:Sim.Time.zero
           ~wasted_bytes:0)
@@ -317,6 +399,9 @@ let pp_outcome fmt = function
   | Completed_after_retries n -> Format.fprintf fmt "completed after %d retries" n
   | Aborted_link_failure round ->
     Format.fprintf fmt "aborted (link failure, round %d)" round
+  | Aborted_state_corruption attempts ->
+    Format.fprintf fmt "aborted (state corrupt on all %d transmissions)"
+      attempts
 
 let pp_report fmt r =
   let kind =
@@ -335,7 +420,9 @@ let pp_report fmt r =
         v.outcome;
       if v.retries > 0 || v.wasted_time <> Sim.Time.zero then
         Format.fprintf fmt "    %d retries, backoff %a, wasted %a@," v.retries
-          Sim.Time.pp v.retry_wait Sim.Time.pp v.wasted_time)
+          Sim.Time.pp v.retry_wait Sim.Time.pp v.wasted_time;
+      if v.state_retransmits > 0 then
+        Format.fprintf fmt "    %d state retransmits@," v.state_retransmits)
     r.per_vm;
   Format.fprintf fmt "  checks: memory=%b conns=%b mgmt=%b@]"
     r.checks.memory_equal r.checks.connections_preserved

@@ -21,6 +21,10 @@ type outcome =
       (** the link died during this pre-copy round on the final
           attempt; the source VM keeps running and the
           partially-populated destination is torn down *)
+  | Aborted_state_corruption of int
+      (** every one of this many state-chunk transmissions failed the
+          receiver's CRC verification; the source VM resumes where it
+          paused and the destination discards its copy *)
 
 type retry_params = {
   max_attempts : int;      (** total attempts per VM, including the first *)
@@ -44,6 +48,10 @@ type vm_report = {
   retries : int;          (** dropped attempts that were retried *)
   retry_wait : Sim.Time.t;   (** total backoff time *)
   wasted_time : Sim.Time.t;  (** wire time of all dropped attempts *)
+  state_retransmits : int;
+      (** state chunks the receiver rejected (CRC verification before
+          ack) and the source resent; each stretches the downtime by
+          one state-transfer time *)
   total_time : Sim.Time.t;
   wire_bytes : Hw.Units.bytes_;
       (** includes per-page protocol overhead and the bytes burnt by
@@ -79,10 +87,14 @@ val run :
     live migration.
 
     [fault] arms {!Fault.Migration_link_drop} /
-    {!Fault.Migration_link_degrade} injections against pre-copy rounds;
-    [retry] bounds the per-VM retry loop (default {!default_retry}).
-    A VM whose attempts are exhausted stays resident and running on the
-    source, with the wasted wire time and bytes accounted.
+    {!Fault.Migration_link_degrade} injections against pre-copy rounds,
+    and {!Fault.Uisr_corrupt} against the platform-state transmission:
+    the receiving proxy runs [Uisr.Codec.decode_verified] on the chunk
+    before acking and asks for a retransmit on anything short of
+    [Intact].  [retry] bounds both the per-VM link retry loop and the
+    retransmit budget (default {!default_retry}).  A VM whose attempts
+    are exhausted stays resident and running on the source, with the
+    wasted wire time and bytes accounted.
 
     Raises [Invalid_argument] if the destination lacks memory or a
     hypervisor, a VM name is unknown, or [retry.max_attempts < 1]. *)

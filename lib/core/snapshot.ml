@@ -59,7 +59,8 @@ let of_bytes blob =
       end
     with
     | Reader.Truncated -> Error "snapshot: truncated"
-    | Reader.Bad_format msg -> Error ("snapshot: " ^ msg))
+    | Reader.Bad_format e ->
+      Error ("snapshot: " ^ Reader.format_error_to_string e))
 
 let restore t host =
   let mem =

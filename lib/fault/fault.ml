@@ -2,6 +2,8 @@ type site =
   | Pram_build
   | Uisr_encode
   | Uisr_decode
+  | Uisr_corrupt
+  | Pram_corrupt
   | Kexec_load
   | Kexec_jump
   | Vm_restore
@@ -14,12 +16,14 @@ type site =
   | Controller_crash
 
 let all_sites =
-  [ Pram_build; Uisr_encode; Uisr_decode; Kexec_load; Kexec_jump; Vm_restore;
+  [ Pram_build; Uisr_encode; Uisr_decode; Uisr_corrupt; Pram_corrupt;
+    Kexec_load; Kexec_jump; Vm_restore;
     Mgmt_rebuild; Migration_link_drop; Migration_link_degrade; Host_crash;
     Host_timeout; Host_flap; Controller_crash ]
 
 let engine_sites =
-  [ Pram_build; Uisr_encode; Uisr_decode; Kexec_load; Kexec_jump; Vm_restore;
+  [ Pram_build; Uisr_encode; Uisr_decode; Uisr_corrupt; Pram_corrupt;
+    Kexec_load; Kexec_jump; Vm_restore;
     Mgmt_rebuild; Migration_link_drop; Migration_link_degrade; Host_crash ]
 
 let cluster_sites = [ Host_crash; Host_timeout; Host_flap; Controller_crash ]
@@ -28,6 +32,8 @@ let site_to_string = function
   | Pram_build -> "pram_build"
   | Uisr_encode -> "uisr_encode"
   | Uisr_decode -> "uisr_decode"
+  | Uisr_corrupt -> "uisr_corrupt"
+  | Pram_corrupt -> "pram_corrupt"
   | Kexec_load -> "kexec_load"
   | Kexec_jump -> "kexec_jump"
   | Vm_restore -> "vm_restore"
@@ -46,9 +52,9 @@ let pp_site fmt s = Format.pp_print_string fmt (site_to_string s)
 
 let pre_pnr = function
   | Pram_build | Uisr_encode | Kexec_load -> true
-  | Uisr_decode | Kexec_jump | Vm_restore | Mgmt_rebuild
-  | Migration_link_drop | Migration_link_degrade | Host_crash | Host_timeout
-  | Host_flap | Controller_crash ->
+  | Uisr_decode | Uisr_corrupt | Pram_corrupt | Kexec_jump | Vm_restore
+  | Mgmt_rebuild | Migration_link_drop | Migration_link_degrade | Host_crash
+  | Host_timeout | Host_flap | Controller_crash ->
     false
 
 type trigger =

@@ -20,6 +20,12 @@ type site =
   | Pram_build
   | Uisr_encode
   | Uisr_decode
+  | Uisr_corrupt
+      (** silent bit-rot in one UISR section — caught by per-section CRC
+          and salvaged, not quarantined *)
+  | Pram_corrupt
+      (** in-page bit-rot in one VM's PRAM file-info page — caught by
+          the page CRC; only that VM is lost *)
   | Kexec_load
   | Kexec_jump
   | Vm_restore

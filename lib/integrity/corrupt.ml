@@ -1,0 +1,128 @@
+(* Seeded mutators over encoded UISR blobs.  Each mutator draws from the
+   caller's Sim.Rng stream, so a fuzz campaign is reproducible from its
+   seed alone.  [apply] guarantees the mutated blob differs from the
+   input — a mutation that lands on a no-op is reported as inapplicable
+   rather than silently passed through, so the "never classify a mutant
+   as Intact" property is meaningful for every applied case. *)
+
+type kind = Bit_flip | Truncate | Duplicate_section | Length_lie | Semantic
+
+let kinds = [ Bit_flip; Truncate; Duplicate_section; Length_lie; Semantic ]
+
+let kind_name = function
+  | Bit_flip -> "bit_flip"
+  | Truncate -> "truncate"
+  | Duplicate_section -> "duplicate_section"
+  | Length_lie -> "length_lie"
+  | Semantic -> "semantic"
+
+(* v2 blob layout, tracking Codec: magic(4) + version(2) + flags(1),
+   sections from byte 7 framed as tag u16 / len u32 / payload / crc u32
+   (when the flags bit is set), outer CRC32 in the last 4 bytes. *)
+let body_start = 7
+let header_bytes = 6
+let section_trailer blob = if Bytes.get_uint8 blob 6 land 0x01 <> 0 then 4 else 0
+
+let sections blob =
+  let len = Bytes.length blob in
+  let trailer = section_trailer blob in
+  let rec walk pos acc =
+    if pos + header_bytes > len - 4 then List.rev acc
+    else
+      let tag = Bytes.get_uint16_le blob pos in
+      let slen = Int32.to_int (Bytes.get_int32_le blob (pos + 2)) in
+      if slen < 0 || pos + header_bytes + slen + trailer > len - 4 then
+        List.rev acc
+      else walk (pos + header_bytes + slen + trailer) ((pos, tag, slen) :: acc)
+  in
+  walk body_start []
+
+let strip_outer blob = Bytes.sub blob 0 (Bytes.length blob - 4)
+let pick rng l = List.nth l (Sim.Rng.int rng (List.length l))
+
+let bit_flip rng blob =
+  let b = Bytes.copy blob in
+  let i = Sim.Rng.int rng (Bytes.length b) in
+  let bit = Sim.Rng.int rng 8 in
+  Bytes.set_uint8 b i (Bytes.get_uint8 b i lxor (1 lsl bit));
+  Some b
+
+let truncate rng blob =
+  let len = Bytes.length blob in
+  if len < 2 then None else Some (Bytes.sub blob 0 (Sim.Rng.int rng (len - 1)))
+
+(* Append a copy of an existing section and re-frame the outer CRC, so
+   the envelope checks pass and the mutation exercises the scan loop's
+   duplicate handling (singleton sections) or the semantic validator
+   (duplicated vCPUs or devices). *)
+let duplicate_section rng blob =
+  match sections blob with
+  | [] -> None
+  | secs ->
+    let pos, _, slen = pick rng secs in
+    let trailer = section_trailer blob in
+    let sect = header_bytes + slen + trailer in
+    let body = strip_outer blob in
+    let b = Bytes.create (Bytes.length body + sect) in
+    Bytes.blit body 0 b 0 (Bytes.length body);
+    Bytes.blit body pos b (Bytes.length body) sect;
+    Some (Uisr.Wire.append_crc b)
+
+(* Make one section's length field claim more payload than the blob
+   holds, with a valid outer CRC: only the framing sanity check in the
+   scan loop can catch it. *)
+let length_lie rng blob =
+  match sections blob with
+  | [] -> None
+  | secs ->
+    let pos, _, _ = pick rng secs in
+    let body = strip_outer blob in
+    let b = Bytes.copy body in
+    let lie = Bytes.length body + 1 + Sim.Rng.int rng 4096 in
+    Bytes.set_int32_le b (pos + 2) (Int32.of_int lie);
+    Some (Uisr.Wire.append_crc b)
+
+(* CRC-preserving corruption: decode, break a semantic invariant in the
+   typed state, re-encode.  Every checksum passes; only the semantic
+   validator stands between the mutant and an Intact verdict. *)
+let semantic rng blob =
+  match Uisr.Codec.decode blob with
+  | Error _ -> None
+  | Ok (state : Uisr.Vm_state.t) ->
+    let state' =
+      match Sim.Rng.int rng 3 with
+      | 0 -> (
+        (* duplicate vCPU index *)
+        match state.vcpus with
+        | v :: _ -> { state with Uisr.Vm_state.vcpus = v :: state.vcpus }
+        | [] -> state)
+      | 1 -> (
+        (* reserved MTRR default memory type *)
+        match state.vcpus with
+        | v :: rest ->
+          let mtrr = { v.Vmstate.Vcpu.mtrr with Vmstate.Mtrr.def_type = 2 } in
+          {
+            state with
+            Uisr.Vm_state.vcpus = { v with Vmstate.Vcpu.mtrr } :: rest;
+          }
+        | [] -> state)
+      | _ -> (
+        (* overlapping memory-map entries *)
+        match state.memmap with
+        | e :: _ -> { state with Uisr.Vm_state.memmap = e :: state.memmap }
+        | [] -> state)
+    in
+    if state' == state then None else Some (Uisr.Codec.encode state')
+
+let apply rng kind blob =
+  let mutated =
+    match kind with
+    | Bit_flip -> bit_flip rng blob
+    | Truncate -> truncate rng blob
+    | Duplicate_section -> duplicate_section rng blob
+    | Length_lie -> length_lie rng blob
+    | Semantic -> semantic rng blob
+  in
+  match mutated with
+  | Some b when not (Bytes.equal b blob) -> Some b
+  | Some _ | None -> None

@@ -1,0 +1,27 @@
+(** Seeded corruption mutators over encoded UISR blobs.
+
+    Five deterministic mutation families, from raw bit-rot to
+    checksum-preserving semantic damage.  All randomness comes from the
+    caller's {!Sim.Rng} stream, so a campaign replays bit-for-bit from
+    its seed. *)
+
+type kind =
+  | Bit_flip  (** flip one random bit anywhere in the blob *)
+  | Truncate  (** keep a random strict prefix *)
+  | Duplicate_section
+      (** append a copy of a random section, outer CRC re-framed *)
+  | Length_lie
+      (** a section claims more payload than exists, outer CRC
+          re-framed *)
+  | Semantic
+      (** decode, violate a semantic invariant (duplicate vCPU,
+          reserved MTRR type, overlapping memory map), re-encode: every
+          CRC passes *)
+
+val kinds : kind list
+val kind_name : kind -> string
+
+val apply : Sim.Rng.t -> kind -> bytes -> bytes option
+(** [apply rng kind blob] is a mutated copy guaranteed to differ from
+    [blob], or [None] when the mutation is inapplicable (e.g. semantic
+    mutation of an undecodable blob).  [blob] is never modified. *)

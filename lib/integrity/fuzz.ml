@@ -1,0 +1,84 @@
+type stats = {
+  cases : int;
+  applied : int;
+  skipped : int;
+  raised : int;
+  intact_accepted : int;
+  salvaged : int;
+  rejected : int;
+  pristine_intact : bool;
+  by_kind : (Corrupt.kind * int) list;
+}
+
+let ok s =
+  s.pristine_intact && s.raised = 0 && s.intact_accepted = 0 && s.applied > 0
+
+let pool_size = 4
+
+let run ?(vcpus = 2) ?(ram_mib = 64) ~seed ~cases () =
+  if cases <= 0 then invalid_arg "Fuzz.run: cases must be positive";
+  let rng = Sim.Rng.create seed in
+  let pool =
+    Array.init pool_size (fun i ->
+        Gen.blob ~vcpus ~ram_mib ~seed:(Int64.add seed (Int64.of_int i)) ())
+  in
+  let pristine_intact =
+    Array.for_all
+      (fun blob ->
+        match (Uisr.Codec.decode_verified blob).Uisr.Integrity.verdict with
+        | Uisr.Integrity.Intact -> true
+        | Uisr.Integrity.Salvaged _ | Uisr.Integrity.Rejected _ -> false)
+      pool
+  in
+  let applied = ref 0 and skipped = ref 0 in
+  let raised = ref 0 and intact_accepted = ref 0 in
+  let salvaged = ref 0 and rejected = ref 0 in
+  let by_kind = Hashtbl.create 8 in
+  for _ = 1 to cases do
+    let blob = pool.(Sim.Rng.int rng pool_size) in
+    let kind = List.nth Corrupt.kinds (Sim.Rng.int rng (List.length Corrupt.kinds)) in
+    match Corrupt.apply rng kind blob with
+    | None -> incr skipped
+    | Some mutated -> (
+      incr applied;
+      Hashtbl.replace by_kind kind
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind kind));
+      match Uisr.Codec.decode_verified mutated with
+      | exception _ -> incr raised
+      | report -> (
+        match report.Uisr.Integrity.verdict with
+        | Uisr.Integrity.Intact -> incr intact_accepted
+        | Uisr.Integrity.Salvaged _ -> incr salvaged
+        | Uisr.Integrity.Rejected _ -> incr rejected))
+  done;
+  {
+    cases;
+    applied = !applied;
+    skipped = !skipped;
+    raised = !raised;
+    intact_accepted = !intact_accepted;
+    salvaged = !salvaged;
+    rejected = !rejected;
+    pristine_intact;
+    by_kind =
+      List.filter_map
+        (fun k ->
+          match Hashtbl.find_opt by_kind k with
+          | Some n -> Some (k, n)
+          | None -> None)
+        Corrupt.kinds;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>%d cases: %d applied, %d inapplicable@,\
+     verdicts: %d salvaged, %d rejected@,\
+     violations: %d raised, %d mutants accepted as intact, pristine %s@,\
+     by mutation:"
+    s.cases s.applied s.skipped s.salvaged s.rejected s.raised
+    s.intact_accepted
+    (if s.pristine_intact then "intact" else "NOT INTACT");
+  List.iter
+    (fun (k, n) -> Format.fprintf fmt "@,  %-18s %d" (Corrupt.kind_name k) n)
+    s.by_kind;
+  Format.fprintf fmt "@,%s@]" (if ok s then "PASS" else "FAIL")

@@ -1,0 +1,33 @@
+(** Seeded corruption-fuzzing harness for the UISR salvage decoder.
+
+    Each case mutates a pristine encoded blob with one {!Corrupt}
+    mutator and feeds it to {!Uisr.Codec.decode_verified}.  The decoder
+    must hold two properties over every applied case: it never raises,
+    and it never classifies a mutant as [Intact].  Salvaged-vs-rejected
+    proportions are reported, quantifying how much of the damage the
+    per-section checksums can recover from. *)
+
+type stats = {
+  cases : int;
+  applied : int;   (** mutations producing a blob distinct from the input *)
+  skipped : int;   (** inapplicable mutations *)
+  raised : int;    (** decode_verified raised — must be 0 *)
+  intact_accepted : int;  (** mutants classified [Intact] — must be 0 *)
+  salvaged : int;
+  rejected : int;
+  pristine_intact : bool;
+      (** every unmutated pool blob classified [Intact] *)
+  by_kind : (Corrupt.kind * int) list;  (** applied count per mutator *)
+}
+
+val ok : stats -> bool
+(** No raises, no mutants accepted as pristine, pristine pool intact,
+    and at least one mutation applied. *)
+
+val run :
+  ?vcpus:int -> ?ram_mib:int -> seed:int64 -> cases:int -> unit -> stats
+(** [run ~seed ~cases ()] fuzzes [cases] mutated blobs drawn over a
+    pool of {!Gen} states.  Deterministic in [seed].  Raises
+    [Invalid_argument] on a non-positive [cases]. *)
+
+val pp : Format.formatter -> stats -> unit

@@ -1,0 +1,20 @@
+(* Deterministic pristine inputs for the corruption fuzzer: a full VM is
+   provisioned on a private pmem, paused, and captured through the same
+   [Vm_state.of_vm] path the transplant engines use, so every fuzz case
+   starts from a state the semantic validator accepts with zero
+   diagnostics. *)
+
+let vm_state ?(vcpus = 2) ?(ram_mib = 64) ~seed () =
+  let rng = Sim.Rng.create seed in
+  let pmem = Hw.Pmem.create ~frames:(512 * 64) () in
+  let vm =
+    Vmstate.Vm.create ~pmem ~rng
+      (Vmstate.Vm.config
+         ~name:(Printf.sprintf "fuzz-%Lx" seed)
+         ~vcpus ~ram:(Hw.Units.mib ram_mib) ~workload:Vmstate.Vm.Wl_redis ())
+  in
+  Vmstate.Vm.pause vm;
+  Uisr.Vm_state.of_vm ~source_hypervisor:"fuzz" vm
+
+let blob ?vcpus ?ram_mib ~seed () =
+  Uisr.Codec.encode (vm_state ?vcpus ?ram_mib ~seed ())

@@ -1,0 +1,9 @@
+(** Deterministic pristine inputs for the corruption fuzzer. *)
+
+val vm_state :
+  ?vcpus:int -> ?ram_mib:int -> seed:int64 -> unit -> Uisr.Vm_state.t
+(** A captured VM state that {!Uisr.Codec.decode_verified} classifies
+    as [Intact].  Equal seeds give equal states. *)
+
+val blob : ?vcpus:int -> ?ram_mib:int -> seed:int64 -> unit -> bytes
+(** [Uisr.Codec.encode] of {!vm_state}. *)

@@ -285,7 +285,7 @@ let decode data =
         let mtrr =
           match Vmstate.Mtrr.of_msrs mtrr_msrs with
           | Some m -> m
-          | None -> raise (Reader.Bad_format "incomplete MTRR MSR block")
+          | None -> Reader.fail r "incomplete MTRR MSR block"
         in
         let vcpu : Vmstate.Vcpu.t =
           { index = p.k_index; regs = { gprs; sregs; msrs; fpu }; lapic;
@@ -293,7 +293,7 @@ let decode data =
         in
         vcpus := vcpu :: !vcpus;
         current := None
-      | _ -> raise (Reader.Bad_format "incomplete vCPU ioctl group"))
+      | _ -> Reader.fail r "incomplete vCPU ioctl group")
   in
   try
     while not (Reader.eof r) do
@@ -317,7 +317,7 @@ let decode data =
         let need_vcpu () =
           match !current with
           | Some p -> p
-          | None -> raise (Reader.Bad_format "vCPU ioctl outside vCPU group")
+          | None -> Reader.fail br "vCPU ioctl outside vCPU group"
         in
         if code = kvm_get_regs then (need_vcpu ()).k_regs <- Some (get_regs br)
         else if code = kvm_get_sregs then
@@ -329,7 +329,7 @@ let decode data =
           (need_vcpu ()).k_lapic <- Some (get_lapic br)
         else if code = kvm_get_xcrs then begin
           let n = Reader.u32 br in
-          if n <> 1 then raise (Reader.Bad_format "unexpected xcr count");
+          if n <> 1 then Reader.fail br "unexpected xcr count";
           let _idx = Reader.u32 br in
           (need_vcpu ()).k_xcr0 <- Some (Reader.u64 br)
         end
@@ -366,5 +366,5 @@ let decode data =
     | _ -> Error (Malformed "missing IRQCHIP or PIT2")
   with
   | Reader.Truncated -> Error Truncated
-  | Reader.Bad_format msg -> Error (Malformed msg)
+  | Reader.Bad_format e -> Error (Malformed (Reader.format_error_to_string e))
   | Unknown_code c -> Error (Unknown_ioctl c)

@@ -10,10 +10,30 @@ type image = {
   pages : (int, bytes) Hashtbl.t; (* metadata frame -> 4 KiB content *)
   extents : (Hw.Frame.Mfn.t * int) list;
   built_files : file list;
+  file_mfns : Hw.Frame.Mfn.t list; (* file-info page per VM, build order *)
   acct : Layout.accounting;
 }
 
 let sentinel = 0x5052414D5F4D4554L (* "PRAM_MET" *)
+
+(* Per-page CRC32 slot.  Bytes 4-7 are free in every page kind (the
+   kind byte sits at 0, counts at 2, links at 8), so the checksum can
+   live at the same offset everywhere.  A stored 0 means "unstamped"
+   (pre-CRC builds), which parsers accept for compatibility. *)
+let crc_offset = 4
+
+let page_crc page =
+  let saved = Bytes.get_int32_le page crc_offset in
+  Bytes.set_int32_le page crc_offset 0l;
+  let crc = Uisr.Wire.crc32 page in
+  Bytes.set_int32_le page crc_offset saved;
+  crc
+
+let stored_crc page = Bytes.get_int32_le page crc_offset
+
+let stamp_crc page =
+  Bytes.set_int32_le page crc_offset 0l;
+  Bytes.set_int32_le page crc_offset (Uisr.Wire.crc32 page)
 
 (* Page type bytes, first byte of every metadata page. *)
 let byte_pointer = 0xA1
@@ -127,6 +147,7 @@ let build ~pmem ~granularity vms =
       pages = Hashtbl.create 64;
       extents = [];
       built_files;
+      file_mfns = [];
       acct;
     }
   in
@@ -135,15 +156,31 @@ let build ~pmem ~granularity vms =
   let pointer = new_page image pmem byte_pointer in
   let page = Hashtbl.find image.pages (Hw.Frame.Mfn.to_int pointer) in
   set_u64 page 8 (mfn_u64 first_root);
+  (* Seal every page with its checksum once all links are written. *)
+  Hashtbl.iter (fun _ page -> stamp_crc page) image.pages;
   let extents =
     Hashtbl.fold
       (fun frame _ acc -> (Hw.Frame.Mfn.of_int frame, 1) :: acc)
       image.pages []
   in
-  { image with pointer; extents }
+  { image with pointer; extents; file_mfns }
 
 let pointer_mfn image = image.pointer
 let files image = image.built_files
+let file_info_mfns image = image.file_mfns
+
+let corrupt_file image ~index =
+  match List.nth_opt image.file_mfns index with
+  | None -> invalid_arg "Pram.Build.corrupt_file: no such file"
+  | Some mfn ->
+    let page = Hashtbl.find image.pages (Hw.Frame.Mfn.to_int mfn) in
+    (* Flip a byte inside the file-name area: the kind byte, links and
+       counts stay plausible, so only the page CRC can catch it.  The
+       pmem sentinel is untouched — this is in-page bit-rot, not a
+       scrub. *)
+    let i = 40 in
+    Bytes.set_uint8 page i (Bytes.get_uint8 page i lxor 0xFF);
+    mfn
 let accounting image = image.acct
 let metadata_extents image = image.extents
 

@@ -28,8 +28,28 @@ val build :
     [Invalid_argument] on an empty VM list and {!Hw.Pmem.Out_of_memory}
     if metadata does not fit. *)
 
+val crc_offset : int
+(** Byte offset of the per-page CRC32 slot (bytes 4-7, free in every
+    page kind). *)
+
+val page_crc : bytes -> int32
+(** CRC32 of a metadata page, computed with the CRC slot zeroed. *)
+
+val stored_crc : bytes -> int32
+(** The stamped checksum; 0 on pages from pre-CRC builds. *)
+
 val pointer_mfn : image -> Hw.Frame.Mfn.t
 val files : image -> file list
+
+val file_info_mfns : image -> Hw.Frame.Mfn.t list
+(** The file-info page of each VM, in build (= VM) order. *)
+
+val corrupt_file : image -> index:int -> Hw.Frame.Mfn.t
+(** Flip one byte inside the [index]-th VM's file-info page — in-page
+    bit-rot that leaves the kind byte, links and pmem sentinel intact,
+    detectable only by the page CRC.  Returns the damaged frame.
+    Raises [Invalid_argument] if there is no such file. *)
+
 val accounting : image -> Layout.accounting
 val metadata_extents : image -> (Hw.Frame.Mfn.t * int) list
 val page_content : image -> Hw.Frame.Mfn.t -> bytes option

@@ -9,6 +9,7 @@ type error =
   | Missing_page of Hw.Frame.Mfn.t
   | Clobbered_page of Hw.Frame.Mfn.t
   | Bad_page_kind of { mfn : Hw.Frame.Mfn.t; expected : int; got : int }
+  | Page_crc_mismatch of Hw.Frame.Mfn.t
   | Cycle_detected
 
 let pp_error fmt = function
@@ -18,6 +19,9 @@ let pp_error fmt = function
   | Bad_page_kind { mfn; expected; got } ->
     Format.fprintf fmt "page %a: expected kind 0x%x, got 0x%x" Hw.Frame.Mfn.pp
       mfn expected got
+  | Page_crc_mismatch mfn ->
+    Format.fprintf fmt "page %a: CRC mismatch (in-page bit-rot)"
+      Hw.Frame.Mfn.pp mfn
   | Cycle_detected -> Format.pp_print_string fmt "cycle in page chain"
 
 exception Fail of error
@@ -31,6 +35,12 @@ let load_page ~pmem ~image ~expected mfn =
   match Build.page_content image mfn with
   | None -> raise (Fail (Missing_page mfn))
   | Some page ->
+    (* A stored CRC of 0 marks a page from a pre-CRC build: accepted,
+       with only the sentinel and kind byte to vouch for it. *)
+    let stored = Build.stored_crc page in
+    if (not (Int32.equal stored 0l))
+       && not (Int32.equal stored (Build.page_crc page))
+    then raise (Fail (Page_crc_mismatch mfn));
     let kind = Bytes.get_uint8 page 0 in
     if kind <> expected then
       raise (Fail (Bad_page_kind { mfn; expected; got = kind }));
@@ -70,33 +80,57 @@ let parse_file ~pmem ~image mfn =
   let entries = parse_node_chain ~pmem ~image first_node in
   { name; size; mode; entries }
 
+let check_entries ~pmem file =
+  (* Re-reserve every frame referenced by an entry so the rest of boot
+     cannot allocate over guest memory. *)
+  List.iter
+    (fun e ->
+      if Hw.Pmem.is_allocated pmem e.Entry.mfn then ()
+      else raise (Fail (Missing_page e.Entry.mfn)))
+    file.entries
+
+let walk_file_mfns ~pmem ~image pointer =
+  let pointer_page = load_page ~pmem ~image ~expected:0xA1 pointer in
+  let first_root =
+    Hw.Frame.Mfn.of_int (Int64.to_int (get_u64 pointer_page 8))
+  in
+  let file_mfns_per_root page =
+    let count = Bytes.get_uint16_le page 2 in
+    List.init count (fun i ->
+        Hw.Frame.Mfn.of_int (Int64.to_int (get_u64 page (16 + (8 * i)))))
+  in
+  List.concat
+    (walk_chain ~pmem ~image ~expected:0xA2 first_root file_mfns_per_root)
+
 let parse ~pmem ~image pointer =
   try
-    let pointer_page = load_page ~pmem ~image ~expected:0xA1 pointer in
-    let first_root =
-      Hw.Frame.Mfn.of_int (Int64.to_int (get_u64 pointer_page 8))
-    in
-    let file_mfns_per_root page =
-      let count = Bytes.get_uint16_le page 2 in
-      List.init count (fun i ->
-          Hw.Frame.Mfn.of_int (Int64.to_int (get_u64 page (16 + (8 * i)))))
-    in
-    let file_mfns =
-      List.concat
-        (walk_chain ~pmem ~image ~expected:0xA2 first_root file_mfns_per_root)
-    in
+    let file_mfns = walk_file_mfns ~pmem ~image pointer in
     let parsed = List.map (parse_file ~pmem ~image) file_mfns in
-    (* Re-reserve every frame referenced by an entry so the rest of boot
-       cannot allocate over guest memory. *)
-    List.iter
-      (fun file ->
-        List.iter
-          (fun e ->
-            if Hw.Pmem.is_allocated pmem e.Entry.mfn then ()
-            else raise (Fail (Missing_page e.Entry.mfn)))
-          file.entries)
-      parsed;
+    List.iter (check_entries ~pmem) parsed;
     Ok parsed
+  with Fail err -> Error err
+
+type file_outcome = File_ok of parsed_file | File_damaged of error
+
+let parse_verified ~pmem ~image pointer =
+  (* Damage to the pointer or root pages loses the whole table; damage
+     confined to one VM's file-info or node pages only loses that VM —
+     the sibling files still parse and their frames get re-reserved. *)
+  try
+    let file_mfns = walk_file_mfns ~pmem ~image pointer in
+    let outcomes =
+      List.map
+        (fun mfn ->
+          match
+            let f = parse_file ~pmem ~image mfn in
+            check_entries ~pmem f;
+            f
+          with
+          | f -> File_ok f
+          | exception Fail err -> File_damaged err)
+        file_mfns
+    in
+    Ok outcomes
   with Fail err -> Error err
 
 let pages_walked files =

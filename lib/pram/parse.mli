@@ -17,6 +17,7 @@ type error =
   | Missing_page of Hw.Frame.Mfn.t
   | Clobbered_page of Hw.Frame.Mfn.t
   | Bad_page_kind of { mfn : Hw.Frame.Mfn.t; expected : int; got : int }
+  | Page_crc_mismatch of Hw.Frame.Mfn.t
   | Cycle_detected
 
 val pp_error : Format.formatter -> error -> unit
@@ -26,7 +27,20 @@ val parse :
   (parsed_file list, error) result
 (** [parse ~pmem ~image pointer] walks the structure starting at the
     PRAM pointer, checking each metadata frame's sentinel tag in host
-    memory ([Clobbered_page] if the reboot scrubbed it). *)
+    memory ([Clobbered_page] if the reboot scrubbed it) and its in-page
+    CRC32 ([Page_crc_mismatch] on bit-rot; pages stamped 0 — pre-CRC
+    builds — are accepted). *)
+
+type file_outcome = File_ok of parsed_file | File_damaged of error
+
+val parse_verified :
+  pmem:Hw.Pmem.t -> image:Build.image -> Hw.Frame.Mfn.t ->
+  (file_outcome list, error) result
+(** Like {!parse}, but damage confined to a single VM's file-info or
+    node pages is contained: that VM comes back as [File_damaged] while
+    its siblings still parse (and get their frames re-reserved).
+    [Error] is reserved for damage to the shared pointer/root pages,
+    which loses the whole table. *)
 
 val pages_walked : parsed_file list -> int
 (** Metadata pages touched by a sequential walk (cost-model input). *)

@@ -1,3 +1,33 @@
+(* CRC-32 (IEEE 802.3), table-driven.  Defined before the reader/writer
+   modules so per-section checksums can use it. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32_sub data ~pos ~len =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int
+        (Int32.logand
+           (Int32.logxor !crc (Int32.of_int (Char.code (Bytes.get data i))))
+           0xFFl)
+    in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let crc32 data = crc32_sub data ~pos:0 ~len:(Bytes.length data)
+
 module Writer = struct
   type t = Buffer.t
 
@@ -13,7 +43,12 @@ module Writer = struct
   let bool t v = u8 t (if v then 1 else 0)
 
   let string t s =
-    if String.length s > 0xFFFF then invalid_arg "Wire.string: too long";
+    u32 t (String.length s);
+    Buffer.add_string t s
+
+  let string16 t s =
+    if String.length s > 0xFFFF then
+      invalid_arg "Wire.string16: string longer than 64 KiB";
     u16 t (String.length s);
     Buffer.add_string t s
 
@@ -34,15 +69,40 @@ module Writer = struct
     u16 t tag;
     u32 t (Buffer.length payload);
     Buffer.add_buffer t payload
+
+  let section_crc t ~tag body =
+    let payload = create () in
+    body payload;
+    let pb = Buffer.to_bytes payload in
+    u16 t tag;
+    u32 t (Bytes.length pb);
+    Buffer.add_bytes t pb;
+    Buffer.add_int32_le t (crc32 pb)
 end
 
 module Reader = struct
-  type t = { data : bytes; mutable pos : int; limit : int }
+  type format_error = { offset : int; section : int option; reason : string }
+
+  type t = {
+    data : bytes;
+    mutable pos : int;
+    limit : int;
+    sect : int option;
+  }
 
   exception Truncated
-  exception Bad_format of string
+  exception Bad_format of format_error
 
-  let create data = { data; pos = 0; limit = Bytes.length data }
+  let format_error_to_string e =
+    match e.section with
+    | Some tag ->
+      Printf.sprintf "at byte %d in section 0x%04x: %s" e.offset tag e.reason
+    | None -> Printf.sprintf "at byte %d: %s" e.offset e.reason
+
+  let create ?section data =
+    { data; pos = 0; limit = Bytes.length data; sect = section }
+
+  let fail t reason = raise (Bad_format { offset = t.pos; section = t.sect; reason })
 
   let need t n = if t.pos + n > t.limit then raise Truncated
 
@@ -73,12 +133,24 @@ module Reader = struct
     v
 
   let bool t =
+    let at = t.pos in
     match u8 t with
     | 0 -> false
     | 1 -> true
-    | n -> raise (Bad_format (Printf.sprintf "bool byte %d" n))
+    | n ->
+      raise
+        (Bad_format
+           { offset = at; section = t.sect;
+             reason = Printf.sprintf "invalid bool byte %d" n })
 
   let string t =
+    let len = u32 t in
+    need t len;
+    let s = Bytes.sub_string t.data t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let string16 t =
     let len = u16 t in
     need t len;
     let s = Bytes.sub_string t.data t.pos len in
@@ -98,40 +170,36 @@ module Reader = struct
   let remaining t = t.limit - t.pos
   let eof t = t.pos >= t.limit
 
+  let run_section t ~tag ~len ~skip k =
+    let sub = { data = t.data; pos = t.pos; limit = t.pos + len; sect = Some tag } in
+    let result = k ~tag sub in
+    if sub.pos <> sub.limit then
+      fail sub (Printf.sprintf "%d bytes unconsumed" (sub.limit - sub.pos));
+    t.pos <- t.pos + len + skip;
+    result
+
   let section t k =
     let tag = u16 t in
     let len = u32 t in
     need t len;
-    let sub = { data = t.data; pos = t.pos; limit = t.pos + len } in
-    let result = k ~tag sub in
-    if sub.pos <> sub.limit then
-      raise (Bad_format (Printf.sprintf "section 0x%x: %d bytes unconsumed" tag (sub.limit - sub.pos)));
-    t.pos <- t.pos + len;
-    result
+    run_section t ~tag ~len ~skip:0 k
+
+  let section_crc t k =
+    let at = t.pos in
+    let tag = u16 t in
+    let len = u32 t in
+    need t (len + 4);
+    let stored = Bytes.get_int32_le t.data (t.pos + len) in
+    let computed = crc32_sub t.data ~pos:t.pos ~len in
+    if not (Int32.equal stored computed) then
+      raise
+        (Bad_format
+           { offset = at; section = Some tag;
+             reason =
+               Printf.sprintf "section crc mismatch: stored %08lx, computed %08lx"
+                 stored computed });
+    run_section t ~tag ~len ~skip:4 k
 end
-
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
-         for _ = 0 to 7 do
-           if Int32.logand !c 1l <> 0l then
-             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-           else c := Int32.shift_right_logical !c 1
-         done;
-         !c))
-
-let crc32 data =
-  let table = Lazy.force crc_table in
-  let crc = ref 0xFFFFFFFFl in
-  Bytes.iter
-    (fun ch ->
-      let idx =
-        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl)
-      in
-      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
-    data;
-  Int32.logxor !crc 0xFFFFFFFFl
 
 let append_crc data =
   let out = Bytes.create (Bytes.length data + 4) in

@@ -11,8 +11,15 @@ module Writer : sig
   val i32 : t -> int32 -> unit
   val u64 : t -> int64 -> unit
   val bool : t -> bool -> unit
+
   val string : t -> string -> unit
-  (** Length-prefixed (u16). *)
+  (** Length-prefixed (u32), so strings of 64 KiB and beyond encode
+      faithfully. *)
+
+  val string16 : t -> string -> unit
+  (** The legacy u16 length prefix (UISR format v1 and older native
+      streams).  Raises [Invalid_argument] on strings >= 64 KiB instead
+      of truncating the length. *)
 
   val list : t -> ('a -> unit) -> 'a list -> unit
   (** Count-prefixed (u32). *)
@@ -23,22 +30,47 @@ module Writer : sig
 
   val section : t -> tag:int -> (t -> unit) -> unit
   (** Write a TLV section: u16 tag, u32 length, payload. *)
+
+  val section_crc : t -> tag:int -> (t -> unit) -> unit
+  (** Write a checksummed TLV section: u16 tag, u32 length, payload,
+      u32 CRC32 of the payload.  The per-section CRC is what lets the
+      salvage decoder recover intact siblings of a damaged section. *)
 end
 
 module Reader : sig
+  type format_error = { offset : int; section : int option; reason : string }
+  (** Where a malformation was found: absolute byte offset into the
+      buffer being read, the enclosing TLV section tag (if any), and a
+      human-readable reason. *)
+
   type t
 
   exception Truncated
-  exception Bad_format of string
+  exception Bad_format of format_error
 
-  val create : bytes -> t
+  val format_error_to_string : format_error -> string
+
+  val create : ?section:int -> bytes -> t
+  (** [?section] labels errors raised from this reader as belonging to
+      that TLV tag (used when reading an extracted section payload). *)
+
+  val fail : t -> string -> 'a
+  (** Raise {!Bad_format} at the reader's current offset, tagged with
+      the enclosing section. *)
+
   val u8 : t -> int
   val u16 : t -> int
   val u32 : t -> int
   val i32 : t -> int32
   val u64 : t -> int64
   val bool : t -> bool
+
   val string : t -> string
+  (** u32 length-prefixed. *)
+
+  val string16 : t -> string
+  (** Legacy u16 length-prefixed. *)
+
   val list : t -> (t -> 'a) -> 'a list
   val array : t -> (t -> 'a) -> 'a array
   val remaining : t -> int
@@ -48,10 +80,18 @@ module Reader : sig
   (** Read one TLV section; the callback receives a reader scoped to the
       payload.  Raises {!Bad_format} if the payload is not fully
       consumed. *)
+
+  val section_crc : t -> (tag:int -> t -> 'a) -> 'a
+  (** Like {!section} for checksummed sections: verifies the trailing
+      payload CRC32 (raising {!Bad_format} on mismatch) before handing
+      the payload to the callback. *)
 end
 
 val crc32 : bytes -> int32
 (** Standard CRC-32 (IEEE 802.3). *)
+
+val crc32_sub : bytes -> pos:int -> len:int -> int32
+(** CRC-32 of a slice, without copying. *)
 
 val append_crc : bytes -> bytes
 val check_crc : bytes -> (bytes, string) result

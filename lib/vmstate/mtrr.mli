@@ -12,6 +12,12 @@ type t = {
   variable : variable_range array; (** 8 base/mask pairs *)
 }
 
+val fixed_count : int
+(** 11 fixed-range registers. *)
+
+val variable_count : int
+(** 8 variable base/mask pairs. *)
+
 val generate : Sim.Rng.t -> t
 val equal : t -> t -> bool
 

@@ -12,6 +12,9 @@ type t = {
   components : component list; (** sorted by id *)
 }
 
+val component_words : int -> int
+(** Architectural payload size, in 64-bit words, of a component id. *)
+
 val generate : Sim.Rng.t -> t
 val equal : t -> t -> bool
 

@@ -347,7 +347,7 @@ let decode data =
   let finished = ref false in
   try
     while not !finished do
-      if Reader.eof r then raise (Reader.Bad_format "missing END record");
+      if Reader.eof r then Reader.fail r "missing END record";
       let typecode = Reader.u16 r in
       let instance = Reader.u16 r in
       let len = Reader.u32 r in
@@ -372,7 +372,7 @@ let decode data =
       else if typecode = typecode_lapic_regs then begin
         let p = part instance in
         match p.pv_lapic_control with
-        | None -> raise (Reader.Bad_format "LAPIC_REGS before LAPIC")
+        | None -> Reader.fail br "LAPIC_REGS before LAPIC"
         | Some c -> p.pv_lapic <- Some (get_lapic_regs br c)
       end
       else if typecode = typecode_mtrr then
@@ -392,7 +392,7 @@ let decode data =
       match (p.pv_cpu, p.pv_lapic, p.pv_mtrr, p.pv_xsave) with
       | Some regs, Some lapic, Some mtrr, Some xsave ->
         { Vmstate.Vcpu.index; regs; lapic; mtrr; xsave }
-      | _ -> raise (Reader.Bad_format "incomplete vCPU records")
+      | _ -> Reader.fail r "incomplete vCPU records"
     in
     let vcpus = List.map build indices in
     match (!ioapic, !pit) with
@@ -400,7 +400,7 @@ let decode data =
     | _ -> Error (Malformed "missing IOAPIC or PIT record")
   with
   | Reader.Truncated -> Error Truncated
-  | Reader.Bad_format msg -> Error (Malformed msg)
+  | Reader.Bad_format e -> Error (Malformed (Reader.format_error_to_string e))
   | Exit -> Error Bad_header
   | Fail_typecode c -> Error (Unknown_typecode c)
 

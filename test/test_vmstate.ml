@@ -329,6 +329,60 @@ let test_vm_config_validation () =
     (Invalid_argument "Vm.config: non-positive vCPUs") (fun () ->
       ignore (Vmstate.Vm.config ~name:"x" ~vcpus:0 ()))
 
+(* --- wire round-trips through the UISR codec put/get pairs --- *)
+
+let wire_roundtrip put get equal v =
+  let w = Uisr.Wire.Writer.create () in
+  put w v;
+  let r = Uisr.Wire.Reader.create (Uisr.Wire.Writer.contents w) in
+  let v' = get r in
+  Uisr.Wire.Reader.eof r && equal v v'
+
+let gen_of seed = Sim.Rng.create (Int64.of_int (seed + 1))
+
+let prop_mtrr_wire_roundtrip =
+  qtest
+    (QCheck.Test.make ~name:"mtrr codec roundtrip" ~count:100 QCheck.small_nat
+       (fun seed ->
+         wire_roundtrip Uisr.Codec.put_mtrr Uisr.Codec.get_mtrr
+           Vmstate.Mtrr.equal
+           (Vmstate.Mtrr.generate (gen_of seed))))
+
+let prop_xsave_wire_roundtrip =
+  qtest
+    (QCheck.Test.make ~name:"xsave codec roundtrip" ~count:100 QCheck.small_nat
+       (fun seed ->
+         wire_roundtrip Uisr.Codec.put_xsave Uisr.Codec.get_xsave
+           Vmstate.Xsave.equal
+           (Vmstate.Xsave.generate (gen_of seed))))
+
+let prop_pit_wire_roundtrip =
+  qtest
+    (QCheck.Test.make ~name:"pit codec roundtrip" ~count:100 QCheck.small_nat
+       (fun seed ->
+         wire_roundtrip Uisr.Codec.put_pit Uisr.Codec.get_pit Vmstate.Pit.equal
+           (Vmstate.Pit.generate (gen_of seed))))
+
+let prop_virtqueue_wire_roundtrip =
+  qtest
+    (QCheck.Test.make ~name:"virtqueue wire roundtrip" ~count:50
+       QCheck.(pair (int_range 0 5) small_nat)
+       (fun (size_log, seed) ->
+         let q =
+           Vmstate.Virtqueue.create (gen_of seed)
+             ~size:(1 lsl (size_log + 1))
+             ~guest_frames:65536
+         in
+         wire_roundtrip
+           (fun w q ->
+             Uisr.Wire.Writer.array w
+               (Uisr.Wire.Writer.u64 w)
+               (Vmstate.Virtqueue.to_words q))
+           (fun r ->
+             Vmstate.Virtqueue.of_words
+               (Uisr.Wire.Reader.array r Uisr.Wire.Reader.u64))
+           Vmstate.Virtqueue.equal q))
+
 let suites =
   [
     ( "vmstate.regs",
@@ -354,8 +408,15 @@ let suites =
         Alcotest.test_case "msr roundtrip" `Quick test_mtrr_msr_roundtrip;
         Alcotest.test_case "incomplete msrs" `Quick test_mtrr_incomplete_msrs;
         Alcotest.test_case "msr count" `Quick test_mtrr_msr_count;
+        prop_mtrr_wire_roundtrip;
       ] );
-    ("vmstate.xsave", [ Alcotest.test_case "size" `Quick test_xsave_size ]);
+    ( "vmstate.xsave",
+      [
+        Alcotest.test_case "size" `Quick test_xsave_size;
+        prop_xsave_wire_roundtrip;
+      ] );
+    ( "vmstate.pit",
+      [ prop_pit_wire_roundtrip ] );
     ( "vmstate.device",
       [
         Alcotest.test_case "unplug/rescan keeps TCP" `Quick test_device_unplug_rescan;
@@ -369,6 +430,7 @@ let suites =
         Alcotest.test_case "ring flow" `Quick test_virtqueue_flow;
         Alcotest.test_case "serialization" `Quick test_virtqueue_serialization;
         prop_virtqueue_roundtrip;
+        prop_virtqueue_wire_roundtrip;
       ] );
     ( "vmstate.guest_mem",
       [

@@ -259,6 +259,79 @@ let test_cross_hypervisor_roundtrip () =
        (first24 u_xen.Uisr.Vm_state.ioapic)
        (first24 u_back.Uisr.Vm_state.ioapic))
 
+(* Differential fix-point: once the state has absorbed the first hop's
+   fixups (Xen -> KVM), the UISR codec round-trip is the identity and
+   the next hop (KVM -> bhyve) changes nothing beyond its own declared
+   fixups. *)
+let test_differential_fixpoint () =
+  let src = boot_host (module Xenhv.Xen) in
+  ignore
+    (Hv.Host.create_vm src
+       (Vmstate.Vm.config ~name:"fx" ~vcpus:2 ~ram:(Hw.Units.mib 64) ()));
+  Hv.Host.pause_vm src "fx";
+  let u_xen = Hv.Host.to_uisr src "fx" in
+
+  let kvm = boot_host (module Kvmhv.Kvm) in
+  let mem_kvm =
+    Vmstate.Guest_mem.create ~pmem:kvm.Hv.Host.pmem ~rng:kvm.Hv.Host.rng
+      ~bytes:(Hw.Units.mib 64) ~page_kind:Hw.Units.Page_2m ()
+  in
+  ignore (Hv.Host.restore_from_uisr kvm ~mem:mem_kvm u_xen);
+  let u_kvm = Hv.Host.to_uisr kvm "fx" in
+
+  (* After one hop the state is a codec fix-point: decode o encode is
+     the identity and re-encoding is byte-stable. *)
+  let blob = Uisr.Codec.encode u_kvm in
+  (match Uisr.Codec.decode blob with
+  | Ok u ->
+    checkb "decode o encode = id" true (Uisr.Vm_state.equal u u_kvm);
+    checkb "re-encoding is byte-stable" true
+      (Bytes.equal blob (Uisr.Codec.encode u))
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Uisr.Codec.pp_error e));
+
+  (* Land it on bhyve: the only vCPU-visible change is the declared
+     MC-bank MSR drop; everything bhyve supports is a fix-point. *)
+  let bhy = boot_host (module Bhyvehv.Bhyve) in
+  let mem_bhy =
+    Vmstate.Guest_mem.create ~pmem:bhy.Hv.Host.pmem ~rng:bhy.Hv.Host.rng
+      ~bytes:(Hw.Units.mib 64) ~page_kind:Hw.Units.Page_2m ()
+  in
+  let fixups = Hv.Host.restore_from_uisr bhy ~mem:mem_bhy u_kvm in
+  checkb "24 -> 32 pin extension recorded" true
+    (List.exists
+       (function
+         | Uisr.Fixup.Ioapic_pins_extended { from_pins = 24; to_pins = 32 } ->
+           true
+         | _ -> false)
+       fixups);
+  let u_bhy = Hv.Host.to_uisr bhy "fx" in
+  let strip (v : Vmstate.Vcpu.t) =
+    { v with
+      regs =
+        { v.regs with
+          msrs =
+            List.filter
+              (fun (m : Vmstate.Regs.msr) ->
+                Bhyvehv.Bhyve.supports_msr m.index)
+              v.regs.msrs } }
+  in
+  checkb "vcpus a fix-point modulo declared MSR drops" true
+    (List.for_all2
+       (fun a b -> Vmstate.Vcpu.equal (strip a) (strip b))
+       u_kvm.Uisr.Vm_state.vcpus u_bhy.Uisr.Vm_state.vcpus);
+  checkb "pit a fix-point" true
+    (Vmstate.Pit.equal u_kvm.Uisr.Vm_state.pit u_bhy.Uisr.Vm_state.pit);
+  (* The lower 24 pins -- everything KVM had -- survive the extension. *)
+  let low io = fst (Vmstate.Ioapic.truncate io ~pins:24) in
+  checkb "low pins a fix-point" true
+    (Vmstate.Ioapic.equal
+       (low u_kvm.Uisr.Vm_state.ioapic)
+       (low u_bhy.Uisr.Vm_state.ioapic));
+  (* The salvage decoder agrees the hop output is pristine. *)
+  let r = Uisr.Codec.decode_verified (Uisr.Codec.encode u_bhy) in
+  checkb "verified intact" true
+    (r.Uisr.Integrity.verdict = Uisr.Integrity.Intact)
+
 let test_msr_drop_fixup () =
   (* Give a vCPU an MSR Xen refuses (AMD range) and restore under Xen. *)
   let src = boot_host (module Kvmhv.Kvm) in
@@ -347,6 +420,8 @@ let suites =
         Alcotest.test_case "xen to_uisr content" `Quick test_xen_to_uisr_content;
         Alcotest.test_case "cross-hypervisor roundtrip" `Quick
           test_cross_hypervisor_roundtrip;
+        Alcotest.test_case "differential fix-point after one hop" `Quick
+          test_differential_fixpoint;
         Alcotest.test_case "msr drop fixup" `Quick test_msr_drop_fixup;
         Alcotest.test_case "boot time calibration" `Quick test_boot_time_ordering;
         Alcotest.test_case "resume cost asymmetry (Table 4)" `Quick
