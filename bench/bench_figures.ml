@@ -5,8 +5,8 @@
 
 open Bench_util
 
-let inplace_once ?(options = Hypertp.Options.default) ~machine ~src_kind ~seed
-    vms =
+let inplace_once ?(options = Hypertp.Options.default) ?obs ~machine ~src_kind
+    ~seed vms =
   let host =
     match src_kind with
     | Hv.Kind.Xen -> fresh_xen_host ~machine ~seed vms
@@ -15,7 +15,7 @@ let inplace_once ?(options = Hypertp.Options.default) ~machine ~src_kind ~seed
       Hypertp.Api.provision ~seed ~name:"bench-src" ~machine ~hv:Hv.Kind.Bhyve
         vms
   in
-  Hypertp.Inplace.run ~options
+  Hypertp.Inplace.run ~options ?obs
     ~rng:(Sim.Rng.create (Int64.add seed 7L))
     ~host
     ~target:(Hypertp.Api.hypervisor_of (Hv.Kind.other src_kind))
@@ -52,6 +52,25 @@ let fig6 () =
         (m Hypertp.Phases.downtime)
         (m Hypertp.Phases.total)
         (m (fun p -> p.Hypertp.Phases.network)))
+    [ Hw.Machine.m1 (); Hw.Machine.m2 () ];
+  (* Span-derived cross-check: re-run once per machine with a tracer
+     attached and recover the breakdown from the trace alone.  The
+     derived downtime must equal the report's to the tick. *)
+  Format.printf "@.span-derived breakdown (one traced run each):@.";
+  List.iter
+    (fun machine ->
+      let tr = Obs.Tracer.create () in
+      let r =
+        inplace_once ~obs:tr ~machine ~src_kind:Hv.Kind.Xen ~seed:1234L
+          [ vm_config () ]
+      in
+      let derived = Hypertp.Phases.of_trace (Obs.Tracer.spans tr) in
+      assert (
+        Sim.Time.equal
+          (Hypertp.Phases.downtime derived)
+          (Hypertp.Phases.downtime r.Hypertp.Inplace.phases));
+      Format.printf "%-8s  %a@." machine.Hw.Machine.name Hypertp.Phases.pp
+        derived)
     [ Hw.Machine.m1 (); Hw.Machine.m2 () ];
   note
     "paper M1: pram 0.45, transl 0.08, reboot 1.52, restore 0.12 -> downtime 1.7, network 6.6@.";

@@ -78,12 +78,56 @@ let print_fault_trace = function
   | Some f -> Format.printf "fault trace:@.%a@." Fault.pp_trace f
 
 let verbose_arg =
-  let setup verbose =
+  let setup verbosity =
     Logs.set_reporter (Logs_fmt.reporter ());
-    Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+    Logs.set_level
+      (Some
+         (match List.length verbosity with
+         | 0 -> Logs.Warning
+         | 1 -> Logs.Info
+         | _ -> Logs.Debug))
   in
-  Term.(const setup $ Arg.(value & flag & info [ "v"; "verbose" ]
-                           ~doc:"Log each workflow step."))
+  Term.(const setup
+        $ Arg.(value & flag_all
+               & info [ "v"; "verbose" ]
+                   ~doc:"Increase log verbosity (repeatable): $(b,-v) \
+                         narrates each workflow step, $(b,-v -v) adds \
+                         span-level debug detail."))
+
+(* --- observability plumbing shared by inplace/migrate/campaign --- *)
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"PATH"
+           ~doc:"Write a Chrome trace_event JSON recording of the run here \
+                 (open in Perfetto or chrome://tracing).")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"PATH"
+           ~doc:"Write an OpenMetrics text snapshot of the run's counters, \
+                 gauges and histograms here.")
+
+let obs_of_paths trace_out metrics_out =
+  ( Option.map (fun _ -> Obs.Tracer.create ()) trace_out,
+    Option.map (fun _ -> Obs.Metrics.create ()) metrics_out )
+
+let write_obs trace_out metrics_out obs metrics =
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  (match (trace_out, obs) with
+  | Some path, Some tr ->
+    write path (Obs.Export.chrome_trace tr);
+    Format.printf "trace (%d spans) written to %s@." (Obs.Tracer.count tr) path
+  | _ -> ());
+  match (metrics_out, metrics) with
+  | Some path, Some m ->
+    write path (Obs.Export.open_metrics m);
+    Format.printf "metrics written to %s@." path
+  | _ -> ()
 
 let provision ~machine ~hv ~vms ~vcpus ~gib ~seed =
   let configs =
@@ -135,16 +179,18 @@ let cve_cmd =
 (* --- inplace --- *)
 
 let inplace_cmd =
-  let run () machine source target vms vcpus gib seed fault_specs =
+  let run () machine source target vms vcpus gib seed fault_specs trace_out
+      metrics_out =
     if Hv.Kind.equal source target then begin
       Format.eprintf "source and target hypervisors must differ@.";
       exit 1
     end;
     let host = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
     let fault = fault_of_specs fault_specs in
+    let obs, metrics = obs_of_paths trace_out metrics_out in
     let report =
-      Hypertp.Api.transplant_inplace ~rng:(Sim.Rng.create seed) ?fault ~host
-        ~target ()
+      Hypertp.Api.transplant_inplace ~rng:(Sim.Rng.create seed) ?fault ?obs
+        ?metrics ~host ~target ()
     in
     Format.printf "%a@." Hypertp.Inplace.pp_report report;
     Format.printf "fixups:@.";
@@ -152,35 +198,41 @@ let inplace_cmd =
       (fun (vm, fixes) -> Format.printf "  %s: %a@." vm Uisr.Fixup.pp_list fixes)
       report.fixups;
     print_fault_trace fault;
+    write_obs trace_out metrics_out obs metrics;
     if not (Hypertp.Inplace.all_ok report.checks) then exit 2
   in
   Cmd.v
     (Cmd.info "inplace" ~doc:"Run an InPlaceTP micro-reboot transplant")
     Term.(const run $ verbose_arg $ machine_arg $ source_arg $ target_arg
-          $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg $ fault_arg)
+          $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg $ fault_arg
+          $ trace_out_arg $ metrics_out_arg)
 
 (* --- migrate --- *)
 
 let migrate_cmd =
-  let run machine source target vms vcpus gib seed fault_specs =
+  let run () machine source target vms vcpus gib seed fault_specs trace_out
+      metrics_out =
     let src = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
     let dst =
       Hypertp.Api.provision ~seed:(Int64.add seed 1L) ~name:"cli-dst" ~machine
         ~hv:target []
     in
     let fault = fault_of_specs fault_specs in
+    let obs, metrics = obs_of_paths trace_out metrics_out in
     let report =
-      Hypertp.Api.transplant_migration ~rng:(Sim.Rng.create seed) ?fault ~src
-        ~dst ()
+      Hypertp.Api.transplant_migration ~rng:(Sim.Rng.create seed) ?fault ?obs
+        ?metrics ~src ~dst ()
     in
     Format.printf "%a@." Hypertp.Migrate.pp_report report;
-    print_fault_trace fault
+    print_fault_trace fault;
+    write_obs trace_out metrics_out obs metrics
   in
   Cmd.v
     (Cmd.info "migrate"
        ~doc:"Run a MigrationTP (heterogeneous) or homogeneous live migration")
-    Term.(const run $ machine_arg $ source_arg $ target_arg $ vms_arg
-          $ vcpus_arg $ gib_arg $ seed_arg $ fault_arg)
+    Term.(const run $ verbose_arg $ machine_arg $ source_arg $ target_arg
+          $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg $ fault_arg
+          $ trace_out_arg $ metrics_out_arg)
 
 (* --- memsep --- *)
 
@@ -476,9 +528,9 @@ let campaign_cmd =
              ~doc:"Run one campaign per host-crash probability instead of a \
                    single campaign.")
   in
-  let run nodes vms_per_node fraction concurrency straggler breaker_window
+  let run () nodes vms_per_node fraction concurrency straggler breaker_window
       breaker_threshold breaker_cooldown seed specs journal_file resume_from
-      sweep =
+      sweep trace_out metrics_out =
     let config =
       {
         Cluster.Campaign.default_config with
@@ -527,6 +579,7 @@ let campaign_cmd =
             (count Cluster.Campaign.Deferred_exposed))
         (Cluster.Campaign.sweep ~config ~probabilities ())
     | None -> (
+      let obs, metrics = obs_of_paths trace_out metrics_out in
       let result =
         match resume_from with
         | Some path ->
@@ -535,11 +588,11 @@ let campaign_cmd =
           let raw = really_input_string ic len in
           close_in ic;
           (match Cluster.Campaign.journal_of_string raw with
-          | Ok j -> Cluster.Campaign.resume ?fault j
+          | Ok j -> Cluster.Campaign.resume ?fault ?obs ?metrics j
           | Error e ->
             Format.eprintf "cannot resume: %s@." e;
             exit 1)
-        | None -> Cluster.Campaign.run ?fault config
+        | None -> Cluster.Campaign.run ?fault ?obs ?metrics config
       in
       match result with
       | Cluster.Campaign.Finished (r, j) ->
@@ -547,22 +600,25 @@ let campaign_cmd =
         List.iter
           (fun h -> Format.printf "  %a@." Cluster.Campaign.pp_host_record h)
           r.Cluster.Campaign.hosts;
-        write_journal j
+        write_journal j;
+        write_obs trace_out metrics_out obs metrics
       | Cluster.Campaign.Crashed j ->
         Format.printf
           "controller crashed after %d journaled events; resume with \
            --resume-from@."
           (Cluster.Campaign.journal_length j);
-        write_journal j)
+        write_journal j;
+        write_obs trace_out metrics_out obs metrics)
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run a supervised rolling-transplant campaign on the event \
              engine: admission control, straggler deadlines, degradation \
              ladder, circuit breaker, checkpoint/resume")
-    Term.(const run $ nodes $ per_node $ fraction $ concurrency $ straggler
-          $ breaker_window $ breaker_threshold $ breaker_cooldown $ seed_arg
-          $ fault_arg $ journal_file $ resume_from $ sweep)
+    Term.(const run $ verbose_arg $ nodes $ per_node $ fraction $ concurrency
+          $ straggler $ breaker_window $ breaker_threshold $ breaker_cooldown
+          $ seed_arg $ fault_arg $ journal_file $ resume_from $ sweep
+          $ trace_out_arg $ metrics_out_arg)
 
 (* --- fleet --- *)
 

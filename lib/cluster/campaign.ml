@@ -295,10 +295,15 @@ type st = {
   mutable finished_at : Sim.Time.t option;
   mutable entries : entry list; (* newest first *)
   fault : Fault.t option;
+  obs : Obs.Tracer.t option;
+  metrics : Obs.Metrics.t option;
+  ospans : Obs.Span.t option array; (* open attempt span per host *)
+  mutable root_span : Obs.Span.t option;
 }
 
-let make_st ?fault cfg setup =
+let make_st ?fault ?obs ?metrics cfg setup =
   let n = Array.length setup.su_tasks in
+  let obs = Option.map Hypertp.Otrace.attach obs in
   {
     cfg;
     setup;
@@ -316,6 +321,16 @@ let make_st ?fault cfg setup =
     finished_at = None;
     entries = [];
     fault;
+    obs;
+    metrics;
+    ospans = Array.make n None;
+    root_span =
+      Hypertp.Otrace.start obs ~at:Sim.Time.zero ~track:"controller"
+        ~attrs:
+          [ ("engine", "campaign");
+            ("hosts", string_of_int n);
+            ("concurrency", string_of_int setup.su_effective) ]
+        "campaign";
   }
 
 let idx st host =
@@ -354,11 +369,111 @@ let resolve_failure st i manifestation at =
     | Retry -> st.hstates.(i) <- H_done (Deferred_exposed, at))
   | _ -> invalid_arg "Campaign: failure recorded for a host not running"
 
+let step_to_string = function
+  | Inplace -> "inplace"
+  | Drain -> "drain"
+  | Retry -> "retry"
+
+let man_to_string = function
+  | Crash -> "crash"
+  | Timeout -> "timeout"
+  | Flap -> "flap"
+
+let pp_event fmt = function
+  | Admitted step -> Format.fprintf fmt "admitted(%s)" (step_to_string step)
+  | Flap_failure -> Format.pp_print_string fmt "flap-leg (failed, recovered)"
+  | Straggler_cancelled -> Format.pp_print_string fmt "straggler-cancelled"
+  | Attempt_failed { step; manifestation } ->
+    Format.fprintf fmt "failed(%s, %s)" (step_to_string step)
+      (man_to_string manifestation)
+  | Attempt_completed step ->
+    Format.fprintf fmt "completed(%s)" (step_to_string step)
+  | Deferred -> Format.pp_print_string fmt "deferred"
+  | Breaker_opened -> Format.pp_print_string fmt "breaker-opened"
+  | Breaker_half_opened -> Format.pp_print_string fmt "breaker-half-open"
+  | Breaker_closed -> Format.pp_print_string fmt "breaker-closed"
+  | Campaign_finished -> Format.pp_print_string fmt "campaign-finished"
+
+(* Narration + span/metric bookkeeping for one applied event.  Runs at
+   the end of [apply], so a live run and [resume]'s replay emit the
+   same log lines, the same span tree and the same counters. *)
+let observe st e =
+  let at = e.je_at in
+  let obs = st.obs and metrics = st.metrics in
+  Hypertp.Log.info (fun m ->
+      m "campaign%s: %a at %a"
+        (match e.je_host with Some h -> " " ^ h | None -> "")
+        pp_event e.je_event Sim.Time.pp at);
+  let close i attrs =
+    (match st.ospans.(i) with
+    | Some s -> List.iter (fun (k, v) -> Obs.Span.set_attr s k v) attrs
+    | None -> ());
+    Hypertp.Otrace.finish obs st.ospans.(i) ~at;
+    st.ospans.(i) <- None
+  in
+  (match (e.je_event, e.je_host) with
+  | Admitted step, Some h ->
+    let i = idx st h in
+    st.ospans.(i) <-
+      Hypertp.Otrace.start obs ~at ?parent:st.root_span
+        ~track:("host:" ^ h)
+        ~attrs:
+          [ ("host", h); ("step", step_to_string step);
+            ("attempt", string_of_int st.attempts.(i)) ]
+        ("attempt:" ^ step_to_string step);
+    Hypertp.Otrace.count metrics
+      ~labels:[ ("engine", "campaign"); ("step", step_to_string step) ]
+      "hypertp_campaign_attempts_total"
+  | Flap_failure, Some h ->
+    Hypertp.Otrace.event st.ospans.(idx st h) ~at "flap_leg"
+  | Straggler_cancelled, Some h ->
+    close (idx st h) [ ("result", "straggler_cancelled") ];
+    Hypertp.Otrace.count metrics
+      ~labels:[ ("engine", "campaign"); ("manifestation", "timeout") ]
+      "hypertp_campaign_failures_total"
+  | Attempt_failed { step; manifestation }, Some h ->
+    close (idx st h)
+      [ ("result", "failed"); ("step", step_to_string step);
+        ("manifestation", man_to_string manifestation) ];
+    Hypertp.Otrace.count metrics
+      ~labels:
+        [ ("engine", "campaign");
+          ("manifestation", man_to_string manifestation) ]
+      "hypertp_campaign_failures_total"
+  | Attempt_completed step, Some h ->
+    close (idx st h) [ ("result", "completed") ];
+    Hypertp.Otrace.count metrics
+      ~labels:[ ("engine", "campaign"); ("step", step_to_string step) ]
+      "hypertp_campaign_completions_total"
+  | Deferred, Some h ->
+    Hypertp.Otrace.instant obs ~at ~track:("host:" ^ h)
+      ~attrs:[ ("host", h) ] "deferred"
+  | Breaker_opened, None ->
+    Hypertp.Otrace.instant obs ~at ?parent:st.root_span ~track:"controller"
+      "breaker:opened";
+    Hypertp.Otrace.count metrics
+      ~labels:[ ("engine", "campaign") ]
+      "hypertp_breaker_trips_total"
+  | Breaker_half_opened, None ->
+    Hypertp.Otrace.instant obs ~at ?parent:st.root_span ~track:"controller"
+      "breaker:half_open"
+  | Breaker_closed, None ->
+    Hypertp.Otrace.instant obs ~at ?parent:st.root_span ~track:"controller"
+      "breaker:closed"
+  | Campaign_finished, None ->
+    Hypertp.Otrace.finish obs st.root_span ~at;
+    st.root_span <- None
+  | _ -> ());
+  Hypertp.Otrace.gauge_set metrics
+    ~labels:[ ("engine", "campaign") ]
+    "hypertp_campaign_running"
+    (float_of_int st.running)
+
 (* Apply one journal entry to the state.  Both the live controller and
    [resume]'s replay funnel every mutation through here, which is what
    makes a resumed campaign land in exactly the state the crashed one
    had. *)
-let apply st e =
+let apply_state st e =
   (match e.je_host with
   | Some h ->
     let i = idx st h in
@@ -420,6 +535,10 @@ let apply st e =
   | Campaign_finished, None -> st.finished_at <- Some e.je_at
   | _ -> invalid_arg "Campaign: malformed journal entry"
 
+let apply st e =
+  apply_state st e;
+  observe st e
+
 (* --- live execution --- *)
 
 exception Controller_died
@@ -447,6 +566,9 @@ let append st ?host ?decision ~at event =
     { je_at = at; je_host = host; je_event = event; je_decision = decision;
       je_cursor = cursor st }
     :: st.entries;
+  Hypertp.Otrace.instant st.obs ~at ~track:"journal"
+    ~attrs:[ ("cursor", string_of_int (cursor st)) ]
+    "journal:checkpoint";
   if crashed then raise Controller_died
 
 let clear_timers ctx i =
@@ -706,7 +828,8 @@ let make_report st =
   let vms_in_place_total =
     List.fold_left (fun acc h -> acc + h.hr_vms_in_place) 0 hosts
   in
-  {
+  let r =
+    {
     cfg = st.cfg;
     base = st.setup.su_base;
     effective_concurrency = st.setup.su_effective;
@@ -730,14 +853,33 @@ let make_report st =
     vms_on_deferred =
       sum_vms (function Deferred_exposed -> true | _ -> false);
     vms_migrated_planned = vms_total - vms_in_place_total;
-  }
+    }
+  in
+  let labels = [ ("engine", "campaign") ] in
+  Hypertp.Otrace.gauge_set st.metrics ~labels
+    "hypertp_campaign_exposed_host_hours" r.exposed_host_hours;
+  Hypertp.Otrace.gauge_set st.metrics ~labels
+    "hypertp_campaign_wall_clock_seconds"
+    (Sim.Time.to_sec_f r.wall_clock);
+  r
 
 type run_result = Finished of report * journal | Crashed of journal
 
 let make_ctx st =
+  let eng = Sim.Engine.create () in
+  (* Timer lifecycle on its own track: every straggler deadline and
+     attempt completion timer shows up as fired or cancelled. *)
+  (match st.obs with
+  | Some tr ->
+    Sim.Engine.set_timer_hook eng (fun at notice ->
+        Obs.Tracer.instant tr ~at ~track:"engine"
+          (match notice with
+          | `Fired -> "timer:fired"
+          | `Cancelled -> "timer:cancelled"))
+  | None -> ());
   {
     st;
-    eng = Sim.Engine.create ();
+    eng;
     timers = Array.init (Array.length st.setup.su_tasks) (fun _ -> ref []);
   }
 
@@ -747,19 +889,19 @@ let drive ctx =
     Finished (make_report ctx.st, make_journal ctx.st)
   with Controller_died -> Crashed (make_journal ctx.st)
 
-let run ?fault cfg =
+let run ?fault ?obs ?metrics cfg =
   validate_config cfg;
   let setup = build_setup cfg in
-  let ctx = make_ctx (make_st ?fault cfg setup) in
+  let ctx = make_ctx (make_st ?fault ?obs ?metrics cfg setup) in
   Sim.Engine.schedule_at ctx.eng Sim.Time.zero (fun () -> settle ctx);
   drive ctx
 
-let resume ?fault journal =
+let resume ?fault ?obs ?metrics journal =
   let cfg = journal.j_config in
   validate_config cfg;
   let fault = Option.map Fault.restart fault in
   let setup = build_setup cfg in
-  let st = make_st ?fault cfg setup in
+  let st = make_st ?fault ?obs ?metrics cfg setup in
   (* Replay: every entry is re-applied and re-validated against the
      restarted fault plan — the same sites fire in the same order, so
      the plan's counters, probability stream and trace end up exactly
@@ -803,12 +945,12 @@ let resume ?fault journal =
   | B_closed | B_half_open -> ());
   drive ctx
 
-let run_to_completion ?fault cfg =
+let run_to_completion ?fault ?obs ?metrics cfg =
   let rec go = function
     | Finished (report, _) -> report
-    | Crashed j -> go (resume ?fault j)
+    | Crashed j -> go (resume ?fault ?obs ?metrics j)
   in
-  go (run ?fault cfg)
+  go (run ?fault ?obs ?metrics cfg)
 
 let sweep ?(config = default_config) ?(seed = 0xC1A5L) ~probabilities () =
   List.map
@@ -822,21 +964,11 @@ let sweep ?(config = default_config) ?(seed = 0xC1A5L) ~probabilities () =
 
 (* --- journal serialisation --- *)
 
-let step_to_string = function
-  | Inplace -> "inplace"
-  | Drain -> "drain"
-  | Retry -> "retry"
-
 let step_of_string = function
   | "inplace" -> Some Inplace
   | "drain" -> Some Drain
   | "retry" -> Some Retry
   | _ -> None
-
-let man_to_string = function
-  | Crash -> "crash"
-  | Timeout -> "timeout"
-  | Flap -> "flap"
 
 let man_of_string = function
   | "crash" -> Some Crash
@@ -1021,21 +1153,6 @@ let journal_of_string s =
   | Invalid_argument msg -> Error msg
 
 (* --- pretty printing --- *)
-
-let pp_event fmt = function
-  | Admitted step -> Format.fprintf fmt "admitted(%s)" (step_to_string step)
-  | Flap_failure -> Format.pp_print_string fmt "flap-leg (failed, recovered)"
-  | Straggler_cancelled -> Format.pp_print_string fmt "straggler-cancelled"
-  | Attempt_failed { step; manifestation } ->
-    Format.fprintf fmt "failed(%s, %s)" (step_to_string step)
-      (man_to_string manifestation)
-  | Attempt_completed step ->
-    Format.fprintf fmt "completed(%s)" (step_to_string step)
-  | Deferred -> Format.pp_print_string fmt "deferred"
-  | Breaker_opened -> Format.pp_print_string fmt "breaker-opened"
-  | Breaker_half_opened -> Format.pp_print_string fmt "breaker-half-open"
-  | Breaker_closed -> Format.pp_print_string fmt "breaker-closed"
-  | Campaign_finished -> Format.pp_print_string fmt "campaign-finished"
 
 let status_to_string = function
   | Upgraded_inplace -> "inplace"

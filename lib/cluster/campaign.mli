@@ -147,20 +147,41 @@ type run_result =
   | Crashed of journal
       (** a {!Fault.Controller_crash} fired; resume from the journal *)
 
-val run : ?fault:Fault.t -> config -> run_result
+val run :
+  ?fault:Fault.t -> ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> config ->
+  run_result
 (** Execute the campaign.  Raises [Invalid_argument] on a malformed
     config (non-positive concurrency, straggler factor below 1.2,
-    jitter outside [0, 0.1], threshold outside [0, 1], ...). *)
+    jitter outside [0, 0.1], threshold outside [0, 1], ...).
 
-val resume : ?fault:Fault.t -> journal -> run_result
+    [obs] records the campaign on virtual time: a root [campaign] span
+    on the [controller] track, one [attempt:<step>] span per admission
+    on its host's [host:<node>] track (closed with a [result]
+    attribute; flap legs become events on the open span), breaker
+    transitions and journal checkpoints as instants, and every engine
+    timer fire/cancel on the [engine] track.  Because all state
+    mutations funnel through the journal apply path, a resumed
+    campaign re-emits the entire timeline into whatever tracer it is
+    given.  [metrics] accumulates attempt/failure/completion counters,
+    breaker trips, a running-attempts gauge and, once finished, the
+    exposure and wall-clock gauges. *)
+
+val resume :
+  ?fault:Fault.t -> ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> journal ->
+  run_result
 (** Replay the journal — re-validating it against a {e restarted} copy
     of [fault] (same injections and seed as the original run) — then
     continue the campaign live.  The final report is identical to the
     uninterrupted run's.  Raises [Invalid_argument] if the journal does
     not match the plan. *)
 
-val run_to_completion : ?fault:Fault.t -> config -> report
-(** [run], resuming across any number of controller crashes. *)
+val run_to_completion :
+  ?fault:Fault.t -> ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> config ->
+  report
+(** [run], resuming across any number of controller crashes.  With
+    [obs], each crash-and-resume cycle replays the journal into the
+    same tracer, so the trace accumulates one timeline per life of the
+    controller — pass a fresh tracer per call if that is not wanted. *)
 
 val sweep :
   ?config:config -> ?seed:int64 -> probabilities:float list -> unit ->

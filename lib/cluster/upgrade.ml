@@ -36,26 +36,40 @@ let inplace_host_time ~vms =
 let reboot_host_time = Sim.Time.sec 60 (* firmware + full kernel boot *)
 
 let execute ~nic (plan : Btrplace.plan) =
+  Hypertp.Log.info (fun m ->
+      m "upgrade: executing plan with %d migrations, %d VMs in place"
+        plan.Btrplace.migration_count plan.Btrplace.inplace_vm_count);
   let migration_time = ref Sim.Time.zero in
   let last_upgrade = ref Sim.Time.zero in
   List.iter
     (fun action ->
       match action with
-      | Btrplace.Migrate { vm; _ } ->
-        migration_time := Sim.Time.add !migration_time (migration_op_time ~nic ~vm)
-      | Btrplace.Upgrade_inplace { vms_in_place; _ } ->
+      | Btrplace.Migrate { vm; src; dst } ->
+        let op = migration_op_time ~nic ~vm in
+        Hypertp.Log.debug (fun m ->
+            m "upgrade: migrate %s %s -> %s (%a)" vm.Model.vm_name src dst
+              Sim.Time.pp op);
+        migration_time := Sim.Time.add !migration_time op
+      | Btrplace.Upgrade_inplace { node; vms_in_place } ->
+        Hypertp.Log.debug (fun m ->
+            m "upgrade: in-place %s with %d VMs riding" node vms_in_place);
         last_upgrade :=
           (if vms_in_place > 0 then inplace_host_time ~vms:vms_in_place
            else reboot_host_time)
       | Btrplace.Take_offline _ | Btrplace.Bring_online _ -> ())
     plan.Btrplace.actions;
-  {
-    migration_count = plan.Btrplace.migration_count;
-    inplace_vm_count = plan.Btrplace.inplace_vm_count;
-    migration_time = !migration_time;
-    upgrade_tail = !last_upgrade;
-    total = Sim.Time.add !migration_time !last_upgrade;
-  }
+  let t =
+    {
+      migration_count = plan.Btrplace.migration_count;
+      inplace_vm_count = plan.Btrplace.inplace_vm_count;
+      migration_time = !migration_time;
+      upgrade_tail = !last_upgrade;
+      total = Sim.Time.add !migration_time !last_upgrade;
+    }
+  in
+  Hypertp.Log.info (fun m ->
+      m "upgrade: plan executed, total %a" Sim.Time.pp t.total);
+  t
 
 let sweep ?(nodes = 10) ?(vms_per_node = 10) ~fractions () =
   let nic = Hw.Nic.create ~bandwidth_gbps:10.0 () in
@@ -137,6 +151,10 @@ let execute_faulty ?fault ?(fallback_vm_ram = Hw.Units.gib 4)
                        migration_op_time ~nic ~vm:(vm i)))
               in
               migrated := !migrated + vms_in_place;
+              Hypertp.Log.warn (fun m ->
+                  m "upgrade: %s failed pre-PNR; draining %d VMs then \
+                     rebooting"
+                    node vms_in_place);
               {
                 failed_node = node;
                 failed_vms = vms_in_place;
@@ -148,6 +166,10 @@ let execute_faulty ?fault ?(fallback_vm_ram = Hw.Units.gib 4)
               (* Post-PNR: the ReHype-style ladder recovered the VMs on
                  the target, at the cost of a full host reboot. *)
               recovered := !recovered + vms_in_place;
+              Hypertp.Log.warn (fun m ->
+                  m "upgrade: %s failed post-PNR; %d VMs recovered, full \
+                     reboot"
+                    node vms_in_place);
               {
                 failed_node = node;
                 failed_vms = vms_in_place;

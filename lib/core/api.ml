@@ -14,11 +14,13 @@ type response = {
   inplace : Inplace.report option;
 }
 
-let transplant_inplace ?options ?rng ?fault ~host ~target () =
-  Inplace.run ?options ?rng ?fault ~host ~target:(hypervisor_of target) ()
+let transplant_inplace ?options ?rng ?fault ?obs ?metrics ~host ~target () =
+  Inplace.run ?options ?rng ?fault ?obs ?metrics ~host
+    ~target:(hypervisor_of target) ()
 
-let transplant_migration ?rng ?fault ?retry ~src ~dst ?vm_names () =
-  Migrate.run ?rng ?fault ?retry ~src ~dst ?vm_names ()
+let transplant_migration ?rng ?fault ?retry ?obs ?metrics ~src ~dst ?vm_names
+    () =
+  Migrate.run ?rng ?fault ?retry ?obs ?metrics ~src ~dst ?vm_names ()
 
 let respond_to_cve ?options ?rng ?fault ~host ~cve_id ?(apply = true) () =
   let record =

@@ -25,10 +25,12 @@ val respond_to_cve :
     hypervisor. *)
 
 val transplant_inplace :
-  ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t -> host:Hv.Host.t ->
+  ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
+  ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> host:Hv.Host.t ->
   target:Hv.Kind.t -> unit -> Inplace.report
 
 val transplant_migration :
   ?rng:Sim.Rng.t -> ?fault:Fault.t -> ?retry:Migrate.retry_params ->
+  ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t ->
   src:Hv.Host.t -> dst:Hv.Host.t -> ?vm_names:string list -> unit ->
   Migrate.report

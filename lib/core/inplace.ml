@@ -116,8 +116,92 @@ let quarantine_triage_seconds = 0.1
 let salvage_repair_seconds = 0.05
 let full_reboot_seconds = 60.0
 
+(* Replay the finished run's timeline into an optional tracer and roll
+   the phase durations into the metrics registry.  Phase spans are laid
+   back-to-back from t=0 using the exact [Sim.Time.t] values stored in
+   the report, so [Phases.of_trace] reconciles with the report to the
+   tick; recovery-ladder rungs become sequential children of the
+   recovery phase, per-VM restores parallel children of restoration. *)
+let emit_obs obs metrics ~source ~target ~(phases : Phases.t) ~rungs ~restores
+    ~outcome_label ~events =
+  let track = "inplace" in
+  let root =
+    Otrace.start obs ~at:Sim.Time.zero ~track
+      ~attrs:
+        [ ("engine", "inplace"); ("source", source); ("target", target);
+          ("outcome", outcome_label) ]
+      "inplace"
+  in
+  let c = ref Sim.Time.zero in
+  let phase name d children =
+    let s =
+      Otrace.start obs ~at:!c ?parent:root ~track (Phases.span_prefix ^ name)
+    in
+    children s !c;
+    c := Sim.Time.add !c d;
+    Otrace.finish obs s ~at:!c
+  in
+  phase "pram" phases.Phases.pram (fun _ _ -> ());
+  phase "translation" phases.Phases.translation (fun _ _ -> ());
+  phase "reboot" phases.Phases.reboot (fun _ _ -> ());
+  let reboot_end = !c in
+  phase "restoration" phases.Phases.restoration (fun p start ->
+      List.iter
+        (fun (vm, secs) ->
+          ignore
+            (Otrace.span obs ~at:start
+               ~until:(Sim.Time.add start (Sim.Time.of_sec_f secs))
+               ?parent:p ~track:("vm:" ^ vm) ~attrs:[ ("vm", vm) ]
+               ("restore:" ^ vm)))
+        restores);
+  phase "recovery" phases.Phases.recovery (fun p start ->
+      let rc = ref start in
+      List.iter
+        (fun (short, attrs, secs) ->
+          let until = Sim.Time.add !rc (Sim.Time.of_sec_f secs) in
+          ignore
+            (Otrace.span obs ~at:!rc ~until ?parent:p ~track ~attrs
+               ("rung:" ^ short));
+          rc := until)
+        rungs);
+  (* The NIC starts initialising when the new kernel boots and runs in
+     parallel with restoration (section 5.2). *)
+  ignore
+    (Otrace.span obs ~at:reboot_end
+       ~until:(Sim.Time.add reboot_end phases.Phases.network) ?parent:root
+       ~track:"network"
+       (Phases.span_prefix ^ "network"));
+  List.iter (fun (at, label) -> Otrace.event root ~at label) events;
+  let stop = Sim.Time.max !c (Sim.Time.add reboot_end phases.Phases.network) in
+  Otrace.finish obs root ~at:stop;
+  let obs_phase name d =
+    Otrace.observe metrics
+      ~labels:[ ("engine", "inplace"); ("phase", name) ]
+      ~buckets:Otrace.seconds_buckets "hypertp_phase_seconds"
+      (Sim.Time.to_sec_f d)
+  in
+  obs_phase "pram" phases.Phases.pram;
+  obs_phase "translation" phases.Phases.translation;
+  obs_phase "reboot" phases.Phases.reboot;
+  obs_phase "restoration" phases.Phases.restoration;
+  obs_phase "recovery" phases.Phases.recovery;
+  obs_phase "network" phases.Phases.network;
+  Otrace.observe metrics
+    ~labels:[ ("engine", "inplace") ]
+    ~buckets:Otrace.seconds_buckets "hypertp_downtime_seconds"
+    (Sim.Time.to_sec_f (Phases.downtime phases));
+  List.iter
+    (fun (short, _, _) ->
+      Otrace.count metrics
+        ~labels:[ ("engine", "inplace"); ("rung", short) ]
+        "hypertp_recovery_rungs_total")
+    rungs;
+  Otrace.count metrics
+    ~labels:[ ("engine", "inplace"); ("outcome", outcome_label) ]
+    "hypertp_transplants_total"
+
 let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
-    ~(host : Hv.Host.t) ~target:(module T : Hv.Intf.S) () =
+    ?obs ?metrics ~(host : Hv.Host.t) ~target:(module T : Hv.Intf.S) () =
   let (Hv.Host.Packed ((module S), _, _)) = Hv.Host.running_exn host in
   if Hv.Kind.equal S.kind T.kind then
     invalid_arg "Inplace.run: target equals the running hypervisor";
@@ -129,15 +213,22 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
     if options.Options.parallel_translation then Hw.Machine.worker_threads machine
     else 1
   in
+  let obs = Option.map Otrace.attach obs in
   let jit () = Sim.Rng.jitter rng 0.02 in
   let fire ?vm site =
     match fault with
     | Some f ->
       let fired = Fault.fire f ?vm site in
-      if fired then
+      if fired then begin
         Log.warn (fun m ->
             m "fault injected at %a%s" Fault.pp_site site
               (match vm with Some v -> " (" ^ v ^ ")" | None -> ""));
+        Otrace.count metrics
+          ~labels:
+            [ ("engine", "inplace");
+              ("site", Format.asprintf "%a" Fault.pp_site site) ]
+          "hypertp_faults_total"
+      end;
       fired
     | None -> false
   in
@@ -269,6 +360,14 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
     in
     let recovery_seconds = ref 0.0 in
     let full_reboot = ref false in
+    (* Recovery-ladder rungs in firing order, each a (name, span attrs,
+       seconds) triple: the trace lays them out sequentially inside the
+       recovery phase span, and their seconds sum to recovery_seconds. *)
+    let rungs = ref [] in
+    let rung short attrs secs =
+      recovery_seconds := !recovery_seconds +. secs;
+      rungs := (short, attrs, secs) :: !rungs
+    in
 
     (* Step 4: micro-reboot into the target with the PRAM pointer on its
        command line. *)
@@ -287,7 +386,7 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
          rides along (ReHype's microreboot premise). *)
       note Fault.Kexec_jump;
       full_reboot := true;
-      recovery_seconds := !recovery_seconds +. full_reboot_seconds;
+      rung "full_reboot" [ ("cause", "kexec_clobber") ] full_reboot_seconds;
       Log.warn (fun m -> m "kexec image clobbered: full-reboot fallback")
     end;
     if fire Fault.Host_crash then begin
@@ -296,7 +395,7 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
          from the preserved PRAM + UISR staging. *)
       note Fault.Host_crash;
       full_reboot := true;
-      recovery_seconds := !recovery_seconds +. full_reboot_seconds
+      rung "full_reboot" [ ("cause", "host_crash") ] full_reboot_seconds
     end;
     let pointer =
       match Kexec.pram_pointer_of_cmdline (Kexec.cmdline image) with
@@ -388,7 +487,8 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
           let quarantine why =
             Log.warn (fun m -> m "quarantining %s: %s" n why);
             quarantined := n :: !quarantined;
-            recovery_seconds := !recovery_seconds +. quarantine_triage_seconds;
+            rung "quarantine" [ ("vm", n); ("why", why) ]
+              quarantine_triage_seconds;
             None
           in
           let restore ~before ~salvage =
@@ -397,7 +497,7 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
             let rec attempt k =
               if fire ~vm:n Fault.Vm_restore then begin
                 note Fault.Vm_restore;
-                recovery_seconds := !recovery_seconds +. restore_retry_seconds;
+                rung "restore_retry" [ ("vm", n) ] restore_retry_seconds;
                 if k > options.Options.restore_retry_limit then None
                 else begin
                   incr restore_retries;
@@ -432,7 +532,7 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
                 Log.warn (fun m ->
                     m "salvaging %s: %d diagnostic(s)" n (List.length diags));
                 salvaged := (n, msgs) :: !salvaged;
-                recovery_seconds := !recovery_seconds +. salvage_repair_seconds;
+                rung "salvage" [ ("vm", n) ] salvage_repair_seconds;
                 restore ~before:s ~salvage:(Some msgs))
             | Uisr.Integrity.Rejected d ->
               quarantine
@@ -457,12 +557,12 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
         note Fault.Mgmt_rebuild;
         if k >= 3 then begin
           full_reboot := true;
-          recovery_seconds := !recovery_seconds +. full_reboot_seconds
+          rung "full_reboot" [ ("cause", "mgmt_rebuild") ] full_reboot_seconds
         end
         else begin
           incr mgmt_rebuilds;
-          recovery_seconds :=
-            !recovery_seconds +. Sim.Time.to_sec_f (Hv.Host.rebuild_management_state host);
+          rung "mgmt_rebuild" []
+            (Sim.Time.to_sec_f (Hv.Host.rebuild_management_state host));
           mgmt_attempt (k + 1)
         end
       end
@@ -565,19 +665,34 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
             recovery_time = Sim.Time.of_sec_f !recovery_seconds;
           }
     in
+    let phases =
+      {
+        Phases.pram = Sim.Time.of_sec_f pram_phase;
+        translation = Sim.Time.of_sec_f translation_seconds;
+        reboot = Sim.Time.of_sec_f reboot_seconds;
+        restoration = Sim.Time.of_sec_f restoration_seconds;
+        recovery = Sim.Time.of_sec_f !recovery_seconds;
+        network = Hw.Nic.init_time machine.Hw.Machine.nic;
+      }
+    in
+    let restores =
+      List.map2
+        (fun (n, _, _, _, _) secs -> (n, secs))
+        restore_results restore_jobs
+    in
+    emit_obs obs metrics ~source:S.name ~target:T.name ~phases
+      ~rungs:(List.rev !rungs) ~restores
+      ~outcome_label:(match outcome with Committed -> "committed" | _ -> "recovered")
+      ~events:
+        [ (phases.Phases.pram, "vms_paused");
+          ( Sim.Time.add phases.Phases.pram phases.Phases.translation,
+            "point_of_no_return" );
+          (Phases.total phases, "vms_resumed") ];
     {
       source = S.name;
       target = T.name;
       vm_count = List.length vms;
-      phases =
-        {
-          Phases.pram = Sim.Time.of_sec_f pram_phase;
-          translation = Sim.Time.of_sec_f translation_seconds;
-          reboot = Sim.Time.of_sec_f reboot_seconds;
-          restoration = Sim.Time.of_sec_f restoration_seconds;
-          recovery = Sim.Time.of_sec_f !recovery_seconds;
-          network = Hw.Nic.init_time machine.Hw.Machine.nic;
-        };
+      phases;
       fixups = List.map (fun (n, _, f, _, _) -> (n, f)) restore_results;
       uisr_platform_bytes;
       pram_accounting = acct;
@@ -629,19 +744,26 @@ let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
         devices_preserved = true;
       }
     in
+    let phases =
+      {
+        Phases.pram = Sim.Time.of_sec_f !pram_spent;
+        translation = Sim.Time.of_sec_f !translation_spent;
+        reboot = Sim.Time.zero;
+        restoration = Sim.Time.of_sec_f resume_cost;
+        recovery = Sim.Time.zero;
+        network = Sim.Time.zero;
+      }
+    in
+    emit_obs obs metrics ~source:S.name ~target:T.name ~phases ~rungs:[]
+      ~restores:[] ~outcome_label:"rolled_back"
+      ~events:
+        [ ( Phases.total phases,
+            Format.asprintf "rollback:%a" Fault.pp_site site ) ];
     {
       source = S.name;
       target = T.name;
       vm_count = List.length vms;
-      phases =
-        {
-          Phases.pram = Sim.Time.of_sec_f !pram_spent;
-          translation = Sim.Time.of_sec_f !translation_spent;
-          reboot = Sim.Time.zero;
-          restoration = Sim.Time.of_sec_f resume_cost;
-          recovery = Sim.Time.zero;
-          network = Sim.Time.zero;
-        };
+      phases;
       fixups = [];
       uisr_platform_bytes = 0;
       pram_accounting = !built_acct;

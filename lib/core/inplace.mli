@@ -71,7 +71,8 @@ type report = {
 }
 
 val run :
-  ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t -> host:Hv.Host.t ->
+  ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
+  ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> host:Hv.Host.t ->
   target:(module Hv.Intf.S) -> unit -> report
 (** Transplant every VM on [host] onto [target].  On a committed or
     recovered run the host ends up running the target hypervisor with
@@ -79,7 +80,20 @@ val run :
     source with all VMs resumed.  [fault] arms an injection plan (see
     {!Fault}); omitted means fault-free.  Raises [Invalid_argument] if
     the host has no hypervisor or no VMs, or if the target is already
-    the running hypervisor. *)
+    the running hypervisor.
+
+    [obs] records the run as a span tree on virtual time: a root
+    [inplace] span, one [phase:*] span per {!Phases.t} field (using the
+    report's exact durations, so {!Phases.of_trace} over the trace
+    reconciles with [report.phases] to the tick), per-VM [restore:*]
+    children under restoration, sequential [rung:*] children under
+    recovery (restore retries, quarantine triage, salvage repairs,
+    management rebuilds, full-reboot fallback), and instant events for
+    pause / point-of-no-return / resume.  [metrics] accumulates
+    [hypertp_phase_seconds], [hypertp_downtime_seconds],
+    [hypertp_faults_total], [hypertp_recovery_rungs_total] and
+    [hypertp_transplants_total].  Both default to off and cost nothing
+    when absent. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit

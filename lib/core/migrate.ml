@@ -47,6 +47,15 @@ type report = {
 
 let setup_time = Sim.Time.ms 400 (* connection + capability negotiation *)
 
+let pp_outcome fmt = function
+  | Completed -> Format.pp_print_string fmt "completed"
+  | Completed_after_retries n -> Format.fprintf fmt "completed after %d retries" n
+  | Aborted_link_failure round ->
+    Format.fprintf fmt "aborted (link failure, round %d)" round
+  | Aborted_state_corruption attempts ->
+    Format.fprintf fmt "aborted (state corrupt on all %d transmissions)"
+      attempts
+
 (* One pre-copy attempt over the analytic plan, walking its rounds and
    consulting the fault plan for link faults.  A degraded link halves
    the round's bandwidth (the round takes twice as long); a dropped
@@ -81,8 +90,116 @@ let attempt_precopy ~fire ~vm:n ~page_wire_bytes
   in
   walk 0 Sim.Time.zero Sim.Time.zero 0 plan.Migration.Precopy.rounds
 
+(* Replay one VM's finished migration onto the optional tracer, laying
+   segments back-to-back from t=0 on track ["vm:<name>"] using the
+   report's own durations (setup, each dropped attempt + backoff,
+   pre-copy with per-round children, downtime), so the root span's
+   extent equals [total_time] exactly.  [dropped] lists the link-failed
+   attempts in firing order as (round, wire time, backoff) — backoff is
+   [None] only when the attempt budget ran out. *)
+(* Metric labels must be low-cardinality enums, unlike the free-text
+   span attribute built from [pp_outcome]. *)
+let outcome_metric_label = function
+  | Completed | Completed_after_retries _ -> "completed"
+  | Aborted_link_failure _ -> "aborted_link_failure"
+  | Aborted_state_corruption _ -> "aborted_state_corruption"
+
+let emit_vm_obs obs metrics ~(plan : Migration.Precopy.plan) ~dropped
+    (r : vm_report) =
+  let outcome_label = Format.asprintf "%a" pp_outcome r.outcome in
+  let track = "vm:" ^ r.vm_name in
+  let root =
+    Otrace.start obs ~at:Sim.Time.zero ~track
+      ~attrs:
+        [ ("engine", "migrate"); ("vm", r.vm_name);
+          ("outcome", outcome_label) ]
+      ("migrate:" ^ r.vm_name)
+  in
+  let c = ref Sim.Time.zero in
+  let seg ?(attrs = []) name d =
+    let until = Sim.Time.add !c d in
+    let s = Otrace.span obs ~at:!c ~until ?parent:root ~track ~attrs name in
+    c := until;
+    s
+  in
+  ignore (seg "setup" setup_time);
+  let dropped_wire =
+    List.fold_left
+      (fun acc (round, w_time, backoff) ->
+        ignore
+          (seg "precopy_attempt"
+             ~attrs:
+               [ ("result", "link_dropped"); ("round", string_of_int round) ]
+             w_time);
+        (match backoff with
+        | Some b -> ignore (seg "backoff" b)
+        | None -> ());
+        Sim.Time.add acc w_time)
+      Sim.Time.zero dropped
+  in
+  (match r.outcome with
+  | Aborted_link_failure _ -> ()
+  | Completed | Completed_after_retries _ | Aborted_state_corruption _ ->
+    let p =
+      seg "precopy"
+        ~attrs:[ ("rounds", string_of_int r.rounds) ]
+        r.precopy_time
+    in
+    (* Children use the analytic plan's raw round durations; the parent
+       carries the jitter and any degraded-link stretch. *)
+    let rc = ref (Sim.Time.sub !c r.precopy_time) in
+    List.iter
+      (fun (round : Migration.Precopy.round) ->
+        let until = Sim.Time.add !rc round.duration in
+        ignore
+          (Otrace.span obs ~at:!rc ~until ?parent:p ~track
+             ~attrs:[ ("pages_sent", string_of_int round.pages_sent) ]
+             "round");
+        rc := until)
+      plan.Migration.Precopy.rounds;
+    (match r.outcome with
+    | Aborted_state_corruption _ ->
+      (* The report folds the retransmission waste into wasted_time;
+         what the dropped attempts did not burn was spent here. *)
+      ignore
+        (seg "state_retransmit"
+           ~attrs:
+             [ ("transmissions", string_of_int (r.state_retransmits + 1)) ]
+           (Sim.Time.sub r.wasted_time dropped_wire))
+    | _ ->
+      let d =
+        seg "downtime"
+          ~attrs:
+            [ ("queue_wait", Sim.Time.to_string r.queue_wait);
+              ("state_retransmits", string_of_int r.state_retransmits) ]
+          r.downtime
+      in
+      let dt_start = Sim.Time.sub !c r.downtime in
+      for k = 1 to r.state_retransmits do
+        Otrace.event d ~at:dt_start ("retransmit:" ^ string_of_int k)
+      done));
+  Otrace.finish obs root ~at:r.total_time;
+  let labels = [ ("engine", "migrate") ] in
+  Otrace.count metrics
+    ~labels:(labels @ [ ("outcome", outcome_metric_label r.outcome) ])
+    "hypertp_migrations_total";
+  if r.retries > 0 then
+    Otrace.count metrics ~by:(float_of_int r.retries) ~labels
+      "hypertp_migration_retries_total";
+  if r.state_retransmits > 0 then
+    Otrace.count metrics
+      ~by:(float_of_int r.state_retransmits)
+      ~labels "hypertp_state_retransmits_total";
+  Otrace.count metrics
+    ~by:(float_of_int r.wire_bytes)
+    ~labels "hypertp_wire_bytes_total";
+  Otrace.observe metrics ~labels ~buckets:Otrace.seconds_buckets
+    "hypertp_downtime_seconds"
+    (Sim.Time.to_sec_f r.downtime)
+
 let run ?(rng = Sim.Rng.create 0x3C4DL) ?fault ?(retry = default_retry)
-    ~(src : Hv.Host.t) ~(dst : Hv.Host.t) ?vm_names () =
+    ?obs ?metrics ~(src : Hv.Host.t) ~(dst : Hv.Host.t) ?vm_names () =
+  let obs = Option.map Otrace.attach obs in
   if retry.max_attempts < 1 then invalid_arg "Migrate.run: max_attempts < 1";
   let (Hv.Host.Packed ((module S), _, _)) = Hv.Host.running_exn src in
   let (Hv.Host.Packed ((module D), _, _)) = Hv.Host.running_exn dst in
@@ -114,8 +231,14 @@ let run ?(rng = Sim.Rng.create 0x3C4DL) ?fault ?(retry = default_retry)
     match fault with
     | Some f ->
       let fired = Fault.fire f ~vm site in
-      if fired then
+      if fired then begin
         Log.warn (fun m -> m "fault injected at %a (%s)" Fault.pp_site site vm);
+        Otrace.count metrics
+          ~labels:
+            [ ("engine", "migrate");
+              ("site", Format.asprintf "%a" Fault.pp_site site) ]
+          "hypertp_faults_total"
+      end;
       fired
     | None -> false
   in
@@ -151,12 +274,14 @@ let run ?(rng = Sim.Rng.create 0x3C4DL) ?fault ?(retry = default_retry)
            (the source VM never paused; nothing landed on the
            destination), so retry after an exponential backoff until
            the attempt budget runs out. *)
+        let dropped = ref [] in
         let rec go attempt ~retry_wait ~wasted_time ~wasted_bytes =
           match attempt_precopy ~fire ~vm:n ~page_wire_bytes plan with
           | Link_dropped (round, w_time, w_bytes) ->
             let wasted_time = Sim.Time.add wasted_time w_time in
             let wasted_bytes = wasted_bytes + w_bytes in
             if attempt >= retry.max_attempts then begin
+              dropped := (round, w_time, None) :: !dropped;
               Log.warn (fun m ->
                   m "%s: link dropped in round %d; attempt budget exhausted"
                     n round);
@@ -183,6 +308,7 @@ let run ?(rng = Sim.Rng.create 0x3C4DL) ?fault ?(retry = default_retry)
                   (retry.backoff_factor ** float_of_int (attempt - 1))
                   retry.backoff_base
               in
+              dropped := (round, w_time, Some backoff) :: !dropped;
               Log.warn (fun m ->
                   m "%s: link dropped in round %d; retrying in %a (attempt %d/%d)"
                     n round Sim.Time.pp backoff (attempt + 1) retry.max_attempts);
@@ -371,8 +497,12 @@ let run ?(rng = Sim.Rng.create 0x3C4DL) ?fault ?(retry = default_retry)
                  else Completed_after_retries retries);
             })
         in
-        go 1 ~retry_wait:Sim.Time.zero ~wasted_time:Sim.Time.zero
-          ~wasted_bytes:0)
+        let r =
+          go 1 ~retry_wait:Sim.Time.zero ~wasted_time:Sim.Time.zero
+            ~wasted_bytes:0
+        in
+        emit_vm_obs obs metrics ~plan ~dropped:(List.rev !dropped) r;
+        r)
       plans
   in
   let total_time =
@@ -393,15 +523,6 @@ let run ?(rng = Sim.Rng.create 0x3C4DL) ?fault ?(retry = default_retry)
         management_consistent = Hv.Host.management_consistent dst;
       };
   }
-
-let pp_outcome fmt = function
-  | Completed -> Format.pp_print_string fmt "completed"
-  | Completed_after_retries n -> Format.fprintf fmt "completed after %d retries" n
-  | Aborted_link_failure round ->
-    Format.fprintf fmt "aborted (link failure, round %d)" round
-  | Aborted_state_corruption attempts ->
-    Format.fprintf fmt "aborted (state corrupt on all %d transmissions)"
-      attempts
 
 let pp_report fmt r =
   let kind =

@@ -77,7 +77,8 @@ type report = {
 }
 
 val run :
-  ?rng:Sim.Rng.t -> ?fault:Fault.t -> ?retry:retry_params -> src:Hv.Host.t ->
+  ?rng:Sim.Rng.t -> ?fault:Fault.t -> ?retry:retry_params ->
+  ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> src:Hv.Host.t ->
   dst:Hv.Host.t -> ?vm_names:string list -> unit -> report
 (** Migrate the named VMs (default: all) from [src] to [dst].  The
     destination hypervisor must already be booted; the kind is inferred:
@@ -95,6 +96,15 @@ val run :
     retransmit budget (default {!default_retry}).  A VM whose attempts
     are exhausted stays resident and running on the source, with the
     wasted wire time and bytes accounted.
+
+    [obs] records each VM's migration on its own [vm:<name>] track:
+    setup, every link-dropped attempt and its backoff sleep, the
+    pre-copy span with one child per analytic round, and the downtime
+    span annotated with retransmit events; the root span's extent
+    equals the VM's [total_time] exactly.  [metrics] accumulates
+    [hypertp_migrations_total], retry/retransmit counters,
+    [hypertp_wire_bytes_total], [hypertp_faults_total] and a
+    [hypertp_downtime_seconds] histogram.
 
     Raises [Invalid_argument] if the destination lacks memory or a
     hypervisor, a VM name is unknown, or [retry.max_attempts < 1]. *)

@@ -22,6 +22,32 @@ let zero =
     restoration = Sim.Time.zero; recovery = Sim.Time.zero;
     network = Sim.Time.zero }
 
+(* The engines name their top-level phase spans "phase:<field>"; this
+   prefix is the contract between the tracer instrumentation and the
+   derived breakdown. *)
+let span_prefix = "phase:"
+
+let of_trace spans =
+  let dur field =
+    let name = span_prefix ^ field in
+    List.fold_left
+      (fun acc s ->
+        if String.equal (Obs.Span.name s) name then
+          match Obs.Span.duration s with
+          | Some d -> Sim.Time.add acc d
+          | None -> acc
+        else acc)
+      Sim.Time.zero spans
+  in
+  {
+    pram = dur "pram";
+    translation = dur "translation";
+    reboot = dur "reboot";
+    restoration = dur "restoration";
+    recovery = dur "recovery";
+    network = dur "network";
+  }
+
 let pp fmt t =
   Format.fprintf fmt
     "pram %a | translation %a | reboot %a | restoration %a | network %a => downtime %a, total %a"

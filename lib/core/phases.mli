@@ -30,6 +30,19 @@ val downtime_with_network : t -> Sim.Time.t
     tails applies. *)
 
 val zero : t
+
+val span_prefix : string
+(** ["phase:"] — the engines open one top-level span per phase named
+    [span_prefix ^ field]; {!of_trace} recognises them by this name. *)
+
+val of_trace : Obs.Span.t list -> t
+(** Re-derive the phase breakdown from a recorded trace: per field, the
+    summed duration of every finished span named [span_prefix ^ field].
+    For any single engine run the result reconciles {e exactly} (to the
+    nanosecond tick) with the hand-accumulated record in the report —
+    the property test that keeps the trace and the report from
+    drifting apart.  Open spans contribute nothing. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_row : Format.formatter -> t -> unit
 (** Tab-separated numeric row (seconds) for the bench harness. *)

@@ -1,0 +1,195 @@
+(* Deterministic text exporters: Chrome trace_event JSON (loadable in
+   Perfetto / chrome://tracing) and an OpenMetrics-style dump.  Both
+   derive their output order from recording order and sorted registry
+   order respectively, never from hashing or wall time, so a seeded run
+   exports byte-identical artifacts — the property the golden tests
+   pin. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* trace_event timestamps are microseconds; virtual time is integer
+   nanoseconds, so three decimals render it exactly. *)
+let us_of ns = Printf.sprintf "%.3f" (float_of_int ns /. 1000.0)
+
+let args_json attrs =
+  match attrs with
+  | [] -> ""
+  | attrs ->
+    let fields =
+      List.map
+        (fun (k, v) ->
+          Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+        attrs
+    in
+    Printf.sprintf ",\"args\":{%s}" (String.concat "," fields)
+
+let chrome_trace ?(process = "hypertp") tracer =
+  let spans = Tracer.spans tracer in
+  (* Track -> tid, in order of first appearance. *)
+  let tracks = ref [] in
+  let tid_of track =
+    match List.assoc_opt track !tracks with
+    | Some tid -> tid
+    | None ->
+      let tid = List.length !tracks + 1 in
+      tracks := !tracks @ [ (track, tid) ];
+      tid
+  in
+  List.iter (fun s -> ignore (tid_of (Span.track s))) spans;
+  let entries = ref [] in
+  (* Sort key: (time, span id, rank-within-span, event index). *)
+  let add ~at ~sid ~rank ~idx line = entries := ((at, sid, rank, idx), line) :: !entries in
+  List.iter
+    (fun s ->
+      let tid = tid_of (Span.track s) in
+      let sid = Span.id s in
+      let start_ns = Sim.Time.to_ns (Span.start s) in
+      let attrs = Span.attrs s in
+      (match Span.kind s with
+      | Span.Instant ->
+        add ~at:start_ns ~sid ~rank:0 ~idx:0
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\
+              \"ts\":%s,\"pid\":1,\"tid\":%d%s}"
+             (json_escape (Span.name s))
+             (us_of start_ns) tid (args_json attrs))
+      | Span.Interval ->
+        let dur_ns, attrs =
+          match Span.stop s with
+          | Some stop -> (Sim.Time.to_ns stop - start_ns, attrs)
+          | None -> (0, attrs @ [ ("unfinished", "true") ])
+        in
+        add ~at:start_ns ~sid ~rank:0 ~idx:0
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":%s,\
+              \"dur\":%s,\"pid\":1,\"tid\":%d%s}"
+             (json_escape (Span.name s))
+             (us_of start_ns) (us_of dur_ns) tid (args_json attrs)));
+      List.iteri
+        (fun idx (at, label) ->
+          add ~at:(Sim.Time.to_ns at) ~sid ~rank:1 ~idx
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\
+                \"ts\":%s,\"pid\":1,\"tid\":%d%s}"
+               (json_escape label)
+               (us_of (Sim.Time.to_ns at))
+               tid
+               (args_json [ ("span", Span.name s) ])))
+        (Span.events s))
+    spans;
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) !entries in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+        \"args\":{\"name\":\"%s\"}}"
+       (json_escape process));
+  List.iter
+    (fun (track, tid) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+            \"args\":{\"name\":\"%s\"}}"
+           tid (json_escape track)))
+    !tracks;
+  List.iter
+    (fun (_, line) ->
+      Buffer.add_string buf ",\n";
+      Buffer.add_string buf line)
+    entries;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+(* --- OpenMetrics --- *)
+
+let om_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let om_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let om_labels = function
+  | [] -> ""
+  | labels ->
+    Printf.sprintf "{%s}"
+      (String.concat ","
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (om_escape v))
+            labels))
+
+let om_bound b =
+  if b = Float.infinity then "+Inf" else om_value b
+
+let open_metrics metrics =
+  let buf = Buffer.create 4096 in
+  let last_header = ref "" in
+  List.iter
+    (fun i ->
+      let name = Metrics.name i in
+      if name <> !last_header then begin
+        last_header := name;
+        (match Metrics.help i with
+        | "" -> ()
+        | help ->
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" name (om_escape help)));
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" name
+             (match Metrics.instrument_kind i with
+             | Metrics.Counter -> "counter"
+             | Metrics.Gauge -> "gauge"
+             | Metrics.Histogram -> "histogram"))
+      end;
+      let labels = Metrics.instrument_labels i in
+      match Metrics.instrument_kind i with
+      | Metrics.Counter | Metrics.Gauge ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" name (om_labels labels)
+             (om_value (Metrics.value i)))
+      | Metrics.Histogram ->
+        let h = i in
+        let bounds = Metrics.bucket_bounds h @ [ Float.infinity ] in
+        let counts = Metrics.bucket_counts h in
+        let cumulative = ref 0 in
+        List.iter2
+          (fun bound count ->
+            cumulative := !cumulative + count;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" name
+                 (om_labels (labels @ [ ("le", om_bound bound) ]))
+                 !cumulative))
+          bounds counts;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" name (om_labels labels)
+             (om_value (Metrics.sum h)));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" name (om_labels labels)
+             (Metrics.observations h)))
+    (Metrics.instruments metrics);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Deterministic exporters for traces and metrics.
+
+    Both formats are plain strings the caller writes wherever it wants;
+    output order depends only on recording order (traces) and sorted
+    registry order (metrics), so a seeded run exports byte-identical
+    artifacts — goldens can diff them. *)
+
+val chrome_trace : ?process:string -> Tracer.t -> string
+(** Chrome [trace_event] JSON (the ["traceEvents"] array form),
+    loadable in Perfetto or chrome://tracing.  Interval spans become
+    complete ([ph:"X"]) events, instants and span annotations become
+    thread-scoped instant ([ph:"i"]) events, and each {!Span} track
+    becomes a named thread.  Timestamps are microseconds with
+    nanosecond precision.  A still-open span exports with zero duration
+    and an ["unfinished"] arg. *)
+
+val open_metrics : Metrics.t -> string
+(** OpenMetrics-style text: [# TYPE] headers, one sample line per
+    counter/gauge, cumulative [_bucket{le=...}] + [_sum] + [_count]
+    lines per histogram, final [# EOF]. *)

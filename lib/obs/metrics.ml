@@ -1,0 +1,151 @@
+type labels = (string * string) list
+
+type kind = Counter | Gauge | Histogram
+
+type instrument = {
+  name : string;
+  help : string;
+  labels : labels; (* sorted by key *)
+  kind : kind;
+  mutable value : float; (* counter total / gauge level *)
+  buckets : float array; (* upper bounds, strictly increasing *)
+  bucket_counts : int array; (* length = Array.length buckets + 1 (+Inf) *)
+  mutable observations : int;
+  mutable sum : float;
+  mutable rev_samples : float list; (* retained for Stats summaries *)
+  mutable retained : int;
+}
+
+type counter = instrument
+type gauge = instrument
+type histogram = instrument
+
+(* Raw samples kept per histogram for Sim.Stats summaries; beyond this
+   the buckets/sum/count still update but samples stop accumulating, so
+   memory stays bounded. *)
+let sample_retention = 4096
+
+type t = {
+  tbl : (string * labels, instrument) Hashtbl.t;
+}
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let kind_to_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+let sort_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+let register t ~name ~help ~labels ~kind ~buckets =
+  if name = "" then invalid_arg "Metrics: empty metric name";
+  let labels = sort_labels labels in
+  match Hashtbl.find_opt t.tbl (name, labels) with
+  | Some i ->
+    if i.kind <> kind then
+      invalid_arg
+        (Printf.sprintf "Metrics: %s already registered as a %s" name
+           (kind_to_string i.kind));
+    i
+  | None ->
+    let rec increasing = function
+      | a :: (b :: _ as rest) ->
+        if a >= b then
+          invalid_arg "Metrics: histogram buckets must be strictly increasing"
+        else increasing rest
+      | _ -> ()
+    in
+    increasing buckets;
+    let buckets = Array.of_list buckets in
+    let i =
+      {
+        name;
+        help;
+        labels;
+        kind;
+        value = 0.0;
+        buckets;
+        bucket_counts = Array.make (Array.length buckets + 1) 0;
+        observations = 0;
+        sum = 0.0;
+        rev_samples = [];
+        retained = 0;
+      }
+    in
+    Hashtbl.replace t.tbl (name, labels) i;
+    i
+
+let counter t ?(labels = []) ?(help = "") name =
+  register t ~name ~help ~labels ~kind:Counter ~buckets:[]
+
+let gauge t ?(labels = []) ?(help = "") name =
+  register t ~name ~help ~labels ~kind:Gauge ~buckets:[]
+
+let histogram t ?(labels = []) ?(help = "") ~buckets name =
+  if buckets = [] then invalid_arg "Metrics.histogram: no buckets";
+  register t ~name ~help ~labels ~kind:Histogram ~buckets
+
+let expect i kind op =
+  if i.kind <> kind then
+    invalid_arg
+      (Printf.sprintf "Metrics.%s: %s is a %s" op i.name
+         (kind_to_string i.kind))
+
+let inc ?(by = 1.0) i =
+  expect i Counter "inc";
+  if by < 0.0 then invalid_arg "Metrics.inc: counters only go up";
+  i.value <- i.value +. by
+
+let set i v =
+  expect i Gauge "set";
+  i.value <- v
+
+let value i = i.value
+
+(* Prometheus-style upper-bound-inclusive assignment: bucket [j] counts
+   values [v <= buckets.(j)]; the last (+Inf) bucket takes the rest.  A
+   value exactly on a boundary lands in the bucket whose bound it
+   equals. *)
+let bucket_index i v =
+  expect i Histogram "bucket_index";
+  let n = Array.length i.buckets in
+  let rec find j = if j >= n then n else if v <= i.buckets.(j) then j else find (j + 1) in
+  find 0
+
+let observe i v =
+  expect i Histogram "observe";
+  let j = bucket_index i v in
+  i.bucket_counts.(j) <- i.bucket_counts.(j) + 1;
+  i.observations <- i.observations + 1;
+  i.sum <- i.sum +. v;
+  if i.retained < sample_retention then begin
+    i.rev_samples <- v :: i.rev_samples;
+    i.retained <- i.retained + 1
+  end
+
+let observations i = i.observations
+let sum i = i.sum
+let bucket_bounds i = Array.to_list i.buckets
+let bucket_counts i = Array.to_list i.bucket_counts
+
+let summary i =
+  expect i Histogram "summary";
+  match i.rev_samples with
+  | [] -> None
+  | samples -> Some (Sim.Stats.summarize samples)
+
+let name i = i.name
+let instrument_labels i = i.labels
+let instrument_kind i = i.kind
+let help i = i.help
+
+let instruments t =
+  let all = Hashtbl.fold (fun _ i acc -> i :: acc) t.tbl [] in
+  List.sort
+    (fun a b ->
+      match String.compare a.name b.name with
+      | 0 -> Stdlib.compare a.labels b.labels
+      | c -> c)
+    all

@@ -1,0 +1,73 @@
+(** The metrics registry: named counters, gauges and fixed-bucket
+    histograms, labelled by engine / VM / host.
+
+    Instruments are identified by (name, sorted labels); registering the
+    same pair twice returns the existing instrument, so call sites can
+    re-derive handles freely.  Histograms keep Prometheus-style
+    cumulative-compatible fixed buckets (upper-bound inclusive) plus a
+    bounded reservoir of raw samples for {!Sim.Stats} summaries; beyond
+    the retention cap the buckets, sum and count keep updating while
+    sample retention stops, keeping memory bounded. *)
+
+type t
+
+type labels = (string * string) list
+
+type kind = Counter | Gauge | Histogram
+
+type instrument
+(** Counters, gauges and histograms share one representation; the
+    aliases below are documentation, with runtime guards rejecting
+    kind-mismatched operations ([inc] on a gauge, [observe] on a
+    counter, ...). *)
+
+type counter = instrument
+type gauge = instrument
+type histogram = instrument
+
+val create : unit -> t
+
+val counter : t -> ?labels:labels -> ?help:string -> string -> counter
+val gauge : t -> ?labels:labels -> ?help:string -> string -> gauge
+
+val histogram :
+  t -> ?labels:labels -> ?help:string -> buckets:float list -> string ->
+  histogram
+(** [buckets] are upper bounds, strictly increasing; an implicit +Inf
+    bucket is appended.  Raises [Invalid_argument] on an empty or
+    non-increasing list, or if the name is already registered with a
+    different kind. *)
+
+val inc : ?by:float -> counter -> unit
+(** Raises [Invalid_argument] on a negative increment. *)
+
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+
+val bucket_index : histogram -> float -> int
+(** The index the value lands in: the first bucket whose upper bound is
+    [>= v] (boundary values land in the bucket whose bound they equal),
+    or [length buckets] for the +Inf overflow bucket. *)
+
+val summary : histogram -> Sim.Stats.summary option
+(** {!Sim.Stats} summary over the retained raw samples; [None] before
+    the first observation. *)
+
+(** {1 Introspection (exporters, tests)} *)
+
+val value : instrument -> float
+val observations : histogram -> int
+val sum : histogram -> float
+val bucket_bounds : histogram -> float list
+val bucket_counts : histogram -> int list
+(** Per-bucket (non-cumulative) counts; last entry is the +Inf bucket. *)
+
+val name : instrument -> string
+val help : instrument -> string
+val instrument_labels : instrument -> labels
+val instrument_kind : instrument -> kind
+
+val instruments : t -> instrument list
+(** All instruments, sorted by (name, labels) — a deterministic order
+    for exporters and golden tests. *)

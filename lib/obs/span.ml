@@ -1,0 +1,63 @@
+type id = int
+
+type kind = Interval | Instant
+
+type t = {
+  id : id;
+  parent : id option;
+  kind : kind;
+  name : string;
+  track : string;
+  start : Sim.Time.t;
+  mutable stop_ : Sim.Time.t option;
+  mutable rev_attrs : (string * string) list;
+  mutable rev_events : (Sim.Time.t * string) list;
+}
+
+let make ~id ?parent ~kind ~track ~attrs ~at name =
+  {
+    id;
+    parent;
+    kind;
+    name;
+    track;
+    start = at;
+    stop_ = (match kind with Instant -> Some at | Interval -> None);
+    rev_attrs = List.rev attrs;
+    rev_events = [];
+  }
+
+let id t = t.id
+let parent t = t.parent
+let name t = t.name
+let track t = t.track
+let kind t = t.kind
+let start t = t.start
+let stop t = t.stop_
+
+let duration t =
+  match t.stop_ with None -> None | Some s -> Some (Sim.Time.sub s t.start)
+
+let attrs t = List.rev t.rev_attrs
+let events t = List.rev t.rev_events
+
+let set_attr t k v = t.rev_attrs <- (k, v) :: t.rev_attrs
+
+let add_event t ~at label = t.rev_events <- (at, label) :: t.rev_events
+
+let finish t ~at =
+  match t.stop_ with
+  | Some _ -> invalid_arg ("Span.finish: span already finished: " ^ t.name)
+  | None ->
+    if Sim.Time.(at < t.start) then
+      invalid_arg ("Span.finish: stop before start: " ^ t.name);
+    t.stop_ <- Some at
+
+let pp fmt t =
+  Format.fprintf fmt "[%d%s] %s @@ %a" t.id
+    (match t.parent with Some p -> Printf.sprintf "<-%d" p | None -> "")
+    t.name Sim.Time.pp t.start;
+  (match t.stop_ with
+  | Some s -> Format.fprintf fmt "..%a" Sim.Time.pp s
+  | None -> Format.pp_print_string fmt "..(open)");
+  List.iter (fun (k, v) -> Format.fprintf fmt " %s=%s" k v) (attrs t)

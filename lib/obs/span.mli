@@ -1,0 +1,52 @@
+(** A span: a named interval of virtual time with attributes and
+    point-in-time event annotations.
+
+    Spans are created and closed by {!Tracer}; all timestamps come from
+    {!Sim.Time} (never the wall clock), so a trace of a seeded run is
+    deterministic and replayable.  A span belongs to a [track] — the
+    horizontal lane exporters render it on (one per engine, host or
+    VM) — and may name a parent span for logical nesting. *)
+
+type id = int
+
+type kind =
+  | Interval  (** has a start and, once finished, a stop *)
+  | Instant   (** a zero-length point event *)
+
+type t
+
+val id : t -> id
+val parent : t -> id option
+val name : t -> string
+val track : t -> string
+val kind : t -> kind
+
+val start : t -> Sim.Time.t
+
+val stop : t -> Sim.Time.t option
+(** [None] while the span is still open (or was never finished). *)
+
+val duration : t -> Sim.Time.t option
+(** [stop - start]; [None] while open. *)
+
+val attrs : t -> (string * string) list
+(** Key/value attributes, in the order they were attached. *)
+
+val events : t -> (Sim.Time.t * string) list
+(** Point annotations inside the span, in the order they were added. *)
+
+val set_attr : t -> string -> string -> unit
+(** Attach (or append — duplicate keys are kept) an attribute. *)
+
+val add_event : t -> at:Sim.Time.t -> string -> unit
+
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val make :
+  id:id -> ?parent:id -> kind:kind -> track:string ->
+  attrs:(string * string) list -> at:Sim.Time.t -> string -> t
+(** Used by {!Tracer}; not part of the public surface. *)
+
+val finish : t -> at:Sim.Time.t -> unit

@@ -1,0 +1,77 @@
+type t = {
+  cap : int;
+  ring : Span.t option array;
+  mutable head : int; (* next write position *)
+  mutable count : int;
+  mutable next_id : int;
+  mutable dropped : int;
+  mutable hook : ([ `Open | `Close ] -> Span.t -> Sim.Time.t -> unit) option;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  {
+    cap = capacity;
+    ring = Array.make capacity None;
+    head = 0;
+    count = 0;
+    next_id = 0;
+    dropped = 0;
+    hook = None;
+  }
+
+let set_hook t hook = t.hook <- Some hook
+let clear_hook t = t.hook <- None
+
+let notify t phase span at =
+  match t.hook with None -> () | Some hook -> hook phase span at
+
+let record t span =
+  if t.ring.(t.head) <> None then t.dropped <- t.dropped + 1
+  else t.count <- t.count + 1;
+  t.ring.(t.head) <- Some span;
+  t.head <- (t.head + 1) mod t.cap
+
+let fresh t ~at ?parent ?(track = "main") ?(attrs = []) ~kind name =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let span =
+    Span.make ~id
+      ?parent:(Option.map Span.id parent)
+      ~kind ~track ~attrs ~at name
+  in
+  record t span;
+  span
+
+let start t ~at ?parent ?track ?attrs name =
+  let span = fresh t ~at ?parent ?track ?attrs ~kind:Span.Interval name in
+  notify t `Open span at;
+  span
+
+let finish t span ~at =
+  Span.finish span ~at;
+  notify t `Close span at
+
+let instant t ~at ?parent ?track ?attrs name =
+  let span = fresh t ~at ?parent ?track ?attrs ~kind:Span.Instant name in
+  notify t `Open span at
+
+let span t ~at ~until ?parent ?track ?attrs name =
+  let s = start t ~at ?parent ?track ?attrs name in
+  finish t s ~at:until;
+  s
+
+let spans t =
+  (* Oldest first: the ring's tail is at [head] when full, 0 otherwise. *)
+  let out = ref [] in
+  let from = if t.ring.(t.head) = None then 0 else t.head in
+  for i = t.cap - 1 downto 0 do
+    match t.ring.((from + i) mod t.cap) with
+    | Some s -> out := s :: !out
+    | None -> ()
+  done;
+  !out
+
+let count t = t.count
+let capacity t = t.cap
+let dropped t = t.dropped

@@ -1,0 +1,52 @@
+(** The span collector: opens and closes {!Span}s against virtual time
+    and retains them in a bounded ring buffer.
+
+    Memory is bounded: the tracer holds at most [capacity] spans; once
+    full, recording a new span evicts the oldest one ({!dropped} counts
+    the evictions).  Exporters tolerate a parent evicted from under its
+    children.
+
+    The tracer itself never reads a clock — every operation takes an
+    explicit [at] from the caller's virtual timeline — so a seeded run
+    produces a byte-identical trace every time. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 4096 spans; it must be positive. *)
+
+val start :
+  t -> at:Sim.Time.t -> ?parent:Span.t -> ?track:string ->
+  ?attrs:(string * string) list -> string -> Span.t
+(** Open an interval span.  [track] defaults to ["main"]. *)
+
+val finish : t -> Span.t -> at:Sim.Time.t -> unit
+(** Close a span.  Raises [Invalid_argument] if already closed or if
+    [at] precedes the span's start. *)
+
+val instant :
+  t -> at:Sim.Time.t -> ?parent:Span.t -> ?track:string ->
+  ?attrs:(string * string) list -> string -> unit
+(** Record a zero-length point event. *)
+
+val span :
+  t -> at:Sim.Time.t -> until:Sim.Time.t -> ?parent:Span.t ->
+  ?track:string -> ?attrs:(string * string) list -> string -> Span.t
+(** Record an already-delimited interval in one call. *)
+
+val spans : t -> Span.t list
+(** Retained spans, oldest first (recording order). *)
+
+val count : t -> int
+val capacity : t -> int
+
+val dropped : t -> int
+(** Spans evicted by the ring since creation. *)
+
+val set_hook : t -> ([ `Open | `Close ] -> Span.t -> Sim.Time.t -> unit) -> unit
+(** Install the (single) span observer: called on every span open and
+    close with the span and the timestamp; an {!instant} notifies once
+    as [`Open].  The core library routes this to its log source so
+    [-v -v] narrates the trace. *)
+
+val clear_hook : t -> unit

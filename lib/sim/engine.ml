@@ -4,15 +4,27 @@
 
 type event = { at : Time.t; seq : int; run : unit -> unit }
 
+type timer_notice = [ `Fired | `Cancelled ]
+
 type t = {
   mutable clock : Time.t;
   mutable heap : event array;
   mutable size : int;
   mutable next_seq : int;
+  mutable timer_hook : (Time.t -> timer_notice -> unit) option;
 }
 
 let dummy = { at = Time.zero; seq = -1; run = ignore }
-let create () = { clock = Time.zero; heap = Array.make 64 dummy; size = 0; next_seq = 0 }
+
+let create () =
+  { clock = Time.zero; heap = Array.make 64 dummy; size = 0; next_seq = 0;
+    timer_hook = None }
+
+let set_timer_hook t hook = t.timer_hook <- Some hook
+let clear_timer_hook t = t.timer_hook <- None
+
+let notify t notice =
+  match t.timer_hook with None -> () | Some hook -> hook t.clock notice
 let now t = t.clock
 let pending t = t.size
 
@@ -77,13 +89,14 @@ let schedule_after t delay run = schedule_at t (Time.add t.clock delay) run
 
 type timer_state = Timer_pending | Timer_fired | Timer_cancelled
 
-type timer = { mutable state : timer_state }
+type timer = { mutable state : timer_state; owner : t }
 
 let schedule_timer_at t at run =
-  let timer = { state = Timer_pending } in
+  let timer = { state = Timer_pending; owner = t } in
   schedule_at t at (fun () ->
       if timer.state = Timer_pending then begin
         timer.state <- Timer_fired;
+        notify t `Fired;
         run ()
       end);
   timer
@@ -92,7 +105,10 @@ let schedule_timer_after t delay run =
   schedule_timer_at t (Time.add t.clock delay) run
 
 let cancel timer =
-  if timer.state = Timer_pending then timer.state <- Timer_cancelled
+  if timer.state = Timer_pending then begin
+    timer.state <- Timer_cancelled;
+    notify timer.owner `Cancelled
+  end
 
 let timer_pending timer = timer.state = Timer_pending
 

@@ -42,6 +42,23 @@ val cancel : timer -> unit
 val timer_pending : timer -> bool
 (** [true] until the timer fires or is cancelled. *)
 
+(** {1 Timer observability}
+
+    Supervision layers want every timer fire and cancellation on the
+    record (the observability subsystem turns them into trace events).
+    The hook is invoked with the engine's clock at the moment the
+    notice happens: the fire time for [`Fired], the cancellation time —
+    not the would-be fire time — for [`Cancelled].  Plain
+    {!schedule_at} events are not reported; only cancellable timers
+    are. *)
+
+type timer_notice = [ `Fired | `Cancelled ]
+
+val set_timer_hook : t -> (Time.t -> timer_notice -> unit) -> unit
+(** Install the (single) timer observer, replacing any previous one. *)
+
+val clear_timer_hook : t -> unit
+
 val run : t -> unit
 (** Execute events until the queue is empty. *)
 

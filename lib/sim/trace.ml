@@ -50,11 +50,36 @@ let mean_between t start stop =
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>trace %s:@," t.name;
-  let marks = markers t in
-  List.iter
-    (fun (at, label) -> Format.fprintf fmt "  mark %a: %s@," Time.pp at label)
-    marks;
-  List.iter
-    (fun (at, v) -> Format.fprintf fmt "  %8.2f %10.2f@," (Time.to_sec_f at) v)
-    (samples t);
+  (* Merge markers and samples into one chronological stream.  On a
+     shared timestamp the marker renders first: it names the event that
+     explains the sample ("transplant starts" before the QPS dip). *)
+  let pp_mark (at, label) = Format.fprintf fmt "  mark %a: %s@," Time.pp at label
+  and pp_sample (at, v) =
+    Format.fprintf fmt "  %8.2f %10.2f@," (Time.to_sec_f at) v
+  in
+  let rec interleave marks samples =
+    match (marks, samples) with
+    | [], [] -> ()
+    | m :: ms, [] ->
+      pp_mark m;
+      interleave ms []
+    | [], s :: ss ->
+      pp_sample s;
+      interleave [] ss
+    | ((mat, _) as m) :: ms, ((sat, _) as s) :: ss ->
+      if Time.(mat <= sat) then begin
+        pp_mark m;
+        interleave ms samples
+      end
+      else begin
+        pp_sample s;
+        interleave marks ss
+      end
+  in
+  let marks =
+    (* [mark] does not require monotone timestamps; sort stably so ties
+       keep insertion order. *)
+    List.stable_sort (fun (a, _) (b, _) -> Time.compare a b) (markers t)
+  in
+  interleave marks (samples t);
   Format.fprintf fmt "@]"

@@ -30,4 +30,8 @@ val mean_between : t -> Time.t -> Time.t -> float
 (** Mean value over a window; 0 if the window holds no samples. *)
 
 val pp : Format.formatter -> t -> unit
-(** Render as aligned "t value" rows with markers interleaved. *)
+(** Render as aligned "t value" rows with markers interleaved in
+    chronological order.  Tie-break: when a marker and a sample share a
+    timestamp, the marker renders before the sample — the marker names
+    the event that explains the reading that follows it.  Markers
+    sharing a timestamp keep their insertion order. *)

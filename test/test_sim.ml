@@ -126,6 +126,28 @@ let test_stats_percentile () =
   checkf "p100" 40.0 (Sim.Stats.percentile xs 100.0);
   checkf "p50 interp" 25.0 (Sim.Stats.percentile xs 50.0)
 
+let test_stats_percentile_edges () =
+  (* A single sample answers every percentile. *)
+  checkf "single p0" 7.0 (Sim.Stats.percentile [ 7.0 ] 0.0);
+  checkf "single p50" 7.0 (Sim.Stats.percentile [ 7.0 ] 50.0);
+  checkf "single p100" 7.0 (Sim.Stats.percentile [ 7.0 ] 100.0);
+  (* Duplicates: interpolation between equal neighbours is exact. *)
+  let dups = [ 5.0; 5.0; 5.0; 9.0 ] in
+  checkf "dup p25" 5.0 (Sim.Stats.percentile dups 25.0);
+  checkf "dup p50" 5.0 (Sim.Stats.percentile dups 50.0);
+  checkf "dup p100" 9.0 (Sim.Stats.percentile dups 100.0);
+  (* Input order must not matter. *)
+  checkf "unsorted" 25.0 (Sim.Stats.percentile [ 40.0; 10.0; 30.0; 20.0 ] 50.0);
+  (* Interpolation at a non-grid rank: p75 of 4 samples is rank 2.25. *)
+  checkf "fractional rank" 32.5
+    (Sim.Stats.percentile [ 10.0; 20.0; 30.0; 40.0 ] 75.0);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Sim.Stats.percentile [ 1.0 ] 100.1));
+  Alcotest.check_raises "negative p"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Sim.Stats.percentile [ 1.0 ] (-0.1)))
+
 let test_stats_stddev () =
   checkf "constant" 0.0 (Sim.Stats.stddev [ 2.0; 2.0; 2.0 ]);
   checkf "sample sd" 1.0 (Sim.Stats.stddev [ 1.0; 2.0; 3.0 ])
@@ -232,6 +254,48 @@ let test_trace_backwards_rejected () =
     (Invalid_argument "Trace.add: time going backwards") (fun () ->
       Sim.Trace.add t (Sim.Time.sec 1) 1.0)
 
+let test_trace_pp_interleaving () =
+  (* When a marker and a sample share a timestamp the marker renders
+     first (it names the event that explains the reading), and markers
+     sharing a timestamp keep insertion order. *)
+  let t = Sim.Trace.create ~name:"t" () in
+  Sim.Trace.add t (Sim.Time.sec 1) 10.0;
+  Sim.Trace.mark t (Sim.Time.sec 1) "first";
+  Sim.Trace.mark t (Sim.Time.sec 1) "second";
+  Sim.Trace.add t (Sim.Time.sec 2) 20.0;
+  let out = Format.asprintf "%a" Sim.Trace.pp t in
+  let pos needle =
+    let nl = String.length needle and hl = String.length out in
+    let rec go i =
+      if i + nl > hl then Alcotest.failf "missing %S in %S" needle out
+      else if String.sub out i nl = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  checkb "marker before same-time sample" true (pos "first" < pos "10");
+  checkb "markers keep insertion order" true (pos "first" < pos "second");
+  checkb "later sample last" true (pos "second" < pos "20")
+
+let test_engine_timer_hook () =
+  let e = Sim.Engine.create () in
+  let notices = ref [] in
+  Sim.Engine.set_timer_hook e (fun at n ->
+      notices := (Sim.Time.to_ns at, n) :: !notices);
+  let _fires = Sim.Engine.schedule_timer_at e (Sim.Time.ms 5) (fun () -> ()) in
+  let doomed = Sim.Engine.schedule_timer_at e (Sim.Time.ms 9) (fun () -> ()) in
+  Sim.Engine.schedule_at e (Sim.Time.ms 2) (fun () -> Sim.Engine.cancel doomed);
+  Sim.Engine.run e;
+  (* Cancellation is recorded at the cancel time, not the would-be fire
+     time. *)
+  checkb "notices" true
+    (List.rev !notices = [ (2_000_000, `Cancelled); (5_000_000, `Fired) ]);
+  Sim.Engine.clear_timer_hook e;
+  let e2 = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule_timer_at e2 (Sim.Time.ms 1) (fun () -> ()));
+  Sim.Engine.run e2;
+  checki "hook cleared, nothing new" 2 (List.length !notices)
+
 let test_trace_bucketize () =
   let t = Sim.Trace.create ~name:"t" () in
   List.iter
@@ -278,6 +342,8 @@ let suites =
       [
         Alcotest.test_case "summary" `Quick test_stats_summary;
         Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "percentile edge cases" `Quick
+          test_stats_percentile_edges;
         Alcotest.test_case "stddev" `Quick test_stats_stddev;
         Alcotest.test_case "low variance criterion" `Quick test_stats_low_variance;
         Alcotest.test_case "empty rejected" `Quick test_stats_empty;
@@ -292,6 +358,7 @@ let suites =
         Alcotest.test_case "past scheduling rejected" `Quick test_engine_past_rejected;
         Alcotest.test_case "2000 random events stay monotone" `Quick
           test_engine_many_events;
+        Alcotest.test_case "timer hook" `Quick test_engine_timer_hook;
       ] );
     ( "sim.trace",
       [
@@ -299,5 +366,7 @@ let suites =
         Alcotest.test_case "backwards rejected" `Quick test_trace_backwards_rejected;
         Alcotest.test_case "bucketize" `Quick test_trace_bucketize;
         Alcotest.test_case "between window" `Quick test_trace_between;
+        Alcotest.test_case "pp interleaving tie-break" `Quick
+          test_trace_pp_interleaving;
       ] );
   ]
