@@ -1,0 +1,106 @@
+(* Fleet-scale campaign benchmark: how the supervised campaign engine
+   behaves as the host count grows from the paper's 10-node cluster to
+   a 10k-host / 80k-VM fleet.  For each size it reports real wall-clock,
+   minor-heap allocation, journaled events and exposure, and pins
+   determinism by running the 10k point twice and comparing journals.
+
+   Emits BENCH_scale.json (consumed by the scale-smoke CI job). *)
+
+open Bench_util
+
+let vms_per_host = 8
+let default_sizes = [ 100; 1_000; 10_000; 50_000 ]
+let determinism_at = 10_000
+
+let config hosts =
+  {
+    Cluster.Campaign.default_config with
+    Cluster.Campaign.nodes = hosts;
+    vms_per_node = vms_per_host;
+  }
+
+type point = {
+  p_hosts : int;
+  p_wall_s : float;  (* real time for one campaign run *)
+  p_minor_words : float;  (* minor-heap words allocated by that run *)
+  p_events : int;  (* journal entries *)
+  p_exposed_hh : float;
+  p_sim_wall_s : float;  (* simulated campaign wall clock *)
+}
+
+let finished = function
+  | Cluster.Campaign.Finished (r, j) -> (r, j)
+  | Cluster.Campaign.Crashed _ ->
+    (* No fault plan is armed, so the controller cannot crash. *)
+    assert false
+
+let run_once hosts =
+  let cfg = config hosts in
+  let words0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let r, j = finished (Cluster.Campaign.run cfg) in
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    p_hosts = hosts;
+    p_wall_s = wall;
+    p_minor_words = Gc.minor_words () -. words0;
+    p_events = Cluster.Campaign.journal_length j;
+    p_exposed_hh = r.Cluster.Campaign.exposed_host_hours;
+    p_sim_wall_s = Sim.Time.to_sec_f r.Cluster.Campaign.wall_clock;
+  }
+
+(* Same seed => byte-identical journal and identical report numbers. *)
+let deterministic hosts =
+  let snap () =
+    let r, j = finished (Cluster.Campaign.run (config hosts)) in
+    ( Cluster.Campaign.journal_to_string j,
+      r.Cluster.Campaign.exposed_host_hours,
+      r.Cluster.Campaign.wall_clock )
+  in
+  snap () = snap ()
+
+let emit points deterministic_checked =
+  let oc = open_out "BENCH_scale.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"scale\",\n  \"vms_per_host\": %d,\n  \
+     \"deterministic\": %b,\n  \"points\": [\n"
+    vms_per_host deterministic_checked;
+  List.iteri
+    (fun i p ->
+      Printf.fprintf oc
+        "    {\"hosts\": %d, \"wall_clock_s\": %.3f, \"minor_words\": %.0f, \
+         \"events\": %d, \"exposed_host_hours\": %.4f, \
+         \"sim_wall_clock_s\": %.3f}%s\n"
+        p.p_hosts p.p_wall_s p.p_minor_words p.p_events p.p_exposed_hh
+        p.p_sim_wall_s
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  note "wrote BENCH_scale.json@."
+
+let run ?(sizes = default_sizes) () =
+  header "Fleet-scale campaign engine (hosts -> wall-clock / allocation)";
+  Format.printf "%-8s %-10s %-14s %-9s %-12s %s@." "hosts" "wall(s)"
+    "minor-words" "events" "exposed-hh" "sim-wall";
+  let points =
+    List.map
+      (fun hosts ->
+        let p = run_once hosts in
+        Format.printf "%-8d %-10.3f %-14.0f %-9d %-12.3f %.1fs@." p.p_hosts
+          p.p_wall_s p.p_minor_words p.p_events p.p_exposed_hh p.p_sim_wall_s;
+        p)
+      sizes
+  in
+  let check_determinism = List.mem determinism_at sizes in
+  if check_determinism then begin
+    note "re-running the %d-host campaign to pin determinism...@."
+      determinism_at;
+    if not (deterministic determinism_at) then begin
+      Format.eprintf "FATAL: %d-host campaign is not deterministic@."
+        determinism_at;
+      exit 1
+    end;
+    note "identical journal and report across runs@."
+  end;
+  emit points check_determinism

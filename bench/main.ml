@@ -30,6 +30,8 @@ let targets : (string * string * (unit -> unit)) list =
     ("fleet", "Fig 1 fleet exposure scenario", Bench_figures.fleet);
     ("campaign", "supervised campaign controller (emits BENCH_campaign.json)",
      Bench_figures.campaign);
+    ("scale", "fleet-scale campaign sweep (emits BENCH_scale.json); accepts \
+               --hosts N", fun () -> Bench_scale.run ());
     ("micro", "Bechamel micro-benchmarks", Bench_micro.run);
   ]
 
@@ -51,6 +53,21 @@ let () =
   match args with
   | [ "--list" ] ->
     List.iter (fun (n, d, _) -> Format.printf "%-8s %s@." n d) targets
+  | "scale" :: (_ :: _ as rest) ->
+    (* Single-size mode for CI: bench scale --hosts 1000 *)
+    let sizes =
+      match rest with
+      | [ "--hosts"; n ] -> (
+        match int_of_string_opt n with
+        | Some h when h >= 2 -> [ h ]
+        | _ ->
+          Format.eprintf "scale: --hosts expects an integer >= 2@.";
+          exit 1)
+      | _ ->
+        Format.eprintf "usage: scale [--hosts N]@.";
+        exit 1
+    in
+    Bench_scale.run ~sizes ()
   | [] ->
     Format.printf
       "HyperTP evaluation harness: regenerating every table and figure@.";

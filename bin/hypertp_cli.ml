@@ -319,12 +319,17 @@ let respond_cmd =
   in
   let run machine source vms vcpus gib seed id apply =
     let host = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
-    let r = Hypertp.Api.respond_to_cve ~host ~cve_id:id ~apply () in
+    let mode = if apply then `Apply else `Advise in
+    let r = Hypertp.Api.respond_to_cve ~host ~cve_id:id ~mode () in
     Format.printf "advice: %a@." Cve.Window.pp_advice r.advice;
-    match r.inplace with
-    | None -> Format.printf "(no transplant performed)@."
-    | Some report ->
-      Format.printf "%a@." Hypertp.Inplace.pp_report report
+    match r.outcome with
+    | `Applied report -> Format.printf "%a@." Hypertp.Inplace.pp_report report
+    | `Advised target ->
+      Format.printf "(advice only; pass --apply to transplant to %a)@."
+        Hv.Kind.pp target
+    | `No_action -> Format.printf "(no transplant performed)@."
+    | `No_safe_alternative ->
+      Format.printf "(no safe alternative in the repertoire)@."
   in
   Cmd.v
     (Cmd.info "respond" ~doc:"One-click CVE response (Fig. 1b)")
@@ -632,7 +637,7 @@ let fleet_cmd =
   in
   let run id hosts =
     let o = Cluster.Fleet.simulate ~hosts ~cve_id:id () in
-    List.iter
+    Array.iter
       (fun (at, ev) ->
         match ev with
         | Cluster.Fleet.Disclosed id ->
@@ -725,9 +730,15 @@ let () =
     Cmd.info "hypertp-cli" ~version:"1.0.0"
       ~doc:"HyperTP: hypervisor transplant simulator (EuroSys'21 reproduction)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ cve_cmd; inplace_cmd; migrate_cmd; memsep_cmd; cluster_cmd;
-            campaign_cmd; respond_cmd; fleet_cmd; snapshot_cmd;
-            fault_campaign_cmd; verify_cmd; fuzz_cmd ]))
+  (* ~catch:false so structured simulator errors reach our handler and
+     render uniformly instead of as cmdliner backtraces. *)
+  try
+    exit
+      (Cmd.eval ~catch:false
+         (Cmd.group info
+            [ cve_cmd; inplace_cmd; migrate_cmd; memsep_cmd; cluster_cmd;
+              campaign_cmd; respond_cmd; fleet_cmd; snapshot_cmd;
+              fault_campaign_cmd; verify_cmd; fuzz_cmd ]))
+  with Hypertp.Error.Error e ->
+    Format.eprintf "hypertp-cli: %s@." (Hypertp.Error.to_string e);
+    exit 3

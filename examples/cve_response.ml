@@ -46,15 +46,17 @@ let () =
   in
   Format.printf "--- incident: CVE-2016-6258 lands; fleet runs %s ---@."
     (Hv.Host.hypervisor_name host);
-  let response = Hypertp.Api.respond_to_cve ~host ~cve_id:"CVE-2016-6258" () in
+  let response =
+    Hypertp.Api.respond_to_cve ~host ~cve_id:"CVE-2016-6258" ~mode:`Apply ()
+  in
   Format.printf "policy: %a@." Cve.Window.pp_advice response.advice;
-  (match response.inplace with
-  | Some r ->
+  (match response.outcome with
+  | `Applied r ->
     Format.printf "executed InPlaceTP on M2: downtime %a (paper: ~3.0 s)@."
       Sim.Time.pp
       (Hypertp.Phases.downtime r.phases);
     assert (Hypertp.Inplace.all_ok r.checks)
-  | None -> assert false);
+  | `Advised _ | `No_action | `No_safe_alternative -> assert false);
 
   (* 3. Patch released and applied upstream: transplant back. *)
   Format.printf

@@ -18,7 +18,7 @@ let () =
   let outcome = Cluster.Fleet.simulate ~hosts:6 ~vms_per_host:3 ~cve_id () in
 
   Format.printf "--- timeline ---@.";
-  List.iter
+  Array.iter
     (fun (at, ev) ->
       let t = Sim.Time.to_sec_f at in
       let stamp =

@@ -24,12 +24,13 @@ let () =
   (match Cve.Nvd.find cve_id with
   | Some r -> Format.printf "record: %a@." Cve.Nvd.pp_record r
   | None -> assert false);
-  let response = Hypertp.Api.respond_to_cve ~host ~cve_id () in
+  let response = Hypertp.Api.respond_to_cve ~host ~cve_id ~mode:`Apply () in
   Format.printf "advice: %a@.@." Cve.Window.pp_advice response.advice;
 
-  (match response.inplace with
-  | None -> Format.printf "no transplant performed@."
-  | Some report ->
+  (match response.outcome with
+  | `Advised _ | `No_action | `No_safe_alternative ->
+    Format.printf "no transplant performed@."
+  | `Applied report ->
     Format.printf "%a@.@." Hypertp.Inplace.pp_report report;
     Format.printf "fixups:@.";
     List.iter

@@ -5,7 +5,7 @@ type action =
   | Bring_online of string
 
 type plan = {
-  actions : action list;
+  actions : action array; (* execution order; built once, scanned many times *)
   migration_count : int;
   inplace_vm_count : int;
 }
@@ -30,7 +30,7 @@ let pick_destination model ~cap ~excluding vm =
         n.Model.online
         && (not (List.memq n excluding))
         && Model.fits n vm
-        && List.length n.Model.placed < cap)
+        && n.Model.placed_count < cap)
       model.Model.nodes
   in
   let upgraded, pending =
@@ -42,8 +42,7 @@ let pick_destination model ~cap ~excluding vm =
         match best with
         | None -> Some n
         | Some b ->
-          if List.length n.Model.placed < List.length b.Model.placed then Some n
-          else best)
+          if n.Model.placed_count < b.Model.placed_count then Some n else best)
       None pool
   in
   match least_loaded upgraded with
@@ -53,10 +52,10 @@ let pick_destination model ~cap ~excluding vm =
 let plan_upgrade ?(group_size = 1) model =
   if group_size <= 0 then invalid_arg "Btrplace.plan_upgrade: bad group size";
   let cap = soft_cap model in
-  let actions = ref [] in
+  let actions = Sim.Vec.create ~capacity:64 (Take_offline "") in
   let migrations = ref 0 in
   let inplace_vms = ref 0 in
-  let emit a = actions := a :: !actions in
+  let emit a = Sim.Vec.push actions a in
   let rec groups = function
     | [] -> []
     | nodes ->
@@ -99,7 +98,7 @@ let plan_upgrade ?(group_size = 1) model =
       (* Upgrade in place: remaining VMs ride through the transplant. *)
       List.iter
         (fun node ->
-          let staying = List.length node.Model.placed in
+          let staying = node.Model.placed_count in
           inplace_vms := !inplace_vms + staying;
           emit
             (Upgrade_inplace
@@ -123,9 +122,7 @@ let plan_upgrade ?(group_size = 1) model =
           match best with
           | None -> Some n
           | Some b ->
-            if List.length n.Model.placed > List.length b.Model.placed then
-              Some n
-            else best)
+            if n.Model.placed_count > b.Model.placed_count then Some n else best)
         None model.Model.nodes
     in
     let lightest =
@@ -134,15 +131,13 @@ let plan_upgrade ?(group_size = 1) model =
           match best with
           | None -> Some n
           | Some b ->
-            if List.length n.Model.placed < List.length b.Model.placed then
-              Some n
-            else best)
+            if n.Model.placed_count < b.Model.placed_count then Some n else best)
         None model.Model.nodes
     in
     match (heaviest, lightest) with
     | Some h, Some l
-      when List.length h.Model.placed > avg
-           && List.length h.Model.placed - List.length l.Model.placed > 1 -> (
+      when h.Model.placed_count > avg
+           && h.Model.placed_count - l.Model.placed_count > 1 -> (
       match h.Model.placed with
       | vm :: _ ->
         Model.evict h vm;
@@ -154,7 +149,7 @@ let plan_upgrade ?(group_size = 1) model =
     | _ -> continue_balancing := false
   done;
   {
-    actions = List.rev !actions;
+    actions = Sim.Vec.to_array actions;
     migration_count = !migrations;
     inplace_vm_count = !inplace_vms;
   }
@@ -173,19 +168,19 @@ let max_concurrent_drains model =
   let free_desc = Array.of_list (desc free) in
   let total_free = List.fold_left ( + ) 0 free in
   let n = Array.length used_desc in
-  let rec widen k =
+  (* Running prefix sums: each widening step extends the previous
+     demand/lost-spare totals by one node instead of re-summing the
+     whole prefix, so the search is O(n) after sorting. *)
+  let rec widen k demand lost_spare =
     if k >= n then Stdlib.max 1 (n - 1)
     else begin
-      let demand = ref 0 and lost_spare = ref 0 in
-      for i = 0 to k - 1 do
-        demand := !demand + used_desc.(i);
-        lost_spare := !lost_spare + free_desc.(i)
-      done;
-      if !demand <= total_free - !lost_spare then widen (k + 1)
+      let demand = demand + used_desc.(k - 1) in
+      let lost_spare = lost_spare + free_desc.(k - 1) in
+      if demand <= total_free - lost_spare then widen (k + 1) demand lost_spare
       else Stdlib.max 1 (k - 1)
     end
   in
-  widen 1
+  widen 1 0 0
 
 let capacity_safe model =
   List.for_all
@@ -194,4 +189,4 @@ let capacity_safe model =
 
 let pp_plan fmt p =
   Format.fprintf fmt "plan: %d actions, %d migrations, %d VMs upgraded in place"
-    (List.length p.actions) p.migration_count p.inplace_vm_count
+    (Array.length p.actions) p.migration_count p.inplace_vm_count

@@ -14,7 +14,7 @@ type action =
   | Bring_online of string
 
 type plan = {
-  actions : action list;
+  actions : action array;  (** every action, in execution order *)
   migration_count : int;
   inplace_vm_count : int; (** VMs upgraded without moving *)
 }

@@ -105,9 +105,9 @@ let min_straggler_factor = 1.2
 let max_jitter_pct = 0.1
 
 let validate_config cfg =
-  let bad msg = invalid_arg ("Campaign: " ^ msg) in
+  let bad msg = Hypertp_error.raise_error ~site:"Campaign" msg in
   if cfg.nodes < 2 then bad "need at least 2 nodes";
-  if cfg.vms_per_node < 0 then bad "negative vms_per_node";
+  if cfg.vms_per_node < 1 then bad "vms_per_node must be at least 1";
   if cfg.inplace_fraction < 0.0 || cfg.inplace_fraction > 1.0 then
     bad "inplace_fraction outside [0, 1]";
   if cfg.concurrency < 1 then bad "concurrency must be at least 1";
@@ -165,24 +165,25 @@ let build_setup cfg =
       ~inplace_fraction:cfg.inplace_fraction ~workload_mix:paper_mix ()
   in
   (* Snapshot what rides through on each host before the planner mutates
-     the model, and size the admission bound on the initial placement. *)
-  let keepers =
-    List.map
-      (fun n ->
-        ( n.Model.node_name,
-          List.filter (fun v -> v.Model.inplace_compatible) n.Model.placed ))
-      model.Model.nodes
-  in
+     the model, and size the admission bound on the initial placement.
+     Hashtbl-indexed: the per-action lookups below used to walk an
+     assoc list, O(hosts) per host. *)
+  let keepers = Hashtbl.create (Stdlib.max 16 cfg.nodes) in
+  List.iter
+    (fun n ->
+      Hashtbl.replace keepers n.Model.node_name
+        (List.filter (fun v -> v.Model.inplace_compatible) n.Model.placed))
+    model.Model.nodes;
   let max_drains = Btrplace.max_concurrent_drains model in
   let plan = Btrplace.plan_upgrade model in
   let base = Upgrade.execute ~nic plan in
   let mig vm = Upgrade.migration_op_time ~nic ~vm in
-  let upgraded = Hashtbl.create 16 in
-  let drains = Hashtbl.create 16 in
+  let upgraded = Hashtbl.create (Stdlib.max 16 cfg.nodes) in
+  let drains = Hashtbl.create (Stdlib.max 16 cfg.nodes) in
   let rebalance = ref Sim.Time.zero in
   let tasks = ref [] in
   let ntasks = ref 0 in
-  List.iter
+  Array.iter
     (fun action ->
       match action with
       | Btrplace.Migrate { vm; src; _ } ->
@@ -193,7 +194,9 @@ let build_setup cfg =
             (vm :: Option.value ~default:[] (Hashtbl.find_opt drains src))
       | Btrplace.Upgrade_inplace { node; vms_in_place } ->
         Hashtbl.replace upgraded node ();
-        let riding = Option.value ~default:[] (List.assoc_opt node keepers) in
+        let riding =
+          Option.value ~default:[] (Hashtbl.find_opt keepers node)
+        in
         let evacuated =
           List.rev (Option.value ~default:[] (Hashtbl.find_opt drains node))
         in
@@ -259,6 +262,10 @@ type journal = { j_config : config; j_entries : entry list (* chronological *) }
 let journal_config j = j.j_config
 let journal_length j = List.length j.j_entries
 
+let dummy_entry =
+  { je_at = Sim.Time.zero; je_host = None; je_event = Campaign_finished;
+    je_decision = None; je_cursor = 0 }
+
 (* --- controller state (shared between live execution and replay) --- *)
 
 type running = {
@@ -293,7 +300,24 @@ type st = {
   mutable limit : int;
   mutable running : int;
   mutable finished_at : Sim.Time.t option;
-  mutable entries : entry list; (* newest first *)
+  entries : entry Sim.Vec.t; (* chronological *)
+  (* Incremental bookkeeping so [settle] never rescans the host array:
+     [next_pending] is a monotone admission cursor (admission is
+     lowest-index-first and a host never returns to [H_pending], so
+     every pending host sits at an index >= the cursor);
+     [needs_drain] / [needs_defer] are work-lists pushed by
+     [resolve_failure]; [retry_cursor] only advances during the retry
+     phase, when no new [H_awaiting_retry] host can appear behind it;
+     [n_done] counts terminal hosts; [exposure_acc] accumulates
+     exposure hours as hosts finish (Deferred_exposed hosts are counted
+     separately — they stay exposed until the campaign's wall clock). *)
+  mutable next_pending : int;
+  mutable needs_drain : int list;
+  mutable needs_defer : int list;
+  mutable retry_cursor : int;
+  mutable n_done : int;
+  mutable exposure_acc : float;
+  mutable n_deferred_exposed : int;
   fault : Fault.t option;
   obs : Obs.Tracer.t option;
   metrics : Obs.Metrics.t option;
@@ -319,7 +343,14 @@ let make_st ?fault ?obs ?metrics cfg setup =
     limit = setup.su_effective;
     running = 0;
     finished_at = None;
-    entries = [];
+    entries = Sim.Vec.create ~capacity:(Stdlib.max 16 (4 * n)) dummy_entry;
+    next_pending = 0;
+    needs_drain = [];
+    needs_defer = [];
+    retry_cursor = 0;
+    n_done = 0;
+    exposure_acc = 0.0;
+    n_deferred_exposed = 0;
     fault;
     obs;
     metrics;
@@ -336,7 +367,12 @@ let make_st ?fault ?obs ?metrics cfg setup =
 let idx st host =
   match Hashtbl.find_opt st.setup.su_index host with
   | Some i -> i
-  | None -> invalid_arg ("Campaign: unknown host in journal: " ^ host)
+  | None ->
+    Hypertp_error.raise_errorf ~site:"Campaign"
+      ~hint:"the journal must come from a campaign with the same config"
+      "unknown host in journal: %s" host
+
+let hours t = Sim.Time.to_sec_f t /. 3600.0
 
 let rec take n = function
   | [] -> []
@@ -362,12 +398,19 @@ let resolve_failure st i manifestation at =
     match r.r_step with
     | Inplace ->
       st.hstates.(i) <- H_failed_needs_drain;
+      st.needs_drain <- i :: st.needs_drain;
       push_window st false
     | Drain ->
       st.hstates.(i) <- H_failed_needs_defer;
+      st.needs_defer <- i :: st.needs_defer;
       push_window st false
-    | Retry -> st.hstates.(i) <- H_done (Deferred_exposed, at))
-  | _ -> invalid_arg "Campaign: failure recorded for a host not running"
+    | Retry ->
+      st.hstates.(i) <- H_done (Deferred_exposed, at);
+      st.n_done <- st.n_done + 1;
+      st.n_deferred_exposed <- st.n_deferred_exposed + 1)
+  | _ ->
+    Hypertp_error.raise_error ~site:"Campaign"
+      "failure recorded for a host not running"
 
 let step_to_string = function
   | Inplace -> "inplace"
@@ -486,9 +529,12 @@ let apply_state st e =
     | Inplace, H_pending | Drain, H_failed_needs_drain
     | Retry, H_awaiting_retry ->
       ()
-    | _ -> invalid_arg "Campaign: admission out of ladder order");
+    | _ ->
+      Hypertp_error.raise_error ~site:"Campaign"
+        "admission out of ladder order");
     if step = Inplace && e.je_decision = None then
-      invalid_arg "Campaign: in-place admission without a fault decision";
+      Hypertp_error.raise_error ~site:"Campaign"
+        "in-place admission without a fault decision";
     st.hstates.(i) <-
       H_running
         {
@@ -502,7 +548,9 @@ let apply_state st e =
   | Flap_failure, Some h -> (
     match st.hstates.(idx st h) with
     | H_running r -> r.r_flapped <- true
-    | _ -> invalid_arg "Campaign: flap leg for a host not running")
+    | _ ->
+      Hypertp_error.raise_error ~site:"Campaign"
+        "flap leg for a host not running")
   | Straggler_cancelled, Some h -> resolve_failure st (idx st h) Timeout e.je_at
   | Attempt_failed { manifestation; _ }, Some h ->
     resolve_failure st (idx st h) manifestation e.je_at
@@ -513,12 +561,15 @@ let apply_state st e =
     | Inplace -> st.hstates.(i) <- H_done (Upgraded_inplace, e.je_at)
     | Drain -> st.hstates.(i) <- H_done (Drained, e.je_at)
     | Retry -> st.hstates.(i) <- H_done (Deferred_resolved, e.je_at));
+    st.n_done <- st.n_done + 1;
+    st.exposure_acc <- st.exposure_acc +. hours e.je_at;
     if step <> Retry then push_window st true
   | Deferred, Some h ->
     let i = idx st h in
     (match st.hstates.(i) with
     | H_failed_needs_defer -> st.hstates.(i) <- H_awaiting_retry
-    | _ -> invalid_arg "Campaign: defer out of ladder order")
+    | _ ->
+      Hypertp_error.raise_error ~site:"Campaign" "defer out of ladder order")
   | Breaker_opened, None ->
     st.trips <- st.trips + 1;
     st.breaker <- B_open_until (Sim.Time.add e.je_at st.cfg.breaker_cooldown);
@@ -533,7 +584,7 @@ let apply_state st e =
     st.breaker <- B_closed;
     st.limit <- st.setup.su_effective
   | Campaign_finished, None -> st.finished_at <- Some e.je_at
-  | _ -> invalid_arg "Campaign: malformed journal entry"
+  | _ -> Hypertp_error.raise_error ~site:"Campaign" "malformed journal entry"
 
 let apply st e =
   apply_state st e;
@@ -550,7 +601,7 @@ type ctx = {
 }
 
 let cursor st =
-  match st.fault with None -> 0 | Some f -> List.length (Fault.trace f)
+  match st.fault with None -> 0 | Some f -> Fault.trace_length f
 
 let fire_opt st ?vm site =
   match st.fault with None -> false | Some f -> Fault.fire f ?vm site
@@ -562,10 +613,9 @@ let append st ?host ?decision ~at event =
   apply st { je_at = at; je_host = host; je_event = event;
              je_decision = decision; je_cursor = 0 };
   let crashed = fire_opt st Fault.Controller_crash in
-  st.entries <-
+  Sim.Vec.push st.entries
     { je_at = at; je_host = host; je_event = event; je_decision = decision;
-      je_cursor = cursor st }
-    :: st.entries;
+      je_cursor = cursor st };
   Hypertp.Otrace.instant st.obs ~at ~track:"journal"
     ~attrs:[ ("cursor", string_of_int (cursor st)) ]
     "journal:checkpoint";
@@ -592,16 +642,23 @@ let rec settle ctx =
   let at = Sim.Engine.now ctx.eng in
   (* 1. Ladder escalations: a failed in-place attempt drains next.
      Escalation keeps the host's admission slot and ignores the breaker
-     — remediation of an in-flight host must not be paused. *)
-  Array.iteri
-    (fun i h -> if h = H_failed_needs_drain then admit ctx i Drain)
-    st.hstates;
+     — remediation of an in-flight host must not be paused.  The
+     work-list is drained sorted so the event order matches the array
+     scan this replaces; the state guard skips entries already handled
+     (e.g. re-pushed by a replay). *)
+  let drainable = List.sort compare st.needs_drain in
+  st.needs_drain <- [];
+  List.iter
+    (fun i -> if st.hstates.(i) = H_failed_needs_drain then admit ctx i Drain)
+    drainable;
   (* 2. Ladder exhausted: park the host, retried at campaign end. *)
-  Array.iteri
-    (fun i h ->
-      if h = H_failed_needs_defer then
+  let deferrable = List.sort compare st.needs_defer in
+  st.needs_defer <- [];
+  List.iter
+    (fun i ->
+      if st.hstates.(i) = H_failed_needs_defer then
         append st ~host:st.setup.su_tasks.(i).t_node ~at Deferred)
-    st.hstates;
+    deferrable;
   (* 3. Breaker transitions. *)
   (match st.breaker with
   | B_closed | B_half_open ->
@@ -622,36 +679,42 @@ let rec settle ctx =
     then append st ~at Breaker_closed
   | B_open_until _ -> ());
   (* 4. Admission: fill free slots with pending hosts, lowest index
-     first, unless the breaker is open. *)
+     first, unless the breaker is open.  [next_pending] lazily skips
+     past hosts that left [H_pending]; it never needs to back up, so
+     admission over the whole campaign costs O(hosts). *)
+  let n = Array.length st.hstates in
+  let skip_admitted () =
+    while
+      st.next_pending < n && st.hstates.(st.next_pending) <> H_pending
+    do
+      st.next_pending <- st.next_pending + 1
+    done
+  in
   (match st.breaker with
   | B_open_until _ -> ()
   | B_closed | B_half_open ->
-    let exception Stop in
-    (try
-       Array.iteri
-         (fun i h ->
-           if h = H_pending then
-             if st.running < st.limit then admit ctx i Inplace else raise Stop)
-         st.hstates
-     with Stop -> ()));
+    skip_admitted ();
+    while st.next_pending < n && st.running < st.limit do
+      admit ctx st.next_pending Inplace;
+      skip_admitted ()
+    done);
   (* 5. End of the main phase: retry deferred hosts one at a time, then
-     declare the campaign finished. *)
-  if st.running = 0 && not (Array.exists (fun h -> h = H_pending) st.hstates)
-  then begin
-    let awaiting = ref None in
-    Array.iteri
-      (fun i h ->
-        if h = H_awaiting_retry && !awaiting = None then awaiting := Some i)
-      st.hstates;
-    match !awaiting with
-    | Some i -> admit ctx i Retry
-    | None ->
-      if
-        st.finished_at = None
-        && Array.for_all
-             (fun h -> match h with H_done _ -> true | _ -> false)
-             st.hstates
-      then append st ~at Campaign_finished
+     declare the campaign finished.  [retry_cursor] is monotone: it
+     only moves while the retry phase is active, when every host behind
+     it is terminal. *)
+  skip_admitted ();
+  if st.running = 0 && st.next_pending >= n then begin
+    (* Phases 1-2 emptied the failed states, so every host here is
+       either H_awaiting_retry or terminal — the cursor never skips a
+       host that could become awaiting later. *)
+    while
+      st.retry_cursor < n && st.hstates.(st.retry_cursor) <> H_awaiting_retry
+    do
+      st.retry_cursor <- st.retry_cursor + 1
+    done;
+    if st.retry_cursor < n then admit ctx st.retry_cursor Retry
+    else if st.finished_at = None && st.n_done = n then
+      append st ~at Campaign_finished
   end
 
 and reopen ctx =
@@ -695,7 +758,9 @@ and schedule_attempt ctx i =
       let d =
         match r.r_decision with
         | Some d -> d
-        | None -> invalid_arg "Campaign: in-place attempt without decision"
+        | None ->
+          Hypertp_error.raise_error ~site:"Campaign"
+            "in-place attempt without decision"
       in
       (* The supervisor's deadline races the attempt; whichever loses is
          cancelled. *)
@@ -737,7 +802,9 @@ and schedule_attempt ctx i =
         arm ctx i
           (from_start (Sim.Time.scale (host_jitter st.cfg t.t_node) t.t_up))
           (fun () -> on_complete ctx i Retry))
-  | _ -> invalid_arg "Campaign: scheduling for a host not running"
+  | _ ->
+    Hypertp_error.raise_error ~site:"Campaign"
+      "scheduling for a host not running"
 
 and on_deadline ctx i =
   clear_timers ctx i;
@@ -776,15 +843,16 @@ and on_flap_leg ctx i =
 
 (* --- results --- *)
 
-let hours t = Sim.Time.to_sec_f t /. 3600.0
-
-let make_journal st = { j_config = st.cfg; j_entries = List.rev st.entries }
+let make_journal st =
+  { j_config = st.cfg; j_entries = Sim.Vec.to_list st.entries }
 
 let make_report st =
   let finished =
     match st.finished_at with
     | Some t -> t
-    | None -> failwith "Campaign: report requested before the finish event"
+    | None ->
+      Hypertp_error.raise_error ~site:"Campaign"
+        "report requested before the finish event"
   in
   let wall = Sim.Time.add finished st.setup.su_rebalance in
   let hosts =
@@ -795,7 +863,9 @@ let make_report st =
              match st.hstates.(i) with
              | H_done (Deferred_exposed, _) -> (Deferred_exposed, wall)
              | H_done (s, at) -> (s, at)
-             | _ -> failwith "Campaign: unfinished host in report"
+             | _ ->
+               Hypertp_error.raise_error ~site:"Campaign"
+                 "unfinished host in report"
            in
            {
              hr_node = t.t_node;
@@ -836,8 +906,11 @@ let make_report st =
     hosts;
     wall_clock = wall;
     rebalance_time = st.setup.su_rebalance;
+    (* Accumulated incrementally as hosts finished; deferred-exposed
+       hosts stay exposed until the campaign's wall clock.  The test
+       suite pins this equal to the per-host fold over [hosts]. *)
     exposed_host_hours =
-      List.fold_left (fun acc h -> acc +. h.hr_exposure_hours) 0.0 hosts;
+      st.exposure_acc +. (float_of_int st.n_deferred_exposed *. hours wall);
     baseline_exposed_host_hours = float_of_int st.cfg.nodes *. hours wall;
     deferred = List.map (fun h -> h.hr_node) deferred_hosts;
     deferred_exposure_hours =
@@ -889,19 +962,28 @@ let drive ctx =
     Finished (make_report ctx.st, make_journal ctx.st)
   with Controller_died -> Crashed (make_journal ctx.st)
 
-let run ?fault ?obs ?metrics cfg =
+let run ?ctx:run_ctx ?fault ?obs ?metrics cfg =
+  let c = Hypertp.Ctx.resolve ?ctx:run_ctx ?fault ?obs ?metrics () in
   validate_config cfg;
   let setup = build_setup cfg in
-  let ctx = make_ctx (make_st ?fault ?obs ?metrics cfg setup) in
+  let ctx =
+    make_ctx
+      (make_st ?fault:c.Hypertp.Ctx.fault ?obs:c.Hypertp.Ctx.obs
+         ?metrics:c.Hypertp.Ctx.metrics cfg setup)
+  in
   Sim.Engine.schedule_at ctx.eng Sim.Time.zero (fun () -> settle ctx);
   drive ctx
 
-let resume ?fault ?obs ?metrics journal =
+let resume ?ctx:run_ctx ?fault ?obs ?metrics journal =
+  let c = Hypertp.Ctx.resolve ?ctx:run_ctx ?fault ?obs ?metrics () in
   let cfg = journal.j_config in
   validate_config cfg;
-  let fault = Option.map Fault.restart fault in
+  let fault = Option.map Fault.restart c.Hypertp.Ctx.fault in
   let setup = build_setup cfg in
-  let st = make_st ?fault ?obs ?metrics cfg setup in
+  let st =
+    make_st ?fault ?obs:c.Hypertp.Ctx.obs ?metrics:c.Hypertp.Ctx.metrics cfg
+      setup
+  in
   (* Replay: every entry is re-applied and re-validated against the
      restarted fault plan — the same sites fire in the same order, so
      the plan's counters, probability stream and trace end up exactly
@@ -918,19 +1000,24 @@ let resume ?fault ?obs ?metrics journal =
           && (f_flap <> d.d_flap || f_crash <> d.d_crash
             || f_timeout <> d.d_timeout)
         then
-          invalid_arg "Campaign.resume: journal disagrees with the fault plan"
+          Hypertp_error.raise_error ~site:"Campaign.resume"
+            ~hint:"resume with the fault plan the crashed run used"
+            "journal disagrees with the fault plan"
       | Admitted Inplace, _, None ->
-        invalid_arg "Campaign.resume: in-place admission without decision"
+        Hypertp_error.raise_error ~site:"Campaign.resume"
+          "in-place admission without decision"
       | _ -> ());
       apply st e;
       ignore (fire_opt st Fault.Controller_crash);
       if st.fault <> None && cursor st <> e.je_cursor then
-        invalid_arg "Campaign.resume: fault-plan cursor mismatch";
-      st.entries <- e :: st.entries)
+        Hypertp_error.raise_error ~site:"Campaign.resume"
+          ~hint:"resume with the fault plan the crashed run used"
+          "fault-plan cursor mismatch";
+      Sim.Vec.push st.entries e)
     journal.j_entries;
   let ctx = make_ctx st in
   let t_last =
-    match st.entries with [] -> Sim.Time.zero | e :: _ -> e.je_at
+    match Sim.Vec.last st.entries with None -> Sim.Time.zero | Some e -> e.je_at
   in
   (* The crashed run died mid-settle at [t_last]; continue it first,
      then let the in-flight attempts race again from their recorded
@@ -945,7 +1032,11 @@ let resume ?fault ?obs ?metrics journal =
   | B_closed | B_half_open -> ());
   drive ctx
 
-let run_to_completion ?fault ?obs ?metrics cfg =
+let run_to_completion ?ctx ?fault ?obs ?metrics cfg =
+  let c = Hypertp.Ctx.resolve ?ctx ?fault ?obs ?metrics () in
+  let fault = c.Hypertp.Ctx.fault
+  and obs = c.Hypertp.Ctx.obs
+  and metrics = c.Hypertp.Ctx.metrics in
   let rec go = function
     | Finished (report, _) -> report
     | Crashed j -> go (resume ?fault ?obs ?metrics j)

@@ -148,11 +148,14 @@ type run_result =
       (** a {!Fault.Controller_crash} fired; resume from the journal *)
 
 val run :
-  ?fault:Fault.t -> ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> config ->
-  run_result
-(** Execute the campaign.  Raises [Invalid_argument] on a malformed
-    config (non-positive concurrency, straggler factor below 1.2,
-    jitter outside [0, 0.1], threshold outside [0, 1], ...).
+  ?ctx:Hypertp.Ctx.t -> ?fault:Fault.t -> ?obs:Obs.Tracer.t ->
+  ?metrics:Obs.Metrics.t -> config -> run_result
+(** Execute the campaign.  [ctx] bundles the fault plan, tracer and
+    metrics registry ({!Hypertp.Ctx.t}); the individual optional
+    arguments are deprecated spellings that override the corresponding
+    [ctx] field.  Raises [Hypertp.Error.Error] (site ["Campaign"]) on a
+    malformed config (non-positive concurrency, straggler factor below
+    1.2, jitter outside [0, 0.1], threshold outside [0, 1], ...).
 
     [obs] records the campaign on virtual time: a root [campaign] span
     on the [controller] track, one [attempt:<step>] span per admission
@@ -167,17 +170,17 @@ val run :
     exposure and wall-clock gauges. *)
 
 val resume :
-  ?fault:Fault.t -> ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> journal ->
-  run_result
+  ?ctx:Hypertp.Ctx.t -> ?fault:Fault.t -> ?obs:Obs.Tracer.t ->
+  ?metrics:Obs.Metrics.t -> journal -> run_result
 (** Replay the journal — re-validating it against a {e restarted} copy
-    of [fault] (same injections and seed as the original run) — then
-    continue the campaign live.  The final report is identical to the
-    uninterrupted run's.  Raises [Invalid_argument] if the journal does
-    not match the plan. *)
+    of the fault plan (same injections and seed as the original run) —
+    then continue the campaign live.  The final report is identical to
+    the uninterrupted run's.  Raises [Hypertp.Error.Error] (site
+    ["Campaign.resume"]) if the journal does not match the plan. *)
 
 val run_to_completion :
-  ?fault:Fault.t -> ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> config ->
-  report
+  ?ctx:Hypertp.Ctx.t -> ?fault:Fault.t -> ?obs:Obs.Tracer.t ->
+  ?metrics:Obs.Metrics.t -> config -> report
 (** [run], resuming across any number of controller crashes.  With
     [obs], each crash-and-resume cycle replays the journal into the
     same tracer, so the trace accumulates one timeline per life of the

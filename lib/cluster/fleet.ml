@@ -5,7 +5,7 @@ type event =
   | Host_patched of { host : string; downtime : Sim.Time.t }
 
 type outcome = {
-  events : (Sim.Time.t * event) list;
+  events : (Sim.Time.t * event) array;
   exposed_host_hours : float;
   baseline_exposed_host_hours : float;
   total_vm_downtime : Sim.Time.t;
@@ -16,10 +16,14 @@ let hours t = Sim.Time.to_sec_f t /. 3600.0
 
 let simulate ?(hosts = 8) ?(vms_per_host = 4) ?window_days
     ?(stagger = Sim.Time.sec 600) ~cve_id () =
+  let site = "Fleet.simulate" in
   let record =
     match Cve.Nvd.find cve_id with
     | Some r -> r
-    | None -> invalid_arg ("Fleet.simulate: unknown CVE " ^ cve_id)
+    | None ->
+      Hypertp_error.raise_errorf ~site
+        ~hint:"list known ids with the `cve` CLI command" "unknown CVE %s"
+        cve_id
   in
   let target =
     match
@@ -29,9 +33,13 @@ let simulate ?(hosts = 8) ?(vms_per_host = 4) ?window_days
     with
     | Cve.Window.Transplant_to hv -> Option.get (Hv.Kind.of_string hv)
     | Cve.Window.No_action ->
-      invalid_arg "Fleet.simulate: the policy would not act on this CVE"
+      Hypertp_error.raise_error ~site
+        ~hint:"only critical CVEs against the running hypervisor trigger a \
+               transplant"
+        "the policy would not act on this CVE"
     | Cve.Window.No_safe_alternative ->
-      invalid_arg "Fleet.simulate: no safe alternative in the repertoire"
+      Hypertp_error.raise_error ~site
+        "no safe alternative in the repertoire"
   in
   let window_days =
     match window_days with
@@ -41,7 +49,7 @@ let simulate ?(hosts = 8) ?(vms_per_host = 4) ?window_days
   let window = Sim.Time.sec (window_days * 24 * 3600) in
   (* Real simulated hosts: transplants below actually run. *)
   let fleet =
-    List.init hosts (fun i ->
+    Array.init hosts (fun i ->
         Hypertp.Api.provision
           ~seed:(Int64.of_int (1000 + i))
           ~name:(Printf.sprintf "host%02d" i)
@@ -52,15 +60,25 @@ let simulate ?(hosts = 8) ?(vms_per_host = 4) ?window_days
                  ~ram:(Hw.Units.gib 1) ())))
   in
   let engine = Sim.Engine.create () in
-  let events = ref [] in
-  let emit ev = events := (Sim.Engine.now engine, ev) :: !events in
-  let exposure_end = Hashtbl.create 16 in
+  (* Exactly 2 events per host plus disclosure and patch release, so
+     the buffer is sized once; callbacks append in engine dispatch
+     order, which is the documented (time, schedule-order) order. *)
+  let events =
+    Sim.Vec.create ~capacity:((2 * hosts) + 2) (Sim.Time.zero, Patch_released)
+  in
+  let emit ev = Sim.Vec.push events (Sim.Engine.now engine, ev) in
   let total_downtime = ref Sim.Time.zero in
   let transplants = ref 0 in
+  (* Exposure accrues incrementally: each host stops being exposed at
+     its first transplant, and the callbacks fire in host order, so the
+     running sum adds the same terms in the same order as the old
+     end-of-run fold over the fleet. *)
+  let exposed = ref 0.0 in
+  let out_transplanted = ref 0 in
   (* t0: disclosure; hosts transplant to the safe target one after
      another (operators stagger rollouts). *)
   Sim.Engine.schedule_at engine Sim.Time.zero (fun () -> emit (Disclosed cve_id));
-  List.iteri
+  Array.iteri
     (fun i host ->
       Sim.Engine.schedule_at engine
         (Sim.Time.add (Sim.Time.sec 60) (Sim.Time.scale (float_of_int i) stagger))
@@ -72,8 +90,8 @@ let simulate ?(hosts = 8) ?(vms_per_host = 4) ?window_days
           total_downtime :=
             Sim.Time.add !total_downtime
               (Sim.Time.scale (float_of_int vms_per_host) downtime);
-          Hashtbl.replace exposure_end host.Hv.Host.host_name
-            (Sim.Engine.now engine);
+          exposed := !exposed +. hours (Sim.Engine.now engine);
+          incr out_transplanted;
           emit
             (Host_transplanted
                { host = host.Hv.Host.host_name;
@@ -81,7 +99,7 @@ let simulate ?(hosts = 8) ?(vms_per_host = 4) ?window_days
     fleet;
   (* t_patch: the fixed hypervisor ships; hosts transplant back. *)
   Sim.Engine.schedule_at engine window (fun () -> emit Patch_released);
-  List.iteri
+  Array.iteri
     (fun i host ->
       Sim.Engine.schedule_at engine
         (Sim.Time.add window
@@ -101,16 +119,13 @@ let simulate ?(hosts = 8) ?(vms_per_host = 4) ?window_days
             (Host_patched { host = host.Hv.Host.host_name; downtime })))
     fleet;
   Sim.Engine.run engine;
+  (* Hosts that never transplanted (impossible today, but kept for
+     robustness) stay exposed for the whole window. *)
   let exposed =
-    List.fold_left
-      (fun acc host ->
-        match Hashtbl.find_opt exposure_end host.Hv.Host.host_name with
-        | Some t -> acc +. hours t
-        | None -> acc +. hours window)
-      0.0 fleet
+    !exposed +. (float_of_int (hosts - !out_transplanted) *. hours window)
   in
   {
-    events = List.rev !events;
+    events = Sim.Vec.to_array events;
     exposed_host_hours = exposed;
     baseline_exposed_host_hours = float_of_int hosts *. hours window;
     total_vm_downtime = !total_downtime;

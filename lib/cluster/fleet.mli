@@ -14,7 +14,13 @@ type event =
   | Host_patched of { host : string; downtime : Sim.Time.t }
 
 type outcome = {
-  events : (Sim.Time.t * event) list;   (** in time order *)
+  events : (Sim.Time.t * event) array;
+      (** Every event, returned from a buffer preallocated at
+          [2 * hosts + 2] and filled as the engine dispatches.
+          Ordering guarantee: nondecreasing timestamps; events with
+          equal timestamps appear in scheduling order (disclosure,
+          then out-transplants in host order, then patch release, then
+          patch-backs in host order). *)
   exposed_host_hours : float;
       (** host-hours spent running a vulnerable hypervisor after
           disclosure *)
@@ -31,7 +37,11 @@ val simulate :
 (** Run the scenario for a Xen fleet hit by [cve_id] (defaults: 8 hosts
     x 4 VMs, the CVE's documented window or 30 days, one host
     transplanted every [stagger] = 10 minutes — operators roll changes
-    gradually).  Raises [Invalid_argument] for an unknown CVE or one
-    the policy would not act on. *)
+    gradually).  Raises [Hypertp.Error.Error] (site ["Fleet.simulate"])
+    for an unknown CVE or one the policy would not act on.
+
+    Exposure host-hours are accounted incrementally as each host's
+    first transplant fires (the qcheck property in the test suite pins
+    this equal to the recomputed integral over the event log). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

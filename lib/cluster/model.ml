@@ -9,6 +9,8 @@ type node = {
   node_name : string;
   ram_capacity : Hw.Units.bytes_;
   mutable placed : vm list;
+  mutable placed_count : int; (* = List.length placed, maintained by place/evict *)
+  mutable used_bytes : Hw.Units.bytes_; (* = sum of placed RAM, ditto *)
   mutable upgraded : bool;
   mutable online : bool;
 }
@@ -50,44 +52,53 @@ let make ?(seed = 0xC1D2L) ~nodes ~vms_per_node ~vm_ram ~node_ram
     }
   in
   let node j =
+    let placed =
+      List.init vms_per_node (fun k -> vm ((j * vms_per_node) + k))
+    in
     {
       node_name = Printf.sprintf "node%02d" j;
       ram_capacity = node_ram;
-      placed =
-        List.init vms_per_node (fun k -> vm ((j * vms_per_node) + k));
+      placed;
+      placed_count = vms_per_node;
+      used_bytes = List.fold_left (fun acc v -> acc + v.ram) 0 placed;
       upgraded = false;
       online = true;
     }
   in
   { nodes = List.init nodes node }
 
-let used_ram node = List.fold_left (fun acc vm -> acc + vm.ram) 0 node.placed
-let free_ram node = node.ram_capacity - used_ram node
+let used_ram node = node.used_bytes
+let free_ram node = node.ram_capacity - node.used_bytes
 
 let fits node vm =
   (* Keep 2 GiB of headroom for the hypervisor and administration OS. *)
   node.online && free_ram node - Hw.Units.gib 2 >= vm.ram
 
-let place node vm = node.placed <- vm :: node.placed
+let place node vm =
+  node.placed <- vm :: node.placed;
+  node.placed_count <- node.placed_count + 1;
+  node.used_bytes <- node.used_bytes + vm.ram
 
 let evict node vm =
   if not (List.memq vm node.placed) then
     invalid_arg "Model.evict: VM not placed here";
-  node.placed <- List.filter (fun v -> not (v == vm)) node.placed
+  node.placed <- List.filter (fun v -> not (v == vm)) node.placed;
+  node.placed_count <- node.placed_count - 1;
+  node.used_bytes <- node.used_bytes - vm.ram
 
 let find_node t name =
   match List.find_opt (fun n -> String.equal n.node_name name) t.nodes with
   | Some n -> n
   | None -> invalid_arg ("Model.find_node: " ^ name)
 
-let total_vms t = List.fold_left (fun acc n -> acc + List.length n.placed) 0 t.nodes
+let total_vms t = List.fold_left (fun acc n -> acc + n.placed_count) 0 t.nodes
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>";
   List.iter
     (fun n ->
       Format.fprintf fmt "%s: %d VMs (%a used)%s%s@," n.node_name
-        (List.length n.placed) Hw.Units.pp_bytes (used_ram n)
+        n.placed_count Hw.Units.pp_bytes (used_ram n)
         (if n.upgraded then " [upgraded]" else "")
         (if n.online then "" else " [offline]"))
     t.nodes;

@@ -17,6 +17,14 @@ type node = {
   node_name : string;
   ram_capacity : Hw.Units.bytes_;
   mutable placed : vm list;
+  mutable placed_count : int;
+      (** always [List.length placed]; cached so planners probing
+          thousands of candidate nodes stay O(1) per probe.  Mutate
+          placements only through {!place}/{!evict}, which keep it (and
+          {!used_ram}) in sync. *)
+  mutable used_bytes : Hw.Units.bytes_;
+      (** always the sum of [placed] RAM — same contract as
+          [placed_count] *)
   mutable upgraded : bool;
   mutable online : bool;
 }

@@ -11,27 +11,44 @@ type timing = {
    paper's "up to 19 minutes". *)
 let migration_setup = Sim.Time.of_sec_f 3.5
 
+(* Both estimates are pure in a small profile key — (nic, RAM,
+   workload) and the riding-VM count respectively — but campaign
+   planning asks for them once per host.  Memoised so a 10k-host fleet
+   computes each distinct profile once instead of building 10k
+   identical Precopy plans and boot models. *)
+let mig_memo :
+    (Hw.Nic.t * Hw.Units.bytes_ * Vmstate.Vm.workload_kind, Sim.Time.t)
+    Hypertp.Costs.Memo.t =
+  Hypertp.Costs.Memo.create 64
+
 let migration_op_time ~nic ~(vm : Model.vm) =
-  let params = Migration.Precopy.default_params ~nic () in
-  let plan =
-    Migration.Precopy.plan params ~page_bytes:Hw.Units.page_size_4k
-      ~total_pages:(Hw.Units.frames_of_bytes vm.Model.ram)
-      ~dirty_pages_per_sec:
-        (Workload.Profile.dirty_pages_per_sec vm.Model.workload
-           ~ram:vm.Model.ram ~page_kind:Hw.Units.Page_2m)
-  in
-  Sim.Time.sum
-    [ migration_setup; plan.Migration.Precopy.precopy_time;
-      plan.Migration.Precopy.stop_copy_time ]
+  Hypertp.Costs.Memo.find_or_add mig_memo
+    (nic, vm.Model.ram, vm.Model.workload)
+    (fun (nic, ram, workload) ->
+      let params = Migration.Precopy.default_params ~nic () in
+      let plan =
+        Migration.Precopy.plan params ~page_bytes:Hw.Units.page_size_4k
+          ~total_pages:(Hw.Units.frames_of_bytes ram)
+          ~dirty_pages_per_sec:
+            (Workload.Profile.dirty_pages_per_sec workload ~ram
+               ~page_kind:Hw.Units.Page_2m)
+      in
+      Sim.Time.sum
+        [ migration_setup; plan.Migration.Precopy.precopy_time;
+          plan.Migration.Precopy.stop_copy_time ])
+
+let inplace_memo : (int, Sim.Time.t) Hypertp.Costs.Memo.t =
+  Hypertp.Costs.Memo.create 16
 
 let inplace_host_time ~vms =
   (* kexec into the target on a G5K node + per-VM translate/restore.
      Host-level, not per-VM downtime: boot dominates.  The same estimate
      feeds Campaign's straggler deadlines. *)
-  let machine = Hw.Machine.g5k_node () in
-  let boot = Sim.Time.to_sec_f (Xenhv.Xen.boot_time ~machine) in
-  Sim.Time.of_sec_f
-    (Hypertp.Costs.expected_host_upgrade_seconds ~boot_seconds:boot ~vms)
+  Hypertp.Costs.Memo.find_or_add inplace_memo vms (fun vms ->
+      let machine = Hw.Machine.g5k_node () in
+      let boot = Sim.Time.to_sec_f (Xenhv.Xen.boot_time ~machine) in
+      Sim.Time.of_sec_f
+        (Hypertp.Costs.expected_host_upgrade_seconds ~boot_seconds:boot ~vms))
 
 let reboot_host_time = Sim.Time.sec 60 (* firmware + full kernel boot *)
 
@@ -41,7 +58,7 @@ let execute ~nic (plan : Btrplace.plan) =
         plan.Btrplace.migration_count plan.Btrplace.inplace_vm_count);
   let migration_time = ref Sim.Time.zero in
   let last_upgrade = ref Sim.Time.zero in
-  List.iter
+  Array.iter
     (fun action ->
       match action with
       | Btrplace.Migrate { vm; src; dst } ->
@@ -112,8 +129,9 @@ type faulty_timing = {
 let vms_accounted t =
   t.vms_inplace_ok + t.vms_migrated_fallback + t.vms_recovered
 
-let execute_faulty ?fault ?(fallback_vm_ram = Hw.Units.gib 4)
+let execute_faulty ?ctx ?fault ?(fallback_vm_ram = Hw.Units.gib 4)
     ?(fallback_workload = Vmstate.Vm.Wl_idle) ~nic (plan : Btrplace.plan) =
+  let fault = (Hypertp.Ctx.resolve ?ctx ?fault ()).Hypertp.Ctx.fault in
   let base = execute ~nic plan in
   let fire ~vm site =
     match fault with Some f -> Fault.fire f ~vm site | None -> false
@@ -121,7 +139,7 @@ let execute_faulty ?fault ?(fallback_vm_ram = Hw.Units.gib 4)
   let failures = ref [] in
   let ok = ref 0 and migrated = ref 0 and recovered = ref 0 in
   let added = ref Sim.Time.zero in
-  List.iter
+  Array.iter
     (fun action ->
       match action with
       | Btrplace.Upgrade_inplace { node; vms_in_place } when vms_in_place > 0 ->

@@ -17,11 +17,13 @@ type timing = {
 val migration_op_time :
   nic:Hw.Nic.t -> vm:Model.vm -> Sim.Time.t
 (** One live-migration action: setup + pre-copy + stop-and-copy over
-    the cluster network. *)
+    the cluster network.  Memoised on (nic, VM RAM, workload) — see
+    {!Hypertp.Costs.Memo} — so fleet-scale planning computes each
+    distinct VM profile once. *)
 
 val inplace_host_time : vms:int -> Sim.Time.t
 (** One InPlaceTP host upgrade (kexec + restore of [vms] VMs) on a
-    cluster node. *)
+    cluster node.  Memoised on the riding-VM count. *)
 
 val reboot_host_time : Sim.Time.t
 (** Full reboot of a drained host (the migration-only path). *)
@@ -72,10 +74,12 @@ val vms_accounted : faulty_timing -> int
     [base.inplace_vm_count] — no VM is ever lost, only delayed. *)
 
 val execute_faulty :
-  ?fault:Fault.t -> ?fallback_vm_ram:Hw.Units.bytes_ ->
+  ?ctx:Hypertp.Ctx.t -> ?fault:Fault.t -> ?fallback_vm_ram:Hw.Units.bytes_ ->
   ?fallback_workload:Vmstate.Vm.workload_kind -> nic:Hw.Nic.t ->
   Btrplace.plan -> faulty_timing
-(** Like {!execute}, but consults [fault] once per in-place host
+(** Like {!execute}, but consults the fault plan — taken from [?ctx]
+    ({!Hypertp.Ctx.t}) or the deprecated [?fault] argument, which
+    overrides the [ctx] field — once per in-place host
     upgrade ({!Fault.Host_crash}, the host name as the VM key).  The
     pre/post-PNR split of a failed host is drawn from a per-host RNG
     independent of the plan's stream, so which hosts fail depends only

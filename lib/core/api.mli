@@ -9,28 +9,54 @@ val provision :
   Vmstate.Vm.config list -> Hv.Host.t
 (** Boot a host with the given hypervisor and create its VMs. *)
 
-type response = {
-  advice : Cve.Window.advice;
-  inplace : Inplace.report option;
-      (** present when the advice was followed with InPlaceTP *)
-}
+type outcome =
+  [ `Applied of Inplace.report
+    (** the advice was a transplant and [`Apply] mode ran InPlaceTP *)
+  | `Advised of Hv.Kind.t
+    (** the advice was a transplant but [`Advise] mode left the host
+        untouched; the payload is the recommended target *)
+  | `No_action  (** the running hypervisor is not affected *)
+  | `No_safe_alternative
+    (** every hypervisor in the fleet repertoire is affected *) ]
+
+type response = { advice : Cve.Window.advice; outcome : outcome }
 
 val respond_to_cve :
+  ?ctx:Ctx.t -> ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
+  host:Hv.Host.t -> cve_id:string -> mode:[ `Advise | `Apply ] -> unit ->
+  response
+(** The operator's one-click flow: look the CVE up, ask the policy for
+    a safe alternate in the fleet repertoire and — in [`Apply] mode,
+    when the advice is a transplant — run InPlaceTP.  [`Advise] mode
+    never mutates the host; the outcome distinguishes "advised but not
+    applied" ([`Advised target]) from "no transplant needed"
+    ([`No_action] / [`No_safe_alternative]).  Raises {!Error.Error}
+    (site ["Api.respond_to_cve"]) on an unknown CVE id or a host
+    without a hypervisor. *)
+
+val respond_to_cve_legacy :
   ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t -> host:Hv.Host.t ->
   cve_id:string -> ?apply:bool -> unit -> response
-(** The operator's one-click flow: look the CVE up, ask the policy for a
-    safe alternate in the {Xen, KVM} fleet and — when [apply] (default
-    true) and the advice is a transplant — run InPlaceTP.  Raises
-    [Invalid_argument] on an unknown CVE id or host without a
-    hypervisor. *)
+(** Deprecated pre-[mode] spelling: [?apply:true] (the default) is
+    [`Apply], [false] is [`Advise].  Thin wrapper over
+    {!respond_to_cve}; produces identical responses. *)
+
+val applied_report : response -> Inplace.report option
+(** [Some report] iff the outcome is [`Applied] — convenience for
+    callers that only care whether a transplant ran. *)
 
 val transplant_inplace :
-  ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
+  ?ctx:Ctx.t -> ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
   ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> host:Hv.Host.t ->
   target:Hv.Kind.t -> unit -> Inplace.report
+(** InPlaceTP against a {!Hv.Kind.t} target.  Run knobs may be bundled
+    as [?ctx] ({!Ctx.t}); the individual optional arguments are
+    deprecated wrappers that override the matching [ctx] field. *)
 
 val transplant_migration :
-  ?rng:Sim.Rng.t -> ?fault:Fault.t -> ?retry:Migrate.retry_params ->
-  ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t ->
+  ?ctx:Ctx.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
+  ?retry:Migrate.retry_params -> ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t ->
   src:Hv.Host.t -> dst:Hv.Host.t -> ?vm_names:string list -> unit ->
   Migrate.report
+(** MigrationTP (or the homogeneous baseline).  Same [?ctx] contract as
+    {!transplant_inplace}; [retry] stays separate. *)

@@ -44,3 +44,22 @@ let straggler_deadline_seconds ~factor ~expected =
   if expected < 0.0 then
     invalid_arg "Costs.straggler_deadline_seconds: negative expected duration";
   factor *. expected
+
+(* Per-host estimates are pure functions of small keys (hv pair, VM
+   profile), yet campaign planning used to recompute them once per
+   host — at 10k hosts that is 10k identical Precopy plans and boot
+   models.  [Memo] caches them; correctness is unchanged because the
+   underlying estimators are deterministic. *)
+module Memo = struct
+  type ('a, 'b) t = ('a, 'b) Hashtbl.t
+
+  let create n : ('a, 'b) t = Hashtbl.create n
+
+  let find_or_add t key f =
+    match Hashtbl.find_opt t key with
+    | Some v -> v
+    | None ->
+      let v = f key in
+      Hashtbl.add t key v;
+      v
+end

@@ -45,3 +45,20 @@ val straggler_deadline_seconds : factor:float -> expected:float -> float
 (** [factor *. expected], validated: a supervisor escalates a task that
     exceeds this.  Raises [Invalid_argument] if [factor < 1.0] or
     [expected < 0.0]. *)
+
+(** {1 Memoisation of per-host estimates}
+
+    Campaign planning calls the estimators above once per host with a
+    handful of distinct keys (hv pair, VM profile).  [Memo] is a tiny
+    cache keyed on those profiles so a 10k-host plan computes each
+    distinct estimate once.  Only memoise deterministic estimators. *)
+module Memo : sig
+  type ('a, 'b) t
+
+  val create : int -> ('a, 'b) t
+  (** [create n] sizes the underlying [Hashtbl] for [n] expected keys. *)
+
+  val find_or_add : ('a, 'b) t -> 'a -> ('a -> 'b) -> 'b
+  (** [find_or_add t key f] returns the cached value for [key] or
+      computes, stores and returns [f key]. *)
+end

@@ -1,0 +1,39 @@
+(* The unified run context.  Every engine entry point used to take the
+   same five optional arguments (options, rng, fault, obs, metrics);
+   [Ctx.t] bundles them so call sites thread one value and new knobs
+   can be added without touching every signature.
+
+   [resolve] implements the compatibility contract: legacy optional
+   arguments, when given, override the corresponding [ctx] field, so
+   the deprecated entry points are thin wrappers that delegate here
+   and produce byte-identical behaviour. *)
+
+type t = {
+  options : Options.t;  (** InPlaceTP optimisation toggles *)
+  rng : Sim.Rng.t option;  (** [None] means each engine's default stream *)
+  fault : Fault.t option;
+  obs : Obs.Tracer.t option;
+  metrics : Obs.Metrics.t option;
+}
+
+let default =
+  { options = Options.default; rng = None; fault = None; obs = None; metrics = None }
+
+let make ?(options = Options.default) ?rng ?fault ?obs ?metrics () =
+  { options; rng; fault; obs; metrics }
+
+let with_options options t = { t with options }
+let with_rng rng t = { t with rng = Some rng }
+let with_fault fault t = { t with fault = Some fault }
+let with_obs obs t = { t with obs = Some obs }
+let with_metrics metrics t = { t with metrics = Some metrics }
+
+let resolve ?ctx ?options ?rng ?fault ?obs ?metrics () =
+  let base = match ctx with Some c -> c | None -> default in
+  {
+    options = (match options with Some o -> o | None -> base.options);
+    rng = (match rng with Some _ -> rng | None -> base.rng);
+    fault = (match fault with Some _ -> fault | None -> base.fault);
+    obs = (match obs with Some _ -> obs | None -> base.obs);
+    metrics = (match metrics with Some _ -> metrics | None -> base.metrics);
+  }

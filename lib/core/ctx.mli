@@ -1,0 +1,48 @@
+(** Unified run context for engine entry points.
+
+    [Ctx.t] bundles the five cross-cutting knobs that every engine
+    used to take as separate optional arguments:
+
+    - [options] — InPlaceTP optimisation toggles ({!Options.t})
+    - [rng] — deterministic random stream ([None] = engine default)
+    - [fault] — fault-injection plan
+    - [obs] — span tracer
+    - [metrics] — metrics registry
+
+    Thread one [?ctx] value through {!Api.transplant_inplace},
+    {!Api.transplant_migration}, {!Api.respond_to_cve}, {!Inplace.run},
+    {!Migrate.run}, [Upgrade.*] and [Campaign.run]/[resume] instead of
+    repeating the argument list.  The old per-argument forms still work
+    (deprecated): when both are given, the explicit legacy argument
+    overrides the corresponding [ctx] field, and either spelling
+    produces byte-identical reports, traces and metrics for the same
+    seed (pinned by the Ctx-equivalence tests). *)
+
+type t = {
+  options : Options.t;
+  rng : Sim.Rng.t option;
+  fault : Fault.t option;
+  obs : Obs.Tracer.t option;
+  metrics : Obs.Metrics.t option;
+}
+
+val default : t
+(** [Options.default] and no rng/fault/obs/metrics — exactly the
+    behaviour of calling an entry point with no optional arguments. *)
+
+val make :
+  ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
+  ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> unit -> t
+
+val with_options : Options.t -> t -> t
+val with_rng : Sim.Rng.t -> t -> t
+val with_fault : Fault.t -> t -> t
+val with_obs : Obs.Tracer.t -> t -> t
+val with_metrics : Obs.Metrics.t -> t -> t
+
+val resolve :
+  ?ctx:t -> ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
+  ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> unit -> t
+(** Merge legacy optional arguments over [ctx] (default {!default});
+    an explicit legacy argument wins over the [ctx] field.  Engines
+    call this once at their boundary. *)

@@ -1,0 +1,9 @@
+(** Re-export of {!Hypertp_error} under [Hypertp.Error].
+
+    The exception constructor is shared with the low-level [err]
+    library, so [Hypertp.Error.Error] also matches failures raised by
+    layers below [Hypertp] (e.g. [Fault.make]). *)
+
+include module type of struct
+  include Hypertp_error
+end

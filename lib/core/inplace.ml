@@ -200,8 +200,16 @@ let emit_obs obs metrics ~source ~target ~(phases : Phases.t) ~rungs ~restores
     ~labels:[ ("engine", "inplace"); ("outcome", outcome_label) ]
     "hypertp_transplants_total"
 
-let run ?(options = Options.default) ?(rng = Sim.Rng.create 0x1A2BL) ?fault
-    ?obs ?metrics ~(host : Hv.Host.t) ~target:(module T : Hv.Intf.S) () =
+let run ?ctx ?options ?rng ?fault ?obs ?metrics ~(host : Hv.Host.t)
+    ~target:(module T : Hv.Intf.S) () =
+  let c = Ctx.resolve ?ctx ?options ?rng ?fault ?obs ?metrics () in
+  let options = c.Ctx.options in
+  let rng =
+    match c.Ctx.rng with Some r -> r | None -> Sim.Rng.create 0x1A2BL
+  in
+  let fault = c.Ctx.fault in
+  let obs = c.Ctx.obs in
+  let metrics = c.Ctx.metrics in
   let (Hv.Host.Packed ((module S), _, _)) = Hv.Host.running_exn host in
   if Hv.Kind.equal S.kind T.kind then
     invalid_arg "Inplace.run: target equals the running hypervisor";

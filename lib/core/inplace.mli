@@ -71,10 +71,15 @@ type report = {
 }
 
 val run :
-  ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
+  ?ctx:Ctx.t -> ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
   ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> host:Hv.Host.t ->
   target:(module Hv.Intf.S) -> unit -> report
-(** Transplant every VM on [host] onto [target].  On a committed or
+(** Transplant every VM on [host] onto [target].  Pass the run knobs
+    bundled as [?ctx] ({!Ctx.t}); the individual optional arguments are
+    deprecated thin wrappers that override the corresponding [ctx]
+    field (see {!Ctx.resolve}) and produce byte-identical output.
+
+    On a committed or
     recovered run the host ends up running the target hypervisor with
     all surviving VMs resumed; on a rolled-back run it still runs the
     source with all VMs resumed.  [fault] arms an injection plan (see

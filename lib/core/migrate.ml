@@ -197,9 +197,15 @@ let emit_vm_obs obs metrics ~(plan : Migration.Precopy.plan) ~dropped
     "hypertp_downtime_seconds"
     (Sim.Time.to_sec_f r.downtime)
 
-let run ?(rng = Sim.Rng.create 0x3C4DL) ?fault ?(retry = default_retry)
-    ?obs ?metrics ~(src : Hv.Host.t) ~(dst : Hv.Host.t) ?vm_names () =
-  let obs = Option.map Otrace.attach obs in
+let run ?ctx ?rng ?fault ?(retry = default_retry) ?obs ?metrics
+    ~(src : Hv.Host.t) ~(dst : Hv.Host.t) ?vm_names () =
+  let c = Ctx.resolve ?ctx ?rng ?fault ?obs ?metrics () in
+  let rng =
+    match c.Ctx.rng with Some r -> r | None -> Sim.Rng.create 0x3C4DL
+  in
+  let fault = c.Ctx.fault in
+  let metrics = c.Ctx.metrics in
+  let obs = Option.map Otrace.attach c.Ctx.obs in
   if retry.max_attempts < 1 then invalid_arg "Migrate.run: max_attempts < 1";
   let (Hv.Host.Packed ((module S), _, _)) = Hv.Host.running_exn src in
   let (Hv.Host.Packed ((module D), _, _)) = Hv.Host.running_exn dst in

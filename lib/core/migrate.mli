@@ -77,10 +77,14 @@ type report = {
 }
 
 val run :
-  ?rng:Sim.Rng.t -> ?fault:Fault.t -> ?retry:retry_params ->
+  ?ctx:Ctx.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t -> ?retry:retry_params ->
   ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> src:Hv.Host.t ->
   dst:Hv.Host.t -> ?vm_names:string list -> unit -> report
-(** Migrate the named VMs (default: all) from [src] to [dst].  The
+(** Migrate the named VMs (default: all) from [src] to [dst].  The run
+    knobs (rng/fault/obs/metrics) may be bundled as [?ctx] ({!Ctx.t});
+    the individual optional arguments are deprecated wrappers that
+    override the corresponding [ctx] field ({!Ctx.resolve}).  [retry]
+    stays a separate argument — it is migration-specific.  The
     destination hypervisor must already be booted; the kind is inferred:
     same hypervisor -> homogeneous baseline (native-format stream,
     Xen's sequential receive), different -> MigrationTP (UISR proxies).

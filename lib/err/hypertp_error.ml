@@ -1,0 +1,32 @@
+(* Structured error carried by every user-facing failure in the
+   toolkit.  Replaces the scattered [Invalid_argument]/[Failure]
+   raises that used to live in Api, Campaign, Fleet and Fault.parse:
+   callers can match on one exception, and the CLI renders every
+   failure the same way (site, reason, optional hint).
+
+   The library sits below [fault] in the dependency graph so that all
+   layers — fault injection, core engines, cluster — share the single
+   exception constructor.  [Hypertp.Error] re-exports this module, so
+   [Hypertp.Error.Error] and [Hypertp_error.Error] are the same
+   exception. *)
+
+type t = {
+  site : string;  (** the entry point that rejected, e.g. ["Campaign.run"] *)
+  reason : string;  (** what was wrong, in one sentence *)
+  hint : string option;  (** how to fix it, when we know *)
+}
+
+exception Error of t
+
+let make ~site ?hint reason = { site; reason; hint }
+let raise_error ~site ?hint reason = raise (Error (make ~site ?hint reason))
+
+let raise_errorf ~site ?hint fmt =
+  Format.kasprintf (fun reason -> raise_error ~site ?hint reason) fmt
+
+let to_string e =
+  match e.hint with
+  | None -> Printf.sprintf "%s: %s" e.site e.reason
+  | Some h -> Printf.sprintf "%s: %s (hint: %s)" e.site e.reason h
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

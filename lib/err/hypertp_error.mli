@@ -1,0 +1,30 @@
+(** Structured errors for user-facing failures.
+
+    One exception, [Error], replaces the scattered
+    [Invalid_argument]/[Failure] raises across [Api], [Campaign],
+    [Fleet] and [Fault.parse].  Each carries the raising {e site} (the
+    public entry point), a human-readable {e reason}, and an optional
+    {e hint} describing the fix.  The CLI catches [Error] at its
+    top level and renders all three uniformly.
+
+    Re-exported as [Hypertp.Error]; the exception constructor is
+    shared, so catching [Hypertp.Error.Error] also catches errors
+    raised by lower layers such as [Fault]. *)
+
+type t = { site : string; reason : string; hint : string option }
+
+exception Error of t
+
+val make : site:string -> ?hint:string -> string -> t
+
+val raise_error : site:string -> ?hint:string -> string -> 'a
+(** [raise_error ~site ?hint reason] raises {!Error}. *)
+
+val raise_errorf :
+  site:string -> ?hint:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Like {!raise_error} with a format string for the reason. *)
+
+val to_string : t -> string
+(** ["<site>: <reason>"], with [" (hint: ...)"] appended when present. *)
+
+val pp : Format.formatter -> t -> unit

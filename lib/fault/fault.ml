@@ -83,6 +83,7 @@ type t = {
   rng : Sim.Rng.t;
   counters : (site, int) Hashtbl.t;
   mutable events : event list; (* reverse chronological *)
+  mutable n_events : int; (* O(1) [List.length events] *)
   mutable fired : int;
 }
 
@@ -91,13 +92,13 @@ let default_seed = 0xFA17L
 let validate { site; trigger } =
   match trigger with
   | Nth_hit n when n <= 0 ->
-    invalid_arg
-      (Printf.sprintf "Fault.make: %s: Nth_hit must be positive"
-         (site_to_string site))
+    Hypertp_error.raise_errorf ~site:"Fault.make"
+      ~hint:"Nth_hit counts hits starting at 1" "%s: Nth_hit must be positive"
+      (site_to_string site)
   | Probability p when not (p >= 0.0 && p <= 1.0) ->
-    invalid_arg
-      (Printf.sprintf "Fault.make: %s: probability outside [0, 1]"
-         (site_to_string site))
+    Hypertp_error.raise_errorf ~site:"Fault.make"
+      ~hint:"use a probability in [0, 1], e.g. p=0.25"
+      "%s: probability outside [0, 1]" (site_to_string site)
   | Nth_hit _ | On_vm _ | Probability _ -> ()
 
 let make ?(seed = default_seed) injections =
@@ -108,6 +109,7 @@ let make ?(seed = default_seed) injections =
     rng = Sim.Rng.create seed;
     counters = Hashtbl.create 8;
     events = [];
+    n_events = 0;
     fired = 0;
   }
 
@@ -139,11 +141,13 @@ let fire t ?vm site =
   in
   if fired then t.fired <- t.fired + 1;
   t.events <- { ev_site = site; ev_vm = vm; ev_hit = hit; ev_fired = fired } :: t.events;
+  t.n_events <- t.n_events + 1;
   fired
 
 let hits t site = Option.value ~default:0 (Hashtbl.find_opt t.counters site)
 let fired_count t = t.fired
 let trace t = List.rev t.events
+let trace_length t = t.n_events
 
 let pp_trace fmt t =
   Format.fprintf fmt "@[<v>";

@@ -81,8 +81,9 @@ type t
 
 val make : ?seed:int64 -> injection list -> t
 (** [make injections] builds a plan.  [seed] (default [0xFA17L]) feeds
-    the probability stream.  Raises [Invalid_argument] on a
-    non-positive [Nth_hit] or a probability outside [0, 1]. *)
+    the probability stream.  Raises [Hypertp_error.Error] (site
+    ["Fault.make"]) on a non-positive [Nth_hit] or a probability
+    outside [0, 1]. *)
 
 val none : unit -> t
 (** A plan with no injections: every [fire] returns false (but is still
@@ -107,6 +108,12 @@ val hits : t -> site -> int
 val fired_count : t -> int
 val trace : t -> event list
 (** Chronological record of every decision. *)
+
+val trace_length : t -> int
+(** [List.length (trace t)], in O(1).  The campaign journal stamps a
+    fault cursor on every entry, so this runs once per event — the
+    count is maintained incrementally rather than re-walking the
+    trace. *)
 
 val pp_trace : Format.formatter -> t -> unit
 

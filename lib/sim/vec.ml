@@ -1,0 +1,67 @@
+(* Growable array ("vector") used by hot paths that previously consed
+   lists and reversed them.  OCaml 5.1 has no Stdlib.Dynarray (5.2+),
+   so we hand-roll the few operations the simulator needs.
+
+   Elements are stored in [0, len); the backing store doubles on
+   overflow.  [push] order is preserved: element [i] was the (i+1)-th
+   pushed, so no final [List.rev] is needed. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;  (** padding value for unused slots; never observed *)
+}
+
+let create ?(capacity = 16) dummy =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity dummy; len = 0; dummy }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let clear t =
+  (* Drop references so the GC can reclaim payloads. *)
+  Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0
+
+let ensure_capacity t n =
+  if n > Array.length t.data then begin
+    let cap = ref (max 1 (Array.length t.data)) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let data = Array.make !cap t.dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t x =
+  ensure_capacity t (t.len + 1);
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  t.data.(i)
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+let to_array t = Array.sub t.data 0 t.len
+
+let of_list dummy xs =
+  let t = create ~capacity:(max 1 (List.length xs)) dummy in
+  List.iter (push t) xs;
+  t

@@ -1,0 +1,36 @@
+(** Growable array for hot paths.
+
+    Replaces the [x :: !acc] + [List.rev] idiom: elements read back in
+    push order with no reversal and no per-element cons cell.  The
+    backing store doubles on overflow, so [n] pushes cost O(n)
+    amortised.
+
+    A [dummy] element is required at creation to fill unused capacity;
+    it is never returned by any accessor. *)
+
+type 'a t
+
+val create : ?capacity:int -> 'a -> 'a t
+(** [create ?capacity dummy] makes an empty vector.  [capacity] is an
+    initial-allocation hint (default 16). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Reset length to zero, releasing element references.  Capacity is
+    retained, so a cleared vector can be refilled without
+    reallocating. *)
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] outside [0, length). *)
+
+val last : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val of_list : 'a -> 'a list -> 'a t

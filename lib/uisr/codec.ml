@@ -181,8 +181,16 @@ let put_vm_info ~wstring w (t : Vm_state.t) =
   | Vmstate.Vm.Wl_streaming -> Writer.u8 w 5; wstring w "");
   Writer.bool w t.inplace_compatible
 
+(* One pooled writer shared across every encode: per-VM translation in
+   a fleet campaign reuses the same backing buffer and section scratch
+   pool instead of allocating O(sections) buffers per VM.  Safe because
+   encoding is synchronous and non-reentrant (section bodies only call
+   put_* helpers), and [Writer.contents] copies the bytes out. *)
+let pooled_writer = lazy (Writer.create ())
+
 let encode_body ~version (t : Vm_state.t) =
-  let w = Writer.create () in
+  let w = Lazy.force pooled_writer in
+  Writer.reset w;
   (* header *)
   Writer.u8 w (Char.code magic.[0]);
   Writer.u8 w (Char.code magic.[1]);

@@ -29,28 +29,37 @@ let crc32_sub data ~pos ~len =
 let crc32 data = crc32_sub data ~pos:0 ~len:(Bytes.length data)
 
 module Writer = struct
-  type t = Buffer.t
+  (* A writer owns its output buffer plus a free-list of scratch
+     buffers shared with every sub-writer it spawns for TLV sections.
+     Encoding a fleet's worth of VM states used to allocate one fresh
+     Buffer per section; with the pool, a [reset] writer re-encodes
+     into the same storage, so steady-state encoding does O(1)
+     buffer allocation per blob rather than O(sections). *)
+  type t = { buf : Buffer.t; scratch : Buffer.t Stack.t }
 
-  let create () = Buffer.create 256
-  let u8 t v = Buffer.add_uint8 t (v land 0xFF)
-  let u16 t v = Buffer.add_uint16_le t (v land 0xFFFF)
+  let create () = { buf = Buffer.create 256; scratch = Stack.create () }
+
+  let reset t = Buffer.clear t.buf
+
+  let u8 t v = Buffer.add_uint8 t.buf (v land 0xFF)
+  let u16 t v = Buffer.add_uint16_le t.buf (v land 0xFFFF)
 
   let u32 t v =
-    Buffer.add_int32_le t (Int32.of_int (v land 0xFFFFFFFF))
+    Buffer.add_int32_le t.buf (Int32.of_int (v land 0xFFFFFFFF))
 
-  let i32 t v = Buffer.add_int32_le t v
-  let u64 t v = Buffer.add_int64_le t v
+  let i32 t v = Buffer.add_int32_le t.buf v
+  let u64 t v = Buffer.add_int64_le t.buf v
   let bool t v = u8 t (if v then 1 else 0)
 
   let string t s =
     u32 t (String.length s);
-    Buffer.add_string t s
+    Buffer.add_string t.buf s
 
   let string16 t s =
     if String.length s > 0xFFFF then
       invalid_arg "Wire.string16: string longer than 64 KiB";
     u16 t (String.length s);
-    Buffer.add_string t s
+    Buffer.add_string t.buf s
 
   let list t f xs =
     u32 t (List.length xs);
@@ -60,24 +69,33 @@ module Writer = struct
     u32 t (Array.length xs);
     Array.iter f xs
 
-  let size t = Buffer.length t
-  let contents t = Buffer.to_bytes t
+  let size t = Buffer.length t.buf
+  let contents t = Buffer.to_bytes t.buf
+
+  let acquire_scratch t =
+    match Stack.pop_opt t.scratch with
+    | Some b ->
+      Buffer.clear b;
+      b
+    | None -> Buffer.create 256
 
   let section t ~tag body =
-    let payload = create () in
-    body payload;
+    let b = acquire_scratch t in
+    body { buf = b; scratch = t.scratch };
     u16 t tag;
-    u32 t (Buffer.length payload);
-    Buffer.add_buffer t payload
+    u32 t (Buffer.length b);
+    Buffer.add_buffer t.buf b;
+    Stack.push b t.scratch
 
   let section_crc t ~tag body =
-    let payload = create () in
-    body payload;
-    let pb = Buffer.to_bytes payload in
+    let b = acquire_scratch t in
+    body { buf = b; scratch = t.scratch };
+    let pb = Buffer.to_bytes b in
     u16 t tag;
     u32 t (Bytes.length pb);
-    Buffer.add_bytes t pb;
-    Buffer.add_int32_le t (crc32 pb)
+    Buffer.add_bytes t.buf pb;
+    Buffer.add_int32_le t.buf (crc32 pb);
+    Stack.push b t.scratch
 end
 
 module Reader = struct

@@ -5,6 +5,16 @@ module Writer : sig
   type t
 
   val create : unit -> t
+
+  val reset : t -> unit
+  (** Empty the writer for reuse while keeping its backing storage and
+      its pool of section scratch buffers.  Encoders that translate
+      many VM states in a row (e.g. a fleet campaign) reset one shared
+      writer instead of allocating a fresh one per blob, making
+      encoding O(blobs) rather than O(blobs x sections) in buffer
+      allocations.  {!contents} copies, so bytes returned before a
+      [reset] stay valid. *)
+
   val u8 : t -> int -> unit
   val u16 : t -> int -> unit
   val u32 : t -> int -> unit

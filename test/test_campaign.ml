@@ -81,7 +81,7 @@ let test_config_validation () =
       (try
          ignore (C.run cfg);
          false
-       with Invalid_argument _ -> true)
+       with Hypertp.Error.Error e -> e.Hypertp.Error.site = "Campaign")
   in
   bad "zero concurrency" { C.default_config with C.concurrency = 0 };
   bad "straggler factor below floor"
@@ -283,7 +283,8 @@ let test_resume_rejects_mismatched_fault () =
               ~fault:(Fault.make ~seed:5L [])
               journal);
          false
-       with Invalid_argument _ -> true)
+       with Hypertp.Error.Error e ->
+         e.Hypertp.Error.site = "Campaign.resume")
 
 let test_journal_parse_errors () =
   let reject s =

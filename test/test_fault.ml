@@ -54,12 +54,22 @@ let test_spec_parsing () =
     Fault.all_sites
 
 let test_trigger_validation () =
-  Alcotest.check_raises "nth_hit 0"
-    (Invalid_argument "Fault.make: kexec_jump: Nth_hit must be positive")
-    (fun () -> ignore (one Fault.Kexec_jump (Fault.Nth_hit 0)));
-  Alcotest.check_raises "p > 1"
-    (Invalid_argument "Fault.make: host_crash: probability outside [0, 1]")
-    (fun () -> ignore (one Fault.Host_crash (Fault.Probability 1.5)))
+  checkb "nth_hit 0" true
+    (try
+       ignore (one Fault.Kexec_jump (Fault.Nth_hit 0));
+       false
+     with Hypertp_error.Error e ->
+       e.Hypertp_error.site = "Fault.make"
+       && e.Hypertp_error.reason = "kexec_jump: Nth_hit must be positive"
+       && e.Hypertp_error.hint = Some "Nth_hit counts hits starting at 1");
+  checkb "p > 1" true
+    (try
+       ignore (one Fault.Host_crash (Fault.Probability 1.5));
+       false
+     with Hypertp_error.Error e ->
+       e.Hypertp_error.site = "Fault.make"
+       && e.Hypertp_error.reason = "host_crash: probability outside [0, 1]"
+       && e.Hypertp_error.hint = Some "use a probability in [0, 1], e.g. p=0.25")
 
 let test_trace_determinism () =
   (* Same seed => bit-identical decision trace, draw by draw. *)

@@ -440,36 +440,55 @@ let test_memsep_proportions () =
 
 let test_api_respond_applies () =
   let host = xen_host () in
-  let r = Hypertp.Api.respond_to_cve ~host ~cve_id:"CVE-2016-6258" () in
+  let r =
+    Hypertp.Api.respond_to_cve ~host ~cve_id:"CVE-2016-6258" ~mode:`Apply ()
+  in
   checkb "advised kvm" true (r.advice = Cve.Window.Transplant_to "kvm");
-  checkb "applied" true (r.inplace <> None);
+  checkb "applied" true (Hypertp.Api.applied_report r <> None);
   checkb "now kvm" true (Hv.Host.hypervisor_kind host = Some Hv.Kind.Kvm)
 
 let test_api_respond_no_apply () =
   let host = xen_host () in
   let r =
-    Hypertp.Api.respond_to_cve ~host ~cve_id:"CVE-2016-6258" ~apply:false ()
+    Hypertp.Api.respond_to_cve ~host ~cve_id:"CVE-2016-6258" ~mode:`Advise ()
   in
-  checkb "advice only" true (r.inplace = None);
-  checkb "still xen" true (Hv.Host.hypervisor_kind host = Some Hv.Kind.Xen)
+  checkb "advice only" true (r.outcome = `Advised Hv.Kind.Kvm);
+  checkb "still xen" true (Hv.Host.hypervisor_kind host = Some Hv.Kind.Xen);
+  (* The deprecated boolean spelling maps onto the same modes. *)
+  let host' = xen_host () in
+  let r' =
+    Hypertp.Api.respond_to_cve_legacy ~host:host' ~cve_id:"CVE-2016-6258"
+      ~apply:false ()
+  in
+  checkb "legacy advice matches" true (r'.outcome = r.outcome);
+  checkb "legacy host untouched" true
+    (Hv.Host.hypervisor_kind host' = Some Hv.Kind.Xen)
 
 let test_api_respond_common_flaw () =
   (* VENOM hits both Xen and KVM; with the three-hypervisor repertoire
      the policy escapes to bhyve (with the two-member fleet it would be
      No_safe_alternative — covered in test_cve). *)
   let host = xen_host () in
-  let r = Hypertp.Api.respond_to_cve ~host ~cve_id:"CVE-2015-3456" () in
+  let r =
+    Hypertp.Api.respond_to_cve ~host ~cve_id:"CVE-2015-3456" ~mode:`Apply ()
+  in
   checkb "escape to bhyve" true (r.advice = Cve.Window.Transplant_to "bhyve");
-  checkb "applied" true (r.inplace <> None);
+  checkb "applied" true (Hypertp.Api.applied_report r <> None);
   checkb "now on bhyve" true
     (Hv.Host.hypervisor_kind host = Some Hv.Kind.Bhyve)
 
 let test_api_unknown_cve () =
   let host = xen_host () in
-  Alcotest.check_raises "unknown"
-    (Invalid_argument "Api.respond_to_cve: unknown CVE CVE-1999-0001")
-    (fun () ->
-      ignore (Hypertp.Api.respond_to_cve ~host ~cve_id:"CVE-1999-0001" ()))
+  checkb "unknown CVE raises a structured error" true
+    (try
+       ignore
+         (Hypertp.Api.respond_to_cve ~host ~cve_id:"CVE-1999-0001"
+            ~mode:`Apply ());
+       false
+     with Hypertp.Error.Error e ->
+       e.Hypertp.Error.site = "Api.respond_to_cve"
+       && e.Hypertp.Error.reason = "unknown CVE CVE-1999-0001"
+       && e.Hypertp.Error.hint <> None)
 
 (* --- Snapshot --- *)
 
