@@ -32,6 +32,9 @@ let targets : (string * string * (unit -> unit)) list =
      Bench_figures.campaign);
     ("scale", "fleet-scale campaign sweep (emits BENCH_scale.json); accepts \
                --hosts N", fun () -> Bench_scale.run ());
+    ("controlplane",
+     "hierarchical control plane, calm vs crashed (emits \
+      BENCH_controlplane.json)", Bench_controlplane.run);
     ("micro", "Bechamel micro-benchmarks", Bench_micro.run);
   ]
 
@@ -39,7 +42,7 @@ let targets : (string * string * (unit -> unit)) list =
 let default_order =
   [ "table1"; "table2"; "table4"; "fig6"; "fig7"; "fig8"; "fig10"; "fig11"; "fig12";
     "table5"; "table6"; "fig13"; "fig14"; "tcb"; "memsep"; "ablation";
-    "repertoire"; "fleet"; "campaign"; "micro" ]
+    "repertoire"; "fleet"; "campaign"; "controlplane"; "micro" ]
 
 let run_target name =
   match List.find_opt (fun (n, _, _) -> String.equal n name) targets with

@@ -448,6 +448,11 @@ let fault_campaign_cmd =
       "@.cluster-level sites (exercised by 'campaign --fault' and 'cluster \
        --fault-sweep', not per-transplant): %s@."
       (String.concat ", " (List.map Fault.site_to_string Fault.cluster_sites));
+    Format.printf
+      "control-plane sites (exercised by 'controlplane --fault' against the \
+       hierarchical root/sub-controller supervisor): %s@."
+      (String.concat ", "
+         (List.map Fault.site_to_string Fault.controlplane_sites));
     if sweep then begin
       Format.printf "@.cluster sweep (10x10, host-crash probability):@.";
       Format.printf "%-6s %-9s %-10s %-10s %-10s %s@." "p" "failures"
@@ -625,6 +630,167 @@ let campaign_cmd =
           $ seed_arg $ fault_arg $ journal_file $ resume_from $ sweep
           $ trace_out_arg $ metrics_out_arg)
 
+(* --- controlplane --- *)
+
+let controlplane_cmd =
+  let module CP = Cluster.Controlplane in
+  let d = CP.default_config in
+  let regions =
+    Arg.(value & opt int d.CP.regions
+         & info [ "regions" ] ~docv:"N"
+             ~doc:"Regions, each run by its own sub-controller.")
+  in
+  let hosts_per_region =
+    Arg.(value & opt int d.CP.hosts_per_region
+         & info [ "hosts-per-region" ] ~docv:"N" ~doc:"Hosts per region.")
+  in
+  let vms_per_host =
+    Arg.(value & opt int d.CP.vms_per_host
+         & info [ "vms-per-host" ] ~docv:"N"
+             ~doc:"VMs riding through each in-place upgrade.")
+  in
+  let concurrency =
+    Arg.(value & opt int d.CP.global_concurrency
+         & info [ "concurrency" ] ~docv:"N"
+             ~doc:"Fleet-wide admission budget, split across regions and \
+                   reallocated as regions finish.")
+  in
+  let straggler =
+    Arg.(value & opt float d.CP.straggler_factor
+         & info [ "straggler-factor" ] ~docv:"F"
+             ~doc:"Escalate a host attempt after F x its expected duration.")
+  in
+  let breaker_window =
+    Arg.(value & opt int d.CP.breaker_window
+         & info [ "breaker-window" ] ~docv:"K"
+             ~doc:"Per-region circuit-breaker rolling window.")
+  in
+  let breaker_threshold =
+    Arg.(value & opt float d.CP.breaker_threshold
+         & info [ "breaker-threshold" ] ~docv:"F"
+             ~doc:"Trip a region's breaker when failures/K reaches F.")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt float (Sim.Time.to_sec_f d.CP.breaker_cooldown)
+         & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+             ~doc:"Pause a region's admission for this long after a trip.")
+  in
+  let hb_every =
+    Arg.(value & opt float (Sim.Time.to_sec_f d.CP.heartbeat_every)
+         & info [ "hb-every" ] ~docv:"SECONDS"
+             ~doc:"Sub-controller heartbeat period.")
+  in
+  let hb_timeout =
+    Arg.(value & opt float (Sim.Time.to_sec_f d.CP.heartbeat_timeout)
+         & info [ "hb-timeout" ] ~docv:"SECONDS"
+             ~doc:"The root declares a sub-controller dead after this much \
+                   heartbeat silence and rebuilds it from its journal.")
+  in
+  let realloc_lag =
+    Arg.(value & opt float (Sim.Time.to_sec_f d.CP.realloc_lag)
+         & info [ "realloc-lag" ] ~docv:"SECONDS"
+             ~doc:"Lease delay before a finished region's admission slots \
+                   take effect elsewhere; must be at least hb-timeout + 2 x \
+                   hb-every.")
+  in
+  let bundle_file =
+    Arg.(value & opt (some string) None
+         & info [ "bundle" ] ~docv:"PATH"
+             ~doc:"Write the region journals (the leader-handoff bundle) \
+                   here, on success or on a root crash.")
+  in
+  let resume_from =
+    Arg.(value & opt (some string) None
+         & info [ "resume-from" ] ~docv:"PATH"
+             ~doc:"Leader handoff: rebuild the global view from this bundle \
+                   and drive the campaign to completion.  Pass the same \
+                   host-site $(b,--fault) specs (and seed) as the crashed \
+                   run; control-plane triggers (root_crash, ...) are not \
+                   cursor-tracked and may be dropped so the new leader does \
+                   not die the same death.")
+  in
+  let timeline =
+    Arg.(value & flag
+         & info [ "timeline" ]
+             ~doc:"Print the merged journal (all regions, one line per \
+                   entry) after the run.")
+  in
+  let run () regions hosts_per_region vms_per_host concurrency straggler
+      breaker_window breaker_threshold breaker_cooldown hb_every hb_timeout
+      realloc_lag seed specs bundle_file resume_from timeline trace_out
+      metrics_out =
+    let config =
+      {
+        CP.regions;
+        hosts_per_region;
+        vms_per_host;
+        global_concurrency = concurrency;
+        straggler_factor = straggler;
+        breaker_window;
+        breaker_threshold;
+        breaker_cooldown = Sim.Time.of_sec_f breaker_cooldown;
+        jitter_pct = d.CP.jitter_pct;
+        drain_flakiness = d.CP.drain_flakiness;
+        heartbeat_every = Sim.Time.of_sec_f hb_every;
+        heartbeat_timeout = Sim.Time.of_sec_f hb_timeout;
+        realloc_lag = Sim.Time.of_sec_f realloc_lag;
+        seed;
+      }
+    in
+    let fault = fault_of_specs specs in
+    let obs, metrics = obs_of_paths trace_out metrics_out in
+    let write_bundle b =
+      match bundle_file with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (CP.bundle_to_string b);
+        close_out oc;
+        Format.printf "bundle (%d entries across %d regions) written to %s@."
+          (CP.bundle_length b) (CP.bundle_config b).CP.regions path
+    in
+    let result =
+      match resume_from with
+      | Some path ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let raw = really_input_string ic len in
+        close_in ic;
+        (match CP.bundle_of_string raw with
+        | Ok b -> CP.resume ?fault ?obs ?metrics b
+        | Error e ->
+          Format.eprintf "cannot resume: %s@." e;
+          exit 1)
+      | None -> CP.run ?fault ?obs ?metrics config
+    in
+    match result with
+    | CP.Finished (r, b) ->
+      print_string (CP.summary r);
+      if timeline then print_string (CP.merged_to_string b);
+      write_bundle b;
+      write_obs trace_out metrics_out obs metrics
+    | CP.Crashed b ->
+      Format.printf
+        "root supervisor died with %d journaled events; hand off with \
+         --resume-from@."
+        (CP.bundle_length b);
+      write_bundle b;
+      write_obs trace_out metrics_out obs metrics;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "controlplane"
+       ~doc:"Run the replicated hierarchical control plane: regional \
+             sub-controllers with private journals under a root supervisor \
+             with heartbeat detection; survives sub-controller crashes, \
+             supervision partitions, root crashes and crashes during resume \
+             with a byte-identical final report")
+    Term.(const run $ verbose_arg $ regions $ hosts_per_region $ vms_per_host
+          $ concurrency $ straggler $ breaker_window $ breaker_threshold
+          $ breaker_cooldown $ hb_every $ hb_timeout $ realloc_lag $ seed_arg
+          $ fault_arg $ bundle_file $ resume_from $ timeline $ trace_out_arg
+          $ metrics_out_arg)
+
 (* --- fleet --- *)
 
 let fleet_cmd =
@@ -737,7 +903,7 @@ let () =
       (Cmd.eval ~catch:false
          (Cmd.group info
             [ cve_cmd; inplace_cmd; migrate_cmd; memsep_cmd; cluster_cmd;
-              campaign_cmd; respond_cmd; fleet_cmd; snapshot_cmd;
+              campaign_cmd; controlplane_cmd; respond_cmd; fleet_cmd; snapshot_cmd;
               fault_campaign_cmd; verify_cmd; fuzz_cmd ]))
   with Hypertp.Error.Error e ->
     Format.eprintf "hypertp-cli: %s@." (Hypertp.Error.to_string e);

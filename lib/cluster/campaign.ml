@@ -257,10 +257,14 @@ type entry = {
   je_cursor : int; (* fault-plan trace length after this entry *)
 }
 
-type journal = { j_config : config; j_entries : entry list (* chronological *) }
+(* Journal entries live in a [Sim.Vec] end-to-end: the live controller
+   appends to one, serialisation iterates it, and the parser fills one —
+   so [journal_length] and replay are O(1)/O(n) at 10k+ entries instead
+   of the list walks they used to be. *)
+type journal = { j_config : config; j_entries : entry Sim.Vec.t (* chronological *) }
 
 let journal_config j = j.j_config
-let journal_length j = List.length j.j_entries
+let journal_length j = Sim.Vec.length j.j_entries
 
 let dummy_entry =
   { je_at = Sim.Time.zero; je_host = None; je_event = Campaign_finished;
@@ -843,8 +847,7 @@ and on_flap_leg ctx i =
 
 (* --- results --- *)
 
-let make_journal st =
-  { j_config = st.cfg; j_entries = Sim.Vec.to_list st.entries }
+let make_journal st = { j_config = st.cfg; j_entries = st.entries }
 
 let make_report st =
   let finished =
@@ -987,9 +990,16 @@ let resume ?ctx:run_ctx ?fault ?obs ?metrics journal =
   (* Replay: every entry is re-applied and re-validated against the
      restarted fault plan — the same sites fire in the same order, so
      the plan's counters, probability stream and trace end up exactly
-     where the crashed run left them. *)
-  List.iter
+     where the crashed run left them.  Validation failures name the
+     exact entry and which recorded cursor diverged, so a journal file
+     resumed under the wrong --fault specs (or seed) is diagnosable. *)
+  let plan_seed () =
+    match st.fault with Some f -> Fault.seed f | None -> 0L
+  in
+  let entry_no = ref 0 in
+  Sim.Vec.iter
     (fun e ->
+      incr entry_no;
       (match (e.je_event, e.je_host, e.je_decision) with
       | Admitted Inplace, Some h, Some d ->
         let f_flap = fire_opt st ~vm:h Fault.Host_flap in
@@ -1000,19 +1010,48 @@ let resume ?ctx:run_ctx ?fault ?obs ?metrics journal =
           && (f_flap <> d.d_flap || f_crash <> d.d_crash
             || f_timeout <> d.d_timeout)
         then
-          Hypertp_error.raise_error ~site:"Campaign.resume"
-            ~hint:"resume with the fault plan the crashed run used"
-            "journal disagrees with the fault plan"
+          let diverged =
+            String.concat ", "
+              (List.filter_map
+                 (fun (name, journalled, replayed) ->
+                   if journalled <> replayed then
+                     Some
+                       (Printf.sprintf "%s (journal %b, plan %b)" name
+                          journalled replayed)
+                   else None)
+                 [ ("flap", d.d_flap, f_flap); ("crash", d.d_crash, f_crash);
+                   ("timeout", d.d_timeout, f_timeout) ])
+          in
+          Hypertp_error.raise_errorf ~site:"Campaign.resume"
+            ~hint:
+              (Printf.sprintf
+                 "the journal was recorded under a different fault plan: \
+                  pass the exact --fault specs (and seed) of the crashed \
+                  run; the restarted plan (seed %Ld) decides differently \
+                  here" (plan_seed ()))
+            "journal entry %d (host %s admission at %s) disagrees with the \
+             fault plan on the %s decision"
+            !entry_no h (Sim.Time.to_string e.je_at) diverged
       | Admitted Inplace, _, None ->
-        Hypertp_error.raise_error ~site:"Campaign.resume"
-          "in-place admission without decision"
+        Hypertp_error.raise_errorf ~site:"Campaign.resume"
+          "journal entry %d: in-place admission without decision" !entry_no
       | _ -> ());
       apply st e;
       ignore (fire_opt st Fault.Controller_crash);
       if st.fault <> None && cursor st <> e.je_cursor then
-        Hypertp_error.raise_error ~site:"Campaign.resume"
-          ~hint:"resume with the fault plan the crashed run used"
-          "fault-plan cursor mismatch";
+        Hypertp_error.raise_errorf ~site:"Campaign.resume"
+          ~hint:
+            (Printf.sprintf
+               "every earlier entry matched, so the --fault specs differ \
+                from the crashed run's (or its seed was not %Ld): a \
+                different injection list consumes a different number of \
+                fire decisions per event" (plan_seed ()))
+          "journal entry %d (%s at %s): fault-plan cursor diverged — the \
+           journal records %d fire decisions taken by this point, the \
+           replayed plan took %d"
+          !entry_no
+          (match e.je_host with Some h -> "host " ^ h | None -> "campaign")
+          (Sim.Time.to_string e.je_at) e.je_cursor (cursor st);
       Sim.Vec.push st.entries e)
     journal.j_entries;
   let ctx = make_ctx st in
@@ -1082,7 +1121,7 @@ let journal_to_string j =
        c.concurrency c.straggler_factor c.breaker_window c.breaker_threshold
        (Sim.Time.to_ns c.breaker_cooldown)
        c.jitter_pct c.drain_flakiness c.retry_flakiness c.seed);
-  List.iter
+  Sim.Vec.iter
     (fun e ->
       let host = match e.je_host with Some h -> h | None -> "-" in
       let kind =
@@ -1237,7 +1276,7 @@ let journal_of_string s =
             })
           entry_lines
       in
-      Ok { j_config = config; j_entries = entries }
+      Ok { j_config = config; j_entries = Sim.Vec.of_list dummy_entry entries }
     | _ -> raise (Parse "truncated journal (need magic + config lines)")
   with
   | Parse msg -> Error msg

@@ -14,12 +14,17 @@ type site =
   | Host_timeout
   | Host_flap
   | Controller_crash
+  | Subctl_crash
+  | Root_crash
+  | Ctl_partition
+  | Crash_during_resume
 
 let all_sites =
   [ Pram_build; Uisr_encode; Uisr_decode; Uisr_corrupt; Pram_corrupt;
     Kexec_load; Kexec_jump; Vm_restore;
     Mgmt_rebuild; Migration_link_drop; Migration_link_degrade; Host_crash;
-    Host_timeout; Host_flap; Controller_crash ]
+    Host_timeout; Host_flap; Controller_crash; Subctl_crash; Root_crash;
+    Ctl_partition; Crash_during_resume ]
 
 let engine_sites =
   [ Pram_build; Uisr_encode; Uisr_decode; Uisr_corrupt; Pram_corrupt;
@@ -27,6 +32,9 @@ let engine_sites =
     Mgmt_rebuild; Migration_link_drop; Migration_link_degrade; Host_crash ]
 
 let cluster_sites = [ Host_crash; Host_timeout; Host_flap; Controller_crash ]
+
+let controlplane_sites =
+  [ Subctl_crash; Root_crash; Ctl_partition; Crash_during_resume ]
 
 let site_to_string = function
   | Pram_build -> "pram_build"
@@ -44,6 +52,10 @@ let site_to_string = function
   | Host_timeout -> "host_timeout"
   | Host_flap -> "host_flap"
   | Controller_crash -> "controller_crash"
+  | Subctl_crash -> "subctl_crash"
+  | Root_crash -> "root_crash"
+  | Ctl_partition -> "ctl_partition"
+  | Crash_during_resume -> "crash_during_resume"
 
 let site_of_string s =
   List.find_opt (fun site -> String.equal (site_to_string site) s) all_sites
@@ -54,7 +66,8 @@ let pre_pnr = function
   | Pram_build | Uisr_encode | Kexec_load -> true
   | Uisr_decode | Uisr_corrupt | Pram_corrupt | Kexec_jump | Vm_restore
   | Mgmt_rebuild | Migration_link_drop | Migration_link_degrade | Host_crash
-  | Host_timeout | Host_flap | Controller_crash ->
+  | Host_timeout | Host_flap | Controller_crash | Subctl_crash | Root_crash
+  | Ctl_partition | Crash_during_resume ->
     false
 
 type trigger =

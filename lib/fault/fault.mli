@@ -36,6 +36,20 @@ type site =
   | Host_timeout  (** a host upgrade hangs past its straggler deadline *)
   | Host_flap  (** a host fails, recovers, then fails again mid-upgrade *)
   | Controller_crash  (** the campaign controller itself dies mid-run *)
+  | Subctl_crash
+      (** a regional sub-controller of the hierarchical control plane
+          dies; its journal survives and the root supervisor restarts it
+          after heartbeat-timeout detection *)
+  | Root_crash
+      (** the root supervisor dies; a new leader reconciles the global
+          campaign state from the surviving sub-journals *)
+  | Ctl_partition
+      (** the root<->sub-controller supervision channel partitions for a
+          seeded heal delay: heartbeats are dropped, so the root fences
+          and restarts a perfectly healthy sub-controller *)
+  | Crash_during_resume
+      (** the recovering controller dies again mid-way through a journal
+          replay — the double-fault case *)
 
 val all_sites : site list
 
@@ -51,6 +65,13 @@ val cluster_sites : site list
     [Host_flap], [Controller_crash]).  [Host_crash] appears in both
     lists: the InPlaceTP engine also consults it for the
     crash-in-vulnerable-window reboot path. *)
+
+val controlplane_sites : site list
+(** Sites consulted by the replicated hierarchical control plane
+    ([Cluster.Controlplane]): [Subctl_crash] per sub-controller journal
+    append, [Root_crash] per root supervisor heartbeat tick,
+    [Ctl_partition] per heartbeat receipt, and [Crash_during_resume]
+    per entry replayed during any journal recovery. *)
 
 val site_to_string : site -> string
 val site_of_string : string -> site option

@@ -84,6 +84,17 @@ let schedule_at t at run =
 
 let schedule_after t delay run = schedule_at t (Time.add t.clock delay) run
 
+let schedule_every t ?start period f =
+  if Time.(period <= zero) then
+    invalid_arg "Engine.schedule_every: period must be positive";
+  let rec tick at =
+    schedule_at t at (fun () ->
+        match f () with
+        | `Continue -> tick (Time.add t.clock period)
+        | `Stop -> ())
+  in
+  tick (match start with Some s -> s | None -> Time.add t.clock period)
+
 (* A timer is a scheduled event behind a revocable guard: the heap entry
    stays put, but a cancelled guard makes it a no-op when popped. *)
 

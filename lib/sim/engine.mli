@@ -39,6 +39,17 @@ val schedule_timer_after : t -> Time.t -> (unit -> unit) -> timer
 val cancel : timer -> unit
 (** Revoke the timer.  A no-op if it already fired or was cancelled. *)
 
+val schedule_every :
+  t -> ?start:Time.t -> Time.t -> (unit -> [ `Continue | `Stop ]) -> unit
+(** [schedule_every e d f] runs [f] at [start] (default [now e + d]) and
+    then every [d] thereafter, until [f] returns [`Stop].  This is the
+    heartbeat surface supervision layers are built on: the control
+    plane's root supervisor ticks on it to collect sub-controller
+    heartbeats and arm detection timeouts.  Each firing counts as one
+    engine event; the callback decides continuation, so there is no
+    handle to cancel — return [`Stop].  Raises [Invalid_argument] if
+    [d] is not strictly positive. *)
+
 val timer_pending : timer -> bool
 (** [true] until the timer fires or is cancelled. *)
 

@@ -7,5 +7,6 @@ let () =
    @ Test_kexec.suites @ Test_hv.suites @ Test_xen_kvm.suites
    @ Test_bhyve.suites @ Test_migration.suites @ Test_cve.suites
    @ Test_fault.suites @ Test_integrity.suites @ Test_hypertp.suites
-   @ Test_cluster.suites @ Test_campaign.suites @ Test_ctx.suites
+   @ Test_cluster.suites @ Test_campaign.suites @ Test_controlplane.suites
+   @ Test_ctx.suites
    @ Test_extras.suites @ Test_obs.suites)

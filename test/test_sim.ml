@@ -318,6 +318,34 @@ let test_trace_between () =
   checki "window half-open" 2
     (List.length (Sim.Trace.between t (Sim.Time.sec 1) (Sim.Time.sec 3)))
 
+let test_engine_schedule_every () =
+  let eng = Sim.Engine.create () in
+  let ticks = ref [] in
+  Sim.Engine.schedule_every eng (Sim.Time.sec 5) (fun () ->
+      ticks := Sim.Time.to_ns (Sim.Engine.now eng) :: !ticks;
+      if List.length !ticks >= 3 then `Stop else `Continue);
+  (* an explicit start overrides the default now+period *)
+  let started = ref [] in
+  Sim.Engine.schedule_every eng ~start:(Sim.Time.sec 1) (Sim.Time.sec 100)
+    (fun () ->
+      started := Sim.Time.to_ns (Sim.Engine.now eng) :: !started;
+      `Stop);
+  Sim.Engine.run eng;
+  Alcotest.(check (list int))
+    "periodic ticks at 5s/10s/15s"
+    [ Sim.Time.to_ns (Sim.Time.sec 5); Sim.Time.to_ns (Sim.Time.sec 10);
+      Sim.Time.to_ns (Sim.Time.sec 15) ]
+    (List.rev !ticks);
+  Alcotest.(check (list int))
+    "explicit start honoured, Stop ends the series"
+    [ Sim.Time.to_ns (Sim.Time.sec 1) ]
+    (List.rev !started);
+  checkb "non-positive period rejected" true
+    (try
+       Sim.Engine.schedule_every eng Sim.Time.zero (fun () -> `Stop);
+       false
+     with Invalid_argument _ -> true)
+
 let suites =
   [
     ( "sim.time",
@@ -359,6 +387,7 @@ let suites =
         Alcotest.test_case "2000 random events stay monotone" `Quick
           test_engine_many_events;
         Alcotest.test_case "timer hook" `Quick test_engine_timer_hook;
+        Alcotest.test_case "schedule_every" `Quick test_engine_schedule_every;
       ] );
     ( "sim.trace",
       [
