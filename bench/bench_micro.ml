@@ -35,6 +35,25 @@ let tests () =
   let precopy_params =
     Migration.Precopy.default_params ~nic:(Hw.Nic.create ~bandwidth_gbps:1.0 ()) ()
   in
+  let audit_machine = Hw.Machine.m1 () in
+  let audit_host =
+    Hypertp.Api.provision ~name:"bench-audit" ~machine:audit_machine
+      ~hv:Hv.Kind.Kvm
+      [ Vmstate.Vm.config ~name:"a0" ~ram:(Hw.Units.mib 256) () ]
+  in
+  let audit_ref =
+    Audit.reference_of_fresh_boot ~machine:audit_machine
+      (module Kvmhv.Kvm : Hv.Intf.S)
+  in
+  let audit_src =
+    Audit.reference_of_fresh_boot ~machine:audit_machine
+      (module Xenhv.Xen : Hv.Intf.S)
+  in
+  let audit_world = Audit.world audit_host in
+  let audit_report =
+    Audit.run ~reference:audit_ref ~source:audit_src audit_world
+  in
+  let audit_serialized = Audit.to_string audit_report in
   [
     Test.make ~name:"uisr_encode" (Staged.stage (fun () -> Uisr.Codec.encode uisr));
     Test.make ~name:"uisr_decode" (Staged.stage (fun () -> Uisr.Codec.decode blob));
@@ -67,6 +86,11 @@ let tests () =
              ~total_pages:262144 ~dirty_pages_per_sec:2000.0));
     Test.make ~name:"cvss_base_score"
       (Staged.stage (fun () -> Cve.Cvss.base_score venom_vector));
+    Test.make ~name:"audit_sweep"
+      (Staged.stage (fun () ->
+           Audit.run ~reference:audit_ref ~source:audit_src audit_world));
+    Test.make ~name:"audit_report_roundtrip"
+      (Staged.stage (fun () -> Audit.of_string audit_serialized));
   ]
 
 let run () =

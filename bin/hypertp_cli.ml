@@ -73,6 +73,16 @@ let fault_arg =
 
 let fault_of_specs = function [] -> None | specs -> Some (Fault.of_specs specs)
 
+let audit_flag =
+  Arg.(value & flag
+       & info [ "audit" ]
+           ~doc:"Arm the post-commit residual audit: sweep the target world \
+                 against a fresh-boot reference after the transplant, \
+                 scrub-and-recheck on findings.")
+
+let audit_of_flag armed =
+  if armed then Some Hypertp.Ctx.audit_default else None
+
 let print_fault_trace = function
   | None -> ()
   | Some f -> Format.printf "fault trace:@.%a@." Fault.pp_trace f
@@ -179,8 +189,8 @@ let cve_cmd =
 (* --- inplace --- *)
 
 let inplace_cmd =
-  let run () machine source target vms vcpus gib seed fault_specs trace_out
-      metrics_out =
+  let run () machine source target vms vcpus gib seed fault_specs audit
+      trace_out metrics_out =
     if Hv.Kind.equal source target then begin
       Format.eprintf "source and target hypervisors must differ@.";
       exit 1
@@ -189,14 +199,18 @@ let inplace_cmd =
     let fault = fault_of_specs fault_specs in
     let obs, metrics = obs_of_paths trace_out metrics_out in
     let report =
-      Hypertp.Api.transplant_inplace ~rng:(Sim.Rng.create seed) ?fault ?obs
-        ?metrics ~host ~target ()
+      Hypertp.Api.transplant_inplace
+        ~ctx:(Hypertp.Ctx.make ?audit:(audit_of_flag audit) ())
+        ~rng:(Sim.Rng.create seed) ?fault ?obs ?metrics ~host ~target ()
     in
     Format.printf "%a@." Hypertp.Inplace.pp_report report;
     Format.printf "fixups:@.";
     List.iter
       (fun (vm, fixes) -> Format.printf "  %s: %a@." vm Uisr.Fixup.pp_list fixes)
       report.fixups;
+    (match report.Hypertp.Inplace.audit with
+    | Some a -> Format.printf "%a@." Audit.pp_report a
+    | None -> ());
     print_fault_trace fault;
     write_obs trace_out metrics_out obs metrics;
     if not (Hypertp.Inplace.all_ok report.checks) then exit 2
@@ -204,14 +218,14 @@ let inplace_cmd =
   Cmd.v
     (Cmd.info "inplace" ~doc:"Run an InPlaceTP micro-reboot transplant")
     Term.(const run $ verbose_arg $ machine_arg $ source_arg $ target_arg
-          $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg $ fault_arg
+          $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg $ fault_arg $ audit_flag
           $ trace_out_arg $ metrics_out_arg)
 
 (* --- migrate --- *)
 
 let migrate_cmd =
-  let run () machine source target vms vcpus gib seed fault_specs trace_out
-      metrics_out =
+  let run () machine source target vms vcpus gib seed fault_specs audit
+      trace_out metrics_out =
     let src = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
     let dst =
       Hypertp.Api.provision ~seed:(Int64.add seed 1L) ~name:"cli-dst" ~machine
@@ -220,19 +234,81 @@ let migrate_cmd =
     let fault = fault_of_specs fault_specs in
     let obs, metrics = obs_of_paths trace_out metrics_out in
     let report =
-      Hypertp.Api.transplant_migration ~rng:(Sim.Rng.create seed) ?fault ?obs
-        ?metrics ~src ~dst ()
+      Hypertp.Api.transplant_migration
+        ~ctx:(Hypertp.Ctx.make ?audit:(audit_of_flag audit) ())
+        ~rng:(Sim.Rng.create seed) ?fault ?obs ?metrics ~src ~dst ()
     in
     Format.printf "%a@." Hypertp.Migrate.pp_report report;
+    (match report.Hypertp.Migrate.audit with
+    | Some a -> Format.printf "%a@." Audit.pp_report a
+    | None -> ());
     print_fault_trace fault;
-    write_obs trace_out metrics_out obs metrics
+    write_obs trace_out metrics_out obs metrics;
+    if not report.Hypertp.Migrate.checks.Hypertp.Migrate.residual_clean then
+      exit 2
   in
   Cmd.v
     (Cmd.info "migrate"
        ~doc:"Run a MigrationTP (heterogeneous) or homogeneous live migration")
     Term.(const run $ verbose_arg $ machine_arg $ source_arg $ target_arg
-          $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg $ fault_arg
+          $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg $ fault_arg $ audit_flag
           $ trace_out_arg $ metrics_out_arg)
+
+(* --- audit --- *)
+
+let audit_cmd =
+  let no_scrub =
+    Arg.(value & flag
+         & info [ "no-scrub" ]
+             ~doc:"Report findings without remediating them.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"PATH"
+             ~doc:"Write the serialized audit report here (deterministic for \
+                   a fixed seed; the CI golden diffs against it).")
+  in
+  let run () machine source target vms vcpus gib seed fault_specs no_scrub
+      out =
+    if Hv.Kind.equal source target then begin
+      Format.eprintf "source and target hypervisors must differ@.";
+      exit 1
+    end;
+    let host = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
+    let fault = fault_of_specs fault_specs in
+    let ctx =
+      Hypertp.Ctx.make ~rng:(Sim.Rng.create seed) ?fault
+        ~audit:{ Hypertp.Ctx.audit_scrub = not no_scrub } ()
+    in
+    let report = Hypertp.Api.transplant_inplace ~ctx ~host ~target () in
+    let a =
+      match report.Hypertp.Inplace.audit with
+      | Some a -> a
+      | None -> assert false (* the audit was armed *)
+    in
+    Format.printf "%a@.outcome: %a@." Audit.pp_report a
+      Hypertp.Inplace.pp_outcome report.Hypertp.Inplace.outcome;
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Audit.to_string a);
+      close_out oc;
+      Format.printf "report written to %s@." path
+    | None -> ());
+    print_fault_trace fault;
+    (* Exit discipline mirrors the severity ladder on the FINAL world:
+       2 = exploitable residue left, 1 = fingerprintable residue left. *)
+    if Audit.worst a = Some Audit.Exploitable then exit 2
+    else if not (Audit.clean a) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Run an audited InPlaceTP transplant and report residual \
+             source-hypervisor state (exit 2 if an exploitable finding is \
+             left in the final world)")
+    Term.(const run $ verbose_arg $ machine_arg $ source_arg $ target_arg
+          $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg $ fault_arg $ no_scrub
+          $ out)
 
 (* --- memsep --- *)
 
@@ -902,9 +978,10 @@ let () =
     exit
       (Cmd.eval ~catch:false
          (Cmd.group info
-            [ cve_cmd; inplace_cmd; migrate_cmd; memsep_cmd; cluster_cmd;
-              campaign_cmd; controlplane_cmd; respond_cmd; fleet_cmd; snapshot_cmd;
-              fault_campaign_cmd; verify_cmd; fuzz_cmd ]))
+            [ cve_cmd; inplace_cmd; migrate_cmd; audit_cmd; memsep_cmd;
+              cluster_cmd; campaign_cmd; controlplane_cmd; respond_cmd;
+              fleet_cmd; snapshot_cmd; fault_campaign_cmd; verify_cmd;
+              fuzz_cmd ]))
   with Hypertp.Error.Error e ->
     Format.eprintf "hypertp-cli: %s@." (Hypertp.Error.to_string e);
     exit 3

@@ -55,6 +55,8 @@ type host_status =
   | Deferred_resolved
   | Deferred_exposed
 
+type audit_verdict = A_clean | A_scrubbed | A_failed
+
 type host_record = {
   hr_node : string;
   hr_vms_in_place : int;
@@ -66,6 +68,7 @@ type host_record = {
   hr_expected : Sim.Time.t;
   hr_done_at : Sim.Time.t;
   hr_exposure_hours : float;
+  hr_audit : audit_verdict option;
 }
 
 type report = {
@@ -85,6 +88,7 @@ type report = {
   vms_drained : int;
   vms_on_deferred : int;
   vms_migrated_planned : int;
+  audit_verdicts : (string * audit_verdict) list;
 }
 
 let vms_accounted r =
@@ -249,11 +253,24 @@ let build_setup cfg =
 
 type decision = { d_flap : bool; d_crash : bool; d_timeout : bool }
 
+let verdict_to_string = function
+  | A_clean -> "clean"
+  | A_scrubbed -> "scrubbed"
+  | A_failed -> "failed"
+
+let verdict_of_string = function
+  | "clean" -> Some A_clean
+  | "scrubbed" -> Some A_scrubbed
+  | "failed" -> Some A_failed
+  | _ -> None
+
 type entry = {
   je_at : Sim.Time.t;
   je_host : string option;
   je_event : event;
   je_decision : decision option; (* Some iff Admitted Inplace *)
+  je_audit : audit_verdict option;
+      (* Some iff Attempt_completed Inplace/Retry with audit sites armed *)
   je_cursor : int; (* fault-plan trace length after this entry *)
 }
 
@@ -268,7 +285,7 @@ let journal_length j = Sim.Vec.length j.j_entries
 
 let dummy_entry =
   { je_at = Sim.Time.zero; je_host = None; je_event = Campaign_finished;
-    je_decision = None; je_cursor = 0 }
+    je_decision = None; je_audit = None; je_cursor = 0 }
 
 (* --- controller state (shared between live execution and replay) --- *)
 
@@ -322,6 +339,8 @@ type st = {
   mutable n_done : int;
   mutable exposure_acc : float;
   mutable n_deferred_exposed : int;
+  audits : audit_verdict option array;
+      (* post-commit audit verdict of the host's successful attempt *)
   fault : Fault.t option;
   obs : Obs.Tracer.t option;
   metrics : Obs.Metrics.t option;
@@ -355,6 +374,7 @@ let make_st ?fault ?obs ?metrics cfg setup =
     n_done = 0;
     exposure_acc = 0.0;
     n_deferred_exposed = 0;
+    audits = Array.make n None;
     fault;
     obs;
     metrics;
@@ -488,10 +508,22 @@ let observe st e =
           ("manifestation", man_to_string manifestation) ]
       "hypertp_campaign_failures_total"
   | Attempt_completed step, Some h ->
-    close (idx st h) [ ("result", "completed") ];
+    close (idx st h)
+      (("result", "completed")
+      ::
+      (match e.je_audit with
+      | Some v -> [ ("audit", verdict_to_string v) ]
+      | None -> []));
     Hypertp.Otrace.count metrics
       ~labels:[ ("engine", "campaign"); ("step", step_to_string step) ]
-      "hypertp_campaign_completions_total"
+      "hypertp_campaign_completions_total";
+    (match e.je_audit with
+    | Some v ->
+      Hypertp.Otrace.count metrics
+        ~labels:
+          [ ("engine", "campaign"); ("verdict", verdict_to_string v) ]
+        "hypertp_campaign_audits_total"
+    | None -> ())
   | Deferred, Some h ->
     Hypertp.Otrace.instant obs ~at ~track:("host:" ^ h)
       ~attrs:[ ("host", h) ] "deferred"
@@ -561,6 +593,9 @@ let apply_state st e =
   | Attempt_completed step, Some h ->
     let i = idx st h in
     st.running <- st.running - 1;
+    (match e.je_audit with
+    | Some v -> st.audits.(i) <- Some v
+    | None -> ());
     (match step with
     | Inplace -> st.hstates.(i) <- H_done (Upgraded_inplace, e.je_at)
     | Drain -> st.hstates.(i) <- H_done (Drained, e.je_at)
@@ -610,16 +645,30 @@ let cursor st =
 let fire_opt st ?vm site =
   match st.fault with None -> false | Some f -> Fault.fire f ?vm site
 
+(* The audit sites are only consulted when the plan arms them: firing
+   them unconditionally would shift the fault cursor of every journal
+   recorded before the audit existed. *)
+let audit_armed st =
+  match st.fault with
+  | None -> false
+  | Some f ->
+    List.exists
+      (fun (inj : Fault.injection) ->
+        match inj.Fault.site with
+        | Fault.Residual_leak | Fault.Scrub_fail -> true
+        | _ -> false)
+      (Fault.injections f)
+
 (* Journal-then-crash: the entry is applied and persisted first, and
    only then may the controller die, so a resumed run never loses the
    event that was being recorded. *)
-let append st ?host ?decision ~at event =
+let append st ?host ?decision ?audit ~at event =
   apply st { je_at = at; je_host = host; je_event = event;
-             je_decision = decision; je_cursor = 0 };
+             je_decision = decision; je_audit = audit; je_cursor = 0 };
   let crashed = fire_opt st Fault.Controller_crash in
   Sim.Vec.push st.entries
     { je_at = at; je_host = host; je_event = event; je_decision = decision;
-      je_cursor = cursor st };
+      je_audit = audit; je_cursor = cursor st };
   Hypertp.Otrace.instant st.obs ~at ~track:"journal"
     ~attrs:[ ("cursor", string_of_int (cursor st)) ]
     "journal:checkpoint";
@@ -830,10 +879,28 @@ and on_fail ctx i manifestation =
   settle ctx
 
 and on_complete ctx i step =
+  let st = ctx.st in
   clear_timers ctx i;
-  append ctx.st
-    ~host:ctx.st.setup.su_tasks.(i).t_node
-    ~at:(Sim.Engine.now ctx.eng) (Attempt_completed step);
+  let node = st.setup.su_tasks.(i).t_node in
+  (* Post-commit audit verdict for steps that end on the new hypervisor
+     via InPlaceTP.  Only consulted when the plan arms the audit sites,
+     so journals recorded under audit-free plans keep their fault
+     cursors bit-for-bit (and the probability stream stays aligned for
+     everyone else).  Both sites are consulted in a fixed order even
+     when the first misses, for the same stream-alignment reason. *)
+  let audit =
+    match step with
+    | (Inplace | Retry) when audit_armed st ->
+      let leak = fire_opt st ~vm:node Fault.Residual_leak in
+      let scrub_failed = fire_opt st ~vm:node Fault.Scrub_fail in
+      Some
+        (if not leak then A_clean
+         else if scrub_failed then A_failed
+         else A_scrubbed)
+    | _ -> None
+  in
+  append st ~host:node ?audit ~at:(Sim.Engine.now ctx.eng)
+    (Attempt_completed step);
   settle ctx
 
 and on_flap_leg ctx i =
@@ -881,6 +948,7 @@ let make_report st =
              hr_expected = t.t_expected;
              hr_done_at = done_at;
              hr_exposure_hours = hours done_at;
+             hr_audit = st.audits.(i);
            })
          st.setup.su_tasks)
   in
@@ -929,6 +997,11 @@ let make_report st =
     vms_on_deferred =
       sum_vms (function Deferred_exposed -> true | _ -> false);
     vms_migrated_planned = vms_total - vms_in_place_total;
+    audit_verdicts =
+      List.filter_map
+        (fun h ->
+          match h.hr_audit with Some v -> Some (h.hr_node, v) | None -> None)
+        hosts;
     }
   in
   let labels = [ ("engine", "campaign") ] in
@@ -1035,6 +1108,31 @@ let resume ?ctx:run_ctx ?fault ?obs ?metrics journal =
       | Admitted Inplace, _, None ->
         Hypertp_error.raise_errorf ~site:"Campaign.resume"
           "journal entry %d: in-place admission without decision" !entry_no
+      | _ -> ());
+      (* Audit verdicts are re-fired and validated the same way as the
+         admission decisions: the entry carries [je_audit] iff the
+         recording run consulted the audit sites at this completion. *)
+      (match (e.je_event, e.je_host, e.je_audit) with
+      | Attempt_completed (Inplace | Retry), Some h, Some v ->
+        let leak = fire_opt st ~vm:h Fault.Residual_leak in
+        let scrub_failed = fire_opt st ~vm:h Fault.Scrub_fail in
+        let replayed =
+          if not leak then A_clean
+          else if scrub_failed then A_failed
+          else A_scrubbed
+        in
+        if st.fault <> None && replayed <> v then
+          Hypertp_error.raise_errorf ~site:"Campaign.resume"
+            ~hint:
+              (Printf.sprintf
+                 "the journal was recorded under a different fault plan: \
+                  pass the exact --fault specs (and seed) of the crashed \
+                  run; the restarted plan (seed %Ld) decides differently \
+                  here" (plan_seed ()))
+            "journal entry %d (host %s completion at %s) disagrees with \
+             the fault plan on the audit verdict (journal %s, plan %s)"
+            !entry_no h (Sim.Time.to_string e.je_at) (verdict_to_string v)
+            (verdict_to_string replayed)
       | _ -> ());
       apply st e;
       ignore (fire_opt st Fault.Controller_crash);
@@ -1148,9 +1246,16 @@ let journal_to_string j =
             (Bool.to_int d.d_timeout)
         | None -> ""
       in
+      (* Optional token: absent on audit-free entries, so journals
+         written before the audit existed serialise byte-identically. *)
+      let audit =
+        match e.je_audit with
+        | Some v -> Printf.sprintf " audit=%s" (verdict_to_string v)
+        | None -> ""
+      in
       Buffer.add_string buf
-        (Printf.sprintf "e at=%d host=%s %s%s cursor=%d\n"
-           (Sim.Time.to_ns e.je_at) host kind decision e.je_cursor))
+        (Printf.sprintf "e at=%d host=%s %s%s%s cursor=%d\n"
+           (Sim.Time.to_ns e.je_at) host kind decision audit e.je_cursor))
     j.j_entries;
   Buffer.contents buf
 
@@ -1266,12 +1371,21 @@ let journal_of_string s =
                     d_timeout = int_f fs "timeout" <> 0;
                   }
             in
+            let audit =
+              match List.assoc_opt "audit" fs with
+              | None -> None
+              | Some v -> (
+                match verdict_of_string v with
+                | Some _ as r -> r
+                | None -> raise (Parse ("bad audit verdict " ^ v)))
+            in
             {
               je_at = Sim.Time.ns (int_f fs "at");
               je_host =
                 (match get fs "host" with "-" -> None | h -> Some h);
               je_event = event;
               je_decision = decision;
+              je_audit = audit;
               je_cursor = int_f fs "cursor";
             })
           entry_lines
@@ -1291,10 +1405,13 @@ let status_to_string = function
   | Deferred_exposed -> "deferred+EXPOSED"
 
 let pp_host_record fmt h =
-  Format.fprintf fmt "%s: %s after %d attempt%s at %a (%.3f h exposed)"
+  Format.fprintf fmt "%s: %s after %d attempt%s at %a (%.3f h exposed)%s"
     h.hr_node (status_to_string h.hr_status) h.hr_attempts
     (if h.hr_attempts = 1 then "" else "s")
     Sim.Time.pp h.hr_done_at h.hr_exposure_hours
+    (match h.hr_audit with
+    | None -> ""
+    | Some v -> ", audit " ^ verdict_to_string v)
 
 let pp_report fmt r =
   let count s =
@@ -1307,7 +1424,7 @@ let pp_report fmt r =
      trips %d@,\
      exposure %.3f host-hours (baseline %.3f, deferred share %.3f)@,\
      VMs: %d total = %d inplace-ok + %d drained + %d on deferred + %d \
-     migrated by plan@]"
+     migrated by plan%s@]"
     (List.length r.hosts) r.effective_concurrency r.cfg.concurrency
     Sim.Time.pp r.wall_clock Sim.Time.pp r.base.Upgrade.total Sim.Time.pp
     r.rebalance_time (count Upgraded_inplace) (count Drained)
@@ -1315,3 +1432,9 @@ let pp_report fmt r =
     r.exposed_host_hours r.baseline_exposed_host_hours
     r.deferred_exposure_hours r.vms_total r.vms_inplace_ok r.vms_drained
     r.vms_on_deferred r.vms_migrated_planned
+    (match r.audit_verdicts with
+    | [] -> ""
+    | vs ->
+      let n v = List.length (List.filter (fun (_, x) -> x = v) vs) in
+      Format.asprintf "@,audits: %d clean / %d scrubbed / %d failed"
+        (n A_clean) (n A_scrubbed) (n A_failed))

@@ -83,6 +83,14 @@ type host_status =
   | Deferred_resolved  (** deferred, but the end-of-campaign retry won *)
   | Deferred_exposed  (** still on the vulnerable hypervisor at the end *)
 
+type audit_verdict =
+  | A_clean  (** the post-commit residual audit found nothing *)
+  | A_scrubbed  (** findings were remediated by the scrub pass *)
+  | A_failed  (** the scrub failed; residue was left on the host *)
+
+val verdict_to_string : audit_verdict -> string
+val verdict_of_string : string -> audit_verdict option
+
 type host_record = {
   hr_node : string;
   hr_vms_in_place : int;  (** VMs riding InPlaceTP on this host *)
@@ -96,6 +104,11 @@ type host_record = {
       (** when the host left the vulnerable hypervisor; campaign end for
           {!Deferred_exposed} *)
   hr_exposure_hours : float;  (** host-hours exposed since campaign start *)
+  hr_audit : audit_verdict option;
+      (** post-commit audit verdict of the successful InPlaceTP attempt;
+          [None] when the fault plan does not arm
+          {!Fault.Residual_leak} / {!Fault.Scrub_fail}, or when the host
+          ended drained/exposed (nothing landed in place to audit) *)
 }
 
 type report = {
@@ -118,6 +131,9 @@ type report = {
   vms_drained : int;
   vms_on_deferred : int;  (** alive but still on the vulnerable hv *)
   vms_migrated_planned : int;  (** distinct VMs moved by the plan *)
+  audit_verdicts : (string * audit_verdict) list;
+      (** per-host audit verdicts in admission order; empty when the
+          plan never armed the audit sites *)
 }
 
 val vms_accounted : report -> int

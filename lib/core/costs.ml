@@ -33,6 +33,14 @@ let pram_parse_seconds m ~metadata_pages ~entries ~covered_frames =
 let uisr_encode_seconds ~bytes_len = 2e-9 *. float_of_int bytes_len
 let resume_seconds ~nvms = 0.003 *. float_of_int nvms
 
+let audit_sweep_seconds m ~frames_swept ~vms =
+  ((0.2e-6 *. float_of_int frames_swept) +. (0.002 *. float_of_int vms))
+  *. mem_factor m
+
+let scrub_seconds m ~frames_freed ~findings =
+  ((5e-6 *. float_of_int frames_freed) +. (0.001 *. float_of_int findings))
+  *. mem_factor m
+
 let per_riding_vm_seconds = 0.4
 
 let expected_host_upgrade_seconds ~boot_seconds ~vms =

@@ -29,6 +29,16 @@ val pram_parse_seconds :
 val uisr_encode_seconds : bytes_len:int -> float
 val resume_seconds : nvms:int -> float
 
+val audit_sweep_seconds : Hw.Machine.t -> frames_swept:int -> vms:int -> float
+(** Post-commit residual audit: a tag read per allocated frame plus a
+    platform/device comparison per VM. *)
+
+val scrub_seconds : Hw.Machine.t -> frames_freed:int -> findings:int -> float
+(** Scrub-pass remediation: a scrub-and-free per residual frame plus a
+    fixed term per finding (staging drop, clock restore, rebuild).
+    Charged to the downtime model when the post-commit audit flags
+    residue. *)
+
 (** {1 Expected-duration estimates}
 
     Supervision needs an a-priori estimate of how long an operation

@@ -8,27 +8,36 @@
    the deprecated entry points are thin wrappers that delegate here
    and produce byte-identical behaviour. *)
 
+type audit_config = { audit_scrub : bool }
+
+let audit_default = { audit_scrub = true }
+
 type t = {
   options : Options.t;  (** InPlaceTP optimisation toggles *)
   rng : Sim.Rng.t option;  (** [None] means each engine's default stream *)
   fault : Fault.t option;
   obs : Obs.Tracer.t option;
   metrics : Obs.Metrics.t option;
+  audit : audit_config option;
+      (** [Some _] arms the post-commit residual audit; [None] (the
+          default) skips it, keeping default runs byte-identical *)
 }
 
 let default =
-  { options = Options.default; rng = None; fault = None; obs = None; metrics = None }
+  { options = Options.default; rng = None; fault = None; obs = None;
+    metrics = None; audit = None }
 
-let make ?(options = Options.default) ?rng ?fault ?obs ?metrics () =
-  { options; rng; fault; obs; metrics }
+let make ?(options = Options.default) ?rng ?fault ?obs ?metrics ?audit () =
+  { options; rng; fault; obs; metrics; audit }
 
 let with_options options t = { t with options }
 let with_rng rng t = { t with rng = Some rng }
 let with_fault fault t = { t with fault = Some fault }
 let with_obs obs t = { t with obs = Some obs }
 let with_metrics metrics t = { t with metrics = Some metrics }
+let with_audit audit t = { t with audit = Some audit }
 
-let resolve ?ctx ?options ?rng ?fault ?obs ?metrics () =
+let resolve ?ctx ?options ?rng ?fault ?obs ?metrics ?audit () =
   let base = match ctx with Some c -> c | None -> default in
   {
     options = (match options with Some o -> o | None -> base.options);
@@ -36,4 +45,5 @@ let resolve ?ctx ?options ?rng ?fault ?obs ?metrics () =
     fault = (match fault with Some _ -> fault | None -> base.fault);
     obs = (match obs with Some _ -> obs | None -> base.obs);
     metrics = (match metrics with Some _ -> metrics | None -> base.metrics);
+    audit = (match audit with Some _ -> audit | None -> base.audit);
   }

@@ -18,31 +18,48 @@
     produces byte-identical reports, traces and metrics for the same
     seed (pinned by the Ctx-equivalence tests). *)
 
+type audit_config = {
+  audit_scrub : bool;
+      (** scrub-and-recheck on findings (default); [false] reports the
+          findings but leaves the residue in place *)
+}
+
+val audit_default : audit_config
+(** Scrub enabled. *)
+
 type t = {
   options : Options.t;
   rng : Sim.Rng.t option;
   fault : Fault.t option;
   obs : Obs.Tracer.t option;
   metrics : Obs.Metrics.t option;
+  audit : audit_config option;
+      (** [Some _] arms the post-commit residual audit rung in
+          {!Inplace.run} and {!Migrate.run}; [None] (the default) skips
+          it entirely, so default runs stay byte-identical to previous
+          releases *)
 }
 
 val default : t
-(** [Options.default] and no rng/fault/obs/metrics — exactly the
+(** [Options.default] and no rng/fault/obs/metrics/audit — exactly the
     behaviour of calling an entry point with no optional arguments. *)
 
 val make :
   ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
-  ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> unit -> t
+  ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> ?audit:audit_config ->
+  unit -> t
 
 val with_options : Options.t -> t -> t
 val with_rng : Sim.Rng.t -> t -> t
 val with_fault : Fault.t -> t -> t
 val with_obs : Obs.Tracer.t -> t -> t
 val with_metrics : Obs.Metrics.t -> t -> t
+val with_audit : audit_config -> t -> t
 
 val resolve :
   ?ctx:t -> ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
-  ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> unit -> t
+  ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> ?audit:audit_config ->
+  unit -> t
 (** Merge legacy optional arguments over [ctx] (default {!default});
     an explicit legacy argument wins over the [ctx] field.  Engines
     call this once at their boundary. *)

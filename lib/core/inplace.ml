@@ -21,6 +21,8 @@ type recovery_detail = {
   mgmt_rebuilds : int;
   full_reboot : bool;
   recovery_time : Sim.Time.t;
+  audit_findings : int;
+  audit_scrubbed : int;
 }
 
 type outcome =
@@ -39,6 +41,7 @@ type report = {
   frames_wiped : int;
   checks : checks;
   outcome : outcome;
+  audit : Audit.report option;
 }
 
 (* Platform state must survive modulo recorded fixups: vCPUs and PIT
@@ -599,6 +602,95 @@ let run ?ctx ?options ?rng ?fault ?obs ?metrics ~(host : Hv.Host.t)
           (translation_seconds +. reboot_seconds +. restoration_seconds
           +. !recovery_seconds));
 
+    (* Step 8 (optional, Ctx-armed): post-commit residual audit.  Sweep
+       the target world against a fresh-boot reference of the target,
+       scrub-and-recheck on findings, and escalate the recovery ladder
+       if the scrub fails — a world with known residue must not report
+       Committed.  Audit and scrub time are charged as recovery rungs,
+       so the obs spans and the downtime model both see them. *)
+    let audit_report = ref None in
+    let audit_residue = ref false in
+    let audit_findings = ref 0 in
+    let audit_scrubbed = ref 0 in
+    (match c.Ctx.audit with
+    | None -> ()
+    | Some acfg ->
+      let reference =
+        Audit.reference_of_fresh_boot ~machine (module T : Hv.Intf.S)
+      in
+      let source_ref =
+        Audit.reference_of_fresh_boot ~machine (module S : Hv.Intf.S)
+      in
+      let downtime =
+        Sim.Time.of_sec_f
+          (translation_seconds +. reboot_seconds +. restoration_seconds
+          +. !recovery_seconds)
+      in
+      let world =
+        Audit.world
+          ~baseline:(List.map (fun (n, u, _) -> (n, u)) blobs)
+          ~downtime
+          ~salvaged:(List.map fst !salvaged)
+          host
+      in
+      let world =
+        if fire Fault.Residual_leak then begin
+          (* The transplant left residue behind: orphaned PRAM, source
+             heap frames, a stale kernel frame and a retained staged
+             blob.  The audit below must catch all of it. *)
+          note Fault.Residual_leak;
+          let victim = fst (List.hd vms) in
+          Audit.Plant.apply ~reference ~source:source_ref world
+            [ Audit.Plant.Pram_page; Audit.Plant.Hv_frames 2;
+              Audit.Plant.Kexec_frame; Audit.Plant.Stale_blob victim ]
+        end
+        else world
+      in
+      let sweep w =
+        let r = Audit.run ~reference ~source:source_ref w in
+        rung "audit"
+          [ ("findings", string_of_int (List.length r.Audit.r_findings)) ]
+          (Costs.audit_sweep_seconds machine
+             ~frames_swept:r.Audit.r_frames_swept
+             ~vms:(List.length (Hv.Host.vms host)));
+        r
+      in
+      let first = sweep world in
+      audit_report := Some first;
+      audit_findings := List.length first.Audit.r_findings;
+      if not (Audit.clean first) then begin
+        audit_residue := true;
+        Log.warn (fun m ->
+            m "post-commit audit: %d residual finding(s)" !audit_findings);
+        if not acfg.Ctx.audit_scrub then ()
+        else if fire Fault.Scrub_fail then begin
+          note Fault.Scrub_fail;
+          full_reboot := true;
+          rung "full_reboot" [ ("cause", "scrub_fail") ] full_reboot_seconds;
+          Log.warn (fun m -> m "scrub failed: full-reboot fallback")
+        end
+        else begin
+          let sc = Audit.scrub world first in
+          rung "scrub"
+            [ ("freed", string_of_int sc.Audit.sc_frames_freed) ]
+            (Costs.scrub_seconds machine
+               ~frames_freed:sc.Audit.sc_frames_freed
+               ~findings:!audit_findings);
+          let second = sweep sc.Audit.sc_world in
+          audit_report := Some second;
+          audit_scrubbed :=
+            !audit_findings - List.length second.Audit.r_findings;
+          if not (Audit.clean second) then begin
+            full_reboot := true;
+            rung "full_reboot" [ ("cause", "residual_state") ]
+              full_reboot_seconds;
+            Log.warn (fun m ->
+                m "scrub left %d finding(s): full-reboot fallback"
+                  (List.length second.Audit.r_findings))
+          end
+        end
+      end);
+
     (* Checks, over the VMs that survived (quarantined ones are the
        recovery report's business, not the invariants'). *)
     let surviving_vms =
@@ -659,7 +751,7 @@ let run ?ctx ?options ?rng ?fault ?obs ?metrics ~(host : Hv.Host.t)
       if
         !recovery_faults = [] && !restore_retries = 0 && !quarantined = []
         && !salvaged = [] && !mgmt_rebuilds = 0
-        && not !full_reboot
+        && not !full_reboot && not !audit_residue
       then Committed
       else
         Recovered
@@ -671,6 +763,8 @@ let run ?ctx ?options ?rng ?fault ?obs ?metrics ~(host : Hv.Host.t)
             mgmt_rebuilds = !mgmt_rebuilds;
             full_reboot = !full_reboot;
             recovery_time = Sim.Time.of_sec_f !recovery_seconds;
+            audit_findings = !audit_findings;
+            audit_scrubbed = !audit_scrubbed;
           }
     in
     let phases =
@@ -707,6 +801,7 @@ let run ?ctx ?options ?rng ?fault ?obs ?metrics ~(host : Hv.Host.t)
       frames_wiped = jump.Kexec.frames_wiped;
       checks;
       outcome;
+      audit = !audit_report;
     }
   with Rollback site ->
     (* Abort cleanly: discard staging, resume every VM on the source
@@ -778,6 +873,7 @@ let run ?ctx ?options ?rng ?fault ?obs ?metrics ~(host : Hv.Host.t)
       frames_wiped = 0;
       checks;
       outcome = Rolled_back site;
+      audit = None;
     }
 
 let pp_outcome fmt = function
@@ -804,7 +900,11 @@ let pp_outcome fmt = function
       (match d.quarantined with
       | [] -> ""
       | q -> ", quarantined: " ^ String.concat " " q)
-      (if d.full_reboot then ", full reboot" else "")
+      ((if d.audit_findings > 0 then
+          Printf.sprintf ", audit: %d finding(s), %d scrubbed"
+            d.audit_findings d.audit_scrubbed
+        else "")
+      ^ if d.full_reboot then ", full reboot" else "")
 
 let pp_report fmt r =
   Format.fprintf fmt

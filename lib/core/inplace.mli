@@ -48,6 +48,13 @@ type recovery_detail = {
   mgmt_rebuilds : int;    (** extra management-rebuild passes *)
   full_reboot : bool;     (** last-resort full firmware reboot taken *)
   recovery_time : Sim.Time.t;
+  audit_findings : int;
+      (** residual findings flagged by the first post-commit audit sweep
+          (0 when the audit was not armed or found nothing) *)
+  audit_scrubbed : int;
+      (** findings remediated by the scrub pass; a shortfall against
+          [audit_findings] means the scrub failed or was disabled and
+          the ladder escalated *)
 }
 
 type outcome =
@@ -68,6 +75,10 @@ type report = {
   frames_wiped : int;
   checks : checks;
   outcome : outcome;
+  audit : Audit.report option;
+      (** final post-commit audit report when the audit rung was armed
+          via {!Ctx.t.audit}: the recheck report if a scrub ran, the
+          first sweep otherwise; [None] when unarmed or rolled back *)
 }
 
 val run :
@@ -98,7 +109,17 @@ val run :
     [hypertp_phase_seconds], [hypertp_downtime_seconds],
     [hypertp_faults_total], [hypertp_recovery_rungs_total] and
     [hypertp_transplants_total].  Both default to off and cost nothing
-    when absent. *)
+    when absent.
+
+    When [ctx] arms the audit ({!Ctx.t.audit}), a post-commit residual
+    audit sweeps the target world against a fresh-boot reference after
+    the VMs resume.  Findings trigger a scrub-and-recheck (unless
+    [audit_scrub] is false); a scrub failure — the [scrub_fail] fault
+    site, or residue the scrub cannot remediate — escalates to the
+    full-reboot rung.  Any residue found forces the outcome to
+    [Recovered] even if every other step was calm, and audit/scrub time
+    is charged as [rung:audit] / [rung:scrub] recovery rungs, visible
+    in both the phase accounting and the obs trace. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit

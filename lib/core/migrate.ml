@@ -34,6 +34,7 @@ type checks = {
   memory_equal : bool;
   connections_preserved : bool;
   management_consistent : bool;
+  residual_clean : bool;
 }
 
 type report = {
@@ -43,6 +44,8 @@ type report = {
   per_vm : vm_report list;
   total_time : Sim.Time.t;
   checks : checks;
+  audit : Audit.report option;
+  audit_time : Sim.Time.t;
 }
 
 let setup_time = Sim.Time.ms 400 (* connection + capability negotiation *)
@@ -273,6 +276,9 @@ let run ?ctx ?rng ?fault ?(retry = default_retry) ?obs ?metrics
   let receiver_busy = ref Sim.Time.zero in
   let checks_memory = ref true in
   let checks_conns = ref true in
+  (* Landed VMs with the exact state blob that crossed the wire — the
+     baseline for the optional post-migration residual audit. *)
+  let migrated_uisrs = ref [] in
   let per_vm =
     List.map
       (fun (n, (vm : Vmstate.Vm.t), (plan : Migration.Precopy.plan)) ->
@@ -447,6 +453,7 @@ let run ?ctx ?rng ?fault ?(retry = default_retry) ?obs ?metrics
             if Vmstate.Vm.total_tcp_connections dst_vm <> src_conns then
               checks_conns := false;
             Hv.Host.destroy_vm src n;
+            migrated_uisrs := (n, uisr) :: !migrated_uisrs;
             (* Timing: retransmitted state chunks stretch the downtime —
                the VM is paused while they cross the wire again. *)
             let retransmit_extra =
@@ -516,18 +523,120 @@ let run ?ctx ?rng ?fault ?(retry = default_retry) ?obs ?metrics
       (fun acc (r : vm_report) -> Sim.Time.max acc r.total_time)
       Sim.Time.zero per_vm
   in
+  (* Optional post-migration residual audit of the destination world:
+     same contract as the InPlaceTP rung — findings trigger a
+     scrub-and-recheck, anything left standing fails the
+     [residual_clean] check.  Audit/scrub time extends the reported
+     total and is laid as spans after the last VM lands, so the trace
+     reconciles with [audit_time] exactly. *)
+  let audit_report = ref None in
+  let audit_time = ref Sim.Time.zero in
+  let residual_clean = ref true in
+  (match c.Ctx.audit with
+  | None -> ()
+  | Some acfg ->
+    let machine = dst.Hv.Host.machine in
+    let fire_host site =
+      match fault with
+      | Some f ->
+        let fired = Fault.fire f site in
+        if fired then begin
+          Log.warn (fun m -> m "fault injected at %a" Fault.pp_site site);
+          Otrace.count metrics
+            ~labels:
+              [ ("engine", "migrate");
+                ("site", Format.asprintf "%a" Fault.pp_site site) ]
+            "hypertp_faults_total"
+        end;
+        fired
+      | None -> false
+    in
+    let reference =
+      Audit.reference_of_fresh_boot ~machine (module D : Hv.Intf.S)
+    in
+    let source_ref =
+      Audit.reference_of_fresh_boot ~machine (module S : Hv.Intf.S)
+    in
+    let max_downtime =
+      List.fold_left
+        (fun acc (r : vm_report) -> Sim.Time.max acc r.downtime)
+        Sim.Time.zero per_vm
+    in
+    let world =
+      Audit.world
+        ~baseline:(List.rev !migrated_uisrs)
+        ~downtime:max_downtime dst
+    in
+    let world =
+      if fire_host Fault.Residual_leak then
+        let plants =
+          [ Audit.Plant.Pram_page; Audit.Plant.Hv_frames 2;
+            Audit.Plant.Kexec_frame ]
+          @
+          match !migrated_uisrs with
+          | (n, _) :: _ -> [ Audit.Plant.Stale_blob n ]
+          | [] -> []
+        in
+        Audit.Plant.apply ~reference ~source:source_ref world plants
+      else world
+    in
+    let charge name attrs secs =
+      let d = Sim.Time.of_sec_f secs in
+      ignore
+        (Otrace.span obs
+           ~at:(Sim.Time.add total_time !audit_time)
+           ~until:(Sim.Time.add total_time (Sim.Time.add !audit_time d))
+           ~track:("host:" ^ dst.Hv.Host.host_name)
+           ~attrs:(("engine", "migrate") :: attrs)
+           name);
+      audit_time := Sim.Time.add !audit_time d
+    in
+    let sweep w =
+      let r = Audit.run ~reference ~source:source_ref w in
+      charge "audit"
+        [ ("findings", string_of_int (List.length r.Audit.r_findings)) ]
+        (Costs.audit_sweep_seconds machine
+           ~frames_swept:r.Audit.r_frames_swept
+           ~vms:(List.length (Hv.Host.vms dst)));
+      r
+    in
+    let first = sweep world in
+    audit_report := Some first;
+    if not (Audit.clean first) then begin
+      let findings = List.length first.Audit.r_findings in
+      Log.warn (fun m ->
+          m "post-migration audit: %d residual finding(s)" findings);
+      if not acfg.Ctx.audit_scrub then residual_clean := false
+      else if fire_host Fault.Scrub_fail then begin
+        residual_clean := false;
+        Log.warn (fun m -> m "scrub failed: destination retains residue")
+      end
+      else begin
+        let sc = Audit.scrub world first in
+        charge "scrub"
+          [ ("freed", string_of_int sc.Audit.sc_frames_freed) ]
+          (Costs.scrub_seconds machine
+             ~frames_freed:sc.Audit.sc_frames_freed ~findings);
+        let second = sweep sc.Audit.sc_world in
+        audit_report := Some second;
+        if not (Audit.clean second) then residual_clean := false
+      end
+    end);
   {
     kind;
     src_hv = S.name;
     dst_hv = D.name;
     per_vm;
-    total_time;
+    total_time = Sim.Time.add total_time !audit_time;
     checks =
       {
         memory_equal = !checks_memory;
         connections_preserved = !checks_conns;
         management_consistent = Hv.Host.management_consistent dst;
+        residual_clean = !residual_clean;
       };
+    audit = !audit_report;
+    audit_time = !audit_time;
   }
 
 let pp_report fmt r =
@@ -551,6 +660,16 @@ let pp_report fmt r =
       if v.state_retransmits > 0 then
         Format.fprintf fmt "    %d state retransmits@," v.state_retransmits)
     r.per_vm;
-  Format.fprintf fmt "  checks: memory=%b conns=%b mgmt=%b@]"
+  (match r.audit with
+  | None -> ()
+  | Some a ->
+    Format.fprintf fmt "  audit: %d finding(s) in %a%s@,"
+      (List.length a.Audit.r_findings)
+      Sim.Time.pp r.audit_time
+      (if r.checks.residual_clean then "" else " (RESIDUE LEFT)"));
+  Format.fprintf fmt "  checks: memory=%b conns=%b mgmt=%b%s@]"
     r.checks.memory_equal r.checks.connections_preserved
     r.checks.management_consistent
+    (match r.audit with
+    | None -> ""
+    | Some _ -> Printf.sprintf " residual=%b" r.checks.residual_clean)

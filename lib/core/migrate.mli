@@ -65,6 +65,10 @@ type checks = {
   memory_equal : bool;  (** destination guest memory == source at pause *)
   connections_preserved : bool;
   management_consistent : bool;
+  residual_clean : bool;
+      (** the optional post-migration audit found nothing, or the scrub
+          remediated everything it found; [true] when the audit was not
+          armed *)
 }
 
 type report = {
@@ -72,8 +76,17 @@ type report = {
   src_hv : string;
   dst_hv : string;
   per_vm : vm_report list;
-  total_time : Sim.Time.t; (** completion of the last VM, setup included *)
+  total_time : Sim.Time.t;
+      (** completion of the last VM, setup included, plus any
+          post-migration audit/scrub time *)
   checks : checks;
+  audit : Audit.report option;
+      (** final post-migration audit of the destination world when armed
+          via {!Ctx.t.audit} (the recheck report if a scrub ran) *)
+  audit_time : Sim.Time.t;
+      (** audit + scrub time charged into [total_time] (zero when
+          unarmed); equals the extent of the [audit]/[scrub] spans laid
+          on the destination host track *)
 }
 
 val run :
@@ -109,6 +122,15 @@ val run :
     [hypertp_migrations_total], retry/retransmit counters,
     [hypertp_wire_bytes_total], [hypertp_faults_total] and a
     [hypertp_downtime_seconds] histogram.
+
+    When [ctx] arms the audit ({!Ctx.t.audit}), a post-migration
+    residual audit sweeps the destination world against a fresh-boot
+    reference after the last VM lands, using the transmitted UISR blobs
+    as the guest baseline.  Findings trigger a scrub-and-recheck; a
+    scrub failure (the [scrub_fail] fault site, or residue the scrub
+    cannot remediate) fails the [residual_clean] check.  The
+    [residual_leak] fault site plants residue on the destination for
+    the audit to catch.
 
     Raises [Invalid_argument] if the destination lacks memory or a
     hypervisor, a VM name is unknown, or [retry.max_attempts < 1]. *)

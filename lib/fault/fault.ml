@@ -8,6 +8,8 @@ type site =
   | Kexec_jump
   | Vm_restore
   | Mgmt_rebuild
+  | Residual_leak
+  | Scrub_fail
   | Migration_link_drop
   | Migration_link_degrade
   | Host_crash
@@ -22,14 +24,16 @@ type site =
 let all_sites =
   [ Pram_build; Uisr_encode; Uisr_decode; Uisr_corrupt; Pram_corrupt;
     Kexec_load; Kexec_jump; Vm_restore;
-    Mgmt_rebuild; Migration_link_drop; Migration_link_degrade; Host_crash;
+    Mgmt_rebuild; Residual_leak; Scrub_fail;
+    Migration_link_drop; Migration_link_degrade; Host_crash;
     Host_timeout; Host_flap; Controller_crash; Subctl_crash; Root_crash;
     Ctl_partition; Crash_during_resume ]
 
 let engine_sites =
   [ Pram_build; Uisr_encode; Uisr_decode; Uisr_corrupt; Pram_corrupt;
     Kexec_load; Kexec_jump; Vm_restore;
-    Mgmt_rebuild; Migration_link_drop; Migration_link_degrade; Host_crash ]
+    Mgmt_rebuild; Residual_leak; Scrub_fail;
+    Migration_link_drop; Migration_link_degrade; Host_crash ]
 
 let cluster_sites = [ Host_crash; Host_timeout; Host_flap; Controller_crash ]
 
@@ -46,6 +50,8 @@ let site_to_string = function
   | Kexec_jump -> "kexec_jump"
   | Vm_restore -> "vm_restore"
   | Mgmt_rebuild -> "mgmt_rebuild"
+  | Residual_leak -> "residual_leak"
+  | Scrub_fail -> "scrub_fail"
   | Migration_link_drop -> "migration_link_drop"
   | Migration_link_degrade -> "migration_link_degrade"
   | Host_crash -> "host_crash"
@@ -65,7 +71,8 @@ let pp_site fmt s = Format.pp_print_string fmt (site_to_string s)
 let pre_pnr = function
   | Pram_build | Uisr_encode | Kexec_load -> true
   | Uisr_decode | Uisr_corrupt | Pram_corrupt | Kexec_jump | Vm_restore
-  | Mgmt_rebuild | Migration_link_drop | Migration_link_degrade | Host_crash
+  | Mgmt_rebuild | Residual_leak | Scrub_fail
+  | Migration_link_drop | Migration_link_degrade | Host_crash
   | Host_timeout | Host_flap | Controller_crash | Subctl_crash | Root_crash
   | Ctl_partition | Crash_during_resume ->
     false

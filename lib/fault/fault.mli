@@ -30,6 +30,14 @@ type site =
   | Kexec_jump
   | Vm_restore
   | Mgmt_rebuild
+  | Residual_leak
+      (** the post-transplant world retains residual source-hypervisor
+          state — orphaned PRAM pages, unreclaimed heap frames, a stale
+          staged UISR blob — that the post-commit audit must catch *)
+  | Scrub_fail
+      (** the scrub pass fails to remediate an audit finding; the engine
+          escalates the recovery ladder instead of reporting
+          [Committed] *)
   | Migration_link_drop
   | Migration_link_degrade
   | Host_crash

@@ -295,6 +295,29 @@ let reboot_reset t ~preserve =
     part;
   !reclaimed
 
+let iter_allocated t f =
+  (* Deterministic ascending frame order regardless of Hashtbl layout:
+     full chunks first by sorted chunk index, then frames of partial
+     chunks by sorted frame number.  Two same-shaped pools always
+     enumerate identically — the residual audit's sweep depends on it. *)
+  let full_chunks =
+    List.sort Int.compare (Hashtbl.fold (fun c () acc -> c :: acc) t.full [])
+  in
+  List.iter
+    (fun chunk ->
+      let base = chunk * chunk_frames in
+      for off = 0 to chunk_frames - 1 do
+        let frame = base + off in
+        f (Frame.Mfn.of_int frame) (Hashtbl.find_opt t.contents frame)
+      done)
+    full_chunks;
+  let part =
+    List.sort Int.compare (Hashtbl.fold (fun fr () acc -> fr :: acc) t.palloc [])
+  in
+  List.iter
+    (fun frame -> f (Frame.Mfn.of_int frame) (Hashtbl.find_opt t.contents frame))
+    part
+
 let pp_usage fmt t =
   Format.fprintf fmt "frames: %d total, %d used, %d free, %d reserved"
     t.total_frames (used_frames t) t.free_count (Hashtbl.length t.reserved)

@@ -66,4 +66,11 @@ val reboot_reset : t -> preserve:(Frame.Mfn.t -> bool) -> int
     are reclaimed wholesale — nobody frees them politely).  Returns the
     number of frames reclaimed. *)
 
+val iter_allocated : t -> (Frame.Mfn.t -> int64 option -> unit) -> unit
+(** [iter_allocated t f] calls [f mfn tag] for every currently allocated
+    frame with its content tag (if any), in a deterministic ascending
+    order (full chunks by chunk index, then partial-chunk frames by
+    frame number) independent of allocation history hash layout.  The
+    post-transplant residual audit sweeps memory with this. *)
+
 val pp_usage : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(* One canonical rendering for located diagnostics, shared by the
+   integrity verdicts ([Integrity.pp_diagnostic]), the wire decoder's
+   [Bad_format] errors, and the residual auditor's findings.  Before
+   this module the offset formatting diverged: the salvage diagnostics
+   printed "section+N" while the wire errors printed "at byte N" — the
+   latter is the documented form (DESIGN.md section 5e), so it wins. *)
+
+let pp_location fmt ?section offset =
+  match section with
+  | Some tag -> Format.fprintf fmt "at byte %d in section 0x%04x" offset tag
+  | None -> Format.fprintf fmt "at byte %d" offset
+
+let location_to_string ?section offset =
+  match section with
+  | Some tag -> Printf.sprintf "at byte %d in section 0x%04x" offset tag
+  | None -> Printf.sprintf "at byte %d" offset
+
+let pp fmt ~label ~subject ?offset reason =
+  match offset with
+  | Some o ->
+    Format.fprintf fmt "[%s] %s at byte %d: %s" label subject o reason
+  | None -> Format.fprintf fmt "[%s] %s: %s" label subject reason

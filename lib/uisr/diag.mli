@@ -1,0 +1,23 @@
+(** Canonical pretty-printing for located diagnostics.
+
+    The salvage decoder ({!Integrity}), the wire reader's structured
+    [Bad_format] errors ({!Wire.Reader}) and the residual-state
+    auditor ([Audit]) all report findings of the shape {e severity,
+    subject, optional byte offset, reason}.  This module is the single
+    renderer, so offsets always read ["at byte N"] (the form DESIGN.md
+    documents) instead of the historical mix of ["+N"] and
+    ["at byte N"]. *)
+
+val pp :
+  Format.formatter -> label:string -> subject:string -> ?offset:int ->
+  string -> unit
+(** [pp fmt ~label ~subject ?offset reason] renders
+    ["[label] subject at byte N: reason"], omitting the offset clause
+    when [offset] is [None].  [label] is a severity word (["fatal"],
+    ["salvageable"], ["exploitable"], ...). *)
+
+val pp_location : Format.formatter -> ?section:int -> int -> unit
+(** ["at byte N"], or ["at byte N in section 0xT"] when the section
+    tag is known. *)
+
+val location_to_string : ?section:int -> int -> string

@@ -30,13 +30,9 @@ let diag ?offset ~section ~fatal reason =
     diag_fatal = fatal }
 
 let pp_diagnostic fmt d =
-  Format.fprintf fmt "[%s] %s%s%s"
-    (if d.diag_fatal then "fatal" else "salvageable")
-    d.diag_section
-    (match d.diag_offset with
-    | Some o -> Printf.sprintf "+%d" o
-    | None -> "")
-    (": " ^ d.diag_reason)
+  Diag.pp fmt
+    ~label:(if d.diag_fatal then "fatal" else "salvageable")
+    ~subject:d.diag_section ?offset:d.diag_offset d.diag_reason
 
 let pp_verdict fmt = function
   | Intact -> Format.pp_print_string fmt "intact"

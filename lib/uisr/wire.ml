@@ -112,10 +112,9 @@ module Reader = struct
   exception Bad_format of format_error
 
   let format_error_to_string e =
-    match e.section with
-    | Some tag ->
-      Printf.sprintf "at byte %d in section 0x%04x: %s" e.offset tag e.reason
-    | None -> Printf.sprintf "at byte %d: %s" e.offset e.reason
+    Printf.sprintf "%s: %s"
+      (Diag.location_to_string ?section:e.section e.offset)
+      e.reason
 
   let create ?section data =
     { data; pos = 0; limit = Bytes.length data; sect = section }

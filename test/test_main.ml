@@ -6,7 +6,8 @@ let () =
    @ Test_workload.suites @ Test_uisr.suites @ Test_pram.suites
    @ Test_kexec.suites @ Test_hv.suites @ Test_xen_kvm.suites
    @ Test_bhyve.suites @ Test_migration.suites @ Test_cve.suites
-   @ Test_fault.suites @ Test_integrity.suites @ Test_hypertp.suites
+   @ Test_fault.suites @ Test_integrity.suites @ Test_audit.suites
+   @ Test_hypertp.suites
    @ Test_cluster.suites @ Test_campaign.suites @ Test_controlplane.suites
    @ Test_ctx.suites
    @ Test_extras.suites @ Test_obs.suites)
