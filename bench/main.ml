@@ -32,6 +32,9 @@ let targets : (string * string * (unit -> unit)) list =
      Bench_figures.campaign);
     ("scale", "fleet-scale campaign sweep (emits BENCH_scale.json); accepts \
                --hosts N", fun () -> Bench_scale.run ());
+    ("shadow", "shadow-host cutover frontier: downtime vs spares vs wire \
+                (emits BENCH_shadow.json); accepts --hosts N",
+     fun () -> Bench_shadow.run ());
     ("controlplane",
      "hierarchical control plane, calm vs crashed (emits \
       BENCH_controlplane.json)", Bench_controlplane.run);
@@ -42,7 +45,7 @@ let targets : (string * string * (unit -> unit)) list =
 let default_order =
   [ "table1"; "table2"; "table4"; "fig6"; "fig7"; "fig8"; "fig10"; "fig11"; "fig12";
     "table5"; "table6"; "fig13"; "fig14"; "tcb"; "memsep"; "ablation";
-    "repertoire"; "fleet"; "campaign"; "controlplane"; "micro" ]
+    "repertoire"; "fleet"; "campaign"; "shadow"; "controlplane"; "micro" ]
 
 let run_target name =
   match List.find_opt (fun (n, _, _) -> String.equal n name) targets with
@@ -71,6 +74,21 @@ let () =
         exit 1
     in
     Bench_scale.run ~sizes ()
+  | "shadow" :: (_ :: _ as rest) ->
+    (* Single-size mode for CI: bench shadow --hosts 200 *)
+    let hosts =
+      match rest with
+      | [ "--hosts"; n ] -> (
+        match int_of_string_opt n with
+        | Some h when h >= 2 -> h
+        | _ ->
+          Format.eprintf "shadow: --hosts expects an integer >= 2@.";
+          exit 1)
+      | _ ->
+        Format.eprintf "usage: shadow [--hosts N]@.";
+        exit 1
+    in
+    Bench_shadow.run ~hosts ()
   | [] ->
     Format.printf
       "HyperTP evaluation harness: regenerating every table and figure@.";

@@ -254,6 +254,68 @@ let migrate_cmd =
           $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg $ fault_arg $ audit_flag
           $ trace_out_arg $ metrics_out_arg)
 
+(* --- shadow --- *)
+
+let shadow_cmd =
+  let no_ladder =
+    Arg.(value & flag
+         & info [ "no-ladder" ]
+             ~doc:"Disable the degradation ladder: any pre-swap abort \
+                   defers (the source keeps serving) instead of falling \
+                   back to classic MigrationTP on the staged spare.")
+  in
+  let compare_flag =
+    Arg.(value & flag
+         & info [ "compare" ]
+             ~doc:"Also run classic MigrationTP on an identical pair and \
+                   print the downtime ratio.")
+  in
+  let run () machine source target vms vcpus gib seed fault_specs no_ladder
+      compare trace_out metrics_out =
+    let src = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
+    let spare = Hv.Host.create ~name:"cli-spare" machine in
+    let fault = fault_of_specs fault_specs in
+    let obs, metrics = obs_of_paths trace_out metrics_out in
+    let r =
+      Hypertp.Api.transplant_shadow ~rng:(Sim.Rng.create seed) ?fault ?obs
+        ?metrics ~ladder:(not no_ladder) ~src ~spare ~target ()
+    in
+    Format.printf "%a@." Hypertp.Migrate.pp_shadow_report r;
+    if compare then begin
+      let csrc = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
+      let cspare = Hv.Host.create ~name:"cli-spare" machine in
+      Hv.Host.boot_hypervisor cspare (Hypertp.Api.hypervisor_of target);
+      let classic =
+        Hypertp.Api.transplant_migration ~rng:(Sim.Rng.create seed) ~src:csrc
+          ~dst:cspare ()
+      in
+      let classic_downtime =
+        List.fold_left
+          (fun acc (v : Hypertp.Migrate.vm_report) ->
+            Sim.Time.max acc v.Hypertp.Migrate.downtime)
+          Sim.Time.zero classic.Hypertp.Migrate.per_vm
+      in
+      Format.printf
+        "classic MigrationTP downtime: %a@.shadow/classic downtime ratio: \
+         %.3f@."
+        Sim.Time.pp classic_downtime
+        (Sim.Time.to_sec_f r.Hypertp.Migrate.sh_downtime
+        /. Sim.Time.to_sec_f classic_downtime)
+    end;
+    print_fault_trace fault;
+    write_obs trace_out metrics_out obs metrics;
+    if not r.Hypertp.Migrate.sh_source_intact then exit 2
+  in
+  Cmd.v
+    (Cmd.info "shadow"
+       ~doc:"Run a shadow-host MigrationTP: pre-stage the target on a \
+             spare, stream and converge while the source serves, swap \
+             identities atomically; pre-swap faults abort with the source \
+             verified intact and walk the degradation ladder")
+    Term.(const run $ verbose_arg $ machine_arg $ source_arg $ target_arg
+          $ vms_arg $ vcpus_arg $ gib_arg $ seed_arg $ fault_arg $ no_ladder
+          $ compare_flag $ trace_out_arg $ metrics_out_arg)
+
 (* --- audit --- *)
 
 let audit_cmd =
@@ -472,7 +534,39 @@ let fault_campaign_cmd =
              ~doc:"Also sweep the per-host failure probability over a 10x10 \
                    cluster upgrade.")
   in
-  let run machine source target vms vcpus gib seed sweep =
+  let list_flag =
+    Arg.(value & flag
+         & info [ "list" ]
+             ~doc:"List every injection site with its consulting engine and \
+                   the valid trigger forms, without running anything.")
+  in
+  let list_sites () =
+    (* Triggers are uniform across sites: parse_injection accepts
+       site:N (fire on the Nth hit), site:p=F (per-hit probability) and
+       site:vm=NAME (fire for that VM only). *)
+    Format.printf "%-24s %-14s %s@." "site" "consulted by"
+      "valid triggers (--fault site:TRIGGER[,seed=N])";
+    let row engine site =
+      Format.printf "%-24s %-14s %s@."
+        (Fault.site_to_string site) engine "N | p=F | vm=NAME"
+    in
+    List.iter (row "inplace")
+      (List.filter
+         (fun s ->
+           not
+             (List.mem s
+                [ Fault.Migration_link_drop; Fault.Migration_link_degrade ]))
+         Fault.engine_sites);
+    List.iter (row "migration")
+      [ Fault.Migration_link_drop; Fault.Migration_link_degrade ];
+    List.iter (row "shadow") Fault.shadow_sites;
+    List.iter (row "campaign") Fault.cluster_sites;
+    List.iter (row "controlplane") Fault.controlplane_sites
+  in
+  let rec run machine source target vms vcpus gib seed sweep list =
+    if list then list_sites ()
+    else run_campaign machine source target vms vcpus gib seed sweep
+  and run_campaign machine source target vms vcpus gib seed sweep =
     (* One run per engine-level injection site, fault fired on its first
        hit: the exhaustive deterministic campaign.  Cluster-level sites
        are listed separately — they are consulted by the campaign
@@ -520,6 +614,27 @@ let fault_campaign_cmd =
             (Fault.site_to_string site) "inplace" alive vms
             Hypertp.Inplace.pp_outcome r.Hypertp.Inplace.outcome)
       Fault.engine_sites;
+    (* Shadow sites, against the shadow-host engine: every one is
+       pre-swap, so the source must survive each abort and the report
+       must name the rung of the degradation ladder actually taken. *)
+    List.iter
+      (fun site ->
+        let fault =
+          Fault.make ~seed [ { Fault.site; trigger = Fault.Nth_hit 1 } ]
+        in
+        let src = provision ~machine ~hv:source ~vms ~vcpus ~gib ~seed in
+        let spare = Hv.Host.create ~name:"c-spare" machine in
+        let r =
+          Hypertp.Api.transplant_shadow ~rng:(Sim.Rng.create seed) ~fault
+            ~src ~spare ~target ()
+        in
+        let alive = Hv.Host.vm_count src + Hv.Host.vm_count spare in
+        Format.printf "%-24s %-12s %d/%-8d %a%s@."
+          (Fault.site_to_string site) "shadow" alive vms
+          Hypertp.Migrate.pp_shadow_strategy r.Hypertp.Migrate.sh_strategy
+          (if r.Hypertp.Migrate.sh_source_intact then ""
+           else " [SOURCE DAMAGED]"))
+      Fault.shadow_sites;
     Format.printf
       "@.cluster-level sites (exercised by 'campaign --fault' and 'cluster \
        --fault-sweep', not per-transplant): %s@."
@@ -551,7 +666,7 @@ let fault_campaign_cmd =
        ~doc:"Exhaustive fault-injection campaign: one transplant per \
              injection site, printing the outcome and VM survival")
     Term.(const run $ machine_arg $ source_arg $ target_arg $ vms_arg
-          $ vcpus_arg $ gib_arg $ seed_arg $ sweep)
+          $ vcpus_arg $ gib_arg $ seed_arg $ sweep $ list_flag)
 
 (* --- campaign --- *)
 
@@ -596,6 +711,14 @@ let campaign_cmd =
          & info [ "breaker-cooldown" ] ~docv:"SECONDS"
              ~doc:"Pause admission for this long after a trip.")
   in
+  let shadow_spares =
+    Arg.(value & opt int
+           Cluster.Campaign.default_config.Cluster.Campaign.shadow_spares
+         & info [ "shadow-spares" ] ~docv:"N"
+             ~doc:"Staged spare lanes for the shadow-cutover rung of the \
+                   degradation ladder (0 disables the rung; journals are \
+                   then byte-identical to pre-shadow campaigns).")
+  in
   let journal_file =
     Arg.(value & opt (some string) None
          & info [ "journal" ] ~docv:"PATH"
@@ -615,8 +738,8 @@ let campaign_cmd =
                    single campaign.")
   in
   let run () nodes vms_per_node fraction concurrency straggler breaker_window
-      breaker_threshold breaker_cooldown seed specs journal_file resume_from
-      sweep trace_out metrics_out =
+      breaker_threshold breaker_cooldown shadow_spares seed specs journal_file
+      resume_from sweep trace_out metrics_out =
     let config =
       {
         Cluster.Campaign.default_config with
@@ -628,6 +751,7 @@ let campaign_cmd =
         breaker_window;
         breaker_threshold;
         breaker_cooldown = Sim.Time.of_sec_f breaker_cooldown;
+        shadow_spares;
         seed;
       }
     in
@@ -654,12 +778,13 @@ let campaign_cmd =
                  (fun h -> h.Cluster.Campaign.hr_status = s)
                  r.Cluster.Campaign.hosts)
           in
-          Format.printf "%-6.2f %-10s %-9.3f %-9d %-8d %d/%d/%d/%d@." p
+          Format.printf "%-6.2f %-10s %-9.3f %-9d %-8d %d/%d/%d/%d/%d@." p
             (Sim.Time.to_string r.Cluster.Campaign.wall_clock)
             r.Cluster.Campaign.exposed_host_hours
             (List.length r.Cluster.Campaign.deferred)
             r.Cluster.Campaign.breaker_trips
             (count Cluster.Campaign.Upgraded_inplace)
+            (count Cluster.Campaign.Shadow_cutover)
             (count Cluster.Campaign.Drained)
             (count Cluster.Campaign.Deferred_resolved)
             (count Cluster.Campaign.Deferred_exposed))
@@ -703,8 +828,8 @@ let campaign_cmd =
              ladder, circuit breaker, checkpoint/resume")
     Term.(const run $ verbose_arg $ nodes $ per_node $ fraction $ concurrency
           $ straggler $ breaker_window $ breaker_threshold $ breaker_cooldown
-          $ seed_arg $ fault_arg $ journal_file $ resume_from $ sweep
-          $ trace_out_arg $ metrics_out_arg)
+          $ shadow_spares $ seed_arg $ fault_arg $ journal_file $ resume_from
+          $ sweep $ trace_out_arg $ metrics_out_arg)
 
 (* --- controlplane --- *)
 
@@ -978,10 +1103,10 @@ let () =
     exit
       (Cmd.eval ~catch:false
          (Cmd.group info
-            [ cve_cmd; inplace_cmd; migrate_cmd; audit_cmd; memsep_cmd;
-              cluster_cmd; campaign_cmd; controlplane_cmd; respond_cmd;
-              fleet_cmd; snapshot_cmd; fault_campaign_cmd; verify_cmd;
-              fuzz_cmd ]))
+            [ cve_cmd; inplace_cmd; migrate_cmd; shadow_cmd; audit_cmd;
+              memsep_cmd; cluster_cmd; campaign_cmd; controlplane_cmd;
+              respond_cmd; fleet_cmd; snapshot_cmd; fault_campaign_cmd;
+              verify_cmd; fuzz_cmd ]))
   with Hypertp.Error.Error e ->
     Format.eprintf "hypertp-cli: %s@." (Hypertp.Error.to_string e);
     exit 3

@@ -154,6 +154,110 @@ let plan_upgrade ?(group_size = 1) model =
     inplace_vm_count = !inplace_vms;
   }
 
+(* --- per-host strategy selection --- *)
+
+type host_strategy = Use_inplace | Use_shadow | Use_migrate | Use_defer
+
+type strategy_choice = {
+  sc_node : string;
+  sc_strategy : host_strategy;
+  sc_wire_bytes : Hw.Units.bytes_;
+  sc_vms : int;
+}
+
+type strategy_plan = {
+  choices : strategy_choice list;
+  shadow_lanes : int;
+  wire_total : Hw.Units.bytes_;
+  n_inplace : int;
+  n_shadow : int;
+  n_migrate : int;
+  n_defer : int;
+}
+
+(* Wire-cost factors relative to the RAM actually moved.  The shadow
+   stream pays the full checkpoint plus the dirty-page replay rounds
+   (~25 % overhead at the paper's workload mix); a classic stop-and-copy
+   migration only retransmits what dirties during the single downtime
+   window (~10 %). *)
+let shadow_wire_factor = 1.25
+let migrate_wire_factor = 1.10
+
+let choose_strategies ?(spare_hosts = 0) ?wire_budget model =
+  if spare_hosts < 0 then
+    invalid_arg "Btrplace.choose_strategies: negative spare_hosts";
+  (match wire_budget with
+  | Some b when b < 0 ->
+    invalid_arg "Btrplace.choose_strategies: negative wire_budget"
+  | _ -> ());
+  let remaining =
+    ref (match wire_budget with Some b -> b | None -> max_int)
+  in
+  let wire factor bytes = int_of_float (factor *. float_of_int bytes) in
+  let choose node =
+    let incompatible =
+      List.filter
+        (fun v -> not v.Model.inplace_compatible)
+        node.Model.placed
+    in
+    let strategy, cost =
+      if incompatible = [] then (Use_inplace, 0)
+      else begin
+        (* Shadow moves the whole placement onto a staged spare for a
+           near-zero cutover; classic MigrationTP only evacuates the
+           incompatible VMs and lets the rest ride InPlaceTP.  Shadow is
+           preferred whenever a spare lane exists and its (larger) wire
+           cost still fits; with no lane or no budget headroom the host
+           degrades to classic, then to defer. *)
+        let shadow_cost = wire shadow_wire_factor (Model.used_ram node) in
+        let migrate_cost =
+          wire migrate_wire_factor
+            (List.fold_left (fun acc v -> acc + v.Model.ram) 0 incompatible)
+        in
+        if spare_hosts > 0 && shadow_cost <= !remaining then
+          (Use_shadow, shadow_cost)
+        else if migrate_cost <= !remaining then (Use_migrate, migrate_cost)
+        else (Use_defer, 0)
+      end
+    in
+    remaining := !remaining - cost;
+    {
+      sc_node = node.Model.node_name;
+      sc_strategy = strategy;
+      sc_wire_bytes = cost;
+      sc_vms = node.Model.placed_count;
+    }
+  in
+  let choices = List.map choose model.Model.nodes in
+  let count s =
+    List.length (List.filter (fun c -> c.sc_strategy = s) choices)
+  in
+  {
+    choices;
+    shadow_lanes = spare_hosts;
+    wire_total = List.fold_left (fun acc c -> acc + c.sc_wire_bytes) 0 choices;
+    n_inplace = count Use_inplace;
+    n_shadow = count Use_shadow;
+    n_migrate = count Use_migrate;
+    n_defer = count Use_defer;
+  }
+
+let strategy_to_string = function
+  | Use_inplace -> "inplace"
+  | Use_shadow -> "shadow"
+  | Use_migrate -> "migrate"
+  | Use_defer -> "defer"
+
+let pp_host_strategy fmt s = Format.pp_print_string fmt (strategy_to_string s)
+
+let pp_strategy_plan fmt p =
+  Format.fprintf fmt
+    "strategies: %d inplace, %d shadow, %d migrate, %d deferred (%d spare \
+     lane%s, %.2f GiB on the wire)"
+    p.n_inplace p.n_shadow p.n_migrate p.n_defer p.shadow_lanes
+    (if p.shadow_lanes = 1 then "" else "s")
+    (float_of_int p.wire_total /. float_of_int (Hw.Units.gib 1))
+
 let max_concurrent_drains model =
   (* How many hosts may be offline at once such that, in the worst case,
      every offline host's full VM load can be parked on the remaining

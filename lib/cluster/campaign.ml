@@ -13,6 +13,7 @@ type config = {
   drain_flakiness : float;
   retry_flakiness : float;
   seed : int64;
+  shadow_spares : int;
 }
 
 let default_config =
@@ -31,9 +32,10 @@ let default_config =
     drain_flakiness = 0.25;
     retry_flakiness = 0.25;
     seed = 0x5EEDL;
+    shadow_spares = 0;
   }
 
-type ladder_step = Inplace | Drain | Retry
+type ladder_step = Inplace | Shadow | Drain | Retry
 
 type manifestation = Crash | Timeout | Flap
 
@@ -51,6 +53,7 @@ type event =
 
 type host_status =
   | Upgraded_inplace
+  | Shadow_cutover
   | Drained
   | Deferred_resolved
   | Deferred_exposed
@@ -85,6 +88,7 @@ type report = {
   breaker_trips : int;
   vms_total : int;
   vms_inplace_ok : int;
+  vms_shadow : int;
   vms_drained : int;
   vms_on_deferred : int;
   vms_migrated_planned : int;
@@ -92,7 +96,8 @@ type report = {
 }
 
 let vms_accounted r =
-  r.vms_inplace_ok + r.vms_drained + r.vms_on_deferred + r.vms_migrated_planned
+  r.vms_inplace_ok + r.vms_shadow + r.vms_drained + r.vms_on_deferred
+  + r.vms_migrated_planned
 
 (* Manifestation timing, as fractions of the attempt's expected duration.
    The cost order timeout > flap > crash is what makes the governing
@@ -104,6 +109,7 @@ let flap_leg1_frac = 0.55
 let flap_final_frac = 1.10
 let drain_fail_frac = 0.6
 let retry_fail_frac = 0.5
+let shadow_fail_frac = 0.6
 
 let min_straggler_factor = 1.2
 let max_jitter_pct = 0.1
@@ -125,7 +131,8 @@ let validate_config cfg =
   if cfg.drain_flakiness < 0.0 || cfg.drain_flakiness > 1.0 then
     bad "drain_flakiness outside [0, 1]";
   if cfg.retry_flakiness < 0.0 || cfg.retry_flakiness > 1.0 then
-    bad "retry_flakiness outside [0, 1]"
+    bad "retry_flakiness outside [0, 1]";
+  if cfg.shadow_spares < 0 then bad "shadow_spares must be non-negative"
 
 (* --- derived per-host randomness, independent of the fault plan --- *)
 
@@ -147,6 +154,8 @@ type task = {
   t_expected : Sim.Time.t; (* pre-migrations + upgrade *)
   t_deadline : Sim.Time.t; (* straggler_factor x expected *)
   t_drain : Sim.Time.t;    (* fallback: drain whole placement + reboot *)
+  t_shadow : Sim.Time.t;   (* fallback: pre-stage a spare + stream the
+                              whole placement (no source reboot) *)
 }
 
 type setup = {
@@ -218,10 +227,17 @@ let build_setup cfg =
         in
         (* The fallback drain must clear whatever is still on the host
            when the attempt died: evacuees plus the riding VMs. *)
-        let drain =
-          Sim.Time.add
-            (Sim.Time.sum (List.map mig (evacuated @ riding)))
-            Upgrade.reboot_host_time
+        let stream = Sim.Time.sum (List.map mig (evacuated @ riding)) in
+        let drain = Sim.Time.add stream Upgrade.reboot_host_time in
+        (* Shadow fallback: stage the target on a spare (boot plus the
+           per-VM skeleton pre-restore) while the source serves, then
+           stream the whole placement.  No source reboot — the host is
+           retired by the identity swap. *)
+        let shadow =
+          Sim.Time.add stream
+            (Sim.Time.of_sec_f
+               (Hypertp.Costs.shadow_stage_seconds ~boot_seconds:20.0
+                  ~vms:(List.length evacuated + List.length riding)))
         in
         tasks :=
           {
@@ -233,6 +249,7 @@ let build_setup cfg =
             t_expected = expected;
             t_deadline = deadline;
             t_drain = drain;
+            t_shadow = shadow;
           }
           :: !tasks;
         incr ntasks
@@ -253,6 +270,21 @@ let build_setup cfg =
 
 type decision = { d_flap : bool; d_crash : bool; d_timeout : bool }
 
+(* Fault-plan decisions for a shadow admission, one per shadow site, in
+   the fixed consultation order (spare, stage, drop, diverge,
+   partition).  Journaled like the in-place [decision] so resume can
+   re-fire and validate them. *)
+type shadow_decision = {
+  s_spare : bool;
+  s_stage : bool;
+  s_drop : bool;
+  s_diverge : bool;
+  s_partition : bool;
+}
+
+let shadow_failed s =
+  s.s_spare || s.s_stage || s.s_drop || s.s_diverge || s.s_partition
+
 let verdict_to_string = function
   | A_clean -> "clean"
   | A_scrubbed -> "scrubbed"
@@ -271,6 +303,8 @@ type entry = {
   je_decision : decision option; (* Some iff Admitted Inplace *)
   je_audit : audit_verdict option;
       (* Some iff Attempt_completed Inplace/Retry with audit sites armed *)
+  je_shadow : shadow_decision option;
+      (* Some iff Admitted Shadow with shadow sites armed *)
   je_cursor : int; (* fault-plan trace length after this entry *)
 }
 
@@ -285,7 +319,7 @@ let journal_length j = Sim.Vec.length j.j_entries
 
 let dummy_entry =
   { je_at = Sim.Time.zero; je_host = None; je_event = Campaign_finished;
-    je_decision = None; je_audit = None; je_cursor = 0 }
+    je_decision = None; je_audit = None; je_shadow = None; je_cursor = 0 }
 
 (* --- controller state (shared between live execution and replay) --- *)
 
@@ -293,6 +327,7 @@ type running = {
   r_step : ladder_step;
   r_started : Sim.Time.t;
   r_decision : decision option;
+  r_shadow : shadow_decision option;
   mutable r_flapped : bool;
 }
 
@@ -341,6 +376,13 @@ type st = {
   mutable n_deferred_exposed : int;
   audits : audit_verdict option array;
       (* post-commit audit verdict of the host's successful attempt *)
+  (* Shadow lane accounting: [spares_free] counts idle staged spares
+     (a completed cutover frees its source as the next spare, so the
+     lane returns on resolution either way); [shadow_tried] pins the
+     degradation ladder — a host whose shadow attempt failed must fall
+     through to drain, never shadow again. *)
+  mutable spares_free : int;
+  shadow_tried : bool array;
   fault : Fault.t option;
   obs : Obs.Tracer.t option;
   metrics : Obs.Metrics.t option;
@@ -375,6 +417,8 @@ let make_st ?fault ?obs ?metrics cfg setup =
     exposure_acc = 0.0;
     n_deferred_exposed = 0;
     audits = Array.make n None;
+    spares_free = cfg.shadow_spares;
+    shadow_tried = Array.make n false;
     fault;
     obs;
     metrics;
@@ -424,6 +468,13 @@ let resolve_failure st i manifestation at =
       st.hstates.(i) <- H_failed_needs_drain;
       st.needs_drain <- i :: st.needs_drain;
       push_window st false
+    | Shadow ->
+      (* Degradation ladder: the staged spare is torn down (the lane
+         returns) and the host falls through to the classic drain. *)
+      st.spares_free <- st.spares_free + 1;
+      st.hstates.(i) <- H_failed_needs_drain;
+      st.needs_drain <- i :: st.needs_drain;
+      push_window st false
     | Drain ->
       st.hstates.(i) <- H_failed_needs_defer;
       st.needs_defer <- i :: st.needs_defer;
@@ -438,6 +489,7 @@ let resolve_failure st i manifestation at =
 
 let step_to_string = function
   | Inplace -> "inplace"
+  | Shadow -> "shadow"
   | Drain -> "drain"
   | Retry -> "retry"
 
@@ -562,7 +614,8 @@ let apply_state st e =
   | Admitted step, Some h ->
     let i = idx st h in
     (match (step, st.hstates.(i)) with
-    | Inplace, H_pending | Drain, H_failed_needs_drain
+    | Inplace, H_pending
+    | (Shadow | Drain), H_failed_needs_drain
     | Retry, H_awaiting_retry ->
       ()
     | _ ->
@@ -571,12 +624,23 @@ let apply_state st e =
     if step = Inplace && e.je_decision = None then
       Hypertp_error.raise_error ~site:"Campaign"
         "in-place admission without a fault decision";
+    if step = Shadow then begin
+      if st.shadow_tried.(i) then
+        Hypertp_error.raise_error ~site:"Campaign"
+          "second shadow admission for the same host";
+      if st.spares_free <= 0 then
+        Hypertp_error.raise_error ~site:"Campaign"
+          "shadow admission without a free spare lane";
+      st.shadow_tried.(i) <- true;
+      st.spares_free <- st.spares_free - 1
+    end;
     st.hstates.(i) <-
       H_running
         {
           r_step = step;
           r_started = e.je_at;
           r_decision = e.je_decision;
+          r_shadow = e.je_shadow;
           r_flapped = false;
         };
     st.running <- st.running + 1;
@@ -598,6 +662,11 @@ let apply_state st e =
     | None -> ());
     (match step with
     | Inplace -> st.hstates.(i) <- H_done (Upgraded_inplace, e.je_at)
+    | Shadow ->
+      (* The freed source becomes the next staged spare (pipeline
+         lane), so the lane returns on success too. *)
+      st.spares_free <- st.spares_free + 1;
+      st.hstates.(i) <- H_done (Shadow_cutover, e.je_at)
     | Drain -> st.hstates.(i) <- H_done (Drained, e.je_at)
     | Retry -> st.hstates.(i) <- H_done (Deferred_resolved, e.je_at));
     st.n_done <- st.n_done + 1;
@@ -659,16 +728,29 @@ let audit_armed st =
         | _ -> false)
       (Fault.injections f)
 
+(* Same armed-only discipline for the shadow sites: journals recorded
+   before the shadow ladder existed (or under shadow-free plans) keep
+   their fault cursors bit-for-bit. *)
+let shadow_armed st =
+  match st.fault with
+  | None -> false
+  | Some f ->
+    List.exists
+      (fun (inj : Fault.injection) ->
+        List.mem inj.Fault.site Fault.shadow_sites)
+      (Fault.injections f)
+
 (* Journal-then-crash: the entry is applied and persisted first, and
    only then may the controller die, so a resumed run never loses the
    event that was being recorded. *)
-let append st ?host ?decision ?audit ~at event =
+let append st ?host ?decision ?audit ?shadow ~at event =
   apply st { je_at = at; je_host = host; je_event = event;
-             je_decision = decision; je_audit = audit; je_cursor = 0 };
+             je_decision = decision; je_audit = audit; je_shadow = shadow;
+             je_cursor = 0 };
   let crashed = fire_opt st Fault.Controller_crash in
   Sim.Vec.push st.entries
     { je_at = at; je_host = host; je_event = event; je_decision = decision;
-      je_audit = audit; je_cursor = cursor st };
+      je_audit = audit; je_shadow = shadow; je_cursor = cursor st };
   Hypertp.Otrace.instant st.obs ~at ~track:"journal"
     ~attrs:[ ("cursor", string_of_int (cursor st)) ]
     "journal:checkpoint";
@@ -702,7 +784,16 @@ let rec settle ctx =
   let drainable = List.sort compare st.needs_drain in
   st.needs_drain <- [];
   List.iter
-    (fun i -> if st.hstates.(i) = H_failed_needs_drain then admit ctx i Drain)
+    (fun i ->
+      if st.hstates.(i) = H_failed_needs_drain then
+        (* Shadow rung of the ladder: with a staged spare lane free and
+           no earlier shadow failure on this host, evacuate by cutover
+           before falling back to the disruptive drain. *)
+        if
+          st.cfg.shadow_spares > 0 && st.spares_free > 0
+          && not st.shadow_tried.(i)
+        then admit ctx i Shadow
+        else admit ctx i Drain)
     drainable;
   (* 2. Ladder exhausted: park the host, retried at campaign end. *)
   let deferrable = List.sort compare st.needs_defer in
@@ -792,9 +883,22 @@ and admit ctx i step =
       let d_crash = fire_opt st ~vm:t.t_node Fault.Host_crash in
       let d_timeout = fire_opt st ~vm:t.t_node Fault.Host_timeout in
       Some { d_flap; d_crash; d_timeout }
-    | Drain | Retry -> None
+    | Shadow | Drain | Retry -> None
   in
-  append st ~host:t.t_node ?decision ~at (Admitted step);
+  let shadow =
+    match step with
+    | Shadow when shadow_armed st ->
+      (* All five shadow sites, in a fixed order, for the same
+         stream-alignment reason as the in-place decision. *)
+      let s_spare = fire_opt st ~vm:t.t_node Fault.Spare_exhausted in
+      let s_stage = fire_opt st ~vm:t.t_node Fault.Shadow_stage_fail in
+      let s_drop = fire_opt st ~vm:t.t_node Fault.Shadow_stream_drop in
+      let s_diverge = fire_opt st ~vm:t.t_node Fault.Shadow_diverge in
+      let s_partition = fire_opt st ~vm:t.t_node Fault.Swap_partition in
+      Some { s_spare; s_stage; s_drop; s_diverge; s_partition }
+    | _ -> None
+  in
+  append st ~host:t.t_node ?decision ?shadow ~at (Admitted step);
   schedule_attempt ctx i
 
 (* Schedule the engine events for a host currently in [H_running].  All
@@ -840,6 +944,21 @@ and schedule_attempt ctx i =
           (from_start
              (Sim.Time.scale (host_jitter st.cfg t.t_node) t.t_expected))
           (fun () -> on_complete ctx i Inplace)
+    | Shadow ->
+      (* The pre-swap abort points are all analytic: a fired shadow
+         site surfaces as one failed attempt (the engine's abort +
+         source-intact verification), costed like a drain that died
+         mid-stream.  Which site fired was journaled at admission. *)
+      if (match r.r_shadow with Some s -> shadow_failed s | None -> false)
+      then
+        arm ctx i
+          (from_start (Sim.Time.scale shadow_fail_frac t.t_shadow))
+          (fun () -> on_fail ctx i Crash)
+      else
+        arm ctx i
+          (from_start
+             (Sim.Time.scale (host_jitter st.cfg t.t_node) t.t_shadow))
+          (fun () -> on_complete ctx i Shadow)
     | Drain ->
       if coin st.cfg "drain" t.t_node st.cfg.drain_flakiness then
         arm ctx i
@@ -957,7 +1076,7 @@ let make_report st =
       (fun h ->
         match h.hr_status with
         | Deferred_resolved | Deferred_exposed -> true
-        | Upgraded_inplace | Drained -> false)
+        | Upgraded_inplace | Shadow_cutover | Drained -> false)
       hosts
   in
   let sum_vms pred =
@@ -992,7 +1111,8 @@ let make_report st =
     vms_inplace_ok =
       sum_vms (function
         | Upgraded_inplace | Deferred_resolved -> true
-        | Drained | Deferred_exposed -> false);
+        | Shadow_cutover | Drained | Deferred_exposed -> false);
+    vms_shadow = sum_vms (function Shadow_cutover -> true | _ -> false);
     vms_drained = sum_vms (function Drained -> true | _ -> false);
     vms_on_deferred =
       sum_vms (function Deferred_exposed -> true | _ -> false);
@@ -1109,6 +1229,47 @@ let resume ?ctx:run_ctx ?fault ?obs ?metrics journal =
         Hypertp_error.raise_errorf ~site:"Campaign.resume"
           "journal entry %d: in-place admission without decision" !entry_no
       | _ -> ());
+      (* Shadow admissions are re-fired and validated like the in-place
+         decisions: the entry carries [je_shadow] iff the recording run
+         consulted the shadow sites at this admission. *)
+      (match (e.je_event, e.je_host, e.je_shadow) with
+      | Admitted Shadow, Some h, Some s ->
+        let f_spare = fire_opt st ~vm:h Fault.Spare_exhausted in
+        let f_stage = fire_opt st ~vm:h Fault.Shadow_stage_fail in
+        let f_drop = fire_opt st ~vm:h Fault.Shadow_stream_drop in
+        let f_diverge = fire_opt st ~vm:h Fault.Shadow_diverge in
+        let f_partition = fire_opt st ~vm:h Fault.Swap_partition in
+        let replayed =
+          { s_spare = f_spare; s_stage = f_stage; s_drop = f_drop;
+            s_diverge = f_diverge; s_partition = f_partition }
+        in
+        if st.fault <> None && replayed <> s then
+          let diverged =
+            String.concat ", "
+              (List.filter_map
+                 (fun (name, journalled, rep) ->
+                   if journalled <> rep then
+                     Some
+                       (Printf.sprintf "%s (journal %b, plan %b)" name
+                          journalled rep)
+                   else None)
+                 [ ("spare", s.s_spare, f_spare);
+                   ("stage", s.s_stage, f_stage);
+                   ("drop", s.s_drop, f_drop);
+                   ("diverge", s.s_diverge, f_diverge);
+                   ("partition", s.s_partition, f_partition) ])
+          in
+          Hypertp_error.raise_errorf ~site:"Campaign.resume"
+            ~hint:
+              (Printf.sprintf
+                 "the journal was recorded under a different fault plan: \
+                  pass the exact --fault specs (and seed) of the crashed \
+                  run; the restarted plan (seed %Ld) decides differently \
+                  here" (plan_seed ()))
+            "journal entry %d (host %s shadow admission at %s) disagrees \
+             with the fault plan on the %s decision"
+            !entry_no h (Sim.Time.to_string e.je_at) diverged
+      | _ -> ());
       (* Audit verdicts are re-fired and validated the same way as the
          admission decisions: the entry carries [je_audit] iff the
          recording run consulted the audit sites at this completion. *)
@@ -1194,6 +1355,7 @@ let sweep ?(config = default_config) ?(seed = 0xC1A5L) ~probabilities () =
 
 let step_of_string = function
   | "inplace" -> Some Inplace
+  | "shadow" -> Some Shadow
   | "drain" -> Some Drain
   | "retry" -> Some Retry
   | _ -> None
@@ -1214,11 +1376,17 @@ let journal_to_string j =
     (Printf.sprintf
        "config nodes=%d vms_per_node=%d vm_ram=%d node_ram=%d fraction=%.17g \
         concurrency=%d straggler=%.17g window=%d threshold=%.17g \
-        cooldown_ns=%d jitter=%.17g drain=%.17g retry=%.17g seed=%Ld\n"
+        cooldown_ns=%d jitter=%.17g drain=%.17g retry=%.17g seed=%Ld%s\n"
        c.nodes c.vms_per_node c.vm_ram c.node_ram c.inplace_fraction
        c.concurrency c.straggler_factor c.breaker_window c.breaker_threshold
        (Sim.Time.to_ns c.breaker_cooldown)
-       c.jitter_pct c.drain_flakiness c.retry_flakiness c.seed);
+       c.jitter_pct c.drain_flakiness c.retry_flakiness c.seed
+       (* Optional token: absent for shadow-free campaigns, so journals
+          recorded before the shadow rung existed serialise
+          byte-identically. *)
+       (if c.shadow_spares > 0 then
+          Printf.sprintf " shadow_spares=%d" c.shadow_spares
+        else ""));
   Sim.Vec.iter
     (fun e ->
       let host = match e.je_host with Some h -> h | None -> "-" in
@@ -1253,9 +1421,19 @@ let journal_to_string j =
         | Some v -> Printf.sprintf " audit=%s" (verdict_to_string v)
         | None -> ""
       in
+      let shadow =
+        match e.je_shadow with
+        | Some s ->
+          Printf.sprintf " sspare=%d sstage=%d sdrop=%d sdiverge=%d spart=%d"
+            (Bool.to_int s.s_spare) (Bool.to_int s.s_stage)
+            (Bool.to_int s.s_drop) (Bool.to_int s.s_diverge)
+            (Bool.to_int s.s_partition)
+        | None -> ""
+      in
       Buffer.add_string buf
-        (Printf.sprintf "e at=%d host=%s %s%s%s cursor=%d\n"
-           (Sim.Time.to_ns e.je_at) host kind decision audit e.je_cursor))
+        (Printf.sprintf "e at=%d host=%s %s%s%s%s cursor=%d\n"
+           (Sim.Time.to_ns e.je_at) host kind decision audit shadow
+           e.je_cursor))
     j.j_entries;
   Buffer.contents buf
 
@@ -1316,6 +1494,10 @@ let journal_of_string s =
             (match Int64.of_string_opt (get fs "seed") with
             | Some v -> v
             | None -> raise (Parse "bad seed"));
+          shadow_spares =
+            (match List.assoc_opt "shadow_spares" fs with
+            | None -> 0
+            | Some _ -> int_f fs "shadow_spares");
         }
       in
       let parse_step fs =
@@ -1379,6 +1561,19 @@ let journal_of_string s =
                 | Some _ as r -> r
                 | None -> raise (Parse ("bad audit verdict " ^ v)))
             in
+            let shadow =
+              match List.assoc_opt "sspare" fs with
+              | None -> None
+              | Some _ ->
+                Some
+                  {
+                    s_spare = int_f fs "sspare" <> 0;
+                    s_stage = int_f fs "sstage" <> 0;
+                    s_drop = int_f fs "sdrop" <> 0;
+                    s_diverge = int_f fs "sdiverge" <> 0;
+                    s_partition = int_f fs "spart" <> 0;
+                  }
+            in
             {
               je_at = Sim.Time.ns (int_f fs "at");
               je_host =
@@ -1386,6 +1581,7 @@ let journal_of_string s =
               je_event = event;
               je_decision = decision;
               je_audit = audit;
+              je_shadow = shadow;
               je_cursor = int_f fs "cursor";
             })
           entry_lines
@@ -1400,6 +1596,7 @@ let journal_of_string s =
 
 let status_to_string = function
   | Upgraded_inplace -> "inplace"
+  | Shadow_cutover -> "shadow-cutover"
   | Drained -> "drained"
   | Deferred_resolved -> "deferred+retried"
   | Deferred_exposed -> "deferred+EXPOSED"
@@ -1420,18 +1617,18 @@ let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>campaign: %d hosts, concurrency %d (requested %d), wall-clock %a \
      (unsupervised %a, rebalance %a)@,\
-     statuses: %d inplace / %d drained / %d retried / %d exposed; breaker \
-     trips %d@,\
+     statuses: %d inplace / %d shadow / %d drained / %d retried / %d \
+     exposed; breaker trips %d@,\
      exposure %.3f host-hours (baseline %.3f, deferred share %.3f)@,\
-     VMs: %d total = %d inplace-ok + %d drained + %d on deferred + %d \
-     migrated by plan%s@]"
+     VMs: %d total = %d inplace-ok + %d shadow + %d drained + %d on \
+     deferred + %d migrated by plan%s@]"
     (List.length r.hosts) r.effective_concurrency r.cfg.concurrency
     Sim.Time.pp r.wall_clock Sim.Time.pp r.base.Upgrade.total Sim.Time.pp
-    r.rebalance_time (count Upgraded_inplace) (count Drained)
-    (count Deferred_resolved) (count Deferred_exposed) r.breaker_trips
-    r.exposed_host_hours r.baseline_exposed_host_hours
-    r.deferred_exposure_hours r.vms_total r.vms_inplace_ok r.vms_drained
-    r.vms_on_deferred r.vms_migrated_planned
+    r.rebalance_time (count Upgraded_inplace) (count Shadow_cutover)
+    (count Drained) (count Deferred_resolved) (count Deferred_exposed)
+    r.breaker_trips r.exposed_host_hours r.baseline_exposed_host_hours
+    r.deferred_exposure_hours r.vms_total r.vms_inplace_ok r.vms_shadow
+    r.vms_drained r.vms_on_deferred r.vms_migrated_planned
     (match r.audit_verdicts with
     | [] -> ""
     | vs ->

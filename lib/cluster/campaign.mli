@@ -14,10 +14,14 @@
       ([straggler_factor] x its expected duration, from the
       {!Hypertp.Costs} estimates); a cancellable {!Sim.Engine.timer}
       escalates attempts that overrun it.
-    - {b Degradation ladder.}  InPlaceTP -> MigrationTP drain ->
-      {e defer}: a deferred host stays on the vulnerable hypervisor,
-      accruing exposed host-hours (Fig. 1), and is retried once at
-      campaign end.
+    - {b Degradation ladder.}  InPlaceTP -> shadow-host cutover (when
+      [shadow_spares > 0] and a staged spare lane is free) ->
+      MigrationTP drain -> {e defer}: a deferred host stays on the
+      vulnerable hypervisor, accruing exposed host-hours (Fig. 1), and
+      is retried once at campaign end.  A completed cutover frees its
+      source as the next spare, so the lanes are a concurrency bound,
+      not a consumable; a failed cutover returns its lane and the host
+      falls through to the drain (never shadow twice).
     - {b Circuit breaker.}  When the failure rate over the last
       [breaker_window] attempts reaches [breaker_threshold], admission
       pauses for [breaker_cooldown], then resumes {e half-open} at
@@ -34,9 +38,15 @@
     and failure sets are nested across probabilities (the
     [sweep_faulty] monotonicity property, lifted to campaigns).  When
     several fire, the costliest manifestation governs (timeout >
-    flap > crash).  Secondary decisions (drain failure, end-of-campaign
-    retry, duration jitter) come from per-host RNGs derived from
-    [seed], independent of the plan's stream. *)
+    flap > crash).  Shadow admissions additionally consult the five
+    shadow sites ({!Fault.Spare_exhausted}, {!Fault.Shadow_stage_fail},
+    {!Fault.Shadow_stream_drop}, {!Fault.Shadow_diverge},
+    {!Fault.Swap_partition}, in that order) — but {e only} when the
+    plan arms at least one of them, so journals recorded under
+    shadow-free plans keep their fault cursors bit-for-bit.  Secondary
+    decisions (drain failure, end-of-campaign retry, duration jitter)
+    come from per-host RNGs derived from [seed], independent of the
+    plan's stream. *)
 
 type config = {
   nodes : int;
@@ -53,13 +63,17 @@ type config = {
   drain_flakiness : float;  (** P(drain fallback also fails) per host *)
   retry_flakiness : float;  (** P(end-of-campaign retry fails) per host *)
   seed : int64;  (** feeds the derived per-host RNGs only *)
+  shadow_spares : int;
+      (** staged spare lanes for the {!Shadow} ladder rung; [0]
+          (default) disables the rung entirely — campaigns and their
+          journals are then byte-identical to pre-shadow runs *)
 }
 
 val default_config : config
 (** 10x10 paper cluster, fully InPlaceTP-compatible, concurrency 4,
     straggler factor 2.0, breaker 5/0.4/120 s, jitter 5 %. *)
 
-type ladder_step = Inplace | Drain | Retry
+type ladder_step = Inplace | Shadow | Drain | Retry
 
 type manifestation = Crash | Timeout | Flap
 
@@ -79,6 +93,8 @@ val pp_event : Format.formatter -> event -> unit
 
 type host_status =
   | Upgraded_inplace  (** InPlaceTP succeeded (possibly not first try) *)
+  | Shadow_cutover
+      (** evacuated by a shadow-host cutover onto a staged spare *)
   | Drained  (** fell back to a MigrationTP drain + empty reboot *)
   | Deferred_resolved  (** deferred, but the end-of-campaign retry won *)
   | Deferred_exposed  (** still on the vulnerable hypervisor at the end *)
@@ -128,6 +144,7 @@ type report = {
   breaker_trips : int;
   vms_total : int;
   vms_inplace_ok : int;
+  vms_shadow : int;  (** VMs moved whole-host by shadow cutovers *)
   vms_drained : int;
   vms_on_deferred : int;  (** alive but still on the vulnerable hv *)
   vms_migrated_planned : int;  (** distinct VMs moved by the plan *)
@@ -137,7 +154,7 @@ type report = {
 }
 
 val vms_accounted : report -> int
-(** [vms_inplace_ok + vms_drained + vms_on_deferred +
+(** [vms_inplace_ok + vms_shadow + vms_drained + vms_on_deferred +
     vms_migrated_planned]; always equals [vms_total] — no VM is lost,
     only delayed or left exposed. *)
 

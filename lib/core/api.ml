@@ -26,6 +26,11 @@ let transplant_migration ?ctx ?rng ?fault ?retry ?obs ?metrics ~src ~dst
     ?vm_names () =
   Migrate.run ?ctx ?rng ?fault ?retry ?obs ?metrics ~src ~dst ?vm_names ()
 
+let transplant_shadow ?ctx ?rng ?fault ?retry ?obs ?metrics ?params ?ladder
+    ~src ~spare ~target ?vm_names () =
+  Migrate.run_shadow ?ctx ?rng ?fault ?retry ?obs ?metrics ?params ?ladder
+    ~src ~spare ~target:(hypervisor_of target) ?vm_names ()
+
 let respond_to_cve ?ctx ?options ?rng ?fault ~host ~cve_id ~mode () =
   let site = "Api.respond_to_cve" in
   let record =

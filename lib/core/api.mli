@@ -60,3 +60,15 @@ val transplant_migration :
   Migrate.report
 (** MigrationTP (or the homogeneous baseline).  Same [?ctx] contract as
     {!transplant_inplace}; [retry] stays separate. *)
+
+val transplant_shadow :
+  ?ctx:Ctx.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
+  ?retry:Migrate.retry_params -> ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t ->
+  ?params:Migration.Shadow.params -> ?ladder:bool -> src:Hv.Host.t ->
+  spare:Hv.Host.t -> target:Hv.Kind.t -> ?vm_names:string list -> unit ->
+  Migrate.shadow_report
+(** Shadow-host MigrationTP against a {!Hv.Kind.t} target
+    ({!Migrate.run_shadow} with the module resolved from the
+    repertoire): pre-stage on [spare], stream + converge while [src]
+    serves, swap atomically; any pre-swap fault aborts with the source
+    verified intact and walks the degradation ladder. *)

@@ -46,6 +46,20 @@ let per_riding_vm_seconds = 0.4
 let expected_host_upgrade_seconds ~boot_seconds ~vms =
   boot_seconds +. (per_riding_vm_seconds *. float_of_int vms)
 
+(* Shadow-host cutover: staging the spare is the target boot plus a
+   per-VM skeleton pre-restore, all paid while the source serves; the
+   identity swap itself is a fixed ARP/route flip on top of the final
+   dirty set; reclaim tears the source copies down after the commit. *)
+let shadow_prestage_vm_seconds = 0.25
+
+let shadow_stage_seconds ~boot_seconds ~vms =
+  if boot_seconds < 0.0 then
+    invalid_arg "Costs.shadow_stage_seconds: negative boot time";
+  boot_seconds +. (shadow_prestage_vm_seconds *. float_of_int vms)
+
+let shadow_flip_seconds = 0.0005
+let shadow_reclaim_seconds ~vms = 0.5 +. (0.15 *. float_of_int vms)
+
 let straggler_deadline_seconds ~factor ~expected =
   if factor < 1.0 then
     invalid_arg "Costs.straggler_deadline_seconds: factor below 1.0";

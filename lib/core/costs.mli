@@ -56,6 +56,28 @@ val straggler_deadline_seconds : factor:float -> expected:float -> float
     exceeds this.  Raises [Invalid_argument] if [factor < 1.0] or
     [expected < 0.0]. *)
 
+(** {1 Shadow-host cutover terms}
+
+    The stage and reclaim phases of shadow-host MigrationTP run while
+    the source keeps serving, so these terms never touch the downtime
+    model; only {!shadow_flip_seconds} is charged inside the cutover
+    window. *)
+
+val shadow_stage_seconds : boot_seconds:float -> vms:int -> float
+(** Staging the spare: target-hypervisor boot plus a per-VM skeleton
+    pre-restore (0.25 s each).  Pass [boot_seconds = 0.0] for a
+    pre-staged spare whose hypervisor already runs.  Raises
+    [Invalid_argument] on a negative boot time. *)
+
+val shadow_flip_seconds : float
+(** The identity swap itself — gratuitous ARP plus route flip — paid
+    inside the cutover downtime on top of the final dirty set and the
+    swap handshake round-trips. *)
+
+val shadow_reclaim_seconds : vms:int -> float
+(** Tearing the source copies down after a committed swap (paid after
+    the VMs already run on the spare). *)
+
 (** {1 Memoisation of per-host estimates}
 
     Campaign planning calls the estimators above once per host with a

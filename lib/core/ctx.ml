@@ -12,6 +12,10 @@ type audit_config = { audit_scrub : bool }
 
 let audit_default = { audit_scrub = true }
 
+type shadow_config = { shadow_ladder : bool }
+
+let shadow_default = { shadow_ladder = true }
+
 type t = {
   options : Options.t;  (** InPlaceTP optimisation toggles *)
   rng : Sim.Rng.t option;  (** [None] means each engine's default stream *)
@@ -21,14 +25,18 @@ type t = {
   audit : audit_config option;
       (** [Some _] arms the post-commit residual audit; [None] (the
           default) skips it, keeping default runs byte-identical *)
+  shadow : shadow_config option;
+      (** shadow-host cutover policy; [None] means the engine default
+          ({!shadow_default}: the degradation ladder enabled) *)
 }
 
 let default =
   { options = Options.default; rng = None; fault = None; obs = None;
-    metrics = None; audit = None }
+    metrics = None; audit = None; shadow = None }
 
-let make ?(options = Options.default) ?rng ?fault ?obs ?metrics ?audit () =
-  { options; rng; fault; obs; metrics; audit }
+let make ?(options = Options.default) ?rng ?fault ?obs ?metrics ?audit ?shadow
+    () =
+  { options; rng; fault; obs; metrics; audit; shadow }
 
 let with_options options t = { t with options }
 let with_rng rng t = { t with rng = Some rng }
@@ -36,8 +44,9 @@ let with_fault fault t = { t with fault = Some fault }
 let with_obs obs t = { t with obs = Some obs }
 let with_metrics metrics t = { t with metrics = Some metrics }
 let with_audit audit t = { t with audit = Some audit }
+let with_shadow shadow t = { t with shadow = Some shadow }
 
-let resolve ?ctx ?options ?rng ?fault ?obs ?metrics ?audit () =
+let resolve ?ctx ?options ?rng ?fault ?obs ?metrics ?audit ?shadow () =
   let base = match ctx with Some c -> c | None -> default in
   {
     options = (match options with Some o -> o | None -> base.options);
@@ -46,4 +55,5 @@ let resolve ?ctx ?options ?rng ?fault ?obs ?metrics ?audit () =
     obs = (match obs with Some _ -> obs | None -> base.obs);
     metrics = (match metrics with Some _ -> metrics | None -> base.metrics);
     audit = (match audit with Some _ -> audit | None -> base.audit);
+    shadow = (match shadow with Some _ -> shadow | None -> base.shadow);
   }

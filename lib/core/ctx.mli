@@ -27,6 +27,17 @@ type audit_config = {
 val audit_default : audit_config
 (** Scrub enabled. *)
 
+type shadow_config = {
+  shadow_ladder : bool;
+      (** walk the strategy-degradation ladder on a pre-swap abort
+          (shadow -> classic MigrationTP -> defer, the default);
+          [false] turns every abort into a defer — the source keeps its
+          VMs and the exposure is accounted, nothing else runs *)
+}
+
+val shadow_default : shadow_config
+(** Ladder enabled. *)
+
 type t = {
   options : Options.t;
   rng : Sim.Rng.t option;
@@ -38,6 +49,9 @@ type t = {
           {!Inplace.run} and {!Migrate.run}; [None] (the default) skips
           it entirely, so default runs stay byte-identical to previous
           releases *)
+  shadow : shadow_config option;
+      (** shadow-host cutover policy for {!Migrate.run_shadow}; [None]
+          (the default) means {!shadow_default} *)
 }
 
 val default : t
@@ -47,7 +61,7 @@ val default : t
 val make :
   ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
   ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> ?audit:audit_config ->
-  unit -> t
+  ?shadow:shadow_config -> unit -> t
 
 val with_options : Options.t -> t -> t
 val with_rng : Sim.Rng.t -> t -> t
@@ -55,11 +69,12 @@ val with_fault : Fault.t -> t -> t
 val with_obs : Obs.Tracer.t -> t -> t
 val with_metrics : Obs.Metrics.t -> t -> t
 val with_audit : audit_config -> t -> t
+val with_shadow : shadow_config -> t -> t
 
 val resolve :
   ?ctx:t -> ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
   ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> ?audit:audit_config ->
-  unit -> t
+  ?shadow:shadow_config -> unit -> t
 (** Merge legacy optional arguments over [ctx] (default {!default});
     an explicit legacy argument wins over the [ctx] field.  Engines
     call this once at their boundary. *)

@@ -639,6 +639,531 @@ let run ?ctx ?rng ?fault ?(retry = default_retry) ?obs ?metrics
     audit_time = !audit_time;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Shadow-host MigrationTP: abort-safe pre-staged cutover.
+
+   The five-phase transaction (stage -> stream -> converge -> swap ->
+   reclaim) keeps every phase before the identity swap purely analytic
+   on the source side: the checkpoint stream and the replay rounds are
+   walked over the calibrated plan ([Migration.Shadow.attempt_stream])
+   without touching guest memory, so an abort at any pre-swap fault
+   site provably leaves the source byte-identical and running — the
+   handler just re-verifies the entry fingerprint.  Real data moves
+   only at commit, mirroring [run]'s stop-and-copy tail but with the
+   downtime shrunk to the final dirty set plus the swap handshake. *)
+
+type shadow_strategy =
+  | Shadow_cutover
+  | Classic_fallback of Fault.site
+  | Shadow_deferred of Fault.site
+
+let strategy_label = function
+  | Shadow_cutover -> "shadow_cutover"
+  | Classic_fallback _ -> "classic_fallback"
+  | Shadow_deferred _ -> "deferred"
+
+let pp_shadow_strategy fmt = function
+  | Shadow_cutover -> Format.pp_print_string fmt "shadow cutover"
+  | Classic_fallback s ->
+    Format.fprintf fmt "classic fallback (%a)" Fault.pp_site s
+  | Shadow_deferred s -> Format.fprintf fmt "deferred (%a)" Fault.pp_site s
+
+type shadow_vm = {
+  sv_name : string;
+  sv_plan : Migration.Shadow.plan option;
+  sv_downtime : Sim.Time.t;
+  sv_wire_bytes : Hw.Units.bytes_;
+  sv_state_bytes : int;
+}
+
+type shadow_report = {
+  sh_src_hv : string;
+  sh_target_hv : string;
+  sh_spare : string;
+  sh_strategy : shadow_strategy;
+  sh_phases : (Migration.Shadow.phase * Sim.Time.t) list;
+  sh_per_vm : shadow_vm list;
+  sh_downtime : Sim.Time.t;
+  sh_wire_bytes : Hw.Units.bytes_;
+  sh_shadow_time : Sim.Time.t;
+  sh_total_time : Sim.Time.t;
+  sh_source_intact : bool;
+  sh_watchdog_trips : int;
+  sh_watchdog_cancels : int;
+  sh_checks : checks option;
+  sh_classic : report option;
+}
+
+exception Shadow_abort of Fault.site
+
+let run_shadow ?ctx ?rng ?fault ?(retry = default_retry) ?obs ?metrics ?params
+    ?ladder ~(src : Hv.Host.t) ~(spare : Hv.Host.t) ~target ?vm_names () =
+  let module T = (val target : Hv.Intf.S) in
+  let c = Ctx.resolve ?ctx ?rng ?fault ?obs ?metrics () in
+  let rng =
+    match c.Ctx.rng with Some r -> r | None -> Sim.Rng.create 0x5AD0L
+  in
+  let fault = c.Ctx.fault in
+  let metrics = c.Ctx.metrics in
+  let obs = Option.map Otrace.attach c.Ctx.obs in
+  let ladder =
+    match ladder with
+    | Some b -> b
+    | None -> (
+      match c.Ctx.shadow with
+      | Some s -> s.Ctx.shadow_ladder
+      | None -> Ctx.shadow_default.Ctx.shadow_ladder)
+  in
+  let (Hv.Host.Packed ((module S), _, _)) = Hv.Host.running_exn src in
+  let vm_names =
+    match vm_names with Some l -> l | None -> Hv.Host.vm_names src
+  in
+  if vm_names = [] then invalid_arg "Migrate.run_shadow: no VMs";
+  List.iter
+    (fun n ->
+      if Hv.Host.find_vm src n = None then
+        invalid_arg ("Migrate.run_shadow: unknown VM " ^ n))
+    vm_names;
+  (match Hv.Host.hypervisor_kind spare with
+  | Some k when not (Hv.Kind.equal k T.kind) ->
+    invalid_arg "Migrate.run_shadow: spare runs a different hypervisor"
+  | Some _ | None -> ());
+  if Hv.Host.vm_names spare <> [] then
+    invalid_arg "Migrate.run_shadow: spare is not empty";
+  Log.info (fun m ->
+      m "shadow MigrationTP %s -> %s (spare %s): %d VMs" S.name T.name
+        spare.Hv.Host.host_name (List.length vm_names));
+  let streams = List.length vm_names in
+  let nic = src.Hv.Host.machine.Hw.Machine.nic in
+  let sparams =
+    match params with
+    | Some p -> p
+    | None -> Migration.Shadow.default_params ~nic ~streams ()
+  in
+  let page_bytes = Hw.Units.page_size_4k in
+  let per_page =
+    Migration.Precopy.page_time sparams.Migration.Shadow.precopy ~page_bytes
+  in
+  let note_fault ?vm site =
+    Log.warn (fun m ->
+        m "fault injected at %a%s" Fault.pp_site site
+          (match vm with Some n -> " (" ^ n ^ ")" | None -> ""));
+    Otrace.count metrics
+      ~labels:
+        [ ("engine", "shadow");
+          ("site", Format.asprintf "%a" Fault.pp_site site) ]
+      "hypertp_faults_total"
+  in
+  let fire ?vm site =
+    match fault with
+    | Some f ->
+      let fired = Fault.fire f ?vm site in
+      if fired then note_fault ?vm site;
+      fired
+    | None -> false
+  in
+  (* The watchdog engine: one private discrete-event engine for the
+     whole run; the timer hook keeps the fire/cancel ledger the report
+     exposes. *)
+  let engine = Sim.Engine.create () in
+  let trips = ref 0 and cancels = ref 0 in
+  Sim.Engine.set_timer_hook engine (fun _ -> function
+    | `Fired -> incr trips
+    | `Cancelled -> incr cancels);
+  (* Source fingerprint at entry: the abort contract is re-verified
+     against this, never assumed. *)
+  let entry =
+    List.map
+      (fun n ->
+        let vm = Option.get (Hv.Host.find_vm src n) in
+        (n, Vmstate.Guest_mem.checksum vm.Vmstate.Vm.mem))
+      vm_names
+  in
+  let source_intact () =
+    Hv.Host.management_consistent src
+    && List.for_all
+         (fun (n, sum) ->
+           match Hv.Host.find_vm src n with
+           | None -> false
+           | Some vm ->
+             Vmstate.Vm.is_running vm
+             && Int64.equal (Vmstate.Guest_mem.checksum vm.Vmstate.Vm.mem) sum)
+         entry
+  in
+  let stage_t = ref Sim.Time.zero in
+  let stream_t = ref Sim.Time.zero in
+  let converge_t = ref Sim.Time.zero in
+  let swap_t = ref Sim.Time.zero in
+  let reclaim_t = ref Sim.Time.zero in
+  let per_vm = ref [] in
+  let wire = ref 0 in
+  let downtime = ref Sim.Time.zero in
+  let cutover_checks = ref None in
+  let classic = ref None in
+  let finish strategy ~intact =
+    let phases =
+      [ (Migration.Shadow.Stage, !stage_t); (Migration.Shadow.Stream, !stream_t);
+        (Migration.Shadow.Converge, !converge_t);
+        (Migration.Shadow.Swap, !swap_t);
+        (Migration.Shadow.Reclaim, !reclaim_t) ]
+    in
+    let shadow_time =
+      List.fold_left (fun acc (_, d) -> Sim.Time.add acc d) Sim.Time.zero
+        phases
+    in
+    let classic_r = !classic in
+    let classic_wire =
+      match classic_r with
+      | None -> 0
+      | Some r ->
+        List.fold_left (fun acc (v : vm_report) -> acc + v.wire_bytes) 0
+          r.per_vm
+    in
+    let downtime =
+      match classic_r with
+      | None -> !downtime
+      | Some r ->
+        List.fold_left
+          (fun acc (v : vm_report) -> Sim.Time.max acc v.downtime)
+          Sim.Time.zero r.per_vm
+    in
+    let total_time =
+      match classic_r with
+      | None -> shadow_time
+      | Some r -> Sim.Time.add shadow_time r.total_time
+    in
+    (* Phase spans laid back-to-back from t=0 on the shadow track: the
+       root's extent equals the sum of the five phases exactly, so the
+       trace reconciles with [sh_shadow_time] to the nanosecond. *)
+    let track = "shadow:" ^ src.Hv.Host.host_name in
+    let root =
+      Otrace.start obs ~at:Sim.Time.zero ~track
+        ~attrs:
+          [ ("engine", "shadow"); ("src", src.Hv.Host.host_name);
+            ("spare", spare.Hv.Host.host_name);
+            ("strategy", strategy_label strategy);
+            ("source_intact", string_of_bool intact) ]
+        ("shadow:" ^ src.Hv.Host.host_name)
+    in
+    let cursor = ref Sim.Time.zero in
+    List.iter
+      (fun (p, d) ->
+        let until = Sim.Time.add !cursor d in
+        ignore
+          (Otrace.span obs ~at:!cursor ~until ?parent:root ~track
+             (Migration.Shadow.phase_to_string p));
+        (match p with
+        | Migration.Shadow.Swap when strategy = Shadow_cutover ->
+          Otrace.event root ~at:!cursor "identity_swap"
+        | _ -> ());
+        cursor := until)
+      phases;
+    (match strategy with
+    | Shadow_cutover -> ()
+    | Classic_fallback site | Shadow_deferred site ->
+      Otrace.event root ~at:shadow_time ("abort:" ^ Fault.site_to_string site));
+    Otrace.finish obs root ~at:shadow_time;
+    let labels = [ ("engine", "shadow") ] in
+    Otrace.count metrics
+      ~labels:(labels @ [ ("strategy", strategy_label strategy) ])
+      "hypertp_shadow_total";
+    Otrace.count metrics
+      ~by:(float_of_int (!wire + classic_wire))
+      ~labels "hypertp_wire_bytes_total";
+    if !trips > 0 then
+      Otrace.count metrics ~by:(float_of_int !trips) ~labels
+        "hypertp_watchdog_trips_total";
+    if !cancels > 0 then
+      Otrace.count metrics ~by:(float_of_int !cancels) ~labels
+        "hypertp_watchdog_cancels_total";
+    (match strategy with
+    | Shadow_cutover ->
+      Otrace.observe metrics ~labels ~buckets:Otrace.seconds_buckets
+        "hypertp_downtime_seconds"
+        (Sim.Time.to_sec_f downtime)
+    | Classic_fallback _ | Shadow_deferred _ -> ());
+    Log.info (fun m ->
+        m "shadow %s: %a (total %a, downtime %a)" src.Hv.Host.host_name
+          pp_shadow_strategy strategy Sim.Time.pp total_time Sim.Time.pp
+          downtime);
+    {
+      sh_src_hv = S.name;
+      sh_target_hv = T.name;
+      sh_spare = spare.Hv.Host.host_name;
+      sh_strategy = strategy;
+      sh_phases = phases;
+      sh_per_vm = !per_vm;
+      sh_downtime = downtime;
+      sh_wire_bytes = !wire + classic_wire;
+      sh_shadow_time = shadow_time;
+      sh_total_time = total_time;
+      sh_source_intact = intact;
+      sh_watchdog_trips = !trips;
+      sh_watchdog_cancels = !cancels;
+      sh_checks = !cutover_checks;
+      sh_classic = classic_r;
+    }
+  in
+  try
+    (* --- stage: admission + booting the target on the spare.  The
+       spare-pool check comes first — without a spare there is nothing
+       to stage (and nothing for classic MigrationTP to land on
+       either, so this site always defers). *)
+    if fire Fault.Spare_exhausted then
+      raise (Shadow_abort Fault.Spare_exhausted);
+    let booted =
+      match Hv.Host.hypervisor_kind spare with
+      | Some _ -> false (* pre-staged pool: already running the target *)
+      | None ->
+        Hv.Host.boot_hypervisor spare (module T : Hv.Intf.S);
+        true
+    in
+    stage_t :=
+      Sim.Time.scale (Sim.Rng.jitter rng 0.02)
+        (Sim.Time.of_sec_f
+           (Costs.shadow_stage_seconds
+              ~boot_seconds:
+                (if booted then
+                   Sim.Time.to_sec_f sparams.Migration.Shadow.stage_boot
+                 else 0.0)
+              ~vms:streams));
+    (* The boot itself succeeded; what can still fail is pre-staging
+       the VM skeletons on the freshly booted target. *)
+    if fire Fault.Shadow_stage_fail then
+      raise (Shadow_abort Fault.Shadow_stage_fail);
+    (* --- stream + converge: every VM walks the analytic checkpoint
+       stream concurrently (the link model already divides the
+       bandwidth across [streams]); the engine watchdog re-derives each
+       verdict from cancellable deadline timers. *)
+    let outcomes =
+      List.map
+        (fun n ->
+          let vm = Option.get (Hv.Host.find_vm src n) in
+          let cfg = vm.Vmstate.Vm.config in
+          let total_pages = Hw.Units.frames_of_bytes cfg.Vmstate.Vm.ram in
+          let dirty =
+            Workload.Profile.dirty_pages_per_sec cfg.Vmstate.Vm.workload
+              ~ram:cfg.Vmstate.Vm.ram ~page_kind:cfg.Vmstate.Vm.page_kind
+          in
+          let outcome =
+            Migration.Shadow.attempt_stream sparams ?fault ~vm:n ~page_bytes
+              ~total_pages ~dirty_pages_per_sec:dirty ()
+          in
+          (n, vm, total_pages, dirty, outcome))
+        vm_names
+    in
+    let dropped = ref None in
+    let diverged = ref None in
+    List.iter
+      (fun (n, _vm, total_pages, dirty, outcome) ->
+        let stream_dur =
+          Sim.Time.of_sec_f (float_of_int total_pages *. per_page)
+        in
+        match outcome with
+        | Migration.Shadow.Stream_dropped { drop_round; spent; wasted_bytes }
+          ->
+          (* Only the stream-drop fault site produces this outcome. *)
+          note_fault ~vm:n Fault.Shadow_stream_drop;
+          Log.warn (fun m ->
+              m "%s: checkpoint stream died in round %d" n drop_round);
+          if drop_round = 0 then stream_t := Sim.Time.max !stream_t spent
+          else begin
+            stream_t := Sim.Time.max !stream_t stream_dur;
+            converge_t :=
+              Sim.Time.max !converge_t (Sim.Time.sub spent stream_dur)
+          end;
+          wire := !wire + wasted_bytes;
+          per_vm :=
+            !per_vm
+            @ [ { sv_name = n; sv_plan = None; sv_downtime = Sim.Time.zero;
+                  sv_wire_bytes = wasted_bytes; sv_state_bytes = 0 } ];
+          if !dropped = None then dropped := Some n
+        | Migration.Shadow.Stream_ok p | Migration.Shadow.Stream_diverged p ->
+          let rounds =
+            (p.Migration.Shadow.stream_round
+            :: p.Migration.Shadow.replay_rounds)
+            @
+            match p.Migration.Shadow.violator with
+            | Some v -> [ v ]
+            | None -> []
+          in
+          let w = Migration.Shadow.run_watchdog sparams ~engine ~rounds in
+          (match (w, p.Migration.Shadow.verdict) with
+          | Migration.Shadow.Watchdog_passed wall, _ ->
+            (* Converging, or the replay budget ran dry with every
+               round still shrinking (no violator to trip on). *)
+            stream_t := Sim.Time.max !stream_t p.Migration.Shadow.stream_time;
+            converge_t :=
+              Sim.Time.max !converge_t (Sim.Time.sub wall stream_dur)
+          | ( Migration.Shadow.Watchdog_tripped { trip_round; wall },
+              Migration.Shadow.Diverging i ) ->
+            (* The engine watchdog and the analytic verdict agree on
+               the violating round. *)
+            assert (trip_round = i);
+            stream_t := Sim.Time.max !stream_t p.Migration.Shadow.stream_time;
+            converge_t :=
+              Sim.Time.max !converge_t (Sim.Time.sub wall stream_dur)
+          | Migration.Shadow.Watchdog_tripped _, Migration.Shadow.Converging
+            ->
+            assert false);
+          wire := !wire + p.Migration.Shadow.wire_bytes;
+          per_vm :=
+            !per_vm
+            @ [ { sv_name = n; sv_plan = Some p; sv_downtime = Sim.Time.zero;
+                  sv_wire_bytes = p.Migration.Shadow.wire_bytes;
+                  sv_state_bytes = 0 } ];
+          (match outcome with
+          | Migration.Shadow.Stream_diverged _ ->
+            (* A naturally convergent workload only diverges when the
+               shadow_diverge site inflated its dirty rate. *)
+            if
+              Migration.Precopy.converges sparams.Migration.Shadow.precopy
+                ~page_bytes ~dirty_pages_per_sec:dirty
+            then note_fault ~vm:n Fault.Shadow_diverge;
+            Log.warn (fun m ->
+                m "%s: convergence watchdog tripped (%a)" n
+                  Migration.Shadow.pp_verdict p.Migration.Shadow.verdict);
+            if !diverged = None then diverged := Some n
+          | _ -> ()))
+      outcomes;
+    if !dropped <> None then raise (Shadow_abort Fault.Shadow_stream_drop);
+    if !diverged <> None then raise (Shadow_abort Fault.Shadow_diverge);
+    (* --- swap: the partition check strictly precedes the flip — a
+       partition detected during the handshake aborts with the source
+       still authoritative. *)
+    if fire Fault.Swap_partition then raise (Shadow_abort Fault.Swap_partition);
+    let checks_memory = ref true in
+    let checks_conns = ref true in
+    per_vm :=
+      List.map
+        (fun sv ->
+          let n = sv.sv_name in
+          let vm = Option.get (Hv.Host.find_vm src n) in
+          let cfg = vm.Vmstate.Vm.config in
+          let plan = Option.get sv.sv_plan in
+          (* The data path: replay over the VM's actual dirty bits
+             lands the shadow copy, then the flip moves only the final
+             dirty set and the platform state. *)
+          let dst_mem =
+            Vmstate.Guest_mem.create ~pmem:spare.Hv.Host.pmem
+              ~rng:spare.Hv.Host.rng ~bytes:cfg.Vmstate.Vm.ram
+              ~page_kind:cfg.Vmstate.Vm.page_kind ()
+          in
+          let live =
+            Migration.Precopy.run_live sparams.Migration.Shadow.precopy
+              ~src:vm.Vmstate.Vm.mem ~dst:dst_mem
+              ~dirty_pages_per_sec:
+                (Workload.Profile.dirty_pages_per_sec cfg.Vmstate.Vm.workload
+                   ~ram:cfg.Vmstate.Vm.ram ~page_kind:cfg.Vmstate.Vm.page_kind)
+              ~rng
+          in
+          assert live.Migration.Precopy.memory_equal;
+          Hv.Host.pause_vm src n;
+          let src_checksum = Vmstate.Guest_mem.checksum vm.Vmstate.Vm.mem in
+          let src_conns = Vmstate.Vm.total_tcp_connections vm in
+          let uisr = Hv.Host.to_uisr src n in
+          let state_bytes = Bytes.length (Uisr.Codec.encode uisr) in
+          ignore (Hv.Host.restore_from_uisr spare ~mem:dst_mem uisr);
+          Hv.Host.resume_vm spare n;
+          let dst_vm = Option.get (Hv.Host.find_vm spare n) in
+          if
+            not
+              (Int64.equal
+                 (Vmstate.Guest_mem.checksum dst_vm.Vmstate.Vm.mem)
+                 src_checksum)
+          then checks_memory := false;
+          if Vmstate.Vm.total_tcp_connections dst_vm <> src_conns then
+            checks_conns := false;
+          let vm_downtime =
+            Sim.Time.scale (Sim.Rng.jitter rng 0.03)
+              (Sim.Time.add plan.Migration.Shadow.cutover_downtime
+                 (Sim.Time.of_sec_f Costs.shadow_flip_seconds))
+          in
+          swap_t := Sim.Time.max !swap_t vm_downtime;
+          downtime := Sim.Time.max !downtime vm_downtime;
+          wire := !wire + state_bytes;
+          { sv with sv_downtime = vm_downtime;
+            sv_wire_bytes = sv.sv_wire_bytes + state_bytes; sv_state_bytes =
+            state_bytes })
+        !per_vm;
+    (* --- reclaim: the spare is authoritative; tear the source copies
+       down and verify both management planes. *)
+    List.iter (fun n -> Hv.Host.destroy_vm src n) vm_names;
+    reclaim_t :=
+      Sim.Time.scale (Sim.Rng.jitter rng 0.02)
+        (Sim.Time.of_sec_f (Costs.shadow_reclaim_seconds ~vms:streams));
+    cutover_checks :=
+      Some
+        {
+          memory_equal = !checks_memory;
+          connections_preserved = !checks_conns;
+          management_consistent =
+            Hv.Host.management_consistent src
+            && Hv.Host.management_consistent spare;
+          residual_clean = true;
+        };
+    finish Shadow_cutover ~intact:true
+  with Shadow_abort site ->
+    (* Every abort fires strictly before the identity swap: nothing
+       paused, nothing landed — verify rather than assume. *)
+    let intact = source_intact () in
+    if not intact then
+      Log.err (fun m ->
+          m "shadow abort at %a left the source damaged" Fault.pp_site site)
+    else
+      Log.warn (fun m ->
+          m "shadow aborted at %a: source intact, %s" Fault.pp_site site
+            (if site = Fault.Spare_exhausted || not ladder then
+               "deferring (exposure accounted)"
+             else "degrading to classic MigrationTP"));
+    if site = Fault.Spare_exhausted || not ladder then
+      finish (Shadow_deferred site) ~intact
+    else begin
+      classic :=
+        Some (run ~ctx:c ~rng ~retry ~src ~dst:spare ~vm_names ());
+      finish (Classic_fallback site) ~intact
+    end
+
+let pp_shadow_report fmt r =
+  Format.fprintf fmt "@[<v>shadow MigrationTP %s -> %s (spare %s): %a@,"
+    r.sh_src_hv r.sh_target_hv r.sh_spare pp_shadow_strategy r.sh_strategy;
+  Format.fprintf fmt "  phases:";
+  List.iter
+    (fun (p, d) ->
+      Format.fprintf fmt " %a=%a" Migration.Shadow.pp_phase p Sim.Time.pp d)
+    r.sh_phases;
+  Format.fprintf fmt "@,";
+  List.iter
+    (fun sv ->
+      match sv.sv_plan with
+      | Some p ->
+        Format.fprintf fmt
+          "  %s: %d replay rounds, %a; downtime %a, %a on wire@," sv.sv_name
+          (List.length p.Migration.Shadow.replay_rounds)
+          Migration.Shadow.pp_verdict p.Migration.Shadow.verdict Sim.Time.pp
+          sv.sv_downtime Hw.Units.pp_bytes sv.sv_wire_bytes
+      | None ->
+        Format.fprintf fmt "  %s: stream dropped, %a wasted@," sv.sv_name
+          Hw.Units.pp_bytes sv.sv_wire_bytes)
+    r.sh_per_vm;
+  (match r.sh_classic with
+  | Some c ->
+    Format.fprintf fmt "  classic fallback: total %a@," Sim.Time.pp
+      c.total_time
+  | None -> ());
+  Format.fprintf fmt
+    "  downtime %a, %a on wire, total %a; source_intact=%b watchdog \
+     trips=%d cancels=%d"
+    Sim.Time.pp r.sh_downtime Hw.Units.pp_bytes r.sh_wire_bytes Sim.Time.pp
+    r.sh_total_time r.sh_source_intact r.sh_watchdog_trips
+    r.sh_watchdog_cancels;
+  (match r.sh_checks with
+  | Some ck ->
+    Format.fprintf fmt "@,  checks: memory=%b conns=%b mgmt=%b"
+      ck.memory_equal ck.connections_preserved ck.management_consistent
+  | None -> ());
+  Format.fprintf fmt "@]"
+
 let pp_report fmt r =
   let kind =
     match r.kind with

@@ -137,3 +137,106 @@ val run :
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Shadow-host MigrationTP}
+
+    The abort-safe variant: pre-stage the target hypervisor on a spare
+    host, stream the checkpoint while the source serves traffic, replay
+    dirty state in bounded rounds and swap identities atomically.  The
+    five-phase transaction (stage -> stream -> converge -> swap ->
+    reclaim) keeps every pre-swap phase analytic on the source side, so
+    {e any} fault before the identity swap leaves the source
+    byte-identical and running — the abort handler re-verifies the
+    entry fingerprint and reports it as [sh_source_intact] rather than
+    assuming it. *)
+
+type shadow_strategy =
+  | Shadow_cutover  (** the swap committed; VMs run on the spare *)
+  | Classic_fallback of Fault.site
+      (** a pre-swap abort at this site degraded the run to classic
+          {!run} against the staged spare (its report is embedded) *)
+  | Shadow_deferred of Fault.site
+      (** no spare to land on (or the ladder is disabled): nothing ran,
+          the source keeps its VMs and the exposure window stays open *)
+
+type shadow_vm = {
+  sv_name : string;
+  sv_plan : Migration.Shadow.plan option;
+      (** [None] when the checkpoint stream died before a plan landed *)
+  sv_downtime : Sim.Time.t;  (** zero unless this VM cut over *)
+  sv_wire_bytes : Hw.Units.bytes_;
+      (** checkpoint + replay + platform state; for an aborted stream,
+          the bytes burnt before the drop *)
+  sv_state_bytes : int;  (** UISR platform payload; 0 before the swap *)
+}
+
+type shadow_report = {
+  sh_src_hv : string;
+  sh_target_hv : string;
+  sh_spare : string;  (** spare host name *)
+  sh_strategy : shadow_strategy;
+  sh_phases : (Migration.Shadow.phase * Sim.Time.t) list;
+      (** all five phases in order, zero where never reached; their sum
+          equals [sh_shadow_time] (and the root span's extent) exactly *)
+  sh_per_vm : shadow_vm list;
+  sh_downtime : Sim.Time.t;
+      (** max per-VM cutover downtime; the classic fallback's downtime
+          when degraded; zero when deferred *)
+  sh_wire_bytes : Hw.Units.bytes_;
+      (** shadow bytes (wasted ones included) plus the classic
+          fallback's, when it ran *)
+  sh_shadow_time : Sim.Time.t;  (** the five phases, summed *)
+  sh_total_time : Sim.Time.t;
+      (** [sh_shadow_time] plus the classic fallback's total *)
+  sh_source_intact : bool;
+      (** on an abort: the source management plane is consistent and
+          every VM is still running with its entry checksum (verified,
+          not assumed); vacuously [true] on a committed cutover *)
+  sh_watchdog_trips : int;  (** convergence-watchdog timers that fired *)
+  sh_watchdog_cancels : int;
+      (** deadline timers cancelled by in-time round completions *)
+  sh_checks : checks option;
+      (** cutover verification on the spare ([Some] only when the swap
+          committed; a degraded run's checks live in [sh_classic]) *)
+  sh_classic : report option;  (** the embedded classic fallback report *)
+}
+
+val run_shadow :
+  ?ctx:Ctx.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t -> ?retry:retry_params ->
+  ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t ->
+  ?params:Migration.Shadow.params -> ?ladder:bool -> src:Hv.Host.t ->
+  spare:Hv.Host.t -> target:(module Hv.Intf.S) -> ?vm_names:string list ->
+  unit -> shadow_report
+(** Shadow-host transplant of the named VMs (default: all) from [src]
+    onto [spare], which must be empty and either idle (the stage phase
+    boots [target] on it) or pre-staged with [target] already running.
+    [params] defaults to {!Migration.Shadow.default_params} over the
+    source NIC with one stream per VM.
+
+    [fault] arms the five shadow sites.  {!Fault.Spare_exhausted} hits
+    admission (before the spare is touched) and {e always} defers —
+    classic MigrationTP needs the same spare.  {!Fault.Shadow_stage_fail}
+    hits skeleton pre-staging after the target boots;
+    {!Fault.Shadow_stream_drop} and {!Fault.Shadow_diverge} hit the
+    stream/converge walk (divergence is detected by the engine-timer
+    watchdog, not asserted); {!Fault.Swap_partition} hits the handshake
+    strictly before the flip.  All five abort with the source verified
+    intact, then walk the degradation ladder: classic {!run} against
+    the staged spare when [ladder] (default from {!Ctx.t.shadow},
+    ultimately [true]), defer otherwise.
+
+    [obs] lays the five phase spans back-to-back from t=0 on the
+    [shadow:<src>] track under one root whose extent equals
+    [sh_shadow_time] to the nanosecond, with an [identity_swap] event
+    at the swap boundary or an [abort:<site>] event at the end;
+    [metrics] accumulates [hypertp_shadow_total] (by strategy),
+    [hypertp_wire_bytes_total], watchdog trip/cancel counters,
+    [hypertp_faults_total] and the [hypertp_downtime_seconds] histogram
+    (committed cutovers only).
+
+    Raises [Invalid_argument] if [src] has no running hypervisor or no
+    VMs, a VM name is unknown, or the spare is non-empty or runs a
+    hypervisor other than [target]. *)
+
+val pp_shadow_strategy : Format.formatter -> shadow_strategy -> unit
+val pp_shadow_report : Format.formatter -> shadow_report -> unit

@@ -12,6 +12,11 @@ type site =
   | Scrub_fail
   | Migration_link_drop
   | Migration_link_degrade
+  | Shadow_stage_fail
+  | Shadow_stream_drop
+  | Shadow_diverge
+  | Swap_partition
+  | Spare_exhausted
   | Host_crash
   | Host_timeout
   | Host_flap
@@ -25,7 +30,9 @@ let all_sites =
   [ Pram_build; Uisr_encode; Uisr_decode; Uisr_corrupt; Pram_corrupt;
     Kexec_load; Kexec_jump; Vm_restore;
     Mgmt_rebuild; Residual_leak; Scrub_fail;
-    Migration_link_drop; Migration_link_degrade; Host_crash;
+    Migration_link_drop; Migration_link_degrade;
+    Shadow_stage_fail; Shadow_stream_drop; Shadow_diverge; Swap_partition;
+    Spare_exhausted; Host_crash;
     Host_timeout; Host_flap; Controller_crash; Subctl_crash; Root_crash;
     Ctl_partition; Crash_during_resume ]
 
@@ -34,6 +41,10 @@ let engine_sites =
     Kexec_load; Kexec_jump; Vm_restore;
     Mgmt_rebuild; Residual_leak; Scrub_fail;
     Migration_link_drop; Migration_link_degrade; Host_crash ]
+
+let shadow_sites =
+  [ Shadow_stage_fail; Shadow_stream_drop; Shadow_diverge; Swap_partition;
+    Spare_exhausted ]
 
 let cluster_sites = [ Host_crash; Host_timeout; Host_flap; Controller_crash ]
 
@@ -54,6 +65,11 @@ let site_to_string = function
   | Scrub_fail -> "scrub_fail"
   | Migration_link_drop -> "migration_link_drop"
   | Migration_link_degrade -> "migration_link_degrade"
+  | Shadow_stage_fail -> "shadow_stage_fail"
+  | Shadow_stream_drop -> "shadow_stream_drop"
+  | Shadow_diverge -> "shadow_diverge"
+  | Swap_partition -> "swap_partition"
+  | Spare_exhausted -> "spare_exhausted"
   | Host_crash -> "host_crash"
   | Host_timeout -> "host_timeout"
   | Host_flap -> "host_flap"
@@ -72,7 +88,22 @@ let pre_pnr = function
   | Pram_build | Uisr_encode | Kexec_load -> true
   | Uisr_decode | Uisr_corrupt | Pram_corrupt | Kexec_jump | Vm_restore
   | Mgmt_rebuild | Residual_leak | Scrub_fail
-  | Migration_link_drop | Migration_link_degrade | Host_crash
+  | Migration_link_drop | Migration_link_degrade
+  | Shadow_stage_fail | Shadow_stream_drop | Shadow_diverge | Swap_partition
+  | Spare_exhausted | Host_crash
+  | Host_timeout | Host_flap | Controller_crash | Subctl_crash | Root_crash
+  | Ctl_partition | Crash_during_resume ->
+    false
+
+(* Every shadow-protocol site fires strictly before the identity swap:
+   aborting there must leave the source untouched and running. *)
+let shadow_pre_swap = function
+  | Shadow_stage_fail | Shadow_stream_drop | Shadow_diverge | Swap_partition
+  | Spare_exhausted ->
+    true
+  | Pram_build | Uisr_encode | Uisr_decode | Uisr_corrupt | Pram_corrupt
+  | Kexec_load | Kexec_jump | Vm_restore | Mgmt_rebuild | Residual_leak
+  | Scrub_fail | Migration_link_drop | Migration_link_degrade | Host_crash
   | Host_timeout | Host_flap | Controller_crash | Subctl_crash | Root_crash
   | Ctl_partition | Crash_during_resume ->
     false
@@ -202,6 +233,38 @@ let parse_trigger s =
 
 let valid_site_names () = String.concat "|" (List.map site_to_string all_sites)
 
+(* Plain Levenshtein over the short site names; the table is small
+   enough that a full matrix per candidate is fine. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let d = Array.make_matrix (la + 1) (lb + 1) 0 in
+  for i = 0 to la do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to lb do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to la do
+    for j = 1 to lb do
+      let cost = if Char.equal a.[i - 1] b.[j - 1] then 0 else 1 in
+      d.(i).(j) <-
+        Stdlib.min
+          (Stdlib.min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1))
+          (d.(i - 1).(j - 1) + cost)
+    done
+  done;
+  d.(la).(lb)
+
+let nearest_site s =
+  let s = String.lowercase_ascii s in
+  fst
+    (List.fold_left
+       (fun (best, bd) site ->
+         let name = site_to_string site in
+         let dist = edit_distance s name in
+         if dist < bd then (name, dist) else (best, bd))
+       ("", Stdlib.max_int) all_sites)
+
 let parse_injection s =
   match String.index_opt s ':' with
   | None ->
@@ -214,8 +277,8 @@ let parse_injection s =
     match site_of_string site_s with
     | None ->
       Error
-        (Printf.sprintf "unknown site %S (want one of %s)" site_s
-           (valid_site_names ()))
+        (Printf.sprintf "unknown site %S (did you mean %S? valid sites: %s)"
+           site_s (nearest_site site_s) (valid_site_names ()))
     | Some site -> (
       match parse_trigger trig_s with
       | Ok trigger -> Ok { site; trigger }

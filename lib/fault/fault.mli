@@ -40,6 +40,23 @@ type site =
           [Committed] *)
   | Migration_link_drop
   | Migration_link_degrade
+  | Shadow_stage_fail
+      (** pre-staging the target hypervisor on the spare host fails
+          (boot error, capability mismatch); nothing has left the
+          source *)
+  | Shadow_stream_drop
+      (** the checkpoint stream to the shadow dies mid-transfer; the
+          shadow's half-built state is discarded *)
+  | Shadow_diverge
+      (** the guest's dirty rate outruns the replay link; the
+          convergence watchdog must detect it and degrade the
+          strategy *)
+  | Swap_partition
+      (** the network partitions during the identity-swap handshake —
+          strictly before the flip, so the source keeps serving *)
+  | Spare_exhausted
+      (** no spare host with capacity is available at admission; the
+          shadow strategy cannot even stage *)
   | Host_crash
   | Host_timeout  (** a host upgrade hangs past its straggler deadline *)
   | Host_flap  (** a host fails, recovers, then fails again mid-upgrade *)
@@ -66,6 +83,14 @@ val engine_sites : site list
     MigrationTP); the one-fault-per-site exhaustive campaign iterates
     these. *)
 
+val shadow_sites : site list
+(** Sites consulted by the shadow-host MigrationTP engine
+    ({!Shadow_stage_fail}, {!Shadow_stream_drop}, {!Shadow_diverge},
+    {!Swap_partition}, {!Spare_exhausted}) — all strictly pre-swap, so
+    any of them firing must leave the source host untouched.  The
+    exhaustive [fault-campaign] sweep iterates these against the shadow
+    engine. *)
+
 val cluster_sites : site list
 (** Sites consulted by the cluster-level executors — the per-host
     fallback of [Cluster.Upgrade.execute_faulty] ([Host_crash]) and the
@@ -89,6 +114,16 @@ val pp_site : Format.formatter -> site -> unit
     kexec jump).  A fault at one of these aborts the transplant cleanly;
     anything else demands recovery on the target side. *)
 val pre_pnr : site -> bool
+
+val shadow_pre_swap : site -> bool
+(** Whether the site fires strictly before the shadow-host identity
+    swap.  True exactly for {!shadow_sites}: the abort-safety invariant
+    (source untouched and running) must hold at every one of them. *)
+
+val nearest_site : string -> string
+(** The valid site name closest (Levenshtein) to the given string —
+    used by the parse errors to suggest a correction for typos like
+    ["shadow_strean_drop"]. *)
 
 type trigger =
   | Nth_hit of int  (** fire on the nth hit of the site, 1-based *)

@@ -28,7 +28,23 @@ let page_time params ~page_bytes =
 let plan params ~page_bytes ~total_pages ~dirty_pages_per_sec =
   if total_pages <= 0 then invalid_arg "Precopy.plan: non-positive pages";
   if page_bytes <= 0 then invalid_arg "Precopy.plan: non-positive page size";
+  if not (Float.is_finite dirty_pages_per_sec) || dirty_pages_per_sec < 0.0
+  then invalid_arg "Precopy.plan: dirty rate must be finite and >= 0";
   let per_page = page_time params ~page_bytes in
+  (* A dirty rate at or above the link rate never shrinks the rounds:
+     iterating to the cap would silently plan a stop-and-copy of the
+     whole working set.  Refuse structurally — the shadow engine's
+     convergence watchdog is the layer that handles divergence (it
+     degrades to classic MigrationTP, then to defer). *)
+  if dirty_pages_per_sec *. per_page >= 1.0 then
+    Hypertp_error.raise_errorf ~site:"Precopy.plan"
+      ~hint:
+        "non-convergent workload: run it under the Migration.Shadow \
+         convergence watchdog (shadow_diverge degrades shadow -> classic \
+         -> defer)"
+      "dirty rate %.0f pages/s >= link rate %.0f pages/s: pre-copy cannot \
+       converge"
+      dirty_pages_per_sec (1.0 /. per_page);
   let rec iterate index to_send acc_rounds acc_time acc_pages =
     let duration_s = float_of_int to_send *. per_page in
     let round =

@@ -31,8 +31,19 @@ type plan = {
 val plan :
   params -> page_bytes:int -> total_pages:int -> dirty_pages_per_sec:float ->
   plan
-(** Closed-form iteration of the pre-copy recurrence. Raises
-    [Invalid_argument] on non-positive page counts. *)
+(** Closed-form iteration of the pre-copy recurrence.  A zero dirty
+    rate plans exactly one round (round 0 sends everything; nothing is
+    left for the stop-and-copy).  Raises [Invalid_argument] on
+    non-positive page counts or a negative/non-finite dirty rate, and
+    [Hypertp_error.Error] (site ["Precopy.plan"], hint naming the
+    {!Shadow} convergence watchdog) when the dirty rate meets or
+    exceeds the link rate — such a plan can never converge, and
+    silently iterating to the round cap would hide it. *)
+
+val page_time : params -> page_bytes:int -> float
+(** Seconds one page (plus framing) spends on one of the link's
+    streams — the recurrence's only physical constant, shared with the
+    {!Shadow} replay math. *)
 
 val converges : params -> page_bytes:int -> dirty_pages_per_sec:float -> bool
 (** Whether the dirty rate stays below the link rate (otherwise rounds

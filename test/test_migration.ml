@@ -39,12 +39,54 @@ let test_busy_vm_more_rounds () =
               < busy.Migration.Precopy.stop_copy_time)
 
 let test_round_cap_respected () =
-  (* A dirty rate the link cannot outrun: the cap must stop the loop. *)
+  (* A rate just under the link rate: rounds shrink too slowly to reach
+     the stop threshold, so the cap must stop the loop. *)
   let plan =
     Migration.Precopy.plan (params ()) ~page_bytes:4096 ~total_pages:gib_pages
-      ~dirty_pages_per_sec:1e9
+      ~dirty_pages_per_sec:28_000.0
   in
   checki "capped at max rounds" 5 (List.length plan.Migration.Precopy.rounds)
+
+let test_zero_dirty_single_round () =
+  (* An idle guest: round 0 sends everything and nothing is left. *)
+  let plan =
+    Migration.Precopy.plan (params ()) ~page_bytes:4096 ~total_pages:gib_pages
+      ~dirty_pages_per_sec:0.0
+  in
+  checki "exactly one round" 1 (List.length plan.Migration.Precopy.rounds);
+  checki "empty stop-and-copy" 0 plan.Migration.Precopy.final_pages
+
+let test_divergent_rate_structured_error () =
+  (* At or above the link rate the plan cannot converge: a structured
+     error pointing at the shadow watchdog, not a silent cap. *)
+  (match
+     Migration.Precopy.plan (params ()) ~page_bytes:4096
+       ~total_pages:gib_pages ~dirty_pages_per_sec:1e9
+   with
+  | _ -> Alcotest.fail "divergent plan must raise"
+  | exception Hypertp_error.Error err ->
+    Alcotest.check Alcotest.string "site" "Precopy.plan"
+      err.Hypertp_error.site;
+    checkb "hint names the watchdog" true
+      (match err.Hypertp_error.hint with
+      | Some h ->
+        let has needle =
+          let lh = String.length h and ln = String.length needle in
+          let rec at i =
+            i + ln <= lh && (String.sub h i ln = needle || at (i + 1))
+          in
+          at 0
+        in
+        has "watchdog" && has "shadow_diverge"
+      | None -> false));
+  (* Negative and non-finite rates are caller bugs, not divergence. *)
+  checkb "negative rejected" true
+    (match
+       Migration.Precopy.plan (params ()) ~page_bytes:4096
+         ~total_pages:gib_pages ~dirty_pages_per_sec:(-1.0)
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
 
 let test_converges_predicate () =
   checkb "idle converges" true
@@ -84,7 +126,9 @@ let prop_rounds_shrink =
 
 let prop_total_bytes_accounted =
   QCheck.Test.make ~name:"wire bytes = pages sent x (page size + overhead)"
-    QCheck.(pair (int_range 100 100_000) (int_range 1 50_000))
+    (* The dirty range stays below the 1 Gbps link rate (~28.9k 4 KiB
+       pages/s): at or above it, [plan] now refuses structurally. *)
+    QCheck.(pair (int_range 100 100_000) (int_range 1 25_000))
     (fun (pages, dirty) ->
       let p = params () in
       let plan =
@@ -199,6 +243,10 @@ let suites =
         Alcotest.test_case "idle converges fast" `Quick test_idle_vm_converges_fast;
         Alcotest.test_case "busy needs more rounds" `Quick test_busy_vm_more_rounds;
         Alcotest.test_case "round cap" `Quick test_round_cap_respected;
+        Alcotest.test_case "zero dirty rate = one round" `Quick
+          test_zero_dirty_single_round;
+        Alcotest.test_case "divergent rate = structured error" `Quick
+          test_divergent_rate_structured_error;
         Alcotest.test_case "convergence predicate" `Quick test_converges_predicate;
         Alcotest.test_case "stream sharing" `Quick test_stream_sharing_slows;
         Alcotest.test_case "copy memory" `Quick test_copy_memory;
