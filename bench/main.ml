@@ -35,6 +35,10 @@ let targets : (string * string * (unit -> unit)) list =
     ("shadow", "shadow-host cutover frontier: downtime vs spares vs wire \
                 (emits BENCH_shadow.json); accepts --hosts N",
      fun () -> Bench_shadow.run ());
+    ("cvestream",
+     "CVE-stream policy benchmark: cost-aware vs transplant-all vs defer-all \
+      (emits BENCH_cvestream.json); accepts --hosts/--tempo/--conc/--rate/--years",
+     fun () -> Bench_cvestream.run ());
     ("controlplane",
      "hierarchical control plane, calm vs crashed (emits \
       BENCH_controlplane.json)", Bench_controlplane.run);
@@ -45,7 +49,8 @@ let targets : (string * string * (unit -> unit)) list =
 let default_order =
   [ "table1"; "table2"; "table4"; "fig6"; "fig7"; "fig8"; "fig10"; "fig11"; "fig12";
     "table5"; "table6"; "fig13"; "fig14"; "tcb"; "memsep"; "ablation";
-    "repertoire"; "fleet"; "campaign"; "shadow"; "controlplane"; "micro" ]
+    "repertoire"; "fleet"; "campaign"; "shadow"; "cvestream"; "controlplane";
+    "micro" ]
 
 let run_target name =
   match List.find_opt (fun (n, _, _) -> String.equal n name) targets with
@@ -74,6 +79,55 @@ let () =
         exit 1
     in
     Bench_scale.run ~sizes ()
+  | "cvestream" :: (_ :: _ as rest) ->
+    (* Small mode for CI: bench cvestream --hosts 36 --conc 2 --tempo 16000 *)
+    let knobs =
+      let rec parse k = function
+        | [] -> k
+        | "--hosts" :: v :: tl -> (
+          match int_of_string_opt v with
+          | Some h when h >= 2 ->
+            parse { k with Bench_cvestream.k_hosts = h } tl
+          | _ ->
+            Format.eprintf "cvestream: --hosts expects an integer >= 2@.";
+            exit 1)
+        | "--conc" :: v :: tl -> (
+          match int_of_string_opt v with
+          | Some c when c >= 1 -> parse { k with Bench_cvestream.k_conc = c } tl
+          | _ ->
+            Format.eprintf "cvestream: --conc expects a positive integer@.";
+            exit 1)
+        | "--tempo" :: v :: tl -> (
+          match float_of_string_opt v with
+          | Some t when t > 0.0 ->
+            parse { k with Bench_cvestream.k_tempo = t } tl
+          | _ ->
+            Format.eprintf "cvestream: --tempo expects a positive float@.";
+            exit 1)
+        | "--rate" :: v :: tl -> (
+          match float_of_string_opt v with
+          | Some r when r > 0.0 ->
+            parse { k with Bench_cvestream.k_rate = r } tl
+          | _ ->
+            Format.eprintf "cvestream: --rate expects a positive float@.";
+            exit 1)
+        | "--years" :: v :: tl -> (
+          match float_of_string_opt v with
+          | Some y when y > 0.0 ->
+            parse { k with Bench_cvestream.k_years = y } tl
+          | _ ->
+            Format.eprintf "cvestream: --years expects a positive float@.";
+            exit 1)
+        | arg :: _ ->
+          Format.eprintf
+            "usage: cvestream [--hosts N] [--conc N] [--tempo F] [--rate F] \
+             [--years F] (got %s)@."
+            arg;
+          exit 1
+      in
+      parse Bench_cvestream.default_knobs rest
+    in
+    Bench_cvestream.run ~knobs ()
   | "shadow" :: (_ :: _ as rest) ->
     (* Single-size mode for CI: bench shadow --hosts 200 *)
     let hosts =

@@ -561,7 +561,8 @@ let fault_campaign_cmd =
       [ Fault.Migration_link_drop; Fault.Migration_link_degrade ];
     List.iter (row "shadow") Fault.shadow_sites;
     List.iter (row "campaign") Fault.cluster_sites;
-    List.iter (row "controlplane") Fault.controlplane_sites
+    List.iter (row "controlplane") Fault.controlplane_sites;
+    List.iter (row "stream") Fault.stream_sites
   in
   let rec run machine source target vms vcpus gib seed sweep list =
     if list then list_sites ()
@@ -644,6 +645,10 @@ let fault_campaign_cmd =
        hierarchical root/sub-controller supervisor): %s@."
       (String.concat ", "
          (List.map Fault.site_to_string Fault.controlplane_sites));
+    Format.printf
+      "stream sites (exercised by 'serve --fault' against the CVE-stream \
+       campaign service): %s@."
+      (String.concat ", " (List.map Fault.site_to_string Fault.stream_sites));
     if sweep then begin
       Format.printf "@.cluster sweep (10x10, host-crash probability):@.";
       Format.printf "%-6s %-9s %-10s %-10s %-10s %s@." "p" "failures"
@@ -992,6 +997,177 @@ let controlplane_cmd =
           $ fault_arg $ bundle_file $ resume_from $ timeline $ trace_out_arg
           $ metrics_out_arg)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let module S = Stream.Service in
+  let d = S.default_config in
+  let years =
+    Arg.(value & opt float d.S.years
+         & info [ "years" ] ~docv:"Y"
+             ~doc:"Virtual years of CVE traffic to serve.")
+  in
+  let hosts =
+    Arg.(value & opt int (d.S.mix.S.xen_hosts + d.S.mix.S.kvm_hosts)
+         & info [ "hosts" ] ~docv:"N"
+             ~doc:"Xen+KVM fleet size, split evenly (Xen gets the odd host).")
+  in
+  let bhyve_hosts =
+    Arg.(value & opt int d.S.mix.S.bhyve_hosts
+         & info [ "bhyve-hosts" ] ~docv:"N"
+             ~doc:"Hosts whose home hypervisor is bhyve, on top of \
+                   $(b,--hosts).")
+  in
+  let vms_per_host =
+    Arg.(value & opt int d.S.vms_per_host
+         & info [ "vms-per-host" ] ~docv:"N"
+             ~doc:"VMs riding through each host transplant.")
+  in
+  let rate =
+    Arg.(value & opt float d.S.rate_per_year
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Mean CVE arrivals per year across the taxonomy classes.")
+  in
+  let policy_conv =
+    let parse s =
+      match Stream.Policy.kind_of_string s with
+      | Some k -> Ok k
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown policy %S (expected %s)" s
+                (String.concat "|"
+                   (List.map Stream.Policy.kind_to_string
+                      Stream.Policy.all_kinds))))
+    in
+    Arg.conv (parse, Stream.Policy.pp_kind)
+  in
+  let policy =
+    Arg.(value & opt policy_conv d.S.policy
+         & info [ "policy" ] ~docv:"KIND"
+             ~doc:"Mitigation policy: $(b,cost-aware), $(b,transplant-all) \
+                   or $(b,defer-all).")
+  in
+  let tempo =
+    Arg.(value & opt float d.S.tempo
+         & info [ "tempo" ] ~docv:"F"
+             ~doc:"Operational stretch: one simulated campaign second \
+                   occupies F calendar seconds (maintenance windows, soak \
+                   gates).")
+  in
+  let concurrency =
+    Arg.(value & opt int d.S.concurrency
+         & info [ "concurrency" ] ~docv:"N"
+             ~doc:"Hosts upgraded in parallel within a campaign.")
+  in
+  let batch_days =
+    Arg.(value & opt float d.S.batch_days
+         & info [ "batch-days" ] ~docv:"D"
+             ~doc:"Admission tick: arrivals are drained every D virtual \
+                   days.")
+  in
+  let preempt =
+    Arg.(value & flag
+         & info [ "preempt" ]
+             ~doc:"Let every critical arrival preempt in-flight campaigns \
+                   on its population (otherwise only the \
+                   $(b,campaign_preempt) fault site does).")
+  in
+  let journal_file =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+             ~doc:"Write the service journal here (crash or success).")
+  in
+  let resume_from =
+    Arg.(value & opt (some string) None
+         & info [ "resume-from" ] ~docv:"PATH"
+             ~doc:"Resume a crashed service from this journal (config and \
+                   seed come from the journal; pass the same $(b,--fault) \
+                   specs as the original run).")
+  in
+  let run () years hosts bhyve_hosts vms_per_host rate policy tempo
+      concurrency batch_days preempt seed specs journal_file resume_from
+      trace_out metrics_out =
+    let config =
+      {
+        d with
+        S.years;
+        mix =
+          {
+            S.xen_hosts = (hosts + 1) / 2;
+            kvm_hosts = hosts / 2;
+            bhyve_hosts;
+          };
+        vms_per_host;
+        rate_per_year = rate;
+        policy;
+        tempo;
+        concurrency;
+        batch_days;
+        preempt;
+        seed;
+      }
+    in
+    let fault = fault_of_specs specs in
+    let obs, metrics = obs_of_paths trace_out metrics_out in
+    let write_journal j =
+      match journal_file with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (S.journal_to_string j);
+        close_out oc;
+        Format.printf "journal (%d entries) written to %s@."
+          (S.journal_length j) path
+    in
+    let result =
+      match resume_from with
+      | Some path ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let raw = really_input_string ic len in
+        close_in ic;
+        (match S.journal_of_string raw with
+        | Ok j -> S.resume ?fault ?obs ?metrics j
+        | Error e ->
+          Format.eprintf "cannot resume: %s@." e;
+          exit 1)
+      | None -> S.run ?fault ?obs ?metrics config
+    in
+    match result with
+    | S.Finished (r, j) ->
+      Format.printf "%a@." S.pp_report r;
+      write_journal j;
+      write_obs trace_out metrics_out obs metrics;
+      if r.S.uncovered_critical > 0 then begin
+        Format.eprintf
+          "serve: %d critical windows stayed uncovered though a campaign \
+           was cheaper@."
+          r.S.uncovered_critical;
+        exit 2
+      end
+    | S.Crashed j ->
+      Format.printf
+        "service crashed after %d journaled events; resume with \
+         --resume-from@."
+        (S.journal_length j);
+      write_journal j;
+      write_obs trace_out metrics_out obs metrics;
+      exit 3
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the CVE-stream campaign service: a seeded multi-year \
+             vulnerability stream against a static fleet, with cost-aware \
+             per-CVE decisions, contention-safe campaign booking, \
+             preemption and a crash-survivable journal (exit 2 if any \
+             critical window stayed uncovered though a campaign was \
+             cheaper, 3 on a controller crash)")
+    Term.(const run $ verbose_arg $ years $ hosts $ bhyve_hosts
+          $ vms_per_host $ rate $ policy $ tempo $ concurrency $ batch_days
+          $ preempt $ seed_arg $ fault_arg $ journal_file $ resume_from
+          $ trace_out_arg $ metrics_out_arg)
+
 (* --- fleet --- *)
 
 let fleet_cmd =
@@ -1105,7 +1281,7 @@ let () =
          (Cmd.group info
             [ cve_cmd; inplace_cmd; migrate_cmd; shadow_cmd; audit_cmd;
               memsep_cmd; cluster_cmd; campaign_cmd; controlplane_cmd;
-              respond_cmd; fleet_cmd; snapshot_cmd; fault_campaign_cmd;
+              respond_cmd; fleet_cmd; serve_cmd; snapshot_cmd; fault_campaign_cmd;
               verify_cmd; fuzz_cmd ]))
   with Hypertp.Error.Error e ->
     Format.eprintf "hypertp-cli: %s@." (Hypertp.Error.to_string e);

@@ -32,7 +32,7 @@ let simulate ?(hosts = 8) ?(vms_per_host = 4) ?window_days
         ~current:"xen" record
     with
     | Cve.Window.Transplant_to hv -> Option.get (Hv.Kind.of_string hv)
-    | Cve.Window.No_action ->
+    | Cve.Window.Wait_for_patch | Cve.Window.No_action ->
       Hypertp_error.raise_error ~site
         ~hint:"only critical CVEs against the running hypervisor trigger a \
                transplant"

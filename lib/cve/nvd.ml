@@ -254,6 +254,53 @@ let hardware_level =
 let is_hardware_level r =
   List.exists (fun h -> String.equal h.id r.id) hardware_level
 
+(* Attack-surface taxonomy (the hypercall-handler and cross-domain
+   studies in PAPERS.md).  Derived from the record itself so the Table 1
+   dataset and synthetic streams classify identically. *)
+type taxonomy = Hypercall_handlers | Device_emulation | Cross_domain
+
+let classify r =
+  if is_hardware_level r then Cross_domain
+  else
+    match r.category with
+    | Pv_mechanisms | Ioctl | Resource_mgmt -> Hypercall_handlers
+    | Toolstack -> Cross_domain
+    | Qemu -> ( match r.affects with Both -> Cross_domain | _ -> Device_emulation)
+    | Hardware_handling -> Device_emulation
+
+let taxonomy_to_string = function
+  | Hypercall_handlers -> "hypercall"
+  | Device_emulation -> "device"
+  | Cross_domain -> "cross-domain"
+
+let taxonomy_of_string = function
+  | "hypercall" -> Some Hypercall_handlers
+  | "device" -> Some Device_emulation
+  | "cross-domain" -> Some Cross_domain
+  | _ -> None
+
+let all_taxonomies = [ Hypercall_handlers; Device_emulation; Cross_domain ]
+
+let pp_taxonomy fmt t = Format.pp_print_string fmt (taxonomy_to_string t)
+
+type timed = {
+  body : record;
+  patch_delay_days : float;
+  tax : taxonomy;
+}
+
+let timed ?patch_delay_days r =
+  let patch_delay_days =
+    match patch_delay_days with
+    | Some d when d >= 0.0 -> d
+    | Some _ -> invalid_arg "Nvd.timed: negative patch delay"
+    | None -> (
+      match r.window_days with
+      | Some w -> float_of_int w
+      | None -> 30.0 (* the Xen reporters' 30-60 day estimate, low end *))
+  in
+  { body = r; patch_delay_days; tax = classify r }
+
 let affects_xen r = match r.affects with Xen_only | Both -> true | Kvm_only -> false
 let affects_kvm r = match r.affects with Kvm_only | Both -> true | Xen_only -> false
 

@@ -42,6 +42,48 @@ val hardware_level : record list
 
 val is_hardware_level : record -> bool
 
+(** {1 Attack-surface taxonomy}
+
+    The class axis used by the synthetic CVE streams ({!Stream.Gen}),
+    following the taxonomies in "Technical Information on
+    Vulnerabilities of Hypercall Handlers" and "Breaking Isolation"
+    (PAPERS.md): flaws reached through the hypercall/ioctl surface,
+    flaws in device emulation, and cross-domain flaws that traverse an
+    isolation boundary (toolstack, shared QEMU code affecting several
+    hypervisors, hardware-level escapes). *)
+
+type taxonomy = Hypercall_handlers | Device_emulation | Cross_domain
+
+val classify : record -> taxonomy
+(** Derived from the record's category and spread: PV mechanisms,
+    ioctls and resource management are hypercall-surface flaws; QEMU
+    and hardware mishandling are device emulation — except QEMU flaws
+    affecting {e both} hypervisors (VENOM-style shared code) and
+    hardware-level flaws, which are cross-domain. *)
+
+val taxonomy_to_string : taxonomy -> string
+val taxonomy_of_string : string -> taxonomy option
+val all_taxonomies : taxonomy list
+val pp_taxonomy : Format.formatter -> taxonomy -> unit
+
+(** {1 Timed records}
+
+    A record extended with the service-level facts the campaign stream
+    needs: the expected patch-availability delay and the taxonomy
+    class. *)
+
+type timed = {
+  body : record;
+  patch_delay_days : float;
+      (** expected days until the patched hypervisor can run in the
+          fleet; defaults to the documented window, or the Xen
+          reporters' 30-day low estimate when undocumented *)
+  tax : taxonomy;
+}
+
+val timed : ?patch_delay_days:float -> record -> timed
+(** Wrap a record.  Raises [Invalid_argument] on a negative delay. *)
+
 val affects_xen : record -> bool
 val affects_kvm : record -> bool
 
@@ -66,5 +108,11 @@ val category_breakdown :
     given severity, sorted by count descending. *)
 
 val find : string -> record option
+
+val vector_of : Cvss.severity -> int -> Cvss.vector
+(** The [i]-th representative CVSS v2 vector of the severity band
+    (wrapping); the synthetic stream generator draws from the same
+    pools as the Table 1 reconstruction. *)
+
 val pp_category : Format.formatter -> category -> unit
 val pp_record : Format.formatter -> record -> unit

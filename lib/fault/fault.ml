@@ -25,6 +25,8 @@ type site =
   | Root_crash
   | Ctl_partition
   | Crash_during_resume
+  | Cve_burst
+  | Campaign_preempt
 
 let all_sites =
   [ Pram_build; Uisr_encode; Uisr_decode; Uisr_corrupt; Pram_corrupt;
@@ -34,7 +36,7 @@ let all_sites =
     Shadow_stage_fail; Shadow_stream_drop; Shadow_diverge; Swap_partition;
     Spare_exhausted; Host_crash;
     Host_timeout; Host_flap; Controller_crash; Subctl_crash; Root_crash;
-    Ctl_partition; Crash_during_resume ]
+    Ctl_partition; Crash_during_resume; Cve_burst; Campaign_preempt ]
 
 let engine_sites =
   [ Pram_build; Uisr_encode; Uisr_decode; Uisr_corrupt; Pram_corrupt;
@@ -50,6 +52,8 @@ let cluster_sites = [ Host_crash; Host_timeout; Host_flap; Controller_crash ]
 
 let controlplane_sites =
   [ Subctl_crash; Root_crash; Ctl_partition; Crash_during_resume ]
+
+let stream_sites = [ Cve_burst; Campaign_preempt ]
 
 let site_to_string = function
   | Pram_build -> "pram_build"
@@ -78,6 +82,8 @@ let site_to_string = function
   | Root_crash -> "root_crash"
   | Ctl_partition -> "ctl_partition"
   | Crash_during_resume -> "crash_during_resume"
+  | Cve_burst -> "cve_burst"
+  | Campaign_preempt -> "campaign_preempt"
 
 let site_of_string s =
   List.find_opt (fun site -> String.equal (site_to_string site) s) all_sites
@@ -92,7 +98,7 @@ let pre_pnr = function
   | Shadow_stage_fail | Shadow_stream_drop | Shadow_diverge | Swap_partition
   | Spare_exhausted | Host_crash
   | Host_timeout | Host_flap | Controller_crash | Subctl_crash | Root_crash
-  | Ctl_partition | Crash_during_resume ->
+  | Ctl_partition | Crash_during_resume | Cve_burst | Campaign_preempt ->
     false
 
 (* Every shadow-protocol site fires strictly before the identity swap:
@@ -105,7 +111,7 @@ let shadow_pre_swap = function
   | Kexec_load | Kexec_jump | Vm_restore | Mgmt_rebuild | Residual_leak
   | Scrub_fail | Migration_link_drop | Migration_link_degrade | Host_crash
   | Host_timeout | Host_flap | Controller_crash | Subctl_crash | Root_crash
-  | Ctl_partition | Crash_during_resume ->
+  | Ctl_partition | Crash_during_resume | Cve_burst | Campaign_preempt ->
     false
 
 type trigger =

@@ -75,6 +75,15 @@ type site =
   | Crash_during_resume
       (** the recovering controller dies again mid-way through a journal
           replay — the double-fault case *)
+  | Cve_burst
+      (** the CVE stream generator compresses the next few inter-arrival
+          gaps — a disclosure burst (a VENOM-style audit wave) that
+          piles overlapping campaigns onto the fleet *)
+  | Campaign_preempt
+      (** the stream service preempts campaigns in flight when a
+          critical CVE lands on an already-busy population: unfinished
+          hosts are released back to the queue and the new campaign
+          books the population from now *)
 
 val all_sites : site list
 
@@ -105,6 +114,13 @@ val controlplane_sites : site list
     append, [Root_crash] per root supervisor heartbeat tick,
     [Ctl_partition] per heartbeat receipt, and [Crash_during_resume]
     per entry replayed during any journal recovery. *)
+
+val stream_sites : site list
+(** Sites consulted by the CVE-stream campaign service
+    ([Stream.Service] / [Stream.Gen]): [Cve_burst] per generated
+    arrival, [Campaign_preempt] per critical arrival that finds its
+    population busy.  [Controller_crash] is also consulted there (per
+    journal append), but it already belongs to {!cluster_sites}. *)
 
 val site_to_string : site -> string
 val site_of_string : string -> site option

@@ -1,0 +1,43 @@
+(** The per-CVE / per-population decision lattice.
+
+    Generalises {!Cve.Window.advise} to a living fleet: the advice says
+    whether somewhere safe exists; the policy decides whether going
+    there beats waiting out the patch delay, in exposed-host-hours. *)
+
+type kind =
+  | Cost_aware
+      (** transplant exactly when the realized campaign exposure
+          undercuts waiting for the patch — the per-episode minimum of
+          the two baselines below *)
+  | Transplant_all  (** move whenever a safe alternative exists *)
+  | Defer_all  (** never move; wait out every patch *)
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+val pp_kind : Format.formatter -> kind -> unit
+
+type action =
+  | Transplant of string  (** run a campaign onto this hypervisor *)
+  | Wait  (** deliberately wait: patch beats the campaign, or no risk *)
+  | Defer  (** exposed with no justification recorded *)
+
+val action_to_string : action -> string
+val action_of_string : string -> action option
+val pp_action : Format.formatter -> action -> unit
+
+val decide :
+  kind -> advice:Cve.Window.advice -> transplant_hh:float option ->
+  wait_hh:float -> action
+(** [transplant_hh] is the realized from-now exposure of the candidate
+    campaign (simulated by the service); [None] when no campaign was
+    priced (defer-all never prices one).  Cost-aware transplants on
+    strict improvement only, so a tie scores exactly the defer
+    exposure and the dominance bound survives. *)
+
+val scalar_transplant_hh :
+  hosts:int -> vms_per_host:int -> concurrency:int -> tempo:float -> float
+(** Simulation-free campaign-exposure estimate (expected host upgrade
+    x serial batches x tempo, average host covered at half the wall).
+    The coverage audit uses it to flag defers that a cheap campaign
+    would have covered. *)

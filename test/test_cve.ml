@@ -167,6 +167,104 @@ let test_advice () =
   checkb "medium: no transplant" true
     (Cve.Window.advise ~fleet ~current:"xen" medium = Cve.Window.No_action)
 
+(* Cost-aware advice: the wait-vs-transplant crossover.  With a 48
+   host-hour campaign and unit risk weight the break-even sits at
+   exactly 2 days of patch delay. *)
+let test_costed_crossover () =
+  let fleet = [ "xen"; "kvm"; "bhyve" ] in
+  checkf "48h cost, unit weight" 2.0
+    (Cve.Window.transplant_break_even_days ~transplant_cost_hours:48.0
+       ~risk_weight:1.0);
+  checkf "doubling the risk halves the break-even" 1.0
+    (Cve.Window.transplant_break_even_days ~transplant_cost_hours:48.0
+       ~risk_weight:2.0);
+  (match
+     Cve.Window.transplant_break_even_days ~transplant_cost_hours:(-1.0)
+       ~risk_weight:1.0
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative cost must be rejected");
+  let xen_only = Option.get (Cve.Nvd.find "CVE-2016-6258") in
+  let costed delay =
+    Cve.Window.advise_costed ~fleet ~current:"xen" ~transplant_cost_hours:48.0
+      (Cve.Nvd.timed ~patch_delay_days:delay xen_only)
+  in
+  checkb "at the break-even the patch wins" true
+    (costed 2.0 = Cve.Window.Wait_for_patch);
+  checkb "just past it the transplant wins" true
+    (costed 2.001 = Cve.Window.Transplant_to "kvm");
+  checkb "a coordinated same-week patch always wins" true
+    (costed 0.5 = Cve.Window.Wait_for_patch);
+  (* The crossover only refines a Transplant_to verdict. *)
+  let medium = Option.get (Cve.Nvd.find "CVE-2015-8104") in
+  checkb "medium stays no-action" true
+    (Cve.Window.advise_costed ~fleet ~current:"xen"
+       ~transplant_cost_hours:1000.0
+       (Cve.Nvd.timed ~patch_delay_days:100.0 medium)
+    = Cve.Window.No_action);
+  (* Raising the risk weight pulls the break-even below the delay. *)
+  checkb "risk weight flips the verdict" true
+    (Cve.Window.advise_costed ~fleet ~current:"xen" ~transplant_cost_hours:48.0
+       ~risk_weight:2.0
+       (Cve.Nvd.timed ~patch_delay_days:1.5 xen_only)
+    = Cve.Window.Transplant_to "kvm")
+
+let test_patch_delay_sampler () =
+  let rng = Sim.Rng.create 11L in
+  for _ = 1 to 200 do
+    let d = Cve.Window.sample_patch_delay ~rng () in
+    checkb "delay positive" true (d > 0.0)
+  done;
+  let rng = Sim.Rng.create 12L in
+  for _ = 1 to 100 do
+    let d = Cve.Window.sample_patch_delay ~rng ~coordinated_fraction:1.0 () in
+    checkb "coordinated delays ship with the advisory" true
+      (d >= 0.25 && d <= 3.0)
+  done;
+  let rng = Sim.Rng.create 13L in
+  let min_window =
+    float_of_int (List.fold_left Stdlib.min max_int (Cve.Window.empirical_windows ()))
+  in
+  for _ = 1 to 100 do
+    let d = Cve.Window.sample_patch_delay ~rng ~coordinated_fraction:0.0 () in
+    checkb "empirical delays stay near the documented windows" true
+      (d >= 0.8 *. min_window)
+  done;
+  match Cve.Window.sample_patch_delay ~rng ~coordinated_fraction:1.5 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fraction outside [0, 1] must be rejected"
+
+let test_taxonomy () =
+  (* Every dataset record lands in exactly one class, and the string
+     conversion round-trips. *)
+  List.iter
+    (fun r ->
+      let t = Cve.Nvd.classify r in
+      checkb "taxonomy round-trips" true
+        (Cve.Nvd.taxonomy_of_string (Cve.Nvd.taxonomy_to_string t) = Some t))
+    Cve.Nvd.all;
+  let venom = Option.get (Cve.Nvd.find "CVE-2015-3456") in
+  checkb "shared QEMU code is cross-domain" true
+    (Cve.Nvd.classify venom = Cve.Nvd.Cross_domain);
+  let meltdown = Option.get (Cve.Nvd.find "CVE-2017-5754") in
+  checkb "hardware-level flaws are cross-domain" true
+    (Cve.Nvd.classify meltdown = Cve.Nvd.Cross_domain);
+  (* The timed wrapper: documented window as the default delay, the
+     30-day low estimate otherwise, negatives rejected. *)
+  let xen_only = Option.get (Cve.Nvd.find "CVE-2016-6258") in
+  let t = Cve.Nvd.timed xen_only in
+  checkf "documented window is the default delay"
+    (float_of_int (Option.get xen_only.Cve.Nvd.window_days))
+    t.Cve.Nvd.patch_delay_days;
+  let undocumented =
+    { xen_only with Cve.Nvd.id = "CVE-2016-9999"; window_days = None }
+  in
+  checkf "30-day low estimate when undocumented" 30.0
+    (Cve.Nvd.timed undocumented).Cve.Nvd.patch_delay_days;
+  match Cve.Nvd.timed ~patch_delay_days:(-1.0) xen_only with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative delay must be rejected"
+
 let test_hardware_level_flaws () =
   checki "spectre v1/v2 + meltdown" 3 (List.length Cve.Nvd.hardware_level);
   (* Excluded from Table 1, per the paper's footnote. *)
@@ -221,6 +319,9 @@ let suites =
       [
         Alcotest.test_case "kvm window stats" `Quick test_kvm_window_stats;
         Alcotest.test_case "transplant advice" `Quick test_advice;
+        Alcotest.test_case "cost-aware crossover" `Quick test_costed_crossover;
+        Alcotest.test_case "patch-delay sampler" `Quick test_patch_delay_sampler;
+        Alcotest.test_case "attack-surface taxonomy" `Quick test_taxonomy;
         Alcotest.test_case "hardware-level flaws (Spectre/Meltdown)" `Quick
           test_hardware_level_flaws;
         Alcotest.test_case "transplants/year stays low" `Quick

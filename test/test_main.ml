@@ -11,4 +11,4 @@ let () =
    @ Test_hypertp.suites
    @ Test_cluster.suites @ Test_campaign.suites @ Test_controlplane.suites
    @ Test_ctx.suites
-   @ Test_extras.suites @ Test_obs.suites)
+   @ Test_extras.suites @ Test_obs.suites @ Test_stream.suites)

@@ -1,0 +1,424 @@
+(* Tests for the CVE-stream campaign service: generator determinism,
+   policy dominance, contention/preemption safety and journal
+   crash-resume. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let checkf msg = Alcotest.check (Alcotest.float 0.001) msg
+let qtest = QCheck_alcotest.to_alcotest
+
+let stream_to_string events =
+  String.concat "\n" (List.map Stream.Gen.event_to_string events)
+
+(* --- Gen --- *)
+
+let test_gen_deterministic () =
+  let a = Stream.Gen.generate Stream.Gen.default in
+  let b = Stream.Gen.generate Stream.Gen.default in
+  checks "same seed, same stream" (stream_to_string a) (stream_to_string b);
+  let c =
+    Stream.Gen.generate { Stream.Gen.default with Stream.Gen.seed = 7L }
+  in
+  checkb "different seed, different stream" false
+    (String.equal (stream_to_string a) (stream_to_string c))
+
+let test_gen_shape () =
+  let events = Stream.Gen.generate Stream.Gen.default in
+  let n = List.length events in
+  (* 5 years at 14/year: the Poisson total should land near 70. *)
+  checkb "plausible arrival count" true (n > 35 && n < 120);
+  let horizon = Stream.Gen.default.Stream.Gen.years *. 365.0 in
+  List.iteri
+    (fun i ev ->
+      checki "seq is position" i ev.Stream.Gen.seq;
+      checkb "day within horizon" true
+        (ev.Stream.Gen.day > 0.0 && ev.Stream.Gen.day <= horizon);
+      checkb "patch delay positive" true
+        (ev.Stream.Gen.cve.Cve.Nvd.patch_delay_days > 0.0))
+    events;
+  let days = List.map (fun e -> e.Stream.Gen.day) events in
+  checkb "chronological" true (List.sort Float.compare days = days)
+
+(* The attribution wheels must agree with the dataset's classifier:
+   whatever class scheduled the arrival is the class the record
+   classifies back into. *)
+let prop_gen_taxonomy_consistent =
+  QCheck.Test.make ~count:20 ~name:"generated records classify into their class"
+    QCheck.(map Int64.of_int small_int)
+    (fun seed ->
+      let events =
+        Stream.Gen.generate { Stream.Gen.default with Stream.Gen.seed }
+      in
+      List.for_all
+        (fun ev ->
+          Cve.Nvd.classify ev.Stream.Gen.cve.Cve.Nvd.body
+          = ev.Stream.Gen.cve.Cve.Nvd.tax)
+        events)
+
+let test_gen_burst () =
+  let plain = Stream.Gen.generate Stream.Gen.default in
+  let fault =
+    Fault.make [ { Fault.site = Fault.Cve_burst; trigger = Fault.Nth_hit 5 } ]
+  in
+  let burst = Stream.Gen.generate ~fault Stream.Gen.default in
+  checki "burst site consulted per arrival" (List.length burst)
+    (Fault.hits fault Fault.Cve_burst);
+  (* Compressing gaps only pulls events earlier: same or more arrivals
+     fit the horizon, and the 10th event lands strictly earlier. *)
+  checkb "at least as many arrivals" true
+    (List.length burst >= List.length plain);
+  let day n evs = (List.nth evs n).Stream.Gen.day in
+  checkb "events pulled earlier" true (day 9 burst < day 9 plain)
+
+let test_gen_validation () =
+  let expect_error cfg =
+    match Stream.Gen.generate cfg with
+    | exception Hypertp_error.Error _ -> ()
+    | _ -> Alcotest.fail "expected a config error"
+  in
+  expect_error { Stream.Gen.default with Stream.Gen.years = 0.0 };
+  expect_error { Stream.Gen.default with Stream.Gen.rate_per_year = -1.0 };
+  expect_error { Stream.Gen.default with Stream.Gen.critical_fraction = 1.5 };
+  expect_error { Stream.Gen.default with Stream.Gen.class_mix = [] };
+  expect_error
+    {
+      Stream.Gen.default with
+      Stream.Gen.class_mix = [ (Cve.Nvd.Cross_domain, 0.0) ];
+    }
+
+(* --- Service: determinism --- *)
+
+(* Small but busy: months-long campaigns (tempo) against a dense
+   stream, so queueing and policy differences are exercised. *)
+let small_config =
+  {
+    Stream.Service.default_config with
+    Stream.Service.mix =
+      { Stream.Service.xen_hosts = 6; kvm_hosts = 4; bhyve_hosts = 0 };
+    vms_per_host = 2;
+    years = 2.0;
+    rate_per_year = 24.0;
+    concurrency = 2;
+    tempo = 16000.0;
+    seed = 0xD15EA5EL;
+  }
+
+let run_clean ?fault cfg = Stream.Service.run_to_completion ?fault cfg
+
+let test_service_deterministic_pin () =
+  let r1, j1 = run_clean small_config in
+  let r2, j2 = run_clean small_config in
+  checks "byte-identical journals"
+    (Stream.Service.journal_to_string j1)
+    (Stream.Service.journal_to_string j2);
+  checks "byte-identical reports"
+    (Stream.Service.report_to_string r1)
+    (Stream.Service.report_to_string r2);
+  checkb "stream was served" true (r1.Stream.Service.cves_total > 10);
+  checkb "campaigns ran" true (r1.Stream.Service.campaigns > 0)
+
+let prop_service_deterministic =
+  QCheck.Test.make ~count:8 ~name:"same seed, byte-identical journal and report"
+    QCheck.(map Int64.of_int small_int)
+    (fun seed ->
+      let cfg = { small_config with Stream.Service.seed } in
+      let r1, j1 = run_clean cfg in
+      let r2, j2 = run_clean cfg in
+      String.equal
+        (Stream.Service.journal_to_string j1)
+        (Stream.Service.journal_to_string j2)
+      && String.equal
+           (Stream.Service.report_to_string r1)
+           (Stream.Service.report_to_string r2))
+
+(* --- Service: policy dominance --- *)
+
+let exposed policy cfg =
+  let r, _ = run_clean { cfg with Stream.Service.policy } in
+  r.Stream.Service.exposed_host_hours
+
+(* Cost-aware decisions are the exact per-episode minimum of the two
+   baselines' realized exposures (same cohorts, same campaign seeds,
+   monotone queueing), so the total can never exceed either. *)
+let prop_policy_dominance =
+  QCheck.Test.make ~count:8
+    ~name:"cost-aware never exceeds transplant-all or defer-all"
+    QCheck.(map Int64.of_int small_int)
+    (fun seed ->
+      let cfg = { small_config with Stream.Service.seed } in
+      let c = exposed Stream.Policy.Cost_aware cfg in
+      let t = exposed Stream.Policy.Transplant_all cfg in
+      let d = exposed Stream.Policy.Defer_all cfg in
+      let leq a b = a <= (b *. (1.0 +. 1e-9)) +. 1e-6 in
+      leq c t && leq c d)
+
+(* Under contention the bound goes strict: transplant-all wastes
+   population time on campaigns the patch beats, delaying later
+   critical coverage. *)
+let test_policy_dominance_strict () =
+  let cfg =
+    {
+      Stream.Service.default_config with
+      Stream.Service.mix =
+        { Stream.Service.xen_hosts = 20; kvm_hosts = 16; bhyve_hosts = 0 };
+      rate_per_year = 30.0;
+      concurrency = 2;
+      tempo = 16000.0;
+      seed = 0x5EEDL;
+    }
+  in
+  let c = exposed Stream.Policy.Cost_aware cfg in
+  let t = exposed Stream.Policy.Transplant_all cfg in
+  let d = exposed Stream.Policy.Defer_all cfg in
+  checkb "cost-aware strictly beats transplant-all" true (c < t);
+  checkb "cost-aware strictly beats defer-all" true (c < d)
+
+let test_uncovered_critical () =
+  let r_cost, _ =
+    run_clean { small_config with Stream.Service.policy = Stream.Policy.Cost_aware }
+  in
+  let r_defer, _ =
+    run_clean { small_config with Stream.Service.policy = Stream.Policy.Defer_all }
+  in
+  checki "cost-aware leaves no window uncovered" 0
+    r_cost.Stream.Service.uncovered_critical;
+  checkb "defer-all is flagged" true
+    (r_defer.Stream.Service.uncovered_critical > 0)
+
+(* --- Service: contention, preemption, bookings --- *)
+
+let overlap_free bookings =
+  List.for_all
+    (fun (_pop, intervals) ->
+      let sorted =
+        List.sort
+          (fun (_, s1, _) (_, s2, _) -> Float.compare s1 s2)
+          intervals
+      in
+      let rec ok = function
+        | (_, _, e1) :: ((_, s2, _) :: _ as tl) ->
+          e1 <= s2 +. 1e-6 && ok tl
+        | _ -> true
+      in
+      ok sorted)
+    bookings
+
+let preempt_config =
+  {
+    small_config with
+    Stream.Service.mix =
+      { Stream.Service.xen_hosts = 8; kvm_hosts = 4; bhyve_hosts = 0 };
+    rate_per_year = 40.0;
+    tempo = 30000.0;
+    track_bookings = true;
+  }
+
+let test_preemption_forced () =
+  let r, _ = run_clean { preempt_config with Stream.Service.preempt = true } in
+  checkb "contention triggered preemptions" true
+    (r.Stream.Service.preemptions > 0);
+  checkb "preempted hosts were released" true
+    (r.Stream.Service.released_hosts > 0);
+  checkb "bookings never overlap" true (overlap_free r.Stream.Service.bookings)
+
+let test_preemption_fault_site () =
+  let fault =
+    Fault.make
+      [ { Fault.site = Fault.Campaign_preempt; trigger = Fault.Nth_hit 1 } ]
+  in
+  let r, _ = run_clean ~fault preempt_config in
+  checki "the armed site preempted exactly once" 1
+    r.Stream.Service.preemptions;
+  checkb "bookings never overlap" true (overlap_free r.Stream.Service.bookings)
+
+(* Any preemption schedule — forced on every critical or fired
+   probabilistically by the fault site — leaves zero double-booked
+   hosts, and every journal prefix resumes to the same final state. *)
+let prop_preemption_safe =
+  QCheck.Test.make ~count:6
+    ~name:"preemption never double-books and journals stay resumable"
+    QCheck.(pair (map Int64.of_int small_int) bool)
+    (fun (seed, forced) ->
+      let cfg =
+        { preempt_config with Stream.Service.seed; preempt = forced }
+      in
+      let fault =
+        if forced then None
+        else
+          Some
+            (Fault.make ~seed
+               [ { Fault.site = Fault.Campaign_preempt;
+                   trigger = Fault.Probability 0.5 } ])
+      in
+      let r, j = run_clean ?fault cfg in
+      let text = Stream.Service.journal_to_string j in
+      (* Truncate the journal to a prefix and resume: the service must
+         replay the prefix and land on the same report. *)
+      let lines = String.split_on_char '\n' text in
+      let keep = 2 + (Stream.Service.journal_length j / 2) in
+      let prefix =
+        String.concat "\n"
+          (List.filteri (fun i _ -> i < keep) lines @ [ "" ])
+      in
+      match Stream.Service.journal_of_string prefix with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok truncated -> (
+        match
+          Stream.Service.resume
+            ?fault:(Option.map Fault.restart fault)
+            truncated
+        with
+        | Stream.Service.Crashed _ ->
+          QCheck.Test.fail_report "resume crashed without a crash site"
+        | Stream.Service.Finished (r2, j2) ->
+          overlap_free r.Stream.Service.bookings
+          && String.equal
+               (Stream.Service.report_to_string r)
+               (Stream.Service.report_to_string r2)
+          && String.equal text (Stream.Service.journal_to_string j2)))
+
+(* --- Service: crash and resume --- *)
+
+let test_crash_resume () =
+  let fault =
+    Fault.make
+      [ { Fault.site = Fault.Controller_crash; trigger = Fault.Nth_hit 10 } ]
+  in
+  (match Stream.Service.run ~fault small_config with
+  | Stream.Service.Finished _ -> Alcotest.fail "expected a crash"
+  | Stream.Service.Crashed j ->
+    checki "journal holds the pre-crash entries" 10
+      (Stream.Service.journal_length j);
+    (* The full loop reaches the same end state as a fault-free run
+       (journals carry fault cursors, so byte-identity is against a
+       second crash-and-resume loop under a fresh copy of the plan). *)
+    let r_clean, _ = run_clean small_config in
+    let r, j' =
+      Stream.Service.run_to_completion ~fault:(Fault.restart fault)
+        small_config
+    in
+    checks "report survives the crash"
+      (Stream.Service.report_to_string r_clean)
+      (Stream.Service.report_to_string r);
+    let _, j'' =
+      Stream.Service.run_to_completion ~fault:(Fault.restart fault)
+        small_config
+    in
+    checks "journal survives the crash"
+      (Stream.Service.journal_to_string j'')
+      (Stream.Service.journal_to_string j'))
+
+let test_journal_roundtrip () =
+  let _, j = run_clean small_config in
+  let text = Stream.Service.journal_to_string j in
+  match Stream.Service.journal_of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok j2 ->
+    checks "text round-trips" text (Stream.Service.journal_to_string j2);
+    checki "length preserved"
+      (Stream.Service.journal_length j)
+      (Stream.Service.journal_length j2);
+    (* Resuming a complete journal replays it and finishes identically. *)
+    (match Stream.Service.resume j2 with
+    | Stream.Service.Crashed _ -> Alcotest.fail "resume crashed"
+    | Stream.Service.Finished (_, j3) ->
+      checks "complete-journal resume is identity" text
+        (Stream.Service.journal_to_string j3))
+
+let test_resume_rejects_mismatch () =
+  let _, j = run_clean small_config in
+  let text = Stream.Service.journal_to_string j in
+  (* Tamper with the config line's seed: the replay must disagree. *)
+  let tampered =
+    match String.split_on_char '\n' text with
+    | magic :: cfg :: rest ->
+      let cfg' =
+        String.concat " "
+          (List.map
+             (fun kv ->
+               if String.length kv >= 5 && String.equal (String.sub kv 0 5) "seed="
+               then "seed=1"
+               else kv)
+             (String.split_on_char ' ' cfg))
+      in
+      String.concat "\n" (magic :: cfg' :: rest)
+    | _ -> Alcotest.fail "journal missing header"
+  in
+  match Stream.Service.journal_of_string tampered with
+  | Error _ -> Alcotest.fail "tampered journal should still parse"
+  | Ok j' -> (
+    match Stream.Service.resume j' with
+    | exception Hypertp_error.Error _ -> ()
+    | _ -> Alcotest.fail "expected a journal-mismatch error")
+
+let test_service_validation () =
+  let expect_error cfg =
+    match Stream.Service.run cfg with
+    | exception Hypertp_error.Error _ -> ()
+    | _ -> Alcotest.fail "expected a config error"
+  in
+  expect_error
+    {
+      small_config with
+      Stream.Service.mix =
+        { Stream.Service.xen_hosts = 1; kvm_hosts = 4; bhyve_hosts = 0 };
+    };
+  expect_error { small_config with Stream.Service.tempo = 0.0 };
+  expect_error { small_config with Stream.Service.batch_days = -1.0 };
+  expect_error { small_config with Stream.Service.concurrency = 0 }
+
+let test_metrics_dashboard () =
+  let metrics = Obs.Metrics.create () in
+  let r, _ = Stream.Service.run_to_completion ~metrics small_config in
+  let find name =
+    List.find_opt
+      (fun i -> String.equal (Obs.Metrics.name i) name)
+      (Obs.Metrics.instruments metrics)
+  in
+  (match find "stream_campaigns_total" with
+  | None -> Alcotest.fail "campaign counter missing"
+  | Some c ->
+    checkf "campaign counter agrees with the report"
+      (float_of_int r.Stream.Service.campaigns)
+      (Obs.Metrics.value c));
+  match find "stream_exposed_host_hours" with
+  | None -> Alcotest.fail "exposure gauge missing"
+  | Some g ->
+    checkf "exposure gauge agrees with the report"
+      r.Stream.Service.exposed_host_hours (Obs.Metrics.value g)
+
+let suites =
+  [
+    ( "stream.gen",
+      [
+        Alcotest.test_case "seeded determinism" `Quick test_gen_deterministic;
+        Alcotest.test_case "stream shape" `Quick test_gen_shape;
+        Alcotest.test_case "burst fault compresses arrivals" `Quick
+          test_gen_burst;
+        Alcotest.test_case "config validation" `Quick test_gen_validation;
+        qtest prop_gen_taxonomy_consistent;
+      ] );
+    ( "stream.service",
+      [
+        Alcotest.test_case "twice-run byte identity" `Quick
+          test_service_deterministic_pin;
+        Alcotest.test_case "strict dominance under contention" `Quick
+          test_policy_dominance_strict;
+        Alcotest.test_case "uncovered-critical audit" `Quick
+          test_uncovered_critical;
+        Alcotest.test_case "forced preemption" `Quick test_preemption_forced;
+        Alcotest.test_case "campaign_preempt fault site" `Quick
+          test_preemption_fault_site;
+        Alcotest.test_case "crash and resume" `Quick test_crash_resume;
+        Alcotest.test_case "journal text round-trip" `Quick
+          test_journal_roundtrip;
+        Alcotest.test_case "resume rejects a tampered journal" `Quick
+          test_resume_rejects_mismatch;
+        Alcotest.test_case "config validation" `Quick test_service_validation;
+        Alcotest.test_case "metrics dashboard" `Quick test_metrics_dashboard;
+        qtest prop_service_deterministic;
+        qtest prop_policy_dominance;
+        qtest prop_preemption_safe;
+      ] );
+  ]
