@@ -1,63 +1,93 @@
-(* Fleet-scale campaign benchmark: how the supervised campaign engine
-   behaves as the host count grows from the paper's 10-node cluster to
-   a 10k-host / 80k-VM fleet.  For each size it reports real wall-clock,
-   minor-heap allocation, journaled events and exposure, and pins
-   determinism by running the 10k point twice and comparing journals.
+(* Fleet-scale campaign benchmark: how the sharded campaign engine
+   behaves as the fleet grows from the paper's 10-node cluster to a
+   million hosts / 8M VMs.  Each size runs through
+   [Cluster.Campaign.run_fleet] over a uniform region topology; points
+   report real wall-clock, minor-heap allocation (sampled inside the
+   shard tasks, so the per-point numbers survive any schedule),
+   journaled events and exposure.
+
+   Determinism is pinned the strong way: the self-check size is run
+   under Sequential, Rotated and Parallel schedules and the concatenated
+   region journals plus fleet digests must agree byte-for-byte — the
+   sharding mode may only trade wall-clock, never results.
 
    Emits BENCH_scale.json (consumed by the scale-smoke CI job). *)
 
 open Bench_util
 
 let vms_per_host = 8
-let default_sizes = [ 100; 1_000; 10_000; 50_000 ]
-let determinism_at = 10_000
+let default_sizes = [ 100; 1_000; 10_000; 50_000; 1_000_000 ]
 
-let config hosts =
-  {
-    Cluster.Campaign.default_config with
-    Cluster.Campaign.nodes = hosts;
-    vms_per_node = vms_per_host;
-  }
+(* Region rule: ~250 hosts per region at small sizes, capped at 64
+   regions so the million-host fleet is 64 x 15625. *)
+let regions_for hosts = Stdlib.max 1 (Stdlib.min 64 (hosts / 250))
+
+let topology hosts =
+  Cluster.Topology.uniform ~regions:(regions_for hosts) ~hosts
+    ~vms_per_host ()
+
+let config = Cluster.Campaign.default_config
+
+let default_mode hosts =
+  let shards = regions_for hosts in
+  if shards = 1 then Sim.Shard.Sequential
+  else
+    Sim.Shard.Parallel
+      { shards;
+        domains = Stdlib.min 8 (Stdlib.max 1 (Domain.recommended_domain_count ())) }
 
 type point = {
   p_hosts : int;
-  p_wall_s : float;  (* real time for one campaign run *)
-  p_minor_words : float;  (* minor-heap words allocated by that run *)
-  p_events : int;  (* journal entries *)
+  p_regions : int;
+  p_mode : Sim.Shard.mode;
+  p_shards : int;
+  p_domains : int;
+  p_wall_s : float;  (* real time for one fleet run *)
+  p_minor_words : float;  (* minor words allocated inside the shard tasks *)
+  p_events : int;  (* journal entries, summed over regions *)
   p_exposed_hh : float;
-  p_sim_wall_s : float;  (* simulated campaign wall clock *)
+  p_sim_wall_s : float;  (* simulated fleet wall clock (slowest region) *)
 }
 
-let finished = function
-  | Cluster.Campaign.Finished (r, j) -> (r, j)
-  | Cluster.Campaign.Crashed _ ->
-    (* No fault plan is armed, so the controller cannot crash. *)
-    assert false
-
-let run_once hosts =
-  let cfg = config hosts in
-  let words0 = Gc.minor_words () in
+let run_once ?mode hosts =
+  let tp = topology hosts in
+  let mode = match mode with Some m -> m | None -> default_mode hosts in
   let t0 = Unix.gettimeofday () in
-  let r, j = finished (Cluster.Campaign.run cfg) in
+  let fr = Cluster.Campaign.run_fleet ~sharding:mode ~topology:tp config in
   let wall = Unix.gettimeofday () -. t0 in
   {
     p_hosts = hosts;
+    p_regions = Cluster.Topology.n_regions tp;
+    p_mode = mode;
+    p_shards = fr.Cluster.Campaign.f_shards;
+    p_domains = fr.Cluster.Campaign.f_domains;
     p_wall_s = wall;
-    p_minor_words = Gc.minor_words () -. words0;
-    p_events = Cluster.Campaign.journal_length j;
-    p_exposed_hh = r.Cluster.Campaign.exposed_host_hours;
-    p_sim_wall_s = Sim.Time.to_sec_f r.Cluster.Campaign.wall_clock;
+    p_minor_words = fr.Cluster.Campaign.f_minor_words;
+    p_events =
+      Array.fold_left
+        (fun acc s -> acc + s.Cluster.Campaign.s_events)
+        0 fr.Cluster.Campaign.f_summaries;
+    p_exposed_hh = fr.Cluster.Campaign.f_exposed_host_hours;
+    p_sim_wall_s = Sim.Time.to_sec_f fr.Cluster.Campaign.f_wall_clock;
   }
 
-(* Same seed => byte-identical journal and identical report numbers. *)
+(* Same fleet under three schedules => byte-identical journals and
+   digests.  This is the tentpole contract; fail loudly if it breaks. *)
 let deterministic hosts =
-  let snap () =
-    let r, j = finished (Cluster.Campaign.run (config hosts)) in
-    ( Cluster.Campaign.journal_to_string j,
-      r.Cluster.Campaign.exposed_host_hours,
-      r.Cluster.Campaign.wall_clock )
+  let tp = topology hosts in
+  let regions = Cluster.Topology.n_regions tp in
+  let snap mode =
+    let fr = Cluster.Campaign.run_fleet ~sharding:mode ~topology:tp config in
+    ( Cluster.Campaign.fleet_journals_to_string fr,
+      Cluster.Campaign.fleet_digest fr,
+      Format.asprintf "%a" Cluster.Campaign.pp_fleet fr )
   in
-  snap () = snap ()
+  let seq = snap Sim.Shard.Sequential in
+  let rot = snap (Sim.Shard.Rotated (Stdlib.min 4 regions)) in
+  let par =
+    snap (Sim.Shard.Parallel { shards = regions; domains = Stdlib.min 4 regions })
+  in
+  seq = rot && rot = par
 
 let emit points deterministic_checked =
   let oc = open_out "BENCH_scale.json" in
@@ -68,39 +98,54 @@ let emit points deterministic_checked =
   List.iteri
     (fun i p ->
       Printf.fprintf oc
-        "    {\"hosts\": %d, \"wall_clock_s\": %.3f, \"minor_words\": %.0f, \
-         \"events\": %d, \"exposed_host_hours\": %.4f, \
-         \"sim_wall_clock_s\": %.3f}%s\n"
-        p.p_hosts p.p_wall_s p.p_minor_words p.p_events p.p_exposed_hh
-        p.p_sim_wall_s
+        "    {\"hosts\": %d, \"regions\": %d, \"mode\": \"%s\", \
+         \"shards\": %d, \"domains\": %d, \"wall_clock_s\": %.3f, \
+         \"minor_words\": %.0f, \"events\": %d, \
+         \"exposed_host_hours\": %.4f, \"sim_wall_clock_s\": %.3f}%s\n"
+        p.p_hosts p.p_regions
+        (Sim.Shard.to_string p.p_mode)
+        p.p_shards p.p_domains p.p_wall_s p.p_minor_words p.p_events
+        p.p_exposed_hh p.p_sim_wall_s
         (if i = List.length points - 1 then "" else ","))
     points;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   note "wrote BENCH_scale.json@."
 
-let run ?(sizes = default_sizes) () =
+let run ?(sizes = default_sizes) ?mode () =
   header "Fleet-scale campaign engine (hosts -> wall-clock / allocation)";
-  Format.printf "%-8s %-10s %-14s %-9s %-12s %s@." "hosts" "wall(s)"
-    "minor-words" "events" "exposed-hh" "sim-wall";
+  Format.printf "%-9s %-8s %-14s %-10s %-14s %-9s %-12s %s@." "hosts"
+    "regions" "mode" "wall(s)" "minor-words" "events" "exposed-hh" "sim-wall";
   let points =
     List.map
       (fun hosts ->
-        let p = run_once hosts in
-        Format.printf "%-8d %-10.3f %-14.0f %-9d %-12.3f %.1fs@." p.p_hosts
+        let p = run_once ?mode hosts in
+        Format.printf "%-9d %-8d %-14s %-10.3f %-14.0f %-9d %-12.3f %.1fs@."
+          p.p_hosts p.p_regions
+          (Sim.Shard.to_string p.p_mode)
           p.p_wall_s p.p_minor_words p.p_events p.p_exposed_hh p.p_sim_wall_s;
         p)
       sizes
   in
-  let check_determinism = List.mem determinism_at sizes in
+  (* Pin schedule-independence at the largest size that is still cheap
+     to run three times. *)
+  let check_at =
+    List.fold_left
+      (fun acc h -> if h <= 10_000 then Stdlib.max acc h else acc)
+      0 sizes
+  in
+  let check_determinism = check_at > 0 in
   if check_determinism then begin
-    note "re-running the %d-host campaign to pin determinism...@."
-      determinism_at;
-    if not (deterministic determinism_at) then begin
-      Format.eprintf "FATAL: %d-host campaign is not deterministic@."
-        determinism_at;
+    note
+      "re-running the %d-host fleet under seq / rotated / parallel \
+       schedules...@."
+      check_at;
+    if not (deterministic check_at) then begin
+      Format.eprintf
+        "FATAL: %d-host fleet journals differ across sharding modes@."
+        check_at;
       exit 1
     end;
-    note "identical journal and report across runs@."
+    note "byte-identical journals and digests across all three modes@."
   end;
   emit points check_determinism

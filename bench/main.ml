@@ -31,7 +31,8 @@ let targets : (string * string * (unit -> unit)) list =
     ("campaign", "supervised campaign controller (emits BENCH_campaign.json)",
      Bench_figures.campaign);
     ("scale", "fleet-scale campaign sweep (emits BENCH_scale.json); accepts \
-               --hosts N", fun () -> Bench_scale.run ());
+               --hosts N --mode seq|rotated:K|parallel:SxD",
+     fun () -> Bench_scale.run ());
     ("shadow", "shadow-host cutover frontier: downtime vs spares vs wire \
                 (emits BENCH_shadow.json); accepts --hosts N",
      fun () -> Bench_shadow.run ());
@@ -65,20 +66,32 @@ let () =
   | [ "--list" ] ->
     List.iter (fun (n, d, _) -> Format.printf "%-8s %s@." n d) targets
   | "scale" :: (_ :: _ as rest) ->
-    (* Single-size mode for CI: bench scale --hosts 1000 *)
-    let sizes =
-      match rest with
-      | [ "--hosts"; n ] -> (
-        match int_of_string_opt n with
-        | Some h when h >= 2 -> [ h ]
-        | _ ->
-          Format.eprintf "scale: --hosts expects an integer >= 2@.";
-          exit 1)
-      | _ ->
-        Format.eprintf "usage: scale [--hosts N]@.";
-        exit 1
+    (* Single-size mode for CI: bench scale --hosts 1000 --mode parallel:4x4 *)
+    let sizes, mode =
+      let rec parse sizes mode = function
+        | [] -> (sizes, mode)
+        | "--hosts" :: v :: tl -> (
+          match int_of_string_opt v with
+          | Some h when h >= 2 -> parse (Some [ h ]) mode tl
+          | _ ->
+            Format.eprintf "scale: --hosts expects an integer >= 2@.";
+            exit 1)
+        | "--mode" :: v :: tl -> (
+          match Sim.Shard.of_string v with
+          | Ok m -> parse sizes (Some m) tl
+          | Error e ->
+            Format.eprintf "scale: --mode: %s@." e;
+            exit 1)
+        | arg :: _ ->
+          Format.eprintf
+            "usage: scale [--hosts N] [--mode seq|rotated:K|parallel:SxD] \
+             (got %s)@."
+            arg;
+          exit 1
+      in
+      parse None None rest
     in
-    Bench_scale.run ~sizes ()
+    Bench_scale.run ?sizes ?mode ()
   | "cvestream" :: (_ :: _ as rest) ->
     (* Small mode for CI: bench cvestream --hosts 36 --conc 2 --tempo 16000 *)
     let knobs =

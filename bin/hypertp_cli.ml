@@ -73,6 +73,26 @@ let fault_arg =
 
 let fault_of_specs = function [] -> None | specs -> Some (Fault.of_specs specs)
 
+let topology_conv =
+  let parse s =
+    match Cluster.Topology.of_spec s with
+    | Ok t -> Ok t
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt t = Format.pp_print_string fmt (Cluster.Topology.spec t) in
+  Arg.conv (parse, print)
+
+let topology_arg ~doc =
+  Arg.(value & opt (some topology_conv) None
+       & info [ "topology" ] ~docv:"SPEC" ~doc)
+
+let shard_mode_conv =
+  let parse s =
+    match Sim.Shard.of_string s with Ok m -> Ok m | Error e -> Error (`Msg e)
+  in
+  let print fmt m = Format.pp_print_string fmt (Sim.Shard.to_string m) in
+  Arg.conv (parse, print)
+
 let audit_flag =
   Arg.(value & flag
        & info [ "audit" ]
@@ -724,6 +744,23 @@ let campaign_cmd =
                    degradation ladder (0 disables the rung; journals are \
                    then byte-identical to pre-shadow campaigns).")
   in
+  let topology =
+    topology_arg
+      ~doc:"Run a region-sharded fleet campaign over this topology instead \
+            of a single cluster ($(b,--nodes)/$(b,--vms-per-node) are \
+            ignored).  SPEC is $(b,RxHxV) (R regions of H hosts x V VMs) or \
+            $(b,name:hosts:vms[:spares[:wire]];...).  Prints the \
+            schedule-independent fleet report; $(b,--journal) then writes \
+            the concatenated per-region journals."
+  in
+  let shard_mode =
+    Arg.(value & opt (some shard_mode_conv) None
+         & info [ "mode"; "shards" ] ~docv:"MODE"
+             ~doc:"Shard schedule for $(b,--topology): $(b,seq), \
+                   $(b,rotated:K) or $(b,parallel:SxD) (S shards on D \
+                   domains).  Results are byte-identical across modes; only \
+                   wall-clock changes.")
+  in
   let journal_file =
     Arg.(value & opt (some string) None
          & info [ "journal" ] ~docv:"PATH"
@@ -743,8 +780,8 @@ let campaign_cmd =
                    single campaign.")
   in
   let run () nodes vms_per_node fraction concurrency straggler breaker_window
-      breaker_threshold breaker_cooldown shadow_spares seed specs journal_file
-      resume_from sweep trace_out metrics_out =
+      breaker_threshold breaker_cooldown shadow_spares topology shard_mode
+      seed specs journal_file resume_from sweep trace_out metrics_out =
     let config =
       {
         Cluster.Campaign.default_config with
@@ -771,7 +808,32 @@ let campaign_cmd =
         Format.printf "journal (%d entries) written to %s@."
           (Cluster.Campaign.journal_length j) path
     in
-    match sweep with
+    match topology with
+    | Some tp ->
+      if sweep <> None || resume_from <> None then begin
+        Format.eprintf
+          "campaign: --topology is incompatible with --sweep and \
+           --resume-from@.";
+        exit 1
+      end;
+      let fr =
+        Cluster.Campaign.run_fleet ?fault ?sharding:shard_mode ~topology:tp
+          config
+      in
+      Format.printf "%a@." Cluster.Campaign.pp_fleet fr;
+      (match journal_file with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Cluster.Campaign.fleet_journals_to_string fr);
+        close_out oc;
+        Format.printf "fleet journals written to %s@." path)
+    | None -> (
+      if shard_mode <> None then begin
+        Format.eprintf "campaign: --mode requires --topology@.";
+        exit 1
+      end;
+      match sweep with
     | Some probabilities ->
       Format.printf "%-6s %-10s %-9s %-9s %-8s %s@." "p" "wall" "exposed-hh"
         "deferred" "trips" "statuses";
@@ -824,7 +886,7 @@ let campaign_cmd =
            --resume-from@."
           (Cluster.Campaign.journal_length j);
         write_journal j;
-        write_obs trace_out metrics_out obs metrics)
+        write_obs trace_out metrics_out obs metrics))
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -833,8 +895,9 @@ let campaign_cmd =
              ladder, circuit breaker, checkpoint/resume")
     Term.(const run $ verbose_arg $ nodes $ per_node $ fraction $ concurrency
           $ straggler $ breaker_window $ breaker_threshold $ breaker_cooldown
-          $ shadow_spares $ seed_arg $ fault_arg $ journal_file $ resume_from
-          $ sweep $ trace_out_arg $ metrics_out_arg)
+          $ shadow_spares $ topology $ shard_mode $ seed_arg $ fault_arg
+          $ journal_file $ resume_from $ sweep $ trace_out_arg
+          $ metrics_out_arg)
 
 (* --- controlplane --- *)
 
@@ -899,6 +962,13 @@ let controlplane_cmd =
                    take effect elsewhere; must be at least hb-timeout + 2 x \
                    hb-every.")
   in
+  let topology =
+    topology_arg
+      ~doc:"Take the region grid from this topology spec ($(b,RxHxV) or \
+            $(b,name:hosts:vms;...)) instead of \
+            $(b,--regions)/$(b,--hosts-per-region)/$(b,--vms-per-host).  \
+            Must be uniform: every region the same hosts x VMs."
+  in
   let bundle_file =
     Arg.(value & opt (some string) None
          & info [ "bundle" ] ~docv:"PATH"
@@ -923,8 +993,8 @@ let controlplane_cmd =
   in
   let run () regions hosts_per_region vms_per_host concurrency straggler
       breaker_window breaker_threshold breaker_cooldown hb_every hb_timeout
-      realloc_lag seed specs bundle_file resume_from timeline trace_out
-      metrics_out =
+      realloc_lag topology seed specs bundle_file resume_from timeline
+      trace_out metrics_out =
     let config =
       {
         CP.regions;
@@ -942,6 +1012,11 @@ let controlplane_cmd =
         realloc_lag = Sim.Time.of_sec_f realloc_lag;
         seed;
       }
+    in
+    let config =
+      match topology with
+      | Some tp -> CP.config_of_topology tp config
+      | None -> config
     in
     let fault = fault_of_specs specs in
     let obs, metrics = obs_of_paths trace_out metrics_out in
@@ -993,9 +1068,9 @@ let controlplane_cmd =
              with a byte-identical final report")
     Term.(const run $ verbose_arg $ regions $ hosts_per_region $ vms_per_host
           $ concurrency $ straggler $ breaker_window $ breaker_threshold
-          $ breaker_cooldown $ hb_every $ hb_timeout $ realloc_lag $ seed_arg
-          $ fault_arg $ bundle_file $ resume_from $ timeline $ trace_out_arg
-          $ metrics_out_arg)
+          $ breaker_cooldown $ hb_every $ hb_timeout $ realloc_lag $ topology
+          $ seed_arg $ fault_arg $ bundle_file $ resume_from $ timeline
+          $ trace_out_arg $ metrics_out_arg)
 
 (* --- serve --- *)
 
@@ -1073,6 +1148,13 @@ let serve_cmd =
                    on its population (otherwise only the \
                    $(b,campaign_preempt) fault site does).")
   in
+  let topology =
+    topology_arg
+      ~doc:"Take the host populations from this topology's regions, mapped \
+            by name onto the repertoire (e.g. $(b,xen:20:4;kvm:16:4)); \
+            overrides $(b,--hosts)/$(b,--bhyve-hosts)/$(b,--vms-per-host) \
+            (the VM density comes from the first region)."
+  in
   let journal_file =
     Arg.(value & opt (some string) None
          & info [ "journal" ] ~docv:"PATH"
@@ -1085,19 +1167,25 @@ let serve_cmd =
                    seed come from the journal; pass the same $(b,--fault) \
                    specs as the original run).")
   in
-  let run () years hosts bhyve_hosts vms_per_host rate policy tempo
+  let run () years hosts bhyve_hosts vms_per_host topology rate policy tempo
       concurrency batch_days preempt seed specs journal_file resume_from
       trace_out metrics_out =
+    let mix, vms_per_host =
+      match topology with
+      | Some tp ->
+        ( S.mix_of_topology tp,
+          (Cluster.Topology.regions tp).(0).Cluster.Topology.rg_vms_per_host )
+      | None ->
+        ( { S.xen_hosts = (hosts + 1) / 2;
+            kvm_hosts = hosts / 2;
+            bhyve_hosts },
+          vms_per_host )
+    in
     let config =
       {
         d with
         S.years;
-        mix =
-          {
-            S.xen_hosts = (hosts + 1) / 2;
-            kvm_hosts = hosts / 2;
-            bhyve_hosts;
-          };
+        mix;
         vms_per_host;
         rate_per_year = rate;
         policy;
@@ -1164,9 +1252,9 @@ let serve_cmd =
              critical window stayed uncovered though a campaign was \
              cheaper, 3 on a controller crash)")
     Term.(const run $ verbose_arg $ years $ hosts $ bhyve_hosts
-          $ vms_per_host $ rate $ policy $ tempo $ concurrency $ batch_days
-          $ preempt $ seed_arg $ fault_arg $ journal_file $ resume_from
-          $ trace_out_arg $ metrics_out_arg)
+          $ vms_per_host $ topology $ rate $ policy $ tempo $ concurrency
+          $ batch_days $ preempt $ seed_arg $ fault_arg $ journal_file
+          $ resume_from $ trace_out_arg $ metrics_out_arg)
 
 (* --- fleet --- *)
 
@@ -1178,8 +1266,14 @@ let fleet_cmd =
   let hosts =
     Arg.(value & opt int 8 & info [ "hosts" ] ~docv:"N" ~doc:"Fleet size.")
   in
-  let run id hosts =
-    let o = Cluster.Fleet.simulate ~hosts ~cve_id:id () in
+  let topology =
+    topology_arg
+      ~doc:"Region-aware fleet shape ($(b,RxHxV) or \
+            $(b,name:hosts:vms;...)); overrides $(b,--hosts) and sets each \
+            host's VM density from its region."
+  in
+  let run id hosts topology =
+    let o = Cluster.Fleet.simulate ~hosts ?topology ~cve_id:id () in
     Array.iter
       (fun (at, ev) ->
         match ev with
@@ -1199,7 +1293,7 @@ let fleet_cmd =
   Cmd.v
     (Cmd.info "fleet"
        ~doc:"Simulate the Fig. 1 vulnerability-window timeline on a fleet")
-    Term.(const run $ id $ hosts)
+    Term.(const run $ id $ hosts $ topology)
 
 (* --- verify --- *)
 

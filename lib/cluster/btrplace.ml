@@ -265,13 +265,22 @@ let max_concurrent_drains model =
      whole placement (the fallback path drains even in-place VMs), and
      the k candidate drain nodes are the heaviest-loaded while the spare
      capacity lost to them is the largest free shares. *)
-  let used = List.map Model.used_ram model.Model.nodes in
-  let free = List.map Model.free_ram model.Model.nodes in
-  let desc l = List.sort (fun a b -> compare b a) l in
-  let used_desc = Array.of_list (desc used) in
-  let free_desc = Array.of_list (desc free) in
-  let total_free = List.fold_left ( + ) 0 free in
-  let n = Array.length used_desc in
+  let n = List.length model.Model.nodes in
+  let used_desc = Array.make n 0 and free_desc = Array.make n 0 in
+  let total_free = ref 0 in
+  List.iteri
+    (fun i node ->
+      used_desc.(i) <- Model.used_ram node;
+      let f = Model.free_ram node in
+      free_desc.(i) <- f;
+      total_free := !total_free + f)
+    model.Model.nodes;
+  (* Descending; the intermediate sorted lists used to cost ~6 words a
+     node, noticeable when every region shard rebuilds them. *)
+  let desc a b = compare b a in
+  Array.sort desc used_desc;
+  Array.sort desc free_desc;
+  let total_free = !total_free in
   (* Running prefix sums: each widening step extends the previous
      demand/lost-spare totals by one node instead of re-summing the
      whole prefix, so the search is O(n) after sorting. *)

@@ -124,6 +124,8 @@ let validate_config cfg =
   if cfg.straggler_factor < min_straggler_factor then
     bad "straggler_factor below 1.2 (deadline must dominate a flap)";
   if cfg.breaker_window < 1 then bad "breaker_window must be at least 1";
+  if cfg.breaker_window > 62 then
+    bad "breaker_window above 62 (outcomes are tracked in one word)";
   if cfg.breaker_threshold < 0.0 || cfg.breaker_threshold > 1.0 then
     bad "breaker_threshold outside [0, 1]";
   if cfg.jitter_pct < 0.0 || cfg.jitter_pct > max_jitter_pct then
@@ -161,6 +163,7 @@ type task = {
 type setup = {
   su_tasks : task array; (* in plan (= admission) order *)
   su_index : (string, int) Hashtbl.t;
+  su_names : string array; (* task index -> node name (journal intern table) *)
   su_base : Upgrade.timing;
   su_rebalance : Sim.Time.t;
   su_effective : int;
@@ -261,6 +264,7 @@ let build_setup cfg =
   {
     su_tasks;
     su_index;
+    su_names = Array.map (fun t -> t.t_node) su_tasks;
     su_base = base;
     su_rebalance = !rebalance;
     su_effective = Stdlib.max 1 (Stdlib.min cfg.concurrency max_drains);
@@ -308,18 +312,146 @@ type entry = {
   je_cursor : int; (* fault-plan trace length after this entry *)
 }
 
-(* Journal entries live in a [Sim.Vec] end-to-end: the live controller
-   appends to one, serialisation iterates it, and the parser fills one —
-   so [journal_length] and replay are O(1)/O(n) at 10k+ entries instead
-   of the list walks they used to be. *)
-type journal = { j_config : config; j_entries : entry Sim.Vec.t (* chronological *) }
+(* Journal entries are stored packed, three unboxed ints per entry, in
+   one [int Sim.Vec]; hosts are interned in a side table.  The [entry]
+   record above survives only as the transient decoded form handed to
+   [apply]/serialisation.  At a million hosts the journal dominates the
+   controller's allocation, and the packed form costs 3 minor words per
+   entry against the ~18 the boxed record chain used to (record + four
+   option/variant boxes + host string pointer), with no change to the
+   serialised format.
+
+   Word 0 — the event time in ns.
+   Word 1 — a bitfield:
+     bits  0-3   event kind (0 adm, 1 flapleg, 2 strag, 3 fail, 4 done,
+                 5 defer, 6 bopen, 7 bhalf, 8 bclosed, 9 fin)
+     bits  4-5   ladder step (inplace 0, shadow 1, drain 2, retry 3)
+     bits  6-7   manifestation (crash 0, timeout 1, flap 2)
+     bit   8     decision present
+     bits  9-11  d_flap / d_crash / d_timeout
+     bits 12-13  audit (0 none, 1 clean, 2 scrubbed, 3 failed)
+     bit  14     shadow decision present
+     bits 15-19  s_spare / s_stage / s_drop / s_diverge / s_partition
+     bits 20-..  host index + 1 (0 = no host)
+   Word 2 — the fault-plan cursor after the entry. *)
+type journal = {
+  j_config : config;
+  j_words : int Sim.Vec.t; (* 3 words per entry, chronological *)
+  j_names : string array;  (* host index -> name *)
+}
 
 let journal_config j = j.j_config
-let journal_length j = Sim.Vec.length j.j_entries
+let journal_length j = Sim.Vec.length j.j_words / 3
 
-let dummy_entry =
-  { je_at = Sim.Time.zero; je_host = None; je_event = Campaign_finished;
-    je_decision = None; je_audit = None; je_shadow = None; je_cursor = 0 }
+let step_to_int = function Inplace -> 0 | Shadow -> 1 | Drain -> 2 | Retry -> 3
+let step_of_int = function 0 -> Inplace | 1 -> Shadow | 2 -> Drain | _ -> Retry
+let man_to_int = function Crash -> 0 | Timeout -> 1 | Flap -> 2
+let man_of_int = function 0 -> Crash | 1 -> Timeout | _ -> Flap
+
+let pack_entry ~host_idx e =
+  let kind, step, man =
+    match e.je_event with
+    | Admitted s -> (0, step_to_int s, 0)
+    | Flap_failure -> (1, 0, 0)
+    | Straggler_cancelled -> (2, 0, 0)
+    | Attempt_failed { step; manifestation } ->
+      (3, step_to_int step, man_to_int manifestation)
+    | Attempt_completed s -> (4, step_to_int s, 0)
+    | Deferred -> (5, 0, 0)
+    | Breaker_opened -> (6, 0, 0)
+    | Breaker_half_opened -> (7, 0, 0)
+    | Breaker_closed -> (8, 0, 0)
+    | Campaign_finished -> (9, 0, 0)
+  in
+  let bit b v w = if v then w lor (1 lsl b) else w in
+  let w = kind lor (step lsl 4) lor (man lsl 6) in
+  let w =
+    match e.je_decision with
+    | None -> w
+    | Some d ->
+      bit 9 d.d_flap (bit 10 d.d_crash (bit 11 d.d_timeout (w lor (1 lsl 8))))
+  in
+  let w =
+    match e.je_audit with
+    | None -> w
+    | Some v ->
+      w
+      lor ((match v with A_clean -> 1 | A_scrubbed -> 2 | A_failed -> 3)
+          lsl 12)
+  in
+  let w =
+    match e.je_shadow with
+    | None -> w
+    | Some s ->
+      bit 15 s.s_spare
+        (bit 16 s.s_stage
+           (bit 17 s.s_drop
+              (bit 18 s.s_diverge
+                 (bit 19 s.s_partition (w lor (1 lsl 14))))))
+  in
+  let w = w lor ((host_idx + 1) lsl 20) in
+  (Sim.Time.to_ns e.je_at, w, e.je_cursor)
+
+let unpack_entry names w0 w1 w2 =
+  let bit b = w1 land (1 lsl b) <> 0 in
+  let step = step_of_int ((w1 lsr 4) land 3) in
+  let event =
+    match w1 land 0xf with
+    | 0 -> Admitted step
+    | 1 -> Flap_failure
+    | 2 -> Straggler_cancelled
+    | 3 -> Attempt_failed { step; manifestation = man_of_int ((w1 lsr 6) land 3) }
+    | 4 -> Attempt_completed step
+    | 5 -> Deferred
+    | 6 -> Breaker_opened
+    | 7 -> Breaker_half_opened
+    | 8 -> Breaker_closed
+    | _ -> Campaign_finished
+  in
+  {
+    je_at = Sim.Time.ns w0;
+    je_host =
+      (match w1 lsr 20 with 0 -> None | i -> Some names.(i - 1));
+    je_event = event;
+    je_decision =
+      (if bit 8 then
+         Some { d_flap = bit 9; d_crash = bit 10; d_timeout = bit 11 }
+       else None);
+    je_audit =
+      (match (w1 lsr 12) land 3 with
+      | 0 -> None
+      | 1 -> Some A_clean
+      | 2 -> Some A_scrubbed
+      | _ -> Some A_failed);
+    je_shadow =
+      (if bit 14 then
+         Some
+           { s_spare = bit 15; s_stage = bit 16; s_drop = bit 17;
+             s_diverge = bit 18; s_partition = bit 19 }
+       else None);
+    je_cursor = w2;
+  }
+
+let journal_iter f j =
+  let words = j.j_words in
+  let n = Sim.Vec.length words / 3 in
+  for k = 0 to n - 1 do
+    f
+      (unpack_entry j.j_names
+         (Sim.Vec.get words (3 * k))
+         (Sim.Vec.get words ((3 * k) + 1))
+         (Sim.Vec.get words ((3 * k) + 2)))
+  done
+
+let journal_last j =
+  match Sim.Vec.length j.j_words with
+  | 0 -> None
+  | n ->
+    Some
+      (unpack_entry j.j_names
+         (Sim.Vec.get j.j_words (n - 3))
+         (Sim.Vec.get j.j_words (n - 2))
+         (Sim.Vec.get j.j_words (n - 1)))
 
 (* --- controller state (shared between live execution and replay) --- *)
 
@@ -345,18 +477,22 @@ type st = {
   cfg : config;
   setup : setup;
   hstates : hstate array;
-  timelines : (Sim.Time.t * event) list array; (* newest first *)
   manifests : manifestation list array; (* newest first *)
   attempts : int array;
   mutable breaker : breaker;
-  mutable window : bool list; (* newest first, <= breaker_window long *)
+  (* Breaker outcome window, newest outcome in bit 0, [window_len]
+     (<= breaker_window <= 62, validated) live bits.  Replaces the
+     [bool list] + [take] pair, which allocated a fresh list on every
+     attempt outcome. *)
+  mutable window_bits : int;
+  mutable window_len : int;
   mutable half_successes : int;
   mutable half_failed : bool;
   mutable trips : int;
   mutable limit : int;
   mutable running : int;
   mutable finished_at : Sim.Time.t option;
-  entries : entry Sim.Vec.t; (* chronological *)
+  entries : int Sim.Vec.t; (* packed, 3 words per entry, chronological *)
   (* Incremental bookkeeping so [settle] never rescans the host array:
      [next_pending] is a monotone admission cursor (admission is
      lowest-index-first and a host never returns to [H_pending], so
@@ -386,6 +522,9 @@ type st = {
   fault : Fault.t option;
   obs : Obs.Tracer.t option;
   metrics : Obs.Metrics.t option;
+  o_log : bool;
+      (* info logging enabled when the state was built; cached so the
+         hot path skips the per-event closure when nobody listens *)
   ospans : Obs.Span.t option array; (* open attempt span per host *)
   mutable root_span : Obs.Span.t option;
 }
@@ -397,18 +536,18 @@ let make_st ?fault ?obs ?metrics cfg setup =
     cfg;
     setup;
     hstates = Array.make n H_pending;
-    timelines = Array.make n [];
     manifests = Array.make n [];
     attempts = Array.make n 0;
     breaker = B_closed;
-    window = [];
+    window_bits = 0;
+    window_len = 0;
     half_successes = 0;
     half_failed = false;
     trips = 0;
     limit = setup.su_effective;
     running = 0;
     finished_at = None;
-    entries = Sim.Vec.create ~capacity:(Stdlib.max 16 (4 * n)) dummy_entry;
+    entries = Sim.Vec.create ~capacity:(Stdlib.max 16 (12 * n)) 0;
     next_pending = 0;
     needs_drain = [];
     needs_defer = [];
@@ -422,6 +561,10 @@ let make_st ?fault ?obs ?metrics cfg setup =
     fault;
     obs;
     metrics;
+    o_log =
+      (match Logs.Src.level Hypertp.Log.src with
+      | Some (Logs.Info | Logs.Debug) -> true
+      | Some (Logs.App | Logs.Error | Logs.Warning) | None -> false);
     ospans = Array.make n None;
     root_span =
       Hypertp.Otrace.start obs ~at:Sim.Time.zero ~track:"controller"
@@ -442,11 +585,6 @@ let idx st host =
 
 let hours t = Sim.Time.to_sec_f t /. 3600.0
 
-let rec take n = function
-  | [] -> []
-  | _ when n = 0 -> []
-  | x :: tl -> x :: take (n - 1) tl
-
 let push_window st ok =
   (match st.breaker with
   | B_half_open ->
@@ -456,7 +594,17 @@ let push_window st ok =
       st.half_failed <- true
     end
   | B_closed | B_open_until _ -> ());
-  st.window <- take st.cfg.breaker_window (ok :: st.window)
+  st.window_bits <-
+    ((st.window_bits lsl 1) lor Bool.to_int ok)
+    land ((1 lsl st.cfg.breaker_window) - 1);
+  st.window_len <- Stdlib.min (st.window_len + 1) st.cfg.breaker_window
+
+(* Failures in the window = live bits that are 0. *)
+let window_fails st =
+  let rec pop acc bits =
+    if bits = 0 then acc else pop (acc + (bits land 1)) (bits lsr 1)
+  in
+  st.window_len - pop 0 st.window_bits
 
 let resolve_failure st i manifestation at =
   st.running <- st.running - 1;
@@ -519,10 +667,11 @@ let pp_event fmt = function
 let observe st e =
   let at = e.je_at in
   let obs = st.obs and metrics = st.metrics in
-  Hypertp.Log.info (fun m ->
-      m "campaign%s: %a at %a"
-        (match e.je_host with Some h -> " " ^ h | None -> "")
-        pp_event e.je_event Sim.Time.pp at);
+  if st.o_log then
+    Hypertp.Log.info (fun m ->
+        m "campaign%s: %a at %a"
+          (match e.je_host with Some h -> " " ^ h | None -> "")
+          pp_event e.je_event Sim.Time.pp at);
   let close i attrs =
     (match st.ospans.(i) with
     | Some s -> List.iter (fun (k, v) -> Obs.Span.set_attr s k v) attrs
@@ -530,6 +679,11 @@ let observe st e =
     Hypertp.Otrace.finish obs st.ospans.(i) ~at;
     st.ospans.(i) <- None
   in
+  (* The span/metric bookkeeping below allocates its label lists before
+     the (no-op) Otrace calls see the [None]s, so skip the whole block
+     when nothing is attached — the common case for large fleets. *)
+  if obs = None && metrics = None then ()
+  else begin
   (match (e.je_event, e.je_host) with
   | Admitted step, Some h ->
     let i = idx st h in
@@ -599,17 +753,16 @@ let observe st e =
     ~labels:[ ("engine", "campaign") ]
     "hypertp_campaign_running"
     (float_of_int st.running)
+  end
 
 (* Apply one journal entry to the state.  Both the live controller and
    [resume]'s replay funnel every mutation through here, which is what
    makes a resumed campaign land in exactly the state the crashed one
    had. *)
+(* Host timelines are no longer tracked live — [make_report] rebuilds
+   them from the packed journal, so the steady-state controller keeps no
+   per-event boxed state at all. *)
 let apply_state st e =
-  (match e.je_host with
-  | Some h ->
-    let i = idx st h in
-    st.timelines.(i) <- (e.je_at, e.je_event) :: st.timelines.(i)
-  | None -> ());
   match (e.je_event, e.je_host) with
   | Admitted step, Some h ->
     let i = idx st h in
@@ -681,7 +834,8 @@ let apply_state st e =
   | Breaker_opened, None ->
     st.trips <- st.trips + 1;
     st.breaker <- B_open_until (Sim.Time.add e.je_at st.cfg.breaker_cooldown);
-    st.window <- [];
+    st.window_bits <- 0;
+    st.window_len <- 0;
     st.half_failed <- false
   | Breaker_half_opened, None ->
     st.breaker <- B_half_open;
@@ -743,17 +897,27 @@ let shadow_armed st =
 (* Journal-then-crash: the entry is applied and persisted first, and
    only then may the controller die, so a resumed run never loses the
    event that was being recorded. *)
+(* Re-encode and push an already-validated entry (live append and
+   resume's replay both end here). *)
+let push_entry st e ~cursor =
+  let host_idx = match e.je_host with None -> -1 | Some h -> idx st h in
+  let w0, w1, _ = pack_entry ~host_idx { e with je_cursor = cursor } in
+  Sim.Vec.push st.entries w0;
+  Sim.Vec.push st.entries w1;
+  Sim.Vec.push st.entries cursor
+
 let append st ?host ?decision ?audit ?shadow ~at event =
-  apply st { je_at = at; je_host = host; je_event = event;
-             je_decision = decision; je_audit = audit; je_shadow = shadow;
-             je_cursor = 0 };
-  let crashed = fire_opt st Fault.Controller_crash in
-  Sim.Vec.push st.entries
+  let e =
     { je_at = at; je_host = host; je_event = event; je_decision = decision;
-      je_audit = audit; je_shadow = shadow; je_cursor = cursor st };
-  Hypertp.Otrace.instant st.obs ~at ~track:"journal"
-    ~attrs:[ ("cursor", string_of_int (cursor st)) ]
-    "journal:checkpoint";
+      je_audit = audit; je_shadow = shadow; je_cursor = 0 }
+  in
+  apply st e;
+  let crashed = fire_opt st Fault.Controller_crash in
+  push_entry st e ~cursor:(cursor st);
+  if st.obs <> None then
+    Hypertp.Otrace.instant st.obs ~at ~track:"journal"
+      ~attrs:[ ("cursor", string_of_int (cursor st)) ]
+      "journal:checkpoint";
   if crashed then raise Controller_died
 
 let clear_timers ctx i =
@@ -806,7 +970,7 @@ let rec settle ctx =
   (* 3. Breaker transitions. *)
   (match st.breaker with
   | B_closed | B_half_open ->
-    let fails = List.length (List.filter not st.window) in
+    let fails = window_fails st in
     let rate = float_of_int fails /. float_of_int st.cfg.breaker_window in
     if
       (st.breaker = B_half_open && st.half_failed)
@@ -1033,7 +1197,8 @@ and on_flap_leg ctx i =
 
 (* --- results --- *)
 
-let make_journal st = { j_config = st.cfg; j_entries = st.entries }
+let make_journal st =
+  { j_config = st.cfg; j_words = st.entries; j_names = st.setup.su_names }
 
 let make_report st =
   let finished =
@@ -1044,6 +1209,19 @@ let make_report st =
         "report requested before the finish event"
   in
   let wall = Sim.Time.add finished st.setup.su_rebalance in
+  (* Rebuild per-host timelines from the packed journal (newest first,
+     reversed below) — the controller stopped tracking them live. *)
+  let n = Array.length st.setup.su_tasks in
+  let timelines = Array.make n [] in
+  let words = st.entries in
+  for k = 0 to (Sim.Vec.length words / 3) - 1 do
+    let w1 = Sim.Vec.get words ((3 * k) + 1) in
+    match w1 lsr 20 with
+    | 0 -> ()
+    | i ->
+      let e = unpack_entry st.setup.su_names (Sim.Vec.get words (3 * k)) w1 0 in
+      timelines.(i - 1) <- (e.je_at, e.je_event) :: timelines.(i - 1)
+  done;
   let hosts =
     Array.to_list
       (Array.mapi
@@ -1063,7 +1241,7 @@ let make_report st =
              hr_status = status;
              hr_attempts = st.attempts.(i);
              hr_manifestations = List.rev st.manifests.(i);
-             hr_timeline = List.rev st.timelines.(i);
+             hr_timeline = List.rev timelines.(i);
              hr_expected = t.t_expected;
              hr_done_at = done_at;
              hr_exposure_hours = hours done_at;
@@ -1158,28 +1336,29 @@ let drive ctx =
     Finished (make_report ctx.st, make_journal ctx.st)
   with Controller_died -> Crashed (make_journal ctx.st)
 
+(* Fresh controller, first settle scheduled, nothing driven yet. *)
+let start_st ?fault ?obs ?metrics cfg =
+  validate_config cfg;
+  let setup = build_setup cfg in
+  let ctx = make_ctx (make_st ?fault ?obs ?metrics cfg setup) in
+  Sim.Engine.schedule_at ctx.eng Sim.Time.zero (fun () -> settle ctx);
+  ctx
+
 let run ?ctx:run_ctx ?fault ?obs ?metrics cfg =
   let c = Hypertp.Ctx.resolve ?ctx:run_ctx ?fault ?obs ?metrics () in
-  validate_config cfg;
-  let setup = build_setup cfg in
-  let ctx =
-    make_ctx
-      (make_st ?fault:c.Hypertp.Ctx.fault ?obs:c.Hypertp.Ctx.obs
-         ?metrics:c.Hypertp.Ctx.metrics cfg setup)
-  in
-  Sim.Engine.schedule_at ctx.eng Sim.Time.zero (fun () -> settle ctx);
-  drive ctx
+  drive
+    (start_st ?fault:c.Hypertp.Ctx.fault ?obs:c.Hypertp.Ctx.obs
+       ?metrics:c.Hypertp.Ctx.metrics cfg)
 
-let resume ?ctx:run_ctx ?fault ?obs ?metrics journal =
-  let c = Hypertp.Ctx.resolve ?ctx:run_ctx ?fault ?obs ?metrics () in
+(* Replayed controller: journal re-applied and validated, in-flight
+   attempts re-armed, nothing driven yet.  [fault] is the crashed run's
+   plan, restarted here. *)
+let resume_st ?fault ?obs ?metrics journal =
   let cfg = journal.j_config in
   validate_config cfg;
-  let fault = Option.map Fault.restart c.Hypertp.Ctx.fault in
+  let fault = Option.map Fault.restart fault in
   let setup = build_setup cfg in
-  let st =
-    make_st ?fault ?obs:c.Hypertp.Ctx.obs ?metrics:c.Hypertp.Ctx.metrics cfg
-      setup
-  in
+  let st = make_st ?fault ?obs ?metrics cfg setup in
   (* Replay: every entry is re-applied and re-validated against the
      restarted fault plan — the same sites fire in the same order, so
      the plan's counters, probability stream and trace end up exactly
@@ -1190,7 +1369,7 @@ let resume ?ctx:run_ctx ?fault ?obs ?metrics journal =
     match st.fault with Some f -> Fault.seed f | None -> 0L
   in
   let entry_no = ref 0 in
-  Sim.Vec.iter
+  journal_iter
     (fun e ->
       incr entry_no;
       (match (e.je_event, e.je_host, e.je_decision) with
@@ -1311,11 +1490,11 @@ let resume ?ctx:run_ctx ?fault ?obs ?metrics journal =
           !entry_no
           (match e.je_host with Some h -> "host " ^ h | None -> "campaign")
           (Sim.Time.to_string e.je_at) e.je_cursor (cursor st);
-      Sim.Vec.push st.entries e)
-    journal.j_entries;
+      push_entry st e ~cursor:e.je_cursor)
+    journal;
   let ctx = make_ctx st in
   let t_last =
-    match Sim.Vec.last st.entries with None -> Sim.Time.zero | Some e -> e.je_at
+    match journal_last journal with None -> Sim.Time.zero | Some e -> e.je_at
   in
   (* The crashed run died mid-settle at [t_last]; continue it first,
      then let the in-flight attempts race again from their recorded
@@ -1328,7 +1507,13 @@ let resume ?ctx:run_ctx ?fault ?obs ?metrics journal =
   (match st.breaker with
   | B_open_until u -> Sim.Engine.schedule_at ctx.eng u (fun () -> reopen ctx)
   | B_closed | B_half_open -> ());
-  drive ctx
+  ctx
+
+let resume ?ctx:run_ctx ?fault ?obs ?metrics journal =
+  let c = Hypertp.Ctx.resolve ?ctx:run_ctx ?fault ?obs ?metrics () in
+  drive
+    (resume_st ?fault:c.Hypertp.Ctx.fault ?obs:c.Hypertp.Ctx.obs
+       ?metrics:c.Hypertp.Ctx.metrics journal)
 
 let run_to_completion ?ctx ?fault ?obs ?metrics cfg =
   let c = Hypertp.Ctx.resolve ?ctx ?fault ?obs ?metrics () in
@@ -1387,7 +1572,7 @@ let journal_to_string j =
        (if c.shadow_spares > 0 then
           Printf.sprintf " shadow_spares=%d" c.shadow_spares
         else ""));
-  Sim.Vec.iter
+  journal_iter
     (fun e ->
       let host = match e.je_host with Some h -> h | None -> "-" in
       let kind =
@@ -1434,7 +1619,7 @@ let journal_to_string j =
         (Printf.sprintf "e at=%d host=%s %s%s%s%s cursor=%d\n"
            (Sim.Time.to_ns e.je_at) host kind decision audit shadow
            e.je_cursor))
-    j.j_entries;
+    j;
   Buffer.contents buf
 
 exception Parse of string
@@ -1505,9 +1690,24 @@ let journal_of_string s =
         | Some s -> s
         | None -> raise (Parse "bad ladder step")
       in
-      let entries =
-        List.map
-          (fun line ->
+      (* Parsed entries are interned straight into the packed form;
+         hosts get side-table indices in first-appearance order. *)
+      let words = Sim.Vec.create ~capacity:(4 * List.length entry_lines) 0 in
+      let names = ref [] in
+      let name_idx = Hashtbl.create 64 in
+      let n_names = ref 0 in
+      let intern h =
+        match Hashtbl.find_opt name_idx h with
+        | Some i -> i
+        | None ->
+          let i = !n_names in
+          Hashtbl.replace name_idx h i;
+          names := h :: !names;
+          incr n_names;
+          i
+      in
+      List.iter
+        (fun line ->
             let tokens = String.split_on_char ' ' line in
             (match tokens with
             | "e" :: _ -> ()
@@ -1574,19 +1774,32 @@ let journal_of_string s =
                     s_partition = int_f fs "spart" <> 0;
                   }
             in
-            {
-              je_at = Sim.Time.ns (int_f fs "at");
-              je_host =
-                (match get fs "host" with "-" -> None | h -> Some h);
-              je_event = event;
-              je_decision = decision;
-              je_audit = audit;
-              je_shadow = shadow;
-              je_cursor = int_f fs "cursor";
-            })
-          entry_lines
-      in
-      Ok { j_config = config; j_entries = Sim.Vec.of_list dummy_entry entries }
+            let e =
+              {
+                je_at = Sim.Time.ns (int_f fs "at");
+                je_host =
+                  (match get fs "host" with "-" -> None | h -> Some h);
+                je_event = event;
+                je_decision = decision;
+                je_audit = audit;
+                je_shadow = shadow;
+                je_cursor = int_f fs "cursor";
+              }
+            in
+            let host_idx =
+              match e.je_host with None -> -1 | Some h -> intern h
+            in
+            let w0, w1, w2 = pack_entry ~host_idx e in
+            Sim.Vec.push words w0;
+            Sim.Vec.push words w1;
+            Sim.Vec.push words w2)
+        entry_lines;
+      Ok
+        {
+          j_config = config;
+          j_words = words;
+          j_names = Array.of_list (List.rev !names);
+        }
     | _ -> raise (Parse "truncated journal (need magic + config lines)")
   with
   | Parse msg -> Error msg
@@ -1635,3 +1848,251 @@ let pp_report fmt r =
       let n v = List.length (List.filter (fun (_, x) -> x = v) vs) in
       Format.asprintf "@,audits: %d clean / %d scrubbed / %d failed"
         (n A_clean) (n A_scrubbed) (n A_failed))
+
+(* --- region-sharded fleets --- *)
+
+type summary = {
+  s_region : string;
+  s_hosts : int;
+  s_vms : int;
+  s_wall_clock : Sim.Time.t;
+  s_exposed_host_hours : float;
+  s_baseline_exposed_host_hours : float;
+  s_breaker_trips : int;
+  s_inplace : int;
+  s_shadow : int;
+  s_drained : int;
+  s_retried : int;
+  s_exposed : int;
+  s_attempts : int;
+  s_events : int;
+  s_resumes : int;
+}
+
+type fleet_report = {
+  f_topology : Topology.t;
+  f_mode : Hypertp.Ctx.sharding;
+  f_shards : int;
+  f_domains : int;
+  f_summaries : summary array; (* region order *)
+  f_journals : journal array;  (* region order *)
+  f_wall_clock : Sim.Time.t;
+  f_exposed_host_hours : float;
+  f_baseline_exposed_host_hours : float;
+  f_breaker_trips : int;
+  f_resumes : int;
+  f_minor_words : float;
+}
+
+(* Scalar-only digest of a finished controller: what [run_fleet] keeps
+   per region instead of a [report], whose per-host records would put a
+   million boxed timelines back on the heap. *)
+let make_summary ~region ~resumes st =
+  let finished =
+    match st.finished_at with
+    | Some t -> t
+    | None ->
+      Hypertp_error.raise_error ~site:"Campaign"
+        "summary requested before the finish event"
+  in
+  let wall = Sim.Time.add finished st.setup.su_rebalance in
+  let inplace = ref 0 and shadow = ref 0 and drained = ref 0 in
+  let retried = ref 0 and exposed = ref 0 in
+  Array.iter
+    (function
+      | H_done (Upgraded_inplace, _) -> incr inplace
+      | H_done (Shadow_cutover, _) -> incr shadow
+      | H_done (Drained, _) -> incr drained
+      | H_done (Deferred_resolved, _) -> incr retried
+      | H_done (Deferred_exposed, _) -> incr exposed
+      | _ ->
+        Hypertp_error.raise_error ~site:"Campaign" "unfinished host in summary")
+    st.hstates;
+  {
+    s_region = region;
+    s_hosts = Array.length st.setup.su_tasks;
+    s_vms = st.cfg.nodes * st.cfg.vms_per_node;
+    s_wall_clock = wall;
+    s_exposed_host_hours =
+      st.exposure_acc +. (float_of_int st.n_deferred_exposed *. hours wall);
+    s_baseline_exposed_host_hours = float_of_int st.cfg.nodes *. hours wall;
+    s_breaker_trips = st.trips;
+    s_inplace = !inplace;
+    s_shadow = !shadow;
+    s_drained = !drained;
+    s_retried = !retried;
+    s_exposed = !exposed;
+    s_attempts = Array.fold_left ( + ) 0 st.attempts;
+    s_events = Sim.Vec.length st.entries / 3;
+    s_resumes = resumes;
+  }
+
+(* Each region is a full campaign whose seed is derived from the fleet
+   seed and the region name — the same pure-function-of-(config, key)
+   scheme the admission decisions use — so a region's entire journal is
+   independent of when, where, or on which domain it ran.  That is the
+   whole byte-identity argument: Sequential, Rotated and Parallel only
+   reorder calls to pure functions. *)
+let region_config cfg (r : Topology.region) =
+  {
+    cfg with
+    nodes = r.Topology.rg_hosts;
+    vms_per_node = r.Topology.rg_vms_per_host;
+    shadow_spares =
+      (if r.Topology.rg_spares > 0 then r.Topology.rg_spares
+       else cfg.shadow_spares);
+    seed =
+      Int64.logxor cfg.seed
+        (Int64.of_int (Hashtbl.hash ("fleet-region", r.Topology.rg_name)));
+  }
+
+let region_fault fault (r : Topology.region) =
+  Option.map
+    (fun f ->
+      Fault.make
+        ~seed:
+          (Int64.logxor (Fault.seed f)
+             (Int64.of_int (Hashtbl.hash ("fleet-region", r.Topology.rg_name))))
+        (Fault.injections f))
+    fault
+
+(* Run one region's campaign to completion, surviving controller
+   crashes the way [run_to_completion] does, without ever building the
+   per-host report. *)
+let complete_st ?fault cfg =
+  let rec go resumes ctx =
+    match
+      try
+        Sim.Engine.run ctx.eng;
+        None
+      with Controller_died -> Some (make_journal ctx.st)
+    with
+    | None -> (ctx.st, resumes)
+    | Some j -> go (resumes + 1) (resume_st ?fault j)
+  in
+  go 0 (start_st ?fault cfg)
+
+let tmax a b = if Sim.Time.to_ns a >= Sim.Time.to_ns b then a else b
+
+let run_fleet ?ctx:run_ctx ?fault ?sharding ~topology cfg =
+  let c = Hypertp.Ctx.resolve ?ctx:run_ctx ?fault ?sharding () in
+  let topology = Topology.validate_exn topology in
+  let mode = c.Hypertp.Ctx.sharding in
+  (match Sim.Shard.validate mode with
+  | Ok () -> ()
+  | Error msg -> Hypertp_error.raise_error ~site:"Campaign.run_fleet" msg);
+  let regions = Topology.regions topology in
+  let n = Array.length regions in
+  (* obs/metrics are deliberately not threaded into the shards: a
+     shared tracer is not domain-safe, and attaching one would make the
+     emitted trace depend on the schedule.  The fleet-level knobs that
+     matter (fault plan, config) are re-derived per region. *)
+  let outcomes =
+    Sim.Shard.map mode n (fun i ->
+        let r = regions.(i) in
+        let rcfg = region_config cfg r in
+        let rfault = region_fault c.Hypertp.Ctx.fault r in
+        (* OCaml 5 GC counters are per-domain and a task runs on one
+           domain start to finish, so the delta is this region's own
+           allocation even under [Parallel]. *)
+        let w0 = Gc.minor_words () in
+        let st, resumes = complete_st ?fault:rfault rcfg in
+        let words = Gc.minor_words () -. w0 in
+        (make_summary ~region:r.Topology.rg_name ~resumes st,
+         make_journal st, words))
+  in
+  let summaries = Array.map (fun (s, _, _) -> s) outcomes in
+  let journals = Array.map (fun (_, j, _) -> j) outcomes in
+  {
+    f_topology = topology;
+    f_mode = mode;
+    f_shards = Sim.Shard.shards_used mode n;
+    f_domains = Sim.Shard.domains_used mode n;
+    f_summaries = summaries;
+    f_journals = journals;
+    f_wall_clock =
+      Array.fold_left (fun acc s -> tmax acc s.s_wall_clock) Sim.Time.zero
+        summaries;
+    f_exposed_host_hours =
+      Array.fold_left (fun acc s -> acc +. s.s_exposed_host_hours) 0.0
+        summaries;
+    f_baseline_exposed_host_hours =
+      Array.fold_left
+        (fun acc s -> acc +. s.s_baseline_exposed_host_hours)
+        0.0 summaries;
+    f_breaker_trips =
+      Array.fold_left (fun acc s -> acc + s.s_breaker_trips) 0 summaries;
+    f_resumes = Array.fold_left (fun acc s -> acc + s.s_resumes) 0 summaries;
+    f_minor_words =
+      Array.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 outcomes;
+  }
+
+(* Order-insensitive inputs only: the digest covers topology, config,
+   every region's summary scalars and packed journal words — and
+   nothing schedule-dependent (mode, domains, timings, allocation), so
+   Sequential, Rotated and Parallel runs of the same fleet must agree
+   on it.  The bench self-check and CI pin exactly that. *)
+let fleet_digest fr =
+  let h = ref 0x1505 in
+  let mix v = h := (((!h lsl 5) + !h) lxor v) land max_int in
+  mix (Hashtbl.hash (Topology.spec fr.f_topology));
+  Array.iter2
+    (fun s j ->
+      mix (Hashtbl.hash s.s_region);
+      mix (Sim.Time.to_ns s.s_wall_clock);
+      mix (Hashtbl.hash (Int64.bits_of_float s.s_exposed_host_hours));
+      mix s.s_breaker_trips;
+      mix s.s_inplace;
+      mix s.s_shadow;
+      mix s.s_drained;
+      mix s.s_retried;
+      mix s.s_exposed;
+      mix s.s_attempts;
+      mix s.s_events;
+      mix s.s_resumes;
+      mix (Hashtbl.hash j.j_config);
+      Array.iter (fun nm -> mix (Hashtbl.hash nm)) j.j_names;
+      Sim.Vec.iter mix j.j_words)
+    fr.f_summaries fr.f_journals;
+  !h
+
+let fleet_magic = "hypertp-fleet-journal v1"
+
+let fleet_journals_to_string fr =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (fleet_magic ^ "\n");
+  Buffer.add_string buf ("topology " ^ Topology.spec fr.f_topology ^ "\n");
+  Array.iter2
+    (fun s j ->
+      Buffer.add_string buf ("region " ^ s.s_region ^ "\n");
+      Buffer.add_string buf (journal_to_string j))
+    fr.f_summaries fr.f_journals;
+  Buffer.contents buf
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "%s: %d hosts / %d VMs, wall-clock %a, exposure %.3f host-hours \
+     (baseline %.3f); %d inplace / %d shadow / %d drained / %d retried / \
+     %d exposed; %d attempts, %d events, %d trips, %d resumes"
+    s.s_region s.s_hosts s.s_vms Sim.Time.pp s.s_wall_clock
+    s.s_exposed_host_hours s.s_baseline_exposed_host_hours s.s_inplace
+    s.s_shadow s.s_drained s.s_retried s.s_exposed s.s_attempts s.s_events
+    s.s_breaker_trips s.s_resumes
+
+(* Deliberately schedule-free (no mode, no domain count, no timings):
+   CI diffs this output byte-for-byte between sequential and sharded
+   runs of the same fleet. *)
+let pp_fleet fmt fr =
+  Format.fprintf fmt
+    "@[<v>fleet: %d regions, %d hosts, %d VMs (topology %s)@,\
+     wall-clock %a, exposure %.3f host-hours (baseline %.3f), breaker \
+     trips %d, resumes %d@,digest %x@,%a@]"
+    (Topology.n_regions fr.f_topology)
+    (Topology.hosts fr.f_topology)
+    (Topology.vms fr.f_topology)
+    (Topology.spec fr.f_topology)
+    Sim.Time.pp fr.f_wall_clock fr.f_exposed_host_hours
+    fr.f_baseline_exposed_host_hours fr.f_breaker_trips fr.f_resumes
+    (fleet_digest fr)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_summary)
+    (Array.to_list fr.f_summaries)

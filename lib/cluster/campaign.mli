@@ -229,3 +229,92 @@ val sweep :
 
 val pp_host_record : Format.formatter -> host_record -> unit
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Region-sharded fleets}
+
+    [run_fleet] scales the campaign controller to million-host fleets
+    by partitioning a {!Topology.t} into region shards, each simulated
+    by its own campaign (own {!Sim.Engine}, own derived seed and fault
+    plan) under a {!Hypertp.Ctx.sharding} schedule ({!Sim.Shard.mode}):
+    sequential, rotated batches, or parallel on stdlib domains.
+
+    Determinism contract: a region's campaign is a pure function of the
+    fleet config and the region (seed and fault plan are derived from
+    the fleet seed and the region {e name}), so every schedule produces
+    byte-identical summaries, journals ({!fleet_journals_to_string})
+    and {!fleet_digest}s for the same inputs — the mode only trades
+    wall-clock.  The qcheck suite and CI pin this.
+
+    The fleet config's [nodes]/[vms_per_node]/[shadow_spares] fields
+    are overridden per region by the topology ([rg_spares = 0] inherits
+    the config's spare count); [obs]/[metrics] from the context are
+    {e not} threaded into shards — a shared tracer is not domain-safe
+    and would make the trace schedule-dependent. *)
+
+(** Scalar per-region outcome (no per-host records — at fleet scale a
+    million boxed timelines would defeat the packed journal). *)
+type summary = {
+  s_region : string;
+  s_hosts : int;
+  s_vms : int;
+  s_wall_clock : Sim.Time.t;
+  s_exposed_host_hours : float;
+  s_baseline_exposed_host_hours : float;
+  s_breaker_trips : int;
+  s_inplace : int;
+  s_shadow : int;
+  s_drained : int;
+  s_retried : int;
+  s_exposed : int;
+  s_attempts : int;
+  s_events : int;  (** journal length *)
+  s_resumes : int;  (** controller crashes survived *)
+}
+
+type fleet_report = {
+  f_topology : Topology.t;
+  f_mode : Hypertp.Ctx.sharding;
+  f_shards : int;  (** shard batches actually used (clamped) *)
+  f_domains : int;  (** domains actually spawned *)
+  f_summaries : summary array;  (** region order *)
+  f_journals : journal array;  (** region order *)
+  f_wall_clock : Sim.Time.t;  (** slowest region (regions run in parallel
+                                  in simulated time) *)
+  f_exposed_host_hours : float;  (** sum over regions *)
+  f_baseline_exposed_host_hours : float;
+  f_breaker_trips : int;
+  f_resumes : int;
+  f_minor_words : float;
+      (** minor-heap words allocated by the region simulations,
+          measured inside each shard task (summed across domains);
+          schedule metadata, excluded from {!fleet_digest} *)
+}
+
+val run_fleet :
+  ?ctx:Hypertp.Ctx.t -> ?fault:Fault.t -> ?sharding:Hypertp.Ctx.sharding ->
+  topology:Topology.t -> config -> fleet_report
+(** Simulate one campaign per region of [topology] under
+    [ctx.sharding] (default [Sequential]; the [?sharding] argument
+    overrides the [ctx] field).  The topology is validated
+    ({!Topology.validate}); raises [Hypertp.Error.Error] on an invalid
+    topology, sharding mode, or region config.  A [?fault] plan is
+    re-derived per region (same injections, region-derived seed);
+    {!Fault.Controller_crash} crashes are resumed transparently and
+    counted in [s_resumes]. *)
+
+val fleet_digest : fleet_report -> int
+(** Order-insensitive digest of topology, config and every region's
+    summary and packed journal words.  Equal across sharding modes for
+    the same fleet inputs; schedule metadata ([f_mode], [f_shards],
+    [f_domains], [f_minor_words], wall-clock seconds) is excluded. *)
+
+val fleet_journals_to_string : fleet_report -> string
+(** Concatenated region journals under a fleet header — the
+    byte-identity witness the mode-equivalence tests compare. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val pp_fleet : Format.formatter -> fleet_report -> unit
+(** Schedule-free rendering (no mode/domain/timing fields), including
+    the digest — CI diffs this byte-for-byte between sequential and
+    sharded runs. *)

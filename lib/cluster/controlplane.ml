@@ -33,6 +33,35 @@ let default_config =
     seed = 0x5EEDL;
   }
 
+(* The control plane's region grid is uniform by construction (its
+   admission-budget split assumes equal regions), so only a uniform
+   topology maps onto it; anything ragged is a structured error rather
+   than a silent reshape. *)
+let config_of_topology topology base =
+  let topology = Topology.validate_exn topology in
+  let rs = Topology.regions topology in
+  let r0 = rs.(0) in
+  Array.iter
+    (fun (r : Topology.region) ->
+      if
+        r.Topology.rg_hosts <> r0.Topology.rg_hosts
+        || r.Topology.rg_vms_per_host <> r0.Topology.rg_vms_per_host
+      then
+        Hypertp_error.raise_errorf ~site:"Controlplane"
+          ~hint:
+            "the control plane splits its admission budget over equal \
+             regions; use Campaign.run_fleet for ragged topologies"
+          "non-uniform topology: region %s is %dx%d but %s is %dx%d"
+          r.Topology.rg_name r.Topology.rg_hosts r.Topology.rg_vms_per_host
+          r0.Topology.rg_name r0.Topology.rg_hosts r0.Topology.rg_vms_per_host)
+    rs;
+  {
+    base with
+    regions = Array.length rs;
+    hosts_per_region = r0.Topology.rg_hosts;
+    vms_per_host = r0.Topology.rg_vms_per_host;
+  }
+
 type step = Inplace | Drain
 type manifestation = Crash | Timeout | Flap
 

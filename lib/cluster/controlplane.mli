@@ -67,6 +67,13 @@ val default_config : config
 (** 4 regions x 25 hosts, 8 VMs/host, global concurrency 8, heartbeats
     every 5s with a 12s timeout, reallocation lag 22s. *)
 
+val config_of_topology : Topology.t -> config -> config
+(** [base] with its region grid replaced by [topology]'s shape.  The
+    control plane splits its admission budget over equal regions, so
+    the topology must be uniform (every region the same hosts x VMs);
+    raises [Hypertp.Error.Error] (site ["Controlplane"]) otherwise —
+    use [Campaign.run_fleet] for ragged fleets. *)
+
 type step = Inplace | Drain
 type manifestation = Crash | Timeout | Flap
 

@@ -14,9 +14,29 @@ type outcome = {
 
 let hours t = Sim.Time.to_sec_f t /. 3600.0
 
-let simulate ?(hosts = 8) ?(vms_per_host = 4) ?window_days
+let simulate ?(hosts = 8) ?(vms_per_host = 4) ?topology ?window_days
     ?(stagger = Sim.Time.sec 600) ~cve_id () =
   let site = "Fleet.simulate" in
+  (* A topology overrides the flat [hosts]/[vms_per_host] integers:
+     the fleet is its regions concatenated in order, each host carrying
+     its region's VM density.  Without one, the legacy arguments build
+     the same flat fleet as before, byte for byte. *)
+  let hosts, per_host_vms =
+    match Option.map Topology.validate_exn topology with
+    | None -> (hosts, Array.make (Stdlib.max 0 hosts) vms_per_host)
+    | Some t ->
+      let total = Topology.hosts t in
+      let a = Array.make total vms_per_host in
+      let k = ref 0 in
+      Array.iter
+        (fun r ->
+          for _ = 1 to r.Topology.rg_hosts do
+            a.(!k) <- r.Topology.rg_vms_per_host;
+            incr k
+          done)
+        (Topology.regions t);
+      (total, a)
+  in
   let record =
     match Cve.Nvd.find cve_id with
     | Some r -> r
@@ -54,7 +74,7 @@ let simulate ?(hosts = 8) ?(vms_per_host = 4) ?window_days
           ~seed:(Int64.of_int (1000 + i))
           ~name:(Printf.sprintf "host%02d" i)
           ~machine:(Hw.Machine.g5k_node ()) ~hv:Hv.Kind.Xen
-          (List.init vms_per_host (fun j ->
+          (List.init per_host_vms.(i) (fun j ->
                Vmstate.Vm.config
                  ~name:(Printf.sprintf "h%02d-vm%d" i j)
                  ~ram:(Hw.Units.gib 1) ())))
@@ -89,7 +109,7 @@ let simulate ?(hosts = 8) ?(vms_per_host = 4) ?window_days
           incr transplants;
           total_downtime :=
             Sim.Time.add !total_downtime
-              (Sim.Time.scale (float_of_int vms_per_host) downtime);
+              (Sim.Time.scale (float_of_int per_host_vms.(i)) downtime);
           exposed := !exposed +. hours (Sim.Engine.now engine);
           incr out_transplanted;
           emit
@@ -114,7 +134,7 @@ let simulate ?(hosts = 8) ?(vms_per_host = 4) ?window_days
           incr transplants;
           total_downtime :=
             Sim.Time.add !total_downtime
-              (Sim.Time.scale (float_of_int vms_per_host) downtime);
+              (Sim.Time.scale (float_of_int per_host_vms.(i)) downtime);
           emit
             (Host_patched { host = host.Hv.Host.host_name; downtime })))
     fleet;

@@ -31,21 +31,51 @@ let make ?(seed = 0xC1D2L) ~nodes ~vms_per_node ~vm_ram ~node_ram
   let n_inplace =
     int_of_float (Float.round (inplace_fraction *. float_of_int total))
   in
-  (* Deterministic workload assignment by cumulative fractions. *)
+  (* Deterministic workload assignment by cumulative fractions.  The
+     per-VM float test [pos < cum] is hoisted into integer boundaries
+     (least [i] with [i/total >= cum], found by binary search on the
+     same float expression, so the classification is bit-identical to
+     the old walk), and the hot loop compares ints — at a million VMs
+     the float walk used to dominate [make]. *)
+  let bounds =
+    let pos i = float_of_int i /. float_of_int total in
+    let cum = ref 0.0 in
+    List.map
+      (fun (w, f) ->
+        cum := !cum +. f;
+        let c = !cum in
+        let lo = ref 0 and hi = ref total in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if pos mid < c then lo := mid + 1 else hi := mid
+        done;
+        (w, !lo))
+      workload_mix
+  in
   let workload_of i =
-    let pos = float_of_int i /. float_of_int total in
-    let rec pick acc = function
+    let rec pick = function
       | [] -> Vmstate.Vm.Wl_idle
-      | (w, f) :: rest -> if pos < acc +. f then w else pick (acc +. f) rest
+      | (w, b) :: rest -> if i < b then w else pick rest
     in
-    pick 0.0 workload_mix
+    pick bounds
+  in
+  (* Names match [Printf.sprintf "vm%03d"] / ["node%02d"] byte-for-byte;
+     the sprintf pair allocated ~10x more and was the single largest
+     heap cost of building a fleet-scale model. *)
+  let vm_name i =
+    if i < 10 then "vm00" ^ string_of_int i
+    else if i < 100 then "vm0" ^ string_of_int i
+    else "vm" ^ string_of_int i
+  in
+  let node_name j =
+    if j < 10 then "node0" ^ string_of_int j else "node" ^ string_of_int j
   in
   (* Spread the InPlaceTP-compatible VMs uniformly across nodes. *)
   let flags = Array.init total (fun i -> i < n_inplace) in
   Sim.Rng.shuffle rng flags;
   let vm i =
     {
-      vm_name = Printf.sprintf "vm%03d" i;
+      vm_name = vm_name i;
       ram = vm_ram;
       inplace_compatible = flags.(i);
       workload = workload_of i;
@@ -56,7 +86,7 @@ let make ?(seed = 0xC1D2L) ~nodes ~vms_per_node ~vm_ram ~node_ram
       List.init vms_per_node (fun k -> vm ((j * vms_per_node) + k))
     in
     {
-      node_name = Printf.sprintf "node%02d" j;
+      node_name = node_name j;
       ram_capacity = node_ram;
       placed;
       placed_count = vms_per_node;

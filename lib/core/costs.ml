@@ -73,15 +73,30 @@ let straggler_deadline_seconds ~factor ~expected =
    models.  [Memo] caches them; correctness is unchanged because the
    underlying estimators are deterministic. *)
 module Memo = struct
-  type ('a, 'b) t = ('a, 'b) Hashtbl.t
+  (* The caches behind [Upgrade.migration_op_time] and
+     [inplace_host_time] are module-level, so sharded fleet runs hit
+     them from several domains at once.  A mutex keeps the table
+     consistent; determinism is unaffected because the memoised
+     estimators are pure — whichever domain wins the race stores the
+     same value every other domain would have. *)
+  type ('a, 'b) t = { tbl : ('a, 'b) Hashtbl.t; lock : Mutex.t }
 
-  let create n : ('a, 'b) t = Hashtbl.create n
+  let create n : ('a, 'b) t = { tbl = Hashtbl.create n; lock = Mutex.create () }
 
   let find_or_add t key f =
-    match Hashtbl.find_opt t key with
-    | Some v -> v
+    Mutex.lock t.lock;
+    match Hashtbl.find_opt t.tbl key with
+    | Some v ->
+      Mutex.unlock t.lock;
+      v
     | None ->
+      (* Compute outside the lock: [f] may be expensive, and a second
+         domain asking for the same key should not serialise on it.
+         Re-check before storing so the table never holds duplicates. *)
+      Mutex.unlock t.lock;
       let v = f key in
-      Hashtbl.add t key v;
+      Mutex.lock t.lock;
+      if not (Hashtbl.mem t.tbl key) then Hashtbl.add t.tbl key v;
+      Mutex.unlock t.lock;
       v
 end

@@ -16,6 +16,11 @@ type shadow_config = { shadow_ladder : bool }
 
 let shadow_default = { shadow_ladder = true }
 
+type sharding = Sim.Shard.mode =
+  | Sequential
+  | Rotated of int
+  | Parallel of { shards : int; domains : int }
+
 type t = {
   options : Options.t;  (** InPlaceTP optimisation toggles *)
   rng : Sim.Rng.t option;  (** [None] means each engine's default stream *)
@@ -28,15 +33,20 @@ type t = {
   shadow : shadow_config option;
       (** shadow-host cutover policy; [None] means the engine default
           ({!shadow_default}: the degradation ladder enabled) *)
+  sharding : sharding;
+      (** region-shard schedule for fleet-level entry points;
+          [Sequential] (the default) is what every legacy entry point
+          resolves to, and all modes are byte-identical for the same
+          seed — the knob only trades wall-clock *)
 }
 
 let default =
   { options = Options.default; rng = None; fault = None; obs = None;
-    metrics = None; audit = None; shadow = None }
+    metrics = None; audit = None; shadow = None; sharding = Sequential }
 
 let make ?(options = Options.default) ?rng ?fault ?obs ?metrics ?audit ?shadow
-    () =
-  { options; rng; fault; obs; metrics; audit; shadow }
+    ?(sharding = Sequential) () =
+  { options; rng; fault; obs; metrics; audit; shadow; sharding }
 
 let with_options options t = { t with options }
 let with_rng rng t = { t with rng = Some rng }
@@ -45,8 +55,10 @@ let with_obs obs t = { t with obs = Some obs }
 let with_metrics metrics t = { t with metrics = Some metrics }
 let with_audit audit t = { t with audit = Some audit }
 let with_shadow shadow t = { t with shadow = Some shadow }
+let with_sharding sharding t = { t with sharding }
 
-let resolve ?ctx ?options ?rng ?fault ?obs ?metrics ?audit ?shadow () =
+let resolve ?ctx ?options ?rng ?fault ?obs ?metrics ?audit ?shadow ?sharding ()
+    =
   let base = match ctx with Some c -> c | None -> default in
   {
     options = (match options with Some o -> o | None -> base.options);
@@ -56,4 +68,5 @@ let resolve ?ctx ?options ?rng ?fault ?obs ?metrics ?audit ?shadow () =
     metrics = (match metrics with Some _ -> metrics | None -> base.metrics);
     audit = (match audit with Some _ -> audit | None -> base.audit);
     shadow = (match shadow with Some _ -> shadow | None -> base.shadow);
+    sharding = (match sharding with Some s -> s | None -> base.sharding);
   }

@@ -38,6 +38,15 @@ type shadow_config = {
 val shadow_default : shadow_config
 (** Ladder enabled. *)
 
+type sharding = Sim.Shard.mode =
+  | Sequential
+  | Rotated of int
+  | Parallel of { shards : int; domains : int }
+(** Region-shard schedule for fleet-level entry points
+    ({!Sim.Shard.mode}, re-exported so call sites can write
+    [Ctx.Parallel {shards; domains}]).  All modes are byte-identical
+    for the same seed; the knob only trades wall-clock. *)
+
 type t = {
   options : Options.t;
   rng : Sim.Rng.t option;
@@ -52,6 +61,11 @@ type t = {
   shadow : shadow_config option;
       (** shadow-host cutover policy for {!Migrate.run_shadow}; [None]
           (the default) means {!shadow_default} *)
+  sharding : sharding;
+      (** region-shard schedule for fleet entry points
+          ([Campaign.run_fleet] and the sharded benchmarks);
+          [Sequential] is the default and what every legacy entry
+          point resolves to, pinned byte-identical *)
 }
 
 val default : t
@@ -61,7 +75,7 @@ val default : t
 val make :
   ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
   ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> ?audit:audit_config ->
-  ?shadow:shadow_config -> unit -> t
+  ?shadow:shadow_config -> ?sharding:sharding -> unit -> t
 
 val with_options : Options.t -> t -> t
 val with_rng : Sim.Rng.t -> t -> t
@@ -70,11 +84,12 @@ val with_obs : Obs.Tracer.t -> t -> t
 val with_metrics : Obs.Metrics.t -> t -> t
 val with_audit : audit_config -> t -> t
 val with_shadow : shadow_config -> t -> t
+val with_sharding : sharding -> t -> t
 
 val resolve :
   ?ctx:t -> ?options:Options.t -> ?rng:Sim.Rng.t -> ?fault:Fault.t ->
   ?obs:Obs.Tracer.t -> ?metrics:Obs.Metrics.t -> ?audit:audit_config ->
-  ?shadow:shadow_config -> unit -> t
+  ?shadow:shadow_config -> ?sharding:sharding -> unit -> t
 (** Merge legacy optional arguments over [ctx] (default {!default});
     an explicit legacy argument wins over the [ctx] field.  Engines
     call this once at their boundary. *)

@@ -115,6 +115,27 @@ let validate cfg =
         bad "a population needs at least 2 hosts (campaigns roll host-by-host)")
     [ cfg.mix.xen_hosts; cfg.mix.kvm_hosts; cfg.mix.bhyve_hosts ]
 
+(* The campaign service models one population per hypervisor, so a
+   topology maps onto a mix by region {e name}: regions must be named
+   after the repertoire ("xen" / "kvm" / "bhyve"), absent populations
+   default to 0.  VM density rides in separately ([vms_per_host] is
+   fleet-global here), so only the host counts transfer. *)
+let mix_of_topology topology =
+  let topology = Cluster.Topology.validate_exn topology in
+  Array.fold_left
+    (fun mix (r : Cluster.Topology.region) ->
+      match r.Cluster.Topology.rg_name with
+      | "xen" -> { mix with xen_hosts = r.Cluster.Topology.rg_hosts }
+      | "kvm" -> { mix with kvm_hosts = r.Cluster.Topology.rg_hosts }
+      | "bhyve" -> { mix with bhyve_hosts = r.Cluster.Topology.rg_hosts }
+      | name ->
+        Hypertp_error.raise_errorf ~site
+          ~hint:"name the topology's regions after the repertoire, e.g. \
+                 --topology xen:60:8;kvm:40:8"
+          "unknown population %S (the service models xen/kvm/bhyve)" name)
+    { xen_hosts = 0; kvm_hosts = 0; bhyve_hosts = 0 }
+    (Cluster.Topology.regions topology)
+
 (* {2 Config / journal text round-trip} *)
 
 let config_to_line c =

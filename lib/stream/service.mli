@@ -27,6 +27,12 @@
 
 type mix = { xen_hosts : int; kvm_hosts : int; bhyve_hosts : int }
 
+val mix_of_topology : Cluster.Topology.t -> mix
+(** Map a region-aware topology onto the service's per-hypervisor
+    populations by region {e name} ("xen" / "kvm" / "bhyve"; absent
+    populations are 0).  Raises [Hypertp.Error.Error] (site
+    ["Stream.Service"]) for any other region name. *)
+
 type config = {
   years : float;
   mix : mix;  (** population sizes; each must be 0 or at least 2 *)
